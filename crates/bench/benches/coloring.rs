@@ -1,0 +1,128 @@
+//! Criterion benches (B1–B6): wall-clock timing of every pipeline stage.
+//!
+//! Round complexity is measured by the table harness; these benches track
+//! the *simulator's* CPU cost so regressions in the substrate show up.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use distributed_coloring::{
+    classify, degree_choosable_coloring, list_color_sparse, ListAssignment,
+    SparseColoringConfig,
+};
+use graphs::{gen, VertexSet};
+use local_model::{barenboim_elkin_coloring, degree_plus_one_coloring, ruling_forest, RoundLedger};
+use std::hint::black_box;
+
+/// B1 — happy-vertex classification (ball gathering + Gallai checks).
+fn bench_classify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B1-classify");
+    for n in [256usize, 1024, 4096] {
+        let g = gen::forest_union(n, 2, 7);
+        let alive = VertexSet::full(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut ledger = RoundLedger::new();
+                black_box(classify(&g, &alive, 4, 4, &mut ledger))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// B2 — the constructive Theorem 1.1 solver on broken Gallai trees.
+fn bench_ert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B2-ert");
+    for blocks in [8usize, 32, 128] {
+        let cfg = gen::GallaiTreeConfig {
+            blocks,
+            ..Default::default()
+        };
+        let t = gen::random_gallai_tree(&cfg, blocks as u64);
+        let g = gen::break_gallai_tree(&t, 1).unwrap_or(t);
+        let lists: Vec<Vec<usize>> = g
+            .vertices()
+            .map(|v| (0..=g.degree(v)).collect())
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(g.n()), &blocks, |b, _| {
+            b.iter(|| black_box(degree_choosable_coloring(&g, &lists).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+/// B3 — end-to-end Theorem 1.3.
+fn bench_theorem13(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B3-theorem13");
+    group.sample_size(10);
+    for n in [256usize, 1024, 4096] {
+        let g = gen::forest_union(n, 2, 13);
+        let lists = ListAssignment::uniform(n, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    list_color_sparse(&g, &lists, 4, SparseColoringConfig::default()).unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+/// B4 — the Barenboim–Elkin baseline.
+fn bench_barenboim_elkin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B4-barenboim-elkin");
+    for n in [256usize, 1024, 4096] {
+        let g = gen::forest_union(n, 2, 17);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut ledger = RoundLedger::new();
+                black_box(barenboim_elkin_coloring(&g, None, 2, 1.0, &mut ledger))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// B5 — ruling forests.
+fn bench_ruling_forest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B5-ruling-forest");
+    for n in [256usize, 1024, 4096] {
+        let side = (n as f64).sqrt().round() as usize;
+        let g = gen::grid(side, side);
+        let subset: Vec<usize> = (0..g.n()).step_by(3).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(g.n()), &n, |b, _| {
+            b.iter(|| {
+                let mut ledger = RoundLedger::new();
+                black_box(ruling_forest(&g, None, &subset, 8, &mut ledger))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// B6 — substrate pieces: (Δ+1)-coloring and the exact mad oracle.
+fn bench_substrate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B6-substrate");
+    let g = gen::random_regular(1024, 4, 23);
+    group.bench_function("degree-plus-one-coloring-1024", |b| {
+        b.iter(|| {
+            let mut ledger = RoundLedger::new();
+            black_box(degree_plus_one_coloring(&g, None, &mut ledger))
+        })
+    });
+    let h = gen::forest_union(512, 3, 29);
+    group.bench_function("exact-mad-512", |b| {
+        b.iter(|| black_box(graphs::mad(&h)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_classify,
+    bench_ert,
+    bench_theorem13,
+    bench_barenboim_elkin,
+    bench_ruling_forest,
+    bench_substrate
+);
+criterion_main!(benches);

@@ -1,0 +1,312 @@
+//! Lemma 3.2 — extending a partial list-coloring to the happy set `A`.
+//!
+//! Given the residual graph of one peeling level with everything but `A`
+//! colored:
+//!
+//! 1. build an `(α, α·log n)`-ruling forest in `G[R]` with respect to `A`
+//!    (`α = 2·radius + 2`, so root balls are disjoint with no edges between
+//!    them — slightly safer than the paper's `2c·log n`, see DESIGN.md);
+//! 2. uncolor every tree vertex `T` (this may uncolor sad vertices — the
+//!    paper's "recoloring process might modify the colors of some vertices
+//!    of G∖A");
+//! 3. compute a `(d+1)`-coloring of `G[T]` (max degree ≤ d since `T ⊆ R`);
+//! 4. color `T` leaves-to-roots, one (depth, class) stable set per round —
+//!    every vertex still has its parent uncolored, so a list color is free
+//!    (Observation 5.1);
+//! 5. uncolor each root's radius-`r` rich ball entirely and finish it with
+//!    the constructive Theorem 1.1 ([`crate::ert`]) — the root is happy, so
+//!    its ball has a surplus vertex or is not a Gallai tree.
+
+use crate::ert::{color_component, ErtError};
+use crate::happy::Classification;
+use crate::lists::ListAssignment;
+use crate::state::ColoringState;
+use graphs::{ball, Graph, VertexId, VertexSet};
+use local_model::{degree_plus_one_coloring, ruling_forest, RoundLedger};
+use std::fmt;
+
+/// Failure of the Lemma 3.2 extension.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExtendError {
+    /// The root-ball recoloring hit a Theorem 1.1 obstruction — the root was
+    /// not actually happy, indicating an upstream classification bug or a
+    /// violated precondition.
+    RootBall {
+        /// The offending root.
+        root: VertexId,
+        /// The underlying Theorem 1.1 error.
+        source: ErtError,
+    },
+}
+
+impl fmt::Display for ExtendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtendError::RootBall { root, source } => {
+                write!(f, "root-ball extension failed at root {root}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExtendError {}
+
+/// Marker for "uncolored" entries in the global color vector.
+pub const UNCOLORED: usize = usize::MAX;
+
+/// Reduced list of `v`: original list minus the colors of its colored
+/// neighbors within `alive`.
+fn reduced_list(
+    g: &Graph,
+    alive: &VertexSet,
+    lists: &ListAssignment,
+    coloring: &[usize],
+    v: VertexId,
+) -> Vec<usize> {
+    let mut l = lists.list(v).to_vec();
+    for &w in g.neighbors(v) {
+        if alive.contains(w) && coloring[w] != UNCOLORED {
+            if let Ok(pos) = l.binary_search(&coloring[w]) {
+                l.remove(pos);
+            }
+        }
+    }
+    l
+}
+
+/// Extends `coloring` (proper on `alive ∖ A`, `UNCOLORED` on `A`) to all of
+/// `alive`, possibly recoloring some sad vertices. See module docs.
+///
+/// # Errors
+///
+/// [`ExtendError::RootBall`] if a root ball violates the Theorem 1.1
+/// hypothesis (never happens when `classification` is honest).
+///
+/// # Panics
+///
+/// Panics (in debug) if invariants break: a tree vertex without a free
+/// color, overlapping root balls, or a residual uncolored vertex at the end.
+pub fn extend_to_happy_set(
+    g: &Graph,
+    alive: &VertexSet,
+    lists: &ListAssignment,
+    classification: &Classification,
+    coloring: &mut [usize],
+    ledger: &mut RoundLedger,
+) -> Result<(), ExtendError> {
+    let n = g.n();
+    let happy: Vec<VertexId> = classification.happy.iter().collect();
+    if happy.is_empty() {
+        return Ok(());
+    }
+    let radius = classification.radius;
+    let alpha = 2 * radius + 2;
+
+    // 1. Ruling forest in G[R] with respect to A.
+    let rf = ruling_forest(g, Some(&classification.rich), &happy, alpha, ledger);
+
+    // 2. Uncolor T.
+    let members = rf.members();
+    let scope = VertexSet::from_iter_with_universe(n, members.iter().copied());
+    for &v in &members {
+        coloring[v] = UNCOLORED;
+    }
+
+    // 3. (d+1)-coloring of G[T] (T ⊆ R keeps degrees ≤ d).
+    let classes = degree_plus_one_coloring(g, Some(&scope), ledger);
+    let class_count = members
+        .iter()
+        .map(|&v| classes[v] + 1)
+        .max()
+        .unwrap_or(1);
+
+    // 4. Layered greedy, leaves to roots, roots skipped.
+    let mut st = ColoringState::new(
+        g,
+        scope.clone(),
+        (0..n)
+            .map(|v| {
+                if scope.contains(v) {
+                    reduced_list(g, alive, lists, coloring, v)
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect(),
+    );
+    let max_depth = rf.max_depth();
+    for depth in (1..=max_depth).rev() {
+        for class in 0..class_count {
+            for &v in &members {
+                if rf.depth[v] == depth && classes[v] == class {
+                    let c = *st
+                        .live_list(v)
+                        .first()
+                        .expect("Observation 5.1: parent uncolored ⇒ free color");
+                    st.assign(v, c);
+                }
+            }
+        }
+    }
+    ledger.charge("layered-coloring", (max_depth as u64) * (class_count as u64));
+    let tree_colors = st.into_colors();
+    for &v in &members {
+        if rf.depth[v] >= 1 {
+            debug_assert_ne!(tree_colors[v], UNCOLORED);
+            coloring[v] = tree_colors[v];
+        }
+    }
+
+    // 5. Root balls: uncolor completely, then Theorem 1.1 per ball.
+    let balls: Vec<Vec<VertexId>> = rf
+        .roots
+        .iter()
+        .map(|&r| ball(g, r, radius, Some(&classification.rich)))
+        .collect();
+    let mut union = VertexSet::new(n);
+    for b in &balls {
+        for &v in b {
+            let fresh = union.insert(v);
+            debug_assert!(fresh, "root balls must be disjoint (spacing α)");
+            coloring[v] = UNCOLORED;
+        }
+    }
+    #[cfg(debug_assertions)]
+    for v in union.iter() {
+        for &w in g.neighbors(v) {
+            debug_assert!(
+                !union.contains(w) || same_ball(&balls, v, w),
+                "no edges may cross distinct root balls"
+            );
+        }
+    }
+    let mut ball_state = ColoringState::new(
+        g,
+        union,
+        (0..n)
+            .map(|v| {
+                if coloring[v] == UNCOLORED && alive.contains(v) {
+                    reduced_list(g, alive, lists, coloring, v)
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect(),
+    );
+    for &root in &rf.roots {
+        color_component(&mut ball_state, root)
+            .map_err(|source| ExtendError::RootBall { root, source })?;
+    }
+    ledger.charge("root-ball-recolor", 2 * radius as u64);
+    let ball_colors = ball_state.into_colors();
+    for b in &balls {
+        for &v in b {
+            debug_assert_ne!(ball_colors[v], UNCOLORED);
+            coloring[v] = ball_colors[v];
+        }
+    }
+    debug_assert!(
+        alive.iter().all(|v| coloring[v] != UNCOLORED),
+        "extension must color every alive vertex"
+    );
+    Ok(())
+}
+
+#[cfg(debug_assertions)]
+fn same_ball(balls: &[Vec<VertexId>], v: VertexId, w: VertexId) -> bool {
+    balls
+        .iter()
+        .any(|b| b.binary_search(&v).is_ok() && b.binary_search(&w).is_ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::happy::classify;
+    use graphs::gen;
+
+    /// End-to-end single-level check: color alive ∖ A greedily by brute
+    /// force, then extend to A and verify the result.
+    fn run_single_level(g: &Graph, d: usize, radius: usize, lists: &ListAssignment) {
+        let alive = VertexSet::full(g.n());
+        let mut ledger = RoundLedger::new();
+        let cls = classify(g, &alive, d, radius, &mut ledger);
+        assert!(!cls.happy.is_empty(), "workload must have happy vertices");
+        // Color the complement of A with the exact solver (tests only).
+        let rest: Vec<VertexId> = (0..g.n()).filter(|&v| !cls.happy.contains(v)).collect();
+        let sub = graphs::InducedSubgraph::new(g, rest.iter().copied());
+        let sub_lists: Vec<Vec<usize>> = sub
+            .parent_vertices()
+            .iter()
+            .map(|&p| lists.list(p).to_vec())
+            .collect();
+        let sub_col = graphs::list_coloring(sub.graph(), &sub_lists)
+            .expect("complement colorable in tests");
+        let mut coloring = vec![UNCOLORED; g.n()];
+        for (local, &p) in sub.parent_vertices().iter().enumerate() {
+            coloring[p] = sub_col[local];
+        }
+        extend_to_happy_set(g, &alive, lists, &cls, &mut coloring, &mut ledger)
+            .expect("extension succeeds");
+        assert!(graphs::is_proper(g, &coloring));
+        for v in g.vertices() {
+            assert!(
+                lists.list(v).contains(&coloring[v]),
+                "vertex {v} got off-list color {}",
+                coloring[v]
+            );
+        }
+    }
+
+    #[test]
+    fn extends_on_grid() {
+        let g = gen::grid(7, 7);
+        run_single_level(&g, 4, 3, &ListAssignment::uniform(g.n(), 4));
+    }
+
+    #[test]
+    fn extends_on_tree_with_d3() {
+        let g = gen::random_tree(60, 5);
+        run_single_level(&g, 3, 2, &ListAssignment::uniform(g.n(), 3));
+    }
+
+    #[test]
+    fn extends_with_adversarial_lists() {
+        let g = gen::grid(6, 6);
+        let lists = ListAssignment::random(g.n(), 4, 8, 11);
+        run_single_level(&g, 4, 3, &lists);
+    }
+
+    #[test]
+    fn extends_on_triangular_lattice() {
+        let g = gen::triangular(5, 5);
+        run_single_level(&g, 6, 3, &ListAssignment::uniform(g.n(), 6));
+    }
+
+    #[test]
+    fn extends_when_everyone_is_happy_and_uncolored_base_is_empty() {
+        // A path with d = 3: everyone happy; nothing precolored at all.
+        let g = gen::path(30);
+        let alive = VertexSet::full(30);
+        let lists = ListAssignment::uniform(30, 3);
+        let mut ledger = RoundLedger::new();
+        let cls = classify(&g, &alive, 3, 2, &mut ledger);
+        assert_eq!(cls.happy.len(), 30);
+        let mut coloring = vec![UNCOLORED; 30];
+        extend_to_happy_set(&g, &alive, &lists, &cls, &mut coloring, &mut ledger).unwrap();
+        assert!(graphs::is_proper(&g, &coloring));
+    }
+
+    #[test]
+    fn noop_when_no_happy_vertices() {
+        let g = gen::complete(4);
+        let alive = VertexSet::full(4);
+        let lists = ListAssignment::uniform(4, 3);
+        let mut ledger = RoundLedger::new();
+        let cls = classify(&g, &alive, 3, 5, &mut ledger);
+        assert!(cls.happy.is_empty());
+        let mut coloring = vec![UNCOLORED; 4];
+        extend_to_happy_set(&g, &alive, &lists, &cls, &mut coloring, &mut ledger).unwrap();
+        assert!(coloring.iter().all(|&c| c == UNCOLORED));
+    }
+}

@@ -1,0 +1,456 @@
+//! Biconnected components (blocks), articulation points, the block–cut
+//! tree, and Gallai-tree recognition (paper §1.4).
+//!
+//! A *block* is a maximal 2-connected subgraph; an isolated edge is a block
+//! (a `K_2`) and an isolated vertex forms a degenerate single-vertex block.
+//! A *Gallai tree* is a connected graph whose every block is a clique or an
+//! odd cycle (Figure 1 of the paper).
+
+use crate::graph::{Graph, VertexId};
+use crate::vertex_set::VertexSet;
+
+/// Result of a block decomposition, from [`block_decomposition`].
+#[derive(Clone, Debug)]
+pub struct BlockDecomposition {
+    /// Each block as a sorted list of vertex ids. Single isolated vertices
+    /// appear as 1-element blocks so that every (masked) vertex is covered.
+    pub blocks: Vec<Vec<VertexId>>,
+    /// Articulation (cut) vertices.
+    pub cut_vertices: VertexSet,
+    /// For each vertex, indices into `blocks` of the blocks containing it.
+    pub blocks_of: Vec<Vec<usize>>,
+}
+
+impl BlockDecomposition {
+    /// Indices of blocks that contain at most one cut vertex — the "leaf
+    /// blocks" of the block–cut tree (including the root when it is the only
+    /// block of its component).
+    pub fn leaf_blocks(&self) -> Vec<usize> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| {
+                b.iter().filter(|&&v| self.cut_vertices.contains(v)).count() <= 1
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The cut vertices lying in block `i`.
+    pub fn cut_vertices_in(&self, i: usize) -> Vec<VertexId> {
+        self.blocks[i]
+            .iter()
+            .copied()
+            .filter(|&v| self.cut_vertices.contains(v))
+            .collect()
+    }
+}
+
+/// Computes blocks and articulation points with an iterative Hopcroft–Tarjan
+/// DFS, restricted to an optional mask.
+///
+/// # Examples
+///
+/// ```
+/// use graphs::{Graph, block_decomposition};
+/// // Two triangles sharing vertex 2 ("bowtie"): 2 blocks, cut vertex 2.
+/// let g = Graph::from_edges(5, [(0,1),(1,2),(2,0),(2,3),(3,4),(4,2)]);
+/// let d = block_decomposition(&g, None);
+/// assert_eq!(d.blocks.len(), 2);
+/// assert!(d.cut_vertices.contains(2));
+/// assert_eq!(d.cut_vertices.len(), 1);
+/// ```
+pub fn block_decomposition(g: &Graph, mask: Option<&VertexSet>) -> BlockDecomposition {
+    let n = g.n();
+    let in_mask = |v: VertexId| mask.is_none_or(|m| m.contains(v));
+    let mut disc = vec![0usize; n]; // 0 = unvisited; otherwise discovery time + 1
+    let mut low = vec![0usize; n];
+    let mut is_cut = VertexSet::new(n);
+    let mut blocks: Vec<Vec<VertexId>> = Vec::new();
+    let mut edge_stack: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut timer = 1usize;
+
+    // Iterative DFS frame: (vertex, parent, next neighbor index, child count
+    // for roots).
+    for start in 0..n {
+        if !in_mask(start) || disc[start] != 0 {
+            continue;
+        }
+        if g.neighbors(start).iter().all(|&w| !in_mask(w)) {
+            // Isolated (within mask) vertex: degenerate single-vertex block.
+            disc[start] = timer;
+            timer += 1;
+            blocks.push(vec![start]);
+            continue;
+        }
+        let mut stack: Vec<(VertexId, usize, usize)> = Vec::new(); // (v, parent, nbr idx)
+        let mut root_children = 0usize;
+        disc[start] = timer;
+        low[start] = timer;
+        timer += 1;
+        stack.push((start, usize::MAX, 0));
+        while let Some(&mut (v, parent, ref mut idx)) = stack.last_mut() {
+            let nbrs = g.neighbors(v);
+            if *idx < nbrs.len() {
+                let w = nbrs[*idx];
+                *idx += 1;
+                if !in_mask(w) {
+                    continue;
+                }
+                if disc[w] == 0 {
+                    edge_stack.push((v, w));
+                    disc[w] = timer;
+                    low[w] = timer;
+                    timer += 1;
+                    if v == start {
+                        root_children += 1;
+                    }
+                    stack.push((w, v, 0));
+                } else if w != parent && disc[w] < disc[v] {
+                    edge_stack.push((v, w));
+                    low[v] = low[v].min(disc[w]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&mut (p, _, _)) = stack.last_mut() {
+                    low[p] = low[p].min(low[v]);
+                    if low[v] >= disc[p] {
+                        // p is a cut vertex (or the root); pop one block.
+                        if p != start || root_children > 1 {
+                            is_cut.insert(p);
+                        }
+                        let mut verts = VertexSet::new(n);
+                        while let Some(&(a, b)) = edge_stack.last() {
+                            if disc[a] >= disc[v] || (a == p && b == v) {
+                                edge_stack.pop();
+                                verts.insert(a);
+                                verts.insert(b);
+                                if a == p && b == v {
+                                    break;
+                                }
+                            } else {
+                                break;
+                            }
+                        }
+                        if !verts.is_empty() {
+                            blocks.push(verts.iter().collect());
+                        }
+                    }
+                }
+            }
+        }
+        // Anything left on the edge stack from this root is one last block.
+        if !edge_stack.is_empty() {
+            let mut verts = VertexSet::new(n);
+            for (a, b) in edge_stack.drain(..) {
+                verts.insert(a);
+                verts.insert(b);
+            }
+            blocks.push(verts.iter().collect());
+        }
+    }
+
+    let mut blocks_of = vec![Vec::new(); n];
+    for (i, b) in blocks.iter().enumerate() {
+        for &v in b {
+            blocks_of[v].push(i);
+        }
+    }
+    BlockDecomposition {
+        blocks,
+        cut_vertices: is_cut,
+        blocks_of,
+    }
+}
+
+/// Whether the vertex set `verts` induces a clique in `g`.
+pub fn is_clique(g: &Graph, verts: &[VertexId]) -> bool {
+    for (i, &u) in verts.iter().enumerate() {
+        for &v in &verts[i + 1..] {
+            if !g.has_edge(u, v) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Whether `verts` induces a chordless cycle of odd length ≥ 3 in `g`.
+///
+/// For a block this means: every vertex has degree exactly 2 within the
+/// block, the block is connected, and its size is odd. (A triangle counts as
+/// a clique too; the paper treats triangles as cliques — both predicates may
+/// hold.)
+pub fn is_odd_cycle(g: &Graph, verts: &[VertexId]) -> bool {
+    let k = verts.len();
+    if k < 3 || k % 2 == 0 {
+        return false;
+    }
+    let vset: VertexSet =
+        VertexSet::from_iter_with_universe(g.n(), verts.iter().copied());
+    let mut edge_count = 0usize;
+    for &v in verts {
+        let d = g.neighbors(v).iter().filter(|&&w| vset.contains(w)).count();
+        if d != 2 {
+            return false;
+        }
+        edge_count += d;
+    }
+    // 2-regular with k vertices and k edges: a disjoint union of cycles; it
+    // is a single cycle iff connected, which 2-regularity + the block
+    // property gives us — but verify connectivity anyway for standalone use.
+    debug_assert_eq!(edge_count, 2 * k);
+    crate::traversal::is_connected(g, Some(&vset)) || k == 0
+}
+
+/// Classification of a single block for Gallai-tree purposes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockKind {
+    /// A clique `K_t` (including `K_1`, `K_2`).
+    Clique,
+    /// A chordless odd cycle of length ≥ 5.
+    OddCycle,
+    /// Neither — the block witnesses non-Gallai-ness.
+    Other,
+}
+
+/// Classifies one block (given as its sorted vertex list).
+pub fn classify_block(g: &Graph, verts: &[VertexId]) -> BlockKind {
+    if is_clique(g, verts) {
+        BlockKind::Clique
+    } else if is_odd_cycle(g, verts) {
+        BlockKind::OddCycle
+    } else {
+        BlockKind::Other
+    }
+}
+
+/// Whether the subgraph induced by `mask` (or all of `g`) is a *Gallai
+/// forest*: every block of every component is a clique or an odd cycle.
+///
+/// The paper's Gallai *tree* additionally requires connectivity; use
+/// [`is_gallai_tree`] for the exact notion.
+pub fn is_gallai_forest(g: &Graph, mask: Option<&VertexSet>) -> bool {
+    let d = block_decomposition(g, mask);
+    d.blocks
+        .iter()
+        .all(|b| classify_block(g, b) != BlockKind::Other)
+}
+
+/// Whether the subgraph induced by `mask` (or all of `g`) is a Gallai tree:
+/// connected and every block is a clique or odd cycle (paper §1.4).
+///
+/// # Examples
+///
+/// ```
+/// use graphs::{Graph, is_gallai_tree};
+/// // A triangle with a pendant edge is a Gallai tree.
+/// let g = Graph::from_edges(4, [(0,1),(1,2),(2,0),(2,3)]);
+/// assert!(is_gallai_tree(&g, None));
+/// // A 4-cycle is not (its single block is an even cycle).
+/// let c4 = Graph::from_edges(4, [(0,1),(1,2),(2,3),(3,0)]);
+/// assert!(!is_gallai_tree(&c4, None));
+/// ```
+pub fn is_gallai_tree(g: &Graph, mask: Option<&VertexSet>) -> bool {
+    crate::traversal::is_connected(g, mask) && is_gallai_forest(g, mask)
+}
+
+/// Finds a block that is neither a clique nor an odd cycle, if one exists.
+/// Returns its index into `decomposition.blocks`.
+pub fn find_non_gallai_block(g: &Graph, decomposition: &BlockDecomposition) -> Option<usize> {
+    decomposition
+        .blocks
+        .iter()
+        .position(|b| classify_block(g, b) == BlockKind::Other)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n)))
+    }
+
+    fn clique(n: usize) -> Graph {
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                edges.push((i, j));
+            }
+        }
+        Graph::from_edges(n, edges)
+    }
+
+    #[test]
+    fn path_blocks_are_edges() {
+        let p = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let d = block_decomposition(&p, None);
+        assert_eq!(d.blocks.len(), 3);
+        assert!(d.blocks.iter().all(|b| b.len() == 2));
+        assert!(d.cut_vertices.contains(1));
+        assert!(d.cut_vertices.contains(2));
+        assert!(!d.cut_vertices.contains(0));
+        assert_eq!(d.cut_vertices.len(), 2);
+    }
+
+    #[test]
+    fn cycle_is_single_block_no_cuts() {
+        let d = block_decomposition(&cycle(5), None);
+        assert_eq!(d.blocks.len(), 1);
+        assert_eq!(d.blocks[0].len(), 5);
+        assert!(d.cut_vertices.is_empty());
+    }
+
+    #[test]
+    fn bowtie_blocks() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
+        let d = block_decomposition(&g, None);
+        assert_eq!(d.blocks.len(), 2);
+        assert_eq!(d.cut_vertices.iter().collect::<Vec<_>>(), vec![2]);
+        assert_eq!(d.blocks_of[2].len(), 2);
+        assert_eq!(d.blocks_of[0].len(), 1);
+        assert_eq!(d.leaf_blocks().len(), 2);
+    }
+
+    #[test]
+    fn isolated_vertices_become_blocks() {
+        let g = Graph::from_edges(3, [(0, 1)]);
+        let d = block_decomposition(&g, None);
+        assert_eq!(d.blocks.len(), 2);
+        assert!(d.blocks.contains(&vec![2]));
+    }
+
+    #[test]
+    fn masked_decomposition() {
+        // C5 with one vertex masked out becomes a path: 4 blocks of size 2.
+        let g = cycle(5);
+        let mut mask = VertexSet::full(5);
+        mask.remove(0);
+        let d = block_decomposition(&g, Some(&mask));
+        assert_eq!(d.blocks.len(), 3);
+        assert!(d.blocks.iter().all(|b| b.len() == 2));
+    }
+
+    #[test]
+    fn clique_and_cycle_predicates() {
+        let k4 = clique(4);
+        let verts: Vec<_> = (0..4).collect();
+        assert!(is_clique(&k4, &verts));
+        assert!(!is_odd_cycle(&k4, &verts));
+        assert_eq!(classify_block(&k4, &verts), BlockKind::Clique);
+
+        let c5 = cycle(5);
+        let verts: Vec<_> = (0..5).collect();
+        assert!(!is_clique(&c5, &verts));
+        assert!(is_odd_cycle(&c5, &verts));
+        assert_eq!(classify_block(&c5, &verts), BlockKind::OddCycle);
+
+        let c4 = cycle(4);
+        let verts: Vec<_> = (0..4).collect();
+        assert_eq!(classify_block(&c4, &verts), BlockKind::Other);
+
+        // Triangles are both cliques and odd cycles; clique wins.
+        let c3 = cycle(3);
+        assert_eq!(classify_block(&c3, &[0, 1, 2]), BlockKind::Clique);
+    }
+
+    #[test]
+    fn gallai_tree_examples() {
+        // Figure-1 style: clique + odd cycles glued at cut vertices.
+        // Triangle 0-1-2, C5 2-3-4-5-6, pendant edge 6-7.
+        let g = Graph::from_edges(
+            8,
+            [
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 2),
+                (6, 7),
+            ],
+        );
+        assert!(is_gallai_tree(&g, None));
+
+        // Adding a chord into the C5 makes a non-Gallai block.
+        let mut edges: Vec<_> = g.edges().collect();
+        edges.push((3, 6));
+        let g2 = Graph::from_edges(8, edges);
+        assert!(!is_gallai_tree(&g2, None));
+    }
+
+    #[test]
+    fn trees_are_gallai_trees() {
+        let t = Graph::from_edges(5, [(0, 1), (0, 2), (2, 3), (2, 4)]);
+        assert!(is_gallai_tree(&t, None));
+    }
+
+    #[test]
+    fn even_cycle_is_not_gallai() {
+        assert!(!is_gallai_tree(&cycle(6), None));
+        assert!(is_gallai_tree(&cycle(7), None));
+    }
+
+    #[test]
+    fn disconnected_not_gallai_tree_but_forest() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]);
+        assert!(!is_gallai_tree(&g, None));
+        assert!(is_gallai_forest(&g, None));
+    }
+
+    #[test]
+    fn find_non_gallai() {
+        let c4 = cycle(4);
+        let d = block_decomposition(&c4, None);
+        assert_eq!(find_non_gallai_block(&c4, &d), Some(0));
+        let c5 = cycle(5);
+        let d = block_decomposition(&c5, None);
+        assert_eq!(find_non_gallai_block(&c5, &d), None);
+    }
+
+    #[test]
+    fn theta_graph_single_block() {
+        // Two vertices joined by three paths of lengths 2,2,3.
+        // 0-1-5, 0-2-5, 0-3-4-5
+        let g = Graph::from_edges(6, [(0, 1), (1, 5), (0, 2), (2, 5), (0, 3), (3, 4), (4, 5)]);
+        let d = block_decomposition(&g, None);
+        assert_eq!(d.blocks.len(), 1);
+        assert_eq!(d.blocks[0].len(), 6);
+        assert!(d.cut_vertices.is_empty());
+        assert_eq!(classify_block(&g, &d.blocks[0]), BlockKind::Other);
+    }
+
+    #[test]
+    fn blocks_cover_all_edges() {
+        // Random-ish small graph: every edge must lie in exactly one block.
+        let g = Graph::from_edges(
+            9,
+            [
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 3),
+                (5, 6),
+                (7, 8),
+            ],
+        );
+        let d = block_decomposition(&g, None);
+        let mut edge_in_blocks = 0usize;
+        for b in &d.blocks {
+            for (i, &u) in b.iter().enumerate() {
+                for &v in &b[i + 1..] {
+                    if g.has_edge(u, v) {
+                        edge_in_blocks += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(edge_in_blocks, g.m());
+    }
+}

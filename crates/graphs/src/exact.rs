@@ -1,0 +1,270 @@
+//! Exact (exponential-time) coloring solvers for *small* graphs.
+//!
+//! These are verification oracles, not part of the distributed algorithm:
+//! they certify the chromatic numbers of the lower-bound constructions
+//! (Klein-bottle grids are 4-chromatic, Fisk triangulations 5-chromatic) and
+//! cross-check list-colorability in tests. Branch-and-bound with
+//! most-constrained-vertex ordering; practical up to a few dozen vertices
+//! (more when the bound is tight).
+
+use crate::graph::{Graph, VertexId};
+
+/// Attempts to properly color `g` with colors `0..k`.
+///
+/// Returns a coloring or `None` if no proper `k`-coloring exists.
+/// Exponential worst case; intended for small verification instances.
+///
+/// # Examples
+///
+/// ```
+/// use graphs::{Graph, k_coloring};
+/// let c5 = Graph::from_edges(5, (0..5).map(|i| (i, (i + 1) % 5)));
+/// assert!(k_coloring(&c5, 2).is_none());
+/// assert!(k_coloring(&c5, 3).is_some());
+/// ```
+pub fn k_coloring(g: &Graph, k: usize) -> Option<Vec<usize>> {
+    let lists: Vec<Vec<usize>> = (0..g.n()).map(|_| (0..k).collect()).collect();
+    list_coloring(g, &lists)
+}
+
+/// The chromatic number, computed by increasing `k` from a clique-based
+/// lower bound.
+///
+/// # Examples
+///
+/// ```
+/// use graphs::{Graph, chromatic_number};
+/// let k4 = Graph::from_edges(4, [(0,1),(0,2),(0,3),(1,2),(1,3),(2,3)]);
+/// assert_eq!(chromatic_number(&k4), 4);
+/// ```
+pub fn chromatic_number(g: &Graph) -> usize {
+    if g.n() == 0 {
+        return 0;
+    }
+    if g.m() == 0 {
+        return 1;
+    }
+    // Upper bound from greedy on degeneracy order; lower bound from a greedy
+    // clique.
+    let greedy = crate::degeneracy::greedy_degeneracy_coloring(g, None);
+    let ub = greedy.iter().filter(|&&c| c != usize::MAX).max().unwrap() + 1;
+    let lb = greedy_clique_size(g).max(2);
+    for k in lb..ub {
+        if k_coloring(g, k).is_some() {
+            return k;
+        }
+    }
+    ub
+}
+
+/// A greedy lower bound: size of a maximal clique grown from the
+/// max-degree vertex.
+fn greedy_clique_size(g: &Graph) -> usize {
+    let Some(start) = g.vertices().max_by_key(|&v| g.degree(v)) else {
+        return 0;
+    };
+    let mut clique = vec![start];
+    // Repeatedly add the candidate adjacent to everything in the clique,
+    // preferring high degree.
+    let mut candidates: Vec<VertexId> = g.neighbors(start).to_vec();
+    candidates.sort_unstable_by_key(|&v| std::cmp::Reverse(g.degree(v)));
+    for v in candidates {
+        if clique.iter().all(|&u| g.has_edge(u, v)) {
+            clique.push(v);
+        }
+    }
+    clique.len()
+}
+
+/// Finds a proper coloring where each vertex `v` takes a color from
+/// `lists[v]`, or returns `None` if none exists.
+///
+/// Backtracking on the most-constrained vertex (fewest remaining colors)
+/// with forward checking. Colors are arbitrary `usize` labels.
+///
+/// # Panics
+///
+/// Panics if `lists.len() != g.n()`.
+pub fn list_coloring(g: &Graph, lists: &[Vec<usize>]) -> Option<Vec<usize>> {
+    assert_eq!(lists.len(), g.n(), "one list per vertex required");
+    let n = g.n();
+    let mut avail: Vec<Vec<usize>> = lists
+        .iter()
+        .map(|l| {
+            let mut l = l.clone();
+            l.sort_unstable();
+            l.dedup();
+            l
+        })
+        .collect();
+    let mut color: Vec<Option<usize>> = vec![None; n];
+    if solve(g, &mut avail, &mut color) {
+        Some(color.into_iter().map(|c| c.expect("complete coloring")).collect())
+    } else {
+        None
+    }
+}
+
+fn solve(g: &Graph, avail: &mut [Vec<usize>], color: &mut [Option<usize>]) -> bool {
+    // Most-constrained uncolored vertex.
+    let Some(v) = (0..g.n())
+        .filter(|&v| color[v].is_none())
+        .min_by_key(|&v| avail[v].len())
+    else {
+        return true;
+    };
+    if avail[v].is_empty() {
+        return false;
+    }
+    let choices = avail[v].clone();
+    for c in choices {
+        color[v] = Some(c);
+        // Forward-check: remove c from uncolored neighbors, remembering who
+        // actually lost it.
+        let mut pruned: Vec<VertexId> = Vec::new();
+        let mut dead_end = false;
+        for &w in g.neighbors(v) {
+            if color[w].is_none() {
+                if let Ok(pos) = avail[w].binary_search(&c) {
+                    avail[w].remove(pos);
+                    pruned.push(w);
+                    if avail[w].is_empty() {
+                        dead_end = true;
+                    }
+                }
+            }
+        }
+        if !dead_end && solve(g, avail, color) {
+            return true;
+        }
+        for &w in &pruned {
+            let pos = avail[w].binary_search(&c).unwrap_err();
+            avail[w].insert(pos, c);
+        }
+        color[v] = None;
+    }
+    false
+}
+
+/// Whether `coloring` is a proper coloring of `g` (adjacent vertices always
+/// differ).
+pub fn is_proper(g: &Graph, coloring: &[usize]) -> bool {
+    coloring.len() == g.n() && g.edges().all(|(u, v)| coloring[u] != coloring[v])
+}
+
+/// Whether `coloring` is proper *and* respects `lists`.
+pub fn is_proper_list_coloring(g: &Graph, coloring: &[usize], lists: &[Vec<usize>]) -> bool {
+    is_proper(g, coloring)
+        && coloring
+            .iter()
+            .zip(lists)
+            .all(|(c, l)| l.contains(c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n)))
+    }
+
+    fn clique(n: usize) -> Graph {
+        let mut e = Vec::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                e.push((i, j));
+            }
+        }
+        Graph::from_edges(n, e)
+    }
+
+    #[test]
+    fn chromatic_numbers_of_basics() {
+        assert_eq!(chromatic_number(&Graph::empty(3)), 1);
+        assert_eq!(chromatic_number(&cycle(4)), 2);
+        assert_eq!(chromatic_number(&cycle(5)), 3);
+        assert_eq!(chromatic_number(&clique(6)), 6);
+        let petersen = {
+            let mut e = Vec::new();
+            for i in 0..5 {
+                e.push((i, (i + 1) % 5));
+                e.push((5 + i, 5 + (i + 2) % 5));
+                e.push((i, 5 + i));
+            }
+            Graph::from_edges(10, e)
+        };
+        assert_eq!(chromatic_number(&petersen), 3);
+    }
+
+    #[test]
+    fn coloring_is_proper_when_found() {
+        let g = cycle(7);
+        let col = k_coloring(&g, 3).unwrap();
+        assert!(is_proper(&g, &col));
+        assert!(col.iter().all(|&c| c < 3));
+    }
+
+    #[test]
+    fn even_cycle_two_lists_always_colorable() {
+        // Even cycles are 2-choosable (used implicitly in Theorem 1.1).
+        let g = cycle(6);
+        let lists = vec![
+            vec![0, 1],
+            vec![1, 2],
+            vec![2, 3],
+            vec![3, 4],
+            vec![4, 5],
+            vec![5, 0],
+        ];
+        let col = list_coloring(&g, &lists).unwrap();
+        assert!(is_proper_list_coloring(&g, &col, &lists));
+    }
+
+    #[test]
+    fn odd_cycle_same_two_lists_infeasible() {
+        let g = cycle(5);
+        let lists = vec![vec![7, 9]; 5];
+        assert!(list_coloring(&g, &lists).is_none());
+    }
+
+    #[test]
+    fn k4_with_three_lists_infeasible() {
+        let g = clique(4);
+        let lists = vec![vec![0, 1, 2]; 4];
+        assert!(list_coloring(&g, &lists).is_none());
+        let lists2 = vec![vec![0, 1, 2], vec![0, 1, 2], vec![0, 1, 2], vec![3]];
+        let col = list_coloring(&g, &lists2).unwrap();
+        assert_eq!(col[3], 3);
+    }
+
+    #[test]
+    fn lists_with_arbitrary_labels() {
+        let g = Graph::from_edges(2, [(0, 1)]);
+        let lists = vec![vec![100], vec![100, 200]];
+        let col = list_coloring(&g, &lists).unwrap();
+        assert_eq!(col, vec![100, 200]);
+    }
+
+    #[test]
+    fn empty_list_immediately_fails() {
+        let g = Graph::from_edges(2, [(0, 1)]);
+        let lists = vec![vec![], vec![1]];
+        assert!(list_coloring(&g, &lists).is_none());
+    }
+
+    #[test]
+    fn grotzsch_graph_is_4_chromatic() {
+        // Mycielskian of C5: triangle-free with chi = 4.
+        // Vertices 0..5 = C5, 5..10 = twins, 10 = apex.
+        let mut e: Vec<(usize, usize)> = (0..5).map(|i| (i, (i + 1) % 5)).collect();
+        for i in 0..5 {
+            e.push((5 + i, (i + 1) % 5));
+            e.push((5 + i, (i + 4) % 5));
+            e.push((5 + i, 10));
+        }
+        let g = Graph::from_edges(11, e);
+        assert!(crate::girth::is_triangle_free(&g, None));
+        assert_eq!(chromatic_number(&g), 4);
+    }
+}

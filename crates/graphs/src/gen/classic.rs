@@ -1,0 +1,175 @@
+//! Classic parametric graph families.
+
+use crate::graph::{Graph, GraphBuilder};
+
+/// The path `P_n` on `n` vertices (`n − 1` edges).
+pub fn path(n: usize) -> Graph {
+    Graph::from_edges(n, (1..n).map(|i| (i - 1, i)))
+}
+
+/// The cycle `C_n`.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycles need at least 3 vertices");
+    Graph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n)))
+}
+
+/// The complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        for j in i + 1..n {
+            b.add_edge(i, j);
+        }
+    }
+    b.build()
+}
+
+/// The complete bipartite graph `K_{a,b}` (left part `0..a`, right part
+/// `a..a+b`).
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut builder = GraphBuilder::new(a + b);
+    for i in 0..a {
+        for j in 0..b {
+            builder.add_edge(i, a + j);
+        }
+    }
+    builder.build()
+}
+
+/// The star `K_{1,n}` with center 0.
+pub fn star(leaves: usize) -> Graph {
+    Graph::from_edges(leaves + 1, (1..=leaves).map(|i| (0, i)))
+}
+
+/// The Petersen graph (3-regular, girth 5, χ = 3).
+pub fn petersen() -> Graph {
+    let mut e = Vec::new();
+    for i in 0..5 {
+        e.push((i, (i + 1) % 5));
+        e.push((5 + i, 5 + (i + 2) % 5));
+        e.push((i, 5 + i));
+    }
+    Graph::from_edges(10, e)
+}
+
+/// A complete binary tree with `depth` levels of edges (`2^(depth+1) − 1`
+/// vertices), rooted at 0.
+pub fn binary_tree(depth: u32) -> Graph {
+    let n = (1usize << (depth + 1)) - 1;
+    Graph::from_edges(n, (1..n).map(|i| ((i - 1) / 2, i)))
+}
+
+/// The `k`-th Mycielskian iterate starting from `K_2`: triangle-free with
+/// chromatic number `k + 2`. `mycielski(2)` is the Grötzsch graph (χ = 4).
+pub fn mycielski(k: usize) -> Graph {
+    let mut g = complete(2);
+    for _ in 0..k {
+        let n = g.n();
+        let mut b = GraphBuilder::new(2 * n + 1);
+        for (u, v) in g.edges() {
+            b.add_edge(u, v);
+            b.add_edge(n + u, v);
+            b.add_edge(u, n + v);
+        }
+        for u in 0..n {
+            b.add_edge(n + u, 2 * n);
+        }
+        g = b.build();
+    }
+    g
+}
+
+/// A "caterpillar": a path of length `spine` with `legs` pendant vertices
+/// attached to each spine vertex. A tree (arboricity 1, Gallai tree).
+pub fn caterpillar(spine: usize, legs: usize) -> Graph {
+    let n = spine + spine * legs;
+    let mut b = GraphBuilder::new(n);
+    for i in 1..spine {
+        b.add_edge(i - 1, i);
+    }
+    for i in 0..spine {
+        for l in 0..legs {
+            b.add_edge(i, spine + i * legs + l);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocks::is_gallai_tree;
+    use crate::girth::girth;
+    use crate::traversal::is_connected;
+
+    #[test]
+    fn path_and_cycle_counts() {
+        assert_eq!(path(5).m(), 4);
+        assert_eq!(cycle(5).m(), 5);
+        assert!(is_connected(&path(9), None));
+    }
+
+    #[test]
+    fn complete_graph_edges() {
+        assert_eq!(complete(6).m(), 15);
+        assert!(complete(4).is_regular(3));
+    }
+
+    #[test]
+    fn bipartite_structure() {
+        let g = complete_bipartite(3, 4);
+        assert_eq!(g.m(), 12);
+        assert!(crate::traversal::bipartition(&g, None).is_some());
+    }
+
+    #[test]
+    fn petersen_properties() {
+        let p = petersen();
+        assert!(p.is_regular(3));
+        assert_eq!(girth(&p, None), Some(5));
+    }
+
+    #[test]
+    fn binary_tree_is_tree() {
+        let t = binary_tree(4);
+        assert_eq!(t.n(), 31);
+        assert_eq!(t.m(), 30);
+        assert!(is_connected(&t, None));
+        assert_eq!(girth(&t, None), None);
+        assert!(is_gallai_tree(&t, None));
+    }
+
+    #[test]
+    fn mycielski_grotzsch() {
+        let g = mycielski(2);
+        assert_eq!(g.n(), 11);
+        assert!(crate::girth::is_triangle_free(&g, None));
+        assert_eq!(crate::exact::chromatic_number(&g), 4);
+    }
+
+    #[test]
+    fn caterpillar_is_gallai_tree() {
+        let c = caterpillar(5, 3);
+        assert_eq!(c.n(), 20);
+        assert_eq!(c.m(), 19);
+        assert!(is_gallai_tree(&c, None));
+    }
+
+    #[test]
+    fn star_degrees() {
+        let s = star(7);
+        assert_eq!(s.degree(0), 7);
+        assert_eq!(s.max_degree(), 7);
+        assert_eq!(s.m(), 7);
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiny_cycle_panics() {
+        cycle(2);
+    }
+}

@@ -1,0 +1,186 @@
+//! Random Gallai trees (Figure 1) and near-Gallai perturbations.
+//!
+//! Gallai trees are the *hard* instances of degree-list-coloring: they are
+//! exactly the connected graphs that are not degree-choosable
+//! (Theorem 1.1), and the paper's "sad" vertices are those whose rich ball
+//! is a Gallai tree of d-regular vertices. These generators build Gallai
+//! trees block by block, and optionally break them with a single chord —
+//! the minimal perturbation that makes Theorem 1.1 applicable.
+
+use crate::graph::{Graph, GraphBuilder, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`random_gallai_tree`].
+#[derive(Clone, Debug)]
+pub struct GallaiTreeConfig {
+    /// Number of blocks to attach.
+    pub blocks: usize,
+    /// Maximum clique-block size (≥ 2); cliques of size 2 are edges.
+    pub max_clique: usize,
+    /// Maximum odd-cycle-block length (≥ 5 to be distinct from triangles).
+    pub max_odd_cycle: usize,
+}
+
+impl Default for GallaiTreeConfig {
+    fn default() -> Self {
+        GallaiTreeConfig {
+            blocks: 8,
+            max_clique: 5,
+            max_odd_cycle: 9,
+        }
+    }
+}
+
+/// Builds a random Gallai tree: starts from one block, then repeatedly
+/// glues a new block (clique or odd cycle) onto a uniformly random existing
+/// vertex (which becomes a cut vertex).
+///
+/// # Examples
+///
+/// ```
+/// use graphs::gen::{random_gallai_tree, GallaiTreeConfig};
+/// let g = random_gallai_tree(&GallaiTreeConfig::default(), 42);
+/// assert!(graphs::is_gallai_tree(&g, None));
+/// ```
+pub fn random_gallai_tree(config: &GallaiTreeConfig, seed: u64) -> Graph {
+    assert!(config.blocks >= 1);
+    assert!(config.max_clique >= 2);
+    assert!(config.max_odd_cycle >= 5 && config.max_odd_cycle % 2 == 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(0);
+    let mut attach_points: Vec<VertexId> = Vec::new();
+    for i in 0..config.blocks {
+        let anchor = if i == 0 {
+            None
+        } else {
+            Some(attach_points[rng.gen_range(0..attach_points.len())])
+        };
+        let new_vertices = if rng.gen_bool(0.5) {
+            let size = rng.gen_range(2..=config.max_clique);
+            add_clique_block(&mut b, anchor, size)
+        } else {
+            let len = {
+                let choices: Vec<usize> = (5..=config.max_odd_cycle).step_by(2).collect();
+                choices[rng.gen_range(0..choices.len())]
+            };
+            add_cycle_block(&mut b, anchor, len)
+        };
+        attach_points.extend(new_vertices);
+    }
+    b.build()
+}
+
+/// Adds a clique block of `size` vertices; `anchor` (if any) is one of them.
+/// Returns the newly created vertex ids.
+fn add_clique_block(b: &mut GraphBuilder, anchor: Option<VertexId>, size: usize) -> Vec<VertexId> {
+    let fresh = if anchor.is_some() { size - 1 } else { size };
+    let new: Vec<VertexId> = (0..fresh).map(|_| b.add_vertex()).collect();
+    let mut all = new.clone();
+    if let Some(a) = anchor {
+        all.push(a);
+    }
+    for i in 0..all.len() {
+        for j in i + 1..all.len() {
+            b.add_edge(all[i], all[j]);
+        }
+    }
+    new
+}
+
+/// Adds an odd-cycle block of length `len`; `anchor` (if any) is one of its
+/// vertices. Returns the newly created vertex ids.
+fn add_cycle_block(b: &mut GraphBuilder, anchor: Option<VertexId>, len: usize) -> Vec<VertexId> {
+    let fresh = if anchor.is_some() { len - 1 } else { len };
+    let new: Vec<VertexId> = (0..fresh).map(|_| b.add_vertex()).collect();
+    let mut all = new.clone();
+    if let Some(a) = anchor {
+        all.push(a);
+    }
+    for i in 0..all.len() {
+        b.add_edge(all[i], all[(i + 1) % all.len()]);
+    }
+    new
+}
+
+/// Takes a Gallai tree and adds one chord across a cycle block of length
+/// ≥ 5 (if any), producing a graph that is *not* a Gallai tree. Returns
+/// `None` when no such block exists (e.g. all blocks are cliques).
+pub fn break_gallai_tree(g: &Graph, seed: u64) -> Option<Graph> {
+    let decomposition = crate::blocks::block_decomposition(g, None);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let candidates: Vec<&Vec<VertexId>> = decomposition
+        .blocks
+        .iter()
+        .filter(|blk| blk.len() >= 5 && crate::blocks::is_odd_cycle(g, blk))
+        .collect();
+    if candidates.is_empty() {
+        return None;
+    }
+    let blk = candidates[rng.gen_range(0..candidates.len())];
+    // Add a chord between two non-adjacent block vertices.
+    for (i, &u) in blk.iter().enumerate() {
+        for &v in &blk[i + 1..] {
+            if !g.has_edge(u, v) {
+                let mut b = GraphBuilder::new(g.n());
+                for e in g.edges() {
+                    b.add_edge(e.0, e.1);
+                }
+                b.add_edge(u, v);
+                return Some(b.build());
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocks::is_gallai_tree;
+
+    #[test]
+    fn generated_graphs_are_gallai_trees() {
+        for seed in 0..10 {
+            let g = random_gallai_tree(&GallaiTreeConfig::default(), seed);
+            assert!(is_gallai_tree(&g, None), "seed {seed}");
+            assert!(crate::traversal::is_connected(&g, None));
+        }
+    }
+
+    #[test]
+    fn single_block_configs() {
+        let cfg = GallaiTreeConfig {
+            blocks: 1,
+            max_clique: 4,
+            max_odd_cycle: 7,
+        };
+        let g = random_gallai_tree(&cfg, 3);
+        assert!(is_gallai_tree(&g, None));
+        let d = crate::blocks::block_decomposition(&g, None);
+        assert_eq!(d.blocks.len(), 1);
+    }
+
+    #[test]
+    fn breaking_destroys_gallai_property() {
+        // Force cycle blocks by disallowing clique randomness effects: try
+        // seeds until a breakable tree appears (cycles of length ≥ 5 get a
+        // chord).
+        let mut broke = false;
+        for seed in 0..20 {
+            let g = random_gallai_tree(&GallaiTreeConfig::default(), seed);
+            if let Some(g2) = break_gallai_tree(&g, seed) {
+                assert!(!is_gallai_tree(&g2, None), "chord must break Gallai-ness");
+                assert_eq!(g2.m(), g.m() + 1);
+                broke = true;
+            }
+        }
+        assert!(broke, "no breakable Gallai tree found in 20 seeds");
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let cfg = GallaiTreeConfig::default();
+        assert_eq!(random_gallai_tree(&cfg, 5), random_gallai_tree(&cfg, 5));
+    }
+}

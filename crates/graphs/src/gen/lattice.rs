@@ -1,0 +1,236 @@
+//! Lattice graphs on the plane, torus and Klein bottle.
+//!
+//! The planar lattices (grid, hexagonal, triangular) are the paper's
+//! canonical planar workloads: the square grid is bipartite (χ = 2), the
+//! hexagonal lattice has girth 6 (so mad < 3 by Proposition 2.2), and the
+//! triangular lattice is a planar triangulation (mad < 6). The toroidal and
+//! Klein-bottle quadrangulations feed the lower-bound experiments
+//! (Theorems 2.5 and 2.6 use Klein-bottle grids `G_{k,l}`).
+
+use crate::graph::{Graph, GraphBuilder, VertexId};
+
+/// Index helper for `rows × cols` lattices (row-major).
+#[inline]
+pub fn grid_index(cols: usize, r: usize, c: usize) -> VertexId {
+    r * cols + c
+}
+
+/// The planar rectangular grid with `rows × cols` vertices.
+///
+/// Bipartite, planar, maximum degree 4.
+///
+/// # Examples
+///
+/// ```
+/// use graphs::gen::grid;
+/// let g = grid(3, 4);
+/// assert_eq!(g.n(), 12);
+/// assert_eq!(g.m(), 17);
+/// ```
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(grid_index(cols, r, c), grid_index(cols, r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(grid_index(cols, r, c), grid_index(cols, r + 1, c));
+            }
+        }
+    }
+    b.build()
+}
+
+/// The toroidal grid: both row and column directions wrap.
+///
+/// 4-regular quadrangulation of the torus (Euler genus 2); bipartite iff
+/// both `rows` and `cols` are even.
+///
+/// # Panics
+///
+/// Panics if `rows < 3` or `cols < 3` (wrapping would create multi-edges).
+pub fn torus_grid(rows: usize, cols: usize) -> Graph {
+    assert!(rows >= 3 && cols >= 3, "torus grid needs both sides ≥ 3");
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            b.add_edge(grid_index(cols, r, c), grid_index(cols, r, (c + 1) % cols));
+            b.add_edge(grid_index(cols, r, c), grid_index(cols, (r + 1) % rows, c));
+        }
+    }
+    b.build()
+}
+
+/// The `k × l` grid on the **Klein bottle**, the paper's `G_{k,l}`
+/// (Figure 2, left): vertical cycles of length `k`, horizontal cycles of
+/// length `l`; the horizontal wrap identifies the vertical boundary with a
+/// flip (orientation-reversing).
+///
+/// Gallai [14] proved `G_{2k+1,2l+1}` is 4-chromatic; its balls of radius
+/// `< k` look like planar-grid balls, which powers Theorem 2.6.
+///
+/// Coordinates: vertex `(r, c)` with `r ∈ 0..k` (vertical position) and
+/// `c ∈ 0..l` (horizontal). Horizontal wrap from `c = l−1` to `c = 0`
+/// reverses the vertical coordinate: `(r, l−1) ~ (k−1−r, 0)`.
+///
+/// # Panics
+///
+/// Panics if `k < 3` or `l < 3`.
+pub fn klein_grid(k: usize, l: usize) -> Graph {
+    assert!(k >= 3 && l >= 3, "Klein-bottle grid needs both sides ≥ 3");
+    let idx = |r: usize, c: usize| grid_index(l, r, c);
+    let mut b = GraphBuilder::new(k * l);
+    for r in 0..k {
+        for c in 0..l {
+            // Vertical cycle (length k), plain wrap.
+            b.add_edge(idx(r, c), idx((r + 1) % k, c));
+            // Horizontal: plain edge inside, flipped identification at the
+            // seam.
+            if c + 1 < l {
+                b.add_edge(idx(r, c), idx(r, c + 1));
+            } else {
+                b.add_edge(idx(r, l - 1), idx(k - 1 - r, 0));
+            }
+        }
+    }
+    b.build()
+}
+
+/// The hexagonal (honeycomb) lattice with `rows × cols` hexagons, built as a
+/// "brick wall": planar, maximum degree 3, girth 6 (so `mad < 3` by
+/// Proposition 2.2 — the workload for 3-list-coloring in Corollary 2.3(3)).
+pub fn hexagonal(rows: usize, cols: usize) -> Graph {
+    // Brick-wall drawing: grid graph rows (2·rows + 2) × (2·cols + 2) keeps
+    // only alternating vertical rungs.
+    let height = 2 * rows + 2;
+    let width = 2 * cols + 2;
+    let mut b = GraphBuilder::new(height * width);
+    for r in 0..height {
+        for c in 0..width {
+            if c + 1 < width {
+                b.add_edge(grid_index(width, r, c), grid_index(width, r, c + 1));
+            }
+            // Vertical rungs on alternating parity per row: (r + c) even.
+            if r + 1 < height && (r + c) % 2 == 0 {
+                b.add_edge(grid_index(width, r, c), grid_index(width, r + 1, c));
+            }
+        }
+    }
+    b.build()
+}
+
+/// The triangular lattice on `rows × cols` vertices: the grid plus one
+/// diagonal per cell. Planar triangulation-like, max degree 6, mad < 6.
+pub fn triangular(rows: usize, cols: usize) -> Graph {
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(grid_index(cols, r, c), grid_index(cols, r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(grid_index(cols, r, c), grid_index(cols, r + 1, c));
+                if c + 1 < cols {
+                    b.add_edge(grid_index(cols, r, c + 1), grid_index(cols, r + 1, c));
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::chromatic_number;
+    use crate::girth::{girth, is_triangle_free};
+    use crate::traversal::{bipartition, is_connected};
+
+    #[test]
+    fn grid_is_bipartite_planar_workload() {
+        let g = grid(4, 5);
+        assert!(is_connected(&g, None));
+        assert!(bipartition(&g, None).is_some());
+        assert_eq!(girth(&g, None), Some(4));
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn torus_grid_regular() {
+        let g = torus_grid(4, 6);
+        assert!(g.is_regular(4));
+        assert_eq!(g.m(), 2 * g.n());
+        assert!(bipartition(&g, None).is_some()); // both even
+        let g2 = torus_grid(5, 6);
+        assert!(bipartition(&g2, None).is_none()); // odd vertical cycles
+    }
+
+    #[test]
+    fn klein_grid_structure() {
+        let g = klein_grid(5, 7);
+        assert!(g.is_regular(4), "Klein-bottle grid must be 4-regular");
+        assert_eq!(g.n(), 35);
+        assert_eq!(g.m(), 70);
+        assert!(is_connected(&g, None));
+        assert!(is_triangle_free(&g, None));
+    }
+
+    #[test]
+    fn odd_klein_grid_is_4_chromatic() {
+        // Gallai's theorem: G_{2k+1, 2l+1} has chi = 4. Verify the smallest
+        // instances exactly.
+        for (k, l) in [(3, 3), (3, 5), (5, 5)] {
+            let g = klein_grid(k, l);
+            assert_eq!(chromatic_number(&g), 4, "G_{{{k},{l}}}");
+        }
+    }
+
+    #[test]
+    fn even_klein_grid_not_4_chromatic() {
+        // With an even side the quadrangulation admits a proper 2- or
+        // 3-coloring (it is bipartite when vertical cycles are even and the
+        // seam parity cooperates) — in any case chi <= 3 < 4.
+        let g = klein_grid(4, 4);
+        assert!(chromatic_number(&g) <= 3);
+    }
+
+    #[test]
+    fn hexagonal_girth_6() {
+        let g = hexagonal(3, 3);
+        assert_eq!(girth(&g, None), Some(6));
+        assert!(g.max_degree() <= 3);
+        assert!(crate::density::mad_at_most(&g, 3.0));
+    }
+
+    #[test]
+    fn triangular_lattice_triangles() {
+        let g = triangular(4, 4);
+        assert_eq!(girth(&g, None), Some(3));
+        assert!(g.max_degree() <= 6);
+        assert!(crate::density::mad_at_most(&g, 6.0));
+        assert_eq!(chromatic_number(&g), 3);
+    }
+
+    #[test]
+    fn klein_balls_match_planar_grid_balls() {
+        // Observation 2.4 mechanics: radius-1 balls in G_{7,7} match balls
+        // of the 7x7 planar grid around its center.
+        use crate::subgraph::InducedSubgraph;
+        use crate::traversal::ball;
+        let kg = klein_grid(7, 7);
+        let pg = grid(7, 7);
+        let center_pg = grid_index(7, 3, 3);
+        let center_kg = grid_index(7, 3, 3);
+        let bk = InducedSubgraph::new(&kg, ball(&kg, center_kg, 1, None));
+        let bp = InducedSubgraph::new(&pg, ball(&pg, center_pg, 1, None));
+        let rk = bk.from_parent(center_kg).unwrap();
+        let rp = bp.from_parent(center_pg).unwrap();
+        assert!(crate::iso::are_rooted_isomorphic(
+            bk.graph(),
+            rk,
+            bp.graph(),
+            rp
+        ));
+    }
+}

@@ -1,0 +1,26 @@
+//! Graph generators: every workload family used by the experiments.
+//!
+//! * [`classic`] — paths, cycles, cliques, bipartite, Mycielski, trees.
+//! * [`lattice`] — planar/toroidal/Klein-bottle grids, hex and triangular
+//!   lattices.
+//! * [`random`] — random trees, forest unions (certified arboricity),
+//!   d-regular, bounded-degree, G(n,m).
+//! * [`planar`] — planar-by-construction triangulations and derivatives.
+//! * [`gallai`] — random Gallai trees and minimal non-Gallai perturbations.
+
+pub mod classic;
+pub mod gallai;
+pub mod lattice;
+pub mod planar;
+pub mod random;
+
+pub use classic::{binary_tree, caterpillar, complete, complete_bipartite, cycle, mycielski, path, petersen, star};
+pub use gallai::{break_gallai_tree, random_gallai_tree, GallaiTreeConfig};
+pub use lattice::{grid, grid_index, hexagonal, klein_grid, torus_grid, triangular};
+pub use planar::{
+    apollonian, icosahedron, octahedron, perforated_grid, subdivide_all_edges,
+    subdivided_triangulation,
+};
+pub use random::{
+    forest_union, gnm, random_bipartite, random_bounded_degree, random_regular, random_tree,
+};

@@ -1,0 +1,211 @@
+//! Planar-by-construction graph families.
+//!
+//! We never need a planarity *test*: the paper's planar corollaries only use
+//! planarity through `mad` bounds (Proposition 2.2), which we verify exactly.
+//! These generators maintain an explicit triangular face list, so planarity
+//! is an invariant of the construction.
+
+use crate::graph::{Graph, GraphBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random planar triangulation grown by repeated face splits ("stacked"
+/// triangulation / Apollonian network when splits nest): start from a
+/// triangle, repeatedly insert a vertex into a uniformly random triangular
+/// face and join it to the face's corners.
+///
+/// Every output is a maximal planar graph minus the outer structure —
+/// 3-degenerate, `mad < 6`, contains `K_4`s.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+///
+/// # Examples
+///
+/// ```
+/// use graphs::gen::apollonian;
+/// let g = apollonian(50, 1);
+/// assert_eq!(g.m(), 3 * g.n() - 8 + 2); // 2n - 5 triangles split… just check mad
+/// assert!(graphs::mad_at_most(&g, 6.0));
+/// ```
+pub fn apollonian(n: usize, seed: u64) -> Graph {
+    assert!(n >= 3, "triangulations need at least 3 vertices");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    b.add_edge(0, 1);
+    b.add_edge(1, 2);
+    b.add_edge(2, 0);
+    let mut faces: Vec<[usize; 3]> = vec![[0, 1, 2]];
+    for v in 3..n {
+        let f = rng.gen_range(0..faces.len());
+        let [x, y, z] = faces.swap_remove(f);
+        b.add_edge(v, x);
+        b.add_edge(v, y);
+        b.add_edge(v, z);
+        faces.push([v, x, y]);
+        faces.push([v, y, z]);
+        faces.push([v, z, x]);
+    }
+    b.build()
+}
+
+/// A random triangle-free planar graph: a planar quadrangulation-like graph
+/// built by subdividing every edge of a random triangulation (subdividing
+/// all edges doubles girth, destroys all triangles, keeps planarity).
+///
+/// Returned graph has `n' = n + m` vertices where `(n, m)` are the
+/// triangulation's counts. Girth ≥ 6, `mad < 4` guaranteed via girth +
+/// planarity (Proposition 2.2 gives `mad < 3` for girth ≥ 6 planar graphs).
+pub fn subdivided_triangulation(base_n: usize, seed: u64) -> Graph {
+    let t = apollonian(base_n, seed);
+    subdivide_all_edges(&t)
+}
+
+/// Subdivides every edge of `g` once (inserting one new vertex per edge).
+/// Preserves planarity; doubles the girth; the result is bipartite.
+pub fn subdivide_all_edges(g: &Graph) -> Graph {
+    let n = g.n();
+    let mut b = GraphBuilder::new(n + g.m());
+    for (i, (u, v)) in g.edges().enumerate() {
+        let mid = n + i;
+        b.add_edge(u, mid);
+        b.add_edge(mid, v);
+    }
+    b.build()
+}
+
+/// A random *planar quadrangulation-like* bipartite planar graph: the grid
+/// with `holes` random vertices deleted (stays planar and triangle-free).
+pub fn perforated_grid(rows: usize, cols: usize, holes: usize, seed: u64) -> Graph {
+    let g = super::lattice::grid(rows, cols);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = g.n();
+    let mut alive = vec![true; n];
+    let mut removed = 0usize;
+    let mut attempts = 0usize;
+    while removed < holes.min(n / 2) && attempts < 20 * holes + 20 {
+        attempts += 1;
+        let v = rng.gen_range(0..n);
+        if alive[v] {
+            alive[v] = false;
+            removed += 1;
+        }
+    }
+    // Re-compact to dense ids.
+    let mut id = vec![usize::MAX; n];
+    let mut next = 0usize;
+    for v in 0..n {
+        if alive[v] {
+            id[v] = next;
+            next += 1;
+        }
+    }
+    let mut b = GraphBuilder::new(next);
+    for (u, v) in g.edges() {
+        if alive[u] && alive[v] {
+            b.add_edge(id[u], id[v]);
+        }
+    }
+    b.build()
+}
+
+/// The octahedron `K_{2,2,2}`: the smallest 4-regular planar triangulation.
+pub fn octahedron() -> Graph {
+    Graph::from_edges(
+        6,
+        [
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (0, 4),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 1),
+            (5, 1),
+            (5, 2),
+            (5, 3),
+            (5, 4),
+        ],
+    )
+}
+
+/// The icosahedron: the 5-regular planar triangulation (χ = 4).
+pub fn icosahedron() -> Graph {
+    Graph::from_edges(
+        12,
+        [
+            (0, 1), (0, 2), (0, 3), (0, 4), (0, 5),
+            (1, 2), (2, 3), (3, 4), (4, 5), (5, 1),
+            (1, 6), (1, 7), (2, 7), (2, 8), (3, 8),
+            (3, 9), (4, 9), (4, 10), (5, 10), (5, 6),
+            (6, 7), (7, 8), (8, 9), (9, 10), (10, 6),
+            (6, 11), (7, 11), (8, 11), (9, 11), (10, 11),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::density::{mad_at_most, mad_f64};
+    use crate::exact::chromatic_number;
+    use crate::girth::{girth, is_triangle_free};
+    use crate::traversal::is_connected;
+
+    #[test]
+    fn apollonian_counts() {
+        // Planar triangulation grown by face splits: m = 3 + 3(n-3) = 3n - 6.
+        let g = apollonian(30, 7);
+        assert_eq!(g.m(), 3 * 30 - 6);
+        assert!(is_connected(&g, None));
+        assert!(mad_at_most(&g, 6.0), "planar graphs have mad < 6");
+        assert!(!mad_at_most(&g, 4.4), "triangulations are dense");
+    }
+
+    #[test]
+    fn apollonian_is_4_colorable() {
+        // Stacked triangulations are 3-degenerate and even 4-chromatic
+        // (they contain K4).
+        let g = apollonian(20, 3);
+        assert_eq!(chromatic_number(&g), 4);
+    }
+
+    #[test]
+    fn subdivision_kills_triangles() {
+        let g = subdivided_triangulation(15, 5);
+        assert!(is_triangle_free(&g, None));
+        assert!(girth(&g, None).unwrap() >= 6);
+        assert!(mad_at_most(&g, 3.0), "girth ≥ 6 planar ⇒ mad < 3");
+        assert!(crate::traversal::bipartition(&g, None).is_some());
+    }
+
+    #[test]
+    fn subdivide_path_counts() {
+        let p = super::super::classic::path(4);
+        let s = subdivide_all_edges(&p);
+        assert_eq!(s.n(), 4 + 3);
+        assert_eq!(s.m(), 6);
+    }
+
+    #[test]
+    fn perforated_grid_stays_sparse() {
+        let g = perforated_grid(10, 10, 15, 2);
+        assert!(g.n() >= 85);
+        assert!(is_triangle_free(&g, None));
+        assert!(mad_at_most(&g, 4.0), "planar triangle-free ⇒ mad < 4");
+    }
+
+    #[test]
+    fn platonic_solids() {
+        let oct = octahedron();
+        assert!(oct.is_regular(4));
+        assert_eq!(chromatic_number(&oct), 3);
+        let ico = icosahedron();
+        assert!(ico.is_regular(5));
+        assert_eq!(ico.m(), 30);
+        assert_eq!(chromatic_number(&ico), 4);
+        assert!((mad_f64(&ico) - 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,265 @@
+//! Random graph families with controlled sparseness.
+//!
+//! The paper's guarantees are parameterized by `mad(G)` and arboricity, so
+//! the generators here give *certified* sparseness: a union of `a` random
+//! forests has arboricity ≤ `a` (hence `mad < 2a`), and the configuration
+//! model produces `d`-regular graphs (`mad = d`). All generators are
+//! deterministic given the `rand` seed.
+
+use crate::graph::{Graph, GraphBuilder, VertexId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A uniformly random labelled tree on `n` vertices (Prüfer sequence).
+pub fn random_tree(n: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    random_tree_with(&mut rng, n)
+}
+
+fn random_tree_with(rng: &mut StdRng, n: usize) -> Graph {
+    if n <= 1 {
+        return Graph::empty(n);
+    }
+    if n == 2 {
+        return Graph::from_edges(2, [(0, 1)]);
+    }
+    // Prüfer decoding.
+    let prufer: Vec<usize> = (0..n - 2).map(|_| rng.gen_range(0..n)).collect();
+    let mut degree = vec![1usize; n];
+    for &v in &prufer {
+        degree[v] += 1;
+    }
+    let mut edges = Vec::with_capacity(n - 1);
+    let mut leaf_heap: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
+        .filter(|&v| degree[v] == 1)
+        .map(std::cmp::Reverse)
+        .collect();
+    for &v in &prufer {
+        let std::cmp::Reverse(leaf) = leaf_heap.pop().expect("tree invariant");
+        edges.push((leaf, v));
+        degree[leaf] -= 1;
+        degree[v] -= 1;
+        if degree[v] == 1 {
+            leaf_heap.push(std::cmp::Reverse(v));
+        }
+    }
+    let std::cmp::Reverse(a) = leaf_heap.pop().expect("two leaves remain");
+    let std::cmp::Reverse(b) = leaf_heap.pop().expect("two leaves remain");
+    edges.push((a, b));
+    Graph::from_edges(n, edges)
+}
+
+/// The union of `a` independent random spanning trees on the same vertex
+/// set: arboricity ≤ `a` by construction (and usually exactly `a`), so
+/// `mad < 2a`. This is the canonical Corollary 1.4 workload.
+///
+/// # Examples
+///
+/// ```
+/// use graphs::gen::forest_union;
+/// let g = forest_union(50, 3, 42);
+/// assert!(graphs::arboricity(&g) <= 3);
+/// ```
+pub fn forest_union(n: usize, a: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for _ in 0..a {
+        let t = random_tree_with(&mut rng, n);
+        for (u, v) in t.edges() {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// Sparse Erdős–Rényi `G(n, m)`: exactly `m` distinct uniform edges
+/// (deduplicated; slightly fewer if collisions exhaust retries).
+pub fn gnm(n: usize, m: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    let max_edges = n * (n - 1) / 2;
+    let target = m.min(max_edges);
+    let mut chosen = std::collections::HashSet::new();
+    let mut attempts = 0usize;
+    while chosen.len() < target && attempts < 50 * target + 100 {
+        attempts += 1;
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v {
+            chosen.insert((u.min(v), u.max(v)));
+        }
+    }
+    for (u, v) in chosen {
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+/// A random `d`-regular simple graph via the configuration model with
+/// restarts. Requires `n·d` even and `d < n`.
+///
+/// # Panics
+///
+/// Panics if `n·d` is odd or `d >= n`.
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
+    assert!(n * d % 2 == 0, "n·d must be even");
+    assert!(d < n, "degree must be below n");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Configuration model + edge-switching repair: pair stubs uniformly,
+    // then repeatedly swap a defective pair (loop or duplicate) with a
+    // random pair until simple. Converges fast for d ≪ n.
+    let mut stubs: Vec<VertexId> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+    stubs.shuffle(&mut rng);
+    let mut pairs: Vec<(VertexId, VertexId)> = stubs.chunks(2).map(|c| (c[0], c[1])).collect();
+    for _sweep in 0..10_000 {
+        let mut seen = std::collections::HashSet::new();
+        let mut bad: Vec<usize> = Vec::new();
+        for (i, &(u, v)) in pairs.iter().enumerate() {
+            if u == v || !seen.insert((u.min(v), u.max(v))) {
+                bad.push(i);
+            }
+        }
+        if bad.is_empty() {
+            return Graph::from_edges(n, pairs);
+        }
+        for i in bad {
+            let j = rng.gen_range(0..pairs.len());
+            if i != j {
+                let (pi, pj) = (pairs[i], pairs[j]);
+                pairs[i] = (pi.0, pj.1);
+                pairs[j] = (pj.0, pi.1);
+            }
+        }
+    }
+    panic!("configuration model failed to produce a simple {d}-regular graph on {n} vertices");
+}
+
+/// A random bipartite graph with parts `a`, `b` and edge probability `p`.
+pub fn random_bipartite(a: usize, b: usize, p: f64, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new(a + b);
+    for i in 0..a {
+        for j in 0..b {
+            if rng.gen_bool(p) {
+                builder.add_edge(i, a + j);
+            }
+        }
+    }
+    builder.build()
+}
+
+/// A connected random graph with maximum degree ≤ `max_deg`: random tree
+/// plus random extra edges rejected when they would exceed the cap.
+pub fn random_bounded_degree(n: usize, max_deg: usize, extra_edges: usize, seed: u64) -> Graph {
+    assert!(max_deg >= 2, "need max degree ≥ 2 for a connected base tree");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Base: random tree with degree cap — build by attaching each new vertex
+    // to a uniformly random earlier vertex with remaining capacity.
+    let mut deg = vec![0usize; n];
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for v in 1..n {
+        let candidates: Vec<usize> = (0..v).filter(|&u| deg[u] < max_deg).collect();
+        let u = *candidates
+            .choose(&mut rng)
+            .expect("capacity always remains with max_deg >= 2");
+        edges.push((u, v));
+        deg[u] += 1;
+        deg[v] += 1;
+    }
+    let mut present: std::collections::HashSet<(usize, usize)> =
+        edges.iter().copied().map(|(u, v)| (u.min(v), u.max(v))).collect();
+    let mut added = 0usize;
+    let mut attempts = 0usize;
+    while added < extra_edges && attempts < 100 * extra_edges + 100 {
+        attempts += 1;
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v || deg[u] >= max_deg || deg[v] >= max_deg {
+            continue;
+        }
+        if present.insert((u.min(v), u.max(v))) {
+            edges.push((u, v));
+            deg[u] += 1;
+            deg[v] += 1;
+            added += 1;
+        }
+    }
+    Graph::from_edges(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::density::arboricity;
+    use crate::traversal::is_connected;
+
+    #[test]
+    fn random_tree_is_tree() {
+        for seed in 0..5 {
+            let t = random_tree(40, seed);
+            assert_eq!(t.m(), 39);
+            assert!(is_connected(&t, None));
+        }
+    }
+
+    #[test]
+    fn random_tree_tiny_cases() {
+        assert_eq!(random_tree(0, 1).n(), 0);
+        assert_eq!(random_tree(1, 1).m(), 0);
+        assert_eq!(random_tree(2, 1).m(), 1);
+        assert_eq!(random_tree(3, 1).m(), 2);
+    }
+
+    #[test]
+    fn forest_union_arboricity_bound() {
+        for a in 1..=4 {
+            let g = forest_union(60, a, 7 + a as u64);
+            assert!(arboricity(&g) <= a, "arboricity exceeded {a}");
+            assert!(crate::density::mad_at_most(&g, 2.0 * a as f64));
+        }
+    }
+
+    #[test]
+    fn regular_graph_degrees() {
+        let g = random_regular(30, 3, 11);
+        assert!(g.is_regular(3));
+        let g4 = random_regular(25, 4, 13);
+        assert!(g4.is_regular(4));
+    }
+
+    #[test]
+    #[should_panic]
+    fn odd_total_degree_panics() {
+        random_regular(5, 3, 1);
+    }
+
+    #[test]
+    fn gnm_edge_count() {
+        let g = gnm(50, 100, 3);
+        assert_eq!(g.m(), 100);
+        assert_eq!(g.n(), 50);
+    }
+
+    #[test]
+    fn bounded_degree_respects_cap() {
+        let g = random_bounded_degree(80, 5, 60, 17);
+        assert!(g.max_degree() <= 5);
+        assert!(is_connected(&g, None));
+    }
+
+    #[test]
+    fn bipartite_is_bipartite() {
+        let g = random_bipartite(20, 20, 0.1, 5);
+        assert!(crate::traversal::bipartition(&g, None).is_some());
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a = forest_union(40, 2, 99);
+        let b = forest_union(40, 2, 99);
+        assert_eq!(a, b);
+        let c = forest_union(40, 2, 100);
+        assert_ne!(a, c);
+    }
+}

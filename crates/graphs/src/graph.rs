@@ -1,0 +1,439 @@
+//! Core undirected simple-graph representation.
+//!
+//! [`Graph`] stores an immutable undirected simple graph in compressed
+//! adjacency form (CSR). Graphs are built either with [`GraphBuilder`] or
+//! from an edge list via [`Graph::from_edges`]. Vertices are dense indices
+//! `0..n` of type [`VertexId`]; in the LOCAL model these double as the unique
+//! identifiers the paper assumes ("an integer between 1 and n" — we use
+//! `0..n`, a harmless shift).
+
+use std::fmt;
+
+/// Index of a vertex. Dense, `0..n`.
+pub type VertexId = usize;
+
+/// An undirected edge as an ordered pair `(min, max)`.
+pub type Edge = (VertexId, VertexId);
+
+/// An immutable undirected simple graph in CSR form.
+///
+/// # Examples
+///
+/// ```
+/// use graphs::Graph;
+/// let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+/// assert_eq!(g.n(), 3);
+/// assert_eq!(g.m(), 2);
+/// assert_eq!(g.degree(1), 2);
+/// assert!(g.has_edge(0, 1));
+/// assert!(!g.has_edge(0, 2));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Graph {
+    /// CSR row offsets; `offsets.len() == n + 1`.
+    offsets: Vec<usize>,
+    /// Concatenated sorted adjacency lists; `adj.len() == 2 * m`.
+    adj: Vec<VertexId>,
+    /// Number of undirected edges.
+    m: usize,
+}
+
+impl Graph {
+    /// Creates a graph with `n` vertices and no edges.
+    pub fn empty(n: usize) -> Self {
+        Graph {
+            offsets: vec![0; n + 1],
+            adj: Vec::new(),
+            m: 0,
+        }
+    }
+
+    /// Builds a graph with `n` vertices from an iterator of edges.
+    ///
+    /// Self-loops and duplicate edges are ignored, so the result is always
+    /// simple. Edges may be given in either endpoint order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= n`.
+    pub fn from_edges<I>(n: usize, edges: I) -> Self
+    where
+        I: IntoIterator<Item = (VertexId, VertexId)>,
+    {
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Returns `true` if the graph has no vertices.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n() == 0
+    }
+
+    /// The sorted neighbors of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= self.n()`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.adj[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Whether the edge `{u, v}` is present. `O(log deg)`.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        if u >= self.n() || v >= self.n() {
+            return false;
+        }
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Iterator over all vertices `0..n`.
+    pub fn vertices(&self) -> std::ops::Range<VertexId> {
+        0..self.n()
+    }
+
+    /// Iterator over all undirected edges as `(min, max)` pairs, sorted.
+    pub fn edges(&self) -> Edges<'_> {
+        Edges {
+            g: self,
+            u: 0,
+            i: 0,
+        }
+    }
+
+    /// Maximum degree, or 0 for the empty graph.
+    pub fn max_degree(&self) -> usize {
+        self.vertices().map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Minimum degree, or 0 for the empty graph.
+    pub fn min_degree(&self) -> usize {
+        self.vertices().map(|v| self.degree(v)).min().unwrap_or(0)
+    }
+
+    /// Average degree `2m / n`, or 0 for the empty graph (paper §1.2).
+    pub fn average_degree(&self) -> f64 {
+        if self.n() == 0 {
+            0.0
+        } else {
+            2.0 * self.m() as f64 / self.n() as f64
+        }
+    }
+
+    /// Returns `true` if every vertex has degree exactly `k`.
+    pub fn is_regular(&self, k: usize) -> bool {
+        self.vertices().all(|v| self.degree(v) == k)
+    }
+
+    /// The complement graph (use only on small graphs: Θ(n²) edges).
+    pub fn complement(&self) -> Graph {
+        let n = self.n();
+        let mut b = GraphBuilder::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if !self.has_edge(u, v) {
+                    b.add_edge(u, v);
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Disjoint union of two graphs; vertices of `other` are shifted by
+    /// `self.n()`.
+    pub fn disjoint_union(&self, other: &Graph) -> Graph {
+        let shift = self.n();
+        let mut b = GraphBuilder::new(shift + other.n());
+        for (u, v) in self.edges() {
+            b.add_edge(u, v);
+        }
+        for (u, v) in other.edges() {
+            b.add_edge(u + shift, v + shift);
+        }
+        b.build()
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Graph(n={}, m={})", self.n(), self.m())
+    }
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Graph::empty(0)
+    }
+}
+
+/// Iterator over the edges of a [`Graph`], produced by [`Graph::edges`].
+pub struct Edges<'a> {
+    g: &'a Graph,
+    u: VertexId,
+    i: usize,
+}
+
+impl Iterator for Edges<'_> {
+    type Item = Edge;
+
+    fn next(&mut self) -> Option<Edge> {
+        let n = self.g.n();
+        while self.u < n {
+            let nbrs = self.g.neighbors(self.u);
+            while self.i < nbrs.len() {
+                let v = nbrs[self.i];
+                self.i += 1;
+                if v > self.u {
+                    return Some((self.u, v));
+                }
+            }
+            self.u += 1;
+            self.i = 0;
+        }
+        None
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// Deduplicates edges and drops self-loops at [`GraphBuilder::build`] time.
+///
+/// # Examples
+///
+/// ```
+/// use graphs::GraphBuilder;
+/// let mut b = GraphBuilder::new(4);
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 0); // duplicate, ignored
+/// b.add_edge(2, 2); // self-loop, ignored
+/// let g = b.build();
+/// assert_eq!(g.m(), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<Edge>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of vertices the built graph will have.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= n` or `v >= n`.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> &mut Self {
+        assert!(u < self.n && v < self.n, "edge ({u},{v}) out of range n={}", self.n);
+        if u != v {
+            self.edges.push((u.min(v), u.max(v)));
+        }
+        self
+    }
+
+    /// Ensures the builder covers at least `n` vertices.
+    pub fn grow_to(&mut self, n: usize) -> &mut Self {
+        self.n = self.n.max(n);
+        self
+    }
+
+    /// Adds a fresh isolated vertex and returns its id.
+    pub fn add_vertex(&mut self) -> VertexId {
+        self.n += 1;
+        self.n - 1
+    }
+
+    /// Finalizes the graph: sorts, deduplicates, builds CSR.
+    pub fn build(mut self) -> Graph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let n = self.n;
+        let mut deg = vec![0usize; n];
+        for &(u, v) in &self.edges {
+            deg[u] += 1;
+            deg[v] += 1;
+        }
+        let mut offsets = vec![0usize; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + deg[v];
+        }
+        let mut adj = vec![0; 2 * self.edges.len()];
+        let mut cursor = offsets.clone();
+        for &(u, v) in &self.edges {
+            adj[cursor[u]] = v;
+            cursor[u] += 1;
+            adj[cursor[v]] = u;
+            cursor[v] += 1;
+        }
+        // Adjacency lists are sorted because edges were sorted by (u, v) and
+        // inserted in order for the first endpoint — but the second-endpoint
+        // inserts interleave, so sort each list to restore the invariant.
+        for v in 0..n {
+            adj[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        Graph {
+            offsets,
+            adj,
+            m: self.edges.len(),
+        }
+    }
+}
+
+impl FromIterator<Edge> for GraphBuilder {
+    /// Builds from edges, sizing `n` to the largest endpoint + 1.
+    fn from_iter<I: IntoIterator<Item = Edge>>(iter: I) -> Self {
+        let edges: Vec<Edge> = iter.into_iter().collect();
+        let n = edges
+            .iter()
+            .map(|&(u, v)| u.max(v) + 1)
+            .max()
+            .unwrap_or(0);
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b
+    }
+}
+
+impl Extend<Edge> for GraphBuilder {
+    fn extend<I: IntoIterator<Item = Edge>>(&mut self, iter: I) {
+        for (u, v) in iter {
+            self.grow_to(u.max(v) + 1);
+            self.add_edge(u, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(0);
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+        assert!(g.is_empty());
+        assert_eq!(g.average_degree(), 0.0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn triangle_basics() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 3);
+        for v in 0..3 {
+            assert_eq!(g.degree(v), 2);
+        }
+        assert!(g.is_regular(2));
+        assert_eq!(g.average_degree(), 2.0);
+        assert_eq!(g.edges().collect::<Vec<_>>(), vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn dedup_and_self_loops() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 0), (0, 1), (2, 2)]);
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    fn neighbors_sorted() {
+        let g = Graph::from_edges(5, [(3, 0), (3, 4), (3, 1), (3, 2)]);
+        assert_eq!(g.neighbors(3), &[0, 1, 2, 4]);
+        assert_eq!(g.max_degree(), 4);
+        assert_eq!(g.min_degree(), 1);
+    }
+
+    #[test]
+    fn has_edge_both_orders() {
+        let g = Graph::from_edges(4, [(0, 3)]);
+        assert!(g.has_edge(0, 3));
+        assert!(g.has_edge(3, 0));
+        assert!(!g.has_edge(1, 2));
+        assert!(!g.has_edge(0, 99));
+    }
+
+    #[test]
+    fn complement_of_path() {
+        let p = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        let c = p.complement();
+        assert_eq!(c.m(), 1);
+        assert!(c.has_edge(0, 2));
+    }
+
+    #[test]
+    fn disjoint_union_shifts() {
+        let a = Graph::from_edges(2, [(0, 1)]);
+        let b = Graph::from_edges(3, [(0, 2)]);
+        let u = a.disjoint_union(&b);
+        assert_eq!(u.n(), 5);
+        assert_eq!(u.m(), 2);
+        assert!(u.has_edge(0, 1));
+        assert!(u.has_edge(2, 4));
+    }
+
+    #[test]
+    fn builder_from_iter_sizes_n() {
+        let b: GraphBuilder = vec![(0, 5), (2, 3)].into_iter().collect();
+        let g = b.build();
+        assert_eq!(g.n(), 6);
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn builder_add_vertex() {
+        let mut b = GraphBuilder::new(1);
+        let v = b.add_vertex();
+        assert_eq!(v, 1);
+        b.add_edge(0, v);
+        assert_eq!(b.build().m(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_edge_panics() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 2);
+    }
+}

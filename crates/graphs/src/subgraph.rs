@@ -1,0 +1,131 @@
+//! Induced subgraphs with explicit vertex-id mappings.
+
+use crate::graph::{Graph, GraphBuilder, VertexId};
+use crate::vertex_set::VertexSet;
+
+/// An induced subgraph `G[S]` materialized as its own [`Graph`] with dense
+/// ids, plus the mapping back to the parent graph.
+///
+/// # Examples
+///
+/// ```
+/// use graphs::{Graph, InducedSubgraph};
+/// let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
+/// let sub = InducedSubgraph::new(&g, [1, 2, 3]);
+/// assert_eq!(sub.graph().n(), 3);
+/// assert_eq!(sub.graph().m(), 2);
+/// assert_eq!(sub.to_parent(0), 1);
+/// assert_eq!(sub.from_parent(3), Some(2));
+/// ```
+#[derive(Clone, Debug)]
+pub struct InducedSubgraph {
+    graph: Graph,
+    /// `to_parent[local] = parent id`, sorted ascending.
+    to_parent: Vec<VertexId>,
+    /// `from_parent[parent] = Some(local)`.
+    from_parent: Vec<Option<VertexId>>,
+}
+
+impl InducedSubgraph {
+    /// Builds `G[S]` for the vertices in `vertices` (duplicates ignored).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any vertex is out of range for `g`.
+    pub fn new<I: IntoIterator<Item = VertexId>>(g: &Graph, vertices: I) -> Self {
+        let mut to_parent: Vec<VertexId> = vertices.into_iter().collect();
+        to_parent.sort_unstable();
+        to_parent.dedup();
+        let mut from_parent = vec![None; g.n()];
+        for (local, &p) in to_parent.iter().enumerate() {
+            assert!(p < g.n(), "vertex {p} out of range");
+            from_parent[p] = Some(local);
+        }
+        let mut b = GraphBuilder::new(to_parent.len());
+        for (local, &p) in to_parent.iter().enumerate() {
+            for &w in g.neighbors(p) {
+                if let Some(wl) = from_parent[w] {
+                    if wl > local {
+                        b.add_edge(local, wl);
+                    }
+                }
+            }
+        }
+        InducedSubgraph {
+            graph: b.build(),
+            to_parent,
+            from_parent,
+        }
+    }
+
+    /// Builds `G[S]` from a [`VertexSet`] mask.
+    pub fn from_set(g: &Graph, set: &VertexSet) -> Self {
+        InducedSubgraph::new(g, set.iter())
+    }
+
+    /// The materialized subgraph with dense local ids.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Maps a local id to the parent-graph id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` is out of range.
+    pub fn to_parent(&self, local: VertexId) -> VertexId {
+        self.to_parent[local]
+    }
+
+    /// Maps a parent-graph id to the local id, if the vertex is in the
+    /// subgraph.
+    pub fn from_parent(&self, parent: VertexId) -> Option<VertexId> {
+        self.from_parent.get(parent).copied().flatten()
+    }
+
+    /// The parent ids of all subgraph vertices, sorted.
+    pub fn parent_vertices(&self) -> &[VertexId] {
+        &self.to_parent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn induced_triangle_from_k4() {
+        let k4 = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let sub = InducedSubgraph::new(&k4, [0, 2, 3]);
+        assert_eq!(sub.graph().n(), 3);
+        assert_eq!(sub.graph().m(), 3);
+        assert_eq!(sub.parent_vertices(), &[0, 2, 3]);
+        assert_eq!(sub.from_parent(1), None);
+        assert_eq!(sub.to_parent(1), 2);
+    }
+
+    #[test]
+    fn empty_selection() {
+        let g = Graph::from_edges(3, [(0, 1)]);
+        let sub = InducedSubgraph::new(&g, []);
+        assert!(sub.graph().is_empty());
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]);
+        let sub = InducedSubgraph::new(&g, [1, 1, 2]);
+        assert_eq!(sub.graph().n(), 2);
+        assert_eq!(sub.graph().m(), 1);
+    }
+
+    #[test]
+    fn from_set_matches_new() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let set = VertexSet::from_iter_with_universe(5, [0, 1, 4]);
+        let a = InducedSubgraph::from_set(&g, &set);
+        let b = InducedSubgraph::new(&g, [0, 1, 4]);
+        assert_eq!(a.graph(), b.graph());
+        assert_eq!(a.parent_vertices(), b.parent_vertices());
+    }
+}

@@ -1,0 +1,263 @@
+//! Breadth-first machinery: distances, balls, components, bipartiteness.
+//!
+//! Everything here optionally restricts the graph to a [`VertexSet`] mask,
+//! because the paper constantly works inside induced subgraphs (`G[R]`,
+//! `G[S]`, peeled residual graphs) and materializing each would be wasteful.
+
+use crate::graph::{Graph, VertexId};
+use crate::vertex_set::VertexSet;
+use std::collections::VecDeque;
+
+/// Distance type for BFS results; `usize::MAX` encodes "unreachable".
+pub const UNREACHABLE: usize = usize::MAX;
+
+/// Single-source BFS distances within an optional vertex mask.
+///
+/// Vertices outside `mask` (when given) are unreachable. If `source` itself
+/// is outside the mask, everything is unreachable.
+///
+/// # Examples
+///
+/// ```
+/// use graphs::{Graph, bfs_distances};
+/// let p = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+/// let d = bfs_distances(&p, 0, None);
+/// assert_eq!(d[3], 3);
+/// ```
+pub fn bfs_distances(g: &Graph, source: VertexId, mask: Option<&VertexSet>) -> Vec<usize> {
+    let mut dist = vec![UNREACHABLE; g.n()];
+    if let Some(m) = mask {
+        if !m.contains(source) {
+            return dist;
+        }
+    }
+    let mut q = VecDeque::new();
+    dist[source] = 0;
+    q.push_back(source);
+    while let Some(u) = q.pop_front() {
+        for &w in g.neighbors(u) {
+            if dist[w] == UNREACHABLE && mask.is_none_or(|m| m.contains(w)) {
+                dist[w] = dist[u] + 1;
+                q.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// The ball `B^r(v)` — all vertices at distance ≤ `r` from `center` —
+/// within an optional mask (the paper's `B^r_R(v)` when `mask = R`).
+///
+/// Returns vertices sorted by id. Empty iff `center` is outside the mask
+/// (matching the paper's convention that `B_R(v) = ∅` for `v ∉ R`).
+pub fn ball(g: &Graph, center: VertexId, radius: usize, mask: Option<&VertexSet>) -> Vec<VertexId> {
+    let mut out = Vec::new();
+    if let Some(m) = mask {
+        if !m.contains(center) {
+            return out;
+        }
+    }
+    let mut dist = vec![UNREACHABLE; g.n()];
+    let mut q = VecDeque::new();
+    dist[center] = 0;
+    q.push_back(center);
+    out.push(center);
+    while let Some(u) = q.pop_front() {
+        if dist[u] == radius {
+            continue;
+        }
+        for &w in g.neighbors(u) {
+            if dist[w] == UNREACHABLE && mask.is_none_or(|m| m.contains(w)) {
+                dist[w] = dist[u] + 1;
+                q.push_back(w);
+                out.push(w);
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Eccentricity of `v` restricted to its component (max finite BFS distance).
+pub fn eccentricity(g: &Graph, v: VertexId, mask: Option<&VertexSet>) -> usize {
+    bfs_distances(g, v, mask)
+        .into_iter()
+        .filter(|&d| d != UNREACHABLE)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Connected components within an optional mask.
+///
+/// Returns `(component_id, count)`: `component_id[v]` is `UNREACHABLE` for
+/// vertices outside the mask, otherwise a dense id in `0..count`.
+pub fn components(g: &Graph, mask: Option<&VertexSet>) -> (Vec<usize>, usize) {
+    let n = g.n();
+    let mut comp = vec![UNREACHABLE; n];
+    let mut count = 0;
+    let mut q = VecDeque::new();
+    for s in 0..n {
+        if comp[s] != UNREACHABLE || mask.is_some_and(|m| !m.contains(s)) {
+            continue;
+        }
+        comp[s] = count;
+        q.push_back(s);
+        while let Some(u) = q.pop_front() {
+            for &w in g.neighbors(u) {
+                if comp[w] == UNREACHABLE && mask.is_none_or(|m| m.contains(w)) {
+                    comp[w] = count;
+                    q.push_back(w);
+                }
+            }
+        }
+        count += 1;
+    }
+    (comp, count)
+}
+
+/// Whether the graph (restricted to `mask`) is connected.
+/// The empty graph and single vertices count as connected.
+pub fn is_connected(g: &Graph, mask: Option<&VertexSet>) -> bool {
+    components(g, mask).1 <= 1
+}
+
+/// Whether the graph restricted to `mask` is bipartite; returns a 2-coloring
+/// (`0`/`1`, `UNREACHABLE`-marked vertices excluded) or `None` if an odd
+/// cycle exists.
+pub fn bipartition(g: &Graph, mask: Option<&VertexSet>) -> Option<Vec<usize>> {
+    let n = g.n();
+    let mut side = vec![UNREACHABLE; n];
+    let mut q = VecDeque::new();
+    for s in 0..n {
+        if side[s] != UNREACHABLE || mask.is_some_and(|m| !m.contains(s)) {
+            continue;
+        }
+        side[s] = 0;
+        q.push_back(s);
+        while let Some(u) = q.pop_front() {
+            for &w in g.neighbors(u) {
+                if mask.is_some_and(|m| !m.contains(w)) {
+                    continue;
+                }
+                if side[w] == UNREACHABLE {
+                    side[w] = 1 - side[u];
+                    q.push_back(w);
+                } else if side[w] == side[u] {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(side)
+}
+
+/// BFS tree parents from `source` (parent of source is itself).
+/// `UNREACHABLE` for unreached vertices.
+pub fn bfs_parents(g: &Graph, source: VertexId, mask: Option<&VertexSet>) -> Vec<usize> {
+    let mut parent = vec![UNREACHABLE; g.n()];
+    if let Some(m) = mask {
+        if !m.contains(source) {
+            return parent;
+        }
+    }
+    let mut q = VecDeque::new();
+    parent[source] = source;
+    q.push_back(source);
+    while let Some(u) = q.pop_front() {
+        for &w in g.neighbors(u) {
+            if parent[w] == UNREACHABLE && mask.is_none_or(|m| m.contains(w)) {
+                parent[w] = u;
+                q.push_back(w);
+            }
+        }
+    }
+    parent
+}
+
+/// Vertices of one component containing `v` (within `mask`), sorted.
+pub fn component_of(g: &Graph, v: VertexId, mask: Option<&VertexSet>) -> Vec<VertexId> {
+    ball(g, v, usize::MAX - 1, mask)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n - 1).map(|i| (i, i + 1)))
+    }
+
+    #[test]
+    fn distances_on_path() {
+        let g = path(5);
+        let d = bfs_distances(&g, 2, None);
+        assert_eq!(d, vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn masked_distances() {
+        let g = path(5);
+        // Remove vertex 2: halves are separated.
+        let mut mask = VertexSet::full(5);
+        mask.remove(2);
+        let d = bfs_distances(&g, 0, Some(&mask));
+        assert_eq!(d[1], 1);
+        assert_eq!(d[3], UNREACHABLE);
+        assert_eq!(d[2], UNREACHABLE);
+    }
+
+    #[test]
+    fn ball_radii() {
+        let g = path(7);
+        assert_eq!(ball(&g, 3, 0, None), vec![3]);
+        assert_eq!(ball(&g, 3, 1, None), vec![2, 3, 4]);
+        assert_eq!(ball(&g, 3, 2, None), vec![1, 2, 3, 4, 5]);
+        assert_eq!(ball(&g, 3, 100, None), vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn ball_outside_mask_is_empty() {
+        let g = path(3);
+        let mask = VertexSet::from_iter_with_universe(3, [0, 1]);
+        assert!(ball(&g, 2, 5, Some(&mask)).is_empty());
+    }
+
+    #[test]
+    fn components_counting() {
+        let g = Graph::from_edges(6, [(0, 1), (2, 3)]);
+        let (comp, k) = components(&g, None);
+        assert_eq!(k, 4);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+        assert!(!is_connected(&g, None));
+        assert!(is_connected(&path(4), None));
+    }
+
+    #[test]
+    fn bipartite_detection() {
+        assert!(bipartition(&path(4), None).is_some());
+        let c4 = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert!(bipartition(&c4, None).is_some());
+        let c5 = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert!(bipartition(&c5, None).is_none());
+        // Masking a vertex of the odd cycle makes it a path -> bipartite.
+        let mut mask = VertexSet::full(5);
+        mask.remove(0);
+        assert!(bipartition(&c5, Some(&mask)).is_some());
+    }
+
+    #[test]
+    fn parents_form_tree() {
+        let g = path(4);
+        let p = bfs_parents(&g, 0, None);
+        assert_eq!(p, vec![0, 0, 1, 2]);
+    }
+
+    #[test]
+    fn eccentricity_of_path_end() {
+        let g = path(6);
+        assert_eq!(eccentricity(&g, 0, None), 5);
+        assert_eq!(eccentricity(&g, 3, None), 3);
+    }
+}

@@ -1,0 +1,279 @@
+//! Dense bit-set over vertex ids, the workhorse for masks and induced
+//! subgraph bookkeeping.
+
+use crate::graph::VertexId;
+use std::fmt;
+
+/// A fixed-universe set of vertices backed by a bit vector.
+///
+/// # Examples
+///
+/// ```
+/// use graphs::VertexSet;
+/// let mut s = VertexSet::new(10);
+/// s.insert(3);
+/// s.insert(7);
+/// assert!(s.contains(3));
+/// assert_eq!(s.len(), 2);
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 7]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct VertexSet {
+    words: Vec<u64>,
+    universe: usize,
+    len: usize,
+}
+
+impl VertexSet {
+    /// Creates an empty set over universe `0..universe`.
+    pub fn new(universe: usize) -> Self {
+        VertexSet {
+            words: vec![0; universe.div_ceil(64)],
+            universe,
+            len: 0,
+        }
+    }
+
+    /// Creates a full set over `0..universe`.
+    pub fn full(universe: usize) -> Self {
+        let mut s = VertexSet::new(universe);
+        for v in 0..universe {
+            s.insert(v);
+        }
+        s
+    }
+
+    /// Creates a set from an iterator of vertices.
+    pub fn from_iter_with_universe<I: IntoIterator<Item = VertexId>>(
+        universe: usize,
+        iter: I,
+    ) -> Self {
+        let mut s = VertexSet::new(universe);
+        for v in iter {
+            s.insert(v);
+        }
+        s
+    }
+
+    /// Size of the universe this set ranges over.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Membership test.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the universe.
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        assert!(v < self.universe, "vertex {v} outside universe {}", self.universe);
+        self.words[v / 64] >> (v % 64) & 1 == 1
+    }
+
+    /// Inserts `v`; returns `true` if it was newly added.
+    #[inline]
+    pub fn insert(&mut self, v: VertexId) -> bool {
+        assert!(v < self.universe, "vertex {v} outside universe {}", self.universe);
+        let w = &mut self.words[v / 64];
+        let bit = 1u64 << (v % 64);
+        if *w & bit == 0 {
+            *w |= bit;
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes `v`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, v: VertexId) -> bool {
+        assert!(v < self.universe, "vertex {v} outside universe {}", self.universe);
+        let w = &mut self.words[v / 64];
+        let bit = 1u64 << (v % 64);
+        if *w & bit != 0 {
+            *w &= !bit;
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.len = 0;
+    }
+
+    /// Iterator over members in increasing order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            word_idx: 0,
+            current: if self.words.is_empty() { 0 } else { self.words[0] },
+        }
+    }
+
+    /// In-place union. Panics if universes differ.
+    pub fn union_with(&mut self, other: &VertexSet) {
+        assert_eq!(self.universe, other.universe);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+        self.recount();
+    }
+
+    /// In-place intersection. Panics if universes differ.
+    pub fn intersect_with(&mut self, other: &VertexSet) {
+        assert_eq!(self.universe, other.universe);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+        self.recount();
+    }
+
+    /// In-place difference (`self \ other`). Panics if universes differ.
+    pub fn difference_with(&mut self, other: &VertexSet) {
+        assert_eq!(self.universe, other.universe);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+        self.recount();
+    }
+
+    /// Whether `self` and `other` share no element.
+    pub fn is_disjoint(&self, other: &VertexSet) -> bool {
+        assert_eq!(self.universe, other.universe);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// Whether every element of `self` is in `other`.
+    pub fn is_subset(&self, other: &VertexSet) -> bool {
+        assert_eq!(self.universe, other.universe);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    fn recount(&mut self) {
+        self.len = self.words.iter().map(|w| w.count_ones() as usize).sum();
+    }
+}
+
+impl fmt::Debug for VertexSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl Extend<VertexId> for VertexSet {
+    fn extend<I: IntoIterator<Item = VertexId>>(&mut self, iter: I) {
+        for v in iter {
+            self.insert(v);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a VertexSet {
+    type Item = VertexId;
+    type IntoIter = Iter<'a>;
+
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over a [`VertexSet`], produced by [`VertexSet::iter`].
+pub struct Iter<'a> {
+    set: &'a VertexSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = VertexId;
+
+    fn next(&mut self) -> Option<VertexId> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * 64 + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = VertexSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64));
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(129));
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn iter_order() {
+        let s = VertexSet::from_iter_with_universe(200, [199, 0, 63, 64, 65]);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 63, 64, 65, 199]);
+    }
+
+    #[test]
+    fn set_ops() {
+        let a = VertexSet::from_iter_with_universe(10, [1, 2, 3]);
+        let b = VertexSet::from_iter_with_universe(10, [3, 4]);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.len(), 4);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![3]);
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![1, 2]);
+        assert!(!a.is_disjoint(&b));
+        assert!(i.is_subset(&a));
+        assert!(i.is_subset(&b));
+        assert!(!a.is_subset(&b));
+    }
+
+    #[test]
+    fn full_and_clear() {
+        let mut s = VertexSet::full(70);
+        assert_eq!(s.len(), 70);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_universe_panics() {
+        let s = VertexSet::new(5);
+        s.contains(5);
+    }
+}

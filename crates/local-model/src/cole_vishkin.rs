@@ -1,0 +1,261 @@
+//! Cole–Vishkin 3-coloring of rooted forests in `O(log* n)` rounds.
+//!
+//! The classic deterministic symmetry-breaking primitive (Goldberg–Plotkin–
+//! Shannon [17] use the same bit technique): starting from the `O(log n)`-bit
+//! unique identifiers, each iteration shrinks colors from `B` bits to
+//! `⌈log₂ B⌉ + 1` bits by encoding the lowest bit position where a vertex's
+//! color differs from its parent's; once six colors remain, three shift-down
+//! rounds remove colors 5, 4, 3.
+//!
+//! Each simulated round only reads the parent's state from the previous
+//! round, so this is a faithful LOCAL execution; rounds are charged to the
+//! ledger as they run.
+
+use crate::ledger::RoundLedger;
+use graphs::VertexId;
+
+/// A rooted forest over vertices `0..n`, described by parent pointers.
+///
+/// `parent[v] == v` marks a root; `parent[v] == usize::MAX` marks a vertex
+/// that is not part of the forest (it is ignored entirely).
+#[derive(Clone, Debug)]
+pub struct RootedForest {
+    parent: Vec<usize>,
+}
+
+impl RootedForest {
+    /// Wraps parent pointers. See type-level docs for conventions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some `parent[v]` is neither `usize::MAX`, `v`, nor a valid
+    /// member vertex, or if the parent pointers contain a cycle.
+    pub fn new(parent: Vec<usize>) -> Self {
+        let n = parent.len();
+        for (v, &p) in parent.iter().enumerate() {
+            if p == usize::MAX {
+                continue;
+            }
+            assert!(p < n, "parent of {v} out of range");
+            assert_ne!(parent[p], usize::MAX, "parent of {v} not in forest");
+        }
+        // Cycle check by pointer-jumping.
+        let f = RootedForest { parent };
+        for v in 0..n {
+            if f.parent[v] == usize::MAX {
+                continue;
+            }
+            let mut steps = 0usize;
+            let mut u = v;
+            while f.parent[u] != u {
+                u = f.parent[u];
+                steps += 1;
+                assert!(steps <= n, "cycle detected in parent pointers");
+            }
+        }
+        f
+    }
+
+    /// Number of vertices in the ambient id space.
+    pub fn n(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Parent pointer (see conventions on [`RootedForest`]).
+    pub fn parent(&self, v: VertexId) -> usize {
+        self.parent[v]
+    }
+
+    /// Whether `v` belongs to the forest.
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.parent[v] != usize::MAX
+    }
+
+    /// Iterator over member vertices.
+    pub fn members(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.n()).filter(|&v| self.contains(v))
+    }
+
+    /// Children lists (computed; `O(n)`).
+    pub fn children(&self) -> Vec<Vec<VertexId>> {
+        let mut ch = vec![Vec::new(); self.n()];
+        for v in self.members() {
+            let p = self.parent[v];
+            if p != v {
+                ch[p].push(v);
+            }
+        }
+        ch
+    }
+}
+
+/// 3-colors a rooted forest in `O(log* n)` LOCAL rounds (charged to
+/// `ledger` under `"cole-vishkin"` and `"shift-down"`).
+///
+/// Returns `color[v] ∈ {0,1,2}` for members, `usize::MAX` for non-members.
+///
+/// # Examples
+///
+/// ```
+/// use local_model::{cole_vishkin_3color, RootedForest, RoundLedger};
+/// // A path rooted at 0: 0 <- 1 <- 2 <- 3 <- 4.
+/// let f = RootedForest::new(vec![0, 0, 1, 2, 3]);
+/// let mut ledger = RoundLedger::new();
+/// let col = cole_vishkin_3color(&f, &mut ledger);
+/// for v in 1..5 {
+///     assert_ne!(col[v], col[f.parent(v)]);
+///     assert!(col[v] < 3);
+/// }
+/// ```
+pub fn cole_vishkin_3color(forest: &RootedForest, ledger: &mut RoundLedger) -> Vec<usize> {
+    let n = forest.n();
+    // Initial colors: unique ids.
+    let mut color: Vec<usize> = (0..n).collect();
+    for v in 0..n {
+        if !forest.contains(v) {
+            color[v] = usize::MAX;
+        }
+    }
+    // CV iterations until at most 6 colors (values 0..6).
+    let mut cv_rounds = 0u64;
+    while forest.members().any(|v| color[v] >= 6) {
+        let prev = color.clone();
+        for v in forest.members() {
+            let p = forest.parent(v);
+            let my = prev[v];
+            let other = if p == v {
+                // Root: compare against a fixed different value.
+                if my == 0 { 1 } else { 0 }
+            } else {
+                prev[p]
+            };
+            debug_assert_ne!(my, other, "proper coloring invariant");
+            let diff = my ^ other;
+            let i = diff.trailing_zeros() as usize;
+            color[v] = 2 * i + ((my >> i) & 1);
+        }
+        cv_rounds += 1;
+        debug_assert!(cv_rounds <= 64 + 4, "CV must converge in log* rounds");
+    }
+    ledger.charge("cole-vishkin", cv_rounds);
+
+    // Shift-down + eliminate colors 5, 4, 3 (two rounds each).
+    let children = forest.children();
+    for target in (3..6).rev() {
+        // Round 1: shift down. Every non-root adopts its parent's color;
+        // each root picks a color in 0..6 different from its own current
+        // color and from its children's *new* colors (which equal the root's
+        // old color — so any other value works; pick the smallest).
+        let prev = color.clone();
+        for v in forest.members() {
+            let p = forest.parent(v);
+            if p == v {
+                color[v] = (0..6).find(|&c| c != prev[v]).expect("six colors available");
+            } else {
+                color[v] = prev[p];
+            }
+        }
+        // Round 2: all vertices colored `target` simultaneously recolor into
+        // {0,1,2}: after shift-down all children of a vertex share one
+        // color, so only two constraints exist (parent, children).
+        let prev = color.clone();
+        for v in forest.members() {
+            if prev[v] != target {
+                continue;
+            }
+            let p = forest.parent(v);
+            let parent_color = if p == v { usize::MAX } else { prev[p] };
+            let child_color = children[v].first().map_or(usize::MAX, |&c| prev[c]);
+            color[v] = (0..3)
+                .find(|&c| c != parent_color && c != child_color)
+                .expect("three colors, two constraints");
+        }
+        ledger.charge("shift-down", 2);
+    }
+    color
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::gen;
+
+    fn forest_from_bfs(g: &graphs::Graph, root: usize) -> RootedForest {
+        let parents = graphs::bfs_parents(g, root, None);
+        RootedForest::new(parents)
+    }
+
+    fn assert_proper_3(f: &RootedForest, col: &[usize]) {
+        for v in f.members() {
+            assert!(col[v] < 3, "color of {v} is {}", col[v]);
+            let p = f.parent(v);
+            if p != v {
+                assert_ne!(col[v], col[p], "edge ({v},{p}) monochromatic");
+            }
+        }
+    }
+
+    #[test]
+    fn colors_long_path() {
+        let g = gen::path(1000);
+        let f = forest_from_bfs(&g, 0);
+        let mut ledger = RoundLedger::new();
+        let col = cole_vishkin_3color(&f, &mut ledger);
+        assert_proper_3(&f, &col);
+        // log* of anything practical is tiny.
+        assert!(ledger.phase_total("cole-vishkin") <= 8);
+        assert_eq!(ledger.phase_total("shift-down"), 6);
+    }
+
+    #[test]
+    fn colors_binary_tree() {
+        let g = gen::binary_tree(9);
+        let f = forest_from_bfs(&g, 0);
+        let mut ledger = RoundLedger::new();
+        let col = cole_vishkin_3color(&f, &mut ledger);
+        assert_proper_3(&f, &col);
+    }
+
+    #[test]
+    fn colors_random_trees() {
+        for seed in 0..5 {
+            let g = gen::random_tree(300, seed);
+            let f = forest_from_bfs(&g, 0);
+            let mut ledger = RoundLedger::new();
+            let col = cole_vishkin_3color(&f, &mut ledger);
+            assert_proper_3(&f, &col);
+        }
+    }
+
+    #[test]
+    fn handles_multi_tree_forest_with_nonmembers() {
+        // Two stars and two excluded vertices.
+        let mut parent = vec![usize::MAX; 8];
+        parent[0] = 0;
+        parent[1] = 0;
+        parent[2] = 0;
+        parent[3] = 3;
+        parent[4] = 3;
+        parent[5] = 3;
+        let f = RootedForest::new(parent);
+        let mut ledger = RoundLedger::new();
+        let col = cole_vishkin_3color(&f, &mut ledger);
+        assert_proper_3(&f, &col);
+        assert_eq!(col[6], usize::MAX);
+        assert_eq!(col[7], usize::MAX);
+    }
+
+    #[test]
+    fn singleton_forest() {
+        let f = RootedForest::new(vec![0]);
+        let mut ledger = RoundLedger::new();
+        let col = cole_vishkin_3color(&f, &mut ledger);
+        assert!(col[0] < 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn cycle_in_parents_panics() {
+        RootedForest::new(vec![1, 0]);
+    }
+}

@@ -1,0 +1,150 @@
+//! Acyclic orientations and forest decompositions.
+//!
+//! Orienting every edge toward the higher-priority endpoint (an arbitrary
+//! total order known locally, e.g. `(layer, id)`) yields an acyclic
+//! orientation in zero communication rounds; indexing each vertex's
+//! out-edges `0..out_deg` splits the edge set into `max_out_degree` rooted
+//! forests (each vertex has ≤ 1 parent per index). This is the
+//! Goldberg–Plotkin–Shannon / Panconesi–Rizzi decomposition step.
+
+use crate::cole_vishkin::RootedForest;
+use graphs::{Graph, VertexId, VertexSet};
+
+/// An acyclic orientation of (the masked part of) a graph: for each vertex,
+/// the sorted list of out-neighbors.
+#[derive(Clone, Debug)]
+pub struct Orientation {
+    out: Vec<Vec<VertexId>>,
+}
+
+impl Orientation {
+    /// Orients every masked edge toward the endpoint with higher `priority`
+    /// (ties broken by id — priorities need not be distinct).
+    ///
+    /// Requires zero LOCAL rounds (priorities are exchanged with neighbors
+    /// in the round that established the mask).
+    pub fn by_priority(g: &Graph, mask: Option<&VertexSet>, priority: &[usize]) -> Self {
+        assert_eq!(priority.len(), g.n());
+        let n = g.n();
+        let in_mask = |v: VertexId| mask.is_none_or(|m| m.contains(v));
+        let mut out = vec![Vec::new(); n];
+        for v in 0..n {
+            if !in_mask(v) {
+                continue;
+            }
+            for &w in g.neighbors(v) {
+                if in_mask(w) && (priority[v], v) < (priority[w], w) {
+                    out[v].push(w);
+                }
+            }
+        }
+        Orientation { out }
+    }
+
+    /// Orients by vertex id alone (the degenerate priority).
+    pub fn by_id(g: &Graph, mask: Option<&VertexSet>) -> Self {
+        Orientation::by_priority(g, mask, &vec![0; g.n()])
+    }
+
+    /// Out-neighbors of `v`.
+    pub fn out_neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.out[v]
+    }
+
+    /// Maximum out-degree.
+    pub fn max_out_degree(&self) -> usize {
+        self.out.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Splits the oriented edges into `k = max_out_degree` rooted forests:
+    /// forest `i` contains each vertex's `i`-th out-edge, pointing to the
+    /// parent. Vertices outside the mask are non-members of every forest.
+    ///
+    /// Charged rounds: 1 (each vertex tells each out-neighbor its index).
+    pub fn forest_decomposition(
+        &self,
+        mask: Option<&VertexSet>,
+        ledger: &mut crate::RoundLedger,
+    ) -> Vec<RootedForest> {
+        let n = self.out.len();
+        let in_mask = |v: VertexId| mask.is_none_or(|m| m.contains(v));
+        let k = self.max_out_degree();
+        let mut forests = Vec::with_capacity(k);
+        for i in 0..k {
+            let mut parent = vec![usize::MAX; n];
+            for v in 0..n {
+                if in_mask(v) {
+                    parent[v] = self.out[v].get(i).copied().unwrap_or(v);
+                }
+            }
+            forests.push(RootedForest::new(parent));
+        }
+        ledger.charge("forest-decomposition", 1);
+        forests
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RoundLedger;
+    use graphs::gen;
+
+    #[test]
+    fn orientation_is_acyclic_and_covers_edges() {
+        let g = gen::complete(6);
+        let o = Orientation::by_id(&g, None);
+        let total_out: usize = (0..6).map(|v| o.out_neighbors(v).len()).sum();
+        assert_eq!(total_out, g.m());
+        assert_eq!(o.max_out_degree(), 5); // vertex 0 points at everyone
+    }
+
+    #[test]
+    fn priority_orientation_prefers_low_priority_as_tail() {
+        let g = gen::path(3);
+        // Priorities: 2, 0, 1 — edges point toward higher (priority, id).
+        let o = Orientation::by_priority(&g, None, &[2, 0, 1]);
+        assert_eq!(o.out_neighbors(1), &[0, 2]);
+        assert!(o.out_neighbors(0).is_empty());
+    }
+
+    #[test]
+    fn forests_partition_edges() {
+        let g = gen::gnm(40, 80, 3);
+        let o = Orientation::by_id(&g, None);
+        let mut ledger = RoundLedger::new();
+        let forests = o.forest_decomposition(None, &mut ledger);
+        let mut count = 0usize;
+        for f in &forests {
+            for v in f.members() {
+                if f.parent(v) != v {
+                    assert!(g.has_edge(v, f.parent(v)));
+                    count += 1;
+                }
+            }
+        }
+        assert_eq!(count, g.m(), "forests must exactly cover the edge set");
+        assert_eq!(ledger.total(), 1);
+    }
+
+    #[test]
+    fn masked_orientation_ignores_outside() {
+        let g = gen::cycle(6);
+        let mask = VertexSet::from_iter_with_universe(6, [0, 1, 2]);
+        let o = Orientation::by_id(&g, Some(&mask));
+        assert!(o.out_neighbors(3).is_empty());
+        assert!(o.out_neighbors(5).is_empty());
+        // Edge (0,1) and (1,2) oriented upward; (2,3), (5,0) dropped.
+        let total: usize = (0..6).map(|v| o.out_neighbors(v).len()).sum();
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn forest_count_bounded_by_max_out_degree() {
+        let g = gen::random_regular(24, 4, 9);
+        let o = Orientation::by_id(&g, None);
+        let mut ledger = RoundLedger::new();
+        let forests = o.forest_decomposition(None, &mut ledger);
+        assert!(forests.len() <= 4);
+    }
+}

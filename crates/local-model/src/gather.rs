@@ -1,0 +1,148 @@
+//! Radius-`r` ball gathering with faithful round charging.
+//!
+//! In the LOCAL model, "every vertex learns its radius-`r` ball" is exactly
+//! `r` rounds of neighborhood flooding (all vertices in parallel). We
+//! compute the balls centrally — identical output, no message
+//! materialization — and charge `r` rounds once per parallel gather, which
+//! is the honest LOCAL cost (see DESIGN.md, substitutions).
+
+use crate::ledger::RoundLedger;
+use graphs::{Graph, VertexId, VertexSet};
+
+/// Gathers `B^r_mask(v)` for every vertex in `centers`, charging `r` LOCAL
+/// rounds (one parallel flood). Balls follow the paper's convention: the
+/// ball of a vertex outside the mask is empty.
+pub fn gather_balls(
+    g: &Graph,
+    mask: Option<&VertexSet>,
+    centers: &[VertexId],
+    radius: usize,
+    ledger: &mut RoundLedger,
+) -> Vec<Vec<VertexId>> {
+    ledger.charge("ball-gather", radius as u64);
+    centers
+        .iter()
+        .map(|&c| graphs::ball(g, c, radius, mask))
+        .collect()
+}
+
+/// Charges the two rounds the paper's §3 allots for local `(d+1)`-clique
+/// detection ("such a clique can be found in two rounds") and scans each
+/// rich vertex's closed neighborhood for a `(d+1)`-clique containing it.
+///
+/// Only vertices of degree exactly `d` can be in a `(d+1)`-clique of a
+/// graph where we treat degree-≤-d vertices; the check is
+/// `O(Σ d³)` worst case but early-exits aggressively.
+pub fn detect_clique(
+    g: &Graph,
+    mask: Option<&VertexSet>,
+    d: usize,
+    ledger: &mut RoundLedger,
+) -> Option<Vec<VertexId>> {
+    ledger.charge("clique-detection", 2);
+    let in_mask = |v: VertexId| mask.is_none_or(|m| m.contains(v));
+    for v in g.vertices().filter(|&v| in_mask(v)) {
+        let nbrs: Vec<VertexId> = g
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&w| in_mask(w))
+            .collect();
+        if nbrs.len() < d {
+            continue;
+        }
+        // v plus d of its neighbors must be mutually adjacent. Candidates
+        // need degree ≥ d themselves.
+        let candidates: Vec<VertexId> = nbrs
+            .iter()
+            .copied()
+            .filter(|&w| g.neighbors(w).iter().filter(|&&x| in_mask(x)).count() >= d)
+            .collect();
+        if candidates.len() < d {
+            continue;
+        }
+        if let Some(mut clique) = grow_clique(g, &candidates, d) {
+            clique.push(v);
+            clique.sort_unstable();
+            return Some(clique);
+        }
+    }
+    None
+}
+
+/// Finds `size` mutually adjacent vertices among `candidates`
+/// (backtracking; candidates all adjacent to the apex already).
+fn grow_clique(g: &Graph, candidates: &[VertexId], size: usize) -> Option<Vec<VertexId>> {
+    fn rec(
+        g: &Graph,
+        candidates: &[VertexId],
+        start: usize,
+        current: &mut Vec<VertexId>,
+        size: usize,
+    ) -> bool {
+        if current.len() == size {
+            return true;
+        }
+        if candidates.len() - start < size - current.len() {
+            return false;
+        }
+        for i in start..candidates.len() {
+            let w = candidates[i];
+            if current.iter().all(|&u| g.has_edge(u, w)) {
+                current.push(w);
+                if rec(g, candidates, i + 1, current, size) {
+                    return true;
+                }
+                current.pop();
+            }
+        }
+        false
+    }
+    let mut cur = Vec::new();
+    rec(g, candidates, 0, &mut cur, size).then_some(cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::gen;
+
+    #[test]
+    fn gather_charges_radius() {
+        let g = gen::grid(5, 5);
+        let mut ledger = RoundLedger::new();
+        let balls = gather_balls(&g, None, &[12], 2, &mut ledger);
+        assert_eq!(ledger.phase_total("ball-gather"), 2);
+        assert!(balls[0].contains(&12));
+        assert!(balls[0].len() > 5);
+    }
+
+    #[test]
+    fn clique_detection_finds_k4() {
+        // K4 glued into a path.
+        let mut edges: Vec<(usize, usize)> = (0..10).map(|i| (i, i + 1)).collect();
+        edges.extend([(0, 2), (0, 3), (1, 3)]);
+        let g = graphs::Graph::from_edges(11, edges);
+        let mut ledger = RoundLedger::new();
+        let clique = detect_clique(&g, None, 3, &mut ledger).expect("K4 present");
+        assert_eq!(clique, vec![0, 1, 2, 3]);
+        assert_eq!(ledger.phase_total("clique-detection"), 2);
+    }
+
+    #[test]
+    fn clique_detection_none_in_sparse() {
+        let g = gen::grid(6, 6);
+        let mut ledger = RoundLedger::new();
+        assert!(detect_clique(&g, None, 3, &mut ledger).is_none());
+    }
+
+    #[test]
+    fn clique_detection_respects_mask() {
+        let g = gen::complete(5);
+        let mut mask = VertexSet::full(5);
+        mask.remove(4); // K4 remains
+        let mut ledger = RoundLedger::new();
+        assert!(detect_clique(&g, Some(&mask), 4, &mut ledger).is_none());
+        assert!(detect_clique(&g, Some(&mask), 3, &mut ledger).is_some());
+    }
+}

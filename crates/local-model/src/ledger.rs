@@ -1,0 +1,139 @@
+//! Round accounting for the LOCAL model.
+//!
+//! In the LOCAL model the only resource is the number of synchronous
+//! communication rounds. Every primitive in this crate charges its rounds to
+//! a [`RoundLedger`], phase by phase, so experiments can report measured
+//! round complexity next to the paper's bounds. Primitives that we execute
+//! centrally for efficiency (radius-`r` ball gathers) charge exactly the
+//! rounds a LOCAL implementation needs (`r`), keeping the ledger faithful.
+
+use std::fmt;
+
+/// A named accumulator of LOCAL rounds, grouped into phases.
+///
+/// # Examples
+///
+/// ```
+/// use local_model::RoundLedger;
+/// let mut ledger = RoundLedger::new();
+/// ledger.charge("ball-gather", 12);
+/// ledger.charge("cole-vishkin", 5);
+/// ledger.charge("ball-gather", 12);
+/// assert_eq!(ledger.total(), 29);
+/// assert_eq!(ledger.phase_total("ball-gather"), 24);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct RoundLedger {
+    entries: Vec<(String, u64)>,
+}
+
+impl RoundLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        RoundLedger::default()
+    }
+
+    /// Charges `rounds` LOCAL rounds to `phase`.
+    pub fn charge(&mut self, phase: &str, rounds: u64) {
+        self.entries.push((phase.to_owned(), rounds));
+    }
+
+    /// Total rounds across all phases.
+    pub fn total(&self) -> u64 {
+        self.entries.iter().map(|(_, r)| r).sum()
+    }
+
+    /// Total rounds charged to a specific phase name.
+    pub fn phase_total(&self, phase: &str) -> u64 {
+        self.entries
+            .iter()
+            .filter(|(p, _)| p == phase)
+            .map(|(_, r)| r)
+            .sum()
+    }
+
+    /// All `(phase, rounds)` entries in charge order.
+    pub fn entries(&self) -> &[(String, u64)] {
+        &self.entries
+    }
+
+    /// Distinct phase names in first-seen order with their totals.
+    pub fn summary(&self) -> Vec<(String, u64)> {
+        let mut names: Vec<String> = Vec::new();
+        for (p, _) in &self.entries {
+            if !names.contains(p) {
+                names.push(p.clone());
+            }
+        }
+        names
+            .into_iter()
+            .map(|p| {
+                let t = self.phase_total(&p);
+                (p, t)
+            })
+            .collect()
+    }
+
+    /// Merges another ledger's entries into this one.
+    pub fn absorb(&mut self, other: RoundLedger) {
+        self.entries.extend(other.entries);
+    }
+}
+
+impl fmt::Display for RoundLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "LOCAL rounds: {}", self.total())?;
+        for (phase, rounds) in self.summary() {
+            writeln!(f, "  {phase:<24} {rounds}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let mut l = RoundLedger::new();
+        l.charge("a", 3);
+        l.charge("b", 4);
+        l.charge("a", 5);
+        assert_eq!(l.total(), 12);
+        assert_eq!(l.phase_total("a"), 8);
+        assert_eq!(l.phase_total("b"), 4);
+        assert_eq!(l.phase_total("missing"), 0);
+    }
+
+    #[test]
+    fn summary_orders_by_first_seen() {
+        let mut l = RoundLedger::new();
+        l.charge("z", 1);
+        l.charge("a", 2);
+        l.charge("z", 3);
+        assert_eq!(
+            l.summary(),
+            vec![("z".to_owned(), 4), ("a".to_owned(), 2)]
+        );
+    }
+
+    #[test]
+    fn absorb_merges() {
+        let mut a = RoundLedger::new();
+        a.charge("x", 1);
+        let mut b = RoundLedger::new();
+        b.charge("y", 2);
+        a.absorb(b);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let mut l = RoundLedger::new();
+        l.charge("phase", 7);
+        let s = format!("{l}");
+        assert!(s.contains("phase"));
+        assert!(s.contains('7'));
+    }
+}

@@ -1,0 +1,177 @@
+//! The simple randomized distributed list-coloring the paper's §6 remark
+//! refers to ("there is a simple answer to Question 6.2 if we ask for a
+//! randomized algorithm instead", citing the classic `O(log n)`-round
+//! `(Δ+1)`-coloring of [5]).
+//!
+//! Each round, every uncolored vertex proposes a uniformly random color
+//! from its current list and keeps it if no neighbor proposed or owns the
+//! same color; committed colors are struck from neighboring lists. With
+//! `|L(v)| ≥ deg(v) + 1` every vertex survives each round with probability
+//! ≥ 1/4ish, so all vertices finish in `O(log n)` rounds w.h.p. — the
+//! contrast experiment for the paper's *deterministic* complexity focus.
+
+use crate::ledger::RoundLedger;
+use graphs::{Graph, VertexId, VertexSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Outcome of the randomized list-coloring.
+#[derive(Clone, Debug)]
+pub struct RandomizedColoring {
+    /// Final colors (`usize::MAX` only if `max_rounds` was exhausted).
+    pub colors: Vec<usize>,
+    /// Rounds actually used.
+    pub rounds: u64,
+    /// Whether every vertex committed.
+    pub complete: bool,
+}
+
+/// Runs the randomized list-coloring. Requires `|lists[v]| ≥ deg(v) + 1`
+/// for every masked vertex (the `(deg+1)`-list-coloring regime of §6).
+///
+/// # Panics
+///
+/// Panics if some list is smaller than `deg(v) + 1`.
+pub fn randomized_list_coloring(
+    g: &Graph,
+    mask: Option<&VertexSet>,
+    lists: &[Vec<usize>],
+    seed: u64,
+    max_rounds: u64,
+    ledger: &mut RoundLedger,
+) -> RandomizedColoring {
+    let n = g.n();
+    assert_eq!(lists.len(), n);
+    let in_mask = |v: VertexId| mask.is_none_or(|m| m.contains(v));
+    for v in 0..n {
+        if in_mask(v) {
+            let deg = g.neighbors(v).iter().filter(|&&w| in_mask(w)).count();
+            assert!(
+                lists[v].len() > deg,
+                "vertex {v}: randomized coloring needs deg+1 lists"
+            );
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut live: Vec<Vec<usize>> = lists.to_vec();
+    let mut colors = vec![usize::MAX; n];
+    let mut uncolored: Vec<VertexId> = (0..n).filter(|&v| in_mask(v)).collect();
+    let mut rounds = 0u64;
+    while !uncolored.is_empty() && rounds < max_rounds {
+        rounds += 1;
+        // Propose.
+        let mut proposal = vec![usize::MAX; n];
+        for &v in &uncolored {
+            proposal[v] = live[v][rng.gen_range(0..live[v].len())];
+        }
+        // Commit where no conflict (symmetric rule: ties kill both).
+        let mut committed: Vec<VertexId> = Vec::new();
+        for &v in &uncolored {
+            let p = proposal[v];
+            let conflict = g
+                .neighbors(v)
+                .iter()
+                .any(|&w| in_mask(w) && (proposal[w] == p || colors[w] == p));
+            if !conflict {
+                committed.push(v);
+            }
+        }
+        for &v in &committed {
+            colors[v] = proposal[v];
+            for &w in g.neighbors(v) {
+                if in_mask(w) && colors[w] == usize::MAX {
+                    if let Some(pos) = live[w].iter().position(|&c| c == colors[v]) {
+                        live[w].remove(pos);
+                    }
+                }
+            }
+        }
+        uncolored.retain(|&v| colors[v] == usize::MAX);
+    }
+    ledger.charge("randomized-coloring", rounds);
+    RandomizedColoring {
+        colors,
+        rounds,
+        complete: uncolored.is_empty(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::gen;
+
+    fn deg_plus_one_lists(g: &Graph, palette_slack: usize) -> Vec<Vec<usize>> {
+        g.vertices()
+            .map(|v| (0..g.degree(v) + 1 + palette_slack).collect())
+            .collect()
+    }
+
+    #[test]
+    fn colors_random_regular_fast() {
+        for seed in 0..5u64 {
+            let g = gen::random_regular(300, 4, seed);
+            let lists = deg_plus_one_lists(&g, 0);
+            let mut ledger = RoundLedger::new();
+            let out = randomized_list_coloring(&g, None, &lists, seed, 200, &mut ledger);
+            assert!(out.complete, "seed {seed} did not finish");
+            for (u, v) in g.edges() {
+                assert_ne!(out.colors[u], out.colors[v]);
+            }
+            // O(log n): 300 vertices should finish well under 60 rounds.
+            assert!(out.rounds <= 60, "took {} rounds", out.rounds);
+        }
+    }
+
+    #[test]
+    fn respects_lists() {
+        let g = gen::grid(8, 8);
+        let lists: Vec<Vec<usize>> = g
+            .vertices()
+            .map(|v| (10 * v..10 * v + g.degree(v) + 1).collect())
+            .collect();
+        let mut ledger = RoundLedger::new();
+        let out = randomized_list_coloring(&g, None, &lists, 7, 500, &mut ledger);
+        assert!(out.complete);
+        for v in g.vertices() {
+            assert!(lists[v].contains(&out.colors[v]));
+        }
+    }
+
+    #[test]
+    fn round_budget_respected() {
+        let g = gen::random_regular(100, 3, 1);
+        let lists = deg_plus_one_lists(&g, 0);
+        let mut ledger = RoundLedger::new();
+        let out = randomized_list_coloring(&g, None, &lists, 1, 1, &mut ledger);
+        assert_eq!(out.rounds, 1);
+        // One round rarely finishes a 100-vertex graph — either way the
+        // partial coloring must be proper where committed.
+        for (u, v) in g.edges() {
+            if out.colors[u] != usize::MAX && out.colors[v] != usize::MAX {
+                assert_ne!(out.colors[u], out.colors[v]);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "deg+1")]
+    fn tight_lists_rejected() {
+        let g = gen::cycle(6);
+        let lists = vec![vec![0, 1]; 6];
+        let mut ledger = RoundLedger::new();
+        randomized_list_coloring(&g, None, &lists, 1, 10, &mut ledger);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = gen::random_tree(60, 2);
+        let lists = deg_plus_one_lists(&g, 1);
+        let mut l1 = RoundLedger::new();
+        let mut l2 = RoundLedger::new();
+        let a = randomized_list_coloring(&g, None, &lists, 42, 100, &mut l1);
+        let b = randomized_list_coloring(&g, None, &lists, 42, 100, &mut l2);
+        assert_eq!(a.colors, b.colors);
+        assert_eq!(a.rounds, b.rounds);
+    }
+}

@@ -1,0 +1,223 @@
+//! Locally planar, non-4-colorable toroidal triangulations (Theorem 1.5,
+//! Figure 3).
+//!
+//! The paper invokes Fisk's triangulations (all degrees even except two
+//! adjacent vertices) to rule out distributed 4-coloring of planar graphs
+//! in `o(n)` rounds. We build the same phenomenon from a family we can
+//! *verify exactly* (the substitution is documented in DESIGN.md):
+//!
+//! The shifted triangulated torus `T(3, c, c−1)` — three triangulated rows
+//! whose vertical wrap shifts one column — is isomorphic to the **cube of
+//! a cycle** `C_{3c}(1, 2, 3)` (walk the vertical spiral: down-steps become
+//! `+1`, row steps `±3`, diagonals `±2`). For `3c ≢ 0 (mod 4)` this graph
+//! is 5-chromatic, yet every interior ball of radius `r < (n − 7)/6` is
+//! *identical* to a ball of the **planar** cube-of-a-path `P_n(1,2,3)`
+//! (a triangulated strip, 4-chromatic). By Observation 2.4, an `r`-round
+//! algorithm 4-coloring all planar graphs would properly 4-color the
+//! 5-chromatic torus — contradiction. Chromatic numbers of small members
+//! are certified by the exact solver in tests.
+
+use graphs::{Graph, GraphBuilder, VertexId};
+
+/// The shifted triangulated torus `T(rows, cols, shift)`.
+///
+/// Vertices `(i, j)`; edges to `(i, j+1)`, `(i+1, j)` and `(i+1, j+1)`,
+/// where wrapping `i = rows → 0` adds `shift` to the column. A 6-regular
+/// triangulation of the torus for non-degenerate parameters.
+///
+/// # Panics
+///
+/// Panics if the parameters collapse parallel edges (non-6-regular result).
+pub fn shifted_torus_triangulation(rows: usize, cols: usize, shift: usize) -> Graph {
+    let idx = move |i: usize, j: usize| -> VertexId {
+        let (wrap, ii) = (i / rows, i % rows);
+        let jj = (j + wrap * shift) % cols;
+        ii * cols + jj
+    };
+    let mut b = GraphBuilder::new(rows * cols);
+    for i in 0..rows {
+        for j in 0..cols {
+            b.add_edge(idx(i, j), idx(i, j + 1));
+            b.add_edge(idx(i, j), idx(i + 1, j));
+            b.add_edge(idx(i, j), idx(i + 1, j + 1));
+        }
+    }
+    let g = b.build();
+    assert!(
+        g.is_regular(6),
+        "T({rows},{cols},{shift}) collapsed to a non-6-regular graph"
+    );
+    g
+}
+
+/// The cube of a cycle, `C_n(1,2,3)`: vertices on a cycle, edges between
+/// all pairs at circular distance ≤ 3. Isomorphic to the toroidal
+/// triangulation `T(3, n/3, n/3 − 1)` when `3 | n`; 5-chromatic whenever
+/// `n ≢ 0 (mod 4)` (and `n ≥ 8`).
+///
+/// # Panics
+///
+/// Panics if `n < 8` (smaller powers collapse into cliques).
+pub fn cycle_power3(n: usize) -> Graph {
+    assert!(n >= 8, "C_n(1,2,3) needs n ≥ 8 to be 6-regular");
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        for d in 1..=3usize {
+            b.add_edge(v, (v + d) % n);
+        }
+    }
+    b.build()
+}
+
+/// The cube of a path, `P_n(1,2,3)` — the **planar** twin of
+/// [`cycle_power3`]: a triangulated strip with χ = 4, whose interior balls
+/// are identical to the cycle-power's balls.
+pub fn path_power3(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        for d in 1..=3usize {
+            if v + d < n {
+                b.add_edge(v, v + d);
+            }
+        }
+    }
+    b.build()
+}
+
+/// The `k`-th member of the locally planar non-4-colorable family:
+/// `T(3, 2k+1, 2k) ≅ C_{3(2k+1)}(1,2,3)` on `n = 6k + 3` vertices.
+///
+/// `n ≡ 3 (mod 4)` or `n ≡ 1 (mod 4)` — never `0 (mod 4)` — so every
+/// member is 5-chromatic; members `k ∈ {2,3,4}` are verified exactly in
+/// tests.
+///
+/// # Examples
+///
+/// ```
+/// use lower_bounds::locally_planar_5chromatic;
+/// let g = locally_planar_5chromatic(2);
+/// assert_eq!(g.n(), 15);
+/// assert!(g.is_regular(6));
+/// ```
+pub fn locally_planar_5chromatic(k: usize) -> Graph {
+    assert!(k >= 2, "family starts at k = 2");
+    shifted_torus_triangulation(3, 2 * k + 1, 2 * k)
+}
+
+/// A triangulated cylinder of height `rows` and length `len` (vertical
+/// wrap, no horizontal wrap): the planar band whose interior is the
+/// triangular lattice. 3-chromatic for `rows ≡ 0 (mod 3)`.
+pub fn triangulated_cylinder(rows: usize, len: usize) -> Graph {
+    let idx = |i: usize, j: usize| (i % rows) * len + j;
+    let mut b = GraphBuilder::new(rows * len);
+    for i in 0..rows {
+        for j in 0..len {
+            if j + 1 < len {
+                b.add_edge(idx(i, j), idx(i, j + 1));
+                b.add_edge(idx(i, j), idx(i + 1, j + 1));
+            }
+            b.add_edge(idx(i, j), idx(i + 1, j));
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::{chromatic_number, k_coloring};
+
+    #[test]
+    fn family_members_are_6_regular_eulerian() {
+        for k in 2..6 {
+            let g = locally_planar_5chromatic(k);
+            assert!(g.is_regular(6));
+            assert_eq!(g.n(), 3 * (2 * k + 1));
+            assert_eq!(g.m(), 3 * g.n());
+        }
+    }
+
+    #[test]
+    fn torus_is_isomorphic_to_cycle_power() {
+        for k in [2usize, 3] {
+            let t = locally_planar_5chromatic(k);
+            let c = cycle_power3(3 * (2 * k + 1));
+            assert!(
+                graphs::are_isomorphic(&t, &c),
+                "T(3,{},{}) ≇ C_{}(1,2,3)",
+                2 * k + 1,
+                2 * k,
+                3 * (2 * k + 1)
+            );
+        }
+    }
+
+    #[test]
+    fn small_members_are_exactly_5_chromatic() {
+        for k in [2usize, 3] {
+            let g = locally_planar_5chromatic(k);
+            assert!(k_coloring(&g, 4).is_none(), "k={k}: must not be 4-colorable");
+            assert!(k_coloring(&g, 5).is_some(), "k={k}: must be 5-colorable");
+        }
+    }
+
+    #[test]
+    fn k4_member_not_4_colorable() {
+        // n = 27 — a slightly bigger certificate.
+        let g = locally_planar_5chromatic(4);
+        assert!(k_coloring(&g, 4).is_none());
+    }
+
+    #[test]
+    fn cycle_power_chromatic_depends_on_n_mod_4() {
+        assert_eq!(chromatic_number(&cycle_power3(12)), 4); // 4 | 12
+        assert_eq!(chromatic_number(&cycle_power3(13)), 5);
+        assert_eq!(chromatic_number(&cycle_power3(14)), 5);
+        assert_eq!(chromatic_number(&cycle_power3(15)), 5);
+        assert_eq!(chromatic_number(&cycle_power3(16)), 4);
+    }
+
+    #[test]
+    fn path_power_is_4_chromatic_planar_witness() {
+        let p = path_power3(20);
+        assert_eq!(chromatic_number(&p), 4);
+        // 3-degenerate (each vertex sees ≤ 3 earlier neighbors).
+        assert!(graphs::degeneracy_order(&p, None).degeneracy <= 3);
+        assert!(graphs::mad_at_most(&p, 6.0));
+    }
+
+    #[test]
+    fn interior_balls_match_planar_twin() {
+        // Observation 2.4: radius-3 balls of C_33(1,2,3) equal radius-3
+        // balls around interior vertices of P_33(1,2,3).
+        let hard = cycle_power3(33);
+        let easy = path_power3(33);
+        for r in 1..=3usize {
+            assert!(
+                crate::locality::balls_match(&hard, 16, &easy, 16, r),
+                "radius {r} balls differ"
+            );
+        }
+    }
+
+    #[test]
+    fn cylinder_is_3_chromatic() {
+        // The triangular lattice is 3-chromatic; the height-3 cylinder
+        // keeps that (color (i + j) mod 3).
+        let c = triangulated_cylinder(3, 8);
+        assert_eq!(chromatic_number(&c), 3);
+        assert!(graphs::mad_at_most(&c, 6.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-6-regular")]
+    fn degenerate_parameters_rejected() {
+        shifted_torus_triangulation(2, 5, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiny_cycle_power_rejected() {
+        cycle_power3(7);
+    }
+}

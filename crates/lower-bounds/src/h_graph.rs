@@ -1,0 +1,106 @@
+//! The planar triangle-free graph `H_{2l}` (Figure 2, right) and its role
+//! in Theorem 2.5.
+//!
+//! The Klein-bottle grid `G_{5,2l+1}` is 4-chromatic (Gallai), but each of
+//! its balls of radius `< l` is isomorphic to a ball of a *planar
+//! triangle-free* graph — the height-5 quadrangulated cylinder `H_{2l}`
+//! (the unrolled Klein grid: vertical 5-cycles survive, the horizontal
+//! direction is cut open to length `2l`). By Observation 2.4, no
+//! distributed algorithm can 3-color planar triangle-free graphs in `o(n)`
+//! rounds.
+
+use graphs::{Graph, GraphBuilder, VertexId};
+
+/// The graph `H_{2l}`: a quadrangulated cylinder with vertical cycles of
+/// length 5 and horizontal paths of length `2l` (so `n = 5·2l`). Planar
+/// (annulus drawing), triangle-free, and 3-chromatic (it contains the odd
+/// cycle C5 but is far from 4-chromatic).
+///
+/// # Panics
+///
+/// Panics if `l == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use lower_bounds::h_graph;
+/// let h = h_graph(3);
+/// assert_eq!(h.n(), 30);
+/// assert!(graphs::is_triangle_free(&h, None));
+/// assert_eq!(graphs::chromatic_number(&h), 3);
+/// ```
+pub fn h_graph(l: usize) -> Graph {
+    assert!(l >= 1, "H_{{2l}} needs l ≥ 1");
+    let width = 2 * l;
+    let idx = |i: usize, j: usize| -> VertexId { (i % 5) * width + j };
+    let mut b = GraphBuilder::new(5 * width);
+    for i in 0..5 {
+        for j in 0..width {
+            b.add_edge(idx(i, j), idx(i + 1, j)); // vertical 5-cycle
+            if j + 1 < width {
+                b.add_edge(idx(i, j), idx(i, j + 1)); // horizontal path
+            }
+        }
+    }
+    b.build()
+}
+
+/// The vertex `(row, col)` of [`h_graph`]`(l)`.
+pub fn h_graph_index(l: usize, row: usize, col: usize) -> VertexId {
+    row * 2 * l + col
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::gen::klein_grid;
+
+    #[test]
+    fn h_graph_shape() {
+        let h = h_graph(2);
+        assert_eq!(h.n(), 20);
+        // Interior degrees 4, boundary columns degree 3.
+        assert_eq!(h.max_degree(), 4);
+        assert_eq!(h.min_degree(), 3);
+        assert!(graphs::is_triangle_free(&h, None));
+        assert!(graphs::is_connected(&h, None));
+    }
+
+    #[test]
+    fn h_graph_is_3_chromatic() {
+        let h = h_graph(2);
+        assert_eq!(graphs::chromatic_number(&h), 3);
+    }
+
+    #[test]
+    fn klein_grid_is_4_chromatic_but_balls_match_h() {
+        // G_{5, 2l+1} with l = 3: χ = 4 (Gallai), its radius-2 balls match
+        // balls of the planar triangle-free H_{2l}.
+        let l = 3usize;
+        let g = klein_grid(5, 2 * l + 1);
+        assert_eq!(graphs::chromatic_number(&g), 4);
+        let h = h_graph(l);
+        // Center of the Klein grid vs center column of H.
+        let gk_root = 2 * (2 * l + 1) + l; // row 2, col l
+        let h_root = h_graph_index(l, 2, l);
+        let r = 2;
+        let gb = graphs::InducedSubgraph::new(&g, graphs::ball(&g, gk_root, r, None));
+        let hb = graphs::InducedSubgraph::new(&h, graphs::ball(&h, h_root, r, None));
+        assert!(
+            graphs::are_rooted_isomorphic(
+                gb.graph(),
+                gb.from_parent(gk_root).unwrap(),
+                hb.graph(),
+                hb.from_parent(h_root).unwrap(),
+            ),
+            "Observation 2.4 ball correspondence failed"
+        );
+    }
+
+    #[test]
+    fn mad_below_4_triangle_free_planar() {
+        // Proposition 2.2: planar triangle-free ⇒ mad < 4.
+        let h = h_graph(4);
+        assert!(graphs::mad_at_most(&h, 4.0));
+    }
+}

@@ -1,0 +1,49 @@
+//! Quickstart: 6-list-color a planar graph with the PODC'18 algorithm.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use fewer_colors::prelude::*;
+
+fn main() -> Result<(), ColoringError> {
+    // A random planar triangulation on 500 vertices (mad < 6 by planarity).
+    let g = graphs::gen::apollonian(500, 42);
+    println!(
+        "graph: n = {}, m = {}, mad = {:.3}",
+        g.n(),
+        g.m(),
+        graphs::mad_f64(&g)
+    );
+
+    // Every vertex gets its own list of 6 colors from a palette of 12 —
+    // the list-coloring setting of Corollary 2.3(1).
+    let lists = ListAssignment::random(g.n(), 6, 12, 7);
+
+    let outcome = list_color_sparse(&g, &lists, 6, SparseColoringConfig::default())?;
+    let result = outcome.coloring().expect("planar graphs contain no K7");
+
+    // Validate and report.
+    assert!(graphs::is_proper(&g, &result.colors));
+    for v in g.vertices() {
+        assert!(lists.list(v).contains(&result.colors[v]));
+    }
+    let used: std::collections::BTreeSet<_> = result.colors.iter().collect();
+    println!(
+        "proper list-coloring found: {} distinct colors on {} vertices",
+        used.len(),
+        g.n()
+    );
+    println!(
+        "peeling levels: {}, happy fractions: {:?}",
+        result.stats.levels(),
+        result
+            .stats
+            .happy_fractions()
+            .iter()
+            .map(|f| format!("{f:.2}"))
+            .collect::<Vec<_>>()
+    );
+    println!("{}", result.ledger);
+    Ok(())
+}

@@ -1,0 +1,229 @@
+//! End-to-end integration tests spanning all crates: every theorem and
+//! corollary of the paper exercised on realistic workloads, with results
+//! cross-checked against the exact solvers.
+
+use fewer_colors::prelude::*;
+use graphs::gen;
+
+fn assert_valid_list_coloring(g: &graphs::Graph, lists: &ListAssignment, colors: &[usize]) {
+    assert!(graphs::is_proper(g, colors), "coloring not proper");
+    for v in g.vertices() {
+        assert!(
+            lists.list(v).contains(&colors[v]),
+            "vertex {v} used off-list color {}",
+            colors[v]
+        );
+    }
+}
+
+#[test]
+fn theorem13_on_every_workload_family() {
+    let workloads: Vec<(graphs::Graph, usize)> = vec![
+        (gen::random_tree(300, 1), 3),
+        (gen::forest_union(300, 2, 2), 4),
+        (gen::forest_union(300, 3, 3), 6),
+        (gen::grid(17, 17), 4),
+        (gen::triangular(12, 12), 6),
+        (gen::hexagonal(7, 7), 3),
+        (gen::apollonian(300, 4), 6),
+        (gen::random_regular(300, 3, 5), 3),
+        (gen::random_regular(300, 4, 6), 4),
+        (gen::subdivided_triangulation(60, 7), 3),
+        (gen::petersen(), 3),
+        (gen::torus_grid(10, 12), 4),
+    ];
+    for (i, (g, d)) in workloads.into_iter().enumerate() {
+        assert!(
+            graphs::mad_at_most(&g, d as f64),
+            "workload {i}: mad exceeds d = {d}"
+        );
+        let lists = ListAssignment::random(g.n(), d, 2 * d + 1, i as u64);
+        let outcome = list_color_sparse(&g, &lists, d, SparseColoringConfig::default())
+            .unwrap_or_else(|e| panic!("workload {i}: {e}"));
+        let res = outcome
+            .coloring()
+            .unwrap_or_else(|| panic!("workload {i}: unexpected clique"));
+        assert_valid_list_coloring(&g, &lists, &res.colors);
+    }
+}
+
+#[test]
+fn theorem13_all_radius_policies_agree_on_validity() {
+    use distributed_coloring::RadiusPolicy;
+    let g = gen::apollonian(150, 9);
+    let lists = ListAssignment::uniform(g.n(), 6);
+    for policy in [
+        RadiusPolicy::Adaptive { initial: 1 },
+        RadiusPolicy::Adaptive { initial: 4 },
+        RadiusPolicy::Fixed(3),
+        RadiusPolicy::Fixed(10),
+        RadiusPolicy::Paper,
+    ] {
+        let config = SparseColoringConfig {
+            radius: policy,
+            ..Default::default()
+        };
+        let outcome = list_color_sparse(&g, &lists, 6, config).unwrap();
+        let res = outcome.coloring().expect("planar: no K7");
+        assert_valid_list_coloring(&g, &lists, &res.colors);
+    }
+}
+
+#[test]
+fn clique_outcome_is_a_real_clique() {
+    // Plant a K6 inside a sparse graph and ask for d = 5.
+    let mut b = graphs::GraphBuilder::new(50);
+    for i in 0..6 {
+        for j in i + 1..6 {
+            b.add_edge(i, j);
+        }
+    }
+    for v in 6..50 {
+        b.add_edge(v - 1, v);
+    }
+    let g = b.build();
+    let lists = ListAssignment::uniform(50, 5);
+    match list_color_sparse(&g, &lists, 5, SparseColoringConfig::default()).unwrap() {
+        distributed_coloring::Outcome::CliqueFound { vertices, .. } => {
+            assert_eq!(vertices.len(), 6);
+            assert!(graphs::is_clique(&g, &vertices));
+        }
+        distributed_coloring::Outcome::Colored(c) => {
+            // Also legal: the theorem says "either…or" — but the planted K6
+            // cannot be 5-list-colored from uniform lists, so coloring is
+            // impossible here.
+            panic!(
+                "K6 cannot be 5-colored; got a coloring using {} colors",
+                c.colors.iter().collect::<std::collections::BTreeSet<_>>().len()
+            );
+        }
+    }
+}
+
+#[test]
+fn paper_workflow_planar_stack() {
+    // The paper's §2 story on one graph: a planar triangulation colored
+    // with 6 lists, its subdivision (girth 6) with 3 lists.
+    let tri = gen::apollonian(120, 31);
+    let lists6 = ListAssignment::random(tri.n(), 6, 13, 1);
+    let c6 = distributed_coloring::color_planar(&tri, &lists6).unwrap();
+    assert_valid_list_coloring(&tri, &lists6, &c6);
+
+    let sub = gen::subdivide_all_edges(&tri);
+    assert!(graphs::girth(&sub, None).unwrap() >= 6);
+    let lists3 = ListAssignment::random(sub.n(), 3, 7, 2);
+    let c3 = distributed_coloring::color_planar_girth6(&sub, &lists3).unwrap();
+    assert_valid_list_coloring(&sub, &lists3, &c3);
+}
+
+#[test]
+fn brooks_pipeline_against_exact_solver() {
+    // On small graphs, whenever our Brooks-type algorithm claims
+    // "no coloring exists", the exact solver must agree.
+    for seed in 0..6u64 {
+        let g = gen::random_regular(12, 3, seed);
+        let lists = ListAssignment::random(12, 3, 5, seed);
+        match brooks_list_coloring(&g, &lists) {
+            Ok((colors, _)) => assert_valid_list_coloring(&g, &lists, &colors),
+            Err(distributed_coloring::BrooksError::NoColoringExists { component }) => {
+                let sub = graphs::InducedSubgraph::new(&g, component.iter().copied());
+                let sub_lists: Vec<Vec<usize>> = sub
+                    .parent_vertices()
+                    .iter()
+                    .map(|&p| lists.list(p).to_vec())
+                    .collect();
+                assert!(
+                    graphs::list_coloring(sub.graph(), &sub_lists).is_none(),
+                    "seed {seed}: certificate contradicted by exact solver"
+                );
+            }
+            Err(e) => panic!("seed {seed}: unexpected {e}"),
+        }
+    }
+}
+
+#[test]
+fn nice_lists_stress_across_structures() {
+    for seed in 0..5u64 {
+        let base = gen::random_bounded_degree(80, 5, 30, seed);
+        // deg+1 lists are always nice.
+        let lists = ListAssignment::new(
+            base.vertices()
+                .map(|v| (0..=base.degree(v)).collect())
+                .collect(),
+        );
+        let (colors, _) = nice_list_coloring(&base, &lists).unwrap();
+        assert_valid_list_coloring(&base, &lists, &colors);
+    }
+}
+
+#[test]
+fn arboricity_corollary_and_baseline_coexist() {
+    let a = 3usize;
+    let g = gen::forest_union(200, a, 77);
+    // Paper: 2a = 6 colors.
+    let lists = ListAssignment::uniform(200, 2 * a);
+    let ours = color_by_arboricity(&g, &lists, a).unwrap();
+    assert_valid_list_coloring(&g, &lists, &ours);
+    // Baseline: ⌊3a⌋+1 = 10 colors.
+    let mut ledger = RoundLedger::new();
+    let be = barenboim_elkin_coloring(&g, None, a, 1.0, &mut ledger);
+    assert!(graphs::is_proper(&g, &be));
+    let be_distinct = be.iter().collect::<std::collections::BTreeSet<_>>().len();
+    let our_distinct = ours.iter().collect::<std::collections::BTreeSet<_>>().len();
+    assert!(our_distinct <= 2 * a);
+    assert!(be_distinct <= 3 * a + 1);
+}
+
+#[test]
+fn lower_bound_constructions_certified() {
+    // Theorem 1.5 witness: 5-chromatic, 6-regular, locally planar.
+    let hard = lower_bounds::locally_planar_5chromatic(3);
+    assert!(graphs::k_coloring(&hard, 4).is_none());
+    assert!(hard.is_regular(6));
+    // Klein grid (Theorem 2.6): 4-chromatic, locally a planar grid.
+    let kg = graphs::gen::klein_grid(7, 7);
+    assert_eq!(graphs::chromatic_number(&kg), 4);
+    assert!(lower_bounds::balls_match(
+        &kg,
+        3 * 7 + 3,
+        &graphs::gen::grid(7, 7),
+        3 * 7 + 3,
+        2
+    ));
+    // H_{2l} (Theorem 2.5): 3-chromatic planar triangle-free.
+    let h = lower_bounds::h_graph(3);
+    assert!(graphs::is_triangle_free(&h, None));
+    assert_eq!(graphs::chromatic_number(&h), 3);
+}
+
+#[test]
+fn the_colored_graph_respects_round_ledger_shape() {
+    // Rounds must grow polylog-ish: compare n = 128 vs n = 2048 on the
+    // same family and require less than linear growth.
+    let small = gen::forest_union(128, 2, 3);
+    let large = gen::forest_union(2048, 2, 3);
+    let rs = list_color_sparse(
+        &small,
+        &ListAssignment::uniform(128, 4),
+        4,
+        SparseColoringConfig::default(),
+    )
+    .unwrap();
+    let rl = list_color_sparse(
+        &large,
+        &ListAssignment::uniform(2048, 4),
+        4,
+        SparseColoringConfig::default(),
+    )
+    .unwrap();
+    let (rs, rl) = (
+        rs.coloring().unwrap().ledger.total(),
+        rl.coloring().unwrap().ledger.total(),
+    );
+    // 16x more vertices must cost far less than 16x more rounds.
+    assert!(
+        rl < rs * 8,
+        "rounds grew near-linearly: {rs} -> {rl} for 16x vertices"
+    );
+}

@@ -1,0 +1,200 @@
+//! Failure-injection tests: every documented error path is reachable and
+//! correct, and the algorithm degrades diagnosably — never silently — when
+//! the paper's preconditions are violated.
+
+use distributed_coloring::{
+    brooks_list_coloring, color_by_arboricity, color_planar_girth6, color_planar_triangle_free,
+    degree_choosable_coloring, list_color_sparse, nice_list_coloring, BrooksError, ColoringError,
+    CorollaryError, ErtError, ListAssignment, Outcome, RadiusPolicy, SparseColoringConfig,
+};
+use graphs::gen;
+
+#[test]
+fn mad_exceeds_d_without_clique_is_detected() {
+    // The octahedron: mad = 4, K4-free. Asking d = 3 violates d ≥ mad but
+    // offers no K4 — the algorithm must report NoHappyVertices (adaptive
+    // radius exhausts all components first).
+    let g = gen::octahedron();
+    let lists = ListAssignment::uniform(6, 3);
+    let err = list_color_sparse(&g, &lists, 3, SparseColoringConfig::default()).unwrap_err();
+    assert!(
+        matches!(err, ColoringError::NoHappyVertices { alive: 6 }),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn verify_mad_reports_exact_fraction() {
+    let g = gen::octahedron();
+    let lists = ListAssignment::uniform(6, 3);
+    let config = SparseColoringConfig {
+        verify_mad: true,
+        ..Default::default()
+    };
+    match list_color_sparse(&g, &lists, 3, config) {
+        Err(ColoringError::MadExceedsBound { mad }) => {
+            assert_eq!(mad.0 as f64 / mad.1 as f64, 4.0);
+        }
+        other => panic!("expected MadExceedsBound, got {other:?}"),
+    }
+}
+
+#[test]
+fn fixed_radius_with_no_happy_vertices_errors_not_loops() {
+    // Fixed radius cannot grow; the K4-free mad-violating input must error
+    // immediately rather than spin.
+    let g = gen::octahedron();
+    let lists = ListAssignment::uniform(6, 3);
+    let config = SparseColoringConfig {
+        radius: RadiusPolicy::Fixed(2),
+        ..Default::default()
+    };
+    assert!(matches!(
+        list_color_sparse(&g, &lists, 3, config),
+        Err(ColoringError::NoHappyVertices { .. })
+    ));
+}
+
+#[test]
+fn clique_beats_error_when_both_present() {
+    // K5 + octahedron: d = 4 → K5 is found (clique wins over the mad
+    // violation of the octahedron component… octahedron has mad 4 = d, so
+    // it is actually colorable; only K5 blocks).
+    let g = gen::complete(5).disjoint_union(&gen::octahedron());
+    let lists = ListAssignment::uniform(g.n(), 4);
+    match list_color_sparse(&g, &lists, 4, SparseColoringConfig::default()).unwrap() {
+        Outcome::CliqueFound { vertices, .. } => {
+            assert_eq!(vertices, vec![0, 1, 2, 3, 4]);
+        }
+        Outcome::Colored(_) => panic!("K5 cannot be 4-colored"),
+    }
+}
+
+#[test]
+fn ert_rejects_undersized_and_reports_gallai() {
+    // Tight lists on a Gallai tree: obstruction with a witness in range.
+    let t = gen::random_gallai_tree(&gen::GallaiTreeConfig::default(), 3);
+    let lists: Vec<Vec<usize>> = t.vertices().map(|v| (0..t.degree(v)).collect()).collect();
+    match degree_choosable_coloring(&t, &lists) {
+        Err(ErtError::GallaiObstruction { witness }) => assert!(witness < t.n()),
+        Ok(col) => {
+            // Some Gallai trees with tight lists are still colorable via
+            // the 2-connected differing-lists path (uniform 0..deg lists
+            // differ when degrees differ) — that is fine too, but the
+            // coloring must be valid.
+            assert!(graphs::is_proper_list_coloring(&t, &col, &lists));
+        }
+        Err(e) => panic!("unexpected {e}"),
+    }
+}
+
+#[test]
+fn corollary_wrappers_reject_wrong_classes() {
+    // Triangle in a "triangle-free" call.
+    let tri = gen::triangular(4, 4);
+    let l4 = ListAssignment::uniform(tri.n(), 4);
+    assert!(matches!(
+        color_planar_triangle_free(&tri, &l4),
+        Err(CorollaryError::StructuralCheckFailed { .. })
+    ));
+    // Girth-4 grid in a "girth ≥ 6" call.
+    let grid = gen::grid(4, 4);
+    let l3 = ListAssignment::uniform(16, 3);
+    assert!(matches!(
+        color_planar_girth6(&grid, &l3),
+        Err(CorollaryError::StructuralCheckFailed { .. })
+    ));
+    // Arboricity lie: K7 claimed as a = 2.
+    let k7 = gen::complete(7);
+    let l = ListAssignment::uniform(7, 4);
+    assert!(matches!(
+        color_by_arboricity(&k7, &l, 2),
+        Err(CorollaryError::ClassViolated { .. })
+    ));
+}
+
+#[test]
+fn brooks_error_paths() {
+    // Δ < 3.
+    let p = gen::path(5);
+    assert!(matches!(
+        brooks_list_coloring(&p, &ListAssignment::uniform(5, 2)),
+        Err(BrooksError::MaxDegreeTooSmall { max_degree: 2 })
+    ));
+    // Undersized lists.
+    let g = gen::random_regular(10, 4, 1);
+    assert!(matches!(
+        brooks_list_coloring(&g, &ListAssignment::uniform(10, 3)),
+        Err(BrooksError::NotNice { .. })
+    ));
+    // Non-nice assignment in the nice-list entry point.
+    let c = gen::cycle(5);
+    assert!(matches!(
+        nice_list_coloring(&c, &ListAssignment::uniform(5, 2)),
+        Err(BrooksError::NotNice { .. })
+    ));
+}
+
+#[test]
+fn partial_validity_is_never_silent() {
+    // Any Ok(Colored) outcome must be a complete proper list coloring —
+    // probe 20 random seeds with occasionally-infeasible dense inputs.
+    for seed in 0..20u64 {
+        let g = gen::gnm(40, 70, seed);
+        let d = 4;
+        let lists = ListAssignment::uniform(40, d);
+        match list_color_sparse(&g, &lists, d, SparseColoringConfig::default()) {
+            Ok(Outcome::Colored(res)) => {
+                assert!(graphs::is_proper(&g, &res.colors), "seed {seed}");
+                assert!(
+                    res.colors.iter().all(|&c| c < d),
+                    "seed {seed}: off-palette color"
+                );
+            }
+            Ok(Outcome::CliqueFound { vertices, .. }) => {
+                assert_eq!(vertices.len(), d + 1, "seed {seed}");
+                assert!(graphs::is_clique(&g, &vertices), "seed {seed}");
+            }
+            Err(ColoringError::NoHappyVertices { .. }) => {
+                // Legitimate: mad(G) > d for this seed. Verify.
+                assert!(!graphs::mad_at_most(&g, d as f64), "seed {seed}");
+            }
+            Err(e) => panic!("seed {seed}: unexpected {e}"),
+        }
+    }
+}
+
+#[test]
+fn zero_and_tiny_graphs() {
+    // n = 0.
+    let g0 = graphs::Graph::empty(0);
+    let out = list_color_sparse(
+        &g0,
+        &ListAssignment::uniform(0, 3),
+        3,
+        SparseColoringConfig::default(),
+    )
+    .unwrap();
+    assert!(out.coloring().unwrap().colors.is_empty());
+    // n = 1.
+    let g1 = graphs::Graph::empty(1);
+    let out = list_color_sparse(
+        &g1,
+        &ListAssignment::uniform(1, 3),
+        3,
+        SparseColoringConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(out.coloring().unwrap().colors.len(), 1);
+    // Single edge.
+    let g2 = graphs::Graph::from_edges(2, [(0, 1)]);
+    let out = list_color_sparse(
+        &g2,
+        &ListAssignment::uniform(2, 3),
+        3,
+        SparseColoringConfig::default(),
+    )
+    .unwrap();
+    let c = &out.coloring().unwrap().colors;
+    assert_ne!(c[0], c[1]);
+}

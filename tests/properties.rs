@@ -1,0 +1,170 @@
+//! Property-based tests (proptest) on the core invariants.
+
+use distributed_coloring::{
+    degree_choosable_coloring, list_color_sparse, ErtError, ListAssignment, Outcome,
+    SparseColoringConfig,
+};
+use graphs::gen;
+use local_model::{barenboim_elkin_coloring, degree_plus_one_coloring, ruling_forest, RoundLedger};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Theorem 1.3 on random forest unions: always proper, always on-list,
+    /// never more than d colors, never a clique (arboricity certified).
+    #[test]
+    fn theorem13_forest_unions(n in 20usize..150, a in 2usize..4, seed in 0u64..1000) {
+        let g = gen::forest_union(n, a, seed);
+        let d = 2 * a;
+        let lists = ListAssignment::random(n, d, d + 3, seed);
+        let outcome = list_color_sparse(&g, &lists, d, SparseColoringConfig::default()).unwrap();
+        let res = outcome.coloring().expect("forest unions contain no K_{2a+1}");
+        prop_assert!(graphs::is_proper(&g, &res.colors));
+        for v in g.vertices() {
+            prop_assert!(lists.list(v).contains(&res.colors[v]));
+        }
+    }
+
+    /// Theorem 1.3 on bounded-degree graphs with d = Δ (when Δ ≥ 3 and
+    /// mad ≤ Δ — always true): valid coloring or genuine K_{Δ+1}.
+    #[test]
+    fn theorem13_bounded_degree(n in 20usize..120, extra in 0usize..40, seed in 0u64..1000) {
+        let g = gen::random_bounded_degree(n, 4, extra, seed);
+        let d = g.max_degree().max(3);
+        let lists = ListAssignment::uniform(n, d);
+        match list_color_sparse(&g, &lists, d, SparseColoringConfig::default()).unwrap() {
+            Outcome::Colored(res) => prop_assert!(graphs::is_proper(&g, &res.colors)),
+            Outcome::CliqueFound { vertices, .. } => {
+                prop_assert_eq!(vertices.len(), d + 1);
+                prop_assert!(graphs::is_clique(&g, &vertices));
+            }
+        }
+    }
+
+    /// Constructive Theorem 1.1: any connected non-Gallai graph with
+    /// degree lists gets colored; Gallai obstructions are genuine.
+    #[test]
+    fn ert_degree_choosability(n in 8usize..60, m_extra in 1usize..30, seed in 0u64..1000) {
+        let g = gen::random_bounded_degree(n, 6, m_extra, seed);
+        let lists: Vec<Vec<usize>> = g.vertices().map(|v| {
+            // Degree-sized lists drawn from a shifted palette per vertex.
+            (0..g.degree(v).max(1)).map(|c| c + (v % 3)).collect()
+        }).collect();
+        match degree_choosable_coloring(&g, &lists) {
+            Ok(col) => prop_assert!(graphs::is_proper_list_coloring(&g, &col, &lists)),
+            Err(ErtError::GallaiObstruction { .. }) => {
+                prop_assert!(graphs::is_gallai_forest(&g, None));
+            }
+            Err(e) => prop_assert!(false, "unexpected error: {e}"),
+        }
+    }
+
+    /// Barenboim–Elkin: proper with the promised palette on arboricity-a
+    /// inputs.
+    #[test]
+    fn barenboim_elkin_palette(n in 20usize..150, a in 1usize..4, seed in 0u64..1000) {
+        let g = gen::forest_union(n, a, seed);
+        let mut ledger = RoundLedger::new();
+        let col = barenboim_elkin_coloring(&g, None, a, 1.0, &mut ledger);
+        let palette = 3 * a + 1;
+        for (u, v) in g.edges() {
+            prop_assert_ne!(col[u], col[v]);
+        }
+        prop_assert!(col.iter().all(|&c| c < palette));
+    }
+
+    /// (Δ+1)-coloring primitive: proper, within palette, on any graph.
+    #[test]
+    fn degree_plus_one(n in 10usize..120, m in 10usize..200, seed in 0u64..1000) {
+        let g = gen::gnm(n, m, seed);
+        let mut ledger = RoundLedger::new();
+        let col = degree_plus_one_coloring(&g, None, &mut ledger);
+        for (u, v) in g.edges() {
+            prop_assert_ne!(col[u], col[v]);
+        }
+        prop_assert!(g.vertices().all(|v| col[v] <= g.max_degree()));
+    }
+
+    /// Ruling forests: spacing ≥ α, depth ≤ α·⌈log₂ n⌉, subset covered.
+    #[test]
+    fn ruling_forest_invariants(n in 20usize..200, alpha in 2usize..8, seed in 0u64..1000) {
+        let g = gen::random_tree(n, seed);
+        let subset: Vec<usize> = (0..n).step_by(2).collect();
+        let mut ledger = RoundLedger::new();
+        let rf = ruling_forest(&g, None, &subset, alpha, &mut ledger);
+        let beta = alpha * ((n as f64).log2().ceil() as usize).max(1);
+        prop_assert!(rf.max_depth() <= beta);
+        for &u in &subset {
+            prop_assert!(rf.root_of[u] != usize::MAX, "subset vertex uncovered");
+        }
+        for &r in &rf.roots {
+            let dist = graphs::bfs_distances(&g, r, None);
+            for &s in &rf.roots {
+                if s != r {
+                    prop_assert!(dist[s] >= alpha, "roots too close: {} < {}", dist[s], alpha);
+                }
+            }
+        }
+    }
+
+    /// Exact mad oracle sandwich: average degree ≤ mad ≤ max degree, and
+    /// the Nash-Williams arboricity bracket 2a−2 ≤ ⌈mad⌉ ≤ 2a.
+    #[test]
+    fn mad_arboricity_sandwich(n in 5usize..60, m in 4usize..120, seed in 0u64..1000) {
+        let g = gen::gnm(n, m, seed);
+        prop_assume!(g.m() > 0);
+        let mad = graphs::mad_f64(&g);
+        prop_assert!(mad + 1e-9 >= g.average_degree());
+        prop_assert!(mad <= g.max_degree() as f64 + 1e-9);
+        let a = graphs::arboricity(&g);
+        let mad_ceil = mad.ceil() as usize;
+        prop_assert!(2 * a >= mad_ceil);
+        prop_assert!(2 * a <= mad_ceil + 2);
+    }
+
+    /// Degeneracy coloring is proper and uses ≤ degeneracy + 1 colors;
+    /// degeneracy ≤ ⌊mad⌋ always.
+    #[test]
+    fn degeneracy_vs_mad(n in 5usize..60, m in 4usize..120, seed in 0u64..1000) {
+        let g = gen::gnm(n, m, seed);
+        let deg = graphs::degeneracy_order(&g, None);
+        let col = graphs::greedy_degeneracy_coloring(&g, None);
+        for (u, v) in g.edges() {
+            prop_assert_ne!(col[u], col[v]);
+        }
+        prop_assert!(col.iter().all(|&c| c <= deg.degeneracy));
+        // degeneracy ≤ mad (every subgraph has a vertex of degree ≤ mad).
+        prop_assert!(deg.degeneracy as f64 <= graphs::mad_f64(&g) + 1e-9);
+    }
+
+    /// Gallai recognition agrees with its definition on random block sums.
+    #[test]
+    fn gallai_recognition_consistency(blocks in 1usize..10, seed in 0u64..1000) {
+        let cfg = gen::GallaiTreeConfig { blocks, ..Default::default() };
+        let t = gen::random_gallai_tree(&cfg, seed);
+        prop_assert!(graphs::is_gallai_tree(&t, None));
+        if let Some(broken) = gen::break_gallai_tree(&t, seed) {
+            prop_assert!(!graphs::is_gallai_tree(&broken, None));
+        }
+    }
+
+    /// Blocks partition the edge set, and every block is 2-connected or an
+    /// edge or an isolated vertex.
+    #[test]
+    fn block_decomposition_partitions_edges(n in 5usize..60, m in 4usize..120, seed in 0u64..1000) {
+        let g = gen::gnm(n, m, seed);
+        let d = graphs::block_decomposition(&g, None);
+        let mut count = 0usize;
+        for b in &d.blocks {
+            for (i, &u) in b.iter().enumerate() {
+                for &v in &b[i + 1..] {
+                    if g.has_edge(u, v) {
+                        count += 1;
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(count, g.m());
+    }
+}
