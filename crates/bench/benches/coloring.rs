@@ -5,8 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use distributed_coloring::{
-    classify, degree_choosable_coloring, list_color_sparse, ListAssignment,
-    SparseColoringConfig,
+    classify, degree_choosable_coloring, list_color_sparse, ListAssignment, SparseColoringConfig,
 };
 use graphs::{gen, VertexSet};
 use local_model::{barenboim_elkin_coloring, degree_plus_one_coloring, ruling_forest, RoundLedger};
@@ -38,10 +37,7 @@ fn bench_ert(c: &mut Criterion) {
         };
         let t = gen::random_gallai_tree(&cfg, blocks as u64);
         let g = gen::break_gallai_tree(&t, 1).unwrap_or(t);
-        let lists: Vec<Vec<usize>> = g
-            .vertices()
-            .map(|v| (0..=g.degree(v)).collect())
-            .collect();
+        let lists: Vec<Vec<usize>> = g.vertices().map(|v| (0..=g.degree(v)).collect()).collect();
         group.bench_with_input(BenchmarkId::from_parameter(g.n()), &blocks, |b, _| {
             b.iter(|| black_box(degree_choosable_coloring(&g, &lists).unwrap()))
         });
@@ -110,9 +106,7 @@ fn bench_substrate(c: &mut Criterion) {
         })
     });
     let h = gen::forest_union(512, 3, 29);
-    group.bench_function("exact-mad-512", |b| {
-        b.iter(|| black_box(graphs::mad(&h)))
-    });
+    group.bench_function("exact-mad-512", |b| b.iter(|| black_box(graphs::mad(&h))));
     group.finish();
 }
 

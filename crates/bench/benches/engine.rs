@@ -1,0 +1,123 @@
+//! Engine benches (B7–B9): wall-clock cost of the message-passing runtime,
+//! swept across shard counts, next to the sequential twins.
+//!
+//! The interesting curve is engine wall time vs shards: compute per round is
+//! tiny for these programs, so this chiefly measures the runtime's own
+//! routing and barrier overhead — the thing future engine PRs optimize.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use engine::{engine_h_partition, engine_randomized_list_coloring, EngineConfig};
+use graphs::gen;
+use local_model::{h_partition, randomized_list_coloring, RoundLedger};
+use std::hint::black_box;
+
+const SHARD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// B7 — randomized (deg+1)-list coloring: sequential vs engine by shards.
+fn bench_randomized(c: &mut Criterion) {
+    let n = 4096;
+    let g = gen::random_regular(n, 4, 7);
+    let lists: Vec<Vec<usize>> = g
+        .vertices()
+        .map(|v| (0..g.degree(v) + 1).collect())
+        .collect();
+    let mut group = c.benchmark_group("B7-randomized-coloring-4096");
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let mut ledger = RoundLedger::new();
+            black_box(randomized_list_coloring(
+                &g,
+                None,
+                &lists,
+                7,
+                10_000,
+                &mut ledger,
+            ))
+        })
+    });
+    for shards in SHARD_SWEEP {
+        group.bench_with_input(BenchmarkId::new("engine", shards), &shards, |b, &shards| {
+            b.iter(|| {
+                let mut ledger = RoundLedger::new();
+                black_box(engine_randomized_list_coloring(
+                    &g,
+                    &lists,
+                    7,
+                    10_000,
+                    EngineConfig::default().with_shards(shards),
+                    &mut ledger,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// B8 — H-partition peeling: sequential vs engine by shards.
+fn bench_h_partition(c: &mut Criterion) {
+    let n = 4096;
+    let g = gen::forest_union(n, 2, 11);
+    let mut group = c.benchmark_group("B8-h-partition-4096");
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            let mut ledger = RoundLedger::new();
+            black_box(h_partition(&g, None, 2, 1.0, &mut ledger))
+        })
+    });
+    for shards in SHARD_SWEEP {
+        group.bench_with_input(BenchmarkId::new("engine", shards), &shards, |b, &shards| {
+            b.iter(|| {
+                let mut ledger = RoundLedger::new();
+                black_box(engine_h_partition(
+                    &g,
+                    2,
+                    1.0,
+                    EngineConfig::default().with_shards(shards),
+                    &mut ledger,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// B9 — raw engine round overhead: a silent program that just spins the
+/// barrier/mailbox machinery for a fixed number of rounds.
+fn bench_round_overhead(c: &mut Criterion) {
+    use engine::{EngineSession, NodeCtx, NodeProgram, Outbox, Stop};
+
+    struct Quiet;
+    impl NodeProgram for Quiet {
+        type Message = usize;
+        fn init(&mut self, _: &mut NodeCtx<'_>) -> Outbox<usize> {
+            Outbox::Silent
+        }
+        fn on_round(&mut self, _: &mut NodeCtx<'_>, _: &[(usize, usize)]) -> Outbox<usize> {
+            Outbox::Silent
+        }
+        fn halted(&self) -> bool {
+            false
+        }
+    }
+
+    let g = gen::grid(64, 64);
+    let mut group = c.benchmark_group("B9-round-overhead-4096x100");
+    for shards in SHARD_SWEEP {
+        group.bench_with_input(BenchmarkId::new("engine", shards), &shards, |b, &shards| {
+            b.iter(|| {
+                let mut sess =
+                    EngineSession::new(&g, EngineConfig::default().with_shards(shards), |_| Quiet);
+                black_box(sess.run_phase("spin", Stop::Rounds(100)))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_randomized,
+    bench_h_partition,
+    bench_round_overhead
+);
+criterion_main!(benches);

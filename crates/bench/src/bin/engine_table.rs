@@ -1,0 +1,221 @@
+//! Engine-vs-sequential throughput tables + the `BENCH_engine.json` artifact.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin engine_table            # default sizes
+//! cargo run --release -p bench --bin engine_table -- 5000    # custom n
+//! ```
+//!
+//! For each workload family and algorithm, runs the sequential
+//! implementation once and the engine at a sweep of shard counts, printing
+//! wall-clock/round/message tables and writing every measurement to
+//! `BENCH_engine.json` (see [`bench::engine_report`]) so future PRs can
+//! track the perf trajectory mechanically.
+
+use std::time::Instant;
+
+use bench::{print_table, render_engine_bench_json, EngineBenchRecord};
+use engine::{
+    engine_cole_vishkin_3color, engine_h_partition, engine_randomized_list_coloring, EngineConfig,
+};
+use graphs::gen;
+use local_model::{
+    cole_vishkin_3color, h_partition, randomized_list_coloring, RootedForest, RoundLedger,
+};
+
+const SHARD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let sizes: Vec<usize> = {
+        let args: Vec<usize> = std::env::args()
+            .skip(1)
+            .map(|a| a.parse().expect("sizes must be integers"))
+            .collect();
+        if args.is_empty() {
+            vec![2_000, 20_000]
+        } else {
+            args
+        }
+    };
+    let mut records: Vec<EngineBenchRecord> = Vec::new();
+    for &n in &sizes {
+        randomized_showdown(n, &mut records);
+        h_partition_showdown(n, &mut records);
+        cole_vishkin_showdown(n, &mut records);
+    }
+    let json = render_engine_bench_json(&records);
+    std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
+    println!("\nwrote {} records to BENCH_engine.json", records.len());
+}
+
+fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+fn row(records: &mut Vec<EngineBenchRecord>, rec: EngineBenchRecord) -> Vec<String> {
+    let label = if rec.shards == 0 {
+        "sequential".into()
+    } else {
+        format!("engine/{}", rec.shards)
+    };
+    let cells = vec![
+        label,
+        format!("{}", rec.rounds),
+        format!("{}", rec.messages),
+        format!("{:.2}", rec.wall_ms),
+    ];
+    records.push(rec);
+    cells
+}
+
+fn record(
+    family: &str,
+    algorithm: &str,
+    n: usize,
+    shards: usize,
+    rounds: u64,
+    messages: usize,
+    wall_ms: f64,
+) -> EngineBenchRecord {
+    EngineBenchRecord {
+        family: family.into(),
+        algorithm: algorithm.into(),
+        n,
+        shards,
+        rounds,
+        messages,
+        wall_ms,
+    }
+}
+
+fn randomized_showdown(n: usize, records: &mut Vec<EngineBenchRecord>) {
+    let family = "random-4-regular";
+    let g = gen::random_regular(n & !1, 4, 7);
+    let lists: Vec<Vec<usize>> = g
+        .vertices()
+        .map(|v| (0..g.degree(v) + 1).collect())
+        .collect();
+    let mut rows = Vec::new();
+    let mut ledger = RoundLedger::new();
+    let (seq, wall) =
+        time_ms(|| randomized_list_coloring(&g, None, &lists, 7, 10_000, &mut ledger));
+    assert!(seq.complete);
+    rows.push(row(
+        records,
+        record(family, "randomized", g.n(), 0, ledger.total(), 0, wall),
+    ));
+    for shards in SHARD_SWEEP {
+        let mut ledger = RoundLedger::new();
+        let ((out, metrics), wall) = time_ms(|| {
+            engine_randomized_list_coloring(
+                &g,
+                &lists,
+                7,
+                10_000,
+                EngineConfig::default().with_shards(shards),
+                &mut ledger,
+            )
+        });
+        assert_eq!(
+            out.colors, seq.colors,
+            "engine must replay the sequential run"
+        );
+        rows.push(row(
+            records,
+            record(
+                family,
+                "randomized",
+                g.n(),
+                shards,
+                metrics.total_rounds(),
+                metrics.total_messages(),
+                wall,
+            ),
+        ));
+    }
+    print_table(
+        &format!("randomized (deg+1)-list coloring, {family}, n = {}", g.n()),
+        &["run", "rounds", "messages", "wall ms"],
+        &rows,
+    );
+}
+
+fn h_partition_showdown(n: usize, records: &mut Vec<EngineBenchRecord>) {
+    let family = "forest-union-a2";
+    let g = gen::forest_union(n, 2, 11);
+    let mut rows = Vec::new();
+    let mut ledger = RoundLedger::new();
+    let (seq, wall) = time_ms(|| h_partition(&g, None, 2, 1.0, &mut ledger));
+    rows.push(row(
+        records,
+        record(family, "h-partition", g.n(), 0, ledger.total(), 0, wall),
+    ));
+    for shards in SHARD_SWEEP {
+        let mut ledger = RoundLedger::new();
+        let ((hp, metrics), wall) = time_ms(|| {
+            engine_h_partition(
+                &g,
+                2,
+                1.0,
+                EngineConfig::default().with_shards(shards),
+                &mut ledger,
+            )
+        });
+        assert_eq!(hp.layer, seq.layer);
+        rows.push(row(
+            records,
+            record(
+                family,
+                "h-partition",
+                g.n(),
+                shards,
+                metrics.total_rounds(),
+                metrics.total_messages(),
+                wall,
+            ),
+        ));
+    }
+    print_table(
+        &format!("Barenboim–Elkin H-partition, {family}, n = {}", g.n()),
+        &["run", "rounds", "messages", "wall ms"],
+        &rows,
+    );
+}
+
+fn cole_vishkin_showdown(n: usize, records: &mut Vec<EngineBenchRecord>) {
+    let family = "random-tree";
+    let g = gen::random_tree(n, 13);
+    let f = RootedForest::new(graphs::bfs_parents(&g, 0, None));
+    let mut rows = Vec::new();
+    let mut ledger = RoundLedger::new();
+    let (seq, wall) = time_ms(|| cole_vishkin_3color(&f, &mut ledger));
+    rows.push(row(
+        records,
+        record(family, "cole-vishkin", g.n(), 0, ledger.total(), 0, wall),
+    ));
+    for shards in SHARD_SWEEP {
+        let mut ledger = RoundLedger::new();
+        let ((colors, metrics), wall) = time_ms(|| {
+            engine_cole_vishkin_3color(&f, EngineConfig::default().with_shards(shards), &mut ledger)
+        });
+        assert_eq!(colors, seq);
+        rows.push(row(
+            records,
+            record(
+                family,
+                "cole-vishkin",
+                g.n(),
+                shards,
+                metrics.total_rounds(),
+                metrics.total_messages(),
+                wall,
+            ),
+        ));
+    }
+    print_table(
+        &format!("Cole–Vishkin 3-coloring, {family}, n = {}", g.n()),
+        &["run", "rounds", "messages", "wall ms"],
+        &rows,
+    );
+}

@@ -15,9 +15,7 @@ use local_model::{
     barenboim_elkin_coloring, gps_seven_coloring, randomized_list_coloring, ruling_forest,
     RoundLedger,
 };
-use lower_bounds::{
-    h_graph, indistinguishability_radius, locally_planar_5chromatic, path_power3,
-};
+use lower_bounds::{h_graph, indistinguishability_radius, locally_planar_5chromatic, path_power3};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -81,7 +79,15 @@ fn e1_theorem13_scaling() {
     }
     print_table(
         "E1  Theorem 1.3: d-list-coloring, round scaling vs log₂³ n",
-        &["family", "n", "d", "colors", "levels", "rounds", "rounds/log₂³n"],
+        &[
+            "family",
+            "n",
+            "d",
+            "colors",
+            "levels",
+            "rounds",
+            "rounds/log₂³n",
+        ],
         &rows,
     );
     println!("shape check: colors ≤ d always; rounds/log₂³n stays bounded as n grows.");
@@ -114,8 +120,15 @@ fn e2_arboricity_vs_barenboim_elkin() {
     print_table(
         "E2  Corollary 1.4 vs Barenboim–Elkin (n = 600 forest unions)",
         &[
-            "a", "ε", "BE palette", "BE used", "BE rounds", "our palette", "our used",
-            "our rounds", "color gain",
+            "a",
+            "ε",
+            "BE palette",
+            "BE used",
+            "BE rounds",
+            "our palette",
+            "our used",
+            "our rounds",
+            "color gain",
         ],
         &rows,
     );
@@ -131,9 +144,17 @@ fn e3_planar_ladder() {
         ("icosahedron", gen::icosahedron(), 6),
         ("grid (triangle-free)", gen::grid(20, 20), 4),
         ("perforated grid", gen::perforated_grid(22, 22, 40, 7), 4),
-        ("subdivided triang.", gen::subdivided_triangulation(80, 5), 4),
+        (
+            "subdivided triang.",
+            gen::subdivided_triangulation(80, 5),
+            4,
+        ),
         ("hexagonal (girth 6)", gen::hexagonal(8, 8), 3),
-        ("subdivided (girth 6)", gen::subdivided_triangulation(40, 9), 3),
+        (
+            "subdivided (girth 6)",
+            gen::subdivided_triangulation(40, 9),
+            3,
+        ),
     ];
     let mut rows = Vec::new();
     for (name, g, d) in workloads {
@@ -156,7 +177,16 @@ fn e3_planar_ladder() {
     }
     print_table(
         "E3  Corollary 2.3: planar 6 / triangle-free 4 / girth≥6 3 (GPS [17] baseline)",
-        &["family", "n", "mad", "d", "colors", "rounds", "GPS colors", "GPS rounds"],
+        &[
+            "family",
+            "n",
+            "mad",
+            "d",
+            "colors",
+            "rounds",
+            "GPS colors",
+            "GPS rounds",
+        ],
         &rows,
     );
     println!("shape check: mad < d on every row (Proposition 2.2); colors ≤ d ≤ 6 < 7;");
@@ -172,7 +202,11 @@ fn e4_lemma31_happy_fractions() {
         ("random-3-regular", gen::random_regular(500, 3, 13), 3),
         ("random-4-regular", gen::random_regular(500, 4, 17), 4),
         ("apollonian", gen::apollonian(500, 19), 6),
-        ("star-heavy (poor)", gen::star(40).disjoint_union(&gen::grid(12, 12)), 3),
+        (
+            "star-heavy (poor)",
+            gen::star(40).disjoint_union(&gen::grid(12, 12)),
+            3,
+        ),
     ];
     let mut rows = Vec::new();
     for (name, g, d) in workloads {
@@ -195,7 +229,9 @@ fn e4_lemma31_happy_fractions() {
     }
     print_table(
         "E4  Lemma 3.1: happy fraction ≥ 1/(3d)³ (≥ 1/(12d+1) if Δ ≤ d)",
-        &["family", "n", "d", "poor", "sad", "happy", "|A|/n", "bound", "holds"],
+        &[
+            "family", "n", "d", "poor", "sad", "happy", "|A|/n", "bound", "holds",
+        ],
         &rows,
     );
     println!("shape check: natural workloads sit far above the worst-case bound.");
@@ -312,7 +348,9 @@ fn e7_brooks_and_nice_lists() {
     // Nice lists with heterogeneous sizes (Theorem 6.1).
     let cat = gen::caterpillar(60, 3);
     let nice = ListAssignment::new(
-        cat.vertices().map(|v| (0..=cat.degree(v)).collect()).collect(),
+        cat.vertices()
+            .map(|v| (0..=cat.degree(v)).collect())
+            .collect(),
     );
     let (colors, ledger) = nice_list_coloring(&cat, &nice).expect("nice lists color");
     rows.push(vec![
@@ -372,7 +410,16 @@ fn e8_ruling_forest_quality() {
     }
     print_table(
         "E8  (α, α·log n)-ruling forests (Lemma 3.2 scaffolding)",
-        &["family", "α", "roots", "min root dist", "max depth", "β bound", "|T|", "rounds"],
+        &[
+            "family",
+            "α",
+            "roots",
+            "min root dist",
+            "max depth",
+            "β bound",
+            "|T|",
+            "rounds",
+        ],
         &rows,
     );
     println!("shape check: min root distance ≥ α and depth ≤ β on every row.");
@@ -425,7 +472,16 @@ fn e9_proposition44() {
     }
     print_table(
         "E9  Proposition 4.4: low-degree sad vertices ≥ |S|/12; aux graph girth ≥ 5",
-        &["family", "n", "d", "|S|", "low-deg in G[S]", "|S|/12", "girth(H)", "hubs+suppr"],
+        &[
+            "family",
+            "n",
+            "d",
+            "|S|",
+            "low-deg in G[S]",
+            "|S|/12",
+            "girth(H)",
+            "hubs+suppr",
+        ],
         &rows,
     );
     println!("shape check: low-deg ≥ |S|/12 and girth(H) ≥ 5 whenever d ≥ 3.");
@@ -481,7 +537,14 @@ fn e10_genus() {
     }
     print_table(
         "E10  Corollary 2.11: H(g)-list-coloring on genus-g graphs",
-        &["family", "n", "Euler genus", "H(g)", "colors used", "exact χ"],
+        &[
+            "family",
+            "n",
+            "Euler genus",
+            "H(g)",
+            "colors used",
+            "exact χ",
+        ],
         &rows,
     );
     println!("shape check: colors ≤ H(g) = ⌊(7+√(24g+1))/2⌋.");
@@ -514,8 +577,8 @@ fn e11_radius_policy_ablation() {
             radius: policy,
             ..Default::default()
         };
-        let outcome = distributed_coloring::list_color_sparse(&g, &lists, 6, config)
-            .expect("valid input");
+        let outcome =
+            distributed_coloring::list_color_sparse(&g, &lists, 6, config).expect("valid input");
         let res = outcome.coloring().expect("planar");
         assert!(graphs::is_proper(&g, &res.colors));
         rows.push(vec![
@@ -543,7 +606,8 @@ fn e12_deterministic_vs_randomized() {
     for n in [128usize, 512, 2048] {
         let g = gen::random_regular(n, 4, 5);
         // Randomized: deg+1 = 5 lists.
-        let rand_lists: Vec<Vec<usize>> = g.vertices().map(|v| (0..=g.degree(v)).collect()).collect();
+        let rand_lists: Vec<Vec<usize>> =
+            g.vertices().map(|v| (0..=g.degree(v)).collect()).collect();
         let mut rl = RoundLedger::new();
         let rand_out = randomized_list_coloring(&g, None, &rand_lists, 9, 10_000, &mut rl);
         assert!(rand_out.complete);
@@ -559,7 +623,13 @@ fn e12_deterministic_vs_randomized() {
     }
     print_table(
         "E12  §6 remark: randomized (deg+1)-list coloring vs deterministic Thm 1.3",
-        &["n", "rand rounds", "det rounds", "rand colors", "det colors"],
+        &[
+            "n",
+            "rand rounds",
+            "det rounds",
+            "rand colors",
+            "det colors",
+        ],
         &rows,
     );
     println!("shape check: randomized finishes in O(log n) rounds but needs deg+1");

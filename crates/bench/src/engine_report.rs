@@ -1,0 +1,113 @@
+//! Machine-readable engine bench artifact: `BENCH_engine.json`.
+//!
+//! Each record is one measured run — graph family, size, shard count,
+//! observed rounds/messages, wall time — so successive PRs can diff the
+//! perf trajectory mechanically. Sequential baseline rows use `shards = 0`.
+//! The JSON is hand-rolled (the build environment is offline; no serde) but
+//! stable: one object per line, sorted keys.
+
+use std::fmt::Write as _;
+
+/// One measured run for the perf-trajectory artifact.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EngineBenchRecord {
+    /// Workload family name (e.g. `forest-union-a2`).
+    pub family: String,
+    /// Algorithm identifier (e.g. `randomized`, `h-partition`).
+    pub algorithm: String,
+    /// Vertex count.
+    pub n: usize,
+    /// Engine shard count; 0 marks the sequential baseline.
+    pub shards: usize,
+    /// LOCAL rounds executed (engine) or charged (sequential).
+    pub rounds: u64,
+    /// Messages routed (0 for sequential baselines — nothing is sent).
+    pub messages: usize,
+    /// Wall-clock milliseconds.
+    pub wall_ms: f64,
+}
+
+impl EngineBenchRecord {
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"algorithm\":{},\"family\":{},\"messages\":{},",
+                "\"n\":{},\"rounds\":{},\"shards\":{},\"wall_ms\":{:.4}}}"
+            ),
+            json_string(&self.algorithm),
+            json_string(&self.family),
+            self.messages,
+            self.n,
+            self.rounds,
+            self.shards,
+            self.wall_ms,
+        )
+    }
+}
+
+/// Serializes records as a JSON array, one record per line.
+pub fn render_engine_bench_json(records: &[EngineBenchRecord]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let sep = if i + 1 < records.len() { "," } else { "" };
+        let _ = writeln!(out, "  {}{}", r.to_json(), sep);
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> EngineBenchRecord {
+        EngineBenchRecord {
+            family: "forest-union-a2".into(),
+            algorithm: "randomized".into(),
+            n: 1000,
+            shards: 4,
+            rounds: 24,
+            messages: 12345,
+            wall_ms: 1.5,
+        }
+    }
+
+    #[test]
+    fn renders_valid_shape() {
+        let json = render_engine_bench_json(&[record(), record()]);
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("]\n"));
+        assert_eq!(json.matches("\"algorithm\":\"randomized\"").count(), 2);
+        assert_eq!(json.matches("},").count(), 1, "exactly one separator");
+        assert!(json.contains("\"wall_ms\":1.5000"));
+    }
+
+    #[test]
+    fn empty_list_is_valid() {
+        assert_eq!(render_engine_bench_json(&[]), "[\n]\n");
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("x\ny"), "\"x\\u000ay\"");
+    }
+}

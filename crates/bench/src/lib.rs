@@ -7,6 +7,9 @@ use distributed_coloring::{
 };
 use graphs::Graph;
 
+pub mod engine_report;
+pub use engine_report::{render_engine_bench_json, EngineBenchRecord};
+
 /// Prints an aligned table: header row then rows, all right-aligned to the
 /// widest cell per column.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
@@ -29,7 +32,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     };
     let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
     println!("{}", fmt_row(&header_cells));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1))
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }

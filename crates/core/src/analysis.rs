@@ -258,8 +258,8 @@ mod tests {
         let aux = auxiliary_graph(&g, &sad);
         assert_eq!(aux.hubs, 2);
         assert_eq!(aux.suppressed, 2); // vertices 3 and 4
-        // H: hubs h0, h1 connected through (suppression) to 8:
-        // h0 - 8 - h1 plus stars to non-cut clique vertices.
+                                       // H: hubs h0, h1 connected through (suppression) to 8:
+                                       // h0 - 8 - h1 plus stars to non-cut clique vertices.
         let girth = graphs::girth(&aux.graph, None);
         assert!(girth.is_none_or(|x| x >= 5), "Prop 4.4: girth ≥ 5");
     }

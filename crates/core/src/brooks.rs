@@ -201,8 +201,15 @@ pub fn nice_list_coloring(
     }
     let mut colors = vec![UNCOLORED; n];
     for (level_alive, classification) in levels.iter().rev() {
-        extend_to_happy_set(g, level_alive, lists, classification, &mut colors, &mut ledger)
-            .map_err(|e| BrooksError::Coloring(ColoringError::Extend(e)))?;
+        extend_to_happy_set(
+            g,
+            level_alive,
+            lists,
+            classification,
+            &mut colors,
+            &mut ledger,
+        )
+        .map_err(|e| BrooksError::Coloring(ColoringError::Extend(e)))?;
     }
     debug_assert!(graphs::is_proper(g, &colors));
     Ok((colors, ledger))
@@ -314,9 +321,8 @@ mod tests {
     fn nice_lists_with_varying_sizes() {
         // Caterpillar: degrees vary; give everyone deg+1 colors — nice.
         let g = gen::caterpillar(10, 2);
-        let lists = ListAssignment::new(
-            g.vertices().map(|v| (0..=g.degree(v)).collect()).collect(),
-        );
+        let lists =
+            ListAssignment::new(g.vertices().map(|v| (0..=g.degree(v)).collect()).collect());
         let (colors, _) = nice_list_coloring(&g, &lists).unwrap();
         assert!(graphs::is_proper(&g, &colors));
         for v in g.vertices() {
@@ -363,12 +369,8 @@ mod tests {
         // K4 with diverse 3-lists + a path component: colorable.
         let k4 = gen::complete(4);
         let g = k4.disjoint_union(&gen::random_regular(12, 3, 3));
-        let mut raw: Vec<Vec<usize>> = vec![
-            vec![0, 1, 2],
-            vec![0, 1, 2],
-            vec![0, 1, 3],
-            vec![1, 2, 3],
-        ];
+        let mut raw: Vec<Vec<usize>> =
+            vec![vec![0, 1, 2], vec![0, 1, 2], vec![0, 1, 3], vec![1, 2, 3]];
         raw.extend(std::iter::repeat_n(vec![0, 1, 2], 12));
         let lists = ListAssignment::new(raw);
         let (colors, _) = brooks_list_coloring(&g, &lists).unwrap();

@@ -142,7 +142,9 @@ pub fn color_planar_girth6(
     lists: &ListAssignment,
 ) -> Result<Vec<usize>, CorollaryError> {
     if graphs::girth(g, None).is_some_and(|girth| girth < 6) {
-        return Err(CorollaryError::StructuralCheckFailed { check: "girth ≥ 6" });
+        return Err(CorollaryError::StructuralCheckFailed {
+            check: "girth ≥ 6"
+        });
     }
     run(g, lists, 3, SparseColoringConfig::default())
 }
@@ -266,7 +268,7 @@ mod tests {
     #[test]
     fn heawood_number_small_genera() {
         assert_eq!(heawood_number(0), 4); // formula collapses to 4 on the sphere
-        // g=1: ⌊(7+5)/2⌋ = 6; g=2: ⌊(7+7)/2⌋ = 7; g=3: ⌊(7+√73)/2⌋ = 7.
+                                          // g=1: ⌊(7+5)/2⌋ = 6; g=2: ⌊(7+7)/2⌋ = 7; g=3: ⌊(7+√73)/2⌋ = 7.
         assert_eq!(heawood_number(1), 6);
         assert_eq!(heawood_number(2), 7);
         assert_eq!(heawood_number(3), 7);

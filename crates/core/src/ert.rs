@@ -9,13 +9,13 @@
 //!    neighbors, reverse-BFS greedy colors the whole component.
 //! 2. **2-connected, all tight:**
 //!    a. an edge `uv` with `L(u) ≠ L(v)` lets us color `u` with a color
-//!       missing from `L(v)`; 2-connectivity keeps the rest connected and
-//!       `v` gains a surplus;
+//!    missing from `L(v)`; 2-connectivity keeps the rest connected and
+//!    `v` gains a surplus;
 //!    b. otherwise all lists are equal, the component is `k`-regular:
-//!       `k = 2` is an even cycle (2-color it); `k ≥ 3` uses the
-//!       Brooks–Lovász triple — a vertex `z` with non-adjacent neighbors
-//!       `x, y` whose removal keeps the component connected — coloring
-//!       `x, y` alike gives `z` a surplus.
+//!    `k = 2` is an even cycle (2-color it); `k ≥ 3` uses the
+//!    Brooks–Lovász triple — a vertex `z` with non-adjacent neighbors
+//!    `x, y` whose removal keeps the component connected — coloring
+//!    `x, y` alike gives `z` a surplus.
 //! 3. **Cut vertex, all tight:** some block `B*` is non-Gallai. Peel a leaf
 //!    block `D ≠ B*` with cut vertex `x`: color `D − x` first (its
 //!    `x`-neighbors have a surplus *inside* `D − x` because `x` stays
@@ -316,11 +316,7 @@ mod tests {
 
     fn check(g: &graphs::Graph, lists: &[Vec<usize>]) {
         let col = degree_choosable_coloring(g, lists).expect("colorable");
-        assert!(graphs::is_proper_list_coloring(
-            g,
-            &col,
-            &lists.to_vec()
-        ));
+        assert!(graphs::is_proper_list_coloring(g, &col, lists));
     }
 
     #[test]
@@ -382,10 +378,8 @@ mod tests {
     #[test]
     fn theta_graph_tight() {
         // Two degree-3 hubs joined by three paths; tight lists everywhere.
-        let g = graphs::Graph::from_edges(
-            6,
-            [(0, 1), (1, 5), (0, 2), (2, 5), (0, 3), (3, 4), (4, 5)],
-        );
+        let g =
+            graphs::Graph::from_edges(6, [(0, 1), (1, 5), (0, 2), (2, 5), (0, 3), (3, 4), (4, 5)]);
         let lists = vec![
             vec![0, 1, 2],
             vec![0, 1],

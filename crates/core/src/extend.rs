@@ -114,11 +114,7 @@ pub fn extend_to_happy_set(
 
     // 3. (d+1)-coloring of G[T] (T ⊆ R keeps degrees ≤ d).
     let classes = degree_plus_one_coloring(g, Some(&scope), ledger);
-    let class_count = members
-        .iter()
-        .map(|&v| classes[v] + 1)
-        .max()
-        .unwrap_or(1);
+    let class_count = members.iter().map(|&v| classes[v] + 1).max().unwrap_or(1);
 
     // 4. Layered greedy, leaves to roots, roots skipped.
     let mut st = ColoringState::new(
@@ -148,7 +144,10 @@ pub fn extend_to_happy_set(
             }
         }
     }
-    ledger.charge("layered-coloring", (max_depth as u64) * (class_count as u64));
+    ledger.charge(
+        "layered-coloring",
+        (max_depth as u64) * (class_count as u64),
+    );
     let tree_colors = st.into_colors();
     for &v in &members {
         if rf.depth[v] >= 1 {
@@ -240,8 +239,8 @@ mod tests {
             .iter()
             .map(|&p| lists.list(p).to_vec())
             .collect();
-        let sub_col = graphs::list_coloring(sub.graph(), &sub_lists)
-            .expect("complement colorable in tests");
+        let sub_col =
+            graphs::list_coloring(sub.graph(), &sub_lists).expect("complement colorable in tests");
         let mut coloring = vec![UNCOLORED; g.n()];
         for (local, &p) in sub.parent_vertices().iter().enumerate() {
             coloring[p] = sub_col[local];

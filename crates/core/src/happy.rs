@@ -39,7 +39,10 @@ impl Classification {
 
 /// Degree of `v` within `alive`.
 fn alive_degree(g: &Graph, alive: &VertexSet, v: VertexId) -> usize {
-    g.neighbors(v).iter().filter(|&&w| alive.contains(w)).count()
+    g.neighbors(v)
+        .iter()
+        .filter(|&&w| alive.contains(w))
+        .count()
 }
 
 /// Whether the vertex set `members` (connected, inside the rich subgraph)

@@ -73,13 +73,7 @@ impl ListAssignment {
 
     /// Random list sizes per vertex between `k_min` and `k_max` (inclusive),
     /// used by nice-list (Theorem 6.1) workloads.
-    pub fn random_sizes(
-        n: usize,
-        k_min: usize,
-        k_max: usize,
-        palette: usize,
-        seed: u64,
-    ) -> Self {
+    pub fn random_sizes(n: usize, k_min: usize, k_max: usize, palette: usize, seed: u64) -> Self {
         assert!(k_min <= k_max && palette >= k_max);
         let mut rng = StdRng::seed_from_u64(seed);
         let lists = (0..n)
@@ -129,7 +123,7 @@ impl ListAssignment {
             let d = g.degree(v);
             let len = self.lists[v].len();
             if d <= 2 || graphs::is_clique(g, g.neighbors(v)) {
-                len >= d + 1
+                len > d
             } else {
                 len >= d
             }
@@ -177,13 +171,7 @@ mod tests {
     fn nice_assignment_on_path() {
         // Path vertices have degree ≤ 2, so nice lists need deg+1 colors.
         let g = gen::path(5);
-        let tight = ListAssignment::new(vec![
-            vec![0],
-            vec![0, 1],
-            vec![0, 1],
-            vec![0, 1],
-            vec![0],
-        ]);
+        let tight = ListAssignment::new(vec![vec![0], vec![0, 1], vec![0, 1], vec![0, 1], vec![0]]);
         assert!(!tight.is_nice(&g)); // needs deg+1 everywhere here
         let nice = ListAssignment::new(vec![
             vec![0, 1],

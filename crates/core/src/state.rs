@@ -164,11 +164,7 @@ mod tests {
     use graphs::gen;
 
     fn full_state(g: &Graph, k: usize) -> ColoringState<'_> {
-        ColoringState::new(
-            g,
-            VertexSet::full(g.n()),
-            vec![(0..k).collect(); g.n()],
-        )
+        ColoringState::new(g, VertexSet::full(g.n()), vec![(0..k).collect(); g.n()])
     }
 
     #[test]
@@ -207,11 +203,11 @@ mod tests {
         // start.
         let g = gen::path(5);
         let lists = vec![
-            vec![10],          // deg 1
-            vec![10, 20],      // deg 2
-            vec![10, 20],      // deg 2
-            vec![10, 20],      // deg 2
-            vec![10, 20],      // deg 1: surplus!
+            vec![10],     // deg 1
+            vec![10, 20], // deg 2
+            vec![10, 20], // deg 2
+            vec![10, 20], // deg 2
+            vec![10, 20], // deg 1: surplus!
         ];
         let mut st = ColoringState::new(&g, VertexSet::full(5), lists);
         assert!(st.has_surplus(4));
@@ -230,10 +226,10 @@ mod tests {
         let g = gen::path(4);
         let scope = VertexSet::from_iter_with_universe(4, [1, 2, 3]);
         let lists = vec![
-            vec![],            // not in scope
-            vec![20],          // 10 was removed by the caller
+            vec![],   // not in scope
+            vec![20], // 10 was removed by the caller
             vec![10, 20],
-            vec![10, 20],      // surplus (deg 1 in scope)
+            vec![10, 20], // surplus (deg 1 in scope)
         ];
         let mut st = ColoringState::new(&g, scope, lists);
         st.greedy_from_surplus(3);

@@ -226,7 +226,9 @@ pub fn list_color_sparse(
         }
     }
     if config.verify_mad && !graphs::mad_at_most(g, d as f64) {
-        return Err(ColoringError::MadExceedsBound { mad: graphs::mad(g) });
+        return Err(ColoringError::MadExceedsBound {
+            mad: graphs::mad(g),
+        });
     }
 
     let n = g.n();

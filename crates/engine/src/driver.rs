@@ -1,0 +1,654 @@
+//! The engine driver: shard-parallel, round-synchronized execution.
+//!
+//! One [`EngineSession`] runs one network of [`NodeProgram`]s. Each round:
+//!
+//! 1. **Compute** — every shard walks its vertex range, calling `on_round`
+//!    with the inbox routed last round. Shards run on scoped OS threads (one
+//!    shard runs inline), joined at a barrier: nothing proceeds until every
+//!    node has stepped.
+//! 2. **Faults** — each node's outbox passes through the [`FaultPlan`]
+//!    (deliver / drop / delay).
+//! 3. **Route** — surviving messages land in the double-buffered mailboxes
+//!    ([`mailbox`](crate::mailbox)), delayed batches due next round first,
+//!    and the buffers flip.
+//! 4. **Account** — a [`RoundMetrics`] record is appended and the phase's
+//!    rounds are charged to a [`RoundLedger`] when the phase ends.
+//!
+//! Determinism: program state is touched only by its owning shard, inboxes
+//! are sorted by sender, per-node RNG streams depend on `(seed, id)` alone,
+//! and fault plans are keyed by `(round, node)` — so colorings, round
+//! counts, and per-round message counts are bit-identical across shard
+//! counts and thread schedules.
+
+use std::time::Instant;
+
+use graphs::{Graph, VertexId};
+use local_model::RoundLedger;
+
+use crate::context::NodeCtx;
+use crate::faults::{FaultAction, FaultPlan};
+use crate::mailbox::{Mailboxes, Routed};
+use crate::metrics::{EngineMetrics, RoundMetrics};
+use crate::program::{EngineMessage, NodeProgram, Outbox};
+use crate::shard::ShardPlan;
+
+/// Engine tuning knobs. All fields are plain data; cloning a config and
+/// rerunning reproduces a run exactly.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Worker shard count; 0 means one shard per available CPU.
+    pub shards: usize,
+    /// Global seed from which every per-node random stream is derived.
+    pub seed: u64,
+    /// Hard cap on total rounds across all phases of a session.
+    pub max_rounds: u64,
+    /// Outbox fault schedule (empty by default).
+    pub faults: FaultPlan,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            shards: 1,
+            seed: 0,
+            max_rounds: 100_000,
+            faults: FaultPlan::new(),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Sets the shard count (0 = one per available CPU).
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the global seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the total round cap.
+    #[must_use]
+    pub fn with_max_rounds(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Installs a fault schedule.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    fn resolve_shards(&self, n: usize) -> usize {
+        let requested = if self.shards == 0 {
+            std::thread::available_parallelism().map_or(1, |p| p.get())
+        } else {
+            self.shards
+        };
+        requested.clamp(1, n.max(1))
+    }
+}
+
+/// When a phase ends.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stop {
+    /// Run until every node votes to halt (or the session round cap trips).
+    AllHalted,
+    /// Run exactly this many rounds — the host knows the phase length, as
+    /// LOCAL algorithms with offline round bounds do.
+    Rounds(u64),
+}
+
+/// What one phase did.
+#[derive(Clone, Debug)]
+pub struct PhaseReport {
+    /// Phase name (also the ledger phase the rounds were charged to).
+    pub phase: String,
+    /// Rounds executed in this phase.
+    pub rounds: u64,
+    /// Messages sent in this phase.
+    pub messages: usize,
+    /// False iff the session round cap interrupted a [`Stop::AllHalted`]
+    /// phase before every node halted.
+    pub converged: bool,
+}
+
+/// A running network: programs, contexts, mailboxes, and both books of
+/// account. Create with [`EngineSession::new`], drive with
+/// [`run_phase`](EngineSession::run_phase), inspect or
+/// [`into_parts`](EngineSession::into_parts) when done.
+pub struct EngineSession<'g, P: NodeProgram> {
+    graph: &'g Graph,
+    config: EngineConfig,
+    plan: ShardPlan,
+    programs: Vec<P>,
+    ctxs: Vec<NodeCtx<'g>>,
+    mail: Mailboxes<P::Message>,
+    metrics: EngineMetrics,
+    ledger: RoundLedger,
+    round: u64,
+}
+
+impl<'g, P: NodeProgram> EngineSession<'g, P> {
+    /// Boots a network over `graph`: builds one context and one program per
+    /// vertex (`factory` is called in vertex order), runs every program's
+    /// `init`, and routes the initial outboxes into round 1's inboxes.
+    ///
+    /// `init` traffic is charged zero rounds (see
+    /// [`NodeProgram::init`](crate::NodeProgram::init)); fault rules for
+    /// round 0 apply to it.
+    pub fn new(
+        graph: &'g Graph,
+        config: EngineConfig,
+        mut factory: impl FnMut(&NodeCtx<'_>) -> P,
+    ) -> Self {
+        let n = graph.n();
+        let plan = ShardPlan::contiguous(n, config.resolve_shards(n));
+        let mut ctxs: Vec<NodeCtx<'g>> = (0..n)
+            .map(|v| NodeCtx::new(v, n, graph.neighbors(v), config.seed))
+            .collect();
+        let mut programs: Vec<P> = ctxs.iter().map(&mut factory).collect();
+
+        // Round 0: init every node and route the initial knowledge exchange.
+        let mut mail = Mailboxes::new(n);
+        let mut metrics = EngineMetrics::default();
+        let (mut msgs, mut dropped, mut delayed, mut max_width) = (0, 0, 0, 0);
+        let mut sent: Vec<Routed<P::Message>> = Vec::new();
+        for (v, (p, ctx)) in programs.iter_mut().zip(ctxs.iter_mut()).enumerate() {
+            ctx.round = 0;
+            let outbox = p.init(ctx);
+            let batch = expand_outbox(v, outbox, ctx.neighbors);
+            msgs += batch.len();
+            max_width = max_width.max(batch.iter().map(|(_, _, m)| m.width()).max().unwrap_or(0));
+            match config.faults.action(0, v) {
+                FaultAction::Deliver => sent.extend(batch),
+                FaultAction::Drop => dropped += batch.len(),
+                FaultAction::Delay(by) => {
+                    delayed += batch.len();
+                    mail.schedule(1 + by, batch);
+                }
+            }
+        }
+        metrics.record_init(msgs, dropped, delayed, max_width);
+        mail.inject_due(1);
+        mail.ingest(sent);
+        mail.flip();
+
+        EngineSession {
+            graph,
+            config,
+            plan,
+            programs,
+            ctxs,
+            mail,
+            metrics,
+            ledger: RoundLedger::new(),
+            round: 0,
+        }
+    }
+
+    /// Runs rounds under `phase` until `stop` is satisfied, then charges the
+    /// executed rounds to the ledger under `phase`.
+    pub fn run_phase(&mut self, phase: &str, stop: Stop) -> PhaseReport {
+        let start_round = self.round;
+        let start_msgs = self.metrics.total_messages();
+        let mut converged = true;
+        match stop {
+            Stop::Rounds(k) => {
+                for _ in 0..k {
+                    if self.round >= self.config.max_rounds {
+                        converged = false;
+                        break;
+                    }
+                    self.step_round(phase);
+                }
+            }
+            Stop::AllHalted => loop {
+                if self.programs.iter().all(NodeProgram::halted) {
+                    break;
+                }
+                if self.round >= self.config.max_rounds {
+                    converged = false;
+                    break;
+                }
+                self.step_round(phase);
+            },
+        }
+        let rounds = self.round - start_round;
+        self.ledger.charge(phase, rounds);
+        PhaseReport {
+            phase: phase.to_owned(),
+            rounds,
+            messages: self.metrics.total_messages() - start_msgs,
+            converged,
+        }
+    }
+
+    /// Host-side hook between phases: mutate every program (in vertex
+    /// order). This is the "synchronizer" seam multi-phase algorithms use to
+    /// switch modes without spending communication rounds.
+    pub fn for_each_program(&mut self, mut f: impl FnMut(VertexId, &mut P)) {
+        for (v, p) in self.programs.iter_mut().enumerate() {
+            f(v, p);
+        }
+    }
+
+    /// The graph this session runs over.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// The programs, in vertex order.
+    pub fn programs(&self) -> &[P] {
+        &self.programs
+    }
+
+    /// Observed per-round metrics so far.
+    pub fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
+    }
+
+    /// LOCAL rounds charged so far, phase by phase.
+    pub fn ledger(&self) -> &RoundLedger {
+        &self.ledger
+    }
+
+    /// Total rounds executed so far.
+    pub fn rounds(&self) -> u64 {
+        self.round
+    }
+
+    /// Number of worker shards this session runs with.
+    pub fn shards(&self) -> usize {
+        self.plan.shards()
+    }
+
+    /// True while fault-delayed batches are still undelivered.
+    pub fn has_pending_delays(&self) -> bool {
+        self.mail.has_pending_delays()
+    }
+
+    /// Dismantles the session into programs, metrics, and ledger.
+    pub fn into_parts(self) -> (Vec<P>, EngineMetrics, RoundLedger) {
+        (self.programs, self.metrics, self.ledger)
+    }
+
+    /// Executes one synchronized round (compute ∥ shards → faults → route).
+    fn step_round(&mut self, phase: &str) {
+        self.round += 1;
+        let round = self.round;
+        let started = Instant::now();
+
+        let plan = &self.plan;
+        let faults = &self.config.faults;
+        let inboxes = self.mail.inboxes();
+        let yields: Vec<ShardYield<P::Message>> = if plan.shards() == 1 {
+            vec![run_shard(
+                &mut self.programs,
+                &mut self.ctxs,
+                inboxes,
+                0,
+                round,
+                faults,
+            )]
+        } else {
+            let prog_parts = plan.split_mut(&mut self.programs);
+            let ctx_parts = plan.split_mut(&mut self.ctxs);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = prog_parts
+                    .into_iter()
+                    .zip(ctx_parts)
+                    .zip(plan.ranges())
+                    .map(|((ps, cs), range)| {
+                        scope.spawn(move || run_shard(ps, cs, inboxes, range.start, round, faults))
+                    })
+                    .collect();
+                // The joins are the per-round barrier.
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker panicked"))
+                    .collect()
+            })
+        };
+
+        let mut messages = 0;
+        let mut dropped = 0;
+        let mut delayed = 0;
+        let mut max_width = 0;
+        let mut active_nodes = 0;
+        self.mail.inject_due(round + 1);
+        for y in yields {
+            messages += y.messages;
+            dropped += y.dropped;
+            delayed += y.delayed;
+            max_width = max_width.max(y.max_width);
+            active_nodes += y.active;
+            for (due, batch) in y.delayed_batches {
+                self.mail.schedule(due, batch);
+            }
+            self.mail.ingest(y.sent);
+        }
+        self.mail.flip();
+
+        self.metrics.push(RoundMetrics {
+            round,
+            phase: phase.to_owned(),
+            messages,
+            dropped,
+            delayed,
+            max_width,
+            active_nodes,
+            wall: started.elapsed(),
+        });
+    }
+}
+
+/// One shard's contribution to a round.
+struct ShardYield<M> {
+    sent: Vec<Routed<M>>,
+    delayed_batches: Vec<(u64, Vec<Routed<M>>)>,
+    messages: usize,
+    dropped: usize,
+    delayed: usize,
+    max_width: usize,
+    active: usize,
+}
+
+/// Steps every node in `[base, base + programs.len())`, applying faults.
+fn run_shard<P: NodeProgram>(
+    programs: &mut [P],
+    ctxs: &mut [NodeCtx<'_>],
+    inboxes: &[Vec<(VertexId, P::Message)>],
+    base: usize,
+    round: u64,
+    faults: &FaultPlan,
+) -> ShardYield<P::Message> {
+    let mut y = ShardYield {
+        sent: Vec::new(),
+        delayed_batches: Vec::new(),
+        messages: 0,
+        dropped: 0,
+        delayed: 0,
+        max_width: 0,
+        active: 0,
+    };
+    for (i, (p, ctx)) in programs.iter_mut().zip(ctxs.iter_mut()).enumerate() {
+        let v = base + i;
+        if !p.halted() {
+            y.active += 1;
+        }
+        ctx.round = round;
+        let outbox = p.on_round(ctx, &inboxes[v]);
+        let batch = expand_outbox(v, outbox, ctx.neighbors);
+        y.messages += batch.len();
+        y.max_width = y
+            .max_width
+            .max(batch.iter().map(|(_, _, m)| m.width()).max().unwrap_or(0));
+        match faults.action(round, v) {
+            FaultAction::Deliver => y.sent.extend(batch),
+            FaultAction::Drop => y.dropped += batch.len(),
+            FaultAction::Delay(by) => {
+                y.delayed += batch.len();
+                y.delayed_batches.push((round + 1 + by, batch));
+            }
+        }
+    }
+    y
+}
+
+/// Expands an outbox into routed point-to-point messages.
+///
+/// # Panics
+///
+/// Panics if a unicast/multi destination is not a neighbor of the sender —
+/// programs may only talk over edges; that is the LOCAL model.
+fn expand_outbox<M: EngineMessage>(
+    src: VertexId,
+    outbox: Outbox<M>,
+    neighbors: &[VertexId],
+) -> Vec<Routed<M>> {
+    match outbox {
+        Outbox::Silent => Vec::new(),
+        Outbox::Broadcast(m) => neighbors.iter().map(|&dst| (dst, src, m.clone())).collect(),
+        Outbox::Unicast(dst, m) => {
+            assert!(
+                neighbors.binary_search(&dst).is_ok(),
+                "node {src} unicast to non-neighbor {dst}"
+            );
+            vec![(dst, src, m)]
+        }
+        Outbox::Multi(msgs) => msgs
+            .into_iter()
+            .map(|(dst, m)| {
+                assert!(
+                    neighbors.binary_search(&dst).is_ok(),
+                    "node {src} sent to non-neighbor {dst}"
+                );
+                (dst, src, m)
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::gen;
+
+    impl EngineMessage for u64 {}
+
+    /// Floods the maximum id seen so far; halts once its value is stable for
+    /// a round. Converges in eccentricity+1 rounds; every run is a pure
+    /// function of the graph.
+    struct MaxFlood {
+        value: u64,
+        changed: bool,
+    }
+
+    impl NodeProgram for MaxFlood {
+        type Message = u64;
+
+        fn init(&mut self, ctx: &mut NodeCtx<'_>) -> Outbox<u64> {
+            self.value = ctx.id as u64;
+            Outbox::Broadcast(self.value)
+        }
+
+        fn on_round(&mut self, _ctx: &mut NodeCtx<'_>, inbox: &[(usize, u64)]) -> Outbox<u64> {
+            let best = inbox.iter().map(|&(_, m)| m).max().unwrap_or(0);
+            self.changed = best > self.value;
+            if self.changed {
+                self.value = best;
+                Outbox::Broadcast(self.value)
+            } else {
+                Outbox::Silent
+            }
+        }
+
+        fn halted(&self) -> bool {
+            !self.changed
+        }
+    }
+
+    fn flood(g: &graphs::Graph, config: EngineConfig) -> (Vec<u64>, u64, Vec<usize>) {
+        let mut sess = EngineSession::new(g, config, |_| MaxFlood {
+            value: 0,
+            changed: true,
+        });
+        let report = sess.run_phase("flood", Stop::AllHalted);
+        assert!(report.converged);
+        let counts = sess.metrics().message_counts();
+        let (programs, _, ledger) = sess.into_parts();
+        let values = programs.iter().map(|p| p.value).collect();
+        (values, ledger.phase_total("flood"), counts)
+    }
+
+    #[test]
+    fn flood_reaches_everyone() {
+        let g = gen::path(20);
+        let (values, rounds, _) = flood(&g, EngineConfig::default());
+        assert!(values.iter().all(|&v| v == 19));
+        // The path's eccentricity from vertex 19 is 19; one extra round to
+        // notice stability.
+        assert!((19..=21).contains(&rounds), "rounds = {rounds}");
+    }
+
+    #[test]
+    fn shard_count_does_not_change_anything() {
+        let g = gen::random_tree(200, 11);
+        let baseline = flood(&g, EngineConfig::default().with_shards(1));
+        for shards in [2, 3, 8, 0] {
+            let run = flood(&g, EngineConfig::default().with_shards(shards));
+            assert_eq!(run, baseline, "shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn messages_have_one_round_latency() {
+        // On a 2-path the init broadcasts cross during round 0 and arrive
+        // with round 1: node 0 adopts 1 and rebroadcasts (1 message), node 1
+        // hears nothing better and goes quiet. Round 2 is the quiet round
+        // that lets node 0's vote flip; then the phase ends.
+        let g = gen::path(2);
+        let (values, rounds, counts) = flood(&g, EngineConfig::default());
+        assert_eq!(values, vec![1, 1]);
+        assert_eq!(rounds, 2);
+        assert_eq!(counts, vec![1, 0]);
+    }
+
+    #[test]
+    fn round_cap_interrupts_and_reports() {
+        let g = gen::cycle(50);
+        let mut sess = EngineSession::new(&g, EngineConfig::default().with_max_rounds(3), |_| {
+            MaxFlood {
+                value: 0,
+                changed: true,
+            }
+        });
+        let report = sess.run_phase("flood", Stop::AllHalted);
+        assert!(!report.converged);
+        assert_eq!(report.rounds, 3);
+        assert_eq!(sess.ledger().phase_total("flood"), 3);
+    }
+
+    #[test]
+    fn fixed_round_phases_charge_exactly() {
+        let g = gen::grid(4, 4);
+        let mut sess = EngineSession::new(&g, EngineConfig::default(), |_| MaxFlood {
+            value: 0,
+            changed: true,
+        });
+        let r = sess.run_phase("warmup", Stop::Rounds(2));
+        assert_eq!(r.rounds, 2);
+        assert_eq!(sess.ledger().phase_total("warmup"), 2);
+        assert_eq!(sess.rounds(), 2);
+    }
+
+    #[test]
+    fn drop_fault_partitions_the_flood() {
+        // Path 0-1-2-3: drop everything nodes 2 and 3 ever send; the max id
+        // 3 can never cross to the left half.
+        let mut faults = FaultPlan::new();
+        for r in 0..20 {
+            faults = faults.drop_outbox(3, r).drop_outbox(2, r);
+        }
+        let g = gen::path(4);
+        let mut sess = EngineSession::new(
+            &g,
+            EngineConfig::default()
+                .with_faults(faults)
+                .with_max_rounds(10),
+            |_| MaxFlood {
+                value: 0,
+                changed: true,
+            },
+        );
+        sess.run_phase("flood", Stop::AllHalted);
+        let values: Vec<u64> = sess.programs().iter().map(|p| p.value).collect();
+        assert_eq!(values[0], 1, "id 3 must not have crossed the faulted cut");
+        assert_eq!(values[1], 1);
+        // The init broadcasts of node 2 (to 1 and 3) and node 3 (to 2) were
+        // dropped: 3 messages.
+        assert_eq!(sess.metrics().total_dropped(), 3);
+    }
+
+    #[test]
+    fn drop_fault_mid_run_is_observed_and_survivable() {
+        // Drop node 2's round-1 rebroadcast on a 6-path: 2 messages lost,
+        // the flood still completes because later waves re-cover the edge.
+        let g = gen::path(6);
+        let (values, _, _) = flood(&g, EngineConfig::default());
+        assert!(values.iter().all(|&v| v == 5));
+        let mut sess = EngineSession::new(
+            &g,
+            EngineConfig::default().with_faults(FaultPlan::new().drop_outbox(2, 1)),
+            |_| MaxFlood {
+                value: 0,
+                changed: true,
+            },
+        );
+        let report = sess.run_phase("flood", Stop::AllHalted);
+        assert!(report.converged);
+        assert_eq!(sess.metrics().total_dropped(), 2);
+        assert!(sess.programs().iter().all(|p| p.value == 5));
+    }
+
+    #[test]
+    fn delay_fault_slows_but_preserves_outcome() {
+        let g = gen::path(6);
+        let fast = flood(&g, EngineConfig::default());
+        let slow = flood(
+            &g,
+            EngineConfig::default().with_faults(FaultPlan::new().delay_outbox(5, 0, 4)),
+        );
+        assert_eq!(slow.0, fast.0, "all nodes still learn the max");
+        assert!(
+            slow.1 > fast.1,
+            "delay must cost rounds: {} vs {}",
+            slow.1,
+            fast.1
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-neighbor")]
+    fn unicast_to_stranger_panics() {
+        struct Chatty;
+        impl NodeProgram for Chatty {
+            type Message = u64;
+            fn init(&mut self, _: &mut NodeCtx<'_>) -> Outbox<u64> {
+                Outbox::Silent
+            }
+            fn on_round(&mut self, ctx: &mut NodeCtx<'_>, _: &[(usize, u64)]) -> Outbox<u64> {
+                Outbox::Unicast((ctx.id + 2) % ctx.n, 1)
+            }
+            fn halted(&self) -> bool {
+                false
+            }
+        }
+        let g = gen::path(5);
+        let mut sess = EngineSession::new(&g, EngineConfig::default(), |_| Chatty);
+        sess.run_phase("x", Stop::Rounds(1));
+    }
+
+    #[test]
+    fn metrics_track_rounds_and_activity() {
+        let g = gen::path(10);
+        let mut sess = EngineSession::new(&g, EngineConfig::default(), |_| MaxFlood {
+            value: 0,
+            changed: true,
+        });
+        sess.run_phase("flood", Stop::AllHalted);
+        let m = sess.metrics();
+        assert_eq!(m.total_rounds(), sess.rounds());
+        assert!(m.per_round()[0].active_nodes == 10);
+        assert!(m.total_messages() > 0);
+        assert_eq!(m.max_width(), 1);
+    }
+}

@@ -1,0 +1,107 @@
+//! Deterministic fault injection: perturb a run without touching programs.
+//!
+//! A [`FaultPlan`] names (node, round) pairs whose **outbox** is dropped or
+//! delayed. Faults are applied by the engine between compute and routing, so
+//! node programs stay oblivious — exactly how one probes an algorithm's
+//! sensitivity to loss and asynchrony. Plans are plain data: the same plan
+//! on the same seed perturbs the run identically at any shard count.
+
+use std::collections::BTreeMap;
+
+use graphs::VertexId;
+
+/// What happens to a node's outbox in a given round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Deliver normally next round.
+    Deliver,
+    /// Discard every message of the outbox.
+    Drop,
+    /// Deliver the outbox `by` rounds late (`by ≥ 1`).
+    Delay(u64),
+}
+
+/// A deterministic schedule of outbox faults, keyed by `(round, node)`.
+///
+/// # Examples
+///
+/// ```
+/// use engine::{FaultAction, FaultPlan};
+/// let plan = FaultPlan::new().drop_outbox(3, 1).delay_outbox(5, 2, 4);
+/// assert_eq!(plan.action(1, 3), FaultAction::Drop);
+/// assert_eq!(plan.action(2, 5), FaultAction::Delay(4));
+/// assert_eq!(plan.action(1, 5), FaultAction::Deliver);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    schedule: BTreeMap<(u64, VertexId), FaultAction>,
+}
+
+impl FaultPlan {
+    /// An empty plan: every outbox delivers normally.
+    #[must_use]
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Drops `node`'s entire outbox in `round` (round 0 is
+    /// [`init`](crate::NodeProgram::init)).
+    #[must_use]
+    pub fn drop_outbox(mut self, node: VertexId, round: u64) -> Self {
+        self.schedule.insert((round, node), FaultAction::Drop);
+        self
+    }
+
+    /// Delays `node`'s round-`round` outbox by `by` extra rounds (clamped to
+    /// at least 1): receivers see it with their round `round + 1 + by` inbox.
+    #[must_use]
+    pub fn delay_outbox(mut self, node: VertexId, round: u64, by: u64) -> Self {
+        self.schedule
+            .insert((round, node), FaultAction::Delay(by.max(1)));
+        self
+    }
+
+    /// The action for `node`'s outbox in `round`.
+    pub fn action(&self, round: u64, node: VertexId) -> FaultAction {
+        self.schedule
+            .get(&(round, node))
+            .copied()
+            .unwrap_or(FaultAction::Deliver)
+    }
+
+    /// Whether the plan injects any fault at all.
+    pub fn is_empty(&self) -> bool {
+        self.schedule.is_empty()
+    }
+
+    /// Number of scheduled faults.
+    pub fn len(&self) -> usize {
+        self.schedule.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_transparent() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        assert_eq!(plan.len(), 0);
+        assert_eq!(plan.action(10, 10), FaultAction::Deliver);
+    }
+
+    #[test]
+    fn delay_clamped_to_one() {
+        let plan = FaultPlan::new().delay_outbox(0, 1, 0);
+        assert_eq!(plan.action(1, 0), FaultAction::Delay(1));
+    }
+
+    #[test]
+    fn later_insert_wins() {
+        let plan = FaultPlan::new().drop_outbox(2, 4).delay_outbox(2, 4, 3);
+        assert_eq!(plan.action(4, 2), FaultAction::Delay(3));
+        assert_eq!(plan.len(), 1);
+    }
+}

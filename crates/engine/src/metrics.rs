@@ -1,0 +1,199 @@
+//! Observed execution metrics: what the run *actually did*, round by round.
+//!
+//! The seed crates charge rounds to a [`local_model::RoundLedger`] by
+//! analysis; the engine instead *observes* every round — messages routed,
+//! widest message, active (non-halted) nodes, wall-clock time — and keeps
+//! both books: the ledger for comparability with the paper's bounds, the
+//! metrics for everything the ledger cannot see.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Everything the engine observed about one executed round.
+#[derive(Clone, Debug)]
+pub struct RoundMetrics {
+    /// Global 1-based round index (monotone across phases).
+    pub round: u64,
+    /// The phase this round was charged to.
+    pub phase: String,
+    /// Point-to-point messages emitted this round (including messages a
+    /// fault later dropped or delayed — they were *sent*).
+    pub messages: usize,
+    /// Messages discarded by an injected drop fault.
+    pub dropped: usize,
+    /// Messages rescheduled by an injected delay fault.
+    pub delayed: usize,
+    /// Widest message emitted this round, in abstract words
+    /// ([`EngineMessage::width`](crate::EngineMessage::width)).
+    pub max_width: usize,
+    /// Nodes whose halt vote was still "active" when the round started.
+    pub active_nodes: usize,
+    /// Wall-clock time of the round (compute + routing).
+    pub wall: Duration,
+}
+
+impl RoundMetrics {
+    /// Wall-clock milliseconds as a float, for tables and JSON artifacts.
+    pub fn wall_ms(&self) -> f64 {
+        self.wall.as_secs_f64() * 1e3
+    }
+}
+
+/// Per-round metrics for a whole engine session, with aggregate views.
+///
+/// The free round-0 knowledge exchange emitted by
+/// [`init`](crate::NodeProgram::init) is accounted in the `init_*` fields —
+/// it is traffic (and faults apply to it) but not a round, so it appears in
+/// the totals yet not in [`per_round`](EngineMetrics::per_round).
+#[derive(Clone, Debug, Default)]
+pub struct EngineMetrics {
+    rounds: Vec<RoundMetrics>,
+    /// Messages emitted by `init` (round 0).
+    pub init_messages: usize,
+    /// Round-0 messages discarded by drop faults.
+    pub init_dropped: usize,
+    /// Round-0 messages rescheduled by delay faults.
+    pub init_delayed: usize,
+    /// Widest round-0 message.
+    pub init_max_width: usize,
+}
+
+impl EngineMetrics {
+    /// Records one executed round.
+    pub(crate) fn push(&mut self, m: RoundMetrics) {
+        self.rounds.push(m);
+    }
+
+    /// Records the round-0 init traffic.
+    pub(crate) fn record_init(
+        &mut self,
+        messages: usize,
+        dropped: usize,
+        delayed: usize,
+        max_width: usize,
+    ) {
+        self.init_messages = messages;
+        self.init_dropped = dropped;
+        self.init_delayed = delayed;
+        self.init_max_width = max_width;
+    }
+
+    /// All executed rounds, in order.
+    pub fn per_round(&self) -> &[RoundMetrics] {
+        &self.rounds
+    }
+
+    /// Number of rounds executed.
+    pub fn total_rounds(&self) -> u64 {
+        self.rounds.len() as u64
+    }
+
+    /// Total messages sent, init traffic included.
+    pub fn total_messages(&self) -> usize {
+        self.init_messages + self.rounds.iter().map(|r| r.messages).sum::<usize>()
+    }
+
+    /// Total messages lost to injected drop faults, init traffic included.
+    pub fn total_dropped(&self) -> usize {
+        self.init_dropped + self.rounds.iter().map(|r| r.dropped).sum::<usize>()
+    }
+
+    /// Total messages rescheduled by injected delay faults, init included.
+    pub fn total_delayed(&self) -> usize {
+        self.init_delayed + self.rounds.iter().map(|r| r.delayed).sum::<usize>()
+    }
+
+    /// Widest message observed anywhere in the run.
+    pub fn max_width(&self) -> usize {
+        self.rounds
+            .iter()
+            .map(|r| r.max_width)
+            .max()
+            .unwrap_or(0)
+            .max(self.init_max_width)
+    }
+
+    /// Total wall-clock time across rounds.
+    pub fn total_wall(&self) -> Duration {
+        self.rounds.iter().map(|r| r.wall).sum()
+    }
+
+    /// The per-round message counts — the replay-determinism fingerprint
+    /// (equal seeds must produce equal fingerprints at any shard count).
+    pub fn message_counts(&self) -> Vec<usize> {
+        self.rounds.iter().map(|r| r.messages).collect()
+    }
+}
+
+impl fmt::Display for EngineMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "engine: {} rounds, {} messages (max width {}), {:.2} ms",
+            self.total_rounds(),
+            self.total_messages(),
+            self.max_width(),
+            self.total_wall().as_secs_f64() * 1e3,
+        )?;
+        for r in &self.rounds {
+            writeln!(
+                f,
+                "  r{:<4} {:<24} msgs {:<8} width {:<4} active {:<7} {:.3} ms",
+                r.round,
+                r.phase,
+                r.messages,
+                r.max_width,
+                r.active_nodes,
+                r.wall_ms()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round(i: u64, messages: usize, width: usize) -> RoundMetrics {
+        RoundMetrics {
+            round: i,
+            phase: "p".into(),
+            messages,
+            dropped: 0,
+            delayed: 0,
+            max_width: width,
+            active_nodes: 3,
+            wall: Duration::from_micros(10),
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let mut m = EngineMetrics::default();
+        m.push(round(1, 5, 2));
+        m.push(round(2, 7, 1));
+        assert_eq!(m.total_rounds(), 2);
+        assert_eq!(m.total_messages(), 12);
+        assert_eq!(m.max_width(), 2);
+        assert_eq!(m.message_counts(), vec![5, 7]);
+        assert_eq!(m.total_dropped(), 0);
+    }
+
+    #[test]
+    fn empty_metrics() {
+        let m = EngineMetrics::default();
+        assert_eq!(m.total_rounds(), 0);
+        assert_eq!(m.max_width(), 0);
+        assert!(m.message_counts().is_empty());
+    }
+
+    #[test]
+    fn display_lists_rounds() {
+        let mut m = EngineMetrics::default();
+        m.push(round(1, 5, 2));
+        let s = m.to_string();
+        assert!(s.contains("r1"));
+        assert!(s.contains("msgs 5"));
+    }
+}

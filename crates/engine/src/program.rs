@@ -1,0 +1,109 @@
+//! The node-program abstraction: what one vertex runs.
+//!
+//! A [`NodeProgram`] is the per-vertex half of a LOCAL-model algorithm:
+//! private state, an [`init`](NodeProgram::init) hook that may publish the
+//! node's initial knowledge, an [`on_round`](NodeProgram::on_round) step
+//! mapping last round's inbox to this round's outbox, and a
+//! [`halted`](NodeProgram::halted) vote. The engine owns synchronization,
+//! routing, sharding, and accounting; programs never see anything beyond
+//! their own neighborhood — which is exactly the LOCAL model's promise.
+
+use graphs::VertexId;
+
+use crate::context::NodeCtx;
+
+/// A message payload moved between nodes by the engine.
+///
+/// [`width`](EngineMessage::width) is the abstract size of the message in
+/// words; the engine records the per-round maximum so experiments can report
+/// *observed* message-size bounds (CONGEST-style accounting) next to round
+/// counts. The default of 1 fits constant-size messages.
+pub trait EngineMessage: Clone + Send + Sync {
+    /// Abstract message size in words.
+    fn width(&self) -> usize {
+        1
+    }
+}
+
+/// What a node emits at the end of a round.
+#[derive(Clone, Debug)]
+pub enum Outbox<M> {
+    /// Nothing this round.
+    Silent,
+    /// The same message to every neighbor (the LOCAL-model default).
+    Broadcast(M),
+    /// One message to one neighbor.
+    Unicast(VertexId, M),
+    /// Arbitrary per-neighbor messages.
+    Multi(Vec<(VertexId, M)>),
+}
+
+impl<M> Outbox<M> {
+    /// Number of point-to-point messages this outbox expands to, given the
+    /// sender's degree.
+    pub fn fanout(&self, degree: usize) -> usize {
+        match self {
+            Outbox::Silent => 0,
+            Outbox::Broadcast(_) => degree,
+            Outbox::Unicast(..) => 1,
+            Outbox::Multi(v) => v.len(),
+        }
+    }
+}
+
+/// The per-vertex program executed by the engine.
+///
+/// Synchronous semantics: in every round the engine calls `on_round` on
+/// **every** node — halted or not — passing the messages its neighbors sent
+/// in the previous round, sorted by sender id. [`halted`](NodeProgram::halted)
+/// is a *vote*: the engine ends a [`Stop::AllHalted`](crate::Stop::AllHalted)
+/// phase once every node votes to halt; a node may keep participating after
+/// voting (its vote is re-read every round). This mirrors the LOCAL model,
+/// where all processors run in lockstep and termination is a global event.
+pub trait NodeProgram: Send {
+    /// Message type this program exchanges.
+    type Message: EngineMessage;
+
+    /// Called once before the first round, with an empty network.
+    ///
+    /// The returned outbox is delivered in round 1 and charged **zero**
+    /// rounds: it models the standard LOCAL assumption that nodes start
+    /// knowing their neighbors' identifiers (equivalently, a free port-number
+    /// exchange at wake-up).
+    fn init(&mut self, ctx: &mut NodeCtx<'_>) -> Outbox<Self::Message>;
+
+    /// One synchronous round: previous round's inbox in, outbox out.
+    ///
+    /// `inbox` holds `(sender, message)` pairs sorted by sender id; the order
+    /// is deterministic and independent of the shard count.
+    fn on_round(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        inbox: &[(VertexId, Self::Message)],
+    ) -> Outbox<Self::Message>;
+
+    /// The node's current halt vote.
+    fn halted(&self) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone)]
+    struct Unit;
+    impl EngineMessage for Unit {}
+
+    #[test]
+    fn fanout_counts() {
+        assert_eq!(Outbox::<Unit>::Silent.fanout(5), 0);
+        assert_eq!(Outbox::Broadcast(Unit).fanout(5), 5);
+        assert_eq!(Outbox::Unicast(3, Unit).fanout(5), 1);
+        assert_eq!(Outbox::Multi(vec![(0, Unit), (1, Unit)]).fanout(5), 2);
+    }
+
+    #[test]
+    fn default_width_is_one() {
+        assert_eq!(Unit.width(), 1);
+    }
+}

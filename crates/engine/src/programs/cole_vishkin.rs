@@ -1,0 +1,268 @@
+//! Cole–Vishkin forest 3-coloring as a message-passing node program.
+//!
+//! The same algorithm as [`local_model::cole_vishkin_3color`], but executed:
+//! every node broadcasts its color each round and recomputes from its
+//! parent's broadcast. The host drives the standard phase structure — the
+//! `O(log* n)` bit-shrink loop until six colors remain (all-halted vote),
+//! then three fixed two-round shift-down phases eliminating colors 5, 4, 3 —
+//! and the run is equivalence-tested to produce the *same colors and the
+//! same ledger totals* as the sequential twin.
+
+use graphs::{Graph, VertexId};
+use local_model::{RootedForest, RoundLedger};
+
+use crate::context::NodeCtx;
+use crate::driver::{EngineConfig, EngineSession, Stop};
+use crate::metrics::EngineMetrics;
+use crate::program::{NodeProgram, Outbox};
+
+/// Which stage of the algorithm the node is in (switched by the host
+/// between engine phases — the "synchronizer" seam).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Stage {
+    /// Iterated bit-shrink until the color is below 6.
+    Shrink,
+    /// Two-round shift-down eliminating `target`: `step` 0 shifts, `step` 1
+    /// recolors the `target` class into `{0, 1, 2}`.
+    Shift { target: usize, step: u8 },
+}
+
+/// Per-node Cole–Vishkin state.
+#[derive(Clone, Debug)]
+pub struct CvProgram {
+    /// Parent id; `== id` for roots, `usize::MAX` for non-members.
+    parent: usize,
+    color: usize,
+    stage: Stage,
+}
+
+impl CvProgram {
+    fn member(&self) -> bool {
+        self.parent != usize::MAX
+    }
+
+    fn is_root(&self, id: VertexId) -> bool {
+        self.parent == id
+    }
+
+    /// The node's current color (`usize::MAX` for non-members).
+    pub fn color(&self) -> usize {
+        self.color
+    }
+
+    /// Host hook: enter the two-round shift-down phase for `target`.
+    pub fn begin_shift(&mut self, target: usize) {
+        self.stage = Stage::Shift { target, step: 0 };
+    }
+
+    /// The parent's latest broadcast color, if any.
+    fn parent_color(&self, id: VertexId, inbox: &[(VertexId, usize)]) -> Option<usize> {
+        if self.is_root(id) {
+            return None;
+        }
+        inbox
+            .iter()
+            .find(|&&(src, _)| src == self.parent)
+            .map(|&(_, c)| c)
+    }
+}
+
+impl NodeProgram for CvProgram {
+    type Message = usize;
+
+    fn init(&mut self, ctx: &mut NodeCtx<'_>) -> Outbox<usize> {
+        if !self.member() {
+            return Outbox::Silent;
+        }
+        // Initial color: the unique id, published as free initial knowledge.
+        self.color = ctx.id;
+        Outbox::Broadcast(self.color)
+    }
+
+    fn on_round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[(VertexId, usize)]) -> Outbox<usize> {
+        if !self.member() {
+            return Outbox::Silent;
+        }
+        match self.stage {
+            Stage::Shrink => {
+                let my = self.color;
+                // Roots compare against a fixed differing value, exactly as
+                // the sequential implementation does.
+                let other = match self.parent_color(ctx.id, inbox) {
+                    Some(c) => c,
+                    None => usize::from(my == 0),
+                };
+                debug_assert_ne!(my, other, "proper coloring invariant");
+                let diff = my ^ other;
+                let i = diff.trailing_zeros() as usize;
+                self.color = 2 * i + ((my >> i) & 1);
+                Outbox::Broadcast(self.color)
+            }
+            Stage::Shift { target, step: 0 } => {
+                // Shift down: adopt the parent's color; roots pick the
+                // smallest of the six colors differing from their own.
+                self.color = match self.parent_color(ctx.id, inbox) {
+                    Some(c) => c,
+                    None => (0..6)
+                        .find(|&c| c != self.color)
+                        .expect("six colors available"),
+                };
+                self.stage = Stage::Shift { target, step: 1 };
+                Outbox::Broadcast(self.color)
+            }
+            Stage::Shift { target, step: _ } => {
+                // Recolor the `target` class: after a shift every child of a
+                // node carries one color, so two constraints remain.
+                if self.color == target {
+                    let parent_color = self.parent_color(ctx.id, inbox).unwrap_or(usize::MAX);
+                    let child_color = inbox
+                        .iter()
+                        .find(|&&(src, _)| src != self.parent)
+                        .map_or(usize::MAX, |&(_, c)| c);
+                    self.color = (0..3)
+                        .find(|&c| c != parent_color && c != child_color)
+                        .expect("three colors, two constraints");
+                }
+                self.stage = Stage::Shrink; // inert until the host intervenes
+                Outbox::Broadcast(self.color)
+            }
+        }
+    }
+
+    fn halted(&self) -> bool {
+        // During the shrink phase this is the convergence vote; shift-down
+        // phases run on fixed round counts and ignore it.
+        !self.member() || self.color < 6
+    }
+}
+
+/// Runs engine Cole–Vishkin over `forest`: same output contract as
+/// [`local_model::cole_vishkin_3color`] (colors in `{0,1,2}` for members,
+/// `usize::MAX` outside), same ledger phases (`"cole-vishkin"`,
+/// `"shift-down"`), plus the observed [`EngineMetrics`].
+///
+/// # Panics
+///
+/// Panics if `config.max_rounds` interrupts the shrink loop (it converges in
+/// `O(log* n)` rounds, so that indicates a hostile config or fault plan).
+///
+/// # Examples
+///
+/// ```
+/// use engine::{engine_cole_vishkin_3color, EngineConfig};
+/// use local_model::{RootedForest, RoundLedger};
+///
+/// let f = RootedForest::new(vec![0, 0, 1, 2, 3]);
+/// let mut ledger = RoundLedger::new();
+/// let (colors, metrics) = engine_cole_vishkin_3color(&f, EngineConfig::default(), &mut ledger);
+/// for v in 1..5 {
+///     assert!(colors[v] < 3);
+///     assert_ne!(colors[v], colors[f.parent(v)]);
+/// }
+/// assert_eq!(metrics.total_rounds(), ledger.total());
+/// ```
+pub fn engine_cole_vishkin_3color(
+    forest: &RootedForest,
+    config: EngineConfig,
+    ledger: &mut RoundLedger,
+) -> (Vec<usize>, EngineMetrics) {
+    let n = forest.n();
+    let g = Graph::from_edges(
+        n,
+        forest.members().filter_map(|v| {
+            let p = forest.parent(v);
+            (p != v).then_some((v, p))
+        }),
+    );
+    let mut sess = EngineSession::new(&g, config, |ctx| CvProgram {
+        parent: forest.parent(ctx.id),
+        color: usize::MAX,
+        stage: Stage::Shrink,
+    });
+    let report = sess.run_phase("cole-vishkin", Stop::AllHalted);
+    assert!(
+        report.converged,
+        "Cole–Vishkin shrink loop hit the round cap after {} rounds",
+        report.rounds
+    );
+    for target in (3..6).rev() {
+        sess.for_each_program(|_, p| p.begin_shift(target));
+        sess.run_phase("shift-down", Stop::Rounds(2));
+    }
+    let (programs, metrics, run_ledger) = sess.into_parts();
+    ledger.absorb(run_ledger);
+    (programs.iter().map(CvProgram::color).collect(), metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::gen;
+
+    fn forest_from_bfs(g: &Graph, root: usize) -> RootedForest {
+        RootedForest::new(graphs::bfs_parents(g, root, None))
+    }
+
+    #[test]
+    fn engine_run_is_proper_on_paths_and_trees() {
+        for g in [
+            gen::path(500),
+            gen::binary_tree(8),
+            gen::random_tree(300, 4),
+        ] {
+            let f = forest_from_bfs(&g, 0);
+            let mut ledger = RoundLedger::new();
+            let (colors, _) = engine_cole_vishkin_3color(&f, EngineConfig::default(), &mut ledger);
+            for v in f.members() {
+                assert!(colors[v] < 3);
+                if f.parent(v) != v {
+                    assert_ne!(colors[v], colors[f.parent(v)]);
+                }
+            }
+            assert_eq!(ledger.phase_total("shift-down"), 6);
+        }
+    }
+
+    #[test]
+    fn matches_sequential_exactly() {
+        for (n, seed) in [(50usize, 1u64), (200, 2), (1000, 3)] {
+            let g = gen::random_tree(n, seed);
+            let f = forest_from_bfs(&g, 0);
+            let mut seq_ledger = RoundLedger::new();
+            let seq = local_model::cole_vishkin_3color(&f, &mut seq_ledger);
+            for shards in [1usize, 4] {
+                let mut eng_ledger = RoundLedger::new();
+                let (colors, metrics) = engine_cole_vishkin_3color(
+                    &f,
+                    EngineConfig::default().with_shards(shards),
+                    &mut eng_ledger,
+                );
+                assert_eq!(colors, seq, "n={n} seed={seed} shards={shards}");
+                assert_eq!(eng_ledger.total(), seq_ledger.total());
+                assert_eq!(
+                    eng_ledger.phase_total("cole-vishkin"),
+                    seq_ledger.phase_total("cole-vishkin")
+                );
+                assert_eq!(metrics.total_rounds(), eng_ledger.total());
+            }
+        }
+    }
+
+    #[test]
+    fn handles_non_members_and_multi_trees() {
+        let mut parent = vec![usize::MAX; 8];
+        parent[0] = 0;
+        parent[1] = 0;
+        parent[2] = 0;
+        parent[3] = 3;
+        parent[4] = 3;
+        parent[5] = 3;
+        let f = RootedForest::new(parent);
+        let mut ledger = RoundLedger::new();
+        let (colors, _) = engine_cole_vishkin_3color(&f, EngineConfig::default(), &mut ledger);
+        let mut seq_ledger = RoundLedger::new();
+        let seq = local_model::cole_vishkin_3color(&f, &mut seq_ledger);
+        assert_eq!(colors, seq);
+        assert_eq!(colors[6], usize::MAX);
+    }
+}

@@ -1,0 +1,20 @@
+//! Ports of the repository's LOCAL algorithms onto the engine.
+//!
+//! Each port is a genuine message-passing re-implementation — per-node
+//! state, explicit messages, no global reads — paired with an adapter
+//! function whose signature mirrors the sequential original and whose
+//! output (coloring/partition **and** ledger totals) is equivalence-tested
+//! against it:
+//!
+//! * [`engine_cole_vishkin_3color`] ↔ [`local_model::cole_vishkin_3color`]
+//! * [`engine_h_partition`] ↔ [`local_model::h_partition`]
+//! * [`engine_randomized_list_coloring`] ↔
+//!   [`local_model::randomized_list_coloring`]
+
+pub mod cole_vishkin;
+pub mod h_partition;
+pub mod randomized;
+
+pub use cole_vishkin::{engine_cole_vishkin_3color, CvProgram};
+pub use h_partition::{engine_h_partition, HPartitionProgram};
+pub use randomized::{engine_randomized_list_coloring, RandomizedProgram};

@@ -1,0 +1,117 @@
+//! Vertex sharding: how the network is split across worker threads.
+//!
+//! Shards are contiguous, near-equal vertex ranges. Contiguity matters twice:
+//! worker threads walk cache-friendly slices, and because shard ranges are
+//! ascending in vertex id, concatenating per-shard outbox batches already
+//! fills inboxes in near-sorted sender order, so the stable per-inbox sort
+//! the mailboxes perform on every flip (still required — fault-delayed
+//! batches are injected ahead of fresh traffic) runs on mostly-sorted input.
+
+use std::ops::Range;
+
+/// A partition of `0..n` into contiguous shards with sizes differing by at
+/// most one.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardPlan {
+    bounds: Vec<usize>,
+}
+
+impl ShardPlan {
+    /// Splits `n` vertices into `shards` contiguous ranges.
+    ///
+    /// `shards` is clamped to `1..=max(n, 1)` so tiny graphs never produce
+    /// empty worker threads.
+    pub fn contiguous(n: usize, shards: usize) -> Self {
+        let shards = shards.clamp(1, n.max(1));
+        let base = n / shards;
+        let extra = n % shards;
+        let mut bounds = Vec::with_capacity(shards + 1);
+        bounds.push(0);
+        for s in 0..shards {
+            let size = base + usize::from(s < extra);
+            bounds.push(bounds[s] + size);
+        }
+        debug_assert_eq!(*bounds.last().unwrap(), n);
+        ShardPlan { bounds }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Number of vertices partitioned.
+    pub fn n(&self) -> usize {
+        *self.bounds.last().unwrap()
+    }
+
+    /// The vertex range owned by shard `s`.
+    pub fn range(&self, s: usize) -> Range<usize> {
+        self.bounds[s]..self.bounds[s + 1]
+    }
+
+    /// Iterator over all shard ranges in order.
+    pub fn ranges(&self) -> impl Iterator<Item = Range<usize>> + '_ {
+        (0..self.shards()).map(|s| self.range(s))
+    }
+
+    /// Splits a slice into per-shard sub-slices (mutably), in shard order.
+    pub fn split_mut<'a, T>(&self, mut slice: &'a mut [T]) -> Vec<&'a mut [T]> {
+        assert_eq!(slice.len(), self.n(), "slice length must match plan");
+        let mut out = Vec::with_capacity(self.shards());
+        for s in 0..self.shards() {
+            let (head, tail) = slice.split_at_mut(self.range(s).len());
+            out.push(head);
+            slice = tail;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_vertices_without_overlap() {
+        for n in [0usize, 1, 2, 7, 8, 100] {
+            for k in [1usize, 2, 3, 8, 200] {
+                let plan = ShardPlan::contiguous(n, k);
+                let mut covered = 0;
+                let mut prev_end = 0;
+                for r in plan.ranges() {
+                    assert_eq!(r.start, prev_end, "ranges must be contiguous");
+                    prev_end = r.end;
+                    covered += r.len();
+                }
+                assert_eq!(covered, n, "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn sizes_balanced_within_one() {
+        let plan = ShardPlan::contiguous(10, 3);
+        let sizes: Vec<usize> = plan.ranges().map(|r| r.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| s == 3 || s == 4));
+    }
+
+    #[test]
+    fn clamps_shard_count() {
+        assert_eq!(ShardPlan::contiguous(3, 100).shards(), 3);
+        assert_eq!(ShardPlan::contiguous(3, 0).shards(), 1);
+        assert_eq!(ShardPlan::contiguous(0, 4).shards(), 1);
+    }
+
+    #[test]
+    fn split_mut_matches_ranges() {
+        let plan = ShardPlan::contiguous(7, 3);
+        let mut data: Vec<usize> = (0..7).collect();
+        let parts = plan.split_mut(&mut data);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0], &[0, 1, 2]);
+        assert_eq!(parts[1], &[3, 4]);
+        assert_eq!(parts[2], &[5, 6]);
+    }
+}

@@ -29,9 +29,7 @@ impl BlockDecomposition {
         self.blocks
             .iter()
             .enumerate()
-            .filter(|(_, b)| {
-                b.iter().filter(|&&v| self.cut_vertices.contains(v)).count() <= 1
-            })
+            .filter(|(_, b)| b.iter().filter(|&&v| self.cut_vertices.contains(v)).count() <= 1)
             .map(|(i, _)| i)
             .collect()
     }
@@ -183,11 +181,10 @@ pub fn is_clique(g: &Graph, verts: &[VertexId]) -> bool {
 /// hold.)
 pub fn is_odd_cycle(g: &Graph, verts: &[VertexId]) -> bool {
     let k = verts.len();
-    if k < 3 || k % 2 == 0 {
+    if k < 3 || k.is_multiple_of(2) {
         return false;
     }
-    let vset: VertexSet =
-        VertexSet::from_iter_with_universe(g.n(), verts.iter().copied());
+    let vset: VertexSet = VertexSet::from_iter_with_universe(g.n(), verts.iter().copied());
     let mut edge_count = 0usize;
     for &v in verts {
         let d = g.neighbors(v).iter().filter(|&&w| vset.contains(w)).count();

@@ -36,10 +36,10 @@ pub fn degeneracy_order(g: &Graph, mask: Option<&VertexSet>) -> Degeneracy {
     let active_count = mask.map_or(n, |m| m.len());
     let mut deg = vec![0usize; n];
     let mut max_deg = 0;
-    for v in 0..n {
+    for (v, d) in deg.iter_mut().enumerate() {
         if in_mask(v) {
-            deg[v] = g.neighbors(v).iter().filter(|&&w| in_mask(w)).count();
-            max_deg = max_deg.max(deg[v]);
+            *d = g.neighbors(v).iter().filter(|&&w| in_mask(w)).count();
+            max_deg = max_deg.max(*d);
         }
     }
     // Bucket queue over degrees.

@@ -72,7 +72,12 @@ fn count_induced_edges(g: &Graph, verts: &[VertexId]) -> usize {
     let set = VertexSet::from_iter_with_universe(g.n(), verts.iter().copied());
     verts
         .iter()
-        .map(|&v| g.neighbors(v).iter().filter(|&&w| w > v && set.contains(w)).count())
+        .map(|&v| {
+            g.neighbors(v)
+                .iter()
+                .filter(|&&w| w > v && set.contains(w))
+                .count()
+        })
         .sum()
 }
 
@@ -294,7 +299,12 @@ mod tests {
     #[test]
     fn mad_vs_arboricity_bounds() {
         // 2a - 2 <= ceil(mad) <= 2a for several graphs.
-        for g in [clique(4), clique(6), cycle(9), Graph::from_edges(2, [(0, 1)])] {
+        for g in [
+            clique(4),
+            clique(6),
+            cycle(9),
+            Graph::from_edges(2, [(0, 1)]),
+        ] {
             let a = arboricity(&g);
             let (num, den) = mad(&g);
             let mad_ceil = num.div_ceil(den);
@@ -307,9 +317,18 @@ mod tests {
     fn planar_triangulation_mad_below_6() {
         // Octahedron: 4-regular planar triangulation, mad = 4 < 6.
         let e = [
-            (0, 1), (0, 2), (0, 3), (0, 4),
-            (1, 2), (2, 3), (3, 4), (4, 1),
-            (5, 1), (5, 2), (5, 3), (5, 4),
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (0, 4),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 1),
+            (5, 1),
+            (5, 2),
+            (5, 3),
+            (5, 4),
         ];
         let g = Graph::from_edges(6, e);
         assert_eq!(mad_f64(&g), 4.0);

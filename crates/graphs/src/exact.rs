@@ -99,7 +99,12 @@ pub fn list_coloring(g: &Graph, lists: &[Vec<usize>]) -> Option<Vec<usize>> {
         .collect();
     let mut color: Vec<Option<usize>> = vec![None; n];
     if solve(g, &mut avail, &mut color) {
-        Some(color.into_iter().map(|c| c.expect("complete coloring")).collect())
+        Some(
+            color
+                .into_iter()
+                .map(|c| c.expect("complete coloring"))
+                .collect(),
+        )
     } else {
         None
     }
@@ -154,11 +159,7 @@ pub fn is_proper(g: &Graph, coloring: &[usize]) -> bool {
 
 /// Whether `coloring` is proper *and* respects `lists`.
 pub fn is_proper_list_coloring(g: &Graph, coloring: &[usize], lists: &[Vec<usize>]) -> bool {
-    is_proper(g, coloring)
-        && coloring
-            .iter()
-            .zip(lists)
-            .all(|(c, l)| l.contains(c))
+    is_proper(g, coloring) && coloring.iter().zip(lists).all(|(c, l)| l.contains(c))
 }
 
 #[cfg(test)]

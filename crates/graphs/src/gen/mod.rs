@@ -14,7 +14,9 @@ pub mod lattice;
 pub mod planar;
 pub mod random;
 
-pub use classic::{binary_tree, caterpillar, complete, complete_bipartite, cycle, mycielski, path, petersen, star};
+pub use classic::{
+    binary_tree, caterpillar, complete, complete_bipartite, cycle, mycielski, path, petersen, star,
+};
 pub use gallai::{break_gallai_tree, random_gallai_tree, GallaiTreeConfig};
 pub use lattice::{grid, grid_index, hexagonal, klein_grid, torus_grid, triangular};
 pub use planar::{

@@ -136,12 +136,36 @@ pub fn icosahedron() -> Graph {
     Graph::from_edges(
         12,
         [
-            (0, 1), (0, 2), (0, 3), (0, 4), (0, 5),
-            (1, 2), (2, 3), (3, 4), (4, 5), (5, 1),
-            (1, 6), (1, 7), (2, 7), (2, 8), (3, 8),
-            (3, 9), (4, 9), (4, 10), (5, 10), (5, 6),
-            (6, 7), (7, 8), (8, 9), (9, 10), (10, 6),
-            (6, 11), (7, 11), (8, 11), (9, 11), (10, 11),
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (0, 4),
+            (0, 5),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (5, 1),
+            (1, 6),
+            (1, 7),
+            (2, 7),
+            (2, 8),
+            (3, 8),
+            (3, 9),
+            (4, 9),
+            (4, 10),
+            (5, 10),
+            (5, 6),
+            (6, 7),
+            (7, 8),
+            (8, 9),
+            (9, 10),
+            (10, 6),
+            (6, 11),
+            (7, 11),
+            (8, 11),
+            (9, 11),
+            (10, 11),
         ],
     )
 }

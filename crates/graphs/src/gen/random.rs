@@ -103,13 +103,13 @@ pub fn gnm(n: usize, m: usize, seed: u64) -> Graph {
 ///
 /// Panics if `n·d` is odd or `d >= n`.
 pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
-    assert!(n * d % 2 == 0, "n·d must be even");
+    assert!((n * d).is_multiple_of(2), "n·d must be even");
     assert!(d < n, "degree must be below n");
     let mut rng = StdRng::seed_from_u64(seed);
     // Configuration model + edge-switching repair: pair stubs uniformly,
     // then repeatedly swap a defective pair (loop or duplicate) with a
     // random pair until simple. Converges fast for d ≪ n.
-    let mut stubs: Vec<VertexId> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+    let mut stubs: Vec<VertexId> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
     stubs.shuffle(&mut rng);
     let mut pairs: Vec<(VertexId, VertexId)> = stubs.chunks(2).map(|c| (c[0], c[1])).collect();
     for _sweep in 0..10_000 {
@@ -152,7 +152,10 @@ pub fn random_bipartite(a: usize, b: usize, p: f64, seed: u64) -> Graph {
 /// A connected random graph with maximum degree ≤ `max_deg`: random tree
 /// plus random extra edges rejected when they would exceed the cap.
 pub fn random_bounded_degree(n: usize, max_deg: usize, extra_edges: usize, seed: u64) -> Graph {
-    assert!(max_deg >= 2, "need max degree ≥ 2 for a connected base tree");
+    assert!(
+        max_deg >= 2,
+        "need max degree ≥ 2 for a connected base tree"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     // Base: random tree with degree cap — build by attaching each new vertex
     // to a uniformly random earlier vertex with remaining capacity.
@@ -167,8 +170,11 @@ pub fn random_bounded_degree(n: usize, max_deg: usize, extra_edges: usize, seed:
         deg[u] += 1;
         deg[v] += 1;
     }
-    let mut present: std::collections::HashSet<(usize, usize)> =
-        edges.iter().copied().map(|(u, v)| (u.min(v), u.max(v))).collect();
+    let mut present: std::collections::HashSet<(usize, usize)> = edges
+        .iter()
+        .copied()
+        .map(|(u, v)| (u.min(v), u.max(v)))
+        .collect();
     let mut added = 0usize;
     let mut attempts = 0usize;
     while added < extra_edges && attempts < 100 * extra_edges + 100 {

@@ -262,7 +262,11 @@ impl GraphBuilder {
     ///
     /// Panics if `u >= n` or `v >= n`.
     pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> &mut Self {
-        assert!(u < self.n && v < self.n, "edge ({u},{v}) out of range n={}", self.n);
+        assert!(
+            u < self.n && v < self.n,
+            "edge ({u},{v}) out of range n={}",
+            self.n
+        );
         if u != v {
             self.edges.push((u.min(v), u.max(v)));
         }
@@ -321,11 +325,7 @@ impl FromIterator<Edge> for GraphBuilder {
     /// Builds from edges, sizing `n` to the largest endpoint + 1.
     fn from_iter<I: IntoIterator<Item = Edge>>(iter: I) -> Self {
         let edges: Vec<Edge> = iter.into_iter().collect();
-        let n = edges
-            .iter()
-            .map(|&(u, v)| u.max(v) + 1)
-            .max()
-            .unwrap_or(0);
+        let n = edges.iter().map(|&(u, v)| u.max(v) + 1).max().unwrap_or(0);
         let mut b = GraphBuilder::new(n);
         for (u, v) in edges {
             b.add_edge(u, v);

@@ -137,10 +137,10 @@ fn backtrack(
         }
         // Consistency: every placed neighbor of v maps to a neighbor of w,
         // and every placed non-neighbor maps to a non-neighbor.
-        for u in 0..a.n() {
-            if map[u] != usize::MAX && u != v {
+        for (u, &mu) in map.iter().enumerate() {
+            if mu != usize::MAX && u != v {
                 let adj_a = a.has_edge(u, v);
-                let adj_b = b.has_edge(map[u], w);
+                let adj_b = b.has_edge(mu, w);
                 if adj_a != adj_b {
                     continue 'candidates;
                 }
@@ -213,7 +213,17 @@ mod tests {
         // (K_{3,3} is triangle-free).
         let prism = Graph::from_edges(
             6,
-            [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3), (1, 4), (2, 5)],
+            [
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (3, 4),
+                (4, 5),
+                (5, 3),
+                (0, 3),
+                (1, 4),
+                (2, 5),
+            ],
         );
         let mut e = Vec::new();
         for i in 0..3 {

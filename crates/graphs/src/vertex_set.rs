@@ -77,14 +77,22 @@ impl VertexSet {
     /// Panics if `v` is outside the universe.
     #[inline]
     pub fn contains(&self, v: VertexId) -> bool {
-        assert!(v < self.universe, "vertex {v} outside universe {}", self.universe);
+        assert!(
+            v < self.universe,
+            "vertex {v} outside universe {}",
+            self.universe
+        );
         self.words[v / 64] >> (v % 64) & 1 == 1
     }
 
     /// Inserts `v`; returns `true` if it was newly added.
     #[inline]
     pub fn insert(&mut self, v: VertexId) -> bool {
-        assert!(v < self.universe, "vertex {v} outside universe {}", self.universe);
+        assert!(
+            v < self.universe,
+            "vertex {v} outside universe {}",
+            self.universe
+        );
         let w = &mut self.words[v / 64];
         let bit = 1u64 << (v % 64);
         if *w & bit == 0 {
@@ -99,7 +107,11 @@ impl VertexSet {
     /// Removes `v`; returns `true` if it was present.
     #[inline]
     pub fn remove(&mut self, v: VertexId) -> bool {
-        assert!(v < self.universe, "vertex {v} outside universe {}", self.universe);
+        assert!(
+            v < self.universe,
+            "vertex {v} outside universe {}",
+            self.universe
+        );
         let w = &mut self.words[v / 64];
         let bit = 1u64 << (v % 64);
         if *w & bit != 0 {
@@ -122,7 +134,11 @@ impl VertexSet {
         Iter {
             set: self,
             word_idx: 0,
-            current: if self.words.is_empty() { 0 } else { self.words[0] },
+            current: if self.words.is_empty() {
+                0
+            } else {
+                self.words[0]
+            },
         }
     }
 
@@ -162,7 +178,10 @@ impl VertexSet {
     /// Whether every element of `self` is in `other`.
     pub fn is_subset(&self, other: &VertexSet) -> bool {
         assert_eq!(self.universe, other.universe);
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     fn recount(&mut self) {

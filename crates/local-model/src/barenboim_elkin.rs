@@ -129,9 +129,7 @@ pub fn barenboim_elkin_coloring(
     let mut internal = vec![usize::MAX; n];
     let mut max_layer_rounds = 0u64;
     for l in 0..hp.layers {
-        let members: Vec<VertexId> = (0..n)
-            .filter(|&v| in_mask(v) && hp.layer[v] == l)
-            .collect();
+        let members: Vec<VertexId> = (0..n).filter(|&v| in_mask(v) && hp.layer[v] == l).collect();
         if members.is_empty() {
             continue;
         }
@@ -262,9 +260,9 @@ mod tests {
                 assert_ne!(col[u], col[v]);
             }
         }
-        for v in 0..g.n() {
+        for (v, &c) in col.iter().enumerate() {
             if !mask.contains(v) {
-                assert_eq!(col[v], usize::MAX);
+                assert_eq!(c, usize::MAX, "vertex {v}");
             }
         }
     }

@@ -111,9 +111,9 @@ pub fn cole_vishkin_3color(forest: &RootedForest, ledger: &mut RoundLedger) -> V
     let n = forest.n();
     // Initial colors: unique ids.
     let mut color: Vec<usize> = (0..n).collect();
-    for v in 0..n {
+    for (v, c) in color.iter_mut().enumerate() {
         if !forest.contains(v) {
-            color[v] = usize::MAX;
+            *c = usize::MAX;
         }
     }
     // CV iterations until at most 6 colors (values 0..6).
@@ -125,7 +125,11 @@ pub fn cole_vishkin_3color(forest: &RootedForest, ledger: &mut RoundLedger) -> V
             let my = prev[v];
             let other = if p == v {
                 // Root: compare against a fixed different value.
-                if my == 0 { 1 } else { 0 }
+                if my == 0 {
+                    1
+                } else {
+                    0
+                }
             } else {
                 prev[p]
             };
@@ -150,7 +154,9 @@ pub fn cole_vishkin_3color(forest: &RootedForest, ledger: &mut RoundLedger) -> V
         for v in forest.members() {
             let p = forest.parent(v);
             if p == v {
-                color[v] = (0..6).find(|&c| c != prev[v]).expect("six colors available");
+                color[v] = (0..6)
+                    .find(|&c| c != prev[v])
+                    .expect("six colors available");
             } else {
                 color[v] = prev[p];
             }

@@ -72,9 +72,9 @@ impl Orientation {
         let mut forests = Vec::with_capacity(k);
         for i in 0..k {
             let mut parent = vec![usize::MAX; n];
-            for v in 0..n {
+            for (v, p) in parent.iter_mut().enumerate() {
                 if in_mask(v) {
-                    parent[v] = self.out[v].get(i).copied().unwrap_or(v);
+                    *p = self.out[v].get(i).copied().unwrap_or(v);
                 }
             }
             forests.push(RootedForest::new(parent));

@@ -112,16 +112,19 @@ pub fn bounded_peeling_coloring(
     let mut internal = vec![usize::MAX; n];
     let mut max_rounds = 0u64;
     for l in 0..layers {
-        let members: Vec<VertexId> = (0..n)
-            .filter(|&v| in_mask(v) && layer[v] == l)
-            .collect();
+        let members: Vec<VertexId> = (0..n).filter(|&v| in_mask(v) && layer[v] == l).collect();
         if members.is_empty() {
             continue;
         }
         let layer_mask = VertexSet::from_iter_with_universe(n, members.iter().copied());
         let mut sub = RoundLedger::new();
-        let col =
-            crate::reduce::coloring_by_forest_merge(g, Some(&layer_mask), &vec![0; n], palette, &mut sub);
+        let col = crate::reduce::coloring_by_forest_merge(
+            g,
+            Some(&layer_mask),
+            &vec![0; n],
+            palette,
+            &mut sub,
+        );
         for &v in &members {
             internal[v] = col[v];
         }

@@ -112,10 +112,7 @@ mod tests {
         l.charge("z", 1);
         l.charge("a", 2);
         l.charge("z", 3);
-        assert_eq!(
-            l.summary(),
-            vec![("z".to_owned(), 4), ("a".to_owned(), 2)]
-        );
+        assert_eq!(l.summary(), vec![("z".to_owned(), 4), ("a".to_owned(), 2)]);
     }
 
     #[test]

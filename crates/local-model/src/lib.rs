@@ -49,6 +49,6 @@ pub use forests::Orientation;
 pub use gather::{detect_clique, gather_balls};
 pub use goldberg_plotkin_shannon::{bounded_peeling_coloring, degree_peeling, gps_seven_coloring};
 pub use ledger::RoundLedger;
-pub use randomized::{randomized_list_coloring, RandomizedColoring};
+pub use randomized::{per_vertex_rng, randomized_list_coloring, RandomizedColoring};
 pub use reduce::{coloring_by_forest_merge, degree_plus_one_coloring};
 pub use ruling::{ruling_forest, ruling_set, RulingForest};

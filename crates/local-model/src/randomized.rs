@@ -3,24 +3,46 @@
 //! randomized algorithm instead", citing the classic `O(log n)`-round
 //! `(Δ+1)`-coloring of [5]).
 //!
-//! Each round, every uncolored vertex proposes a uniformly random color
+//! Each cycle, every uncolored vertex proposes a uniformly random color
 //! from its current list and keeps it if no neighbor proposed or owns the
 //! same color; committed colors are struck from neighboring lists. With
-//! `|L(v)| ≥ deg(v) + 1` every vertex survives each round with probability
-//! ≥ 1/4ish, so all vertices finish in `O(log n)` rounds w.h.p. — the
+//! `|L(v)| ≥ deg(v) + 1` every vertex survives each cycle with probability
+//! ≥ 1/4ish, so all vertices finish in `O(log n)` cycles w.h.p. — the
 //! contrast experiment for the paper's *deterministic* complexity focus.
+//!
+//! Two contracts matter for the engine port
+//! (`engine::engine_randomized_list_coloring`):
+//!
+//! * **Per-vertex randomness.** Every vertex draws from its own stream,
+//!   [`per_vertex_rng`]`(seed, v)` — a pure function of `(seed, v)`. The
+//!   engine seeds node RNGs identically, which is what makes the sequential
+//!   and message-passing executions produce bit-identical colorings.
+//! * **Two LOCAL rounds per cycle.** In a strict message-passing execution a
+//!   cycle costs a *propose* round (random color to all neighbors) and a
+//!   *resolve* round (commit decision + committed color to all neighbors):
+//!   a vertex can decide its own commit only after hearing the proposals,
+//!   and its neighbors learn the outcome one round later. The ledger charges
+//!   `2 · cycles` accordingly ([`RandomizedColoring::rounds`] still counts
+//!   cycles, the unit `max_rounds` caps).
 
 use crate::ledger::RoundLedger;
 use graphs::{Graph, VertexId, VertexSet};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{mix64, Rng, SeedableRng};
+
+/// The private random stream of vertex `v` under `seed` — the determinism
+/// contract shared with the engine runtime (`engine::node_rng`): a pure
+/// function of `(seed, v)`, independent of iteration order and sharding.
+pub fn per_vertex_rng(seed: u64, v: VertexId) -> StdRng {
+    StdRng::seed_from_u64(mix64(seed, v as u64))
+}
 
 /// Outcome of the randomized list-coloring.
 #[derive(Clone, Debug)]
 pub struct RandomizedColoring {
     /// Final colors (`usize::MAX` only if `max_rounds` was exhausted).
     pub colors: Vec<usize>,
-    /// Rounds actually used.
+    /// Propose/resolve cycles actually used (each costs 2 LOCAL rounds).
     pub rounds: u64,
     /// Whether every vertex committed.
     pub complete: bool,
@@ -43,16 +65,16 @@ pub fn randomized_list_coloring(
     let n = g.n();
     assert_eq!(lists.len(), n);
     let in_mask = |v: VertexId| mask.is_none_or(|m| m.contains(v));
-    for v in 0..n {
+    for (v, list) in lists.iter().enumerate() {
         if in_mask(v) {
             let deg = g.neighbors(v).iter().filter(|&&w| in_mask(w)).count();
             assert!(
-                lists[v].len() > deg,
+                list.len() > deg,
                 "vertex {v}: randomized coloring needs deg+1 lists"
             );
         }
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rngs: Vec<StdRng> = (0..n).map(|v| per_vertex_rng(seed, v)).collect();
     let mut live: Vec<Vec<usize>> = lists.to_vec();
     let mut colors = vec![usize::MAX; n];
     let mut uncolored: Vec<VertexId> = (0..n).filter(|&v| in_mask(v)).collect();
@@ -62,7 +84,7 @@ pub fn randomized_list_coloring(
         // Propose.
         let mut proposal = vec![usize::MAX; n];
         for &v in &uncolored {
-            proposal[v] = live[v][rng.gen_range(0..live[v].len())];
+            proposal[v] = live[v][rngs[v].gen_range(0..live[v].len())];
         }
         // Commit where no conflict (symmetric rule: ties kill both).
         let mut committed: Vec<VertexId> = Vec::new();
@@ -88,7 +110,8 @@ pub fn randomized_list_coloring(
         }
         uncolored.retain(|&v| colors[v] == usize::MAX);
     }
-    ledger.charge("randomized-coloring", rounds);
+    // Propose + resolve: two LOCAL rounds per cycle (see module docs).
+    ledger.charge("randomized-coloring", 2 * rounds);
     RandomizedColoring {
         colors,
         rounds,
@@ -118,8 +141,9 @@ mod tests {
             for (u, v) in g.edges() {
                 assert_ne!(out.colors[u], out.colors[v]);
             }
-            // O(log n): 300 vertices should finish well under 60 rounds.
+            // O(log n): 300 vertices should finish well under 60 cycles.
             assert!(out.rounds <= 60, "took {} rounds", out.rounds);
+            assert_eq!(ledger.phase_total("randomized-coloring"), 2 * out.rounds);
         }
     }
 
@@ -145,7 +169,7 @@ mod tests {
         let mut ledger = RoundLedger::new();
         let out = randomized_list_coloring(&g, None, &lists, 1, 1, &mut ledger);
         assert_eq!(out.rounds, 1);
-        // One round rarely finishes a 100-vertex graph — either way the
+        // One cycle rarely finishes a 100-vertex graph — either way the
         // partial coloring must be proper where committed.
         for (u, v) in g.edges() {
             if out.colors[u] != usize::MAX && out.colors[v] != usize::MAX {
@@ -173,5 +197,17 @@ mod tests {
         let b = randomized_list_coloring(&g, None, &lists, 42, 100, &mut l2);
         assert_eq!(a.colors, b.colors);
         assert_eq!(a.rounds, b.rounds);
+    }
+
+    #[test]
+    fn per_vertex_streams_are_stable() {
+        let mut a = per_vertex_rng(5, 17);
+        let mut b = per_vertex_rng(5, 17);
+        let mut c = per_vertex_rng(5, 18);
+        let draws_a: Vec<u64> = (0..4).map(|_| a.gen_range(0u64..1 << 40)).collect();
+        let draws_b: Vec<u64> = (0..4).map(|_| b.gen_range(0u64..1 << 40)).collect();
+        let draws_c: Vec<u64> = (0..4).map(|_| c.gen_range(0u64..1 << 40)).collect();
+        assert_eq!(draws_a, draws_b);
+        assert_ne!(draws_a, draws_c);
     }
 }

@@ -185,11 +185,11 @@ mod tests {
                 assert_ne!(col[u], col[v], "edge ({u},{v})");
             }
         }
-        for v in 0..g.n() {
+        for (v, &c) in col.iter().enumerate() {
             if mask.is_none_or(|m| m.contains(v)) {
-                assert!(col[v] < bound, "color {} out of bound {bound}", col[v]);
+                assert!(c < bound, "vertex {v}: color {c} out of bound {bound}");
             } else {
-                assert_eq!(col[v], usize::MAX);
+                assert_eq!(c, usize::MAX, "vertex {v}");
             }
         }
     }
@@ -234,7 +234,7 @@ mod tests {
     fn custom_target_above_degree() {
         let g = gen::cycle(9);
         let mut ledger = RoundLedger::new();
-        let col = coloring_by_forest_merge(&g, None, &vec![0; 9], 4, &mut ledger);
+        let col = coloring_by_forest_merge(&g, None, &[0; 9], 4, &mut ledger);
         assert_proper_masked(&g, None, &col, 4);
     }
 
@@ -243,7 +243,7 @@ mod tests {
     fn target_at_degree_panics() {
         let g = gen::cycle(9);
         let mut ledger = RoundLedger::new();
-        coloring_by_forest_merge(&g, None, &vec![0; 9], 2, &mut ledger);
+        coloring_by_forest_merge(&g, None, &[0; 9], 2, &mut ledger);
     }
 
     #[test]

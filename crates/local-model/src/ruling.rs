@@ -30,7 +30,7 @@ pub fn ruling_set(
     ledger: &mut RoundLedger,
 ) -> Vec<VertexId> {
     assert!(alpha >= 1, "alpha must be at least 1");
-    let bits = usize::BITS - g.n().next_power_of_two().trailing_zeros().max(1) as u32;
+    let bits = usize::BITS - g.n().next_power_of_two().trailing_zeros().max(1);
     let bits = (usize::BITS - bits) as usize; // ⌈log2 n⌉ with a floor of 1
     let mut rulers = rule_recursive(g, mask, subset, bits.saturating_sub(1), alpha);
     rulers.sort_unstable();

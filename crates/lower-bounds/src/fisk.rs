@@ -156,7 +156,10 @@ mod tests {
     fn small_members_are_exactly_5_chromatic() {
         for k in [2usize, 3] {
             let g = locally_planar_5chromatic(k);
-            assert!(k_coloring(&g, 4).is_none(), "k={k}: must not be 4-colorable");
+            assert!(
+                k_coloring(&g, 4).is_none(),
+                "k={k}: must not be 4-colorable"
+            );
             assert!(k_coloring(&g, 5).is_some(), "k={k}: must be 5-colorable");
         }
     }

@@ -32,7 +32,10 @@ pub mod fisk;
 pub mod h_graph;
 pub mod locality;
 
-pub use fisk::{cycle_power3, locally_planar_5chromatic, path_power3, shifted_torus_triangulation, triangulated_cylinder};
+pub use fisk::{
+    cycle_power3, locally_planar_5chromatic, path_power3, shifted_torus_triangulation,
+    triangulated_cylinder,
+};
 pub use h_graph::{h_graph, h_graph_index};
 pub use locality::{
     balls_match, indistinguishability_radius, indistinguishability_report,

@@ -1,0 +1,260 @@
+//! # minibench — a wall-clock micro-benchmark harness with the `criterion` API
+//!
+//! The build environment is offline, so crates.io `criterion` is
+//! unavailable. This crate reimplements the subset of its API the workspace
+//! benches use — consumers declare `criterion = { package = "minibench", … }`
+//! so bench files keep the familiar `use criterion::...` spelling:
+//!
+//! * [`Criterion::benchmark_group`] → [`BenchmarkGroup::bench_with_input`] /
+//!   [`BenchmarkGroup::bench_function`] / [`BenchmarkGroup::sample_size`] /
+//!   [`BenchmarkGroup::finish`].
+//! * [`BenchmarkId::new`] / [`BenchmarkId::from_parameter`].
+//! * [`Bencher::iter`].
+//! * [`criterion_group!`] / [`criterion_main!`].
+//!
+//! Timing model: each benchmark runs a fixed warm-up, then `sample_size`
+//! timed samples of an adaptively chosen iteration batch, reporting
+//! min/mean/max per iteration. Set `MINIBENCH_SAMPLE_SIZE` to override the
+//! sample count globally (CI smoke runs use `1`).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Measurement settings shared by a [`Criterion`] instance and its groups.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warmup_iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let sample_size = std::env::var("MINIBENCH_SAMPLE_SIZE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(10);
+        Criterion {
+            sample_size,
+            warmup_iters: 2,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_size: self.sample_size,
+            warmup_iters: self.warmup_iters,
+        }
+    }
+
+    /// Runs a stand-alone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let mut group = BenchmarkGroup {
+            name: String::new(),
+            sample_size: self.sample_size,
+            warmup_iters: self.warmup_iters,
+        };
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// Just the parameter, for groups whose name already says it all.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// A group of benchmarks sharing a name and sample settings.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    warmup_iters: u64,
+}
+
+impl BenchmarkGroup {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // The env override (CI smoke mode) wins over per-group requests.
+        if std::env::var("MINIBENCH_SAMPLE_SIZE").is_err() {
+            self.sample_size = n;
+        }
+        self
+    }
+
+    /// Benchmarks `f`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_size, self.warmup_iters);
+        f(&mut b, input);
+        b.report(&self.name, &id.label);
+        self
+    }
+
+    /// Benchmarks a closure with no external input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size, self.warmup_iters);
+        f(&mut b);
+        b.report(&self.name, id);
+        self
+    }
+
+    /// Ends the group (report lines are printed eagerly; this is a no-op kept
+    /// for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    sample_size: usize,
+    warmup_iters: u64,
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, warmup_iters: u64) -> Self {
+        Bencher {
+            sample_size,
+            warmup_iters,
+            samples: Vec::new(),
+            iters_per_sample: 1,
+        }
+    }
+
+    /// Times `routine`: warm-up iterations, then `sample_size` timed samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.warmup_iters {
+            std::hint::black_box(routine());
+        }
+        // Batch very fast routines so timer resolution does not dominate.
+        let probe = Instant::now();
+        std::hint::black_box(routine());
+        let once = probe.elapsed();
+        self.iters_per_sample = if once < Duration::from_micros(50) {
+            (Duration::from_micros(200).as_nanos() / once.as_nanos().max(1)).max(1) as u64
+        } else {
+            1
+        };
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        if self.samples.is_empty() {
+            println!("  {group}/{id}: no samples (iter was never called)");
+            return;
+        }
+        let min = self.samples.iter().min().unwrap();
+        let max = self.samples.iter().max().unwrap();
+        let mean = self.samples.iter().sum::<Duration>() / self.samples.len() as u32;
+        let label = if group.is_empty() {
+            id.to_string()
+        } else {
+            format!("{group}/{id}")
+        };
+        println!(
+            "  {label}: mean {mean:?} (min {min:?}, max {max:?}, {} samples x {} iters)",
+            self.samples.len(),
+            self.iters_per_sample
+        );
+    }
+}
+
+/// Declares a named group of benchmark functions, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(2);
+        for n in [10usize, 20] {
+            group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+                b.iter(|| (0..n).sum::<usize>())
+            });
+        }
+        group.bench_function("fixed", |b| b.iter(|| 2 + 2));
+        group.finish();
+    }
+
+    criterion_group!(demo_benches, a_bench);
+
+    #[test]
+    fn group_machinery_runs() {
+        demo_benches();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("scale", 42).to_string(), "scale/42");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn standalone_bench_function() {
+        let mut c = Criterion::default();
+        c.bench_function("standalone", |b| b.iter(|| 1 + 1));
+    }
+}

@@ -8,7 +8,10 @@
 use fewer_colors::prelude::*;
 
 fn distinct(colors: &[usize]) -> usize {
-    colors.iter().collect::<std::collections::BTreeSet<_>>().len()
+    colors
+        .iter()
+        .collect::<std::collections::BTreeSet<_>>()
+        .len()
 }
 
 fn main() {

@@ -7,12 +7,15 @@
 //! rounds, plus every corollary, baseline, and lower-bound construction the
 //! paper discusses.
 //!
-//! This facade re-exports the four member crates:
+//! This facade re-exports the five member crates:
 //!
 //! * [`graphs`] — graph substrate: CSR graphs, Gallai trees, exact
 //!   `mad`/arboricity via max-flow, exact coloring verifiers, generators.
 //! * [`local_model`] — LOCAL simulator: Cole–Vishkin, `(Δ+1)`-coloring,
 //!   Barenboim–Elkin baseline, ruling forests, round ledgers.
+//! * [`engine`] — the sharded, message-passing LOCAL execution runtime:
+//!   per-node programs, round-synchronized delivery, deterministic replay
+//!   at any shard count, fault injection, observed per-round metrics.
 //! * [`distributed_coloring`] — the paper: Theorem 1.3, constructive
 //!   Theorem 1.1, Lemma 3.1/3.2 machinery, Corollaries 1.4/2.1/2.3/2.11,
 //!   Theorem 6.1.
@@ -35,6 +38,7 @@
 //! ```
 
 pub use distributed_coloring;
+pub use engine;
 pub use graphs;
 pub use local_model;
 pub use lower_bounds;
@@ -45,6 +49,10 @@ pub mod prelude {
         brooks_list_coloring, color_by_arboricity, color_planar, color_planar_girth6,
         color_planar_triangle_free, list_color_sparse, nice_list_coloring, ColoringError,
         ListAssignment, Outcome, RadiusPolicy, SparseColoring, SparseColoringConfig,
+    };
+    pub use engine::{
+        engine_cole_vishkin_3color, engine_h_partition, engine_randomized_list_coloring,
+        EngineConfig, EngineMetrics, EngineSession, FaultPlan, NodeCtx, NodeProgram, Outbox, Stop,
     };
     pub use graphs;
     pub use local_model::{barenboim_elkin_coloring, RoundLedger};

@@ -94,7 +94,10 @@ fn clique_outcome_is_a_real_clique() {
             // impossible here.
             panic!(
                 "K6 cannot be 5-colored; got a coloring using {} colors",
-                c.colors.iter().collect::<std::collections::BTreeSet<_>>().len()
+                c.colors
+                    .iter()
+                    .collect::<std::collections::BTreeSet<_>>()
+                    .len()
             );
         }
     }

@@ -1,0 +1,123 @@
+//! Engine-vs-sequential equivalence: for every ported algorithm, the
+//! message-passing execution must reproduce the sequential implementation's
+//! coloring/partition *and* its `RoundLedger` totals — the engine is a new
+//! substrate, not a new algorithm.
+
+use engine::{
+    engine_cole_vishkin_3color, engine_h_partition, engine_randomized_list_coloring, EngineConfig,
+};
+use graphs::gen;
+use local_model::{
+    cole_vishkin_3color, h_partition, randomized_list_coloring, RootedForest, RoundLedger,
+};
+
+fn forest_from_bfs(g: &graphs::Graph, root: usize) -> RootedForest {
+    RootedForest::new(graphs::bfs_parents(g, root, None))
+}
+
+#[test]
+fn cole_vishkin_equivalence_across_forest_families() {
+    let forests = [
+        forest_from_bfs(&gen::path(2000), 0),
+        forest_from_bfs(&gen::binary_tree(10), 0),
+        forest_from_bfs(&gen::random_tree(700, 13), 0),
+        RootedForest::new(vec![0]),
+    ];
+    for (i, f) in forests.iter().enumerate() {
+        let mut seq_ledger = RoundLedger::new();
+        let seq = cole_vishkin_3color(f, &mut seq_ledger);
+        let mut eng_ledger = RoundLedger::new();
+        let (colors, metrics) =
+            engine_cole_vishkin_3color(f, EngineConfig::default().with_shards(3), &mut eng_ledger);
+        assert_eq!(colors, seq, "forest {i}: colorings diverged");
+        assert_eq!(
+            eng_ledger.phase_total("cole-vishkin"),
+            seq_ledger.phase_total("cole-vishkin"),
+            "forest {i}: shrink-phase rounds diverged"
+        );
+        assert_eq!(
+            eng_ledger.phase_total("shift-down"),
+            seq_ledger.phase_total("shift-down")
+        );
+        assert_eq!(eng_ledger.total(), seq_ledger.total());
+        // The ledger is *observed*: every charged round was executed.
+        assert_eq!(metrics.total_rounds(), eng_ledger.total());
+    }
+}
+
+#[test]
+fn h_partition_equivalence_matches_barenboim_elkin_phase() {
+    // The same (a, ε) grid the Barenboim–Elkin baseline sweeps.
+    for (n, a, eps, seed) in [
+        (200usize, 2usize, 1.0f64, 1u64),
+        (200, 3, 0.5, 2),
+        (500, 2, 0.25, 3),
+        (64, 4, 1.0, 4),
+    ] {
+        let g = gen::forest_union(n, a, seed);
+        let mut seq_ledger = RoundLedger::new();
+        let seq = h_partition(&g, None, a, eps, &mut seq_ledger);
+        let mut eng_ledger = RoundLedger::new();
+        let (hp, metrics) = engine_h_partition(
+            &g,
+            a,
+            eps,
+            EngineConfig::default().with_shards(4),
+            &mut eng_ledger,
+        );
+        assert_eq!(hp.layer, seq.layer, "n={n} a={a} ε={eps}");
+        assert_eq!(hp.layers, seq.layers);
+        assert_eq!(hp.threshold, seq.threshold);
+        assert_eq!(
+            eng_ledger.phase_total("h-partition"),
+            seq_ledger.phase_total("h-partition")
+        );
+        assert_eq!(metrics.total_rounds(), hp.layers as u64);
+    }
+}
+
+#[test]
+fn randomized_equivalence_is_bit_identical() {
+    for (g, seed) in [
+        (gen::random_regular(300, 4, 5), 5u64),
+        (gen::grid(15, 15), 7),
+        (gen::random_tree(250, 9), 9),
+    ] {
+        let lists: Vec<Vec<usize>> = g
+            .vertices()
+            .map(|v| (0..g.degree(v) + 1).collect())
+            .collect();
+        let mut seq_ledger = RoundLedger::new();
+        let seq = randomized_list_coloring(&g, None, &lists, seed, 1000, &mut seq_ledger);
+        assert!(seq.complete);
+        let mut eng_ledger = RoundLedger::new();
+        let (out, metrics) = engine_randomized_list_coloring(
+            &g,
+            &lists,
+            seed,
+            1000,
+            EngineConfig::default().with_shards(2),
+            &mut eng_ledger,
+        );
+        assert_eq!(out.colors, seq.colors, "seed {seed}: colors diverged");
+        assert_eq!(out.rounds, seq.rounds, "seed {seed}: cycle counts diverged");
+        assert!(out.complete);
+        assert_eq!(
+            eng_ledger.phase_total("randomized-coloring"),
+            seq_ledger.phase_total("randomized-coloring")
+        );
+        // Two engine rounds per propose/resolve cycle, all observed.
+        assert_eq!(metrics.total_rounds(), 2 * out.rounds);
+        assert!(graphs::is_proper(&g, &out.colors));
+    }
+}
+
+#[test]
+fn facade_prelude_reaches_the_engine() {
+    use fewer_colors::prelude::*;
+    let g = graphs::gen::forest_union(60, 2, 1);
+    let mut ledger = RoundLedger::new();
+    let (hp, metrics) = engine_h_partition(&g, 2, 1.0, EngineConfig::default(), &mut ledger);
+    assert!(hp.layers >= 1);
+    assert_eq!(metrics.total_rounds(), ledger.total());
+}

@@ -7,7 +7,9 @@ use distributed_coloring::{
     degree_choosable_coloring, list_color_sparse, nice_list_coloring, BrooksError, ColoringError,
     CorollaryError, ErtError, ListAssignment, Outcome, RadiusPolicy, SparseColoringConfig,
 };
+use engine::{engine_h_partition, engine_randomized_list_coloring, EngineConfig, FaultPlan};
 use graphs::gen;
+use local_model::RoundLedger;
 
 #[test]
 fn mad_exceeds_d_without_clique_is_detected() {
@@ -160,6 +162,121 @@ fn partial_validity_is_never_silent() {
                 assert!(!graphs::mad_at_most(&g, d as f64), "seed {seed}");
             }
             Err(e) => panic!("seed {seed}: unexpected {e}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine fault injection: the runtime's drop/delay hooks perturb executions
+// deterministically and the damage is observable — never silent.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn engine_dropped_commit_announcements_are_observable() {
+    // Drop node 0's outbox in every resolve round: whenever it commits, its
+    // neighbors never hear the announcement and may later grab the same
+    // color. The perturbation is deterministic; what must hold is that the
+    // fault is (a) counted and (b) localized to the victim's neighborhood.
+    let g = gen::cycle(24);
+    let lists: Vec<Vec<usize>> = g
+        .vertices()
+        .map(|v| (0..g.degree(v) + 1).collect())
+        .collect();
+    let mut clean_ledger = RoundLedger::new();
+    let (clean, _) = engine_randomized_list_coloring(
+        &g,
+        &lists,
+        42,
+        500,
+        EngineConfig::default(),
+        &mut clean_ledger,
+    );
+    assert!(clean.complete);
+    assert!(graphs::is_proper(&g, &clean.colors));
+
+    let mut faults = FaultPlan::new();
+    for resolve_round in (2..200u64).step_by(2) {
+        faults = faults.drop_outbox(0, resolve_round);
+    }
+    let mut ledger = RoundLedger::new();
+    let (faulted, metrics) = engine_randomized_list_coloring(
+        &g,
+        &lists,
+        42,
+        500,
+        EngineConfig::default().with_faults(faults),
+        &mut ledger,
+    );
+    assert!(
+        metrics.total_dropped() > 0,
+        "the fault plan must actually have intercepted traffic"
+    );
+    // Deterministic, localized degradation: only the victim's neighbors had
+    // stale knowledge, so any monochromatic edge must touch that
+    // neighborhood; the rest of the ring must be properly colored.
+    for (u, v) in g.edges() {
+        if faulted.colors[u] == faulted.colors[v] && faulted.colors[u] != usize::MAX {
+            let near_victim = |x: usize| x == 0 || g.has_edge(0, x);
+            assert!(
+                near_victim(u) || near_victim(v),
+                "improper edge ({u},{v}) outside the faulted neighborhood"
+            );
+        }
+    }
+}
+
+#[test]
+fn engine_delay_fault_shifts_h_partition_layers_detectably() {
+    // Apollonian graphs peel in several layers. Delaying every announcement
+    // of an early-peeling vertex makes its neighbors see stale residual
+    // degrees, so some layer assignment must move by at least one round —
+    // and the engine must still converge once the delayed batch lands.
+    let g = gen::apollonian(120, 3);
+    let mut clean_ledger = RoundLedger::new();
+    let (clean, _) = engine_h_partition(&g, 3, 1.0, EngineConfig::default(), &mut clean_ledger);
+    assert!(
+        clean.layers >= 2,
+        "need a multi-layer instance for this test"
+    );
+
+    // Pick a vertex that peels in the first layer and delay it.
+    let victim = (0..g.n()).find(|&v| clean.layer[v] == 0).unwrap();
+    let faults = FaultPlan::new().delay_outbox(victim, 1, 2);
+    let mut ledger = RoundLedger::new();
+    let (faulted, metrics) = engine_h_partition(
+        &g,
+        3,
+        1.0,
+        EngineConfig::default().with_faults(faults),
+        &mut ledger,
+    );
+    assert!(metrics.total_delayed() > 0, "delay fault must have fired");
+    // Every vertex is still assigned a layer (the peel messages eventually
+    // arrive), and the victim keeps its layer (its own residual degree was
+    // never touched by the fault).
+    assert!(faulted.layer.iter().all(|&l| l != usize::MAX));
+    assert_eq!(faulted.layer[victim], 0);
+}
+
+#[test]
+fn engine_round_cap_degrades_diagnosably_not_silently() {
+    // An impossible cycle budget: the run must report incompleteness and
+    // leave only proper partial colorings — mirroring the sequential
+    // contract under max_rounds exhaustion.
+    let g = gen::random_regular(200, 4, 8);
+    let lists: Vec<Vec<usize>> = g
+        .vertices()
+        .map(|v| (0..g.degree(v) + 1).collect())
+        .collect();
+    let mut ledger = RoundLedger::new();
+    let (out, metrics) =
+        engine_randomized_list_coloring(&g, &lists, 3, 1, EngineConfig::default(), &mut ledger);
+    assert!(!out.complete);
+    assert_eq!(out.rounds, 1);
+    assert_eq!(metrics.total_rounds(), 2);
+    for (u, v) in g.edges() {
+        if out.colors[u] != usize::MAX && out.colors[v] != usize::MAX {
+            assert_ne!(out.colors[u], out.colors[v]);
         }
     }
 }
