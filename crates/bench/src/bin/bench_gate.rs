@@ -1,0 +1,135 @@
+//! CI perf-regression gate over the `BENCH_engine.json` artifact.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin bench_gate -- BENCH_engine.json
+//! cargo run --release -p bench --bin bench_gate -- BENCH_engine.json \
+//!     --max-engine-ratio=25 --max-shard8-ratio=1.25
+//! ```
+//!
+//! Reads the artifact `engine_table` wrote and enforces, **at the largest
+//! benched `n` of every algorithm** (small sizes are all fixed overhead and
+//! noise — regressions that matter show at scale):
+//!
+//! 1. `engine/1 ≤ max-engine-ratio × sequential` — the message-passing
+//!    substrate may cost a constant factor over the sequential simulation
+//!    (it routes real traffic; the simulation sends nothing), but that
+//!    factor must never quietly grow.
+//! 2. `engine/8 ≤ max-shard8-ratio × engine/1` — the persistent worker pool
+//!    must keep multi-shard runs from regressing to the spawn-per-round era,
+//!    where 8 shards cost 20× over 1. The tolerance above 1.0 absorbs
+//!    scheduler noise on small CI machines; the crossover itself is asserted
+//!    by the committed artifact.
+//!
+//! Exits nonzero with a per-algorithm table on any violation.
+
+use bench::{parse_engine_bench_json, print_table, EngineBenchRecord};
+
+const DEFAULT_MAX_ENGINE_RATIO: f64 = 25.0;
+const DEFAULT_MAX_SHARD8_RATIO: f64 = 1.25;
+
+fn main() {
+    let mut path: Option<String> = None;
+    let mut max_engine_ratio = DEFAULT_MAX_ENGINE_RATIO;
+    let mut max_shard8_ratio = DEFAULT_MAX_SHARD8_RATIO;
+    for arg in std::env::args().skip(1) {
+        if let Some(v) = arg.strip_prefix("--max-engine-ratio=") {
+            max_engine_ratio = v.parse().expect("--max-engine-ratio takes a number");
+        } else if let Some(v) = arg.strip_prefix("--max-shard8-ratio=") {
+            max_shard8_ratio = v.parse().expect("--max-shard8-ratio takes a number");
+        } else {
+            assert!(path.is_none(), "exactly one artifact path, got {arg:?} too");
+            path = Some(arg);
+        }
+    }
+    let path = path.unwrap_or_else(|| "BENCH_engine.json".into());
+    let json = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("bench_gate: cannot read {path}: {e}"));
+    let records = parse_engine_bench_json(&json)
+        .unwrap_or_else(|e| panic!("bench_gate: cannot parse {path}: {e}"));
+    assert!(!records.is_empty(), "bench_gate: {path} holds no records");
+
+    let mut algorithms: Vec<String> = records.iter().map(|r| r.algorithm.clone()).collect();
+    algorithms.sort();
+    algorithms.dedup();
+
+    let mut rows = Vec::new();
+    let mut violations = Vec::new();
+    for alg in &algorithms {
+        let n = records
+            .iter()
+            .filter(|r| &r.algorithm == alg)
+            .map(|r| r.n)
+            .max()
+            .expect("algorithm has records");
+        let at = |shards: usize| -> Option<&EngineBenchRecord> {
+            records
+                .iter()
+                .find(|r| &r.algorithm == alg && r.n == n && r.shards == shards)
+        };
+        let (Some(seq), Some(s1)) = (at(0), at(1)) else {
+            violations.push(format!(
+                "{alg} (n={n}): artifact is missing the sequential or engine/1 row"
+            ));
+            continue;
+        };
+        let engine_ratio = s1.wall_ms / seq.wall_ms.max(f64::EPSILON);
+        let mut verdict = "ok";
+        if engine_ratio > max_engine_ratio {
+            verdict = "FAIL";
+            violations.push(format!(
+                "{alg} (n={n}): engine/1 is {engine_ratio:.2}× sequential \
+                 ({:.3} ms vs {:.3} ms), budget {max_engine_ratio:.2}×",
+                s1.wall_ms, seq.wall_ms
+            ));
+        }
+        let shard8_cell = match at(8) {
+            Some(s8) => {
+                let shard8_ratio = s8.wall_ms / s1.wall_ms.max(f64::EPSILON);
+                if shard8_ratio > max_shard8_ratio {
+                    verdict = "FAIL";
+                    violations.push(format!(
+                        "{alg} (n={n}): engine/8 is {shard8_ratio:.2}× engine/1 \
+                         ({:.3} ms vs {:.3} ms), budget {max_shard8_ratio:.2}× — \
+                         the worker pool is no longer amortizing round overhead",
+                        s8.wall_ms, s1.wall_ms
+                    ));
+                }
+                format!("{shard8_ratio:.2}")
+            }
+            None => "-".into(),
+        };
+        rows.push(vec![
+            alg.clone(),
+            format!("{n}"),
+            format!("{:.2}", seq.wall_ms),
+            format!("{:.2}", s1.wall_ms),
+            format!("{engine_ratio:.2}"),
+            shard8_cell,
+            verdict.into(),
+        ]);
+    }
+    print_table(
+        &format!(
+            "bench gate at largest n (budgets: engine/1 ≤ {max_engine_ratio:.2}× seq, \
+             engine/8 ≤ {max_shard8_ratio:.2}× engine/1)"
+        ),
+        &[
+            "algorithm",
+            "n",
+            "seq ms",
+            "engine/1",
+            "e1/seq",
+            "e8/e1",
+            "verdict",
+        ],
+        &rows,
+    );
+    if !violations.is_empty() {
+        eprintln!("\nbench_gate: {} violation(s):", violations.len());
+        for v in &violations {
+            eprintln!("  - {v}");
+        }
+        std::process::exit(1);
+    }
+    println!("\nbench_gate: all budgets hold");
+}

@@ -1,0 +1,227 @@
+//! CI determinism gate: the engine's replay contract, checked end to end.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin determinism_gate            # shards 1 2 8 16
+//! cargo run --release -p bench --bin determinism_gate -- 1 4 32  # custom sweep
+//! ```
+//!
+//! For every ported algorithm, runs the sequential implementation once and
+//! the engine at each shard count in the sweep — **forcing one worker group
+//! per shard** (`EngineConfig::workers`), so real pooled threads execute
+//! even on single-core CI runners — then diffs, bit for bit:
+//!
+//! * the outputs (colorings / partition layers),
+//! * the per-round message-count fingerprint,
+//! * the `RoundLedger` totals (engine vs sequential *and* across shards).
+//!
+//! Any divergence prints the offending configuration and exits nonzero.
+//! This is the invariant the worker-pool executor must never trade for
+//! speed: shard count and worker count are performance knobs, not
+//! semantics.
+
+use bench::print_table;
+use engine::{
+    engine_cole_vishkin_3color, engine_h_partition, engine_randomized_list_coloring, EngineConfig,
+};
+use graphs::gen;
+use local_model::{
+    cole_vishkin_3color, h_partition, randomized_list_coloring, RootedForest, RoundLedger,
+};
+
+const DEFAULT_SWEEP: [usize; 4] = [1, 2, 8, 16];
+
+/// One engine run's identity: everything that must survive resharding.
+#[derive(PartialEq, Clone)]
+struct Fingerprint {
+    output: Vec<usize>,
+    message_counts: Vec<usize>,
+    ledger_total: u64,
+}
+
+fn main() {
+    let sweep: Vec<usize> = {
+        let args: Vec<usize> = std::env::args()
+            .skip(1)
+            .map(|a| a.parse().expect("shard counts must be integers"))
+            .collect();
+        if args.is_empty() {
+            DEFAULT_SWEEP.to_vec()
+        } else {
+            args
+        }
+    };
+    let mut rows = Vec::new();
+    let mut divergences: Vec<String> = Vec::new();
+    for (scenario, check) in scenarios() {
+        let outcome = check(&sweep);
+        match outcome {
+            Ok(summary) => rows.push(vec![scenario.to_string(), summary, "ok".into()]),
+            Err(diff) => {
+                rows.push(vec![scenario.to_string(), diff.clone(), "DIVERGED".into()]);
+                divergences.push(format!("{scenario}: {diff}"));
+            }
+        }
+    }
+    print_table(
+        &format!("determinism gate, shards {sweep:?} (workers forced = shards)"),
+        &["scenario", "summary", "verdict"],
+        &rows,
+    );
+    if !divergences.is_empty() {
+        eprintln!("\ndeterminism_gate: {} divergence(s):", divergences.len());
+        for d in &divergences {
+            eprintln!("  - {d}");
+        }
+        std::process::exit(1);
+    }
+    println!("\ndeterminism_gate: bit-identical across the sweep");
+}
+
+type Check = Box<dyn Fn(&[usize]) -> Result<String, String>>;
+
+fn scenarios() -> Vec<(&'static str, Check)> {
+    vec![
+        (
+            "randomized / random-4-regular n=2000",
+            Box::new(|sweep| randomized(gen::random_regular(2000, 4, 7), 7, sweep)),
+        ),
+        (
+            "randomized / grid 40x40",
+            Box::new(|sweep| randomized(gen::grid(40, 40), 3, sweep)),
+        ),
+        (
+            "h-partition / forest-union-a2 n=3000",
+            Box::new(|sweep| h_part(gen::forest_union(3000, 2, 11), 2, sweep)),
+        ),
+        (
+            "h-partition / forest-union-a3 n=1000",
+            Box::new(|sweep| h_part(gen::forest_union(1000, 3, 5), 3, sweep)),
+        ),
+        (
+            "cole-vishkin / random-tree n=4000",
+            Box::new(|sweep| cole_vishkin(gen::random_tree(4000, 13), sweep)),
+        ),
+    ]
+}
+
+/// Diffs engine fingerprints across the sweep against a sequential anchor.
+fn diff_sweep(
+    seq_output: &[usize],
+    seq_ledger: u64,
+    runs: &[(usize, Fingerprint)],
+) -> Result<String, String> {
+    let (anchor_shards, anchor) = &runs[0];
+    if anchor.output != seq_output {
+        return Err(format!("shards={anchor_shards} output != sequential"));
+    }
+    if anchor.ledger_total != seq_ledger {
+        return Err(format!(
+            "shards={anchor_shards} ledger {} != sequential {seq_ledger}",
+            anchor.ledger_total
+        ));
+    }
+    for (shards, fp) in &runs[1..] {
+        if fp.output != anchor.output {
+            return Err(format!("shards={shards} output != shards={anchor_shards}"));
+        }
+        if fp.message_counts != anchor.message_counts {
+            return Err(format!(
+                "shards={shards} per-round traffic != shards={anchor_shards}"
+            ));
+        }
+        if fp.ledger_total != anchor.ledger_total {
+            return Err(format!("shards={shards} ledger != shards={anchor_shards}"));
+        }
+    }
+    Ok(format!(
+        "{} rounds charged, {} runs identical",
+        anchor.ledger_total,
+        runs.len()
+    ))
+}
+
+fn config(shards: usize, seed: u64) -> EngineConfig {
+    EngineConfig::default()
+        .with_shards(shards)
+        .with_workers(shards)
+        .with_seed(seed)
+}
+
+fn randomized(g: graphs::Graph, seed: u64, sweep: &[usize]) -> Result<String, String> {
+    let lists: Vec<Vec<usize>> = g
+        .vertices()
+        .map(|v| (0..g.degree(v) + 1).collect())
+        .collect();
+    let mut seq_ledger = RoundLedger::new();
+    let seq = randomized_list_coloring(&g, None, &lists, seed, 10_000, &mut seq_ledger);
+    assert!(seq.complete, "sequential anchor failed to color");
+    let runs: Vec<(usize, Fingerprint)> = sweep
+        .iter()
+        .map(|&shards| {
+            let mut ledger = RoundLedger::new();
+            let (out, metrics) = engine_randomized_list_coloring(
+                &g,
+                &lists,
+                seed,
+                10_000,
+                config(shards, seed),
+                &mut ledger,
+            );
+            (
+                shards,
+                Fingerprint {
+                    output: out.colors,
+                    message_counts: metrics.message_counts(),
+                    ledger_total: ledger.total(),
+                },
+            )
+        })
+        .collect();
+    if !graphs::is_proper(&g, &runs[0].1.output) {
+        return Err("coloring is not proper".into());
+    }
+    diff_sweep(&seq.colors, seq_ledger.total(), &runs)
+}
+
+fn h_part(g: graphs::Graph, a: usize, sweep: &[usize]) -> Result<String, String> {
+    let mut seq_ledger = RoundLedger::new();
+    let seq = h_partition(&g, None, a, 1.0, &mut seq_ledger);
+    let runs: Vec<(usize, Fingerprint)> = sweep
+        .iter()
+        .map(|&shards| {
+            let mut ledger = RoundLedger::new();
+            let (hp, metrics) = engine_h_partition(&g, a, 1.0, config(shards, 0), &mut ledger);
+            (
+                shards,
+                Fingerprint {
+                    output: hp.layer,
+                    message_counts: metrics.message_counts(),
+                    ledger_total: ledger.total(),
+                },
+            )
+        })
+        .collect();
+    diff_sweep(&seq.layer, seq_ledger.total(), &runs)
+}
+
+fn cole_vishkin(g: graphs::Graph, sweep: &[usize]) -> Result<String, String> {
+    let f = RootedForest::new(graphs::bfs_parents(&g, 0, None));
+    let mut seq_ledger = RoundLedger::new();
+    let seq = cole_vishkin_3color(&f, &mut seq_ledger);
+    let runs: Vec<(usize, Fingerprint)> = sweep
+        .iter()
+        .map(|&shards| {
+            let mut ledger = RoundLedger::new();
+            let (colors, metrics) = engine_cole_vishkin_3color(&f, config(shards, 0), &mut ledger);
+            (
+                shards,
+                Fingerprint {
+                    output: colors,
+                    message_counts: metrics.message_counts(),
+                    ledger_total: ledger.total(),
+                },
+            )
+        })
+        .collect();
+    diff_sweep(&seq, seq_ledger.total(), &runs)
+}

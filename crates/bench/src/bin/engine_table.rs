@@ -1,15 +1,21 @@
 //! Engine-vs-sequential throughput tables + the `BENCH_engine.json` artifact.
 //!
 //! ```sh
-//! cargo run --release -p bench --bin engine_table            # default sizes
-//! cargo run --release -p bench --bin engine_table -- 5000    # custom n
+//! cargo run --release -p bench --bin engine_table                    # n ∈ {1k, 10k, 50k}
+//! cargo run --release -p bench --bin engine_table -- 5000            # custom n
+//! cargo run --release -p bench --bin engine_table -- --reps=5 20000  # best-of-5
 //! ```
 //!
 //! For each workload family and algorithm, runs the sequential
-//! implementation once and the engine at a sweep of shard counts, printing
-//! wall-clock/round/message tables and writing every measurement to
-//! `BENCH_engine.json` (see [`bench::engine_report`]) so future PRs can
-//! track the perf trajectory mechanically.
+//! implementation and the engine at a sweep of shard counts — each
+//! configuration `reps` times, keeping the best wall time (the standard
+//! noise-rejection move; rounds/messages are identical across reps by the
+//! determinism contract, which every rep re-asserts). Prints
+//! wall-clock/round/message tables plus a sequential-vs-sharded **crossover
+//! table** (where sharding starts paying for itself), and writes every
+//! measurement to `BENCH_engine.json` (see [`bench::engine_report`]) so
+//! future PRs can track the perf trajectory mechanically — CI's
+//! `bench_gate` consumes exactly that artifact.
 
 use std::time::Instant;
 
@@ -23,34 +29,51 @@ use local_model::{
 };
 
 const SHARD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+const DEFAULT_SIZES: [usize; 3] = [1_000, 10_000, 50_000];
+const DEFAULT_REPS: usize = 3;
 
 fn main() {
-    let sizes: Vec<usize> = {
-        let args: Vec<usize> = std::env::args()
-            .skip(1)
-            .map(|a| a.parse().expect("sizes must be integers"))
-            .collect();
-        if args.is_empty() {
-            vec![2_000, 20_000]
+    let mut sizes: Vec<usize> = Vec::new();
+    let mut reps = DEFAULT_REPS;
+    for arg in std::env::args().skip(1) {
+        if let Some(r) = arg.strip_prefix("--reps=") {
+            reps = r.parse().expect("--reps=N takes an integer");
+            assert!(reps >= 1, "--reps must be at least 1");
         } else {
-            args
+            sizes.push(arg.parse().unwrap_or_else(|_| {
+                panic!("arguments are sizes (integers) or --reps=N, got {arg:?}")
+            }));
         }
-    };
+    }
+    if sizes.is_empty() {
+        sizes = DEFAULT_SIZES.to_vec();
+    }
     let mut records: Vec<EngineBenchRecord> = Vec::new();
     for &n in &sizes {
-        randomized_showdown(n, &mut records);
-        h_partition_showdown(n, &mut records);
-        cole_vishkin_showdown(n, &mut records);
+        randomized_showdown(n, reps, &mut records);
+        h_partition_showdown(n, reps, &mut records);
+        cole_vishkin_showdown(n, reps, &mut records);
     }
+    print_crossover(&records);
     let json = render_engine_bench_json(&records);
     std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
     println!("\nwrote {} records to BENCH_engine.json", records.len());
 }
 
-fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
-    let t0 = Instant::now();
-    let out = f();
-    (out, t0.elapsed().as_secs_f64() * 1e3)
+/// Runs `f` `reps` times and keeps the best wall time. Correctness checks
+/// live inside `f`, so every rep re-asserts them — not just the kept one.
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    let mut best: Option<(T, f64)> = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let out = f();
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        match &best {
+            Some((_, b)) if *b <= ms => {}
+            _ => best = Some((out, ms)),
+        }
+    }
+    best.expect("reps >= 1")
 }
 
 fn row(records: &mut Vec<EngineBenchRecord>, rec: EngineBenchRecord) -> Vec<String> {
@@ -89,7 +112,7 @@ fn record(
     }
 }
 
-fn randomized_showdown(n: usize, records: &mut Vec<EngineBenchRecord>) {
+fn randomized_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchRecord>) {
     let family = "random-4-regular";
     let g = gen::random_regular(n & !1, 4, 7);
     let lists: Vec<Vec<usize>> = g
@@ -97,30 +120,34 @@ fn randomized_showdown(n: usize, records: &mut Vec<EngineBenchRecord>) {
         .map(|v| (0..g.degree(v) + 1).collect())
         .collect();
     let mut rows = Vec::new();
-    let mut ledger = RoundLedger::new();
-    let (seq, wall) =
-        time_ms(|| randomized_list_coloring(&g, None, &lists, 7, 10_000, &mut ledger));
-    assert!(seq.complete);
+    let ((seq, seq_rounds), wall) = best_of(reps, || {
+        let mut ledger = RoundLedger::new();
+        let out = randomized_list_coloring(&g, None, &lists, 7, 10_000, &mut ledger);
+        assert!(out.complete);
+        let total = ledger.total();
+        (out, total)
+    });
     rows.push(row(
         records,
-        record(family, "randomized", g.n(), 0, ledger.total(), 0, wall),
+        record(family, "randomized", g.n(), 0, seq_rounds, 0, wall),
     ));
     for shards in SHARD_SWEEP {
-        let mut ledger = RoundLedger::new();
-        let ((out, metrics), wall) = time_ms(|| {
-            engine_randomized_list_coloring(
+        let ((_out, metrics), wall) = best_of(reps, || {
+            let mut ledger = RoundLedger::new();
+            let run = engine_randomized_list_coloring(
                 &g,
                 &lists,
                 7,
                 10_000,
                 EngineConfig::default().with_shards(shards),
                 &mut ledger,
-            )
+            );
+            assert_eq!(
+                run.0.colors, seq.colors,
+                "engine must replay the sequential run"
+            );
+            run
         });
-        assert_eq!(
-            out.colors, seq.colors,
-            "engine must replay the sequential run"
-        );
         rows.push(row(
             records,
             record(
@@ -141,28 +168,33 @@ fn randomized_showdown(n: usize, records: &mut Vec<EngineBenchRecord>) {
     );
 }
 
-fn h_partition_showdown(n: usize, records: &mut Vec<EngineBenchRecord>) {
+fn h_partition_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchRecord>) {
     let family = "forest-union-a2";
     let g = gen::forest_union(n, 2, 11);
     let mut rows = Vec::new();
-    let mut ledger = RoundLedger::new();
-    let (seq, wall) = time_ms(|| h_partition(&g, None, 2, 1.0, &mut ledger));
+    let ((seq, seq_rounds), wall) = best_of(reps, || {
+        let mut ledger = RoundLedger::new();
+        let out = h_partition(&g, None, 2, 1.0, &mut ledger);
+        let total = ledger.total();
+        (out, total)
+    });
     rows.push(row(
         records,
-        record(family, "h-partition", g.n(), 0, ledger.total(), 0, wall),
+        record(family, "h-partition", g.n(), 0, seq_rounds, 0, wall),
     ));
     for shards in SHARD_SWEEP {
-        let mut ledger = RoundLedger::new();
-        let ((hp, metrics), wall) = time_ms(|| {
-            engine_h_partition(
+        let ((_hp, metrics), wall) = best_of(reps, || {
+            let mut ledger = RoundLedger::new();
+            let run = engine_h_partition(
                 &g,
                 2,
                 1.0,
                 EngineConfig::default().with_shards(shards),
                 &mut ledger,
-            )
+            );
+            assert_eq!(run.0.layer, seq.layer, "engine must replay the peel");
+            run
         });
-        assert_eq!(hp.layer, seq.layer);
         rows.push(row(
             records,
             record(
@@ -183,23 +215,32 @@ fn h_partition_showdown(n: usize, records: &mut Vec<EngineBenchRecord>) {
     );
 }
 
-fn cole_vishkin_showdown(n: usize, records: &mut Vec<EngineBenchRecord>) {
+fn cole_vishkin_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchRecord>) {
     let family = "random-tree";
     let g = gen::random_tree(n, 13);
     let f = RootedForest::new(graphs::bfs_parents(&g, 0, None));
     let mut rows = Vec::new();
-    let mut ledger = RoundLedger::new();
-    let (seq, wall) = time_ms(|| cole_vishkin_3color(&f, &mut ledger));
+    let ((seq, seq_rounds), wall) = best_of(reps, || {
+        let mut ledger = RoundLedger::new();
+        let out = cole_vishkin_3color(&f, &mut ledger);
+        let total = ledger.total();
+        (out, total)
+    });
     rows.push(row(
         records,
-        record(family, "cole-vishkin", g.n(), 0, ledger.total(), 0, wall),
+        record(family, "cole-vishkin", g.n(), 0, seq_rounds, 0, wall),
     ));
     for shards in SHARD_SWEEP {
-        let mut ledger = RoundLedger::new();
-        let ((colors, metrics), wall) = time_ms(|| {
-            engine_cole_vishkin_3color(&f, EngineConfig::default().with_shards(shards), &mut ledger)
+        let ((_colors, metrics), wall) = best_of(reps, || {
+            let mut ledger = RoundLedger::new();
+            let run = engine_cole_vishkin_3color(
+                &f,
+                EngineConfig::default().with_shards(shards),
+                &mut ledger,
+            );
+            assert_eq!(run.0, seq, "engine must replay the sequential colors");
+            run
         });
-        assert_eq!(colors, seq);
         rows.push(row(
             records,
             record(
@@ -216,6 +257,64 @@ fn cole_vishkin_showdown(n: usize, records: &mut Vec<EngineBenchRecord>) {
     print_table(
         &format!("Cole–Vishkin 3-coloring, {family}, n = {}", g.n()),
         &["run", "rounds", "messages", "wall ms"],
+        &rows,
+    );
+}
+
+/// The crossover table: for every `(algorithm, n)` cell, how the engine
+/// scales against itself and against the sequential substrate. Columns:
+/// sequential ms, engine at 1 and 8 shards, the best shard count, the
+/// engine/1-vs-sequential overhead ratio, and the shards=8 / shards=1 ratio
+/// (≤ 1.00 means sharding has crossed over — more shards is no longer a
+/// cost).
+fn print_crossover(records: &[EngineBenchRecord]) {
+    let mut keys: Vec<(String, usize)> = records
+        .iter()
+        .filter(|r| r.shards == 0)
+        .map(|r| (r.algorithm.clone(), r.n))
+        .collect();
+    keys.sort();
+    keys.dedup();
+    let find = |alg: &str, n: usize, shards: usize| {
+        records
+            .iter()
+            .find(|r| r.algorithm == alg && r.n == n && r.shards == shards)
+    };
+    let mut rows = Vec::new();
+    for (alg, n) in keys {
+        let (Some(seq), Some(s1), Some(s8)) =
+            (find(&alg, n, 0), find(&alg, n, 1), find(&alg, n, 8))
+        else {
+            continue;
+        };
+        let best = records
+            .iter()
+            .filter(|r| r.algorithm == alg && r.n == n && r.shards > 0)
+            .min_by(|a, b| a.wall_ms.total_cmp(&b.wall_ms))
+            .expect("s1 exists");
+        rows.push(vec![
+            alg.clone(),
+            format!("{n}"),
+            format!("{:.2}", seq.wall_ms),
+            format!("{:.2}", s1.wall_ms),
+            format!("{:.2}", s8.wall_ms),
+            format!("{}", best.shards),
+            format!("{:.2}", s1.wall_ms / seq.wall_ms.max(f64::EPSILON)),
+            format!("{:.2}", s8.wall_ms / s1.wall_ms.max(f64::EPSILON)),
+        ]);
+    }
+    print_table(
+        "crossover: sequential vs sharded engine (best-of-reps wall ms)",
+        &[
+            "algorithm",
+            "n",
+            "seq ms",
+            "engine/1",
+            "engine/8",
+            "best",
+            "e1/seq",
+            "e8/e1",
+        ],
         &rows,
     );
 }

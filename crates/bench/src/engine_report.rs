@@ -56,6 +56,108 @@ pub fn render_engine_bench_json(records: &[EngineBenchRecord]) -> String {
     out
 }
 
+/// Parses a `BENCH_engine.json` artifact back into records.
+///
+/// This is the inverse of [`render_engine_bench_json`] for the exact shape
+/// that function emits (one object per line, sorted keys, escaped strings) —
+/// enough for CI's `bench_gate` to diff artifacts offline; it is not a
+/// general JSON parser.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line when a record cannot be
+/// parsed.
+pub fn parse_engine_bench_json(json: &str) -> Result<Vec<EngineBenchRecord>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in json.lines().enumerate() {
+        let line = line.trim().trim_end_matches(',');
+        if line.is_empty() || line == "[" || line == "]" {
+            continue;
+        }
+        let fail = |what: &str| format!("line {}: {what}: {line}", lineno + 1);
+        let body = line
+            .strip_prefix('{')
+            .and_then(|l| l.strip_suffix('}'))
+            .ok_or_else(|| fail("expected one {…} object"))?;
+        let mut rec = EngineBenchRecord {
+            family: String::new(),
+            algorithm: String::new(),
+            n: 0,
+            shards: 0,
+            rounds: 0,
+            messages: 0,
+            wall_ms: 0.0,
+        };
+        for field in split_top_level(body) {
+            let (key, value) = field
+                .split_once(':')
+                .ok_or_else(|| fail("expected key:value"))?;
+            let key = key.trim().trim_matches('"');
+            let value = value.trim();
+            match key {
+                "algorithm" => rec.algorithm = unescape(value).ok_or_else(|| fail("bad string"))?,
+                "family" => rec.family = unescape(value).ok_or_else(|| fail("bad string"))?,
+                "n" => rec.n = value.parse().map_err(|_| fail("bad n"))?,
+                "shards" => rec.shards = value.parse().map_err(|_| fail("bad shards"))?,
+                "rounds" => rec.rounds = value.parse().map_err(|_| fail("bad rounds"))?,
+                "messages" => rec.messages = value.parse().map_err(|_| fail("bad messages"))?,
+                "wall_ms" => rec.wall_ms = value.parse().map_err(|_| fail("bad wall_ms"))?,
+                other => return Err(fail(&format!("unknown key {other:?}"))),
+            }
+        }
+        if rec.algorithm.is_empty() || rec.family.is_empty() {
+            return Err(fail("record missing algorithm/family"));
+        }
+        out.push(rec);
+    }
+    Ok(out)
+}
+
+/// Splits `"k":"v","k2":3` on commas that are not inside a quoted string.
+fn split_top_level(body: &str) -> Vec<&str> {
+    let mut fields = Vec::new();
+    let (mut start, mut in_string, mut escaped) = (0, false, false);
+    for (i, c) in body.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            ',' if !in_string => {
+                fields.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < body.len() {
+        fields.push(&body[start..]);
+    }
+    fields
+}
+
+/// Inverts [`json_string`]: strips quotes and resolves the escapes it emits.
+fn unescape(s: &str) -> Option<String> {
+    let inner = s.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '"' => out.push('"'),
+            '\\' => out.push('\\'),
+            'u' => {
+                let hex: String = (0..4).map(|_| chars.next()).collect::<Option<_>>()?;
+                out.push(char::from_u32(u32::from_str_radix(&hex, 16).ok()?)?);
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
 fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -109,5 +211,24 @@ mod tests {
     fn escapes_strings() {
         assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
         assert_eq!(json_string("x\ny"), "\"x\\u000ay\"");
+    }
+
+    #[test]
+    fn parse_round_trips_render() {
+        let mut odd = record();
+        odd.family = "weird \"family\"\n, really".into();
+        odd.wall_ms = 0.0123;
+        let originals = vec![record(), odd, record()];
+        let parsed = parse_engine_bench_json(&render_engine_bench_json(&originals)).unwrap();
+        assert_eq!(parsed, originals);
+        assert_eq!(parse_engine_bench_json("[\n]\n").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn parse_rejects_garbage_with_line_numbers() {
+        let err = parse_engine_bench_json("[\n  not json\n]\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err = parse_engine_bench_json("[\n  {\"n\":true}\n]\n").unwrap_err();
+        assert!(err.contains("bad n"), "{err}");
     }
 }

@@ -8,7 +8,7 @@ use distributed_coloring::{
 use graphs::Graph;
 
 pub mod engine_report;
-pub use engine_report::{render_engine_bench_json, EngineBenchRecord};
+pub use engine_report::{parse_engine_bench_json, render_engine_bench_json, EngineBenchRecord};
 
 /// Prints an aligned table: header row then rows, all right-aligned to the
 /// widest cell per column.

@@ -1,4 +1,4 @@
-//! Constructive Theorem 1.1 (Borodin [7]; Erdős–Rubin–Taylor [10]):
+//! Constructive Theorem 1.1 (Borodin \[7\]; Erdős–Rubin–Taylor \[10\]):
 //! a connected graph that is **not a Gallai tree** is degree-choosable.
 //!
 //! The paper uses this theorem as a black box to finish each ruling-forest

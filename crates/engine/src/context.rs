@@ -8,8 +8,10 @@ use rand::rngs::StdRng;
 /// deterministic random stream.
 ///
 /// The stream is seeded from `(engine seed, node id)` only — never from the
-/// shard layout or thread schedule — so randomized programs replay
-/// bit-identically across any shard count.
+/// shard layout, the worker-pool size, or the thread schedule — so
+/// randomized programs replay bit-identically across any shard and worker
+/// count. During a round the context is visited exclusively by the worker
+/// group that owns its vertex range; between rounds the driver owns it.
 pub struct NodeCtx<'g> {
     /// This node's unique identifier.
     pub id: VertexId,

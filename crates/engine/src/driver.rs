@@ -1,43 +1,53 @@
-//! The engine driver: shard-parallel, round-synchronized execution.
+//! The engine driver: shard-parallel, round-synchronized execution on a
+//! persistent worker pool.
 //!
-//! One [`EngineSession`] runs one network of [`NodeProgram`]s. Each round:
+//! One [`EngineSession`] runs one network of [`NodeProgram`]s. Worker
+//! threads are spawned **once**, when the session boots, and park on a
+//! reusable barrier between rounds (see the `pool` module). Each round:
 //!
-//! 1. **Compute** — every shard walks its vertex range, calling `on_round`
-//!    with the inbox routed last round. Shards run on scoped OS threads (one
-//!    shard runs inline), joined at a barrier: nothing proceeds until every
-//!    node has stepped.
+//! 1. **Compute** — every worker group walks its vertex range, calling
+//!    `on_round` with the inbox routed last round and staging outbound
+//!    traffic in its own arena; the `done` barrier is the round's
+//!    synchronization point: nothing proceeds until every node has stepped.
 //! 2. **Faults** — each node's outbox passes through the [`FaultPlan`]
-//!    (deliver / drop / delay).
-//! 3. **Route** — surviving messages land in the double-buffered mailboxes
-//!    ([`mailbox`](crate::mailbox)), delayed batches due next round first,
-//!    and the buffers flip.
+//!    (deliver / drop / delay) as it is staged.
+//! 3. **Route** — the driver drains the arenas in group order into the
+//!    double-buffered mailboxes ([`mailbox`](crate::mailbox)), delayed
+//!    batches due next round first, and the buffers flip.
 //! 4. **Account** — a [`RoundMetrics`] record is appended and the phase's
 //!    rounds are charged to a [`RoundLedger`] when the phase ends.
 //!
-//! Determinism: program state is touched only by its owning shard, inboxes
-//! are sorted by sender, per-node RNG streams depend on `(seed, id)` alone,
-//! and fault plans are keyed by `(round, node)` — so colorings, round
-//! counts, and per-round message counts are bit-identical across shard
-//! counts and thread schedules.
+//! Determinism: program state is touched only by its owning worker group,
+//! inboxes are sorted by sender, per-node RNG streams depend on
+//! `(seed, id)` alone, and fault plans are keyed by `(round, node)` — so
+//! colorings, round counts, and per-round message counts are bit-identical
+//! across shard counts, worker counts, and thread schedules.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use graphs::{Graph, VertexId};
 use local_model::RoundLedger;
 
 use crate::context::NodeCtx;
-use crate::faults::{FaultAction, FaultPlan};
-use crate::mailbox::{Mailboxes, Routed};
+use crate::faults::FaultPlan;
+use crate::mailbox::Mailboxes;
 use crate::metrics::{EngineMetrics, RoundMetrics};
-use crate::program::{EngineMessage, NodeProgram, Outbox};
+use crate::pool::{stage_outbox, ShardYield, WorkerPool};
+use crate::program::NodeProgram;
 use crate::shard::ShardPlan;
 
 /// Engine tuning knobs. All fields are plain data; cloning a config and
 /// rerunning reproduces a run exactly.
 #[derive(Clone, Debug)]
 pub struct EngineConfig {
-    /// Worker shard count; 0 means one shard per available CPU.
+    /// Logical shard count; 0 means one shard per available CPU.
     pub shards: usize,
+    /// Worker-thread cap: the session spawns `min(workers, shards)` worker
+    /// groups (one of which is the driver thread itself); 0 means one per
+    /// available CPU. Purely a performance knob — results are bit-identical
+    /// for any value.
+    pub workers: usize,
     /// Global seed from which every per-node random stream is derived.
     pub seed: u64,
     /// Hard cap on total rounds across all phases of a session.
@@ -50,6 +60,7 @@ impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
             shards: 1,
+            workers: 0,
             seed: 0,
             max_rounds: 100_000,
             faults: FaultPlan::new(),
@@ -58,10 +69,19 @@ impl Default for EngineConfig {
 }
 
 impl EngineConfig {
-    /// Sets the shard count (0 = one per available CPU).
+    /// Sets the logical shard count (0 = one per available CPU).
     #[must_use]
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Sets the worker-thread cap (0 = one per available CPU). Values above
+    /// the hardware parallelism are honored — useful for exercising the
+    /// pooled executor on small machines — but never exceed the shard count.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
         self
     }
 
@@ -88,12 +108,28 @@ impl EngineConfig {
 
     fn resolve_shards(&self, n: usize) -> usize {
         let requested = if self.shards == 0 {
-            std::thread::available_parallelism().map_or(1, |p| p.get())
+            available_cpus()
         } else {
             self.shards
         };
         requested.clamp(1, n.max(1))
     }
+
+    /// Worker groups for a resolved shard count: explicit caps are honored
+    /// (so tests can force real threads on small machines); the automatic
+    /// default never oversubscribes the hardware.
+    fn resolve_workers(&self, shards: usize) -> usize {
+        let cap = if self.workers == 0 {
+            available_cpus()
+        } else {
+            self.workers
+        };
+        cap.clamp(1, shards)
+    }
+}
+
+fn available_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, |p| p.get())
 }
 
 /// When a phase ends.
@@ -120,30 +156,40 @@ pub struct PhaseReport {
     pub converged: bool,
 }
 
-/// A running network: programs, contexts, mailboxes, and both books of
-/// account. Create with [`EngineSession::new`], drive with
+/// A running network: programs, contexts, mailboxes, the worker pool, and
+/// both books of account. Create with [`EngineSession::new`], drive with
 /// [`run_phase`](EngineSession::run_phase), inspect or
-/// [`into_parts`](EngineSession::into_parts) when done.
-pub struct EngineSession<'g, P: NodeProgram> {
+/// [`into_parts`](EngineSession::into_parts) when done. Dropping the session
+/// (or dismantling it) parks, releases, and joins the pool's threads.
+pub struct EngineSession<'g, P: NodeProgram + 'static> {
     graph: &'g Graph,
     config: EngineConfig,
     plan: ShardPlan,
+    /// One contiguous vertex range per worker group, ascending, aligned to
+    /// shard boundaries.
+    groups: Vec<std::ops::Range<usize>>,
+    pool: WorkerPool<P>,
     programs: Vec<P>,
     ctxs: Vec<NodeCtx<'g>>,
     mail: Mailboxes<P::Message>,
     metrics: EngineMetrics,
     ledger: RoundLedger,
     round: u64,
+    /// Set when a node-program panic unwound out of a round: program state
+    /// is partially stepped and the round was rolled back, so continuing
+    /// would silently break the replay contract. Further stepping refuses
+    /// loudly; read-only inspection and `into_parts` still work.
+    poisoned: bool,
 }
 
-impl<'g, P: NodeProgram> EngineSession<'g, P> {
+impl<'g, P: NodeProgram + 'static> EngineSession<'g, P> {
     /// Boots a network over `graph`: builds one context and one program per
-    /// vertex (`factory` is called in vertex order), runs every program's
-    /// `init`, and routes the initial outboxes into round 1's inboxes.
+    /// vertex (`factory` is called in vertex order), spawns the session's
+    /// persistent worker pool, runs every program's `init`, and routes the
+    /// initial outboxes into round 1's inboxes.
     ///
-    /// `init` traffic is charged zero rounds (see
-    /// [`NodeProgram::init`](crate::NodeProgram::init)); fault rules for
-    /// round 0 apply to it.
+    /// `init` traffic is charged zero rounds (see [`NodeProgram::init`]);
+    /// fault rules for round 0 apply to it.
     pub fn new(
         graph: &'g Graph,
         config: EngineConfig,
@@ -151,54 +197,65 @@ impl<'g, P: NodeProgram> EngineSession<'g, P> {
     ) -> Self {
         let n = graph.n();
         let plan = ShardPlan::contiguous(n, config.resolve_shards(n));
+        let groups = plan.group_ranges(config.resolve_workers(plan.shards()));
+        let pool = WorkerPool::spawn(groups.len() - 1);
         let mut ctxs: Vec<NodeCtx<'g>> = (0..n)
             .map(|v| NodeCtx::new(v, n, graph.neighbors(v), config.seed))
             .collect();
         let mut programs: Vec<P> = ctxs.iter().map(&mut factory).collect();
 
         // Round 0: init every node and route the initial knowledge exchange.
+        // Single staging arena — init runs once, on the driver thread.
         let mut mail = Mailboxes::new(n);
         let mut metrics = EngineMetrics::default();
-        let (mut msgs, mut dropped, mut delayed, mut max_width) = (0, 0, 0, 0);
-        let mut sent: Vec<Routed<P::Message>> = Vec::new();
+        let mut y: ShardYield<P::Message> = ShardYield::default();
         for (v, (p, ctx)) in programs.iter_mut().zip(ctxs.iter_mut()).enumerate() {
             ctx.round = 0;
             let outbox = p.init(ctx);
-            let batch = expand_outbox(v, outbox, ctx.neighbors);
-            msgs += batch.len();
-            max_width = max_width.max(batch.iter().map(|(_, _, m)| m.width()).max().unwrap_or(0));
-            match config.faults.action(0, v) {
-                FaultAction::Deliver => sent.extend(batch),
-                FaultAction::Drop => dropped += batch.len(),
-                FaultAction::Delay(by) => {
-                    delayed += batch.len();
-                    mail.schedule(1 + by, batch);
-                }
-            }
+            stage_outbox(v, outbox, ctx.neighbors, 0, &config.faults, &mut y);
         }
-        metrics.record_init(msgs, dropped, delayed, max_width);
+        metrics.record_init(y.messages, y.dropped, y.delayed, y.max_width);
+        for (due, batch) in y.delayed_batches.drain(..) {
+            mail.schedule(due, batch);
+        }
         mail.inject_due(1);
-        mail.ingest(sent);
+        mail.ingest(&mut y.sent);
         mail.flip();
 
         EngineSession {
             graph,
             config,
             plan,
+            groups,
+            pool,
             programs,
             ctxs,
             mail,
             metrics,
             ledger: RoundLedger::new(),
             round: 0,
+            poisoned: false,
         }
     }
 
     /// Runs rounds under `phase` until `stop` is satisfied, then charges the
     /// executed rounds to the ledger under `phase`.
+    ///
+    /// # Panics
+    ///
+    /// Panics immediately on a [`poisoned`](EngineSession::poisoned)
+    /// session — program state is partially stepped, so even a zero-round
+    /// phase could report converged state that never existed.
     pub fn run_phase(&mut self, phase: &str, stop: Stop) -> PhaseReport {
+        assert!(
+            !self.poisoned,
+            "EngineSession is poisoned: a node program panicked mid-round, \
+             so program state is partially stepped and no further phases can \
+             run; rebuild the session"
+        );
         let start_round = self.round;
         let start_msgs = self.metrics.total_messages();
+        let label: Arc<str> = Arc::from(phase);
         let mut converged = true;
         match stop {
             Stop::Rounds(k) => {
@@ -207,7 +264,7 @@ impl<'g, P: NodeProgram> EngineSession<'g, P> {
                         converged = false;
                         break;
                     }
-                    self.step_round(phase);
+                    self.step_round(&label);
                 }
             }
             Stop::AllHalted => loop {
@@ -218,7 +275,7 @@ impl<'g, P: NodeProgram> EngineSession<'g, P> {
                     converged = false;
                     break;
                 }
-                self.step_round(phase);
+                self.step_round(&label);
             },
         }
         let rounds = self.round - start_round;
@@ -265,9 +322,16 @@ impl<'g, P: NodeProgram> EngineSession<'g, P> {
         self.round
     }
 
-    /// Number of worker shards this session runs with.
+    /// Number of logical shards this session runs with.
     pub fn shards(&self) -> usize {
         self.plan.shards()
+    }
+
+    /// Number of worker groups executing those shards (spawned threads + the
+    /// driver thread itself). At most [`shards`](EngineSession::shards);
+    /// capped by the hardware unless [`EngineConfig::workers`] forces more.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
     }
 
     /// True while fault-delayed batches are still undelivered.
@@ -275,48 +339,51 @@ impl<'g, P: NodeProgram> EngineSession<'g, P> {
         self.mail.has_pending_delays()
     }
 
-    /// Dismantles the session into programs, metrics, and ledger.
+    /// True once a node-program panic unwound out of a round: program state
+    /// is partially stepped, further `run_phase` calls panic immediately,
+    /// and only inspection / [`into_parts`](EngineSession::into_parts)
+    /// remain meaningful.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Dismantles the session into programs, metrics, and ledger, shutting
+    /// the worker pool down.
     pub fn into_parts(self) -> (Vec<P>, EngineMetrics, RoundLedger) {
         (self.programs, self.metrics, self.ledger)
     }
 
-    /// Executes one synchronized round (compute ∥ shards → faults → route).
-    fn step_round(&mut self, phase: &str) {
+    /// Executes one synchronized round (compute ∥ worker groups → faults →
+    /// route).
+    ///
+    /// # Panics
+    ///
+    /// Resumes any panic raised by a node program, after the round's epoch
+    /// is fully closed — the pool survives and later shuts down cleanly.
+    /// The round is rolled back (metrics, ledger, and mailboxes are
+    /// untouched by the aborted round) and the session is **poisoned**:
+    /// program state is partially stepped, so any further `run_phase` call
+    /// panics immediately instead of silently replaying garbage. Read-only
+    /// accessors and [`into_parts`](EngineSession::into_parts) keep working
+    /// on a poisoned session.
+    fn step_round(&mut self, phase: &Arc<str>) {
+        debug_assert!(!self.poisoned, "run_phase must refuse poisoned sessions");
         self.round += 1;
         let round = self.round;
         let started = Instant::now();
 
-        let plan = &self.plan;
-        let faults = &self.config.faults;
-        let inboxes = self.mail.inboxes();
-        let yields: Vec<ShardYield<P::Message>> = if plan.shards() == 1 {
-            vec![run_shard(
-                &mut self.programs,
-                &mut self.ctxs,
-                inboxes,
-                0,
-                round,
-                faults,
-            )]
-        } else {
-            let prog_parts = plan.split_mut(&mut self.programs);
-            let ctx_parts = plan.split_mut(&mut self.ctxs);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = prog_parts
-                    .into_iter()
-                    .zip(ctx_parts)
-                    .zip(plan.ranges())
-                    .map(|((ps, cs), range)| {
-                        scope.spawn(move || run_shard(ps, cs, inboxes, range.start, round, faults))
-                    })
-                    .collect();
-                // The joins are the per-round barrier.
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("shard worker panicked"))
-                    .collect()
-            })
-        };
+        if let Err(payload) = self.pool.execute(
+            &mut self.programs,
+            &mut self.ctxs,
+            self.mail.inboxes(),
+            &self.config.faults,
+            round,
+            &self.groups,
+        ) {
+            self.poisoned = true;
+            self.round -= 1;
+            std::panic::resume_unwind(payload);
+        }
 
         let mut messages = 0;
         let mut dropped = 0;
@@ -324,22 +391,23 @@ impl<'g, P: NodeProgram> EngineSession<'g, P> {
         let mut max_width = 0;
         let mut active_nodes = 0;
         self.mail.inject_due(round + 1);
-        for y in yields {
+        let mail = &mut self.mail;
+        self.pool.drain_yields(|y| {
             messages += y.messages;
             dropped += y.dropped;
             delayed += y.delayed;
             max_width = max_width.max(y.max_width);
             active_nodes += y.active;
-            for (due, batch) in y.delayed_batches {
-                self.mail.schedule(due, batch);
+            for (due, batch) in y.delayed_batches.drain(..) {
+                mail.schedule(due, batch);
             }
-            self.mail.ingest(y.sent);
-        }
+            mail.ingest(&mut y.sent);
+        });
         self.mail.flip();
 
         self.metrics.push(RoundMetrics {
             round,
-            phase: phase.to_owned(),
+            phase: Arc::clone(phase),
             messages,
             dropped,
             delayed,
@@ -350,96 +418,10 @@ impl<'g, P: NodeProgram> EngineSession<'g, P> {
     }
 }
 
-/// One shard's contribution to a round.
-struct ShardYield<M> {
-    sent: Vec<Routed<M>>,
-    delayed_batches: Vec<(u64, Vec<Routed<M>>)>,
-    messages: usize,
-    dropped: usize,
-    delayed: usize,
-    max_width: usize,
-    active: usize,
-}
-
-/// Steps every node in `[base, base + programs.len())`, applying faults.
-fn run_shard<P: NodeProgram>(
-    programs: &mut [P],
-    ctxs: &mut [NodeCtx<'_>],
-    inboxes: &[Vec<(VertexId, P::Message)>],
-    base: usize,
-    round: u64,
-    faults: &FaultPlan,
-) -> ShardYield<P::Message> {
-    let mut y = ShardYield {
-        sent: Vec::new(),
-        delayed_batches: Vec::new(),
-        messages: 0,
-        dropped: 0,
-        delayed: 0,
-        max_width: 0,
-        active: 0,
-    };
-    for (i, (p, ctx)) in programs.iter_mut().zip(ctxs.iter_mut()).enumerate() {
-        let v = base + i;
-        if !p.halted() {
-            y.active += 1;
-        }
-        ctx.round = round;
-        let outbox = p.on_round(ctx, &inboxes[v]);
-        let batch = expand_outbox(v, outbox, ctx.neighbors);
-        y.messages += batch.len();
-        y.max_width = y
-            .max_width
-            .max(batch.iter().map(|(_, _, m)| m.width()).max().unwrap_or(0));
-        match faults.action(round, v) {
-            FaultAction::Deliver => y.sent.extend(batch),
-            FaultAction::Drop => y.dropped += batch.len(),
-            FaultAction::Delay(by) => {
-                y.delayed += batch.len();
-                y.delayed_batches.push((round + 1 + by, batch));
-            }
-        }
-    }
-    y
-}
-
-/// Expands an outbox into routed point-to-point messages.
-///
-/// # Panics
-///
-/// Panics if a unicast/multi destination is not a neighbor of the sender —
-/// programs may only talk over edges; that is the LOCAL model.
-fn expand_outbox<M: EngineMessage>(
-    src: VertexId,
-    outbox: Outbox<M>,
-    neighbors: &[VertexId],
-) -> Vec<Routed<M>> {
-    match outbox {
-        Outbox::Silent => Vec::new(),
-        Outbox::Broadcast(m) => neighbors.iter().map(|&dst| (dst, src, m.clone())).collect(),
-        Outbox::Unicast(dst, m) => {
-            assert!(
-                neighbors.binary_search(&dst).is_ok(),
-                "node {src} unicast to non-neighbor {dst}"
-            );
-            vec![(dst, src, m)]
-        }
-        Outbox::Multi(msgs) => msgs
-            .into_iter()
-            .map(|(dst, m)| {
-                assert!(
-                    neighbors.binary_search(&dst).is_ok(),
-                    "node {src} sent to non-neighbor {dst}"
-                );
-                (dst, src, m)
-            })
-            .collect(),
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::program::{EngineMessage, Outbox};
     use graphs::gen;
 
     impl EngineMessage for u64 {}
@@ -507,6 +489,40 @@ mod tests {
             let run = flood(&g, EngineConfig::default().with_shards(shards));
             assert_eq!(run, baseline, "shards = {shards}");
         }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_anything() {
+        let g = gen::random_tree(150, 3);
+        let baseline = flood(&g, EngineConfig::default().with_shards(8).with_workers(1));
+        for workers in [2, 3, 8, 0] {
+            let run = flood(
+                &g,
+                EngineConfig::default().with_shards(8).with_workers(workers),
+            );
+            assert_eq!(run, baseline, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn workers_capped_by_shards_and_forceable_past_cpus() {
+        let g = gen::path(40);
+        let sess = EngineSession::new(
+            &g,
+            EngineConfig::default().with_shards(4).with_workers(64),
+            |_| MaxFlood {
+                value: 0,
+                changed: true,
+            },
+        );
+        assert_eq!(sess.shards(), 4);
+        assert_eq!(sess.workers(), 4, "explicit cap clamps to shards only");
+        let inline =
+            EngineSession::new(&g, EngineConfig::default().with_workers(1), |_| MaxFlood {
+                value: 0,
+                changed: true,
+            });
+        assert_eq!(inline.workers(), 1);
     }
 
     #[test]

@@ -15,10 +15,14 @@
 //!   (inbox → outbox + state transition) / [`halted`](NodeProgram::halted)
 //!   vote.
 //! * [`EngineSession`] — the driver: partitions the graph with a
-//!   [`ShardPlan`], steps shards on scoped threads with a barrier per round,
-//!   routes messages through double-buffered per-node mailboxes, and records
-//!   [`EngineMetrics`] (messages, max width, active nodes, wall time)
-//!   alongside a [`RoundLedger`](local_model::RoundLedger).
+//!   [`ShardPlan`], executes shards on a **persistent worker pool** (threads
+//!   spawned once per session, parked on a reusable barrier between rounds,
+//!   staging outbound traffic in per-worker arenas — see the `pool` module
+//!   internals), routes messages through double-buffered per-node mailboxes,
+//!   and records [`EngineMetrics`] (messages, max width, active nodes, wall
+//!   time) alongside a [`RoundLedger`](local_model::RoundLedger).
+//!   [`EngineConfig::shards`] and [`EngineConfig::workers`] are pure
+//!   performance knobs: any combination replays the same run.
 //! * Determinism — per-node random streams are derived from
 //!   `(seed, node id)` only ([`node_rng`]), inboxes are sorted by sender, so
 //!   randomized programs replay **bit-identically regardless of shard
@@ -70,6 +74,7 @@ pub mod driver;
 pub mod faults;
 pub mod mailbox;
 pub mod metrics;
+pub(crate) mod pool;
 pub mod program;
 pub mod programs;
 pub mod shard;

@@ -51,9 +51,10 @@ impl<M> Mailboxes<M> {
         }
     }
 
-    /// Queues messages for delivery next round.
-    pub(crate) fn ingest(&mut self, sent: Vec<Routed<M>>) {
-        for (dst, src, m) in sent {
+    /// Queues messages for delivery next round, draining the caller's
+    /// staging arena so its capacity survives for the next round.
+    pub(crate) fn ingest(&mut self, sent: &mut Vec<Routed<M>>) {
+        for (dst, src, m) in sent.drain(..) {
             self.next[dst].push((src, m));
         }
     }
@@ -90,7 +91,9 @@ mod tests {
     #[test]
     fn messages_visible_only_after_flip() {
         let mut mail: Mailboxes<u32> = Mailboxes::new(3);
-        mail.ingest(vec![(2, 0, 7)]);
+        let mut staged = vec![(2, 0, 7)];
+        mail.ingest(&mut staged);
+        assert!(staged.is_empty(), "staging arena drained, not consumed");
         assert!(
             mail.inboxes()[2].is_empty(),
             "sent this round, not visible yet"
@@ -106,7 +109,7 @@ mod tests {
         let mut mail: Mailboxes<u32> = Mailboxes::new(4);
         // Sender 2 then sender 0, sender 2 again: sorted to 0, 2, 2 with
         // sender 2's messages in send order.
-        mail.ingest(vec![(3, 2, 10), (3, 0, 20), (3, 2, 11)]);
+        mail.ingest(&mut vec![(3, 2, 10), (3, 0, 20), (3, 2, 11)]);
         mail.flip();
         assert_eq!(mail.inboxes()[3], vec![(0, 20), (2, 10), (2, 11)]);
     }
@@ -125,7 +128,7 @@ mod tests {
         // Round 3: due batch plus fresh traffic from the same sender — the
         // delayed message comes first.
         mail.inject_due(3);
-        mail.ingest(vec![(1, 0, 100)]);
+        mail.ingest(&mut vec![(1, 0, 100)]);
         mail.flip();
         assert_eq!(mail.inboxes()[1], vec![(0, 99), (0, 100)]);
         assert!(!mail.has_pending_delays());

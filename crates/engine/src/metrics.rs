@@ -7,6 +7,7 @@
 //! metrics for everything the ledger cannot see.
 
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Everything the engine observed about one executed round.
@@ -14,8 +15,10 @@ use std::time::Duration;
 pub struct RoundMetrics {
     /// Global 1-based round index (monotone across phases).
     pub round: u64,
-    /// The phase this round was charged to.
-    pub phase: String,
+    /// The phase this round was charged to. Shared, not owned: the driver
+    /// interns the label once per phase so per-round accounting allocates
+    /// nothing.
+    pub phase: Arc<str>,
     /// Point-to-point messages emitted this round (including messages a
     /// fault later dropped or delayed — they were *sent*).
     pub messages: usize,

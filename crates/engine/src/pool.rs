@@ -1,0 +1,501 @@
+//! The persistent worker-pool executor: threads spawned once per session.
+//!
+//! PR 1's driver spawned fresh scoped threads every round, so the thread
+//! spawn + join cost was charged per round and multi-shard runs lost to the
+//! single-shard path on every benched size. This module replaces that with a
+//! pool owned by the [`EngineSession`](crate::EngineSession):
+//!
+//! * **Worker lifetime** — `workers - 1` OS threads are spawned when the
+//!   session boots and live until it drops. The driver thread itself executes
+//!   worker group 0, so a `workers = 1` session spawns no threads at all and
+//!   runs every shard inline with zero synchronization.
+//! * **Barrier protocol** — each round is one epoch between two reusable
+//!   [`std::sync::Barrier`]s. The driver writes every worker's task slot
+//!   (raw slice parts of the program/context arrays, the inbox table, the
+//!   fault plan, the round number), crosses the `start` barrier, computes its
+//!   own group, and crosses the `done` barrier; workers park on `start`,
+//!   compute, and park on `done`. Barrier rendezvous establishes the
+//!   happens-before edges that make the slot writes and yield reads safe.
+//! * **Staging arenas** — every worker owns a [`ShardYield`]: a persistent
+//!   outbound buffer plus fault/width/activity counters, reset (not
+//!   reallocated) each round. Outboxes expand straight into the arena;
+//!   after the `done` barrier the driver drains the arenas into the
+//!   double-buffered mailboxes in group order, so steady-state rounds do no
+//!   per-node allocation at all.
+//! * **Panic discipline** — worker compute runs under `catch_unwind`; a
+//!   panicking node program is recorded in the worker's slot, the worker
+//!   still reaches the `done` barrier, and the driver resumes the unwind on
+//!   its own thread. The protocol therefore never deadlocks: every
+//!   participant reaches every barrier, and `Drop` (which raises the
+//!   shutdown flag and releases the `start` barrier once more) always joins
+//!   cleanly — even while unwinding from a propagated program panic.
+//!
+//! Determinism is untouched by any of this: worker count and shard count are
+//! pure performance knobs. Group ranges ascend in vertex id and arenas are
+//! drained in group order, so the mailbox fabric sees the same traffic in
+//! the same order as a sequential walk of the vertices.
+
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread::JoinHandle;
+
+use graphs::VertexId;
+
+use crate::context::NodeCtx;
+use crate::faults::{FaultAction, FaultPlan};
+use crate::mailbox::Routed;
+use crate::program::{EngineMessage, NodeProgram, Outbox};
+
+/// One worker group's per-round contribution: a persistent staging arena for
+/// outbound traffic plus the round's observed counters. Reused across rounds
+/// — [`reset`](ShardYield::reset) clears without releasing capacity.
+pub(crate) struct ShardYield<M> {
+    /// Outbound messages staged this round (surviving faults).
+    pub(crate) sent: Vec<Routed<M>>,
+    /// Fault-delayed batches: `(due round, one node's outbox)`.
+    pub(crate) delayed_batches: Vec<(u64, Vec<Routed<M>>)>,
+    /// Messages emitted (before faults).
+    pub(crate) messages: usize,
+    /// Messages discarded by drop faults.
+    pub(crate) dropped: usize,
+    /// Messages rescheduled by delay faults.
+    pub(crate) delayed: usize,
+    /// Widest message emitted.
+    pub(crate) max_width: usize,
+    /// Nodes whose halt vote was still "active" when the round started.
+    pub(crate) active: usize,
+}
+
+impl<M> Default for ShardYield<M> {
+    fn default() -> Self {
+        ShardYield {
+            sent: Vec::new(),
+            delayed_batches: Vec::new(),
+            messages: 0,
+            dropped: 0,
+            delayed: 0,
+            max_width: 0,
+            active: 0,
+        }
+    }
+}
+
+impl<M> ShardYield<M> {
+    /// Clears the arena for a new round, keeping every allocation.
+    fn reset(&mut self) {
+        self.sent.clear();
+        self.delayed_batches.clear();
+        self.messages = 0;
+        self.dropped = 0;
+        self.delayed = 0;
+        self.max_width = 0;
+        self.active = 0;
+    }
+}
+
+/// Steps every node of `programs`/`ctxs` (vertex ids `base..base + len`),
+/// expanding outboxes into `y`'s arena and applying `faults`.
+pub(crate) fn run_range<P: NodeProgram>(
+    programs: &mut [P],
+    ctxs: &mut [NodeCtx<'_>],
+    inboxes: &[Vec<(VertexId, P::Message)>],
+    base: usize,
+    round: u64,
+    faults: &FaultPlan,
+    y: &mut ShardYield<P::Message>,
+) {
+    y.reset();
+    for (i, (p, ctx)) in programs.iter_mut().zip(ctxs.iter_mut()).enumerate() {
+        let v = base + i;
+        if !p.halted() {
+            y.active += 1;
+        }
+        ctx.round = round;
+        let outbox = p.on_round(ctx, &inboxes[v]);
+        stage_outbox(v, outbox, ctx.neighbors, round, faults, y);
+    }
+}
+
+/// Expands one node's outbox into the arena and applies its fault action.
+pub(crate) fn stage_outbox<M: EngineMessage>(
+    src: VertexId,
+    outbox: Outbox<M>,
+    neighbors: &[VertexId],
+    round: u64,
+    faults: &FaultPlan,
+    y: &mut ShardYield<M>,
+) {
+    let start = y.sent.len();
+    let width = expand_into(src, outbox, neighbors, &mut y.sent);
+    let batch_len = y.sent.len() - start;
+    y.messages += batch_len;
+    y.max_width = y.max_width.max(width);
+    match faults.action(round, src) {
+        FaultAction::Deliver => {}
+        FaultAction::Drop => {
+            y.dropped += batch_len;
+            y.sent.truncate(start);
+        }
+        FaultAction::Delay(by) => {
+            y.delayed += batch_len;
+            y.delayed_batches
+                .push((round + 1 + by, y.sent.split_off(start)));
+        }
+    }
+}
+
+/// Expands an outbox into routed point-to-point messages appended to `out`;
+/// returns the widest message in the batch (0 for an empty batch).
+///
+/// # Panics
+///
+/// Panics if a unicast/multi destination is not a neighbor of the sender —
+/// programs may only talk over edges; that is the LOCAL model.
+fn expand_into<M: EngineMessage>(
+    src: VertexId,
+    outbox: Outbox<M>,
+    neighbors: &[VertexId],
+    out: &mut Vec<Routed<M>>,
+) -> usize {
+    match outbox {
+        Outbox::Silent => 0,
+        Outbox::Broadcast(m) => {
+            if neighbors.is_empty() {
+                return 0;
+            }
+            let width = m.width();
+            out.extend(neighbors.iter().map(|&dst| (dst, src, m.clone())));
+            width
+        }
+        Outbox::Unicast(dst, m) => {
+            assert!(
+                neighbors.binary_search(&dst).is_ok(),
+                "node {src} unicast to non-neighbor {dst}"
+            );
+            let width = m.width();
+            out.push((dst, src, m));
+            width
+        }
+        Outbox::Multi(msgs) => {
+            let mut width = 0;
+            for (dst, m) in msgs {
+                assert!(
+                    neighbors.binary_search(&dst).is_ok(),
+                    "node {src} sent to non-neighbor {dst}"
+                );
+                width = width.max(m.width());
+                out.push((dst, src, m));
+            }
+            width
+        }
+    }
+}
+
+/// One worker's task slot: the raw inputs the driver writes before the
+/// `start` barrier and the outputs (arena + panic payload) it reads after
+/// the `done` barrier. The barrier rendezvous is the synchronization; the
+/// cell is never touched concurrently.
+struct WorkerTask<P: NodeProgram> {
+    programs: *mut P,
+    ctxs: *mut NodeCtx<'static>,
+    len: usize,
+    inboxes: *const Vec<(VertexId, P::Message)>,
+    inboxes_len: usize,
+    faults: *const FaultPlan,
+    base: usize,
+    round: u64,
+    yielded: ShardYield<P::Message>,
+    panic: Option<Box<dyn Any + Send + 'static>>,
+}
+
+impl<P: NodeProgram> Default for WorkerTask<P> {
+    fn default() -> Self {
+        WorkerTask {
+            programs: std::ptr::null_mut(),
+            ctxs: std::ptr::null_mut(),
+            len: 0,
+            inboxes: std::ptr::null(),
+            inboxes_len: 0,
+            faults: std::ptr::null(),
+            base: 0,
+            round: 0,
+            yielded: ShardYield::default(),
+            panic: None,
+        }
+    }
+}
+
+struct Slot<P: NodeProgram> {
+    cell: UnsafeCell<WorkerTask<P>>,
+}
+
+// SAFETY: slots hold raw pointers into session-owned arrays. Access is
+// strictly alternated between the driver (outside the start→done window) and
+// exactly one worker (inside it); the two barriers publish every write
+// before the other side reads. The pointees (`P`, `NodeCtx`, messages) are
+// all `Send`.
+unsafe impl<P: NodeProgram> Send for Slot<P> {}
+unsafe impl<P: NodeProgram> Sync for Slot<P> {}
+
+struct PoolShared<P: NodeProgram> {
+    /// Epoch entry: driver + every worker.
+    start: Barrier,
+    /// Epoch exit: driver + every worker.
+    done: Barrier,
+    /// Raised by `Drop` before a final `start` release.
+    shutdown: AtomicBool,
+    /// One slot per spawned worker (the driver's own group has none).
+    slots: Vec<Slot<P>>,
+}
+
+/// The session-lifetime executor. `threads` workers park between rounds;
+/// the driver executes group 0 itself, so a pool with zero threads is the
+/// sequential fast path (its barriers have a single participant and never
+/// block).
+pub(crate) struct WorkerPool<P: NodeProgram + 'static> {
+    shared: Arc<PoolShared<P>>,
+    handles: Vec<JoinHandle<()>>,
+    /// The driver's own staging arena (worker group 0).
+    home: ShardYield<P::Message>,
+}
+
+impl<P: NodeProgram + 'static> WorkerPool<P> {
+    /// Spawns `threads` parked workers (usually `workers - 1`).
+    pub(crate) fn spawn(threads: usize) -> Self {
+        let shared = Arc::new(PoolShared {
+            start: Barrier::new(threads + 1),
+            done: Barrier::new(threads + 1),
+            shutdown: AtomicBool::new(false),
+            slots: (0..threads)
+                .map(|_| Slot {
+                    cell: UnsafeCell::new(WorkerTask::default()),
+                })
+                .collect(),
+        });
+        let handles = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("engine-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, i))
+                    .expect("spawn engine worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles,
+            home: ShardYield::default(),
+        }
+    }
+
+    /// Number of worker groups (spawned threads + the driver).
+    pub(crate) fn workers(&self) -> usize {
+        self.handles.len() + 1
+    }
+
+    /// Executes one round: group `i` of `ranges` runs on worker `i` (group 0
+    /// on the calling thread). Returns the first captured program panic, if
+    /// any — the caller resumes it after the epoch is fully closed, so the
+    /// *pool* stays droppable (workers re-park and join cleanly); the
+    /// session layer is responsible for refusing further rounds, since the
+    /// programs themselves are now partially stepped.
+    ///
+    /// `ranges` must be disjoint ascending sub-ranges of the arrays, one per
+    /// worker group.
+    pub(crate) fn execute(
+        &mut self,
+        programs: &mut [P],
+        ctxs: &mut [NodeCtx<'_>],
+        inboxes: &[Vec<(VertexId, P::Message)>],
+        faults: &FaultPlan,
+        round: u64,
+        ranges: &[Range<usize>],
+    ) -> Result<(), Box<dyn Any + Send + 'static>> {
+        assert_eq!(ranges.len(), self.handles.len() + 1, "one range per group");
+        // Derive every group's slice from the same root pointers so the
+        // driver's group-0 reborrow cannot invalidate the workers' parts.
+        let prog_root = programs.as_mut_ptr();
+        let ctx_root = ctxs.as_mut_ptr().cast::<NodeCtx<'static>>();
+        for (w, range) in ranges.iter().enumerate().skip(1) {
+            // SAFETY: workers are parked at the `start` barrier, so the
+            // driver is the sole accessor of the slot right now.
+            let task = unsafe { &mut *self.shared.slots[w - 1].cell.get() };
+            task.programs = unsafe { prog_root.add(range.start) };
+            task.ctxs = unsafe { ctx_root.add(range.start) };
+            task.len = range.len();
+            task.inboxes = inboxes.as_ptr();
+            task.inboxes_len = inboxes.len();
+            task.faults = faults;
+            task.base = range.start;
+            task.round = round;
+        }
+        self.shared.start.wait();
+        let home_range = ranges[0].clone();
+        // SAFETY: group 0 is disjoint from every slot's range; the pointers
+        // stay valid for the whole epoch because the driver owns the arrays.
+        let (home_programs, home_ctxs) = unsafe {
+            (
+                std::slice::from_raw_parts_mut(prog_root.add(home_range.start), home_range.len()),
+                std::slice::from_raw_parts_mut(ctx_root.add(home_range.start), home_range.len()),
+            )
+        };
+        let home = &mut self.home;
+        let home_result = catch_unwind(AssertUnwindSafe(|| {
+            run_range(
+                home_programs,
+                home_ctxs,
+                inboxes,
+                home_range.start,
+                round,
+                faults,
+                home,
+            );
+        }));
+        self.shared.done.wait();
+        let mut payload = home_result.err();
+        for slot in &self.shared.slots {
+            // SAFETY: past the `done` barrier every worker is parked again.
+            let task = unsafe { &mut *slot.cell.get() };
+            if let Some(p) = task.panic.take() {
+                payload.get_or_insert(p);
+            }
+        }
+        match payload {
+            Some(p) => Err(p),
+            None => Ok(()),
+        }
+    }
+
+    /// Visits every group's arena in deterministic group order (driver's
+    /// group 0 first), for the post-round merge. Exclusive access: workers
+    /// are parked between epochs.
+    pub(crate) fn drain_yields(&mut self, mut f: impl FnMut(&mut ShardYield<P::Message>)) {
+        f(&mut self.home);
+        for slot in &self.shared.slots {
+            // SAFETY: workers are parked at the `start` barrier; `&mut self`
+            // keeps the driver side exclusive.
+            f(unsafe { &mut (*slot.cell.get()).yielded });
+        }
+    }
+}
+
+impl<P: NodeProgram + 'static> Drop for WorkerPool<P> {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        // Workers are always parked at `start` between epochs (the panic
+        // discipline guarantees every epoch closes), so one release lets
+        // them observe the flag and exit.
+        self.shared.start.wait();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop<P: NodeProgram>(shared: &PoolShared<P>, index: usize) {
+    loop {
+        shared.start.wait();
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // SAFETY: between `start` and `done` this worker is the slot's sole
+        // accessor, and the driver guarantees the pointers are live and
+        // disjoint from every other group for the whole epoch.
+        let task = unsafe { &mut *shared.slots[index].cell.get() };
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let (programs, ctxs, inboxes, faults) = unsafe {
+                (
+                    std::slice::from_raw_parts_mut(task.programs, task.len),
+                    std::slice::from_raw_parts_mut(task.ctxs, task.len),
+                    std::slice::from_raw_parts(task.inboxes, task.inboxes_len),
+                    &*task.faults,
+                )
+            };
+            run_range(
+                programs,
+                ctxs,
+                inboxes,
+                task.base,
+                task.round,
+                faults,
+                &mut task.yielded,
+            );
+        }));
+        if let Err(p) = result {
+            task.panic = Some(p);
+        }
+        shared.done.wait();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Copy, PartialEq, Debug)]
+    struct W(usize);
+    impl EngineMessage for W {
+        fn width(&self) -> usize {
+            self.0
+        }
+    }
+
+    #[test]
+    fn expand_into_appends_and_reports_width() {
+        let neighbors = [1usize, 3, 5];
+        let mut out = Vec::new();
+        let w = expand_into(0, Outbox::Broadcast(W(2)), &neighbors, &mut out);
+        assert_eq!(w, 2);
+        assert_eq!(out, vec![(1, 0, W(2)), (3, 0, W(2)), (5, 0, W(2))]);
+        let w = expand_into(0, Outbox::Unicast(3, W(7)), &neighbors, &mut out);
+        assert_eq!(w, 7);
+        assert_eq!(out.len(), 4, "appends after existing traffic");
+        assert_eq!(expand_into(0, Outbox::Silent, &neighbors, &mut out), 0);
+        assert_eq!(
+            expand_into(9, Outbox::Broadcast(W(5)), &[], &mut out),
+            0,
+            "isolated vertex broadcast is empty"
+        );
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn stage_outbox_applies_faults_in_place() {
+        let neighbors = [1usize, 2];
+        let faults = FaultPlan::new().drop_outbox(0, 5).delay_outbox(0, 6, 2);
+        let mut y: ShardYield<W> = ShardYield::default();
+        stage_outbox(0, Outbox::Broadcast(W(1)), &neighbors, 4, &faults, &mut y);
+        assert_eq!((y.messages, y.sent.len()), (2, 2), "delivered round");
+        stage_outbox(0, Outbox::Broadcast(W(1)), &neighbors, 5, &faults, &mut y);
+        assert_eq!(y.dropped, 2, "dropped round truncates the arena");
+        assert_eq!(y.sent.len(), 2);
+        stage_outbox(0, Outbox::Broadcast(W(1)), &neighbors, 6, &faults, &mut y);
+        assert_eq!(y.delayed, 2);
+        assert_eq!(y.sent.len(), 2, "delayed tail split out of the arena");
+        assert_eq!(y.delayed_batches.len(), 1);
+        assert_eq!(y.delayed_batches[0].0, 6 + 1 + 2);
+        assert_eq!(y.messages, 6, "all three outboxes were *sent*");
+    }
+
+    #[test]
+    fn arena_reset_keeps_capacity() {
+        let mut y: ShardYield<W> = ShardYield::default();
+        stage_outbox(
+            0,
+            Outbox::Broadcast(W(1)),
+            &[1, 2, 3, 4],
+            1,
+            &FaultPlan::new(),
+            &mut y,
+        );
+        let cap = y.sent.capacity();
+        assert!(cap >= 4);
+        y.reset();
+        assert_eq!(y.sent.len(), 0);
+        assert_eq!(y.sent.capacity(), cap, "reset must not release the arena");
+    }
+}

@@ -18,7 +18,11 @@ use crate::context::NodeCtx;
 /// words; the engine records the per-round maximum so experiments can report
 /// *observed* message-size bounds (CONGEST-style accounting) next to round
 /// counts. The default of 1 fits constant-size messages.
-pub trait EngineMessage: Clone + Send + Sync {
+///
+/// Messages are `'static`: they outlive the round that produced them (they
+/// sit in mailboxes, fault-delay queues, and the worker pool's staging
+/// arenas), so they may not borrow from the graph or the session.
+pub trait EngineMessage: Clone + Send + Sync + 'static {
     /// Abstract message size in words.
     fn width(&self) -> usize {
         1

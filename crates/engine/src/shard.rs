@@ -55,6 +55,31 @@ impl ShardPlan {
         (0..self.shards()).map(|s| self.range(s))
     }
 
+    /// Groups the shards into `groups` contiguous vertex ranges (one per
+    /// worker of the pooled executor), balanced to within one shard and
+    /// aligned to shard boundaries. `groups` is clamped to
+    /// `1..=shards()` — a worker never owns a fraction of a shard, and no
+    /// worker is left without one.
+    ///
+    /// The ranges ascend in vertex id, so draining per-worker staging
+    /// arenas in group order reproduces the sequential vertex walk.
+    pub fn group_ranges(&self, groups: usize) -> Vec<std::ops::Range<usize>> {
+        let shards = self.shards();
+        let groups = groups.clamp(1, shards.max(1));
+        let base = shards / groups;
+        let extra = shards % groups;
+        let mut out = Vec::with_capacity(groups);
+        let mut s = 0;
+        for g in 0..groups {
+            let take = base + usize::from(g < extra);
+            let start = self.bounds[s];
+            s += take;
+            out.push(start..self.bounds[s]);
+        }
+        debug_assert_eq!(s, shards);
+        out
+    }
+
     /// Splits a slice into per-shard sub-slices (mutably), in shard order.
     pub fn split_mut<'a, T>(&self, mut slice: &'a mut [T]) -> Vec<&'a mut [T]> {
         assert_eq!(slice.len(), self.n(), "slice length must match plan");
@@ -102,6 +127,40 @@ mod tests {
         assert_eq!(ShardPlan::contiguous(3, 100).shards(), 3);
         assert_eq!(ShardPlan::contiguous(3, 0).shards(), 1);
         assert_eq!(ShardPlan::contiguous(0, 4).shards(), 1);
+    }
+
+    #[test]
+    fn group_ranges_cover_all_vertices_on_shard_boundaries() {
+        for (n, shards) in [(100usize, 8usize), (7, 3), (50, 16), (0, 4), (1, 1)] {
+            let plan = ShardPlan::contiguous(n, shards);
+            for groups in [1usize, 2, 3, 8, 100] {
+                let ranges = plan.group_ranges(groups);
+                assert!(!ranges.is_empty());
+                assert!(ranges.len() <= plan.shards());
+                assert_eq!(ranges[0].start, 0);
+                assert_eq!(ranges.last().unwrap().end, n);
+                let mut prev_end = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, prev_end, "contiguous groups");
+                    prev_end = r.end;
+                    // Each boundary is a shard boundary.
+                    assert!(
+                        plan.ranges().any(|s| s.start == r.start),
+                        "group start {} off shard boundary (n={n} shards={shards})",
+                        r.start
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn group_ranges_balance_shards_within_one() {
+        let plan = ShardPlan::contiguous(80, 8);
+        let ranges = plan.group_ranges(3);
+        // 8 shards of 10 vertices over 3 groups: 3/3/2 shards.
+        let sizes: Vec<usize> = ranges.iter().map(std::ops::Range::len).collect();
+        assert_eq!(sizes, vec![30, 30, 20]);
     }
 
     #[test]

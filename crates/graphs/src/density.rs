@@ -2,7 +2,7 @@
 //!
 //! `mad(G) = max_{H ⊆ G} 2|E(H)|/|V(H)|` is the paper's sparseness measure
 //! (§1.2); Theorem 1.3 requires `d ≥ mad(G)`. Arboricity
-//! `a(G) = max ⌈|E(H)|/(|V(H)|−1)⌉` (Nash-Williams [22]) drives
+//! `a(G) = max ⌈|E(H)|/(|V(H)|−1)⌉` (Nash-Williams \[22\]) drives
 //! Corollary 1.4 and the Barenboim–Elkin baseline. Both are computed
 //! *exactly* via Goldberg's flow reduction on top of [`crate::flow`]:
 //! a subgraph of density > g exists iff the min cut of the edge/vertex

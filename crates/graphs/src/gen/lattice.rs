@@ -67,7 +67,7 @@ pub fn torus_grid(rows: usize, cols: usize) -> Graph {
 /// length `l`; the horizontal wrap identifies the vertical boundary with a
 /// flip (orientation-reversing).
 ///
-/// Gallai [14] proved `G_{2k+1,2l+1}` is 4-chromatic; its balls of radius
+/// Gallai \[14\] proved `G_{2k+1,2l+1}` is 4-chromatic; its balls of radius
 /// `< k` look like planar-grid balls, which powers Theorem 2.6.
 ///
 /// Coordinates: vertex `(r, c)` with `r ∈ 0..k` (vertical position) and

@@ -10,7 +10,7 @@
 //!   bipartiteness.
 //! * [`blocks`] — biconnected components, block–cut trees, and **Gallai
 //!   tree** recognition (paper §1.4, Figure 1).
-//! * [`girth`] / [`degeneracy`] — structural analytics used across §2/§4.
+//! * [`girth`](mod@girth) / [`degeneracy`] — structural analytics used across §2/§4.
 //! * [`flow`] / [`density`] — Dinic max-flow powering *exact* `mad(G)` and
 //!   Nash-Williams arboricity oracles (the paper's sparseness measures).
 //! * [`exact`] — exponential-time chromatic/list-coloring verifiers for the

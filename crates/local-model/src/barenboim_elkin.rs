@@ -1,4 +1,4 @@
-//! The Barenboim–Elkin sparse-graph coloring baseline [4].
+//! The Barenboim–Elkin sparse-graph coloring baseline \[4\].
 //!
 //! `⌊(2+ε)a⌋ + 1` colors for graphs of arboricity `a` in `O(a log n)`-ish
 //! rounds, via the **H-partition**: repeatedly strip the vertices whose

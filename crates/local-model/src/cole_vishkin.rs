@@ -1,7 +1,7 @@
 //! Cole–Vishkin 3-coloring of rooted forests in `O(log* n)` rounds.
 //!
 //! The classic deterministic symmetry-breaking primitive (Goldberg–Plotkin–
-//! Shannon [17] use the same bit technique): starting from the `O(log n)`-bit
+//! Shannon \[17\] use the same bit technique): starting from the `O(log n)`-bit
 //! unique identifiers, each iteration shrinks colors from `B` bits to
 //! `⌈log₂ B⌉ + 1` bits by encoding the lowest bit position where a vertex's
 //! color differs from its parent's; once six colors remain, three shift-down

@@ -1,4 +1,4 @@
-//! The Goldberg–Plotkin–Shannon-style 7-coloring of planar graphs [17] —
+//! The Goldberg–Plotkin–Shannon-style 7-coloring of planar graphs \[17\] —
 //! the baseline the paper's Corollary 2.3(1) improves to 6 colors.
 //!
 //! Planar graphs have average degree < 6, so a constant fraction of
@@ -7,7 +7,7 @@
 //! 6 colored neighbors, so 7 colors suffice. Within a layer the induced
 //! subgraph has degree ≤ 6 and is colored with the merge-reduce primitive.
 //! Total rounds `O(log n + log* n)` with constant factors from the
-//! degree-7 palette, matching [17]'s `O(log n)`.
+//! degree-7 palette, matching \[17\]'s `O(log n)`.
 
 use crate::ledger::RoundLedger;
 use graphs::{Graph, VertexId, VertexSet};

@@ -1,22 +1,22 @@
 //! # local-model — a LOCAL-model simulator with deterministic primitives
 //!
-//! The paper operates in the LOCAL model of distributed computing [20]:
+//! The paper operates in the LOCAL model of distributed computing \[20\]:
 //! synchronous rounds, unbounded messages and computation, unique ids, and
 //! the round count as the only complexity measure. This crate provides:
 //!
 //! * [`RoundLedger`] — per-phase round accounting. Every primitive charges
 //!   the rounds a LOCAL execution takes, so experiments can put *measured*
 //!   round counts next to the paper's bounds.
-//! * [`cole_vishkin_3color`] — `O(log* n)` forest 3-coloring (the [17]
+//! * [`cole_vishkin_3color`] — `O(log* n)` forest 3-coloring (the \[17\]
 //!   technique).
 //! * [`Orientation`] / forest decomposition — acyclic orientations split
 //!   into rooted forests.
 //! * [`degree_plus_one_coloring`] — `(Δ+1)`-coloring in `O(Δ² + log* n)`
-//!   rounds (merge-reduce), the "(d+1)-coloring … [17]" step of Lemma 3.2.
-//! * [`barenboim_elkin_coloring`] — the `⌊(2+ε)a⌋+1`-color baseline [4]
+//!   rounds (merge-reduce), the "(d+1)-coloring … \[17\]" step of Lemma 3.2.
+//! * [`barenboim_elkin_coloring`] — the `⌊(2+ε)a⌋+1`-color baseline \[4\]
 //!   that the paper improves upon.
 //! * [`ruling_set`] / [`ruling_forest`] — `(α, α·log n)`-ruling structures
-//!   [3], the scaffolding of Lemma 3.2.
+//!   \[3\], the scaffolding of Lemma 3.2.
 //! * [`gather_balls`] / [`detect_clique`] — ball collection and the paper's
 //!   two-round clique detection, with honest round charging.
 //!

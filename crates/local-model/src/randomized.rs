@@ -1,7 +1,7 @@
 //! The simple randomized distributed list-coloring the paper's §6 remark
 //! refers to ("there is a simple answer to Question 6.2 if we ask for a
 //! randomized algorithm instead", citing the classic `O(log n)`-round
-//! `(Δ+1)`-coloring of [5]).
+//! `(Δ+1)`-coloring of \[5\]).
 //!
 //! Each cycle, every uncolored vertex proposes a uniformly random color
 //! from its current list and keeps it if no neighbor proposed or owns the

@@ -1,6 +1,6 @@
 //! Color-space reduction: from forest 3-colorings to a `(Δ+1)`-coloring.
 //!
-//! The merge-reduce scheme (Goldberg–Plotkin–Shannon [17] / Panconesi–Rizzi
+//! The merge-reduce scheme (Goldberg–Plotkin–Shannon \[17\] / Panconesi–Rizzi
 //! style): maintain a proper coloring of the union of the first `j` forests;
 //! to merge forest `j+1`, take the product with its Cole–Vishkin 3-coloring
 //! (proper on the enlarged union) and sweep the product classes from the
@@ -57,7 +57,7 @@ fn sweep_reduce(
 /// Round complexity: `O(#forests · (target + log* n))`; with the identity
 /// priority this is the classic `O(Δ² + log* n)` of Panconesi–Rizzi, the
 /// "(d+1)-coloring computed deterministically" step the paper takes
-/// from [17] in Lemma 3.2.
+/// from \[17\] in Lemma 3.2.
 ///
 /// Returns `color[v] ∈ 0..target` for masked vertices, `usize::MAX`
 /// elsewhere.

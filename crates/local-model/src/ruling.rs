@@ -1,5 +1,5 @@
 //! (α, β)-ruling sets and ruling forests (Awerbuch–Goldberg–Luby–Plotkin
-//! [3]), the scaffolding of the paper's Lemma 3.2.
+//! \[3\]), the scaffolding of the paper's Lemma 3.2.
 //!
 //! A *(α, β)-ruling forest* with respect to `U` is a family of disjoint
 //! rooted trees covering `U`, whose roots are pairwise at distance ≥ α and

@@ -8,7 +8,7 @@
 //! * [`locally_planar_5chromatic`] — 6-regular toroidal triangulations with
 //!   χ = 5 whose balls match balls of the planar triangulated cylinder
 //!   (Theorem 1.5 / Figure 3; see DESIGN.md for the Fisk substitution).
-//! * [`h_graph`] — the planar triangle-free `H_{2l}` whose balls match the
+//! * [`h_graph`](fn@h_graph) — the planar triangle-free `H_{2l}` whose balls match the
 //!   4-chromatic Klein-bottle grid `G_{5,2l+1}` (Theorem 2.5 / Figure 2).
 //! * Klein-bottle grids themselves live in [`graphs::gen::klein_grid`]
 //!   (4-chromatic for odd×odd — Theorem 2.6's engine against the

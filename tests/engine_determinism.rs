@@ -1,7 +1,10 @@
 //! Shard-count determinism (property-based): same seed + same graph must
 //! yield identical colorings AND identical per-round message counts whether
-//! the engine runs on 1, 2, or 8 shards. This is the engine's core replay
-//! contract — randomness lives in per-node streams, never in the schedule.
+//! the engine runs on 1, 2, 8, or 16 shards. This is the engine's core
+//! replay contract — randomness lives in per-node streams, never in the
+//! schedule. Each sweep point forces a different worker-pool size
+//! (including oversubscribed pools of real threads), so thread interleaving
+//! is part of what the property quantifies over.
 
 use engine::{
     engine_cole_vishkin_3color, engine_h_partition, engine_randomized_list_coloring, EngineConfig,
@@ -10,7 +13,14 @@ use graphs::gen;
 use local_model::{RootedForest, RoundLedger};
 use proptest::prelude::*;
 
-const SHARD_SWEEP: [usize; 3] = [1, 2, 8];
+/// `(shards, workers)` pairs: inline, pooled, and oversubscribed pooled.
+const SHARD_SWEEP: [(usize, usize); 4] = [(1, 1), (2, 2), (8, 3), (16, 16)];
+
+fn config(shards: usize, workers: usize) -> EngineConfig {
+    EngineConfig::default()
+        .with_shards(shards)
+        .with_workers(workers)
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
@@ -22,17 +32,18 @@ proptest! {
         let g = gen::random_regular(n & !1, d, seed);
         let lists: Vec<Vec<usize>> = g.vertices().map(|v| (0..g.degree(v) + 1).collect()).collect();
         let mut runs = Vec::new();
-        for shards in SHARD_SWEEP {
+        for (shards, workers) in SHARD_SWEEP {
             let mut ledger = RoundLedger::new();
             let (out, metrics) = engine_randomized_list_coloring(
                 &g, &lists, seed, 1000,
-                EngineConfig::default().with_shards(shards),
+                config(shards, workers),
                 &mut ledger,
             );
             runs.push((out.colors, out.rounds, metrics.message_counts(), ledger.total()));
         }
-        prop_assert_eq!(&runs[0], &runs[1], "1 vs 2 shards diverged");
-        prop_assert_eq!(&runs[0], &runs[2], "1 vs 8 shards diverged");
+        for (i, run) in runs.iter().enumerate().skip(1) {
+            prop_assert_eq!(&runs[0], run, "sweep point {} diverged from shards=1", i);
+        }
         prop_assert!(graphs::is_proper(&g, &runs[0].0));
     }
 
@@ -43,17 +54,18 @@ proptest! {
         let g = gen::random_tree(n, seed);
         let f = RootedForest::new(graphs::bfs_parents(&g, 0, None));
         let mut runs = Vec::new();
-        for shards in SHARD_SWEEP {
+        for (shards, workers) in SHARD_SWEEP {
             let mut ledger = RoundLedger::new();
             let (colors, metrics) = engine_cole_vishkin_3color(
                 &f,
-                EngineConfig::default().with_shards(shards),
+                config(shards, workers),
                 &mut ledger,
             );
             runs.push((colors, metrics.message_counts(), ledger.total()));
         }
-        prop_assert_eq!(&runs[0], &runs[1]);
-        prop_assert_eq!(&runs[0], &runs[2]);
+        for (i, run) in runs.iter().enumerate().skip(1) {
+            prop_assert_eq!(&runs[0], run, "sweep point {} diverged", i);
+        }
     }
 
     /// H-partition peeling: layers and traffic are shard-invariant.
@@ -61,16 +73,17 @@ proptest! {
     fn h_partition_shard_invariant(n in 30usize..300, a in 2usize..4, seed in 0u64..500) {
         let g = gen::forest_union(n, a, seed);
         let mut runs = Vec::new();
-        for shards in SHARD_SWEEP {
+        for (shards, workers) in SHARD_SWEEP {
             let mut ledger = RoundLedger::new();
             let (hp, metrics) = engine_h_partition(
                 &g, a, 1.0,
-                EngineConfig::default().with_shards(shards),
+                config(shards, workers),
                 &mut ledger,
             );
             runs.push((hp.layer, hp.layers, metrics.message_counts(), ledger.total()));
         }
-        prop_assert_eq!(&runs[0], &runs[1]);
-        prop_assert_eq!(&runs[0], &runs[2]);
+        for (i, run) in runs.iter().enumerate().skip(1) {
+            prop_assert_eq!(&runs[0], run, "sweep point {} diverged", i);
+        }
     }
 }

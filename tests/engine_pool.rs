@@ -1,0 +1,255 @@
+//! Worker-pool lifecycle: the persistent executor must survive everything a
+//! session can throw at it — reuse across phases and runs, node-program
+//! panics mid-round, fault injection — and never change a single observable
+//! while doing so. Workers are forced past the hardware parallelism
+//! (`EngineConfig::workers`) so these tests exercise real pooled threads
+//! even on single-core CI runners.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use engine::{
+    engine_randomized_list_coloring, EngineConfig, EngineSession, FaultPlan, NodeCtx, NodeProgram,
+    Outbox, Stop,
+};
+use graphs::gen;
+use local_model::RoundLedger;
+
+/// Forwards the largest id seen so far; never volunteers to halt, so phases
+/// are driven by fixed round budgets — the multi-phase reuse workload.
+struct Gossip {
+    best: usize,
+}
+
+impl NodeProgram for Gossip {
+    type Message = usize;
+
+    fn init(&mut self, ctx: &mut NodeCtx<'_>) -> Outbox<usize> {
+        self.best = ctx.id;
+        Outbox::Broadcast(ctx.id)
+    }
+
+    fn on_round(&mut self, _: &mut NodeCtx<'_>, inbox: &[(usize, usize)]) -> Outbox<usize> {
+        self.best = inbox.iter().map(|&(_, m)| m).fold(self.best, usize::max);
+        Outbox::Broadcast(self.best)
+    }
+
+    fn halted(&self) -> bool {
+        false
+    }
+}
+
+/// Panics (on one vertex) at a chosen round — the clean-shutdown workload.
+struct PanicAt {
+    round: u64,
+    vertex: usize,
+}
+
+impl NodeProgram for PanicAt {
+    type Message = usize;
+
+    fn init(&mut self, _: &mut NodeCtx<'_>) -> Outbox<usize> {
+        Outbox::Silent
+    }
+
+    fn on_round(&mut self, ctx: &mut NodeCtx<'_>, _: &[(usize, usize)]) -> Outbox<usize> {
+        assert!(
+            !(ctx.round == self.round && ctx.id == self.vertex),
+            "injected node-program panic at round {} vertex {}",
+            self.round,
+            self.vertex
+        );
+        Outbox::Silent
+    }
+
+    fn halted(&self) -> bool {
+        false
+    }
+}
+
+fn gossip_session(g: &graphs::Graph, workers: usize) -> EngineSession<'_, Gossip> {
+    EngineSession::new(
+        g,
+        EngineConfig::default().with_shards(8).with_workers(workers),
+        |_| Gossip { best: 0 },
+    )
+}
+
+#[test]
+fn session_reuse_across_many_phases_on_one_pool() {
+    // One pool, many phases and inspection points: the workers must stay
+    // parked-and-ready across the whole session lifetime, and the staged
+    // arenas must not leak traffic between phases.
+    let g = gen::random_tree(300, 42);
+    let mut pooled = gossip_session(&g, 4);
+    let mut inline = gossip_session(&g, 1);
+    assert_eq!(pooled.workers(), 4);
+    assert_eq!(inline.workers(), 1);
+    for phase in ["wave-1", "wave-2", "wave-3", "wave-4"] {
+        let rp = pooled.run_phase(phase, Stop::Rounds(5));
+        let ri = inline.run_phase(phase, Stop::Rounds(5));
+        assert_eq!(rp.rounds, 5);
+        assert_eq!(rp.messages, ri.messages, "phase {phase}");
+        // Between-phase inspection: driver-side access while workers park.
+        let pooled_best: Vec<usize> = pooled.programs().iter().map(|p| p.best).collect();
+        let inline_best: Vec<usize> = inline.programs().iter().map(|p| p.best).collect();
+        assert_eq!(pooled_best, inline_best, "phase {phase}");
+    }
+    assert_eq!(pooled.rounds(), 20);
+    assert_eq!(
+        pooled.metrics().message_counts(),
+        inline.metrics().message_counts()
+    );
+    // The host-side seam still works with a live pool.
+    pooled.for_each_program(|v, p| p.best = v);
+    pooled.run_phase("wave-5", Stop::Rounds(3));
+}
+
+#[test]
+fn sequential_sessions_reuse_fresh_pools_cleanly() {
+    // Session-per-run (the benches' pattern): every session spawns and joins
+    // its own pool; runs must not interfere.
+    let g = gen::grid(12, 12);
+    let mut fingerprints = Vec::new();
+    for _ in 0..3 {
+        let mut sess = gossip_session(&g, 3);
+        sess.run_phase("wave", Stop::Rounds(8));
+        let (programs, metrics, _) = sess.into_parts();
+        fingerprints.push((
+            programs.iter().map(|p| p.best).collect::<Vec<_>>(),
+            metrics.message_counts(),
+        ));
+    }
+    assert_eq!(fingerprints[0], fingerprints[1]);
+    assert_eq!(fingerprints[0], fingerprints[2]);
+}
+
+#[test]
+fn idle_sessions_shut_down_without_running_a_round() {
+    // Spawned pools must join even if no phase (or nothing at all) ran.
+    let g = gen::path(64);
+    let sess = EngineSession::new(
+        &g,
+        EngineConfig::default().with_shards(8).with_workers(8),
+        |_| Gossip { best: 0 },
+    );
+    drop(sess);
+    let mut sess = EngineSession::new(
+        &g,
+        EngineConfig::default().with_shards(8).with_workers(8),
+        |_| Gossip { best: 0 },
+    );
+    sess.run_phase("one", Stop::Rounds(1));
+    // into_parts is the other shutdown path.
+    let (_, metrics, _) = sess.into_parts();
+    assert_eq!(metrics.total_rounds(), 1);
+}
+
+#[test]
+fn node_program_panic_propagates_and_pool_shuts_down_cleanly() {
+    let g = gen::path(200);
+    for workers in [1usize, 2, 8] {
+        let mut sess = EngineSession::new(
+            &g,
+            EngineConfig::default().with_shards(8).with_workers(workers),
+            |_| PanicAt {
+                round: 3,
+                vertex: 137,
+            },
+        );
+        let r = sess.run_phase("warmup", Stop::Rounds(2));
+        assert_eq!(r.rounds, 2, "pre-panic rounds run normally");
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            sess.run_phase("doomed", Stop::AllHalted);
+        }));
+        let payload = caught.expect_err("round 3 must panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("panic payload is the assert message");
+        assert!(
+            msg.contains("injected node-program panic"),
+            "workers={workers}: panic payload must survive the pool: {msg}"
+        );
+        // The aborted round was rolled back, the session poisoned: state is
+        // partially stepped, so reuse must refuse loudly, not replay
+        // garbage. Inspection still works.
+        assert!(sess.poisoned());
+        assert_eq!(sess.rounds(), 2, "aborted round must not be counted");
+        assert_eq!(
+            sess.metrics().total_rounds(),
+            2,
+            "no metrics record for the aborted round"
+        );
+        let reuse = catch_unwind(AssertUnwindSafe(|| {
+            sess.run_phase("after-poison", Stop::Rounds(1));
+        }));
+        let poison_msg = reuse.expect_err("poisoned session must refuse to step");
+        let named = poison_msg
+            .downcast_ref::<&str>()
+            .map(|m| m.contains("poisoned"))
+            .or_else(|| {
+                poison_msg
+                    .downcast_ref::<String>()
+                    .map(|m| m.contains("poisoned"))
+            });
+        assert_eq!(
+            named,
+            Some(true),
+            "workers={workers}: reuse must name the poisoning"
+        );
+        // The epoch closed before the unwind resumed: dropping the session
+        // (joining the pool) must not hang or double-panic...
+        drop(sess);
+        // ...and the machine must be reusable afterwards.
+        let mut fresh = gossip_session(&g, workers);
+        let report = fresh.run_phase("recovery", Stop::Rounds(2));
+        assert_eq!(report.rounds, 2, "workers={workers}");
+    }
+}
+
+#[test]
+fn fault_plans_are_worker_count_invariant_under_the_pool() {
+    // Drop/delay faults perturb the run identically whether the executor is
+    // inline or an oversubscribed pool: colorings, per-round traffic, and
+    // fault tallies all replay.
+    let g = gen::random_regular(400, 4, 9);
+    let lists: Vec<Vec<usize>> = g
+        .vertices()
+        .map(|v| (0..g.degree(v) + 1).collect())
+        .collect();
+    let mut faults = FaultPlan::new();
+    for round in 1..40u64 {
+        faults = faults.drop_outbox((7 * round as usize) % 400, round);
+        if round % 2 == 0 {
+            faults = faults.delay_outbox((13 * round as usize) % 400, round, 2);
+        }
+    }
+    let run = |workers: usize| {
+        let mut ledger = RoundLedger::new();
+        let (out, metrics) = engine_randomized_list_coloring(
+            &g,
+            &lists,
+            9,
+            10_000,
+            EngineConfig::default()
+                .with_shards(16)
+                .with_workers(workers)
+                .with_faults(faults.clone()),
+            &mut ledger,
+        );
+        assert!(out.complete);
+        (
+            out.colors,
+            metrics.message_counts(),
+            metrics.total_dropped(),
+            metrics.total_delayed(),
+            ledger.total(),
+        )
+    };
+    let baseline = run(1);
+    assert!(baseline.2 > 0, "drop faults must actually fire");
+    assert!(baseline.3 > 0, "delay faults must actually fire");
+    assert!(graphs::is_proper(&g, &baseline.0));
+    for workers in [2usize, 4, 16] {
+        assert_eq!(run(workers), baseline, "workers = {workers}");
+    }
+}
