@@ -41,6 +41,7 @@ fn bench_randomized(c: &mut Criterion) {
                 let mut ledger = RoundLedger::new();
                 black_box(engine_randomized_list_coloring(
                     &g,
+                    None,
                     &lists,
                     7,
                     10_000,
@@ -70,6 +71,7 @@ fn bench_h_partition(c: &mut Criterion) {
                 let mut ledger = RoundLedger::new();
                 black_box(engine_h_partition(
                     &g,
+                    None,
                     2,
                     1.0,
                     EngineConfig::default().with_shards(shards),

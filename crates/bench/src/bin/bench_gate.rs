@@ -3,7 +3,7 @@
 //! ```sh
 //! cargo run --release -p bench --bin bench_gate -- BENCH_engine.json
 //! cargo run --release -p bench --bin bench_gate -- BENCH_engine.json \
-//!     --max-engine-ratio=25 --max-shard8-ratio=1.25
+//!     --max-engine-ratio=25 --max-shard8-ratio=1.25 --max-route-frac=0.60
 //! ```
 //!
 //! Reads the artifact `engine_table` wrote and enforces, **at the largest
@@ -19,6 +19,11 @@
 //!    where 8 shards cost 20× over 1. The tolerance above 1.0 absorbs
 //!    scheduler noise on small CI machines; the crossover itself is asserted
 //!    by the committed artifact.
+//! 3. `route_ms ≤ max-route-frac × wall_ms` at engine/8 — the
+//!    worker-parallel routing phase (arena drain + per-inbox sender sort)
+//!    must stay a bounded fraction of the round: if routing starts
+//!    dominating wall time again, the second barrier phase has stopped
+//!    paying for itself.
 //!
 //! Exits nonzero with a per-algorithm table on any violation.
 
@@ -26,16 +31,20 @@ use bench::{parse_engine_bench_json, print_table, EngineBenchRecord};
 
 const DEFAULT_MAX_ENGINE_RATIO: f64 = 25.0;
 const DEFAULT_MAX_SHARD8_RATIO: f64 = 1.25;
+const DEFAULT_MAX_ROUTE_FRAC: f64 = 0.60;
 
 fn main() {
     let mut path: Option<String> = None;
     let mut max_engine_ratio = DEFAULT_MAX_ENGINE_RATIO;
     let mut max_shard8_ratio = DEFAULT_MAX_SHARD8_RATIO;
+    let mut max_route_frac = DEFAULT_MAX_ROUTE_FRAC;
     for arg in std::env::args().skip(1) {
         if let Some(v) = arg.strip_prefix("--max-engine-ratio=") {
             max_engine_ratio = v.parse().expect("--max-engine-ratio takes a number");
         } else if let Some(v) = arg.strip_prefix("--max-shard8-ratio=") {
             max_shard8_ratio = v.parse().expect("--max-shard8-ratio takes a number");
+        } else if let Some(v) = arg.strip_prefix("--max-route-frac=") {
+            max_route_frac = v.parse().expect("--max-route-frac takes a number");
         } else {
             assert!(path.is_none(), "exactly one artifact path, got {arg:?} too");
             path = Some(arg);
@@ -82,7 +91,7 @@ fn main() {
                 s1.wall_ms, seq.wall_ms
             ));
         }
-        let shard8_cell = match at(8) {
+        let (shard8_cell, route_cell) = match at(8) {
             Some(s8) => {
                 let shard8_ratio = s8.wall_ms / s1.wall_ms.max(f64::EPSILON);
                 if shard8_ratio > max_shard8_ratio {
@@ -94,9 +103,22 @@ fn main() {
                         s8.wall_ms, s1.wall_ms
                     ));
                 }
-                format!("{shard8_ratio:.2}")
+                let route_frac = s8.route_ms / s8.wall_ms.max(f64::EPSILON);
+                if route_frac > max_route_frac {
+                    verdict = "FAIL";
+                    violations.push(format!(
+                        "{alg} (n={n}): routing is {:.0}% of the engine/8 wall time \
+                         ({:.3} ms of {:.3} ms), budget {:.0}% — the routing phase \
+                         has stopped amortizing",
+                        route_frac * 100.0,
+                        s8.route_ms,
+                        s8.wall_ms,
+                        max_route_frac * 100.0
+                    ));
+                }
+                (format!("{shard8_ratio:.2}"), format!("{route_frac:.2}"))
             }
-            None => "-".into(),
+            None => ("-".into(), "-".into()),
         };
         rows.push(vec![
             alg.clone(),
@@ -105,13 +127,15 @@ fn main() {
             format!("{:.2}", s1.wall_ms),
             format!("{engine_ratio:.2}"),
             shard8_cell,
+            route_cell,
             verdict.into(),
         ]);
     }
     print_table(
         &format!(
             "bench gate at largest n (budgets: engine/1 ≤ {max_engine_ratio:.2}× seq, \
-             engine/8 ≤ {max_shard8_ratio:.2}× engine/1)"
+             engine/8 ≤ {max_shard8_ratio:.2}× engine/1, \
+             route ≤ {max_route_frac:.2}× wall at engine/8)"
         ),
         &[
             "algorithm",
@@ -120,6 +144,7 @@ fn main() {
             "engine/1",
             "e1/seq",
             "e8/e1",
+            "route/8",
             "verdict",
         ],
         &rows,

@@ -23,7 +23,7 @@ use bench::print_table;
 use engine::{
     engine_cole_vishkin_3color, engine_h_partition, engine_randomized_list_coloring, EngineConfig,
 };
-use graphs::gen;
+use graphs::{gen, VertexSet};
 use local_model::{
     cole_vishkin_3color, h_partition, randomized_list_coloring, RootedForest, RoundLedger,
 };
@@ -90,6 +90,15 @@ fn scenarios() -> Vec<(&'static str, Check)> {
             Box::new(|sweep| randomized(gen::grid(40, 40), 3, sweep)),
         ),
         (
+            "randomized masked / grid 40x40 (2/3 alive)",
+            Box::new(|sweep| {
+                let g = gen::grid(40, 40);
+                let mask =
+                    VertexSet::from_iter_with_universe(g.n(), (0..g.n()).filter(|v| v % 3 != 0));
+                randomized_masked(g, Some(mask), 3, sweep)
+            }),
+        ),
+        (
             "h-partition / forest-union-a2 n=3000",
             Box::new(|sweep| h_part(gen::forest_union(3000, 2, 11), 2, sweep)),
         ),
@@ -148,12 +157,24 @@ fn config(shards: usize, seed: u64) -> EngineConfig {
 }
 
 fn randomized(g: graphs::Graph, seed: u64, sweep: &[usize]) -> Result<String, String> {
+    randomized_masked(g, None, seed, sweep)
+}
+
+/// The masked-session scenario: the engine restricted to an induced
+/// subgraph must replay the sequential masked primitive bit for bit at
+/// every shard count — the contract Theorem 1.3's peel loop rides on.
+fn randomized_masked(
+    g: graphs::Graph,
+    mask: Option<VertexSet>,
+    seed: u64,
+    sweep: &[usize],
+) -> Result<String, String> {
     let lists: Vec<Vec<usize>> = g
         .vertices()
         .map(|v| (0..g.degree(v) + 1).collect())
         .collect();
     let mut seq_ledger = RoundLedger::new();
-    let seq = randomized_list_coloring(&g, None, &lists, seed, 10_000, &mut seq_ledger);
+    let seq = randomized_list_coloring(&g, mask.as_ref(), &lists, seed, 10_000, &mut seq_ledger);
     assert!(seq.complete, "sequential anchor failed to color");
     let runs: Vec<(usize, Fingerprint)> = sweep
         .iter()
@@ -161,6 +182,7 @@ fn randomized(g: graphs::Graph, seed: u64, sweep: &[usize]) -> Result<String, St
             let mut ledger = RoundLedger::new();
             let (out, metrics) = engine_randomized_list_coloring(
                 &g,
+                mask.as_ref(),
                 &lists,
                 seed,
                 10_000,
@@ -177,7 +199,11 @@ fn randomized(g: graphs::Graph, seed: u64, sweep: &[usize]) -> Result<String, St
             )
         })
         .collect();
-    if !graphs::is_proper(&g, &runs[0].1.output) {
+    let colors = &runs[0].1.output;
+    let proper = g
+        .edges()
+        .all(|(u, v)| colors[u] == usize::MAX || colors[v] == usize::MAX || colors[u] != colors[v]);
+    if !proper {
         return Err("coloring is not proper".into());
     }
     diff_sweep(&seq.colors, seq_ledger.total(), &runs)
@@ -190,7 +216,8 @@ fn h_part(g: graphs::Graph, a: usize, sweep: &[usize]) -> Result<String, String>
         .iter()
         .map(|&shards| {
             let mut ledger = RoundLedger::new();
-            let (hp, metrics) = engine_h_partition(&g, a, 1.0, config(shards, 0), &mut ledger);
+            let (hp, metrics) =
+                engine_h_partition(&g, None, a, 1.0, config(shards, 0), &mut ledger);
             (
                 shards,
                 Fingerprint {

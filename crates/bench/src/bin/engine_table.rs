@@ -11,8 +11,11 @@
 //! configuration `reps` times, keeping the best wall time (the standard
 //! noise-rejection move; rounds/messages are identical across reps by the
 //! determinism contract, which every rep re-asserts). Prints
-//! wall-clock/round/message tables plus a sequential-vs-sharded **crossover
-//! table** (where sharding starts paying for itself), and writes every
+//! wall-clock/round/message tables (now with per-run routing-phase time —
+//! the second barrier phase each worker spends draining and sorting its own
+//! inboxes) plus a sequential-vs-sharded **crossover table** (where sharding
+//! starts paying for itself, and what fraction of the 8-shard wall time is
+//! routing), and writes every
 //! measurement to `BENCH_engine.json` (see [`bench::engine_report`]) so
 //! future PRs can track the perf trajectory mechanically — CI's
 //! `bench_gate` consumes exactly that artifact.
@@ -87,11 +90,13 @@ fn row(records: &mut Vec<EngineBenchRecord>, rec: EngineBenchRecord) -> Vec<Stri
         format!("{}", rec.rounds),
         format!("{}", rec.messages),
         format!("{:.2}", rec.wall_ms),
+        format!("{:.2}", rec.route_ms),
     ];
     records.push(rec);
     cells
 }
 
+#[allow(clippy::too_many_arguments)]
 fn record(
     family: &str,
     algorithm: &str,
@@ -100,6 +105,7 @@ fn record(
     rounds: u64,
     messages: usize,
     wall_ms: f64,
+    route_ms: f64,
 ) -> EngineBenchRecord {
     EngineBenchRecord {
         family: family.into(),
@@ -109,6 +115,7 @@ fn record(
         rounds,
         messages,
         wall_ms,
+        route_ms,
     }
 }
 
@@ -129,13 +136,14 @@ fn randomized_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchRecor
     });
     rows.push(row(
         records,
-        record(family, "randomized", g.n(), 0, seq_rounds, 0, wall),
+        record(family, "randomized", g.n(), 0, seq_rounds, 0, wall, 0.0),
     ));
     for shards in SHARD_SWEEP {
         let ((_out, metrics), wall) = best_of(reps, || {
             let mut ledger = RoundLedger::new();
             let run = engine_randomized_list_coloring(
                 &g,
+                None,
                 &lists,
                 7,
                 10_000,
@@ -158,12 +166,13 @@ fn randomized_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchRecor
                 metrics.total_rounds(),
                 metrics.total_messages(),
                 wall,
+                metrics.total_route_wall().as_secs_f64() * 1e3,
             ),
         ));
     }
     print_table(
         &format!("randomized (deg+1)-list coloring, {family}, n = {}", g.n()),
-        &["run", "rounds", "messages", "wall ms"],
+        &["run", "rounds", "messages", "wall ms", "route ms"],
         &rows,
     );
 }
@@ -180,13 +189,14 @@ fn h_partition_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchReco
     });
     rows.push(row(
         records,
-        record(family, "h-partition", g.n(), 0, seq_rounds, 0, wall),
+        record(family, "h-partition", g.n(), 0, seq_rounds, 0, wall, 0.0),
     ));
     for shards in SHARD_SWEEP {
         let ((_hp, metrics), wall) = best_of(reps, || {
             let mut ledger = RoundLedger::new();
             let run = engine_h_partition(
                 &g,
+                None,
                 2,
                 1.0,
                 EngineConfig::default().with_shards(shards),
@@ -205,12 +215,13 @@ fn h_partition_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchReco
                 metrics.total_rounds(),
                 metrics.total_messages(),
                 wall,
+                metrics.total_route_wall().as_secs_f64() * 1e3,
             ),
         ));
     }
     print_table(
         &format!("Barenboim–Elkin H-partition, {family}, n = {}", g.n()),
-        &["run", "rounds", "messages", "wall ms"],
+        &["run", "rounds", "messages", "wall ms", "route ms"],
         &rows,
     );
 }
@@ -228,7 +239,7 @@ fn cole_vishkin_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchRec
     });
     rows.push(row(
         records,
-        record(family, "cole-vishkin", g.n(), 0, seq_rounds, 0, wall),
+        record(family, "cole-vishkin", g.n(), 0, seq_rounds, 0, wall, 0.0),
     ));
     for shards in SHARD_SWEEP {
         let ((_colors, metrics), wall) = best_of(reps, || {
@@ -251,12 +262,13 @@ fn cole_vishkin_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchRec
                 metrics.total_rounds(),
                 metrics.total_messages(),
                 wall,
+                metrics.total_route_wall().as_secs_f64() * 1e3,
             ),
         ));
     }
     print_table(
         &format!("Cole–Vishkin 3-coloring, {family}, n = {}", g.n()),
-        &["run", "rounds", "messages", "wall ms"],
+        &["run", "rounds", "messages", "wall ms", "route ms"],
         &rows,
     );
 }
@@ -301,6 +313,7 @@ fn print_crossover(records: &[EngineBenchRecord]) {
             format!("{}", best.shards),
             format!("{:.2}", s1.wall_ms / seq.wall_ms.max(f64::EPSILON)),
             format!("{:.2}", s8.wall_ms / s1.wall_ms.max(f64::EPSILON)),
+            format!("{:.2}", s8.route_ms / s8.wall_ms.max(f64::EPSILON)),
         ]);
     }
     print_table(
@@ -314,6 +327,7 @@ fn print_crossover(records: &[EngineBenchRecord]) {
             "best",
             "e1/seq",
             "e8/e1",
+            "route/8",
         ],
         &rows,
     );

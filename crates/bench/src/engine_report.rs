@@ -25,6 +25,10 @@ pub struct EngineBenchRecord {
     pub messages: usize,
     /// Wall-clock milliseconds.
     pub wall_ms: f64,
+    /// Milliseconds spent in the worker-parallel routing phase (0 for
+    /// sequential baselines). A subset of `wall_ms`; `bench_gate` enforces
+    /// a routing-overhead budget on it.
+    pub route_ms: f64,
 }
 
 impl EngineBenchRecord {
@@ -32,13 +36,15 @@ impl EngineBenchRecord {
         format!(
             concat!(
                 "{{\"algorithm\":{},\"family\":{},\"messages\":{},",
-                "\"n\":{},\"rounds\":{},\"shards\":{},\"wall_ms\":{:.4}}}"
+                "\"n\":{},\"rounds\":{},\"route_ms\":{:.4},",
+                "\"shards\":{},\"wall_ms\":{:.4}}}"
             ),
             json_string(&self.algorithm),
             json_string(&self.family),
             self.messages,
             self.n,
             self.rounds,
+            self.route_ms,
             self.shards,
             self.wall_ms,
         )
@@ -87,6 +93,7 @@ pub fn parse_engine_bench_json(json: &str) -> Result<Vec<EngineBenchRecord>, Str
             rounds: 0,
             messages: 0,
             wall_ms: 0.0,
+            route_ms: 0.0,
         };
         for field in split_top_level(body) {
             let (key, value) = field
@@ -102,6 +109,7 @@ pub fn parse_engine_bench_json(json: &str) -> Result<Vec<EngineBenchRecord>, Str
                 "rounds" => rec.rounds = value.parse().map_err(|_| fail("bad rounds"))?,
                 "messages" => rec.messages = value.parse().map_err(|_| fail("bad messages"))?,
                 "wall_ms" => rec.wall_ms = value.parse().map_err(|_| fail("bad wall_ms"))?,
+                "route_ms" => rec.route_ms = value.parse().map_err(|_| fail("bad route_ms"))?,
                 other => return Err(fail(&format!("unknown key {other:?}"))),
             }
         }
@@ -189,6 +197,7 @@ mod tests {
             rounds: 24,
             messages: 12345,
             wall_ms: 1.5,
+            route_ms: 0.25,
         }
     }
 
@@ -200,6 +209,7 @@ mod tests {
         assert_eq!(json.matches("\"algorithm\":\"randomized\"").count(), 2);
         assert_eq!(json.matches("},").count(), 1, "exactly one separator");
         assert!(json.contains("\"wall_ms\":1.5000"));
+        assert!(json.contains("\"route_ms\":0.2500"));
     }
 
     #[test]

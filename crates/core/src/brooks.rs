@@ -208,6 +208,7 @@ pub fn nice_list_coloring(
             classification,
             &mut colors,
             &mut ledger,
+            None,
         )
         .map_err(|e| BrooksError::Coloring(ColoringError::Extend(e)))?;
     }

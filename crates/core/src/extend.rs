@@ -77,6 +77,13 @@ fn reduced_list(
 /// Extends `coloring` (proper on `alive ∖ A`, `UNCOLORED` on `A`) to all of
 /// `alive`, possibly recoloring some sad vertices. See module docs.
 ///
+/// `engine_shards` selects the substrate for this level's `(d+1)`-coloring
+/// phase (step 3): `None` runs the sequential
+/// [`degree_plus_one_coloring`]; `Some(shards)` runs the same computation
+/// on a masked [`engine::EngineSession`] over the level's tree scope
+/// ([`engine::engine_degree_plus_one_coloring`]) — identical colors and
+/// ledger charges, executed as message passing.
+///
 /// # Errors
 ///
 /// [`ExtendError::RootBall`] if a root ball violates the Theorem 1.1
@@ -93,6 +100,7 @@ pub fn extend_to_happy_set(
     classification: &Classification,
     coloring: &mut [usize],
     ledger: &mut RoundLedger,
+    engine_shards: Option<usize>,
 ) -> Result<(), ExtendError> {
     let n = g.n();
     let happy: Vec<VertexId> = classification.happy.iter().collect();
@@ -112,8 +120,16 @@ pub fn extend_to_happy_set(
         coloring[v] = UNCOLORED;
     }
 
-    // 3. (d+1)-coloring of G[T] (T ⊆ R keeps degrees ≤ d).
-    let classes = degree_plus_one_coloring(g, Some(&scope), ledger);
+    // 3. (d+1)-coloring of G[T] (T ⊆ R keeps degrees ≤ d) — sequential
+    // simulation or a masked engine session over the tree scope; the two
+    // substrates are bit-identical in colors and ledger charges.
+    let classes = match engine_shards {
+        None => degree_plus_one_coloring(g, Some(&scope), ledger),
+        Some(shards) => {
+            let config = engine::EngineConfig::default().with_shards(shards);
+            engine::engine_degree_plus_one_coloring(g, Some(&scope), config, ledger).0
+        }
+    };
     let class_count = members.iter().map(|&v| classes[v] + 1).max().unwrap_or(1);
 
     // 4. Layered greedy, leaves to roots, roots skipped.
@@ -245,15 +261,27 @@ mod tests {
         for (local, &p) in sub.parent_vertices().iter().enumerate() {
             coloring[p] = sub_col[local];
         }
-        extend_to_happy_set(g, &alive, lists, &cls, &mut coloring, &mut ledger)
+        for engine_shards in [None, Some(2)] {
+            let mut coloring = coloring.clone();
+            let mut ledger = RoundLedger::new();
+            extend_to_happy_set(
+                g,
+                &alive,
+                lists,
+                &cls,
+                &mut coloring,
+                &mut ledger,
+                engine_shards,
+            )
             .expect("extension succeeds");
-        assert!(graphs::is_proper(g, &coloring));
-        for v in g.vertices() {
-            assert!(
-                lists.list(v).contains(&coloring[v]),
-                "vertex {v} got off-list color {}",
-                coloring[v]
-            );
+            assert!(graphs::is_proper(g, &coloring));
+            for v in g.vertices() {
+                assert!(
+                    lists.list(v).contains(&coloring[v]),
+                    "vertex {v} got off-list color {}",
+                    coloring[v]
+                );
+            }
         }
     }
 
@@ -292,7 +320,7 @@ mod tests {
         let cls = classify(&g, &alive, 3, 2, &mut ledger);
         assert_eq!(cls.happy.len(), 30);
         let mut coloring = vec![UNCOLORED; 30];
-        extend_to_happy_set(&g, &alive, &lists, &cls, &mut coloring, &mut ledger).unwrap();
+        extend_to_happy_set(&g, &alive, &lists, &cls, &mut coloring, &mut ledger, None).unwrap();
         assert!(graphs::is_proper(&g, &coloring));
     }
 
@@ -305,7 +333,7 @@ mod tests {
         let cls = classify(&g, &alive, 3, 5, &mut ledger);
         assert!(cls.happy.is_empty());
         let mut coloring = vec![UNCOLORED; 4];
-        extend_to_happy_set(&g, &alive, &lists, &cls, &mut coloring, &mut ledger).unwrap();
+        extend_to_happy_set(&g, &alive, &lists, &cls, &mut coloring, &mut ledger, None).unwrap();
         assert!(coloring.iter().all(|&c| c == UNCOLORED));
     }
 }

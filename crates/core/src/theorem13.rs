@@ -55,6 +55,12 @@ pub struct SparseColoringConfig {
     /// Verify `mad(G) ≤ d` exactly (flow-based) before running. Off by
     /// default: the check costs `O(log n)` max-flows.
     pub verify_mad: bool,
+    /// `Some(shards)` runs each peeling level's `(d+1)`-coloring phase on a
+    /// masked [`engine::EngineSession`] over the level's residual scope
+    /// instead of the sequential simulation — bit-identical colors and
+    /// ledger charges, executed as sharded message passing (see
+    /// [`crate::extend_to_happy_set`]). `None` (default) stays sequential.
+    pub engine_shards: Option<usize>,
 }
 
 /// Per-level peeling statistics.
@@ -285,6 +291,7 @@ pub fn list_color_sparse(
             &level.classification,
             &mut colors,
             &mut ledger,
+            config.engine_shards,
         )?;
     }
     debug_assert!(graphs::is_proper(g, &colors));
@@ -452,6 +459,67 @@ mod tests {
         let total_happy: usize = col.stats.happy_sizes.iter().sum();
         assert_eq!(total_happy, 60, "levels must partition the vertex set");
         assert!(col.ledger.total() > 0);
+    }
+
+    /// The tentpole equivalence: running every level's coloring phase on
+    /// masked engine sessions must reproduce the sequential path exactly —
+    /// colors, peel statistics, and total ledger charges — on planar and
+    /// lattice instances, at several shard counts.
+    #[test]
+    fn engine_mode_matches_sequential_on_planar_and_lattice_instances() {
+        let instances: Vec<(Graph, usize)> = vec![
+            (gen::apollonian(70, 4), 6), // planar triangulation, mad < 6
+            (gen::grid(9, 9), 4),        // square lattice
+            (gen::triangular(6, 6), 6),  // triangular lattice
+        ];
+        for (g, d) in &instances {
+            let lists = ListAssignment::uniform(g.n(), *d);
+            let seq = list_color_sparse(g, &lists, *d, SparseColoringConfig::default())
+                .expect("sequential path runs");
+            let seq = seq.coloring().expect("colorable instance");
+            for shards in [1usize, 2, 8] {
+                let config = SparseColoringConfig {
+                    engine_shards: Some(shards),
+                    ..Default::default()
+                };
+                let eng = list_color_sparse(g, &lists, *d, config).expect("engine path runs");
+                let eng = eng.coloring().expect("colorable instance");
+                assert_eq!(eng.colors, seq.colors, "n={} shards={shards}", g.n());
+                assert_eq!(
+                    eng.ledger.total(),
+                    seq.ledger.total(),
+                    "n={} shards={shards}: ledger totals diverged",
+                    g.n()
+                );
+                assert_eq!(
+                    eng.ledger.phase_total("class-sweep"),
+                    seq.ledger.phase_total("class-sweep"),
+                    "n={} shards={shards}",
+                    g.n()
+                );
+                assert_eq!(eng.stats.alive_sizes, seq.stats.alive_sizes);
+                assert_eq!(eng.stats.happy_sizes, seq.stats.happy_sizes);
+            }
+        }
+    }
+
+    #[test]
+    fn engine_mode_handles_adversarial_lists() {
+        let g = gen::triangular(7, 7);
+        let lists = ListAssignment::random(g.n(), 6, 13, 3);
+        let config = SparseColoringConfig {
+            engine_shards: Some(2),
+            ..Default::default()
+        };
+        let outcome = list_color_sparse(&g, &lists, 6, config).unwrap();
+        let col = outcome.coloring().expect("colorable workload");
+        assert!(graphs::is_proper(&g, &col.colors));
+        for v in g.vertices() {
+            assert!(
+                lists.list(v).contains(&col.colors[v]),
+                "vertex {v} off-list"
+            );
+        }
     }
 
     #[test]

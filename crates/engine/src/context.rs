@@ -7,17 +7,25 @@ use rand::rngs::StdRng;
 /// neighborhood, the global vertex count, the current round, and a private
 /// deterministic random stream.
 ///
-/// The stream is seeded from `(engine seed, node id)` only — never from the
-/// shard layout, the worker-pool size, or the thread schedule — so
+/// In a masked session (see [`GraphView`](crate::GraphView)) everything
+/// here keeps the **original** vertex numbering: `id` is the original id,
+/// `neighbors` lists the node's *live* neighbors by original id (edges to
+/// masked-out vertices do not exist), and the random stream is still seeded
+/// by the original id — so a masked program observes exactly what the
+/// sequential masked primitives compute with.
+///
+/// The stream is seeded from `(engine seed, original node id)` only — never
+/// from the shard layout, the worker-pool size, or the thread schedule — so
 /// randomized programs replay bit-identically across any shard and worker
 /// count. During a round the context is visited exclusively by the worker
 /// group that owns its vertex range; between rounds the driver owns it.
 pub struct NodeCtx<'g> {
-    /// This node's unique identifier.
+    /// This node's unique identifier (original, even under a mask).
     pub id: VertexId,
-    /// Number of nodes in the network (the LOCAL model's global `n`).
+    /// Number of nodes in the full network (the LOCAL model's global `n`,
+    /// not the live count).
     pub n: usize,
-    /// Sorted neighbor identifiers.
+    /// Sorted live-neighbor identifiers (original ids).
     pub neighbors: &'g [VertexId],
     /// Current round: 0 during [`init`](crate::NodeProgram::init), then 1, 2, …
     pub round: u64,

@@ -1,41 +1,51 @@
 //! The engine driver: shard-parallel, round-synchronized execution on a
-//! persistent worker pool.
+//! persistent worker pool, over a (possibly masked) [`GraphView`].
 //!
-//! One [`EngineSession`] runs one network of [`NodeProgram`]s. Worker
-//! threads are spawned **once**, when the session boots, and park on a
-//! reusable barrier between rounds (see the `pool` module). Each round:
+//! One [`EngineSession`] runs one network of [`NodeProgram`]s — one program
+//! per **live** vertex of its view. With [`EngineConfig::with_mask`] the
+//! session restricts itself to an induced subgraph: masked-out vertices get
+//! no program, no mailbox, no RNG stream, and no ledger charge, and edges
+//! with a dead endpoint do not exist. Determinism stays keyed on *original*
+//! vertex ids (contexts, inboxes, RNG streams, fault plans), so a masked
+//! run is bit-identical to the sequential masked primitives at any shard
+//! count. Worker threads are spawned **once**, when the session boots, and
+//! park on a reusable barrier between epochs (see the `pool` module). Each
+//! round has **two worker-parallel phases**:
 //!
-//! 1. **Compute** — every worker group walks its vertex range, calling
-//!    `on_round` with the inbox routed last round and staging outbound
-//!    traffic in its own arena; the `done` barrier is the round's
-//!    synchronization point: nothing proceeds until every node has stepped.
-//! 2. **Faults** — each node's outbox passes through the [`FaultPlan`]
-//!    (deliver / drop / delay) as it is staged.
-//! 3. **Route** — the driver drains the arenas in group order into the
-//!    double-buffered mailboxes ([`mailbox`](crate::mailbox)), delayed
-//!    batches due next round first, and the buffers flip.
-//! 4. **Account** — a [`RoundMetrics`] record is appended and the phase's
-//!    rounds are charged to a [`RoundLedger`] when the phase ends.
+//! 1. **Compute** — every worker group walks its dense vertex range,
+//!    calling `on_round` with the inbox routed last round and staging
+//!    outbound traffic in its own arena, bucketed by destination group;
+//!    faults (deliver / drop / delay / duplicate) and the strict CONGEST
+//!    width budget ([`EngineConfig::congest_width`]) apply as traffic is
+//!    staged.
+//! 2. **Route** — after the driver tallies counters and (re)schedules
+//!    fault-delayed batches, every worker drains its own bucket of every
+//!    arena into the inboxes of its own vertex range and performs the
+//!    per-inbox stable sender sort; the buffers then flip. Routing no
+//!    longer serializes on the driver thread — its wall time is recorded
+//!    per round ([`RoundMetrics::route_wall`]).
 //!
 //! Determinism: program state is touched only by its owning worker group,
-//! inboxes are sorted by sender, per-node RNG streams depend on
-//! `(seed, id)` alone, and fault plans are keyed by `(round, node)` — so
-//! colorings, round counts, and per-round message counts are bit-identical
-//! across shard counts, worker counts, and thread schedules.
+//! inboxes are sorted by original sender id, per-node RNG streams depend on
+//! `(seed, original id)` alone, and fault plans are keyed by `(round,
+//! original node)` — so colorings, round counts, and per-round message
+//! counts are bit-identical across shard counts, worker counts, and thread
+//! schedules, masked or not.
 
 use std::sync::Arc;
 use std::time::Instant;
 
-use graphs::{Graph, VertexId};
+use graphs::{Graph, VertexId, VertexSet};
 use local_model::RoundLedger;
 
 use crate::context::NodeCtx;
 use crate::faults::FaultPlan;
 use crate::mailbox::Mailboxes;
 use crate::metrics::{EngineMetrics, RoundMetrics};
-use crate::pool::{stage_outbox, ShardYield, WorkerPool};
+use crate::pool::{stage_outbox, ShardYield, StageEnv, WorkerPool};
 use crate::program::NodeProgram;
 use crate::shard::ShardPlan;
+use crate::view::GraphView;
 
 /// Engine tuning knobs. All fields are plain data; cloning a config and
 /// rerunning reproduces a run exactly.
@@ -54,6 +64,14 @@ pub struct EngineConfig {
     pub max_rounds: u64,
     /// Outbox fault schedule (empty by default).
     pub faults: FaultPlan,
+    /// Active-set mask: `Some` restricts the session to the induced
+    /// subgraph on these vertices (see [`GraphView`]). `None` runs the
+    /// whole graph.
+    pub mask: Option<VertexSet>,
+    /// Strict CONGEST mode: `Some(budget)` makes the session panic on any
+    /// message wider than `budget` abstract words, so a completed phase is
+    /// certified CONGEST-safe at that budget. `None` only records widths.
+    pub congest: Option<usize>,
 }
 
 impl Default for EngineConfig {
@@ -64,6 +82,8 @@ impl Default for EngineConfig {
             seed: 0,
             max_rounds: 100_000,
             faults: FaultPlan::new(),
+            mask: None,
+            congest: None,
         }
     }
 }
@@ -103,6 +123,29 @@ impl EngineConfig {
     #[must_use]
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Restricts the session to the induced subgraph on `mask` (cloned into
+    /// the config — configs stay plain, cloneable data). The mask's
+    /// universe must match the graph the session later runs over.
+    #[must_use]
+    pub fn with_mask(mut self, mask: &VertexSet) -> Self {
+        self.mask = Some(mask.clone());
+        self
+    }
+
+    /// Enables strict CONGEST mode: any message wider than `words` aborts
+    /// the session with a diagnostic panic, so phases that complete are
+    /// certified to fit the budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is zero.
+    #[must_use]
+    pub fn congest_width(mut self, words: usize) -> Self {
+        assert!(words >= 1, "a CONGEST budget must allow at least one word");
+        self.congest = Some(words);
         self
     }
 
@@ -157,17 +200,23 @@ pub struct PhaseReport {
 }
 
 /// A running network: programs, contexts, mailboxes, the worker pool, and
-/// both books of account. Create with [`EngineSession::new`], drive with
+/// both books of account, all indexed by the view's dense live-vertex
+/// order. Create with [`EngineSession::new`], drive with
 /// [`run_phase`](EngineSession::run_phase), inspect or
 /// [`into_parts`](EngineSession::into_parts) when done. Dropping the session
 /// (or dismantling it) parks, releases, and joins the pool's threads.
 pub struct EngineSession<'g, P: NodeProgram + 'static> {
-    graph: &'g Graph,
+    /// The active set. Must not be mutated after construction: contexts
+    /// hold `'g`-extended borrows of its filtered adjacency (see `new`).
+    view: GraphView<'g>,
     config: EngineConfig,
     plan: ShardPlan,
-    /// One contiguous vertex range per worker group, ascending, aligned to
-    /// shard boundaries.
+    /// One contiguous dense vertex range per worker group, ascending,
+    /// aligned to shard boundaries.
     groups: Vec<std::ops::Range<usize>>,
+    /// `groups` as flat boundaries (`len = groups + 1`), for the staging
+    /// path's destination-group lookup.
+    bounds: Vec<usize>,
     pool: WorkerPool<P>,
     programs: Vec<P>,
     ctxs: Vec<NodeCtx<'g>>,
@@ -183,50 +232,78 @@ pub struct EngineSession<'g, P: NodeProgram + 'static> {
 }
 
 impl<'g, P: NodeProgram + 'static> EngineSession<'g, P> {
-    /// Boots a network over `graph`: builds one context and one program per
-    /// vertex (`factory` is called in vertex order), spawns the session's
+    /// Boots a network over `graph` (restricted to `config.mask` if set):
+    /// builds one context and one program per live vertex (`factory` is
+    /// called in ascending original-id order), spawns the session's
     /// persistent worker pool, runs every program's `init`, and routes the
     /// initial outboxes into round 1's inboxes.
     ///
     /// `init` traffic is charged zero rounds (see [`NodeProgram::init`]);
     /// fault rules for round 0 apply to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.mask` has a universe other than `graph.n()`.
     pub fn new(
         graph: &'g Graph,
         config: EngineConfig,
         mut factory: impl FnMut(&NodeCtx<'_>) -> P,
     ) -> Self {
-        let n = graph.n();
-        let plan = ShardPlan::contiguous(n, config.resolve_shards(n));
+        let view = GraphView::new(graph, config.mask.as_ref());
+        let live = view.live_count();
+        let plan = ShardPlan::for_view(&view, config.resolve_shards(live));
         let groups = plan.group_ranges(config.resolve_workers(plan.shards()));
+        let bounds: Vec<usize> = groups.iter().map(|r| r.start).chain([live]).collect();
         let pool = WorkerPool::spawn(groups.len() - 1);
-        let mut ctxs: Vec<NodeCtx<'g>> = (0..n)
-            .map(|v| NodeCtx::new(v, n, graph.neighbors(v), config.seed))
+        let mut ctxs: Vec<NodeCtx<'g>> = (0..live)
+            .map(|dv| {
+                let nbrs = view.neighbors(dv);
+                // SAFETY: for whole-graph views this slice already borrows
+                // the graph (`'g`). For masked views it points into the
+                // view's boxed filtered adjacency, whose heap allocations
+                // are address-stable for the session's whole lifetime: the
+                // view moves into the session below, is never mutated, and
+                // `NodeCtx` values never escape the session at `'g` (only
+                // reborrows reach factories and programs).
+                let nbrs: &'g [VertexId] =
+                    unsafe { std::slice::from_raw_parts(nbrs.as_ptr(), nbrs.len()) };
+                NodeCtx::new(view.original(dv), graph.n(), nbrs, config.seed)
+            })
             .collect();
         let mut programs: Vec<P> = ctxs.iter().map(&mut factory).collect();
 
         // Round 0: init every node and route the initial knowledge exchange.
-        // Single staging arena — init runs once, on the driver thread.
-        let mut mail = Mailboxes::new(n);
+        // Single-bucket staging arena — init runs once, on the driver.
+        let mut mail = Mailboxes::new(live);
         let mut metrics = EngineMetrics::default();
-        let mut y: ShardYield<P::Message> = ShardYield::default();
-        for (v, (p, ctx)) in programs.iter_mut().zip(ctxs.iter_mut()).enumerate() {
+        let mut y: ShardYield<P::Message> = ShardYield::with_groups(1);
+        let env = StageEnv {
+            faults: &config.faults,
+            dense: view.dense_table(),
+            live: view.live(),
+            bounds: &[0, live],
+            congest: config.congest.unwrap_or(usize::MAX),
+        };
+        for (p, ctx) in programs.iter_mut().zip(ctxs.iter_mut()) {
             ctx.round = 0;
             let outbox = p.init(ctx);
-            stage_outbox(v, outbox, ctx.neighbors, 0, &config.faults, &mut y);
+            stage_outbox(ctx.id, outbox, ctx.neighbors, 0, &env, &mut y);
         }
-        metrics.record_init(y.messages, y.dropped, y.delayed, y.max_width);
+        metrics.record_init(y.messages, y.dropped, y.delayed, y.duplicated, y.max_width);
         for (due, batch) in y.delayed_batches.drain(..) {
             mail.schedule(due, batch);
         }
         mail.inject_due(1);
-        mail.ingest(&mut y.sent);
+        mail.ingest(y.bucket_mut(0));
+        mail.sort_next();
         mail.flip();
 
         EngineSession {
-            graph,
+            view,
             config,
             plan,
             groups,
+            bounds,
             pool,
             programs,
             ctxs,
@@ -288,21 +365,29 @@ impl<'g, P: NodeProgram + 'static> EngineSession<'g, P> {
         }
     }
 
-    /// Host-side hook between phases: mutate every program (in vertex
-    /// order). This is the "synchronizer" seam multi-phase algorithms use to
-    /// switch modes without spending communication rounds.
+    /// Host-side hook between phases: mutate every live program, in
+    /// ascending **original** vertex order (the id passed to `f`). This is
+    /// the "synchronizer" seam multi-phase algorithms use to switch modes
+    /// without spending communication rounds.
     pub fn for_each_program(&mut self, mut f: impl FnMut(VertexId, &mut P)) {
-        for (v, p) in self.programs.iter_mut().enumerate() {
-            f(v, p);
+        for (dv, p) in self.programs.iter_mut().enumerate() {
+            f(self.view.original(dv), p);
         }
     }
 
-    /// The graph this session runs over.
+    /// The graph this session runs over (unrestricted).
     pub fn graph(&self) -> &'g Graph {
-        self.graph
+        self.view.graph()
     }
 
-    /// The programs, in vertex order.
+    /// The active-set view this session runs over.
+    pub fn view(&self) -> &GraphView<'g> {
+        &self.view
+    }
+
+    /// The live programs, in ascending original-id (dense) order. Use
+    /// [`view`](EngineSession::view) to map positions back to original ids
+    /// (identity for unmasked sessions).
     pub fn programs(&self) -> &[P] {
         &self.programs
     }
@@ -347,14 +432,15 @@ impl<'g, P: NodeProgram + 'static> EngineSession<'g, P> {
         self.poisoned
     }
 
-    /// Dismantles the session into programs, metrics, and ledger, shutting
-    /// the worker pool down.
+    /// Dismantles the session into programs (dense live order), metrics,
+    /// and ledger, shutting the worker pool down.
     pub fn into_parts(self) -> (Vec<P>, EngineMetrics, RoundLedger) {
         (self.programs, self.metrics, self.ledger)
     }
 
-    /// Executes one synchronized round (compute ∥ worker groups → faults →
-    /// route).
+    /// Executes one synchronized round: compute epoch ∥ worker groups →
+    /// driver bookkeeping (counters, fault-delay scheduling) → routing
+    /// epoch ∥ worker groups → buffer flip.
     ///
     /// # Panics
     ///
@@ -372,11 +458,18 @@ impl<'g, P: NodeProgram + 'static> EngineSession<'g, P> {
         let round = self.round;
         let started = Instant::now();
 
+        let env = StageEnv {
+            faults: &self.config.faults,
+            dense: self.view.dense_table(),
+            live: self.view.live(),
+            bounds: &self.bounds,
+            congest: self.config.congest.unwrap_or(usize::MAX),
+        };
         if let Err(payload) = self.pool.execute(
             &mut self.programs,
             &mut self.ctxs,
             self.mail.inboxes(),
-            &self.config.faults,
+            &env,
             round,
             &self.groups,
         ) {
@@ -388,22 +481,34 @@ impl<'g, P: NodeProgram + 'static> EngineSession<'g, P> {
         let mut messages = 0;
         let mut dropped = 0;
         let mut delayed = 0;
+        let mut duplicated = 0;
         let mut max_width = 0;
         let mut active_nodes = 0;
-        self.mail.inject_due(round + 1);
         let mail = &mut self.mail;
-        self.pool.drain_yields(|y| {
+        self.pool.collect_yields(|y| {
             messages += y.messages;
             dropped += y.dropped;
             delayed += y.delayed;
+            duplicated += y.duplicated;
             max_width = max_width.max(y.max_width);
             active_nodes += y.active;
             for (due, batch) in y.delayed_batches.drain(..) {
                 mail.schedule(due, batch);
             }
-            mail.ingest(&mut y.sent);
         });
+        self.mail.inject_due(round + 1);
+
+        let route_started = Instant::now();
+        let next = self.mail.next_ptr();
+        if let Err(payload) = self.pool.route(next, &self.groups) {
+            // Routing is engine code, not program code — a panic here is a
+            // bug, but the epoch still closed, so poison and propagate.
+            self.poisoned = true;
+            self.round -= 1;
+            std::panic::resume_unwind(payload);
+        }
         self.mail.flip();
+        let route_wall = route_started.elapsed();
 
         self.metrics.push(RoundMetrics {
             round,
@@ -411,9 +516,11 @@ impl<'g, P: NodeProgram + 'static> EngineSession<'g, P> {
             messages,
             dropped,
             delayed,
+            duplicated,
             max_width,
             active_nodes,
             wall: started.elapsed(),
+            route_wall,
         });
     }
 }
@@ -458,11 +565,15 @@ mod tests {
         }
     }
 
-    fn flood(g: &graphs::Graph, config: EngineConfig) -> (Vec<u64>, u64, Vec<usize>) {
-        let mut sess = EngineSession::new(g, config, |_| MaxFlood {
+    fn new_flood(g: &graphs::Graph, config: EngineConfig) -> EngineSession<'_, MaxFlood> {
+        EngineSession::new(g, config, |_| MaxFlood {
             value: 0,
             changed: true,
-        });
+        })
+    }
+
+    fn flood(g: &graphs::Graph, config: EngineConfig) -> (Vec<u64>, u64, Vec<usize>) {
+        let mut sess = new_flood(g, config);
         let report = sess.run_phase("flood", Stop::AllHalted);
         assert!(report.converged);
         let counts = sess.metrics().message_counts();
@@ -507,21 +618,10 @@ mod tests {
     #[test]
     fn workers_capped_by_shards_and_forceable_past_cpus() {
         let g = gen::path(40);
-        let sess = EngineSession::new(
-            &g,
-            EngineConfig::default().with_shards(4).with_workers(64),
-            |_| MaxFlood {
-                value: 0,
-                changed: true,
-            },
-        );
+        let sess = new_flood(&g, EngineConfig::default().with_shards(4).with_workers(64));
         assert_eq!(sess.shards(), 4);
         assert_eq!(sess.workers(), 4, "explicit cap clamps to shards only");
-        let inline =
-            EngineSession::new(&g, EngineConfig::default().with_workers(1), |_| MaxFlood {
-                value: 0,
-                changed: true,
-            });
+        let inline = new_flood(&g, EngineConfig::default().with_workers(1));
         assert_eq!(inline.workers(), 1);
     }
 
@@ -541,12 +641,7 @@ mod tests {
     #[test]
     fn round_cap_interrupts_and_reports() {
         let g = gen::cycle(50);
-        let mut sess = EngineSession::new(&g, EngineConfig::default().with_max_rounds(3), |_| {
-            MaxFlood {
-                value: 0,
-                changed: true,
-            }
-        });
+        let mut sess = new_flood(&g, EngineConfig::default().with_max_rounds(3));
         let report = sess.run_phase("flood", Stop::AllHalted);
         assert!(!report.converged);
         assert_eq!(report.rounds, 3);
@@ -556,14 +651,119 @@ mod tests {
     #[test]
     fn fixed_round_phases_charge_exactly() {
         let g = gen::grid(4, 4);
-        let mut sess = EngineSession::new(&g, EngineConfig::default(), |_| MaxFlood {
-            value: 0,
-            changed: true,
-        });
+        let mut sess = new_flood(&g, EngineConfig::default());
         let r = sess.run_phase("warmup", Stop::Rounds(2));
         assert_eq!(r.rounds, 2);
         assert_eq!(sess.ledger().phase_total("warmup"), 2);
         assert_eq!(sess.rounds(), 2);
+    }
+
+    #[test]
+    fn masked_session_runs_only_the_induced_subgraph() {
+        // Path 0-…-9 masked to {0, 1, 2, 3, 7, 8, 9}: two components. The
+        // flood converges to each component's max (3 and 9); vertices 4-6
+        // never run, and no message crosses the cut.
+        let g = gen::path(10);
+        let mask = VertexSet::from_iter_with_universe(10, [0, 1, 2, 3, 7, 8, 9]);
+        for shards in [1usize, 2, 4] {
+            let mut sess = new_flood(
+                &g,
+                EngineConfig::default().with_mask(&mask).with_shards(shards),
+            );
+            assert_eq!(sess.programs().len(), 7, "one program per live vertex");
+            assert_eq!(sess.view().live(), &[0, 1, 2, 3, 7, 8, 9]);
+            let report = sess.run_phase("flood", Stop::AllHalted);
+            assert!(report.converged);
+            let values = sess
+                .view()
+                .scatter(u64::MAX, sess.programs().iter().map(|p| p.value));
+            assert_eq!(
+                values,
+                vec![3, 3, 3, 3, u64::MAX, u64::MAX, u64::MAX, 9, 9, 9],
+                "shards = {shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn masked_runs_are_shard_invariant() {
+        let g = gen::random_tree(150, 5);
+        let mask = VertexSet::from_iter_with_universe(150, (0..150).filter(|v| v % 3 != 0));
+        let base = flood(&g, EngineConfig::default().with_mask(&mask).with_shards(1));
+        for shards in [2usize, 5, 8] {
+            let run = flood(
+                &g,
+                EngineConfig::default().with_mask(&mask).with_shards(shards),
+            );
+            assert_eq!(run, base, "shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn empty_mask_session_is_inert() {
+        let g = gen::path(5);
+        let mask = VertexSet::new(5);
+        let mut sess = new_flood(&g, EngineConfig::default().with_mask(&mask));
+        assert_eq!(sess.programs().len(), 0);
+        let report = sess.run_phase("flood", Stop::AllHalted);
+        assert!(report.converged);
+        assert_eq!(report.rounds, 0, "no live vertex, no rounds");
+    }
+
+    #[test]
+    fn for_each_program_reports_original_ids() {
+        let g = gen::path(6);
+        let mask = VertexSet::from_iter_with_universe(6, [1, 4, 5]);
+        let mut sess = new_flood(&g, EngineConfig::default().with_mask(&mask));
+        let mut seen = Vec::new();
+        sess.for_each_program(|v, _| seen.push(v));
+        assert_eq!(seen, vec![1, 4, 5]);
+    }
+
+    #[test]
+    fn congest_mode_accepts_runs_within_budget() {
+        let g = gen::path(12);
+        let mut sess = new_flood(&g, EngineConfig::default().congest_width(1));
+        let report = sess.run_phase("flood", Stop::AllHalted);
+        assert!(report.converged, "1-word flood is CONGEST-safe at 1 word");
+        assert_eq!(sess.metrics().max_width(), 1);
+    }
+
+    #[test]
+    fn congest_mode_rejects_wide_messages_and_poisons() {
+        struct Wide;
+        #[derive(Clone)]
+        struct Words(usize);
+        impl EngineMessage for Words {
+            fn width(&self) -> usize {
+                self.0
+            }
+        }
+        impl NodeProgram for Wide {
+            type Message = Words;
+            fn init(&mut self, _: &mut NodeCtx<'_>) -> Outbox<Words> {
+                Outbox::Silent
+            }
+            fn on_round(&mut self, ctx: &mut NodeCtx<'_>, _: &[(usize, Words)]) -> Outbox<Words> {
+                // Width grows with the round: fine at round 1, over at 3.
+                Outbox::Broadcast(Words(ctx.round as usize))
+            }
+            fn halted(&self) -> bool {
+                false
+            }
+        }
+        let g = gen::path(6);
+        let mut sess = EngineSession::new(&g, EngineConfig::default().congest_width(2), |_| Wide);
+        sess.run_phase("ok", Stop::Rounds(2));
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sess.run_phase("too-wide", Stop::Rounds(1));
+        }));
+        let payload = caught.expect_err("3-word message must violate the budget");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("panic message is a String");
+        assert!(msg.contains("CONGEST violation"), "{msg}");
+        assert!(sess.poisoned());
     }
 
     #[test]
@@ -575,15 +775,11 @@ mod tests {
             faults = faults.drop_outbox(3, r).drop_outbox(2, r);
         }
         let g = gen::path(4);
-        let mut sess = EngineSession::new(
+        let mut sess = new_flood(
             &g,
             EngineConfig::default()
                 .with_faults(faults)
                 .with_max_rounds(10),
-            |_| MaxFlood {
-                value: 0,
-                changed: true,
-            },
         );
         sess.run_phase("flood", Stop::AllHalted);
         let values: Vec<u64> = sess.programs().iter().map(|p| p.value).collect();
@@ -601,13 +797,9 @@ mod tests {
         let g = gen::path(6);
         let (values, _, _) = flood(&g, EngineConfig::default());
         assert!(values.iter().all(|&v| v == 5));
-        let mut sess = EngineSession::new(
+        let mut sess = new_flood(
             &g,
             EngineConfig::default().with_faults(FaultPlan::new().drop_outbox(2, 1)),
-            |_| MaxFlood {
-                value: 0,
-                changed: true,
-            },
         );
         let report = sess.run_phase("flood", Stop::AllHalted);
         assert!(report.converged);
@@ -633,6 +825,33 @@ mod tests {
     }
 
     #[test]
+    fn duplication_fault_is_counted_and_replayable() {
+        let g = gen::random_tree(80, 7);
+        let run = |shards: usize| {
+            let cfg = EngineConfig::default()
+                .with_shards(shards)
+                .with_workers(shards)
+                .with_faults(FaultPlan::new().duplicate_edges(11, 0.4));
+            let mut sess = new_flood(&g, cfg);
+            let report = sess.run_phase("flood", Stop::AllHalted);
+            assert!(report.converged, "duplicated floods still converge");
+            let dup = sess.metrics().total_duplicated();
+            let (programs, metrics, _) = sess.into_parts();
+            (
+                programs.iter().map(|p| p.value).collect::<Vec<_>>(),
+                metrics.message_counts(),
+                dup,
+            )
+        };
+        let base = run(1);
+        assert!(base.2 > 0, "p = 0.4 must duplicate something");
+        assert!(base.0.iter().all(|&v| v == 79), "flood is dup-idempotent");
+        for shards in [2usize, 4, 8] {
+            assert_eq!(run(shards), base, "shards = {shards}");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "non-neighbor")]
     fn unicast_to_stranger_panics() {
         struct Chatty;
@@ -654,17 +873,44 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "non-neighbor")]
+    fn unicast_to_masked_out_neighbor_panics() {
+        // Vertex 1's graph neighbor 0 is masked out: for this session the
+        // edge does not exist, so the unicast is a LOCAL violation.
+        struct CallDead;
+        impl NodeProgram for CallDead {
+            type Message = u64;
+            fn init(&mut self, _: &mut NodeCtx<'_>) -> Outbox<u64> {
+                Outbox::Silent
+            }
+            fn on_round(&mut self, ctx: &mut NodeCtx<'_>, _: &[(usize, u64)]) -> Outbox<u64> {
+                if ctx.id == 1 {
+                    Outbox::Unicast(0, 1)
+                } else {
+                    Outbox::Silent
+                }
+            }
+            fn halted(&self) -> bool {
+                false
+            }
+        }
+        let g = gen::path(4);
+        let mask = VertexSet::from_iter_with_universe(4, [1, 2, 3]);
+        let mut sess =
+            EngineSession::new(&g, EngineConfig::default().with_mask(&mask), |_| CallDead);
+        sess.run_phase("x", Stop::Rounds(1));
+    }
+
+    #[test]
     fn metrics_track_rounds_and_activity() {
         let g = gen::path(10);
-        let mut sess = EngineSession::new(&g, EngineConfig::default(), |_| MaxFlood {
-            value: 0,
-            changed: true,
-        });
+        let mut sess = new_flood(&g, EngineConfig::default());
         sess.run_phase("flood", Stop::AllHalted);
         let m = sess.metrics();
         assert_eq!(m.total_rounds(), sess.rounds());
         assert!(m.per_round()[0].active_nodes == 10);
         assert!(m.total_messages() > 0);
         assert_eq!(m.max_width(), 1);
+        assert!(m.total_route_wall() <= m.total_wall());
     }
 }

@@ -1,14 +1,22 @@
 //! Deterministic fault injection: perturb a run without touching programs.
 //!
 //! A [`FaultPlan`] names (node, round) pairs whose **outbox** is dropped or
-//! delayed. Faults are applied by the engine between compute and routing, so
-//! node programs stay oblivious — exactly how one probes an algorithm's
-//! sensitivity to loss and asynchrony. Plans are plain data: the same plan
-//! on the same seed perturbs the run identically at any shard count.
+//! delayed, plus an optional seeded **per-edge duplication** rule that
+//! re-delivers individual messages. Faults are applied by the engine between
+//! compute and routing, so node programs stay oblivious — exactly how one
+//! probes an algorithm's sensitivity to loss, asynchrony, and at-least-once
+//! delivery. Plans are plain data: the same plan on the same seed perturbs
+//! the run identically at any shard count.
+//!
+//! Duplication is keyed on `(seed, round, sender, receiver, occurrence)`
+//! only — a pure function of the traffic, never of the shard layout — so a
+//! duplicated run replays bit-identically across shard and worker counts,
+//! exactly like the outbox-level faults.
 
 use std::collections::BTreeMap;
 
 use graphs::VertexId;
+use rand::mix64;
 
 /// What happens to a node's outbox in a given round.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -35,6 +43,17 @@ pub enum FaultAction {
 #[derive(Clone, Debug, Default)]
 pub struct FaultPlan {
     schedule: BTreeMap<(u64, VertexId), FaultAction>,
+    duplication: Option<Duplication>,
+}
+
+/// Seeded per-edge duplication: each delivered message is independently
+/// re-delivered with the given probability, decided by hashing the message's
+/// coordinates under `seed`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Duplication {
+    seed: u64,
+    /// `probability × u64::MAX`, so the decision is one integer compare.
+    threshold: u64,
 }
 
 impl FaultPlan {
@@ -61,6 +80,29 @@ impl FaultPlan {
         self
     }
 
+    /// Duplicates each delivered message independently with `probability`,
+    /// seeded by `seed`. The decision for a message is a pure function of
+    /// `(seed, round, sender, receiver, occurrence)` — replayable at any
+    /// shard count. Duplicates ride in the same round as their original
+    /// (immediately after it in the receiver's inbox); dropped and delayed
+    /// outboxes are not duplicated.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < probability <= 1.0`.
+    #[must_use]
+    pub fn duplicate_edges(mut self, seed: u64, probability: f64) -> Self {
+        assert!(
+            probability > 0.0 && probability <= 1.0,
+            "duplication probability must be in (0, 1], got {probability}"
+        );
+        self.duplication = Some(Duplication {
+            seed,
+            threshold: (probability * u64::MAX as f64) as u64,
+        });
+        self
+    }
+
     /// The action for `node`'s outbox in `round`.
     pub fn action(&self, round: u64, node: VertexId) -> FaultAction {
         self.schedule
@@ -69,9 +111,34 @@ impl FaultPlan {
             .unwrap_or(FaultAction::Deliver)
     }
 
+    /// Whether any duplication rule is installed (cheap pre-check so the
+    /// staging hot path skips the per-message hash entirely).
+    pub(crate) fn duplicates_messages(&self) -> bool {
+        self.duplication.is_some()
+    }
+
+    /// Whether the `occurrence`-th message from `src` to `dst` in `round`
+    /// is duplicated.
+    pub(crate) fn duplicates(
+        &self,
+        round: u64,
+        src: VertexId,
+        dst: VertexId,
+        occurrence: usize,
+    ) -> bool {
+        let Some(dup) = self.duplication else {
+            return false;
+        };
+        let h = mix64(
+            mix64(mix64(mix64(dup.seed, round), src as u64), dst as u64),
+            occurrence as u64,
+        );
+        h <= dup.threshold
+    }
+
     /// Whether the plan injects any fault at all.
     pub fn is_empty(&self) -> bool {
-        self.schedule.is_empty()
+        self.schedule.is_empty() && self.duplication.is_none()
     }
 
     /// Number of scheduled faults.
@@ -103,5 +170,38 @@ mod tests {
         let plan = FaultPlan::new().drop_outbox(2, 4).delay_outbox(2, 4, 3);
         assert_eq!(plan.action(4, 2), FaultAction::Delay(3));
         assert_eq!(plan.len(), 1);
+    }
+
+    #[test]
+    fn duplication_is_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::new().duplicate_edges(7, 0.5);
+        let b = FaultPlan::new().duplicate_edges(7, 0.5);
+        let c = FaultPlan::new().duplicate_edges(8, 0.5);
+        assert!(!a.is_empty());
+        assert_eq!(a.len(), 0, "duplication is not a scheduled outbox fault");
+        let draw = |p: &FaultPlan| {
+            (0..200u64)
+                .map(|r| p.duplicates(r, 3, 5, 0))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(draw(&a), draw(&b), "same seed must replay");
+        assert_ne!(draw(&a), draw(&c), "different seed must diverge");
+        let hits = draw(&a).iter().filter(|&&d| d).count();
+        assert!(
+            (40..160).contains(&hits),
+            "p = 0.5 should hit ~half: {hits}"
+        );
+    }
+
+    #[test]
+    fn probability_one_duplicates_everything() {
+        let plan = FaultPlan::new().duplicate_edges(1, 1.0);
+        assert!((0..50u64).all(|r| plan.duplicates(r, 0, 1, 0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn zero_probability_rejected() {
+        let _ = FaultPlan::new().duplicate_edges(1, 0.0);
     }
 }

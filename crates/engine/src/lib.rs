@@ -14,21 +14,34 @@
 //!   [`init`](NodeProgram::init) / [`on_round`](NodeProgram::on_round)
 //!   (inbox → outbox + state transition) / [`halted`](NodeProgram::halted)
 //!   vote.
-//! * [`EngineSession`] — the driver: partitions the graph with a
+//! * [`GraphView`] — the active-set abstraction: a graph plus an optional
+//!   [`VertexSet`](graphs::VertexSet) mask ([`EngineConfig::with_mask`]).
+//!   Masked sessions run the induced subgraph only — dead vertices get no
+//!   program, mailbox, RNG stream, or ledger charge — while every
+//!   observable stays keyed on original vertex ids, so masked runs match
+//!   the sequential masked primitives bit for bit.
+//! * [`EngineSession`] — the driver: partitions the view with a
 //!   [`ShardPlan`], executes shards on a **persistent worker pool** (threads
-//!   spawned once per session, parked on a reusable barrier between rounds,
-//!   staging outbound traffic in per-worker arenas — see the `pool` module
-//!   internals), routes messages through double-buffered per-node mailboxes,
-//!   and records [`EngineMetrics`] (messages, max width, active nodes, wall
-//!   time) alongside a [`RoundLedger`](local_model::RoundLedger).
-//!   [`EngineConfig::shards`] and [`EngineConfig::workers`] are pure
-//!   performance knobs: any combination replays the same run.
+//!   spawned once per session, parked on reusable barriers, staging
+//!   outbound traffic in per-worker arenas bucketed by destination group —
+//!   see the `pool` module internals), routes messages through
+//!   double-buffered per-node mailboxes in a second **worker-parallel
+//!   routing phase**, and records [`EngineMetrics`] (messages, max width,
+//!   active nodes, wall and routing time) alongside a
+//!   [`RoundLedger`](local_model::RoundLedger). [`EngineConfig::shards`]
+//!   and [`EngineConfig::workers`] are pure performance knobs: any
+//!   combination replays the same run.
 //! * Determinism — per-node random streams are derived from
 //!   `(seed, node id)` only ([`node_rng`]), inboxes are sorted by sender, so
 //!   randomized programs replay **bit-identically regardless of shard
 //!   count**.
-//! * [`FaultPlan`] — drop or delay a node's outbox at a chosen round,
-//!   without the program's knowledge.
+//! * [`FaultPlan`] — drop or delay a node's outbox at a chosen round, or
+//!   duplicate individual messages with a seeded per-edge rule, without the
+//!   program's knowledge.
+//! * CONGEST accounting — [`EngineConfig::congest_width`] turns the
+//!   recorded [`EngineMessage::width`]s into a strict budget: any wider
+//!   message aborts the run, so completed phases are certified
+//!   CONGEST-safe.
 //! * [`programs`] — ports of the repository's algorithms onto the engine,
 //!   each equivalence-tested against its sequential twin.
 //!
@@ -78,6 +91,7 @@ pub(crate) mod pool;
 pub mod program;
 pub mod programs;
 pub mod shard;
+pub mod view;
 
 pub use context::{node_rng, NodeCtx};
 pub use driver::{EngineConfig, EngineSession, PhaseReport, Stop};
@@ -85,9 +99,11 @@ pub use faults::{FaultAction, FaultPlan};
 pub use metrics::{EngineMetrics, RoundMetrics};
 pub use program::{EngineMessage, NodeProgram, Outbox};
 pub use programs::{
-    engine_cole_vishkin_3color, engine_h_partition, engine_randomized_list_coloring,
+    engine_cole_vishkin_3color, engine_degree_plus_one_coloring, engine_h_partition,
+    engine_randomized_list_coloring,
 };
 pub use shard::ShardPlan;
+pub use view::GraphView;
 
 /// `usize` is a first-class message: several programs exchange bare ids or
 /// colors.

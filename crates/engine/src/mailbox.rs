@@ -1,23 +1,33 @@
 //! Double-buffered mailboxes: the synchronous message fabric.
 //!
-//! Two buffers per node — `cur` (read this round) and `next` (filled for the
-//! coming round) — plus a schedule of fault-delayed batches. The strict
-//! buffer flip is what makes the execution *synchronous*: a message sent in
-//! round `r` is visible in round `r + 1` and never earlier, no matter how
-//! threads interleave.
+//! Two buffers per **live** vertex — `cur` (read this round) and `next`
+//! (filled for the coming round) — plus a schedule of fault-delayed batches.
+//! Inboxes are indexed by the session's dense live-vertex index (see
+//! [`GraphView`](crate::GraphView)); the `(sender, payload)` entries carry
+//! *original* sender ids, which is what programs observe and what the
+//! delivery order sorts on. The strict buffer flip is what makes the
+//! execution *synchronous*: a message sent in round `r` is visible in round
+//! `r + 1` and never earlier, no matter how threads interleave.
 //!
-//! Delivery order contract: each inbox is sorted by sender id (stable, so
-//! multiple messages from one sender keep their send order, and delayed
+//! Delivery order contract: each inbox is sorted by original sender id
+//! (stable, so multiple messages from one sender keep their send order,
+//! duplicated deliveries immediately follow their original, and delayed
 //! batches due the same round precede fresh traffic from the same sender
 //! because they are injected first). The order is therefore a pure function
 //! of the traffic, independent of shard count and thread schedule.
+//!
+//! Since the routing refactor the sender sort runs in the **routing phase**
+//! (each worker sorts the inboxes of its own vertex range — see
+//! `pool::route_range`), not in `flip`; driver-side fill paths call
+//! `sort_next` explicitly.
 
 use std::collections::BTreeMap;
 
 use graphs::VertexId;
 
-/// A routed point-to-point message: `(destination, sender, payload)`.
-pub(crate) type Routed<M> = (VertexId, VertexId, M);
+/// A routed point-to-point message: `(destination dense index, original
+/// sender id, payload)`.
+pub(crate) type Routed<M> = (usize, VertexId, M);
 
 /// The engine's mailbox fabric. See module docs.
 pub(crate) struct Mailboxes<M> {
@@ -27,21 +37,28 @@ pub(crate) struct Mailboxes<M> {
 }
 
 impl<M> Mailboxes<M> {
-    pub(crate) fn new(n: usize) -> Self {
+    /// Mailboxes for `live` vertices (the session's dense index space).
+    pub(crate) fn new(live: usize) -> Self {
         Mailboxes {
-            cur: (0..n).map(|_| Vec::new()).collect(),
-            next: (0..n).map(|_| Vec::new()).collect(),
+            cur: (0..live).map(|_| Vec::new()).collect(),
+            next: (0..live).map(|_| Vec::new()).collect(),
             delayed: BTreeMap::new(),
         }
     }
 
-    /// The inboxes to read this round.
+    /// The inboxes to read this round, dense-indexed.
     pub(crate) fn inboxes(&self) -> &[Vec<(VertexId, M)>] {
         &self.cur
     }
 
-    /// Injects any batch whose delay expires at `round` — must be called
-    /// *before* [`ingest`](Self::ingest) so late traffic precedes fresh
+    /// Raw base pointer of the `next` buffers, for the worker-parallel
+    /// routing phase: each worker fills (and sorts) a disjoint dense range.
+    pub(crate) fn next_ptr(&mut self) -> *mut Vec<(VertexId, M)> {
+        self.next.as_mut_ptr()
+    }
+
+    /// Injects any batch whose delay expires at `round` — must happen
+    /// *before* fresh traffic is routed so late traffic precedes fresh
     /// traffic from the same sender after the stable sort.
     pub(crate) fn inject_due(&mut self, round: u64) {
         if let Some(batch) = self.delayed.remove(&round) {
@@ -52,7 +69,8 @@ impl<M> Mailboxes<M> {
     }
 
     /// Queues messages for delivery next round, draining the caller's
-    /// staging arena so its capacity survives for the next round.
+    /// staging arena so its capacity survives for the next round. Driver-side
+    /// path (round 0 init); steady-state rounds route on the workers.
     pub(crate) fn ingest(&mut self, sent: &mut Vec<Routed<M>>) {
         for (dst, src, m) in sent.drain(..) {
             self.next[dst].push((src, m));
@@ -64,14 +82,20 @@ impl<M> Mailboxes<M> {
         self.delayed.entry(round).or_default().extend(batch);
     }
 
-    /// Ends the routing of a round: sorts every filled inbox by sender
-    /// (stable) and flips the buffers.
-    pub(crate) fn flip(&mut self) {
+    /// Sorts every filled `next` inbox by original sender id (stable) —
+    /// the driver-side twin of the per-range sort the routing phase does.
+    pub(crate) fn sort_next(&mut self) {
         for inbox in &mut self.next {
             if inbox.len() > 1 {
                 inbox.sort_by_key(|&(src, _)| src);
             }
         }
+    }
+
+    /// Ends the routing of a round: flips the buffers (callers must have
+    /// sorted `next` already — on the workers or via
+    /// [`sort_next`](Mailboxes::sort_next)).
+    pub(crate) fn flip(&mut self) {
         std::mem::swap(&mut self.cur, &mut self.next);
         for inbox in &mut self.next {
             inbox.clear();
@@ -98,6 +122,7 @@ mod tests {
             mail.inboxes()[2].is_empty(),
             "sent this round, not visible yet"
         );
+        mail.sort_next();
         mail.flip();
         assert_eq!(mail.inboxes()[2], vec![(0, 7)]);
         mail.flip();
@@ -110,6 +135,7 @@ mod tests {
         // Sender 2 then sender 0, sender 2 again: sorted to 0, 2, 2 with
         // sender 2's messages in send order.
         mail.ingest(&mut vec![(3, 2, 10), (3, 0, 20), (3, 2, 11)]);
+        mail.sort_next();
         mail.flip();
         assert_eq!(mail.inboxes()[3], vec![(0, 20), (2, 10), (2, 11)]);
     }
@@ -121,6 +147,7 @@ mod tests {
         // Rounds 1 and 2: nothing due.
         for round in 1..3u64 {
             mail.inject_due(round);
+            mail.sort_next();
             mail.flip();
             assert!(mail.inboxes()[1].is_empty(), "round {round}");
         }
@@ -129,6 +156,7 @@ mod tests {
         // delayed message comes first.
         mail.inject_due(3);
         mail.ingest(&mut vec![(1, 0, 100)]);
+        mail.sort_next();
         mail.flip();
         assert_eq!(mail.inboxes()[1], vec![(0, 99), (0, 100)]);
         assert!(!mail.has_pending_delays());

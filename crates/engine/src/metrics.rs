@@ -26,6 +26,8 @@ pub struct RoundMetrics {
     pub dropped: usize,
     /// Messages rescheduled by an injected delay fault.
     pub delayed: usize,
+    /// Extra deliveries created by seeded per-edge duplication.
+    pub duplicated: usize,
     /// Widest message emitted this round, in abstract words
     /// ([`EngineMessage::width`](crate::EngineMessage::width)).
     pub max_width: usize,
@@ -33,12 +35,20 @@ pub struct RoundMetrics {
     pub active_nodes: usize,
     /// Wall-clock time of the round (compute + routing).
     pub wall: Duration,
+    /// Wall-clock time of the routing phase alone (arena drain + per-inbox
+    /// sender sort, worker-parallel). A subset of [`wall`](RoundMetrics::wall).
+    pub route_wall: Duration,
 }
 
 impl RoundMetrics {
     /// Wall-clock milliseconds as a float, for tables and JSON artifacts.
     pub fn wall_ms(&self) -> f64 {
         self.wall.as_secs_f64() * 1e3
+    }
+
+    /// Routing-phase milliseconds as a float.
+    pub fn route_ms(&self) -> f64 {
+        self.route_wall.as_secs_f64() * 1e3
     }
 }
 
@@ -57,6 +67,8 @@ pub struct EngineMetrics {
     pub init_dropped: usize,
     /// Round-0 messages rescheduled by delay faults.
     pub init_delayed: usize,
+    /// Round-0 extra deliveries created by per-edge duplication.
+    pub init_duplicated: usize,
     /// Widest round-0 message.
     pub init_max_width: usize,
 }
@@ -73,11 +85,13 @@ impl EngineMetrics {
         messages: usize,
         dropped: usize,
         delayed: usize,
+        duplicated: usize,
         max_width: usize,
     ) {
         self.init_messages = messages;
         self.init_dropped = dropped;
         self.init_delayed = delayed;
+        self.init_duplicated = duplicated;
         self.init_max_width = max_width;
     }
 
@@ -106,6 +120,11 @@ impl EngineMetrics {
         self.init_delayed + self.rounds.iter().map(|r| r.delayed).sum::<usize>()
     }
 
+    /// Total extra deliveries created by per-edge duplication, init included.
+    pub fn total_duplicated(&self) -> usize {
+        self.init_duplicated + self.rounds.iter().map(|r| r.duplicated).sum::<usize>()
+    }
+
     /// Widest message observed anywhere in the run.
     pub fn max_width(&self) -> usize {
         self.rounds
@@ -119,6 +138,13 @@ impl EngineMetrics {
     /// Total wall-clock time across rounds.
     pub fn total_wall(&self) -> Duration {
         self.rounds.iter().map(|r| r.wall).sum()
+    }
+
+    /// Total routing-phase wall-clock time across rounds — what the
+    /// worker-parallel routing barrier actually costs, for the bench
+    /// artifact's routing-overhead budget.
+    pub fn total_route_wall(&self) -> Duration {
+        self.rounds.iter().map(|r| r.route_wall).sum()
     }
 
     /// The per-round message counts — the replay-determinism fingerprint
@@ -165,9 +191,11 @@ mod tests {
             messages,
             dropped: 0,
             delayed: 0,
+            duplicated: 0,
             max_width: width,
             active_nodes: 3,
             wall: Duration::from_micros(10),
+            route_wall: Duration::from_micros(4),
         }
     }
 
@@ -181,6 +209,8 @@ mod tests {
         assert_eq!(m.max_width(), 2);
         assert_eq!(m.message_counts(), vec![5, 7]);
         assert_eq!(m.total_dropped(), 0);
+        assert_eq!(m.total_duplicated(), 0);
+        assert_eq!(m.total_route_wall(), Duration::from_micros(8));
     }
 
     #[test]

@@ -1,45 +1,53 @@
-//! The persistent worker-pool executor: threads spawned once per session.
+//! The persistent worker-pool executor: threads spawned once per session,
+//! running a **two-phase round protocol** — compute, then routing — with
+//! every phase worker-parallel.
 //!
-//! PR 1's driver spawned fresh scoped threads every round, so the thread
-//! spawn + join cost was charged per round and multi-shard runs lost to the
-//! single-shard path on every benched size. This module replaces that with a
-//! pool owned by the [`EngineSession`](crate::EngineSession):
+//! PR 1's driver spawned fresh scoped threads every round; PR 2 replaced
+//! that with a persistent pool but still routed messages on the driver
+//! thread. This revision moves routing onto the workers too. Each round is
+//! two epochs on the same reusable barrier pair:
+//!
+//! * **Compute epoch** — every worker group walks its dense vertex range,
+//!   calling `on_round` and staging outbound traffic in its own arena. The
+//!   arena is **bucketed by destination group**: a message for a vertex
+//!   owned by group `g` lands in bucket `g`, so the routing epoch can hand
+//!   each bucket to exactly one consumer without locks or cloning.
+//! * **Routing epoch** — worker `g` drains bucket `g` of *every* arena (in
+//!   ascending group order) into the `next` inboxes of its own dense range,
+//!   then performs the per-inbox stable sender sort. Between the two
+//!   epochs the driver does the cheap global work: tallying fault counters,
+//!   scheduling fault-delayed batches, and injecting batches that come due.
+//!
+//! Determinism is untouched: for any inbox, messages arrive in (source
+//! group, staging order) order — exactly the order the old driver-side
+//! drain produced — and the final stable sort by original sender id makes
+//! the delivered order a pure function of the traffic. Worker count and
+//! shard count remain pure performance knobs.
 //!
 //! * **Worker lifetime** — `workers - 1` OS threads are spawned when the
-//!   session boots and live until it drops. The driver thread itself executes
-//!   worker group 0, so a `workers = 1` session spawns no threads at all and
-//!   runs every shard inline with zero synchronization.
-//! * **Barrier protocol** — each round is one epoch between two reusable
-//!   [`std::sync::Barrier`]s. The driver writes every worker's task slot
-//!   (raw slice parts of the program/context arrays, the inbox table, the
-//!   fault plan, the round number), crosses the `start` barrier, computes its
-//!   own group, and crosses the `done` barrier; workers park on `start`,
-//!   compute, and park on `done`. Barrier rendezvous establishes the
-//!   happens-before edges that make the slot writes and yield reads safe.
-//! * **Staging arenas** — every worker owns a [`ShardYield`]: a persistent
-//!   outbound buffer plus fault/width/activity counters, reset (not
-//!   reallocated) each round. Outboxes expand straight into the arena;
-//!   after the `done` barrier the driver drains the arenas into the
-//!   double-buffered mailboxes in group order, so steady-state rounds do no
-//!   per-node allocation at all.
-//! * **Panic discipline** — worker compute runs under `catch_unwind`; a
-//!   panicking node program is recorded in the worker's slot, the worker
-//!   still reaches the `done` barrier, and the driver resumes the unwind on
-//!   its own thread. The protocol therefore never deadlocks: every
-//!   participant reaches every barrier, and `Drop` (which raises the
-//!   shutdown flag and releases the `start` barrier once more) always joins
-//!   cleanly — even while unwinding from a propagated program panic.
-//!
-//! Determinism is untouched by any of this: worker count and shard count are
-//! pure performance knobs. Group ranges ascend in vertex id and arenas are
-//! drained in group order, so the mailbox fabric sees the same traffic in
-//! the same order as a sequential walk of the vertices.
+//!   session boots and live until it drops. The driver thread itself
+//!   executes worker group 0 in both epochs, so a `workers = 1` session
+//!   spawns no threads at all and runs everything inline with zero
+//!   synchronization.
+//! * **Barrier protocol** — each epoch is one `start`/`done` rendezvous.
+//!   The driver writes every worker's task slot and the shared phase flag,
+//!   crosses `start`, does its own group's share, and crosses `done`;
+//!   workers park in between. Barrier rendezvous establishes the
+//!   happens-before edges that make the slot writes and arena handoffs
+//!   safe.
+//! * **Panic discipline** — worker work runs under `catch_unwind`; a panic
+//!   is recorded in the worker's slot, the worker still reaches the `done`
+//!   barrier, and the driver resumes the unwind on its own thread. The
+//!   protocol therefore never deadlocks: every participant reaches every
+//!   barrier, and `Drop` (which raises the shutdown flag and releases the
+//!   `start` barrier once more) always joins cleanly — even while
+//!   unwinding from a propagated program panic.
 
 use std::any::Any;
 use std::cell::UnsafeCell;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::{Arc, Barrier};
 use std::thread::JoinHandle;
 
@@ -50,12 +58,51 @@ use crate::faults::{FaultAction, FaultPlan};
 use crate::mailbox::Routed;
 use crate::program::{EngineMessage, NodeProgram, Outbox};
 
-/// One worker group's per-round contribution: a persistent staging arena for
-/// outbound traffic plus the round's observed counters. Reused across rounds
-/// — [`reset`](ShardYield::reset) clears without releasing capacity.
+const PHASE_COMPUTE: u8 = 0;
+const PHASE_ROUTE: u8 = 1;
+
+/// Everything the staging path needs besides the outbox itself: the fault
+/// plan, the view's id tables, the group partition, and the CONGEST budget.
+/// Built by the driver once per epoch; borrowed by every worker group.
+pub(crate) struct StageEnv<'a> {
+    /// Outbox fault schedule + duplication rule.
+    pub(crate) faults: &'a FaultPlan,
+    /// Original id → dense index (`usize::MAX` for masked-out vertices).
+    pub(crate) dense: &'a [usize],
+    /// Dense index → original id.
+    pub(crate) live: &'a [VertexId],
+    /// Dense group boundaries, ascending, `len = groups + 1`.
+    pub(crate) bounds: &'a [usize],
+    /// Per-message width budget (`usize::MAX` = no CONGEST mode).
+    pub(crate) congest: usize,
+}
+
+impl StageEnv<'_> {
+    /// The worker group owning dense vertex `dv`.
+    fn group_of(&self, dv: usize) -> usize {
+        self.bounds.partition_point(|&b| b <= dv) - 1
+    }
+
+    fn groups(&self) -> usize {
+        self.bounds.len() - 1
+    }
+}
+
+/// One worker group's per-round contribution: a persistent staging arena
+/// (bucketed by destination group) for outbound traffic plus the round's
+/// observed counters. Reused across rounds — [`reset`](ShardYield::reset)
+/// clears without releasing capacity.
+///
+/// Buckets are `UnsafeCell`s because the routing epoch hands bucket `g` of
+/// every arena to worker `g` while other workers drain their own buckets of
+/// the same arena: access is disjoint by bucket index, synchronized by the
+/// epoch barriers.
 pub(crate) struct ShardYield<M> {
-    /// Outbound messages staged this round (surviving faults).
-    pub(crate) sent: Vec<Routed<M>>,
+    /// Outbound messages staged this round (surviving faults), bucketed by
+    /// destination worker group.
+    buckets: Vec<UnsafeCell<Vec<Routed<M>>>>,
+    /// Scratch: each bucket's length when the current outbox began staging.
+    starts: Vec<usize>,
     /// Fault-delayed batches: `(due round, one node's outbox)`.
     pub(crate) delayed_batches: Vec<(u64, Vec<Routed<M>>)>,
     /// Messages emitted (before faults).
@@ -64,103 +111,202 @@ pub(crate) struct ShardYield<M> {
     pub(crate) dropped: usize,
     /// Messages rescheduled by delay faults.
     pub(crate) delayed: usize,
+    /// Extra deliveries created by per-edge duplication.
+    pub(crate) duplicated: usize,
     /// Widest message emitted.
     pub(crate) max_width: usize,
     /// Nodes whose halt vote was still "active" when the round started.
     pub(crate) active: usize,
 }
 
-impl<M> Default for ShardYield<M> {
-    fn default() -> Self {
+impl<M> ShardYield<M> {
+    /// An arena with one bucket per destination worker group.
+    pub(crate) fn with_groups(groups: usize) -> Self {
         ShardYield {
-            sent: Vec::new(),
+            buckets: (0..groups).map(|_| UnsafeCell::new(Vec::new())).collect(),
+            starts: vec![0; groups],
             delayed_batches: Vec::new(),
             messages: 0,
             dropped: 0,
             delayed: 0,
+            duplicated: 0,
             max_width: 0,
             active: 0,
         }
     }
-}
 
-impl<M> ShardYield<M> {
+    /// Number of destination buckets.
+    pub(crate) fn groups(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Exclusive bucket access (compute staging / driver-side ingestion).
+    pub(crate) fn bucket_mut(&mut self, b: usize) -> &mut Vec<Routed<M>> {
+        self.buckets[b].get_mut()
+    }
+
+    /// Bucket access through a shared reference, for the routing epoch.
+    ///
+    /// # Safety
+    ///
+    /// The caller must be bucket `b`'s sole accessor for the duration of
+    /// the returned borrow (the routing epoch assigns bucket `b` of every
+    /// arena to worker `b` exclusively).
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn bucket_shared(&self, b: usize) -> &mut Vec<Routed<M>> {
+        unsafe { &mut *self.buckets[b].get() }
+    }
+
     /// Clears the arena for a new round, keeping every allocation.
     fn reset(&mut self) {
-        self.sent.clear();
+        for bucket in &mut self.buckets {
+            bucket.get_mut().clear();
+        }
         self.delayed_batches.clear();
         self.messages = 0;
         self.dropped = 0;
         self.delayed = 0;
+        self.duplicated = 0;
         self.max_width = 0;
         self.active = 0;
     }
 }
 
-/// Steps every node of `programs`/`ctxs` (vertex ids `base..base + len`),
-/// expanding outboxes into `y`'s arena and applying `faults`.
+/// Steps every node of `programs`/`ctxs` (dense indices `base..base + len`),
+/// expanding outboxes into `y`'s bucketed arena and applying faults.
 pub(crate) fn run_range<P: NodeProgram>(
     programs: &mut [P],
     ctxs: &mut [NodeCtx<'_>],
     inboxes: &[Vec<(VertexId, P::Message)>],
     base: usize,
     round: u64,
-    faults: &FaultPlan,
+    env: &StageEnv<'_>,
     y: &mut ShardYield<P::Message>,
 ) {
     y.reset();
     for (i, (p, ctx)) in programs.iter_mut().zip(ctxs.iter_mut()).enumerate() {
-        let v = base + i;
         if !p.halted() {
             y.active += 1;
         }
         ctx.round = round;
-        let outbox = p.on_round(ctx, &inboxes[v]);
-        stage_outbox(v, outbox, ctx.neighbors, round, faults, y);
+        let outbox = p.on_round(ctx, &inboxes[base + i]);
+        stage_outbox(ctx.id, outbox, ctx.neighbors, round, env, y);
     }
 }
 
-/// Expands one node's outbox into the arena and applies its fault action.
+/// Expands one node's outbox into the arena, enforces the CONGEST budget,
+/// and applies its fault action (drop/delay by per-bucket truncate/split,
+/// duplication by per-bucket append).
+///
+/// # Panics
+///
+/// Panics if a message is wider than `env.congest` — the strict CONGEST
+/// mode's certification failure.
 pub(crate) fn stage_outbox<M: EngineMessage>(
     src: VertexId,
     outbox: Outbox<M>,
     neighbors: &[VertexId],
     round: u64,
-    faults: &FaultPlan,
+    env: &StageEnv<'_>,
     y: &mut ShardYield<M>,
 ) {
-    let start = y.sent.len();
-    let width = expand_into(src, outbox, neighbors, &mut y.sent);
-    let batch_len = y.sent.len() - start;
+    debug_assert_eq!(y.groups(), env.groups());
+    if matches!(outbox, Outbox::Silent) {
+        // Fast path for quiet nodes (the common late-round case): an empty
+        // batch stages nothing and every fault action on it is a no-op, so
+        // skip the per-bucket bookkeeping entirely.
+        return;
+    }
+    for b in 0..y.buckets.len() {
+        y.starts[b] = y.buckets[b].get_mut().len();
+    }
+    let width = expand_into(src, outbox, neighbors, env, &mut y.buckets);
+    let batch_len: usize = y
+        .buckets
+        .iter_mut()
+        .zip(&y.starts)
+        .map(|(bucket, &s)| bucket.get_mut().len() - s)
+        .sum();
     y.messages += batch_len;
     y.max_width = y.max_width.max(width);
-    match faults.action(round, src) {
-        FaultAction::Deliver => {}
+    assert!(
+        width <= env.congest,
+        "CONGEST violation: node {src} emitted a {width}-word message in \
+         round {round}, budget {} words",
+        env.congest
+    );
+    match env.faults.action(round, src) {
+        FaultAction::Deliver => {
+            if env.faults.duplicates_messages() {
+                duplicate_batch(src, round, env, y);
+            }
+        }
         FaultAction::Drop => {
             y.dropped += batch_len;
-            y.sent.truncate(start);
+            for (b, bucket) in y.buckets.iter_mut().enumerate() {
+                bucket.get_mut().truncate(y.starts[b]);
+            }
         }
         FaultAction::Delay(by) => {
             y.delayed += batch_len;
-            y.delayed_batches
-                .push((round + 1 + by, y.sent.split_off(start)));
+            let mut batch = Vec::with_capacity(batch_len);
+            for (b, bucket) in y.buckets.iter_mut().enumerate() {
+                batch.append(&mut bucket.get_mut().split_off(y.starts[b]));
+            }
+            y.delayed_batches.push((round + 1 + by, batch));
         }
     }
 }
 
-/// Expands an outbox into routed point-to-point messages appended to `out`;
-/// returns the widest message in the batch (0 for an empty batch).
+/// Appends a seeded duplicate of each chosen message right after the
+/// current outbox's batch in its bucket. Keyed on `(round, src, original
+/// dst, occurrence)`, so the decision — and the delivered order, after the
+/// stable sender sort — is independent of the bucket partition.
+fn duplicate_batch<M: EngineMessage>(
+    src: VertexId,
+    round: u64,
+    env: &StageEnv<'_>,
+    y: &mut ShardYield<M>,
+) {
+    for (b, bucket) in y.buckets.iter_mut().enumerate() {
+        let start = y.starts[b];
+        let bucket = bucket.get_mut();
+        let mut dups: Vec<Routed<M>> = Vec::new();
+        for i in start..bucket.len() {
+            let dv = bucket[i].0;
+            // Occurrence index among this outbox's messages to the same
+            // destination (> 0 only for Multi outboxes repeating a target).
+            let occurrence = bucket[start..i].iter().filter(|r| r.0 == dv).count();
+            if env.faults.duplicates(round, src, env.live[dv], occurrence) {
+                dups.push(bucket[i].clone());
+            }
+        }
+        y.duplicated += dups.len();
+        bucket.append(&mut dups);
+    }
+}
+
+/// Expands an outbox into routed point-to-point messages appended to the
+/// destination-group buckets; returns the widest message in the batch (0
+/// for an empty batch).
 ///
 /// # Panics
 ///
-/// Panics if a unicast/multi destination is not a neighbor of the sender —
-/// programs may only talk over edges; that is the LOCAL model.
+/// Panics if a unicast/multi destination is not a (live) neighbor of the
+/// sender — programs may only talk over live edges; that is the LOCAL
+/// model restricted to the session's [`GraphView`](crate::GraphView).
 fn expand_into<M: EngineMessage>(
     src: VertexId,
     outbox: Outbox<M>,
     neighbors: &[VertexId],
-    out: &mut Vec<Routed<M>>,
+    env: &StageEnv<'_>,
+    buckets: &mut [UnsafeCell<Vec<Routed<M>>>],
 ) -> usize {
+    let push = |dst: VertexId, m: M, buckets: &mut [UnsafeCell<Vec<Routed<M>>>]| {
+        let dv = env.dense[dst];
+        debug_assert_ne!(dv, usize::MAX, "neighbors are live by construction");
+        buckets[env.group_of(dv)].get_mut().push((dv, src, m));
+    };
     match outbox {
         Outbox::Silent => 0,
         Outbox::Broadcast(m) => {
@@ -168,7 +314,9 @@ fn expand_into<M: EngineMessage>(
                 return 0;
             }
             let width = m.width();
-            out.extend(neighbors.iter().map(|&dst| (dst, src, m.clone())));
+            for &dst in neighbors {
+                push(dst, m.clone(), buckets);
+            }
             width
         }
         Outbox::Unicast(dst, m) => {
@@ -177,7 +325,7 @@ fn expand_into<M: EngineMessage>(
                 "node {src} unicast to non-neighbor {dst}"
             );
             let width = m.width();
-            out.push((dst, src, m));
+            push(dst, m, buckets);
             width
         }
         Outbox::Multi(msgs) => {
@@ -188,27 +336,67 @@ fn expand_into<M: EngineMessage>(
                     "node {src} sent to non-neighbor {dst}"
                 );
                 width = width.max(m.width());
-                out.push((dst, src, m));
+                push(dst, m, buckets);
             }
             width
         }
     }
 }
 
+/// The routing epoch's per-worker share: drain bucket `group` of every
+/// arena (ascending arena order — the determinism contract) into the
+/// `next` inboxes of `range`, then stable-sort each inbox by original
+/// sender id.
+///
+/// # Safety
+///
+/// The caller must guarantee, for the duration of the call: bucket `group`
+/// of every arena is accessed by this caller alone; `next` points to at
+/// least `range.end` inboxes and the inboxes in `range` are accessed by
+/// this caller alone. The epoch barrier protocol provides both.
+unsafe fn route_range<M: EngineMessage>(
+    arenas: &[ArenaSlot<M>],
+    group: usize,
+    next: *mut Vec<(VertexId, M)>,
+    range: Range<usize>,
+) {
+    for arena in arenas {
+        // SAFETY: shared view of the arena; bucket `group` is ours alone.
+        let bucket = unsafe { (*arena.0.get()).bucket_shared(group) };
+        for (dv, src, m) in bucket.drain(..) {
+            debug_assert!(range.contains(&dv), "bucket {group} holds only our range");
+            // SAFETY: dv ∈ range, and the range's inboxes are ours alone.
+            unsafe { (*next.add(dv)).push((src, m)) };
+        }
+    }
+    for dv in range {
+        // SAFETY: as above.
+        let inbox = unsafe { &mut *next.add(dv) };
+        if inbox.len() > 1 {
+            inbox.sort_by_key(|&(src, _)| src);
+        }
+    }
+}
+
 /// One worker's task slot: the raw inputs the driver writes before the
-/// `start` barrier and the outputs (arena + panic payload) it reads after
-/// the `done` barrier. The barrier rendezvous is the synchronization; the
-/// cell is never touched concurrently.
+/// `start` barrier and the outputs (panic payload) it reads after the
+/// `done` barrier. The barrier rendezvous is the synchronization; the cell
+/// is never touched concurrently.
 struct WorkerTask<P: NodeProgram> {
+    // Compute-epoch inputs.
     programs: *mut P,
     ctxs: *mut NodeCtx<'static>,
     len: usize,
+    base: usize,
     inboxes: *const Vec<(VertexId, P::Message)>,
     inboxes_len: usize,
-    faults: *const FaultPlan,
-    base: usize,
+    env: RawEnv,
     round: u64,
-    yielded: ShardYield<P::Message>,
+    // Routing-epoch inputs.
+    next: *mut Vec<(VertexId, P::Message)>,
+    route_start: usize,
+    route_end: usize,
+    // Output.
     panic: Option<Box<dyn Any + Send + 'static>>,
 }
 
@@ -218,13 +406,72 @@ impl<P: NodeProgram> Default for WorkerTask<P> {
             programs: std::ptr::null_mut(),
             ctxs: std::ptr::null_mut(),
             len: 0,
+            base: 0,
             inboxes: std::ptr::null(),
             inboxes_len: 0,
-            faults: std::ptr::null(),
-            base: 0,
+            env: RawEnv::null(),
             round: 0,
-            yielded: ShardYield::default(),
+            next: std::ptr::null_mut(),
+            route_start: 0,
+            route_end: 0,
             panic: None,
+        }
+    }
+}
+
+/// Raw-pointer form of [`StageEnv`], for crossing the task slot. The driver
+/// keeps the borrowed originals alive for the whole epoch.
+#[derive(Clone, Copy)]
+struct RawEnv {
+    faults: *const FaultPlan,
+    dense: *const usize,
+    dense_len: usize,
+    live: *const VertexId,
+    live_len: usize,
+    bounds: *const usize,
+    bounds_len: usize,
+    congest: usize,
+}
+
+impl RawEnv {
+    fn null() -> Self {
+        RawEnv {
+            faults: std::ptr::null(),
+            dense: std::ptr::null(),
+            dense_len: 0,
+            live: std::ptr::null(),
+            live_len: 0,
+            bounds: std::ptr::null(),
+            bounds_len: 0,
+            congest: usize::MAX,
+        }
+    }
+
+    fn from_env(env: &StageEnv<'_>) -> Self {
+        RawEnv {
+            faults: env.faults,
+            dense: env.dense.as_ptr(),
+            dense_len: env.dense.len(),
+            live: env.live.as_ptr(),
+            live_len: env.live.len(),
+            bounds: env.bounds.as_ptr(),
+            bounds_len: env.bounds.len(),
+            congest: env.congest,
+        }
+    }
+
+    /// # Safety
+    ///
+    /// All pointers must be live for `'a` (the epoch window).
+    unsafe fn as_env<'a>(&self) -> StageEnv<'a> {
+        unsafe {
+            StageEnv {
+                faults: &*self.faults,
+                dense: std::slice::from_raw_parts(self.dense, self.dense_len),
+                live: std::slice::from_raw_parts(self.live, self.live_len),
+                bounds: std::slice::from_raw_parts(self.bounds, self.bounds_len),
+                congest: self.congest,
+            }
         }
     }
 }
@@ -234,12 +481,23 @@ struct Slot<P: NodeProgram> {
 }
 
 // SAFETY: slots hold raw pointers into session-owned arrays. Access is
-// strictly alternated between the driver (outside the start→done window) and
-// exactly one worker (inside it); the two barriers publish every write
+// strictly alternated between the driver (outside the start→done window)
+// and exactly one worker (inside it); the two barriers publish every write
 // before the other side reads. The pointees (`P`, `NodeCtx`, messages) are
 // all `Send`.
 unsafe impl<P: NodeProgram> Send for Slot<P> {}
 unsafe impl<P: NodeProgram> Sync for Slot<P> {}
+
+/// One worker group's staging arena, shared so the routing epoch can hand
+/// out disjoint buckets across workers.
+pub(crate) struct ArenaSlot<M>(UnsafeCell<ShardYield<M>>);
+
+// SAFETY: arena access follows the epoch discipline — compute: arena `g`
+// exclusively by group `g`'s executor; routing: bucket `b` of every arena
+// exclusively by group `b`'s executor; between epochs: the driver alone.
+// The barriers publish every handoff. `M: Send + Sync` via `EngineMessage`.
+unsafe impl<M: EngineMessage> Send for ArenaSlot<M> {}
+unsafe impl<M: EngineMessage> Sync for ArenaSlot<M> {}
 
 struct PoolShared<P: NodeProgram> {
     /// Epoch entry: driver + every worker.
@@ -248,32 +506,40 @@ struct PoolShared<P: NodeProgram> {
     done: Barrier,
     /// Raised by `Drop` before a final `start` release.
     shutdown: AtomicBool,
+    /// Which kind of epoch the next `start` release begins.
+    phase: AtomicU8,
     /// One slot per spawned worker (the driver's own group has none).
     slots: Vec<Slot<P>>,
+    /// One staging arena per worker *group* (index 0 = the driver's own).
+    arenas: Vec<ArenaSlot<P::Message>>,
 }
 
-/// The session-lifetime executor. `threads` workers park between rounds;
+/// The session-lifetime executor. `threads` workers park between epochs;
 /// the driver executes group 0 itself, so a pool with zero threads is the
 /// sequential fast path (its barriers have a single participant and never
 /// block).
 pub(crate) struct WorkerPool<P: NodeProgram + 'static> {
     shared: Arc<PoolShared<P>>,
     handles: Vec<JoinHandle<()>>,
-    /// The driver's own staging arena (worker group 0).
-    home: ShardYield<P::Message>,
 }
 
 impl<P: NodeProgram + 'static> WorkerPool<P> {
-    /// Spawns `threads` parked workers (usually `workers - 1`).
+    /// Spawns `threads` parked workers (usually `workers - 1`), with one
+    /// arena per worker group (`threads + 1`, bucketed likewise).
     pub(crate) fn spawn(threads: usize) -> Self {
+        let groups = threads + 1;
         let shared = Arc::new(PoolShared {
             start: Barrier::new(threads + 1),
             done: Barrier::new(threads + 1),
             shutdown: AtomicBool::new(false),
+            phase: AtomicU8::new(PHASE_COMPUTE),
             slots: (0..threads)
                 .map(|_| Slot {
                     cell: UnsafeCell::new(WorkerTask::default()),
                 })
+                .collect(),
+            arenas: (0..groups)
+                .map(|_| ArenaSlot(UnsafeCell::new(ShardYield::with_groups(groups))))
                 .collect(),
         });
         let handles = (0..threads)
@@ -285,11 +551,7 @@ impl<P: NodeProgram + 'static> WorkerPool<P> {
                     .expect("spawn engine worker")
             })
             .collect();
-        WorkerPool {
-            shared,
-            handles,
-            home: ShardYield::default(),
-        }
+        WorkerPool { shared, handles }
     }
 
     /// Number of worker groups (spawned threads + the driver).
@@ -297,29 +559,35 @@ impl<P: NodeProgram + 'static> WorkerPool<P> {
         self.handles.len() + 1
     }
 
-    /// Executes one round: group `i` of `ranges` runs on worker `i` (group 0
-    /// on the calling thread). Returns the first captured program panic, if
-    /// any — the caller resumes it after the epoch is fully closed, so the
+    /// Runs one **compute epoch**: group `i` of `ranges` steps its programs
+    /// on worker `i` (group 0 on the calling thread), staging traffic into
+    /// the group's arena. Returns the first captured program panic, if any
+    /// — the caller resumes it after the epoch is fully closed, so the
     /// *pool* stays droppable (workers re-park and join cleanly); the
     /// session layer is responsible for refusing further rounds, since the
     /// programs themselves are now partially stepped.
     ///
-    /// `ranges` must be disjoint ascending sub-ranges of the arrays, one per
-    /// worker group.
+    /// `ranges` must be disjoint ascending sub-ranges of the dense arrays,
+    /// one per worker group, matching `env.bounds`.
     pub(crate) fn execute(
         &mut self,
         programs: &mut [P],
         ctxs: &mut [NodeCtx<'_>],
         inboxes: &[Vec<(VertexId, P::Message)>],
-        faults: &FaultPlan,
+        env: &StageEnv<'_>,
         round: u64,
         ranges: &[Range<usize>],
     ) -> Result<(), Box<dyn Any + Send + 'static>> {
-        assert_eq!(ranges.len(), self.handles.len() + 1, "one range per group");
+        assert_eq!(
+            ranges.len(),
+            self.shared.arenas.len(),
+            "one range per group"
+        );
         // Derive every group's slice from the same root pointers so the
         // driver's group-0 reborrow cannot invalidate the workers' parts.
         let prog_root = programs.as_mut_ptr();
         let ctx_root = ctxs.as_mut_ptr().cast::<NodeCtx<'static>>();
+        let raw_env = RawEnv::from_env(env);
         for (w, range) in ranges.iter().enumerate().skip(1) {
             // SAFETY: workers are parked at the `start` barrier, so the
             // driver is the sole accessor of the slot right now.
@@ -327,12 +595,13 @@ impl<P: NodeProgram + 'static> WorkerPool<P> {
             task.programs = unsafe { prog_root.add(range.start) };
             task.ctxs = unsafe { ctx_root.add(range.start) };
             task.len = range.len();
+            task.base = range.start;
             task.inboxes = inboxes.as_ptr();
             task.inboxes_len = inboxes.len();
-            task.faults = faults;
-            task.base = range.start;
+            task.env = raw_env;
             task.round = round;
         }
+        self.shared.phase.store(PHASE_COMPUTE, Ordering::Release);
         self.shared.start.wait();
         let home_range = ranges[0].clone();
         // SAFETY: group 0 is disjoint from every slot's range; the pointers
@@ -343,20 +612,63 @@ impl<P: NodeProgram + 'static> WorkerPool<P> {
                 std::slice::from_raw_parts_mut(ctx_root.add(home_range.start), home_range.len()),
             )
         };
-        let home = &mut self.home;
+        // SAFETY: during a compute epoch arena 0 belongs to the driver.
+        let home_arena = unsafe { &mut *self.shared.arenas[0].0.get() };
+        let base = home_range.start;
         let home_result = catch_unwind(AssertUnwindSafe(|| {
             run_range(
                 home_programs,
                 home_ctxs,
                 inboxes,
-                home_range.start,
+                base,
                 round,
-                faults,
-                home,
+                env,
+                home_arena,
             );
         }));
         self.shared.done.wait();
-        let mut payload = home_result.err();
+        self.close_epoch(home_result.err())
+    }
+
+    /// Runs one **routing epoch**: worker `g` drains bucket `g` of every
+    /// arena into the `next` inboxes of `ranges[g]` and sorts them (group 0
+    /// on the calling thread). `next` must point at the session's full
+    /// dense `next`-inbox array; `ranges` must match the compute epoch's.
+    pub(crate) fn route(
+        &mut self,
+        next: *mut Vec<(VertexId, P::Message)>,
+        ranges: &[Range<usize>],
+    ) -> Result<(), Box<dyn Any + Send + 'static>> {
+        assert_eq!(
+            ranges.len(),
+            self.shared.arenas.len(),
+            "one range per group"
+        );
+        for (w, range) in ranges.iter().enumerate().skip(1) {
+            // SAFETY: workers are parked at the `start` barrier.
+            let task = unsafe { &mut *self.shared.slots[w - 1].cell.get() };
+            task.next = next;
+            task.route_start = range.start;
+            task.route_end = range.end;
+        }
+        self.shared.phase.store(PHASE_ROUTE, Ordering::Release);
+        self.shared.start.wait();
+        let arenas = &self.shared.arenas;
+        let home_range = ranges[0].clone();
+        let home_result = catch_unwind(AssertUnwindSafe(|| {
+            // SAFETY: bucket 0 of every arena and the inboxes of group 0's
+            // range belong to the driver during a routing epoch.
+            unsafe { route_range(arenas, 0, next, home_range) };
+        }));
+        self.shared.done.wait();
+        self.close_epoch(home_result.err())
+    }
+
+    /// Gathers the epoch's panics (driver-side, workers parked again).
+    fn close_epoch(
+        &mut self,
+        mut payload: Option<Box<dyn Any + Send + 'static>>,
+    ) -> Result<(), Box<dyn Any + Send + 'static>> {
         for slot in &self.shared.slots {
             // SAFETY: past the `done` barrier every worker is parked again.
             let task = unsafe { &mut *slot.cell.get() };
@@ -371,14 +683,14 @@ impl<P: NodeProgram + 'static> WorkerPool<P> {
     }
 
     /// Visits every group's arena in deterministic group order (driver's
-    /// group 0 first), for the post-round merge. Exclusive access: workers
-    /// are parked between epochs.
-    pub(crate) fn drain_yields(&mut self, mut f: impl FnMut(&mut ShardYield<P::Message>)) {
-        f(&mut self.home);
-        for slot in &self.shared.slots {
-            // SAFETY: workers are parked at the `start` barrier; `&mut self`
-            // keeps the driver side exclusive.
-            f(unsafe { &mut (*slot.cell.get()).yielded });
+    /// group 0 first) between epochs — the driver tallies counters and
+    /// collects fault-delayed batches here. Exclusive access: workers are
+    /// parked at the `start` barrier.
+    pub(crate) fn collect_yields(&mut self, mut f: impl FnMut(&mut ShardYield<P::Message>)) {
+        for arena in &self.shared.arenas {
+            // SAFETY: workers are parked; `&mut self` keeps the driver side
+            // exclusive.
+            f(unsafe { &mut *arena.0.get() });
         }
     }
 }
@@ -406,24 +718,33 @@ fn worker_loop<P: NodeProgram>(shared: &PoolShared<P>, index: usize) {
         // accessor, and the driver guarantees the pointers are live and
         // disjoint from every other group for the whole epoch.
         let task = unsafe { &mut *shared.slots[index].cell.get() };
+        let phase = shared.phase.load(Ordering::Acquire);
         let result = catch_unwind(AssertUnwindSafe(|| {
-            let (programs, ctxs, inboxes, faults) = unsafe {
-                (
-                    std::slice::from_raw_parts_mut(task.programs, task.len),
-                    std::slice::from_raw_parts_mut(task.ctxs, task.len),
-                    std::slice::from_raw_parts(task.inboxes, task.inboxes_len),
-                    &*task.faults,
-                )
-            };
-            run_range(
-                programs,
-                ctxs,
-                inboxes,
-                task.base,
-                task.round,
-                faults,
-                &mut task.yielded,
-            );
+            if phase == PHASE_COMPUTE {
+                let (programs, ctxs, inboxes) = unsafe {
+                    (
+                        std::slice::from_raw_parts_mut(task.programs, task.len),
+                        std::slice::from_raw_parts_mut(task.ctxs, task.len),
+                        std::slice::from_raw_parts(task.inboxes, task.inboxes_len),
+                    )
+                };
+                // SAFETY: the driver keeps the env's borrows alive for the
+                // whole epoch; arena `index + 1` is this worker's own.
+                let env = unsafe { task.env.as_env() };
+                let arena = unsafe { &mut *shared.arenas[index + 1].0.get() };
+                run_range(programs, ctxs, inboxes, task.base, task.round, &env, arena);
+            } else {
+                // SAFETY: routing epoch — bucket `index + 1` of every arena
+                // and this worker's inbox range are exclusively ours.
+                unsafe {
+                    route_range(
+                        &shared.arenas,
+                        index + 1,
+                        task.next,
+                        task.route_start..task.route_end,
+                    );
+                }
+            }
         }));
         if let Err(p) = result {
             task.panic = Some(p);
@@ -436,7 +757,7 @@ fn worker_loop<P: NodeProgram>(shared: &PoolShared<P>, index: usize) {
 mod tests {
     use super::*;
 
-    #[derive(Clone, Copy, PartialEq, Debug)]
+    #[derive(Clone, PartialEq, Debug)]
     struct W(usize);
     impl EngineMessage for W {
         fn width(&self) -> usize {
@@ -444,58 +765,138 @@ mod tests {
         }
     }
 
+    /// An identity env over `n` vertices in one group, no faults.
+    fn identity_tables(n: usize) -> (Vec<usize>, Vec<VertexId>, Vec<usize>) {
+        ((0..n).collect(), (0..n).collect(), vec![0, n])
+    }
+
+    fn env<'a>(
+        faults: &'a FaultPlan,
+        dense: &'a [usize],
+        live: &'a [VertexId],
+        bounds: &'a [usize],
+    ) -> StageEnv<'a> {
+        StageEnv {
+            faults,
+            dense,
+            live,
+            bounds,
+            congest: usize::MAX,
+        }
+    }
+
     #[test]
     fn expand_into_appends_and_reports_width() {
         let neighbors = [1usize, 3, 5];
-        let mut out = Vec::new();
-        let w = expand_into(0, Outbox::Broadcast(W(2)), &neighbors, &mut out);
-        assert_eq!(w, 2);
-        assert_eq!(out, vec![(1, 0, W(2)), (3, 0, W(2)), (5, 0, W(2))]);
-        let w = expand_into(0, Outbox::Unicast(3, W(7)), &neighbors, &mut out);
-        assert_eq!(w, 7);
-        assert_eq!(out.len(), 4, "appends after existing traffic");
-        assert_eq!(expand_into(0, Outbox::Silent, &neighbors, &mut out), 0);
+        let faults = FaultPlan::new();
+        let (dense, live, bounds) = identity_tables(6);
+        let e = env(&faults, &dense, &live, &bounds);
+        let mut y: ShardYield<W> = ShardYield::with_groups(1);
+        stage_outbox(0, Outbox::Broadcast(W(2)), &neighbors, 1, &e, &mut y);
+        assert_eq!(y.max_width, 2);
         assert_eq!(
-            expand_into(9, Outbox::Broadcast(W(5)), &[], &mut out),
-            0,
-            "isolated vertex broadcast is empty"
+            y.bucket_mut(0),
+            &vec![(1, 0, W(2)), (3, 0, W(2)), (5, 0, W(2))]
         );
-        assert_eq!(out.len(), 4);
+        stage_outbox(0, Outbox::Unicast(3, W(7)), &neighbors, 1, &e, &mut y);
+        assert_eq!(y.max_width, 7);
+        assert_eq!(y.bucket_mut(0).len(), 4, "appends after existing traffic");
+        stage_outbox(0, Outbox::Silent, &neighbors, 1, &e, &mut y);
+        stage_outbox(5, Outbox::Broadcast(W(5)), &[], 1, &e, &mut y);
+        assert_eq!(y.bucket_mut(0).len(), 4, "isolated broadcast is empty");
+        assert_eq!(y.messages, 4);
+    }
+
+    #[test]
+    fn staging_partitions_by_destination_group() {
+        // Two groups split at dense 3: messages to {1, 2} land in bucket 0,
+        // messages to {4, 5} in bucket 1.
+        let neighbors = [1usize, 2, 4, 5];
+        let faults = FaultPlan::new();
+        let (dense, live, _) = identity_tables(6);
+        let bounds = vec![0, 3, 6];
+        let e = env(&faults, &dense, &live, &bounds);
+        let mut y: ShardYield<W> = ShardYield::with_groups(2);
+        stage_outbox(3, Outbox::Broadcast(W(1)), &neighbors, 1, &e, &mut y);
+        assert_eq!(y.bucket_mut(0), &vec![(1, 3, W(1)), (2, 3, W(1))]);
+        assert_eq!(y.bucket_mut(1), &vec![(4, 3, W(1)), (5, 3, W(1))]);
+        assert_eq!(y.messages, 4);
     }
 
     #[test]
     fn stage_outbox_applies_faults_in_place() {
         let neighbors = [1usize, 2];
         let faults = FaultPlan::new().drop_outbox(0, 5).delay_outbox(0, 6, 2);
-        let mut y: ShardYield<W> = ShardYield::default();
-        stage_outbox(0, Outbox::Broadcast(W(1)), &neighbors, 4, &faults, &mut y);
-        assert_eq!((y.messages, y.sent.len()), (2, 2), "delivered round");
-        stage_outbox(0, Outbox::Broadcast(W(1)), &neighbors, 5, &faults, &mut y);
+        let (dense, live, bounds) = identity_tables(3);
+        let e = env(&faults, &dense, &live, &bounds);
+        let mut y: ShardYield<W> = ShardYield::with_groups(1);
+        stage_outbox(0, Outbox::Broadcast(W(1)), &neighbors, 4, &e, &mut y);
+        assert_eq!((y.messages, y.bucket_mut(0).len()), (2, 2), "delivered");
+        stage_outbox(0, Outbox::Broadcast(W(1)), &neighbors, 5, &e, &mut y);
         assert_eq!(y.dropped, 2, "dropped round truncates the arena");
-        assert_eq!(y.sent.len(), 2);
-        stage_outbox(0, Outbox::Broadcast(W(1)), &neighbors, 6, &faults, &mut y);
+        assert_eq!(y.bucket_mut(0).len(), 2);
+        stage_outbox(0, Outbox::Broadcast(W(1)), &neighbors, 6, &e, &mut y);
         assert_eq!(y.delayed, 2);
-        assert_eq!(y.sent.len(), 2, "delayed tail split out of the arena");
+        assert_eq!(y.bucket_mut(0).len(), 2, "delayed tail split out");
         assert_eq!(y.delayed_batches.len(), 1);
         assert_eq!(y.delayed_batches[0].0, 6 + 1 + 2);
         assert_eq!(y.messages, 6, "all three outboxes were *sent*");
     }
 
     #[test]
-    fn arena_reset_keeps_capacity() {
-        let mut y: ShardYield<W> = ShardYield::default();
-        stage_outbox(
-            0,
-            Outbox::Broadcast(W(1)),
-            &[1, 2, 3, 4],
-            1,
-            &FaultPlan::new(),
-            &mut y,
+    fn duplication_appends_after_the_batch_and_counts() {
+        let neighbors = [1usize, 2];
+        let faults = FaultPlan::new().duplicate_edges(3, 1.0);
+        let (dense, live, bounds) = identity_tables(3);
+        let e = env(&faults, &dense, &live, &bounds);
+        let mut y: ShardYield<W> = ShardYield::with_groups(1);
+        stage_outbox(0, Outbox::Broadcast(W(1)), &neighbors, 1, &e, &mut y);
+        assert_eq!(y.messages, 2, "originals only");
+        assert_eq!(y.duplicated, 2, "probability 1.0 duplicates both");
+        assert_eq!(
+            y.bucket_mut(0),
+            &vec![(1, 0, W(1)), (2, 0, W(1)), (1, 0, W(1)), (2, 0, W(1))]
         );
-        let cap = y.sent.capacity();
+    }
+
+    #[test]
+    #[should_panic(expected = "CONGEST violation")]
+    fn congest_budget_rejects_wide_messages() {
+        let faults = FaultPlan::new();
+        let (dense, live, bounds) = identity_tables(3);
+        let mut e = env(&faults, &dense, &live, &bounds);
+        e.congest = 4;
+        let mut y: ShardYield<W> = ShardYield::with_groups(1);
+        stage_outbox(0, Outbox::Broadcast(W(4)), &[1], 1, &e, &mut y);
+        assert_eq!(y.messages, 1, "width == budget passes");
+        stage_outbox(0, Outbox::Broadcast(W(5)), &[1], 2, &e, &mut y);
+    }
+
+    #[test]
+    fn arena_reset_keeps_capacity() {
+        let faults = FaultPlan::new();
+        let (dense, live, bounds) = identity_tables(5);
+        let e = env(&faults, &dense, &live, &bounds);
+        let mut y: ShardYield<W> = ShardYield::with_groups(1);
+        stage_outbox(0, Outbox::Broadcast(W(1)), &[1, 2, 3, 4], 1, &e, &mut y);
+        let cap = y.bucket_mut(0).capacity();
         assert!(cap >= 4);
         y.reset();
-        assert_eq!(y.sent.len(), 0);
-        assert_eq!(y.sent.capacity(), cap, "reset must not release the arena");
+        assert_eq!(y.bucket_mut(0).len(), 0);
+        assert_eq!(
+            y.bucket_mut(0).capacity(),
+            cap,
+            "reset must not release the arena"
+        );
+    }
+
+    #[test]
+    fn group_of_respects_bounds() {
+        let faults = FaultPlan::new();
+        let (dense, live, _) = identity_tables(10);
+        let bounds = vec![0, 4, 7, 10];
+        let e = env(&faults, &dense, &live, &bounds);
+        let groups: Vec<usize> = (0..10).map(|dv| e.group_of(dv)).collect();
+        assert_eq!(groups, vec![0, 0, 0, 0, 1, 1, 1, 2, 2, 2]);
     }
 }

@@ -189,9 +189,12 @@ pub fn engine_cole_vishkin_3color(
         sess.for_each_program(|_, p| p.begin_shift(target));
         sess.run_phase("shift-down", Stop::Rounds(2));
     }
-    let (programs, metrics, run_ledger) = sess.into_parts();
+    let colors = sess
+        .view()
+        .scatter(usize::MAX, sess.programs().iter().map(CvProgram::color));
+    let (_, metrics, run_ledger) = sess.into_parts();
     ledger.absorb(run_ledger);
-    (programs.iter().map(CvProgram::color).collect(), metrics)
+    (colors, metrics)
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@
 //! round. The layer index *is* the round index — one LOCAL round per layer,
 //! exactly what [`local_model::h_partition`] charges.
 
-use graphs::{Graph, VertexId};
+use graphs::{Graph, VertexId, VertexSet};
 use local_model::{HPartition, RoundLedger};
 
 use crate::context::NodeCtx;
@@ -47,7 +47,10 @@ impl NodeProgram for HPartitionProgram {
         if self.layer != usize::MAX {
             return Outbox::Silent;
         }
-        self.resid -= inbox.len();
+        // Saturating: exact in fault-free runs (each neighbor peels once),
+        // but duplication faults can re-deliver a peel announcement and the
+        // degraded run must stay observable instead of underflowing.
+        self.resid = self.resid.saturating_sub(inbox.len());
         if self.resid <= self.threshold {
             // Round r assigns layer r − 1, matching the sequential loop.
             self.layer = (ctx.round - 1) as usize;
@@ -62,9 +65,11 @@ impl NodeProgram for HPartitionProgram {
     }
 }
 
-/// Runs the engine H-partition over the whole graph: same output contract
-/// and `"h-partition"` ledger charge as [`local_model::h_partition`] with no
-/// mask, plus the observed [`EngineMetrics`].
+/// Runs the engine H-partition over `g[mask]`: same output contract and
+/// `"h-partition"` ledger charge as [`local_model::h_partition`], plus the
+/// observed [`EngineMetrics`]. Masked-out vertices run no program and keep
+/// layer `usize::MAX`; residual degrees count masked neighbors only. Any
+/// `config.mask` is overridden by `mask`.
 ///
 /// # Panics
 ///
@@ -80,11 +85,12 @@ impl NodeProgram for HPartitionProgram {
 ///
 /// let g = gen::forest_union(80, 2, 5);
 /// let mut ledger = RoundLedger::new();
-/// let (hp, _) = engine_h_partition(&g, 2, 1.0, EngineConfig::default(), &mut ledger);
+/// let (hp, _) = engine_h_partition(&g, None, 2, 1.0, EngineConfig::default(), &mut ledger);
 /// assert_eq!(ledger.phase_total("h-partition"), hp.layers as u64);
 /// ```
 pub fn engine_h_partition(
     g: &Graph,
+    mask: Option<&VertexSet>,
     a: usize,
     epsilon: f64,
     mut config: EngineConfig,
@@ -100,6 +106,7 @@ pub fn engine_h_partition(
     if config.faults.is_empty() {
         config.max_rounds = config.max_rounds.min(g.n() as u64 + 1);
     }
+    config.mask = mask.cloned();
     let mut sess = EngineSession::new(g, config, |_| HPartitionProgram {
         threshold,
         resid: 0,
@@ -110,10 +117,18 @@ pub fn engine_h_partition(
         report.converged,
         "H-partition stalled: arboricity exceeds {a} (threshold {threshold})"
     );
-    let (programs, metrics, run_ledger) = sess.into_parts();
+    let layer = sess.view().scatter(
+        usize::MAX,
+        sess.programs().iter().map(HPartitionProgram::layer),
+    );
+    let (_, metrics, run_ledger) = sess.into_parts();
     ledger.absorb(run_ledger);
-    let layer: Vec<usize> = programs.iter().map(HPartitionProgram::layer).collect();
-    let layers = layer.iter().map(|&l| l + 1).max().unwrap_or(0);
+    let layers = layer
+        .iter()
+        .filter(|&&l| l != usize::MAX)
+        .map(|&l| l + 1)
+        .max()
+        .unwrap_or(0);
     (
         HPartition {
             layer,
@@ -143,6 +158,7 @@ mod tests {
                 let mut eng_ledger = RoundLedger::new();
                 let (hp, metrics) = engine_h_partition(
                     &g,
+                    None,
                     a,
                     eps,
                     EngineConfig::default().with_shards(shards),
@@ -161,10 +177,35 @@ mod tests {
     }
 
     #[test]
+    fn masked_partition_matches_sequential() {
+        let g = gen::forest_union(200, 2, 13);
+        let mask = VertexSet::from_iter_with_universe(200, (0..200).filter(|v| v % 5 != 2));
+        let mut seq_ledger = RoundLedger::new();
+        let seq = local_model::h_partition(&g, Some(&mask), 2, 1.0, &mut seq_ledger);
+        for shards in [1usize, 4] {
+            let mut eng_ledger = RoundLedger::new();
+            let (hp, _) = engine_h_partition(
+                &g,
+                Some(&mask),
+                2,
+                1.0,
+                EngineConfig::default().with_shards(shards),
+                &mut eng_ledger,
+            );
+            assert_eq!(hp.layer, seq.layer, "shards={shards}");
+            assert_eq!(hp.layers, seq.layers);
+            assert_eq!(
+                eng_ledger.phase_total("h-partition"),
+                seq_ledger.phase_total("h-partition")
+            );
+        }
+    }
+
+    #[test]
     fn up_degree_bounded_by_threshold() {
         let g = gen::forest_union(120, 2, 7);
         let mut ledger = RoundLedger::new();
-        let (hp, _) = engine_h_partition(&g, 2, 1.0, EngineConfig::default(), &mut ledger);
+        let (hp, _) = engine_h_partition(&g, None, 2, 1.0, EngineConfig::default(), &mut ledger);
         for v in 0..g.n() {
             let up = g
                 .neighbors(v)
@@ -180,14 +221,15 @@ mod tests {
     fn dense_graph_stalls_detectably() {
         let g = gen::complete(10);
         let mut ledger = RoundLedger::new();
-        engine_h_partition(&g, 1, 0.1, EngineConfig::default(), &mut ledger);
+        engine_h_partition(&g, None, 1, 0.1, EngineConfig::default(), &mut ledger);
     }
 
     #[test]
     fn peel_messages_are_counted() {
         let g = gen::random_tree(50, 2);
         let mut ledger = RoundLedger::new();
-        let (_, metrics) = engine_h_partition(&g, 1, 1.0, EngineConfig::default(), &mut ledger);
+        let (_, metrics) =
+            engine_h_partition(&g, None, 1, 1.0, EngineConfig::default(), &mut ledger);
         // Every vertex announces its peel to every then-unpeeled neighbor at
         // most once; a tree has 49 edges, so ≤ 98 messages, and > 0.
         assert!(metrics.total_messages() > 0);
@@ -210,6 +252,7 @@ mod tests {
         let mut ledger = RoundLedger::new();
         let (hp, metrics) = engine_h_partition(
             &g,
+            None,
             1,
             1.0,
             EngineConfig::default().with_faults(faults),

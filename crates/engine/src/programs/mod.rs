@@ -9,12 +9,17 @@
 //! * [`engine_cole_vishkin_3color`] ↔ [`local_model::cole_vishkin_3color`]
 //! * [`engine_h_partition`] ↔ [`local_model::h_partition`]
 //! * [`engine_randomized_list_coloring`] ↔
-//!   [`local_model::randomized_list_coloring`]
+//!   [`local_model::randomized_list_coloring`] (mask-aware)
+//! * [`engine_degree_plus_one_coloring`] ↔
+//!   [`local_model::degree_plus_one_coloring`] (mask-aware; the per-level
+//!   coloring Theorem 1.3's peel loop runs on the engine)
 
 pub mod cole_vishkin;
 pub mod h_partition;
 pub mod randomized;
+pub mod sweep;
 
 pub use cole_vishkin::{engine_cole_vishkin_3color, CvProgram};
 pub use h_partition::{engine_h_partition, HPartitionProgram};
 pub use randomized::{engine_randomized_list_coloring, RandomizedProgram};
+pub use sweep::{engine_coloring_by_forest_merge, engine_degree_plus_one_coloring, SweepProgram};

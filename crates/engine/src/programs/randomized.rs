@@ -18,7 +18,7 @@
 //! same vertices with the same colors in the same cycles as the sequential
 //! implementation, at any shard count.
 
-use graphs::{Graph, VertexId};
+use graphs::{Graph, VertexId, VertexSet};
 use local_model::{RandomizedColoring, RoundLedger};
 use rand::Rng;
 
@@ -112,16 +112,18 @@ impl NodeProgram for RandomizedProgram {
     }
 }
 
-/// Runs the engine randomized list-coloring: same output contract and
-/// `"randomized-coloring"` ledger total as
-/// [`local_model::randomized_list_coloring`] with no mask — including
-/// bit-identical colors for equal `seed` — plus the observed
+/// Runs the engine randomized list-coloring over `g[mask]`: same output
+/// contract and `"randomized-coloring"` ledger total as
+/// [`local_model::randomized_list_coloring`] — including bit-identical
+/// colors for equal `seed`, masked or not — plus the observed
 /// [`EngineMetrics`]. `max_cycles` caps propose/resolve cycles, like the
-/// sequential `max_rounds`.
+/// sequential `max_rounds`. Masked-out vertices run no program and keep
+/// `usize::MAX`. Any `config.mask` is overridden by `mask`.
 ///
 /// # Panics
 ///
-/// Panics if some list is smaller than `deg(v) + 1`.
+/// Panics if some masked vertex's list is smaller than its masked degree
+/// plus one.
 ///
 /// # Examples
 ///
@@ -133,8 +135,9 @@ impl NodeProgram for RandomizedProgram {
 /// let g = gen::cycle(12);
 /// let lists: Vec<Vec<usize>> = (0..12).map(|_| vec![0, 1, 2]).collect();
 /// let mut ledger = RoundLedger::new();
-/// let (out, _) =
-///     engine_randomized_list_coloring(&g, &lists, 1, 100, EngineConfig::default(), &mut ledger);
+/// let (out, _) = engine_randomized_list_coloring(
+///     &g, None, &lists, 1, 100, EngineConfig::default(), &mut ledger,
+/// );
 /// assert!(out.complete);
 /// for (u, v) in g.edges() {
 ///     assert_ne!(out.colors[u], out.colors[v]);
@@ -142,6 +145,7 @@ impl NodeProgram for RandomizedProgram {
 /// ```
 pub fn engine_randomized_list_coloring(
     g: &Graph,
+    mask: Option<&VertexSet>,
     lists: &[Vec<usize>],
     seed: u64,
     max_cycles: u64,
@@ -150,14 +154,19 @@ pub fn engine_randomized_list_coloring(
 ) -> (RandomizedColoring, EngineMetrics) {
     let n = g.n();
     assert_eq!(lists.len(), n);
+    let in_mask = |v: VertexId| mask.is_none_or(|m| m.contains(v));
     for (v, list) in lists.iter().enumerate() {
-        assert!(
-            list.len() > g.degree(v),
-            "vertex {v}: randomized coloring needs deg+1 lists"
-        );
+        if in_mask(v) {
+            let deg = g.neighbors(v).iter().filter(|&&w| in_mask(w)).count();
+            assert!(
+                list.len() > deg,
+                "vertex {v}: randomized coloring needs deg+1 lists"
+            );
+        }
     }
     // The node RNG stream is the sequential contract: per_vertex_rng(seed, v).
     config.seed = seed;
+    config.mask = mask.cloned();
     config.max_rounds = config.max_rounds.min(2 * max_cycles);
     let mut sess = EngineSession::new(g, config, |ctx| RandomizedProgram {
         live: lists[ctx.id].clone(),
@@ -166,11 +175,15 @@ pub fn engine_randomized_list_coloring(
         taken: Vec::new(),
     });
     let report = sess.run_phase("randomized-coloring", Stop::AllHalted);
-    let (programs, metrics, run_ledger) = sess.into_parts();
+    let colors = sess.view().scatter(
+        usize::MAX,
+        sess.programs().iter().map(RandomizedProgram::color),
+    );
+    let (_, metrics, run_ledger) = sess.into_parts();
     ledger.absorb(run_ledger);
     (
         RandomizedColoring {
-            colors: programs.iter().map(RandomizedProgram::color).collect(),
+            colors,
             rounds: report.rounds / 2,
             complete: report.converged,
         },
@@ -201,6 +214,7 @@ mod tests {
                 let mut eng_ledger = RoundLedger::new();
                 let (out, _) = engine_randomized_list_coloring(
                     &g,
+                    None,
                     &lists,
                     seed,
                     500,
@@ -225,6 +239,7 @@ mod tests {
         let mut ledger = RoundLedger::new();
         let (out, metrics) = engine_randomized_list_coloring(
             &g,
+            None,
             &lists,
             3,
             500,
@@ -246,8 +261,15 @@ mod tests {
         let g = gen::random_regular(100, 3, 1);
         let lists = deg_plus_one_lists(&g, 0);
         let mut ledger = RoundLedger::new();
-        let (out, _) =
-            engine_randomized_list_coloring(&g, &lists, 1, 1, EngineConfig::default(), &mut ledger);
+        let (out, _) = engine_randomized_list_coloring(
+            &g,
+            None,
+            &lists,
+            1,
+            1,
+            EngineConfig::default(),
+            &mut ledger,
+        );
         assert_eq!(out.rounds, 1);
         assert!(!out.complete, "one cycle cannot finish 100 vertices");
         for (u, v) in g.edges() {
@@ -263,7 +285,15 @@ mod tests {
         let g = gen::cycle(6);
         let lists = vec![vec![0, 1]; 6];
         let mut ledger = RoundLedger::new();
-        engine_randomized_list_coloring(&g, &lists, 1, 10, EngineConfig::default(), &mut ledger);
+        engine_randomized_list_coloring(
+            &g,
+            None,
+            &lists,
+            1,
+            10,
+            EngineConfig::default(),
+            &mut ledger,
+        );
     }
 
     #[test]
@@ -283,6 +313,7 @@ mod tests {
             let mut ledger = RoundLedger::new();
             let (out, metrics) = engine_randomized_list_coloring(
                 &g,
+                None,
                 &lists,
                 seed,
                 1000,
@@ -296,6 +327,49 @@ mod tests {
             assert!(out.complete, "seed {seed}: delayed run must still finish");
             for (u, v) in g.edges() {
                 assert_ne!(out.colors[u], out.colors[v], "seed {seed}: edge ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn masked_run_matches_sequential_masked_primitive() {
+        use graphs::VertexSet;
+        for seed in 0..3u64 {
+            let g = gen::grid(12, 12);
+            let mask = VertexSet::from_iter_with_universe(
+                g.n(),
+                (0..g.n()).filter(|v| !(v * 7 + seed as usize).is_multiple_of(4)),
+            );
+            let lists = deg_plus_one_lists(&g, 0);
+            let mut seq_ledger = RoundLedger::new();
+            let seq = local_model::randomized_list_coloring(
+                &g,
+                Some(&mask),
+                &lists,
+                seed,
+                500,
+                &mut seq_ledger,
+            );
+            for shards in [1usize, 2, 8] {
+                let mut eng_ledger = RoundLedger::new();
+                let (out, _) = engine_randomized_list_coloring(
+                    &g,
+                    Some(&mask),
+                    &lists,
+                    seed,
+                    500,
+                    EngineConfig::default().with_shards(shards),
+                    &mut eng_ledger,
+                );
+                assert_eq!(out.colors, seq.colors, "seed={seed} shards={shards}");
+                assert_eq!(out.rounds, seq.rounds);
+                assert_eq!(out.complete, seq.complete);
+                assert_eq!(eng_ledger.total(), seq_ledger.total());
+            }
+            for v in 0..g.n() {
+                if !mask.contains(v) {
+                    assert_eq!(seq.colors[v], usize::MAX, "dead vertices stay uncolored");
+                }
             }
         }
     }

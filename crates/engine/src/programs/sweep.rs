@@ -1,0 +1,404 @@
+//! The merge-reduce `(Δ+1)`-coloring — Lemma 3.2's "(d+1)-coloring computed
+//! deterministically \[17\]" step — as a **masked** engine execution.
+//!
+//! [`local_model::coloring_by_forest_merge`] decomposes the (masked) graph
+//! into rooted forests, 3-colors each with Cole–Vishkin, and repeatedly
+//! sweeps product-color classes down into `0..target`. The communication
+//! in that scheme lives in two places, and both run on the engine here:
+//!
+//! * each forest's Cole–Vishkin pass is the existing
+//!   [`engine_cole_vishkin_3color`] port (own session over the forest
+//!   edges);
+//! * each class sweep runs on a **single masked [`EngineSession`] over the
+//!   host graph** (the first masked consumer of the engine's
+//!   [`GraphView`](crate::GraphView)): one announce round in which every
+//!   live vertex broadcasts its product color, then one round per swept
+//!   class in which exactly that class recolors greedily and announces the
+//!   change. That is exactly the `current_colors − target + 1` rounds the
+//!   sequential twin charges to `"class-sweep"`.
+//!
+//! Because a product-color class is an independent set of the union graph
+//! and the greedy choice reads only union-neighbor colors — all announced
+//! a round earlier — the engine run commits the same color per vertex as
+//! the sequential member-order loop, at any shard count: the sweep is
+//! order-independent within a class.
+//!
+//! This is the port Theorem 1.3's peel loop rides on: every peeling level
+//! hands its residual scope to [`engine_degree_plus_one_coloring`] as a
+//! mask (see `distributed_coloring::extend`).
+
+use graphs::{Graph, VertexId, VertexSet};
+use local_model::{Orientation, RoundLedger};
+
+use crate::context::NodeCtx;
+use crate::driver::{EngineConfig, EngineSession, Stop};
+use crate::metrics::EngineMetrics;
+use crate::program::{NodeProgram, Outbox};
+use crate::programs::cole_vishkin::engine_cole_vishkin_3color;
+
+/// Where a sweep-phase node is in the announce → sweep cycle (reset by the
+/// host via [`SweepProgram::load`] before every merge).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SweepStage {
+    /// Not participating (between merges, or before the first).
+    Idle,
+    /// Next round: broadcast the freshly loaded product color.
+    Announce,
+    /// Counting classes down, recoloring when `cursor - 1` matches.
+    Sweep,
+}
+
+/// Per-node state of the class sweep.
+#[derive(Clone, Debug)]
+pub struct SweepProgram {
+    color: usize,
+    /// Union-forest neighbors (original ids, sorted) — the only colors the
+    /// greedy step may read.
+    union_nbrs: Vec<VertexId>,
+    /// Latest color heard from each union neighbor, aligned to
+    /// `union_nbrs`.
+    nbr_colors: Vec<usize>,
+    /// Next sweep round handles class `cursor - 1`.
+    cursor: usize,
+    target: usize,
+    stage: SweepStage,
+}
+
+impl SweepProgram {
+    /// A node that does nothing until the host loads a merge.
+    pub fn idle() -> Self {
+        SweepProgram {
+            color: usize::MAX,
+            union_nbrs: Vec::new(),
+            nbr_colors: Vec::new(),
+            cursor: 0,
+            target: 0,
+            stage: SweepStage::Idle,
+        }
+    }
+
+    /// Host seam: arm the node for one merge's sweep phase. `union_nbrs`
+    /// must be sorted ascending.
+    pub fn load(
+        &mut self,
+        color: usize,
+        union_nbrs: Vec<VertexId>,
+        current_colors: usize,
+        target: usize,
+    ) {
+        debug_assert!(union_nbrs.windows(2).all(|w| w[0] < w[1]));
+        self.color = color;
+        self.nbr_colors = vec![usize::MAX; union_nbrs.len()];
+        self.union_nbrs = union_nbrs;
+        self.cursor = current_colors;
+        self.target = target;
+        self.stage = SweepStage::Announce;
+    }
+
+    /// The node's current color.
+    pub fn color(&self) -> usize {
+        self.color
+    }
+
+    fn absorb(&mut self, inbox: &[(VertexId, usize)]) {
+        for &(src, c) in inbox {
+            if let Ok(i) = self.union_nbrs.binary_search(&src) {
+                self.nbr_colors[i] = c;
+            }
+        }
+    }
+}
+
+impl NodeProgram for SweepProgram {
+    type Message = usize;
+
+    fn init(&mut self, _ctx: &mut NodeCtx<'_>) -> Outbox<usize> {
+        Outbox::Silent
+    }
+
+    fn on_round(&mut self, _ctx: &mut NodeCtx<'_>, inbox: &[(VertexId, usize)]) -> Outbox<usize> {
+        match self.stage {
+            SweepStage::Idle => Outbox::Silent,
+            SweepStage::Announce => {
+                // The inbox holds leftovers of the previous merge's last
+                // sweep round — stale product inputs, deliberately ignored.
+                self.stage = SweepStage::Sweep;
+                Outbox::Broadcast(self.color)
+            }
+            SweepStage::Sweep => {
+                self.absorb(inbox);
+                self.cursor -= 1;
+                let class = self.cursor;
+                if class == self.target {
+                    // Last class this merge; go quiet afterwards.
+                    self.stage = SweepStage::Idle;
+                }
+                if self.color != class {
+                    return Outbox::Silent;
+                }
+                debug_assert!(
+                    self.nbr_colors.iter().all(|&c| c != usize::MAX),
+                    "every union neighbor announced before the first sweep"
+                );
+                let fresh = (0..self.target)
+                    .find(|c| !self.nbr_colors.contains(c))
+                    .expect("target exceeds union degree, a free color exists");
+                self.color = fresh;
+                Outbox::Broadcast(fresh)
+            }
+        }
+    }
+
+    fn halted(&self) -> bool {
+        self.stage == SweepStage::Idle
+    }
+}
+
+/// Engine twin of [`local_model::coloring_by_forest_merge`]: same colors
+/// (bit for bit, masked or not, at any shard count) and same ledger phase
+/// totals (`"forest-decomposition"`, `"cole-vishkin"`, `"shift-down"`,
+/// `"class-sweep"`), plus the sweep session's observed [`EngineMetrics`].
+///
+/// `config.faults`/`config.congest` apply to the masked sweep session; the
+/// per-forest Cole–Vishkin sessions run fault-free (they execute over
+/// separate forest graphs). Any `config.mask` is overridden by `mask`.
+///
+/// # Panics
+///
+/// Panics if `target` does not exceed the masked maximum degree, or if
+/// `config.max_rounds` interrupts a sweep.
+pub fn engine_coloring_by_forest_merge(
+    g: &Graph,
+    mask: Option<&VertexSet>,
+    priority: &[usize],
+    target: usize,
+    config: EngineConfig,
+    ledger: &mut RoundLedger,
+) -> (Vec<usize>, EngineMetrics) {
+    let (members, max_deg) = masked_members_and_max_deg(g, mask);
+    forest_merge_with_members(g, mask, priority, target, &members, max_deg, config, ledger)
+}
+
+/// One pass over the masked adjacency: the member list and the masked
+/// maximum degree (shared by both public entry points, and by Theorem
+/// 1.3's per-level calls, so the scan runs once per invocation).
+fn masked_members_and_max_deg(g: &Graph, mask: Option<&VertexSet>) -> (Vec<VertexId>, usize) {
+    let in_mask = |v: VertexId| mask.is_none_or(|m| m.contains(v));
+    let members: Vec<VertexId> = (0..g.n()).filter(|&v| in_mask(v)).collect();
+    let max_deg = members
+        .iter()
+        .map(|&v| g.neighbors(v).iter().filter(|&&w| in_mask(w)).count())
+        .max()
+        .unwrap_or(0);
+    (members, max_deg)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn forest_merge_with_members(
+    g: &Graph,
+    mask: Option<&VertexSet>,
+    priority: &[usize],
+    target: usize,
+    members: &[VertexId],
+    max_deg: usize,
+    config: EngineConfig,
+    ledger: &mut RoundLedger,
+) -> (Vec<usize>, EngineMetrics) {
+    let n = g.n();
+    assert_eq!(priority.len(), n);
+    assert!(
+        target > max_deg,
+        "target ({target}) must exceed the masked maximum degree ({max_deg})"
+    );
+
+    let orientation = Orientation::by_priority(g, mask, priority);
+    let forests = orientation.forest_decomposition(mask, ledger);
+
+    let mut color = vec![usize::MAX; n];
+    let mut union_adj: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+    let mut current_colors = 1usize;
+
+    let mut sweep_config = config.clone();
+    sweep_config.mask = mask.cloned();
+    let cv_config = EngineConfig::default()
+        .with_shards(config.shards)
+        .with_workers(config.workers);
+    let mut sess = EngineSession::new(g, sweep_config, |_| SweepProgram::idle());
+
+    for (fi, forest) in forests.iter().enumerate() {
+        let (f3, _) = engine_cole_vishkin_3color(forest, cv_config.clone(), ledger);
+        for &v in members {
+            let p = forest.parent(v);
+            if p != usize::MAX && p != v {
+                union_adj[v].push(p);
+                union_adj[p].push(v);
+            }
+        }
+        if fi == 0 {
+            for &v in members {
+                color[v] = f3[v];
+            }
+            current_colors = 3;
+        } else {
+            // Product coloring: 3 * old + forest color; proper on the union.
+            for &v in members {
+                color[v] = 3 * color[v] + f3[v];
+            }
+            current_colors *= 3;
+        }
+        if current_colors > target {
+            sess.for_each_program(|v, p| {
+                let mut nbrs = union_adj[v].clone();
+                nbrs.sort_unstable();
+                p.load(color[v], nbrs, current_colors, target);
+            });
+            let rounds = (current_colors - target + 1) as u64;
+            let report = sess.run_phase("class-sweep", Stop::Rounds(rounds));
+            assert_eq!(
+                report.rounds, rounds,
+                "max_rounds interrupted a class sweep"
+            );
+            sess.for_each_program(|v, p| color[v] = p.color());
+        }
+        current_colors = current_colors.min(target).max(
+            color
+                .iter()
+                .filter(|&&c| c != usize::MAX)
+                .max()
+                .map_or(0, |&c| c + 1),
+        );
+    }
+    if !members.is_empty() && forests.is_empty() {
+        // Edgeless subgraph: everyone takes color 0.
+        for &v in members {
+            color[v] = 0;
+        }
+    }
+    debug_assert!(members.iter().all(|&v| color[v] < target));
+    let (_, metrics, sweep_ledger) = sess.into_parts();
+    ledger.absorb(sweep_ledger);
+    (color, metrics)
+}
+
+/// Engine twin of [`local_model::degree_plus_one_coloring`]: the classic
+/// `(Δ+1)`-coloring of `g[mask]`, executed. Returns `color[v] ∈
+/// 0..masked_Δ+1` for masked vertices, `usize::MAX` elsewhere — identical
+/// to the sequential output, with identical ledger totals.
+///
+/// # Examples
+///
+/// ```
+/// use engine::{engine_degree_plus_one_coloring, EngineConfig};
+/// use graphs::gen;
+/// use local_model::RoundLedger;
+///
+/// let g = gen::grid(5, 5);
+/// let mut ledger = RoundLedger::new();
+/// let (col, _) =
+///     engine_degree_plus_one_coloring(&g, None, EngineConfig::default(), &mut ledger);
+/// for (u, v) in g.edges() {
+///     assert_ne!(col[u], col[v]);
+/// }
+/// assert!(col.iter().all(|&c| c < 5));
+/// ```
+pub fn engine_degree_plus_one_coloring(
+    g: &Graph,
+    mask: Option<&VertexSet>,
+    config: EngineConfig,
+    ledger: &mut RoundLedger,
+) -> (Vec<usize>, EngineMetrics) {
+    let (members, max_deg) = masked_members_and_max_deg(g, mask);
+    forest_merge_with_members(
+        g,
+        mask,
+        &vec![0; g.n()],
+        max_deg + 1,
+        &members,
+        max_deg,
+        config,
+        ledger,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::gen;
+    use local_model::degree_plus_one_coloring;
+
+    fn assert_matches_sequential(g: &Graph, mask: Option<&VertexSet>, label: &str) {
+        let mut seq_ledger = RoundLedger::new();
+        let seq = degree_plus_one_coloring(g, mask, &mut seq_ledger);
+        for shards in [1usize, 2, 8] {
+            let mut eng_ledger = RoundLedger::new();
+            let (col, _) = engine_degree_plus_one_coloring(
+                g,
+                mask,
+                EngineConfig::default().with_shards(shards),
+                &mut eng_ledger,
+            );
+            assert_eq!(col, seq, "{label} shards={shards}: colors diverged");
+            assert_eq!(
+                eng_ledger.total(),
+                seq_ledger.total(),
+                "{label} shards={shards}: ledger totals diverged"
+            );
+            assert_eq!(
+                eng_ledger.phase_total("class-sweep"),
+                seq_ledger.phase_total("class-sweep"),
+                "{label} shards={shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_whole_graphs() {
+        assert_matches_sequential(&gen::grid(7, 7), None, "grid");
+        assert_matches_sequential(&gen::random_regular(40, 4, 3), None, "4-regular");
+        assert_matches_sequential(&gen::random_tree(60, 9), None, "tree");
+    }
+
+    #[test]
+    fn matches_sequential_on_masked_subgraphs() {
+        let g = gen::complete(8);
+        let mask = VertexSet::from_iter_with_universe(8, [0, 2, 4, 6]);
+        assert_matches_sequential(&g, Some(&mask), "masked K8");
+        let g = gen::triangular(5, 5);
+        let mask = VertexSet::from_iter_with_universe(g.n(), (0..g.n()).filter(|v| v % 3 != 0));
+        assert_matches_sequential(&g, Some(&mask), "masked triangular");
+    }
+
+    #[test]
+    fn colors_are_proper_and_in_range() {
+        let g = gen::grid(8, 8);
+        let mut ledger = RoundLedger::new();
+        let (col, metrics) =
+            engine_degree_plus_one_coloring(&g, None, EngineConfig::default(), &mut ledger);
+        for (u, v) in g.edges() {
+            assert_ne!(col[u], col[v]);
+        }
+        assert!(col.iter().all(|&c| c < 5));
+        assert!(metrics.total_rounds() > 0, "the sweeps actually executed");
+        assert_eq!(
+            ledger.phase_total("class-sweep"),
+            metrics.total_rounds(),
+            "every sweep round was executed on the engine"
+        );
+    }
+
+    #[test]
+    fn edgeless_and_empty_masks() {
+        let g = Graph::empty(5);
+        let mut ledger = RoundLedger::new();
+        let (col, _) =
+            engine_degree_plus_one_coloring(&g, None, EngineConfig::default(), &mut ledger);
+        assert!(col.iter().all(|&c| c == 0));
+
+        let g = gen::cycle(6);
+        let empty = VertexSet::new(6);
+        let mut ledger = RoundLedger::new();
+        let (col, _) =
+            engine_degree_plus_one_coloring(&g, Some(&empty), EngineConfig::default(), &mut ledger);
+        assert!(col.iter().all(|&c| c == usize::MAX));
+    }
+}

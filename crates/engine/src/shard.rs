@@ -1,13 +1,18 @@
 //! Vertex sharding: how the network is split across worker threads.
 //!
-//! Shards are contiguous, near-equal vertex ranges. Contiguity matters twice:
-//! worker threads walk cache-friendly slices, and because shard ranges are
-//! ascending in vertex id, concatenating per-shard outbox batches already
-//! fills inboxes in near-sorted sender order, so the stable per-inbox sort
-//! the mailboxes perform on every flip (still required — fault-delayed
-//! batches are injected ahead of fresh traffic) runs on mostly-sorted input.
+//! Shards are contiguous, near-equal ranges of the session's **dense**
+//! live-vertex index (see [`GraphView`]) — for an
+//! unmasked session that is the vertex-id range itself. Contiguity matters
+//! twice: worker threads walk cache-friendly slices, and because shard
+//! ranges ascend in (original) vertex id, draining destination buckets in
+//! group order fills inboxes in near-sorted sender order, so the stable
+//! per-inbox sort the routing phase performs (still required —
+//! fault-delayed batches are injected ahead of fresh traffic) runs on
+//! mostly-sorted input.
 
 use std::ops::Range;
+
+use crate::view::GraphView;
 
 /// A partition of `0..n` into contiguous shards with sizes differing by at
 /// most one.
@@ -33,6 +38,12 @@ impl ShardPlan {
         }
         debug_assert_eq!(*bounds.last().unwrap(), n);
         ShardPlan { bounds }
+    }
+
+    /// Splits a view's live vertices into `shards` contiguous dense ranges
+    /// — the masked-session entry point.
+    pub fn for_view(view: &GraphView<'_>, shards: usize) -> Self {
+        ShardPlan::contiguous(view.live_count(), shards)
     }
 
     /// Number of shards.

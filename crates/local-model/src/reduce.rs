@@ -18,8 +18,11 @@ use graphs::{Graph, VertexId, VertexSet};
 /// result must stay proper). `target` must exceed the maximum degree of
 /// that subgraph.
 ///
-/// One LOCAL round per color class in `current_colors..target` (charged as
-/// `"class-sweep"`).
+/// One LOCAL round per color class in `current_colors..target`, plus one
+/// announce round — after a local product recoloring each vertex must tell
+/// its union-neighbors the new color before the top class can sweep
+/// (charged as `"class-sweep"`; the engine port executes exactly these
+/// rounds, see `engine::engine_degree_plus_one_coloring`).
 fn sweep_reduce(
     members: &[VertexId],
     neighbors_of: impl Fn(VertexId) -> Vec<VertexId>,
@@ -43,7 +46,7 @@ fn sweep_reduce(
             coloring[v] = fresh;
         }
     }
-    ledger.charge("class-sweep", (current_colors - target) as u64);
+    ledger.charge("class-sweep", (current_colors - target + 1) as u64);
 }
 
 /// Computes a proper `target`-coloring of `g[mask]` by decomposing into

@@ -51,8 +51,9 @@ pub mod prelude {
         ListAssignment, Outcome, RadiusPolicy, SparseColoring, SparseColoringConfig,
     };
     pub use engine::{
-        engine_cole_vishkin_3color, engine_h_partition, engine_randomized_list_coloring,
-        EngineConfig, EngineMetrics, EngineSession, FaultPlan, NodeCtx, NodeProgram, Outbox, Stop,
+        engine_cole_vishkin_3color, engine_degree_plus_one_coloring, engine_h_partition,
+        engine_randomized_list_coloring, EngineConfig, EngineMetrics, EngineSession, FaultPlan,
+        GraphView, NodeCtx, NodeProgram, Outbox, Stop,
     };
     pub use graphs;
     pub use local_model::{barenboim_elkin_coloring, RoundLedger};

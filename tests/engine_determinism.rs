@@ -9,7 +9,7 @@
 use engine::{
     engine_cole_vishkin_3color, engine_h_partition, engine_randomized_list_coloring, EngineConfig,
 };
-use graphs::gen;
+use graphs::{gen, VertexSet};
 use local_model::{RootedForest, RoundLedger};
 use proptest::prelude::*;
 
@@ -35,7 +35,7 @@ proptest! {
         for (shards, workers) in SHARD_SWEEP {
             let mut ledger = RoundLedger::new();
             let (out, metrics) = engine_randomized_list_coloring(
-                &g, &lists, seed, 1000,
+                &g, None, &lists, seed, 1000,
                 config(shards, workers),
                 &mut ledger,
             );
@@ -68,6 +68,46 @@ proptest! {
         }
     }
 
+    /// Masked determinism (the active-set contract): a masked engine run
+    /// at shards ∈ {1, 2, 8} reproduces the sequential masked primitive on
+    /// colors AND ledger totals, for arbitrary seeded masks.
+    #[test]
+    fn masked_randomized_matches_sequential_masked_primitive(
+        n in 30usize..160,
+        d in 3usize..6,
+        seed in 0u64..500,
+        mask_seed in 0u64..64,
+    ) {
+        let g = gen::random_regular(n & !1, d, seed);
+        let mask = VertexSet::from_iter_with_universe(
+            g.n(),
+            (0..g.n()).filter(|&v| !rand::mix64(mask_seed, v as u64).is_multiple_of(4)),
+        );
+        let lists: Vec<Vec<usize>> = g.vertices().map(|v| (0..g.degree(v) + 1).collect()).collect();
+        let mut seq_ledger = local_model::RoundLedger::new();
+        let seq = local_model::randomized_list_coloring(
+            &g, Some(&mask), &lists, seed, 1000, &mut seq_ledger,
+        );
+        for (shards, workers) in [(1usize, 1usize), (2, 2), (8, 3)] {
+            let mut ledger = RoundLedger::new();
+            let (out, _) = engine_randomized_list_coloring(
+                &g, Some(&mask), &lists, seed, 1000,
+                config(shards, workers),
+                &mut ledger,
+            );
+            prop_assert_eq!(&out.colors, &seq.colors, "shards = {}", shards);
+            prop_assert_eq!(out.rounds, seq.rounds);
+            prop_assert_eq!(out.complete, seq.complete);
+            prop_assert_eq!(ledger.total(), seq_ledger.total(), "shards = {}", shards);
+        }
+        // Dead vertices never get a color; live edges stay proper.
+        for v in 0..g.n() {
+            if !mask.contains(v) {
+                prop_assert_eq!(seq.colors[v], usize::MAX);
+            }
+        }
+    }
+
     /// H-partition peeling: layers and traffic are shard-invariant.
     #[test]
     fn h_partition_shard_invariant(n in 30usize..300, a in 2usize..4, seed in 0u64..500) {
@@ -76,7 +116,7 @@ proptest! {
         for (shards, workers) in SHARD_SWEEP {
             let mut ledger = RoundLedger::new();
             let (hp, metrics) = engine_h_partition(
-                &g, a, 1.0,
+                &g, None, a, 1.0,
                 config(shards, workers),
                 &mut ledger,
             );

@@ -4,11 +4,13 @@
 //! substrate, not a new algorithm.
 
 use engine::{
-    engine_cole_vishkin_3color, engine_h_partition, engine_randomized_list_coloring, EngineConfig,
+    engine_cole_vishkin_3color, engine_degree_plus_one_coloring, engine_h_partition,
+    engine_randomized_list_coloring, EngineConfig,
 };
-use graphs::gen;
+use graphs::{gen, VertexSet};
 use local_model::{
-    cole_vishkin_3color, h_partition, randomized_list_coloring, RootedForest, RoundLedger,
+    cole_vishkin_3color, degree_plus_one_coloring, h_partition, randomized_list_coloring,
+    RootedForest, RoundLedger,
 };
 
 fn forest_from_bfs(g: &graphs::Graph, root: usize) -> RootedForest {
@@ -60,6 +62,7 @@ fn h_partition_equivalence_matches_barenboim_elkin_phase() {
         let mut eng_ledger = RoundLedger::new();
         let (hp, metrics) = engine_h_partition(
             &g,
+            None,
             a,
             eps,
             EngineConfig::default().with_shards(4),
@@ -93,6 +96,7 @@ fn randomized_equivalence_is_bit_identical() {
         let mut eng_ledger = RoundLedger::new();
         let (out, metrics) = engine_randomized_list_coloring(
             &g,
+            None,
             &lists,
             seed,
             1000,
@@ -113,11 +117,100 @@ fn randomized_equivalence_is_bit_identical() {
 }
 
 #[test]
+fn masked_equivalence_randomized_and_h_partition() {
+    // The active-set contract: a masked engine session replays the
+    // sequential masked primitive — colors/layers AND ledger totals — at
+    // several shard counts, with dead vertices untouched.
+    let g = gen::grid(14, 14);
+    let mask = VertexSet::from_iter_with_universe(g.n(), (0..g.n()).filter(|v| v % 4 != 1));
+    let lists: Vec<Vec<usize>> = g
+        .vertices()
+        .map(|v| (0..g.degree(v) + 1).collect())
+        .collect();
+    let mut seq_ledger = RoundLedger::new();
+    let seq = randomized_list_coloring(&g, Some(&mask), &lists, 5, 1000, &mut seq_ledger);
+    assert!(seq.complete);
+    for shards in [1usize, 3, 8] {
+        let mut eng_ledger = RoundLedger::new();
+        let (out, _) = engine_randomized_list_coloring(
+            &g,
+            Some(&mask),
+            &lists,
+            5,
+            1000,
+            EngineConfig::default().with_shards(shards),
+            &mut eng_ledger,
+        );
+        assert_eq!(out.colors, seq.colors, "shards {shards}");
+        assert_eq!(eng_ledger.total(), seq_ledger.total(), "shards {shards}");
+    }
+
+    let g = gen::forest_union(400, 2, 3);
+    let mask = VertexSet::from_iter_with_universe(400, (0..400).filter(|v| v % 7 != 0));
+    let mut seq_ledger = RoundLedger::new();
+    let seq = h_partition(&g, Some(&mask), 2, 1.0, &mut seq_ledger);
+    let mut eng_ledger = RoundLedger::new();
+    let (hp, _) = engine_h_partition(
+        &g,
+        Some(&mask),
+        2,
+        1.0,
+        EngineConfig::default().with_shards(4),
+        &mut eng_ledger,
+    );
+    assert_eq!(hp.layer, seq.layer);
+    assert_eq!(hp.layers, seq.layers);
+    assert_eq!(eng_ledger.total(), seq_ledger.total());
+}
+
+#[test]
+fn degree_plus_one_equivalence_masked_and_whole() {
+    // The merge-reduce (d+1)-coloring — the per-level coloring phase of
+    // Theorem 1.3 — executed on the engine: identical colors and ledger
+    // totals, whole-graph and masked.
+    let cases: Vec<(graphs::Graph, Option<VertexSet>)> = vec![
+        (gen::grid(9, 9), None),
+        (gen::random_regular(60, 4, 11), None),
+        (gen::triangular(6, 6), {
+            let n = gen::triangular(6, 6).n();
+            Some(VertexSet::from_iter_with_universe(
+                n,
+                (0..n).filter(|v| v % 3 != 2),
+            ))
+        }),
+    ];
+    for (g, mask) in &cases {
+        let mut seq_ledger = RoundLedger::new();
+        let seq = degree_plus_one_coloring(g, mask.as_ref(), &mut seq_ledger);
+        for shards in [1usize, 4] {
+            let mut eng_ledger = RoundLedger::new();
+            let (col, metrics) = engine_degree_plus_one_coloring(
+                g,
+                mask.as_ref(),
+                EngineConfig::default().with_shards(shards),
+                &mut eng_ledger,
+            );
+            assert_eq!(col, seq, "n={} shards={shards}", g.n());
+            assert_eq!(eng_ledger.total(), seq_ledger.total());
+            assert_eq!(
+                eng_ledger.phase_total("class-sweep"),
+                seq_ledger.phase_total("class-sweep")
+            );
+            // Every class-sweep round was actually executed on the engine.
+            assert_eq!(
+                metrics.total_rounds(),
+                eng_ledger.phase_total("class-sweep")
+            );
+        }
+    }
+}
+
+#[test]
 fn facade_prelude_reaches_the_engine() {
     use fewer_colors::prelude::*;
     let g = graphs::gen::forest_union(60, 2, 1);
     let mut ledger = RoundLedger::new();
-    let (hp, metrics) = engine_h_partition(&g, 2, 1.0, EngineConfig::default(), &mut ledger);
+    let (hp, metrics) = engine_h_partition(&g, None, 2, 1.0, EngineConfig::default(), &mut ledger);
     assert!(hp.layers >= 1);
     assert_eq!(metrics.total_rounds(), ledger.total());
 }

@@ -227,6 +227,7 @@ fn fault_plans_are_worker_count_invariant_under_the_pool() {
         let mut ledger = RoundLedger::new();
         let (out, metrics) = engine_randomized_list_coloring(
             &g,
+            None,
             &lists,
             9,
             10_000,

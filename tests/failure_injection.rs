@@ -185,6 +185,7 @@ fn engine_dropped_commit_announcements_are_observable() {
     let mut clean_ledger = RoundLedger::new();
     let (clean, _) = engine_randomized_list_coloring(
         &g,
+        None,
         &lists,
         42,
         500,
@@ -201,6 +202,7 @@ fn engine_dropped_commit_announcements_are_observable() {
     let mut ledger = RoundLedger::new();
     let (faulted, metrics) = engine_randomized_list_coloring(
         &g,
+        None,
         &lists,
         42,
         500,
@@ -233,7 +235,8 @@ fn engine_delay_fault_shifts_h_partition_layers_detectably() {
     // and the engine must still converge once the delayed batch lands.
     let g = gen::apollonian(120, 3);
     let mut clean_ledger = RoundLedger::new();
-    let (clean, _) = engine_h_partition(&g, 3, 1.0, EngineConfig::default(), &mut clean_ledger);
+    let (clean, _) =
+        engine_h_partition(&g, None, 3, 1.0, EngineConfig::default(), &mut clean_ledger);
     assert!(
         clean.layers >= 2,
         "need a multi-layer instance for this test"
@@ -245,6 +248,7 @@ fn engine_delay_fault_shifts_h_partition_layers_detectably() {
     let mut ledger = RoundLedger::new();
     let (faulted, metrics) = engine_h_partition(
         &g,
+        None,
         3,
         1.0,
         EngineConfig::default().with_faults(faults),
@@ -269,8 +273,15 @@ fn engine_round_cap_degrades_diagnosably_not_silently() {
         .map(|v| (0..g.degree(v) + 1).collect())
         .collect();
     let mut ledger = RoundLedger::new();
-    let (out, metrics) =
-        engine_randomized_list_coloring(&g, &lists, 3, 1, EngineConfig::default(), &mut ledger);
+    let (out, metrics) = engine_randomized_list_coloring(
+        &g,
+        None,
+        &lists,
+        3,
+        1,
+        EngineConfig::default(),
+        &mut ledger,
+    );
     assert!(!out.complete);
     assert_eq!(out.rounds, 1);
     assert_eq!(metrics.total_rounds(), 2);
@@ -279,6 +290,93 @@ fn engine_round_cap_degrades_diagnosably_not_silently() {
             assert_ne!(out.colors[u], out.colors[v]);
         }
     }
+}
+
+#[test]
+fn engine_duplication_faults_are_replayable_and_idempotent_where_expected() {
+    // Seeded per-edge duplication: the same plan perturbs the run
+    // identically at any worker count (replayability), and the randomized
+    // coloring — whose protocol tolerates at-least-once delivery — ends in
+    // exactly the clean run's coloring (duplicate Proposal/Committed
+    // messages carry no new information).
+    let g = gen::grid(12, 12);
+    let lists: Vec<Vec<usize>> = g
+        .vertices()
+        .map(|v| (0..g.degree(v) + 1).collect())
+        .collect();
+    let mut clean_ledger = RoundLedger::new();
+    let (clean, _) = engine_randomized_list_coloring(
+        &g,
+        None,
+        &lists,
+        17,
+        500,
+        EngineConfig::default(),
+        &mut clean_ledger,
+    );
+    assert!(clean.complete);
+
+    let run = |workers: usize| {
+        let mut ledger = RoundLedger::new();
+        let (out, metrics) = engine_randomized_list_coloring(
+            &g,
+            None,
+            &lists,
+            17,
+            500,
+            EngineConfig::default()
+                .with_shards(8)
+                .with_workers(workers)
+                .with_faults(FaultPlan::new().duplicate_edges(99, 0.3)),
+            &mut ledger,
+        );
+        (
+            out.colors,
+            out.rounds,
+            metrics.message_counts(),
+            metrics.total_duplicated(),
+            ledger.total(),
+        )
+    };
+    let base = run(1);
+    assert!(base.3 > 0, "p = 0.3 must duplicate some traffic");
+    assert_eq!(
+        base.0, clean.colors,
+        "the randomized protocol is duplication-idempotent"
+    );
+    assert_eq!(base.1, clean.rounds);
+    for workers in [2usize, 4, 8] {
+        assert_eq!(run(workers), base, "workers = {workers}");
+    }
+}
+
+#[test]
+fn engine_duplication_perturbs_duplication_sensitive_protocols_detectably() {
+    // The H-partition program decrements residual degree per Peeled
+    // message, so a duplicated peel announcement over-decrements — the
+    // damage must be deterministic and observable, never silent: the run
+    // still terminates, the duplicate count is reported, and a rerun
+    // reproduces the exact same (possibly wrong) layers.
+    let g = gen::apollonian(100, 5);
+    let run = || {
+        let mut ledger = RoundLedger::new();
+        let (hp, metrics) = engine_h_partition(
+            &g,
+            None,
+            3,
+            1.0,
+            EngineConfig::default()
+                .with_shards(4)
+                .with_faults(FaultPlan::new().duplicate_edges(5, 0.5)),
+            &mut ledger,
+        );
+        (hp.layer, hp.layers, metrics.total_duplicated())
+    };
+    let a = run();
+    let b = run();
+    assert!(a.2 > 0, "duplication must have fired");
+    assert_eq!(a, b, "perturbed runs replay exactly");
+    assert!(a.0.iter().all(|&l| l != usize::MAX), "still terminates");
 }
 
 #[test]
