@@ -20,6 +20,7 @@
 //! semantics.
 
 use bench::print_table;
+use distributed_coloring::{list_color_sparse, ListAssignment, SparseColoringConfig};
 use engine::{
     engine_cole_vishkin_3color, engine_h_partition, engine_randomized_list_coloring, EngineConfig,
 };
@@ -110,7 +111,77 @@ fn scenarios() -> Vec<(&'static str, Check)> {
             "cole-vishkin / random-tree n=4000",
             Box::new(|sweep| cole_vishkin(gen::random_tree(4000, 13), sweep)),
         ),
+        (
+            "theorem13 full pipeline / apollonian n=600",
+            Box::new(|sweep| theorem13_pipeline(gen::apollonian(600, 7), 6, sweep)),
+        ),
     ]
+}
+
+/// The full-pipeline row: `list_color_sparse` with every phase on masked
+/// engine sessions must reproduce the sequential run — colors, peel
+/// statistics, and ledger totals — at every shard count of the sweep.
+/// (Worker pools are auto-sized here: the composite API exposes the shard
+/// knob, and shard-count invariance is what the theorem's ledger rides on.)
+fn theorem13_pipeline(g: graphs::Graph, d: usize, sweep: &[usize]) -> Result<String, String> {
+    let lists = ListAssignment::uniform(g.n(), d);
+    let seq = list_color_sparse(&g, &lists, d, SparseColoringConfig::default())
+        .map_err(|e| format!("sequential anchor failed: {e}"))?;
+    let seq = seq
+        .coloring()
+        .ok_or_else(|| "sequential anchor found a clique".to_string())?
+        .clone();
+    if !graphs::is_proper(&g, &seq.colors) {
+        return Err("sequential coloring is not proper".into());
+    }
+    for &shards in sweep {
+        let config = SparseColoringConfig {
+            engine_shards: Some(shards),
+            ..Default::default()
+        };
+        let eng = list_color_sparse(&g, &lists, d, config)
+            .map_err(|e| format!("shards={shards}: engine run failed: {e}"))?;
+        let eng = eng
+            .coloring()
+            .ok_or_else(|| format!("shards={shards}: engine run found a clique"))?
+            .clone();
+        if eng.colors != seq.colors {
+            return Err(format!("shards={shards} colors != sequential"));
+        }
+        if eng.ledger.total() != seq.ledger.total() {
+            return Err(format!(
+                "shards={shards} ledger {} != sequential {}",
+                eng.ledger.total(),
+                seq.ledger.total()
+            ));
+        }
+        for phase in [
+            "rich-poor",
+            "ball-gather",
+            "ruling-set",
+            "ruling-forest-claim",
+            "ruling-forest-prune",
+            "class-sweep",
+            "layered-coloring",
+        ] {
+            if eng.ledger.phase_total(phase) != seq.ledger.phase_total(phase) {
+                return Err(format!("shards={shards} phase {phase} != sequential"));
+            }
+        }
+        if eng.stats.alive_sizes != seq.stats.alive_sizes
+            || eng.stats.happy_sizes != seq.stats.happy_sizes
+            || eng.stats.poor_sizes != seq.stats.poor_sizes
+            || eng.stats.radii != seq.stats.radii
+        {
+            return Err(format!("shards={shards} peel statistics != sequential"));
+        }
+    }
+    Ok(format!(
+        "{} rounds charged over {} levels, {} engine runs identical",
+        seq.ledger.total(),
+        seq.stats.levels(),
+        sweep.len()
+    ))
 }
 
 /// Diffs engine fingerprints across the sweep against a sequential anchor.

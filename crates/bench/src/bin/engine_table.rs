@@ -23,6 +23,7 @@
 use std::time::Instant;
 
 use bench::{print_table, render_engine_bench_json, EngineBenchRecord};
+use distributed_coloring::{list_color_sparse, ListAssignment, SparseColoringConfig};
 use engine::{
     engine_cole_vishkin_3color, engine_h_partition, engine_randomized_list_coloring, EngineConfig,
 };
@@ -56,6 +57,7 @@ fn main() {
         randomized_showdown(n, reps, &mut records);
         h_partition_showdown(n, reps, &mut records);
         cole_vishkin_showdown(n, reps, &mut records);
+        theorem13_showdown(n, reps, &mut records);
     }
     print_crossover(&records);
     let json = render_engine_bench_json(&records);
@@ -268,6 +270,62 @@ fn cole_vishkin_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchRec
     }
     print_table(
         &format!("Cole–Vishkin 3-coloring, {family}, n = {}", g.n()),
+        &["run", "rounds", "messages", "wall ms", "route ms"],
+        &rows,
+    );
+}
+
+/// The whole Theorem 1.3 pipeline — classification gathers, clique
+/// detection, ruling forests, per-level coloring, layered greedy — as one
+/// composite workload: sequential simulation vs the all-phases-on-the-engine
+/// mode (`SparseColoringConfig::engine_shards`). Rounds are the full-ledger
+/// totals; per-session message counts are not surfaced through the
+/// composite API, so those columns read 0.
+fn theorem13_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchRecord>) {
+    let family = "apollonian-mad6";
+    let d = 6;
+    let g = gen::apollonian(n, 7);
+    let lists = ListAssignment::uniform(g.n(), d);
+    let mut rows = Vec::new();
+    let ((seq, seq_rounds), wall) = best_of(reps, || {
+        let outcome = list_color_sparse(&g, &lists, d, SparseColoringConfig::default())
+            .expect("sequential theorem13 runs");
+        let col = outcome.coloring().expect("planar instance colors").clone();
+        let total = col.ledger.total();
+        (col, total)
+    });
+    rows.push(row(
+        records,
+        record(family, "theorem13", g.n(), 0, seq_rounds, 0, wall, 0.0),
+    ));
+    for shards in SHARD_SWEEP {
+        let (rounds, wall) = {
+            let ((), wall) = best_of(reps, || {
+                let config = SparseColoringConfig {
+                    engine_shards: Some(shards),
+                    ..Default::default()
+                };
+                let outcome =
+                    list_color_sparse(&g, &lists, d, config).expect("engine theorem13 runs");
+                let col = outcome.coloring().expect("planar instance colors");
+                assert_eq!(
+                    col.colors, seq.colors,
+                    "engine mode must replay the sequential coloring"
+                );
+                assert_eq!(col.ledger.total(), seq_rounds);
+            });
+            (seq_rounds, wall)
+        };
+        rows.push(row(
+            records,
+            record(family, "theorem13", g.n(), shards, rounds, 0, wall, 0.0),
+        ));
+    }
+    print_table(
+        &format!(
+            "Theorem 1.3 end-to-end (all phases on the engine), {family}, n = {}",
+            g.n()
+        ),
         &["run", "rounds", "messages", "wall ms", "route ms"],
         &rows,
     );

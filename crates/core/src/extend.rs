@@ -21,6 +21,7 @@ use crate::ert::{color_component, ErtError};
 use crate::happy::Classification;
 use crate::lists::ListAssignment;
 use crate::state::ColoringState;
+use engine::layered_slots;
 use graphs::{ball, Graph, VertexId, VertexSet};
 use local_model::{degree_plus_one_coloring, ruling_forest, RoundLedger};
 use std::fmt;
@@ -77,12 +78,16 @@ fn reduced_list(
 /// Extends `coloring` (proper on `alive ∖ A`, `UNCOLORED` on `A`) to all of
 /// `alive`, possibly recoloring some sad vertices. See module docs.
 ///
-/// `engine_shards` selects the substrate for this level's `(d+1)`-coloring
-/// phase (step 3): `None` runs the sequential
-/// [`degree_plus_one_coloring`]; `Some(shards)` runs the same computation
-/// on a masked [`engine::EngineSession`] over the level's tree scope
-/// ([`engine::engine_degree_plus_one_coloring`]) — identical colors and
-/// ledger charges, executed as message passing.
+/// `engine_shards` selects the substrate for this level's communication
+/// phases: `None` runs the sequential simulations; `Some(shards)` runs the
+/// ruling-forest construction (step 1,
+/// [`engine::engine_ruling_forest`]), the `(d+1)`-coloring (step 3,
+/// [`engine::engine_degree_plus_one_coloring`]), and the layered greedy
+/// (step 4, [`engine::engine_layered_greedy`]) on masked
+/// [`engine::EngineSession`]s over the level's scopes — identical outputs
+/// and ledger charges, executed as message passing. Step 5's root-ball
+/// recoloring is node-local (each ball sits inside one root's radius-`r`
+/// neighborhood) and stays a host computation on both substrates.
 ///
 /// # Errors
 ///
@@ -110,8 +115,23 @@ pub fn extend_to_happy_set(
     let radius = classification.radius;
     let alpha = 2 * radius + 2;
 
-    // 1. Ruling forest in G[R] with respect to A.
-    let rf = ruling_forest(g, Some(&classification.rich), &happy, alpha, ledger);
+    // 1. Ruling forest in G[R] with respect to A — sequential simulation or
+    // a masked engine session running the same per-round steps.
+    let rf = match engine_shards {
+        None => ruling_forest(g, Some(&classification.rich), &happy, alpha, ledger),
+        Some(shards) => {
+            let config = engine::EngineConfig::default().with_shards(shards);
+            engine::engine_ruling_forest(
+                g,
+                Some(&classification.rich),
+                &happy,
+                alpha,
+                config,
+                ledger,
+            )
+            .0
+        }
+    };
 
     // 2. Uncolor T.
     let members = rf.members();
@@ -132,39 +152,54 @@ pub fn extend_to_happy_set(
     };
     let class_count = members.iter().map(|&v| classes[v] + 1).max().unwrap_or(1);
 
-    // 4. Layered greedy, leaves to roots, roots skipped.
-    let mut st = ColoringState::new(
-        g,
-        scope.clone(),
-        (0..n)
-            .map(|v| {
-                if scope.contains(v) {
-                    reduced_list(g, alive, lists, coloring, v)
-                } else {
-                    Vec::new()
-                }
-            })
-            .collect(),
-    );
+    // 4. Layered greedy, leaves to roots, roots skipped — one (depth,
+    // class) slot per round, on the selected substrate. Both paths walk
+    // the shared [`layered_slots`] schedule.
+    let reduced: Vec<Vec<usize>> = (0..n)
+        .map(|v| {
+            if scope.contains(v) {
+                reduced_list(g, alive, lists, coloring, v)
+            } else {
+                Vec::new()
+            }
+        })
+        .collect();
     let max_depth = rf.max_depth();
-    for depth in (1..=max_depth).rev() {
-        for class in 0..class_count {
-            for &v in &members {
-                if rf.depth[v] == depth && classes[v] == class {
-                    let c = *st
-                        .live_list(v)
-                        .first()
-                        .expect("Observation 5.1: parent uncolored ⇒ free color");
-                    st.assign(v, c);
+    let tree_colors = match engine_shards {
+        None => {
+            let mut st = ColoringState::new(g, scope.clone(), reduced);
+            for (depth, class) in layered_slots(max_depth, class_count) {
+                for &v in &members {
+                    if rf.depth[v] == depth && classes[v] == class {
+                        let c = *st
+                            .live_list(v)
+                            .first()
+                            .expect("Observation 5.1: parent uncolored ⇒ free color");
+                        st.assign(v, c);
+                    }
                 }
             }
+            ledger.charge(
+                "layered-coloring",
+                (max_depth as u64) * (class_count as u64),
+            );
+            st.into_colors()
         }
-    }
-    ledger.charge(
-        "layered-coloring",
-        (max_depth as u64) * (class_count as u64),
-    );
-    let tree_colors = st.into_colors();
+        Some(shards) => {
+            let config = engine::EngineConfig::default().with_shards(shards);
+            engine::engine_layered_greedy(
+                g,
+                &scope,
+                &reduced,
+                &rf.depth,
+                &classes,
+                class_count,
+                config,
+                ledger,
+            )
+            .0
+        }
+    };
     for &v in &members {
         if rf.depth[v] >= 1 {
             debug_assert_ne!(tree_colors[v], UNCOLORED);

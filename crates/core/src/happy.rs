@@ -59,6 +59,46 @@ fn ball_is_helpful(g: &Graph, alive: &VertexSet, d: usize, members: &[VertexId])
     !is_gallai_tree(g, Some(&set))
 }
 
+/// Splits the rich set into happy and sad by per-vertex verdicts — the
+/// single decision loop both classification substrates run. `ball_of(v)`
+/// supplies `B^r_rich(v)`; the full-component memoization lives here: when
+/// a ball covers its whole rich component (and whenever `comp_verdict` was
+/// pre-seeded), the verdict is shared by every vertex of that component.
+#[allow(clippy::too_many_arguments)]
+fn split_by_verdict(
+    g: &Graph,
+    alive: &VertexSet,
+    d: usize,
+    rich: &VertexSet,
+    comp_id: &[usize],
+    comp_size: &[usize],
+    comp_verdict: &mut [Option<bool>],
+    mut ball_of: impl FnMut(VertexId) -> Vec<VertexId>,
+) -> (VertexSet, VertexSet) {
+    let mut happy = VertexSet::new(g.n());
+    let mut sad = VertexSet::new(g.n());
+    for v in rich.iter() {
+        let cid = comp_id[v];
+        let verdict = match comp_verdict[cid] {
+            Some(verdict) => verdict,
+            None => {
+                let b = ball_of(v);
+                if b.len() == comp_size[cid] {
+                    *comp_verdict[cid].get_or_insert_with(|| ball_is_helpful(g, alive, d, &b))
+                } else {
+                    ball_is_helpful(g, alive, d, &b)
+                }
+            }
+        };
+        if verdict {
+            happy.insert(v);
+        } else {
+            sad.insert(v);
+        }
+    }
+    (happy, sad)
+}
+
 /// Classifies the residual graph `g[alive]` with threshold `d` and ball
 /// radius `radius`.
 ///
@@ -119,28 +159,69 @@ pub fn classify(
             comp_verdict[cid] = Some(ball_is_helpful(g, alive, d, &members));
         }
     }
-    let mut happy = VertexSet::new(n);
-    let mut sad = VertexSet::new(n);
-    for v in rich.iter() {
-        let cid = comp_id[v];
-        let verdict = match comp_verdict[cid] {
-            Some(verdict) => verdict,
-            None => {
-                let b = ball(g, v, radius, Some(&rich));
-                if b.len() == comp_size[cid] {
-                    *comp_verdict[cid].get_or_insert_with(|| ball_is_helpful(g, alive, d, &b))
-                } else {
-                    ball_is_helpful(g, alive, d, &b)
-                }
-            }
-        };
-        if verdict {
-            happy.insert(v);
-        } else {
-            sad.insert(v);
-        }
-    }
+    let (happy, sad) = split_by_verdict(
+        g,
+        alive,
+        d,
+        &rich,
+        &comp_id,
+        &comp_size,
+        &mut comp_verdict,
+        |v| ball(g, v, radius, Some(&rich)),
+    );
     ledger.charge("ball-gather", radius as u64);
+    Classification {
+        rich,
+        poor,
+        happy,
+        sad,
+        radius,
+    }
+}
+
+/// Classifies the residual graph `g[alive]` with the classification's
+/// communication — the rich/poor degree exchange and the radius-`radius`
+/// rich-ball flood — executed as a **masked engine session**
+/// ([`engine::engine_classification_gather`]) instead of the sequential
+/// ball computation. The happiness verdict itself (degree-≤-d−1 member or
+/// non-Gallai ball) is node-local and evaluated on the gathered balls.
+///
+/// Bit-identical to [`classify`] — same sets, same radius, same
+/// `"rich-poor"` + `"ball-gather"` charges — at any shard count; this is
+/// the classification path `list_color_sparse` takes when
+/// `engine_shards: Some(k)`.
+pub fn classify_engine(
+    g: &Graph,
+    alive: &VertexSet,
+    d: usize,
+    radius: usize,
+    shards: usize,
+    ledger: &mut RoundLedger,
+) -> Classification {
+    let config = engine::EngineConfig::default().with_shards(shards);
+    let (rich, mut balls, _) =
+        engine::engine_classification_gather(g, alive, d, radius, config, ledger);
+    let mut poor = alive.clone();
+    poor.difference_with(&rich);
+
+    // The same decision loop (and full-component memoization) the
+    // sequential path runs, fed with the engine-gathered balls.
+    let (comp_id, comp_count) = components(g, Some(&rich));
+    let mut comp_size = vec![0usize; comp_count];
+    for v in rich.iter() {
+        comp_size[comp_id[v]] += 1;
+    }
+    let mut comp_verdict: Vec<Option<bool>> = vec![None; comp_count];
+    let (happy, sad) = split_by_verdict(
+        g,
+        alive,
+        d,
+        &rich,
+        &comp_id,
+        &comp_size,
+        &mut comp_verdict,
+        |v| std::mem::take(&mut balls[v]),
+    );
     Classification {
         rich,
         poor,
@@ -266,6 +347,49 @@ mod tests {
         assert_eq!(c.sad.len(), 4);
         assert!(!c.rich.contains(4));
         assert!(!c.poor.contains(4));
+    }
+
+    #[test]
+    fn engine_classification_matches_sequential() {
+        // The engine-gathered classification must reproduce the sequential
+        // sets exactly — rich, poor, happy, sad — across masks, degrees,
+        // radii, and shard counts.
+        let cases: Vec<(Graph, usize, usize)> = vec![
+            (gen::grid(7, 7), 4, 3),
+            (gen::triangular(5, 5), 6, 2),
+            (gen::star(5), 3, 4),
+            (gen::petersen(), 3, 10),
+            (gen::complete(4), 3, 10),
+        ];
+        for (g, d, radius) in &cases {
+            for alive in [
+                VertexSet::full(g.n()),
+                VertexSet::from_iter_with_universe(g.n(), (0..g.n()).filter(|v| v % 5 != 1)),
+            ] {
+                let mut seq_ledger = RoundLedger::new();
+                let seq = classify(g, &alive, *d, *radius, &mut seq_ledger);
+                for shards in [1usize, 2, 8] {
+                    let mut eng_ledger = RoundLedger::new();
+                    let eng = classify_engine(g, &alive, *d, *radius, shards, &mut eng_ledger);
+                    let ctx = format!("n={} d={d} r={radius} shards={shards}", g.n());
+                    assert_eq!(eng.rich, seq.rich, "{ctx}: rich");
+                    assert_eq!(eng.poor, seq.poor, "{ctx}: poor");
+                    assert_eq!(eng.happy, seq.happy, "{ctx}: happy");
+                    assert_eq!(eng.sad, seq.sad, "{ctx}: sad");
+                    assert_eq!(eng_ledger.total(), seq_ledger.total(), "{ctx}: ledger");
+                    assert_eq!(
+                        eng_ledger.phase_total("ball-gather"),
+                        seq_ledger.phase_total("ball-gather"),
+                        "{ctx}"
+                    );
+                    assert_eq!(
+                        eng_ledger.phase_total("rich-poor"),
+                        seq_ledger.phase_total("rich-poor"),
+                        "{ctx}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

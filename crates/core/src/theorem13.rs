@@ -17,11 +17,45 @@
 //! error is returned.
 
 use crate::extend::{extend_to_happy_set, ExtendError, UNCOLORED};
-use crate::happy::{classify, paper_radius, Classification};
+use crate::happy::{classify, classify_engine, paper_radius, Classification};
 use crate::lists::ListAssignment;
 use graphs::{Graph, VertexId, VertexSet};
 use local_model::{detect_clique, RoundLedger};
 use std::fmt;
+
+/// Runs one classification of `g[alive]` on the substrate `engine_shards`
+/// selects: the sequential simulation, or a masked engine session (the
+/// rich/poor exchange plus the rich-ball flood as real message rounds).
+fn classify_on(
+    g: &Graph,
+    alive: &VertexSet,
+    d: usize,
+    radius: usize,
+    engine_shards: Option<usize>,
+    ledger: &mut RoundLedger,
+) -> Classification {
+    match engine_shards {
+        None => classify(g, alive, d, radius, ledger),
+        Some(shards) => classify_engine(g, alive, d, radius, shards, ledger),
+    }
+}
+
+/// Runs the §3 two-round clique detection on the selected substrate.
+fn detect_clique_on(
+    g: &Graph,
+    alive: &VertexSet,
+    d: usize,
+    engine_shards: Option<usize>,
+    ledger: &mut RoundLedger,
+) -> Option<Vec<VertexId>> {
+    match engine_shards {
+        None => detect_clique(g, Some(alive), d, ledger),
+        Some(shards) => {
+            let config = engine::EngineConfig::default().with_shards(shards);
+            engine::engine_detect_clique(g, Some(alive), d, config, ledger).0
+        }
+    }
+}
 
 /// Ball-radius policy for the happy-vertex classification.
 ///
@@ -55,11 +89,14 @@ pub struct SparseColoringConfig {
     /// Verify `mad(G) ≤ d` exactly (flow-based) before running. Off by
     /// default: the check costs `O(log n)` max-flows.
     pub verify_mad: bool,
-    /// `Some(shards)` runs each peeling level's `(d+1)`-coloring phase on a
-    /// masked [`engine::EngineSession`] over the level's residual scope
-    /// instead of the sequential simulation — bit-identical colors and
-    /// ledger charges, executed as sharded message passing (see
-    /// [`crate::extend_to_happy_set`]). `None` (default) stays sequential.
+    /// `Some(shards)` runs **every** phase of the theorem on masked
+    /// [`engine::EngineSession`]s instead of the sequential simulations:
+    /// classification (rich/poor exchange + radius-`r` rich-ball flood),
+    /// the §3 two-round clique detection, and — per extension level — the
+    /// ruling-forest construction, the `(d+1)`-coloring, and Lemma 3.2's
+    /// layered greedy (see [`crate::extend_to_happy_set`]). Bit-identical
+    /// colors, statistics, and ledger charges, executed as sharded message
+    /// passing. `None` (default) stays sequential.
     pub engine_shards: Option<usize>,
 }
 
@@ -247,12 +284,13 @@ pub fn list_color_sparse(
     while !alive.is_empty() {
         let mut radius = initial_radius(config.radius, n);
         let classification = loop {
-            let c = classify(g, &alive, d, radius, &mut ledger);
+            let c = classify_on(g, &alive, d, radius, config.engine_shards, &mut ledger);
             if !c.happy.is_empty() {
                 break c;
             }
             // Stuck: the paper's promise — find the (d+1)-clique.
-            if let Some(clique) = detect_clique(g, Some(&alive), d, &mut ledger) {
+            if let Some(clique) = detect_clique_on(g, &alive, d, config.engine_shards, &mut ledger)
+            {
                 return Ok(Outcome::CliqueFound {
                     vertices: clique,
                     ledger,
@@ -491,14 +529,27 @@ mod tests {
                     "n={} shards={shards}: ledger totals diverged",
                     g.n()
                 );
-                assert_eq!(
-                    eng.ledger.phase_total("class-sweep"),
-                    seq.ledger.phase_total("class-sweep"),
-                    "n={} shards={shards}",
-                    g.n()
-                );
+                for phase in [
+                    "rich-poor",
+                    "ball-gather",
+                    "ruling-set",
+                    "ruling-forest-claim",
+                    "ruling-forest-prune",
+                    "class-sweep",
+                    "layered-coloring",
+                    "root-ball-recolor",
+                ] {
+                    assert_eq!(
+                        eng.ledger.phase_total(phase),
+                        seq.ledger.phase_total(phase),
+                        "n={} shards={shards}: phase {phase} diverged",
+                        g.n()
+                    );
+                }
                 assert_eq!(eng.stats.alive_sizes, seq.stats.alive_sizes);
                 assert_eq!(eng.stats.happy_sizes, seq.stats.happy_sizes);
+                assert_eq!(eng.stats.poor_sizes, seq.stats.poor_sizes);
+                assert_eq!(eng.stats.radii, seq.stats.radii);
             }
         }
     }
@@ -519,6 +570,31 @@ mod tests {
                 lists.list(v).contains(&col.colors[v]),
                 "vertex {v} off-list"
             );
+        }
+    }
+
+    #[test]
+    fn engine_mode_finds_the_same_clique() {
+        // The stuck path — §3's two-round clique detection — must execute
+        // on the engine too, and agree with the sequential scan.
+        let g = gen::complete(5).disjoint_union(&gen::grid(4, 4));
+        let lists = ListAssignment::uniform(g.n(), 4);
+        let seq = match list_color_sparse(&g, &lists, 4, SparseColoringConfig::default()).unwrap() {
+            Outcome::CliqueFound { vertices, ledger } => (vertices, ledger.total()),
+            Outcome::Colored(_) => panic!("K5 cannot be 4-colored"),
+        };
+        for shards in [1usize, 2, 8] {
+            let config = SparseColoringConfig {
+                engine_shards: Some(shards),
+                ..Default::default()
+            };
+            match list_color_sparse(&g, &lists, 4, config).unwrap() {
+                Outcome::CliqueFound { vertices, ledger } => {
+                    assert_eq!(vertices, seq.0, "shards={shards}");
+                    assert_eq!(ledger.total(), seq.1, "shards={shards}");
+                }
+                Outcome::Colored(_) => panic!("K5 cannot be 4-colored"),
+            }
         }
     }
 

@@ -289,7 +289,14 @@ impl<'g, P: NodeProgram + 'static> EngineSession<'g, P> {
             let outbox = p.init(ctx);
             stage_outbox(ctx.id, outbox, ctx.neighbors, 0, &env, &mut y);
         }
-        metrics.record_init(y.messages, y.dropped, y.delayed, y.duplicated, y.max_width);
+        metrics.record_init(
+            y.messages,
+            y.dropped,
+            y.delayed,
+            y.duplicated,
+            y.lost,
+            y.max_width,
+        );
         for (due, batch) in y.delayed_batches.drain(..) {
             mail.schedule(due, batch);
         }
@@ -482,6 +489,7 @@ impl<'g, P: NodeProgram + 'static> EngineSession<'g, P> {
         let mut dropped = 0;
         let mut delayed = 0;
         let mut duplicated = 0;
+        let mut lost = 0;
         let mut max_width = 0;
         let mut active_nodes = 0;
         let mail = &mut self.mail;
@@ -490,6 +498,7 @@ impl<'g, P: NodeProgram + 'static> EngineSession<'g, P> {
             dropped += y.dropped;
             delayed += y.delayed;
             duplicated += y.duplicated;
+            lost += y.lost;
             max_width = max_width.max(y.max_width);
             active_nodes += y.active;
             for (due, batch) in y.delayed_batches.drain(..) {
@@ -517,6 +526,7 @@ impl<'g, P: NodeProgram + 'static> EngineSession<'g, P> {
             dropped,
             delayed,
             duplicated,
+            lost,
             max_width,
             active_nodes,
             wall: started.elapsed(),

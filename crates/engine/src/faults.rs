@@ -8,10 +8,12 @@
 //! delivery. Plans are plain data: the same plan on the same seed perturbs
 //! the run identically at any shard count.
 //!
-//! Duplication is keyed on `(seed, round, sender, receiver, occurrence)`
-//! only — a pure function of the traffic, never of the shard layout — so a
-//! duplicated run replays bit-identically across shard and worker counts,
-//! exactly like the outbox-level faults.
+//! Duplication and **per-edge loss** are keyed on `(seed, round, sender,
+//! receiver, occurrence)` only — pure functions of the traffic, never of
+//! the shard layout — so a perturbed run replays bit-identically across
+//! shard and worker counts, exactly like the outbox-level faults. Loss and
+//! duplication use domain-separated hashes, so installing both draws
+//! independent decisions per message.
 
 use std::collections::BTreeMap;
 
@@ -44,6 +46,22 @@ pub enum FaultAction {
 pub struct FaultPlan {
     schedule: BTreeMap<(u64, VertexId), FaultAction>,
     duplication: Option<Duplication>,
+    loss: Option<Loss>,
+}
+
+/// Domain separator mixed into the seed of per-edge *loss* decisions, so a
+/// plan installing loss and duplication under the same seed draws
+/// independent coins for each.
+const LOSS_DOMAIN: u64 = 0x6c6f_7373_2d65_6467; // "loss-edg"
+
+/// Seeded per-edge loss: each delivered message is independently discarded
+/// with the given probability, decided by hashing the message's
+/// coordinates under `seed`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Loss {
+    seed: u64,
+    /// `probability × u64::MAX`, so the decision is one integer compare.
+    threshold: u64,
 }
 
 /// Seeded per-edge duplication: each delivered message is independently
@@ -103,6 +121,31 @@ impl FaultPlan {
         self
     }
 
+    /// Loses each delivered message independently with `probability`,
+    /// seeded by `seed` — the per-edge counterpart of a drop fault, and the
+    /// symmetric twin of [`duplicate_edges`](FaultPlan::duplicate_edges).
+    /// The decision for a message is a pure function of `(seed, round,
+    /// sender, receiver, occurrence)` — replayable at any shard or worker
+    /// count. Losses apply to a delivered outbox before duplication (a lost
+    /// message is never duplicated); dropped and delayed outboxes are
+    /// already gone as a whole.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < probability <= 1.0`.
+    #[must_use]
+    pub fn lose_edges(mut self, seed: u64, probability: f64) -> Self {
+        assert!(
+            probability > 0.0 && probability <= 1.0,
+            "loss probability must be in (0, 1], got {probability}"
+        );
+        self.loss = Some(Loss {
+            seed,
+            threshold: (probability * u64::MAX as f64) as u64,
+        });
+        self
+    }
+
     /// The action for `node`'s outbox in `round`.
     pub fn action(&self, round: u64, node: VertexId) -> FaultAction {
         self.schedule
@@ -136,9 +179,37 @@ impl FaultPlan {
         h <= dup.threshold
     }
 
+    /// Whether any loss rule is installed (cheap pre-check so the staging
+    /// hot path skips the per-message hash entirely).
+    pub(crate) fn loses_messages(&self) -> bool {
+        self.loss.is_some()
+    }
+
+    /// Whether the `occurrence`-th message from `src` to `dst` in `round`
+    /// is lost.
+    pub(crate) fn loses(
+        &self,
+        round: u64,
+        src: VertexId,
+        dst: VertexId,
+        occurrence: usize,
+    ) -> bool {
+        let Some(loss) = self.loss else {
+            return false;
+        };
+        let h = mix64(
+            mix64(
+                mix64(mix64(mix64(loss.seed, LOSS_DOMAIN), round), src as u64),
+                dst as u64,
+            ),
+            occurrence as u64,
+        );
+        h <= loss.threshold
+    }
+
     /// Whether the plan injects any fault at all.
     pub fn is_empty(&self) -> bool {
-        self.schedule.is_empty() && self.duplication.is_none()
+        self.schedule.is_empty() && self.duplication.is_none() && self.loss.is_none()
     }
 
     /// Number of scheduled faults.
@@ -203,5 +274,34 @@ mod tests {
     #[should_panic(expected = "probability")]
     fn zero_probability_rejected() {
         let _ = FaultPlan::new().duplicate_edges(1, 0.0);
+    }
+
+    #[test]
+    fn loss_is_deterministic_and_independent_of_duplication() {
+        let a = FaultPlan::new().lose_edges(7, 0.5);
+        let b = FaultPlan::new().lose_edges(7, 0.5);
+        assert!(!a.is_empty());
+        let draw = |p: &FaultPlan| (0..200u64).map(|r| p.loses(r, 3, 5, 0)).collect::<Vec<_>>();
+        assert_eq!(draw(&a), draw(&b), "same seed must replay");
+        let hits = draw(&a).iter().filter(|&&l| l).count();
+        assert!(
+            (40..160).contains(&hits),
+            "p = 0.5 should hit ~half: {hits}"
+        );
+        // Domain separation: under one seed, loss and duplication coins
+        // must not be the same sequence.
+        let both = FaultPlan::new().lose_edges(7, 0.5).duplicate_edges(7, 0.5);
+        let losses: Vec<bool> = (0..200u64).map(|r| both.loses(r, 3, 5, 0)).collect();
+        let dups: Vec<bool> = (0..200u64).map(|r| both.duplicates(r, 3, 5, 0)).collect();
+        assert_ne!(
+            losses, dups,
+            "loss must be domain-separated from duplication"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn zero_loss_probability_rejected() {
+        let _ = FaultPlan::new().lose_edges(1, 0.0);
     }
 }

@@ -36,8 +36,9 @@
 //!   randomized programs replay **bit-identically regardless of shard
 //!   count**.
 //! * [`FaultPlan`] — drop or delay a node's outbox at a chosen round, or
-//!   duplicate individual messages with a seeded per-edge rule, without the
-//!   program's knowledge.
+//!   duplicate / lose individual messages with seeded per-edge rules
+//!   ([`FaultPlan::duplicate_edges`], [`FaultPlan::lose_edges`]), without
+//!   the program's knowledge.
 //! * CONGEST accounting — [`EngineConfig::congest_width`] turns the
 //!   recorded [`EngineMessage::width`]s into a strict budget: any wider
 //!   message aborts the run, so completed phases are certified
@@ -99,8 +100,9 @@ pub use faults::{FaultAction, FaultPlan};
 pub use metrics::{EngineMetrics, RoundMetrics};
 pub use program::{EngineMessage, NodeProgram, Outbox};
 pub use programs::{
-    engine_cole_vishkin_3color, engine_degree_plus_one_coloring, engine_h_partition,
-    engine_randomized_list_coloring,
+    engine_classification_gather, engine_cole_vishkin_3color, engine_degree_plus_one_coloring,
+    engine_detect_clique, engine_gather_balls, engine_h_partition, engine_layered_greedy,
+    engine_randomized_list_coloring, engine_ruling_forest, layered_slot, layered_slots,
 };
 pub use shard::ShardPlan;
 pub use view::GraphView;

@@ -28,6 +28,8 @@ pub struct RoundMetrics {
     pub delayed: usize,
     /// Extra deliveries created by seeded per-edge duplication.
     pub duplicated: usize,
+    /// Messages discarded by seeded per-edge loss.
+    pub lost: usize,
     /// Widest message emitted this round, in abstract words
     /// ([`EngineMessage::width`](crate::EngineMessage::width)).
     pub max_width: usize,
@@ -69,6 +71,8 @@ pub struct EngineMetrics {
     pub init_delayed: usize,
     /// Round-0 extra deliveries created by per-edge duplication.
     pub init_duplicated: usize,
+    /// Round-0 messages discarded by per-edge loss.
+    pub init_lost: usize,
     /// Widest round-0 message.
     pub init_max_width: usize,
 }
@@ -86,12 +90,14 @@ impl EngineMetrics {
         dropped: usize,
         delayed: usize,
         duplicated: usize,
+        lost: usize,
         max_width: usize,
     ) {
         self.init_messages = messages;
         self.init_dropped = dropped;
         self.init_delayed = delayed;
         self.init_duplicated = duplicated;
+        self.init_lost = lost;
         self.init_max_width = max_width;
     }
 
@@ -123,6 +129,11 @@ impl EngineMetrics {
     /// Total extra deliveries created by per-edge duplication, init included.
     pub fn total_duplicated(&self) -> usize {
         self.init_duplicated + self.rounds.iter().map(|r| r.duplicated).sum::<usize>()
+    }
+
+    /// Total messages discarded by seeded per-edge loss, init included.
+    pub fn total_lost(&self) -> usize {
+        self.init_lost + self.rounds.iter().map(|r| r.lost).sum::<usize>()
     }
 
     /// Widest message observed anywhere in the run.
@@ -192,6 +203,7 @@ mod tests {
             dropped: 0,
             delayed: 0,
             duplicated: 0,
+            lost: 0,
             max_width: width,
             active_nodes: 3,
             wall: Duration::from_micros(10),
@@ -210,6 +222,7 @@ mod tests {
         assert_eq!(m.message_counts(), vec![5, 7]);
         assert_eq!(m.total_dropped(), 0);
         assert_eq!(m.total_duplicated(), 0);
+        assert_eq!(m.total_lost(), 0);
         assert_eq!(m.total_route_wall(), Duration::from_micros(8));
     }
 

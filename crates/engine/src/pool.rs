@@ -113,6 +113,8 @@ pub(crate) struct ShardYield<M> {
     pub(crate) delayed: usize,
     /// Extra deliveries created by per-edge duplication.
     pub(crate) duplicated: usize,
+    /// Messages discarded by seeded per-edge loss.
+    pub(crate) lost: usize,
     /// Widest message emitted.
     pub(crate) max_width: usize,
     /// Nodes whose halt vote was still "active" when the round started.
@@ -130,6 +132,7 @@ impl<M> ShardYield<M> {
             dropped: 0,
             delayed: 0,
             duplicated: 0,
+            lost: 0,
             max_width: 0,
             active: 0,
         }
@@ -167,6 +170,7 @@ impl<M> ShardYield<M> {
         self.dropped = 0;
         self.delayed = 0;
         self.duplicated = 0;
+        self.lost = 0;
         self.max_width = 0;
         self.active = 0;
     }
@@ -237,6 +241,13 @@ pub(crate) fn stage_outbox<M: EngineMessage>(
     );
     match env.faults.action(round, src) {
         FaultAction::Deliver => {
+            // Loss first, duplication on the survivors: a lost message is
+            // never duplicated. Both decisions are pure functions of the
+            // traffic coordinates, so the combined perturbation replays at
+            // any shard layout.
+            if env.faults.loses_messages() {
+                lose_batch(src, round, env, y);
+            }
             if env.faults.duplicates_messages() {
                 duplicate_batch(src, round, env, y);
             }
@@ -255,6 +266,44 @@ pub(crate) fn stage_outbox<M: EngineMessage>(
             }
             y.delayed_batches.push((round + 1 + by, batch));
         }
+    }
+}
+
+/// Removes each seeded-lost message of the current outbox's batch from its
+/// bucket. Occurrence indices are taken over the batch as staged — per
+/// destination, in emission order — so the decision is independent of the
+/// bucket partition, exactly like duplication.
+fn lose_batch<M: EngineMessage>(
+    src: VertexId,
+    round: u64,
+    env: &StageEnv<'_>,
+    y: &mut ShardYield<M>,
+) {
+    for (b, bucket) in y.buckets.iter_mut().enumerate() {
+        let start = y.starts[b];
+        let bucket = bucket.get_mut();
+        if start == bucket.len() {
+            continue;
+        }
+        // Decide per message against its original occurrence index, then
+        // compact the survivors in place.
+        let doomed: Vec<bool> = (start..bucket.len())
+            .map(|i| {
+                let dv = bucket[i].0;
+                let occurrence = bucket[start..i].iter().filter(|r| r.0 == dv).count();
+                env.faults.loses(round, src, env.live[dv], occurrence)
+            })
+            .collect();
+        let mut kept = start;
+        for (offset, lost) in doomed.iter().enumerate() {
+            if *lost {
+                y.lost += 1;
+            } else {
+                bucket.swap(kept, start + offset);
+                kept += 1;
+            }
+        }
+        bucket.truncate(kept);
     }
 }
 
@@ -857,6 +906,42 @@ mod tests {
             y.bucket_mut(0),
             &vec![(1, 0, W(1)), (2, 0, W(1)), (1, 0, W(1)), (2, 0, W(1))]
         );
+    }
+
+    #[test]
+    fn loss_removes_in_place_and_counts() {
+        let neighbors = [1usize, 2];
+        let faults = FaultPlan::new().lose_edges(3, 1.0);
+        let (dense, live, bounds) = identity_tables(3);
+        let e = env(&faults, &dense, &live, &bounds);
+        let mut y: ShardYield<W> = ShardYield::with_groups(1);
+        stage_outbox(0, Outbox::Broadcast(W(1)), &neighbors, 1, &e, &mut y);
+        assert_eq!(y.messages, 2, "loss does not change the sent count");
+        assert_eq!(y.lost, 2, "probability 1.0 loses both");
+        assert!(y.bucket_mut(0).is_empty());
+    }
+
+    #[test]
+    fn partial_loss_keeps_survivors_in_emission_order() {
+        // Find a (seed, round) where exactly one of the two messages is
+        // lost, and check the survivor stays, in place.
+        let neighbors = [1usize, 2, 3];
+        let (dense, live, bounds) = identity_tables(4);
+        let mut found = false;
+        for seed in 0..64u64 {
+            let faults = FaultPlan::new().lose_edges(seed, 0.5);
+            let e = env(&faults, &dense, &live, &bounds);
+            let mut y: ShardYield<W> = ShardYield::with_groups(1);
+            stage_outbox(0, Outbox::Broadcast(W(1)), &neighbors, 1, &e, &mut y);
+            if y.lost == 1 {
+                let kept: Vec<usize> = y.bucket_mut(0).iter().map(|r| r.0).collect();
+                assert_eq!(kept.len(), 2);
+                assert!(kept.windows(2).all(|w| w[0] < w[1]), "order preserved");
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "some seed loses exactly one of three messages");
     }
 
     #[test]

@@ -13,13 +13,36 @@
 //! * [`engine_degree_plus_one_coloring`] ↔
 //!   [`local_model::degree_plus_one_coloring`] (mask-aware; the per-level
 //!   coloring Theorem 1.3's peel loop runs on the engine)
+//! * [`engine_gather_balls`] ↔ [`local_model::gather_balls`], plus the
+//!   rich/poor + ball-flood session behind Theorem 1.3's classification
+//!   ([`engine_classification_gather`])
+//! * [`engine_detect_clique`] ↔ [`local_model::detect_clique`] (§3's
+//!   two-round handshake as two engine rounds)
+//! * [`engine_ruling_forest`] ↔ [`local_model::ruling_forest`]
+//! * [`engine_layered_greedy`] ↔ the sequential layered greedy of
+//!   Lemma 3.2 (`distributed_coloring::extend`), sharing its slot schedule
+//!   via [`layered_slots`]
+//!
+//! Together the last four retire the last sequential phases inside an
+//! engine-mode Theorem 1.3 run: with `engine_shards` set, classification,
+//! clique detection, ruling forests, per-level coloring, and the layered
+//! greedy all execute as masked engine sessions.
 
 pub mod cole_vishkin;
+pub mod gather;
 pub mod h_partition;
+pub mod layered;
 pub mod randomized;
+pub mod ruling;
 pub mod sweep;
 
 pub use cole_vishkin::{engine_cole_vishkin_3color, CvProgram};
+pub use gather::{
+    engine_classification_gather, engine_detect_clique, engine_gather_balls, CliqueProgram,
+    GatherProgram,
+};
 pub use h_partition::{engine_h_partition, HPartitionProgram};
+pub use layered::{engine_layered_greedy, layered_slot, layered_slots, LayeredGreedyProgram};
 pub use randomized::{engine_randomized_list_coloring, RandomizedProgram};
+pub use ruling::{engine_ruling_forest, RulingProgram};
 pub use sweep::{engine_coloring_by_forest_merge, engine_degree_plus_one_coloring, SweepProgram};

@@ -1,0 +1,424 @@
+//! The (α, β)-ruling forest construction as a message-passing node program
+//! — the scaffolding phase of the paper's Lemma 3.2, executed.
+//!
+//! [`RulingProgram`] runs three stages back to back in one masked session,
+//! deriving its schedule purely from the round number (no host seams):
+//!
+//! 1. **Ruling levels** (rounds `1 ..= α·bits`, charged `"ruling-set"`):
+//!    bit level `b` spans α rounds. In its first round every surviving
+//!    ruler whose bit `b` is 0 injects a token tagged with its identifier
+//!    prefix `id >> (b+1)`; tokens flood `g[mask]` one hop per round for
+//!    α − 1 hops ([`local_model::merge_fresh`] — the same step the
+//!    sequential [`local_model::ruling_set`] simulates); a ruler whose bit
+//!    `b` is 1 drops out on receiving a token of its own prefix. In the
+//!    **final** level round the surviving rulers become roots and
+//!    broadcast their first claim, so the claiming BFS below reaches
+//!    distance β in β rounds — exactly the sequential claim depth.
+//! 2. **Claiming** (β rounds, charged `"ruling-forest-claim"`): an
+//!    unclaimed vertex adopts the smallest `(root, sender)` claim it hears
+//!    ([`local_model::claim_choice`], the shared tie-break) and forwards
+//!    its own claim the same round.
+//! 3. **Pruning** (β rounds, charged `"ruling-forest-prune"`): subset
+//!    vertices and roots mark themselves kept; `Keep` climbs each parent
+//!    chain one hop per round, marking exactly the root-to-subset chains —
+//!    the set the sequential prune walks centrally.
+//!
+//! [`engine_ruling_forest`] is the adapter with the sequential signature:
+//! same [`RulingForest`], same ledger charges, at any shard count.
+
+use graphs::{Graph, VertexId, VertexSet};
+use local_model::{claim_choice, merge_fresh, ruling_beta, ruling_bits, RoundLedger, RulingForest};
+
+use crate::context::NodeCtx;
+use crate::driver::{EngineConfig, EngineSession, Stop};
+use crate::metrics::EngineMetrics;
+use crate::program::{EngineMessage, NodeProgram, Outbox};
+
+/// Ruling-construction traffic.
+#[derive(Clone, Debug)]
+pub enum RulingMsg {
+    /// Fresh prefix tokens of one bit level (tagged so a stray token can
+    /// never leak into the wrong level).
+    Tokens {
+        /// The bit level these tokens belong to.
+        bit: usize,
+        /// The fresh prefixes (sorted).
+        prefixes: Vec<usize>,
+    },
+    /// "I belong to this root's tree" — the claiming BFS frontier.
+    Claim {
+        /// The claimed root.
+        root: VertexId,
+    },
+    /// "You are on a kept chain" — the pruning walk, sent parent-ward.
+    Keep,
+}
+
+impl EngineMessage for RulingMsg {
+    fn width(&self) -> usize {
+        match self {
+            RulingMsg::Tokens { prefixes, .. } => prefixes.len().max(1),
+            RulingMsg::Claim { .. } | RulingMsg::Keep => 1,
+        }
+    }
+}
+
+/// Per-node state of the ruling-forest construction.
+#[derive(Clone, Debug)]
+pub struct RulingProgram {
+    alpha: usize,
+    bits: usize,
+    beta: usize,
+    in_subset: bool,
+    /// Still a ruler candidate (subset vertices start true; bit levels may
+    /// drop them).
+    ruler: bool,
+    /// Prefix tokens seen at the current bit level (sorted; cleared when a
+    /// new level starts).
+    seen: Vec<usize>,
+    root_of: usize,
+    parent: usize,
+    dist: usize,
+    keep: bool,
+}
+
+impl RulingProgram {
+    fn new(alpha: usize, bits: usize, beta: usize, in_subset: bool) -> Self {
+        RulingProgram {
+            alpha,
+            bits,
+            beta,
+            in_subset,
+            ruler: in_subset,
+            seen: Vec::new(),
+            root_of: usize::MAX,
+            parent: usize::MAX,
+            dist: usize::MAX,
+            keep: false,
+        }
+    }
+
+    /// Whether this node survived as a ruling-set member (a tree root).
+    pub fn is_root(&self) -> bool {
+        self.ruler
+    }
+
+    /// `(parent, root, depth)` if this node is on a kept chain.
+    pub fn tree_entry(&self) -> Option<(VertexId, VertexId, usize)> {
+        self.keep.then_some((self.parent, self.root_of, self.dist))
+    }
+
+    fn on_rule_round(
+        &mut self,
+        ctx: &NodeCtx<'_>,
+        inbox: &[(VertexId, RulingMsg)],
+        b: usize,
+        k: usize,
+    ) -> Outbox<RulingMsg> {
+        if k == 1 {
+            self.seen.clear();
+        }
+        let incoming: Vec<&[usize]> = inbox
+            .iter()
+            .filter_map(|(_, m)| match m {
+                RulingMsg::Tokens { bit, prefixes } if *bit == b => Some(prefixes.as_slice()),
+                _ => None,
+            })
+            .collect();
+        let mut fresh = merge_fresh(&mut self.seen, &incoming);
+        let prefix = ctx.id >> (b + 1);
+        if self.ruler && (ctx.id >> b) & 1 == 1 && self.seen.binary_search(&prefix).is_ok() {
+            // A kept ruler of this node's own group is within distance
+            // < α: drop out.
+            self.ruler = false;
+        }
+        if k == 1 && self.ruler && (ctx.id >> b) & 1 == 0 {
+            // Source injection: announce the group prefix (only useful when
+            // a propagation round exists to deliver it).
+            merge_fresh(&mut self.seen, &[&[prefix]]);
+            fresh = vec![prefix];
+        }
+        let last_level_round = b + 1 == self.bits && k == self.alpha;
+        if last_level_round {
+            // The ruling set is final: survivors crown themselves roots and
+            // seed the claiming BFS so round 1 of the claim phase already
+            // claims distance-1 vertices (the sequential BFS depth).
+            if self.ruler {
+                self.root_of = ctx.id;
+                self.parent = ctx.id;
+                self.dist = 0;
+                return Outbox::Broadcast(RulingMsg::Claim { root: ctx.id });
+            }
+            return Outbox::Silent;
+        }
+        if k < self.alpha && !fresh.is_empty() {
+            // A token arriving in level round k has traveled k − 1 hops;
+            // forwarding keeps it within the α − 1 budget.
+            return Outbox::Broadcast(RulingMsg::Tokens {
+                bit: b,
+                prefixes: fresh,
+            });
+        }
+        Outbox::Silent
+    }
+
+    fn on_claim_round(&mut self, inbox: &[(VertexId, RulingMsg)], k: usize) -> Outbox<RulingMsg> {
+        if self.root_of != usize::MAX {
+            return Outbox::Silent;
+        }
+        let claims: Vec<(VertexId, VertexId)> = inbox
+            .iter()
+            .filter_map(|&(src, ref m)| match m {
+                RulingMsg::Claim { root } => Some((*root, src)),
+                _ => None,
+            })
+            .collect();
+        if let Some((root, parent)) = claim_choice(&claims) {
+            self.root_of = root;
+            self.parent = parent;
+            self.dist = k;
+            if k < self.beta {
+                // Claims forwarded in the final round could never be
+                // processed — the sequential BFS stops at distance β too.
+                return Outbox::Broadcast(RulingMsg::Claim { root });
+            }
+        }
+        Outbox::Silent
+    }
+
+    fn on_prune_round(
+        &mut self,
+        ctx: &NodeCtx<'_>,
+        inbox: &[(VertexId, RulingMsg)],
+        k: usize,
+    ) -> Outbox<RulingMsg> {
+        let heard_keep = inbox.iter().any(|(_, m)| matches!(m, RulingMsg::Keep));
+        if k == 1 {
+            // Roots and claimed subset vertices are kept unconditionally;
+            // each subset vertex starts its chain's climb.
+            if self.ruler {
+                self.keep = true;
+            }
+            if self.in_subset && self.root_of != usize::MAX {
+                self.keep = true;
+                if self.parent != ctx.id {
+                    return Outbox::Unicast(self.parent, RulingMsg::Keep);
+                }
+            }
+            return Outbox::Silent;
+        }
+        if heard_keep && !self.keep {
+            self.keep = true;
+            if self.parent != ctx.id && self.parent != usize::MAX {
+                return Outbox::Unicast(self.parent, RulingMsg::Keep);
+            }
+        }
+        Outbox::Silent
+    }
+}
+
+impl NodeProgram for RulingProgram {
+    type Message = RulingMsg;
+
+    fn init(&mut self, _ctx: &mut NodeCtx<'_>) -> Outbox<RulingMsg> {
+        Outbox::Silent
+    }
+
+    fn on_round(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        inbox: &[(VertexId, RulingMsg)],
+    ) -> Outbox<RulingMsg> {
+        let r = ctx.round as usize;
+        let rule_rounds = self.alpha * self.bits;
+        if r <= rule_rounds {
+            let b = (r - 1) / self.alpha;
+            let k = (r - 1) % self.alpha + 1;
+            self.on_rule_round(ctx, inbox, b, k)
+        } else if r <= rule_rounds + self.beta {
+            self.on_claim_round(inbox, r - rule_rounds)
+        } else if r <= rule_rounds + 2 * self.beta {
+            self.on_prune_round(ctx, inbox, r - rule_rounds - self.beta)
+        } else {
+            Outbox::Silent
+        }
+    }
+
+    fn halted(&self) -> bool {
+        self.keep
+    }
+}
+
+/// Engine twin of [`local_model::ruling_forest`]: the full construction
+/// executed as message passing over `g[mask]` — identical
+/// [`RulingForest`] (roots, parents, depths, membership) and identical
+/// ledger charges (`"ruling-set"`, `"ruling-forest-claim"`,
+/// `"ruling-forest-prune"`) at any shard count.
+///
+/// # Panics
+///
+/// Panics if `alpha == 0` or some `subset` vertex is outside the mask,
+/// like the sequential twin.
+pub fn engine_ruling_forest(
+    g: &Graph,
+    mask: Option<&VertexSet>,
+    subset: &[VertexId],
+    alpha: usize,
+    mut config: EngineConfig,
+    ledger: &mut RoundLedger,
+) -> (RulingForest, EngineMetrics) {
+    assert!(alpha >= 1, "alpha must be at least 1");
+    let n = g.n();
+    for &u in subset {
+        assert!(
+            mask.is_none_or(|m| m.contains(u)),
+            "subset vertex {u} outside mask"
+        );
+    }
+    let bits = ruling_bits(n);
+    let beta = ruling_beta(n, alpha);
+    let subset_set = VertexSet::from_iter_with_universe(n, subset.iter().copied());
+    config.mask = mask.cloned();
+    let faults_free = config.faults.is_empty();
+    let mut sess = EngineSession::new(g, config, |ctx| {
+        RulingProgram::new(alpha, bits, beta, subset_set.contains(ctx.id))
+    });
+    let mut executed = 0;
+    for _ in 0..bits {
+        executed += sess
+            .run_phase("ruling-set", Stop::Rounds(alpha as u64))
+            .rounds;
+    }
+    executed += sess
+        .run_phase("ruling-forest-claim", Stop::Rounds(beta as u64))
+        .rounds;
+    executed += sess
+        .run_phase("ruling-forest-prune", Stop::Rounds(beta as u64))
+        .rounds;
+    assert_eq!(
+        executed,
+        (alpha * bits + 2 * beta) as u64,
+        "max_rounds interrupted the ruling construction"
+    );
+
+    let mut roots = Vec::new();
+    let mut parent = vec![usize::MAX; n];
+    let mut root_of = vec![usize::MAX; n];
+    let mut depth = vec![usize::MAX; n];
+    sess.for_each_program(|v, p| {
+        if p.is_root() {
+            roots.push(v);
+        }
+        if let Some((pa, root, d)) = p.tree_entry() {
+            parent[v] = pa;
+            root_of[v] = root;
+            depth[v] = d;
+        }
+    });
+    if faults_free {
+        for &u in subset {
+            debug_assert_ne!(
+                root_of[u],
+                usize::MAX,
+                "ruling-set domination must reach {u} within beta"
+            );
+        }
+    }
+    let (_, metrics, run_ledger) = sess.into_parts();
+    ledger.absorb(run_ledger);
+    (
+        RulingForest {
+            roots,
+            parent,
+            root_of,
+            depth,
+            alpha,
+        },
+        metrics,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphs::gen;
+    use local_model::ruling_forest;
+
+    fn assert_forests_match(
+        g: &Graph,
+        mask: Option<&VertexSet>,
+        subset: &[VertexId],
+        alpha: usize,
+        label: &str,
+    ) {
+        let mut seq_ledger = RoundLedger::new();
+        let seq = ruling_forest(g, mask, subset, alpha, &mut seq_ledger);
+        for shards in [1usize, 2, 8] {
+            let mut eng_ledger = RoundLedger::new();
+            let (rf, _) = engine_ruling_forest(
+                g,
+                mask,
+                subset,
+                alpha,
+                EngineConfig::default().with_shards(shards),
+                &mut eng_ledger,
+            );
+            assert_eq!(rf.roots, seq.roots, "{label} shards={shards}: roots");
+            assert_eq!(rf.parent, seq.parent, "{label} shards={shards}: parents");
+            assert_eq!(rf.root_of, seq.root_of, "{label} shards={shards}: root_of");
+            assert_eq!(rf.depth, seq.depth, "{label} shards={shards}: depth");
+            assert_eq!(
+                eng_ledger.total(),
+                seq_ledger.total(),
+                "{label} shards={shards}: ledger totals"
+            );
+            for phase in ["ruling-set", "ruling-forest-claim", "ruling-forest-prune"] {
+                assert_eq!(
+                    eng_ledger.phase_total(phase),
+                    seq_ledger.phase_total(phase),
+                    "{label} shards={shards}: {phase}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_sequential_on_paths_grids_trees() {
+        let every_path: Vec<usize> = (0..64).collect();
+        assert_forests_match(&gen::path(64), None, &every_path, 4, "path");
+        let g = gen::grid(9, 9);
+        let subset: Vec<usize> = (0..g.n()).step_by(3).collect();
+        assert_forests_match(&g, None, &subset, 5, "grid");
+        let t = gen::random_tree(80, 11);
+        let subset: Vec<usize> = (0..80).step_by(2).collect();
+        assert_forests_match(&t, None, &subset, 6, "tree");
+    }
+
+    #[test]
+    fn matches_sequential_under_masks() {
+        let g = gen::path(30);
+        let mut mask = VertexSet::full(30);
+        mask.remove(15);
+        let subset: Vec<usize> = (0..30).filter(|&v| v != 15).collect();
+        assert_forests_match(&g, Some(&mask), &subset, 4, "split path");
+
+        let g = gen::triangular(5, 5);
+        let mask = VertexSet::from_iter_with_universe(g.n(), (0..g.n()).filter(|v| v % 4 != 2));
+        let subset: Vec<usize> = mask.iter().step_by(2).collect();
+        assert_forests_match(&g, Some(&mask), &subset, 3, "masked triangular");
+    }
+
+    #[test]
+    fn singleton_and_empty_subsets() {
+        let g = gen::cycle(10);
+        assert_forests_match(&g, None, &[7], 3, "singleton");
+        assert_forests_match(&g, None, &[], 3, "empty");
+    }
+
+    #[test]
+    fn alpha_one_keeps_every_subset_vertex_a_root() {
+        let g = gen::grid(4, 4);
+        let subset: Vec<usize> = (0..g.n()).collect();
+        assert_forests_match(&g, None, &subset, 1, "alpha=1");
+    }
+}

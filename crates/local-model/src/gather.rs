@@ -1,17 +1,66 @@
-//! Radius-`r` ball gathering with faithful round charging.
+//! Radius-`r` ball gathering and the paper's two-round clique detection,
+//! expressed as **pure per-round step functions**.
 //!
 //! In the LOCAL model, "every vertex learns its radius-`r` ball" is exactly
-//! `r` rounds of neighborhood flooding (all vertices in parallel). We
-//! compute the balls centrally — identical output, no message
-//! materialization — and charge `r` rounds once per parallel gather, which
-//! is the honest LOCAL cost (see DESIGN.md, substitutions).
+//! `r` rounds of neighborhood flooding (all vertices in parallel), and §3's
+//! `(d+1)`-clique detection is a two-round handshake (exchange adjacency
+//! lists, then decide locally). Both are factored here into the per-round
+//! node logic — [`merge_fresh`] for one flooding step, [`clique_at_apex`]
+//! for the apex-local clique decision — and the sequential entry points
+//! ([`gather_balls`], [`detect_clique`]) *simulate* those steps round by
+//! round. The engine ports (`engine::programs::gather`) run the very same
+//! functions inside `NodeProgram`s, so the two substrates cannot drift:
+//! equal inputs produce bit-identical balls and cliques by construction.
 
 use crate::ledger::RoundLedger;
 use graphs::{Graph, VertexId, VertexSet};
 
+/// One flooding round for one node: merge the batches announced by its
+/// neighbors last round into `known` (kept sorted), returning the fresh
+/// elements — sorted, deduplicated — that the node announces next round.
+///
+/// This is the shared step of every set-flooding protocol in the stack
+/// (radius-`r` ball gathers, the ruling construction's prefix tokens):
+/// iterating it `r` times from `known = {v}` yields exactly `B^r(v)`.
+pub fn merge_fresh<T: Ord + Copy>(known: &mut Vec<T>, incoming: &[&[T]]) -> Vec<T> {
+    let mut fresh: Vec<T> = incoming
+        .iter()
+        .flat_map(|batch| batch.iter().copied())
+        .filter(|x| known.binary_search(x).is_err())
+        .collect();
+    fresh.sort_unstable();
+    fresh.dedup();
+    if !fresh.is_empty() {
+        // Backward two-pointer merge of the two sorted, disjoint runs —
+        // linear, in place, no re-sort (this step runs once per vertex per
+        // flood round, so it is the whole protocol's hot path).
+        let old_len = known.len();
+        known.extend(fresh.iter().copied());
+        let mut a = old_len;
+        let mut b = fresh.len();
+        for w in (0..known.len()).rev() {
+            if b == 0 {
+                break;
+            }
+            if a > 0 && known[a - 1] > fresh[b - 1] {
+                known[w] = known[a - 1];
+                a -= 1;
+            } else {
+                known[w] = fresh[b - 1];
+                b -= 1;
+            }
+        }
+    }
+    fresh
+}
+
 /// Gathers `B^r_mask(v)` for every vertex in `centers`, charging `r` LOCAL
 /// rounds (one parallel flood). Balls follow the paper's convention: the
 /// ball of a vertex outside the mask is empty.
+///
+/// Executed as a round-by-round simulation of the flooding protocol — the
+/// same [`merge_fresh`] step the engine's `GatherProgram` runs — so the
+/// engine port reproduces these balls bit for bit.
 pub fn gather_balls(
     g: &Graph,
     mask: Option<&VertexSet>,
@@ -20,10 +69,75 @@ pub fn gather_balls(
     ledger: &mut RoundLedger,
 ) -> Vec<Vec<VertexId>> {
     ledger.charge("ball-gather", radius as u64);
+    let n = g.n();
+    let in_mask = |v: VertexId| mask.is_none_or(|m| m.contains(v));
+    // Round 0 (free wake-up): every live vertex knows — and announces —
+    // itself.
+    let mut known: Vec<Vec<VertexId>> = (0..n)
+        .map(|v| if in_mask(v) { vec![v] } else { Vec::new() })
+        .collect();
+    let mut announce = known.clone();
+    for _ in 0..radius {
+        let mut next: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+        for v in (0..n).filter(|&v| in_mask(v)) {
+            let incoming: Vec<&[VertexId]> = g
+                .neighbors(v)
+                .iter()
+                .filter(|&&w| in_mask(w))
+                .map(|&w| announce[w].as_slice())
+                .collect();
+            next[v] = merge_fresh(&mut known[v], &incoming);
+        }
+        announce = next;
+    }
     centers
         .iter()
-        .map(|&c| graphs::ball(g, c, radius, mask))
+        .map(|&c| {
+            if in_mask(c) {
+                known[c].clone()
+            } else {
+                Vec::new()
+            }
+        })
         .collect()
+}
+
+/// The apex-local half of the two-round clique detection: decides whether
+/// `apex` together with `d` of its (live) neighbors forms a `(d+1)`-clique,
+/// using only knowledge a node holds after the adjacency-list exchange —
+/// each neighbor's live degree and the edges among its own neighbors.
+///
+/// `nbrs` is the apex's live neighborhood (sorted); `live_degree(w)` is the
+/// live degree of neighbor `w`; `has_edge(u, w)` answers adjacency for
+/// `u, w ∈ nbrs`. Returns the clique sorted, apex included.
+///
+/// Shared by the sequential [`detect_clique`] scan and the engine's
+/// `CliqueProgram`, so both substrates find the same clique at every apex.
+pub fn clique_at_apex(
+    apex: VertexId,
+    nbrs: &[VertexId],
+    d: usize,
+    live_degree: impl Fn(VertexId) -> usize,
+    has_edge: impl Fn(VertexId, VertexId) -> bool,
+) -> Option<Vec<VertexId>> {
+    if nbrs.len() < d {
+        return None;
+    }
+    // The apex plus d of its neighbors must be mutually adjacent; candidates
+    // need degree ≥ d themselves.
+    let candidates: Vec<VertexId> = nbrs
+        .iter()
+        .copied()
+        .filter(|&w| live_degree(w) >= d)
+        .collect();
+    if candidates.len() < d {
+        return None;
+    }
+    grow_clique(&has_edge, &candidates, d).map(|mut clique| {
+        clique.push(apex);
+        clique.sort_unstable();
+        clique
+    })
 }
 
 /// Charges the two rounds the paper's §3 allots for local `(d+1)`-clique
@@ -32,7 +146,9 @@ pub fn gather_balls(
 ///
 /// Only vertices of degree exactly `d` can be in a `(d+1)`-clique of a
 /// graph where we treat degree-≤-d vertices; the check is
-/// `O(Σ d³)` worst case but early-exits aggressively.
+/// `O(Σ d³)` worst case but early-exits aggressively. The per-apex decision
+/// is [`clique_at_apex`] — the same function the engine's two-round port
+/// evaluates on exchanged adjacency lists.
 pub fn detect_clique(
     g: &Graph,
     mask: Option<&VertexSet>,
@@ -48,23 +164,15 @@ pub fn detect_clique(
             .copied()
             .filter(|&w| in_mask(w))
             .collect();
-        if nbrs.len() < d {
-            continue;
-        }
-        // v plus d of its neighbors must be mutually adjacent. Candidates
-        // need degree ≥ d themselves.
-        let candidates: Vec<VertexId> = nbrs
-            .iter()
-            .copied()
-            .filter(|&w| g.neighbors(w).iter().filter(|&&x| in_mask(x)).count() >= d)
-            .collect();
-        if candidates.len() < d {
-            continue;
-        }
-        if let Some(mut clique) = grow_clique(g, &candidates, d) {
-            clique.push(v);
-            clique.sort_unstable();
-            return Some(clique);
+        let clique = clique_at_apex(
+            v,
+            &nbrs,
+            d,
+            |w| g.neighbors(w).iter().filter(|&&x| in_mask(x)).count(),
+            |u, w| g.has_edge(u, w),
+        );
+        if clique.is_some() {
+            return clique;
         }
     }
     None
@@ -72,9 +180,13 @@ pub fn detect_clique(
 
 /// Finds `size` mutually adjacent vertices among `candidates`
 /// (backtracking; candidates all adjacent to the apex already).
-fn grow_clique(g: &Graph, candidates: &[VertexId], size: usize) -> Option<Vec<VertexId>> {
+fn grow_clique(
+    has_edge: &impl Fn(VertexId, VertexId) -> bool,
+    candidates: &[VertexId],
+    size: usize,
+) -> Option<Vec<VertexId>> {
     fn rec(
-        g: &Graph,
+        has_edge: &impl Fn(VertexId, VertexId) -> bool,
         candidates: &[VertexId],
         start: usize,
         current: &mut Vec<VertexId>,
@@ -88,9 +200,9 @@ fn grow_clique(g: &Graph, candidates: &[VertexId], size: usize) -> Option<Vec<Ve
         }
         for i in start..candidates.len() {
             let w = candidates[i];
-            if current.iter().all(|&u| g.has_edge(u, w)) {
+            if current.iter().all(|&u| has_edge(u, w)) {
                 current.push(w);
-                if rec(g, candidates, i + 1, current, size) {
+                if rec(has_edge, candidates, i + 1, current, size) {
                     return true;
                 }
                 current.pop();
@@ -99,7 +211,7 @@ fn grow_clique(g: &Graph, candidates: &[VertexId], size: usize) -> Option<Vec<Ve
         false
     }
     let mut cur = Vec::new();
-    rec(g, candidates, 0, &mut cur, size).then_some(cur)
+    rec(has_edge, candidates, 0, &mut cur, size).then_some(cur)
 }
 
 #[cfg(test)]
@@ -115,6 +227,38 @@ mod tests {
         assert_eq!(ledger.phase_total("ball-gather"), 2);
         assert!(balls[0].contains(&12));
         assert!(balls[0].len() > 5);
+    }
+
+    #[test]
+    fn flooded_balls_match_bfs_balls() {
+        // The round-by-round simulation must reproduce the direct BFS ball
+        // at every radius, masked or not.
+        let g = gen::triangular(5, 5);
+        let mask = VertexSet::from_iter_with_universe(g.n(), (0..g.n()).filter(|v| v % 4 != 1));
+        let centers: Vec<VertexId> = (0..g.n()).collect();
+        for mask in [None, Some(&mask)] {
+            for radius in 0..4 {
+                let mut ledger = RoundLedger::new();
+                let balls = gather_balls(&g, mask, &centers, radius, &mut ledger);
+                for &c in &centers {
+                    assert_eq!(
+                        balls[c],
+                        graphs::ball(&g, c, radius, mask),
+                        "center {c} radius {radius}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_fresh_keeps_known_sorted_and_returns_only_new() {
+        let mut known = vec![2usize, 5, 9];
+        let fresh = merge_fresh(&mut known, &[&[1, 5, 7], &[7, 9, 11]]);
+        assert_eq!(fresh, vec![1, 7, 11]);
+        assert_eq!(known, vec![1, 2, 5, 7, 9, 11]);
+        let none = merge_fresh(&mut known, &[&[2, 11]]);
+        assert!(none.is_empty());
     }
 
     #[test]

@@ -46,9 +46,9 @@ pub mod ruling;
 pub use barenboim_elkin::{barenboim_elkin_coloring, h_partition, HPartition};
 pub use cole_vishkin::{cole_vishkin_3color, RootedForest};
 pub use forests::Orientation;
-pub use gather::{detect_clique, gather_balls};
+pub use gather::{clique_at_apex, detect_clique, gather_balls, merge_fresh};
 pub use goldberg_plotkin_shannon::{bounded_peeling_coloring, degree_peeling, gps_seven_coloring};
 pub use ledger::RoundLedger;
 pub use randomized::{per_vertex_rng, randomized_list_coloring, RandomizedColoring};
 pub use reduce::{coloring_by_forest_merge, degree_plus_one_coloring};
-pub use ruling::{ruling_forest, ruling_set, RulingForest};
+pub use ruling::{claim_choice, ruling_beta, ruling_bits, ruling_forest, ruling_set, RulingForest};

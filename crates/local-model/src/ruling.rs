@@ -4,15 +4,47 @@
 //! A *(α, β)-ruling forest* with respect to `U` is a family of disjoint
 //! rooted trees covering `U`, whose roots are pairwise at distance ≥ α and
 //! whose depth is ≤ β. The deterministic construction splits by identifier
-//! bits: rulers of the two halves are computed in parallel, then second-half
-//! rulers too close (< α) to first-half rulers are dropped. Each of the
-//! `⌈log₂ n⌉` levels costs α rounds of distance checking, giving a
-//! `(α, α·⌈log₂ n⌉)`-ruling set in `O(α log n)` rounds, exactly as the
-//! paper uses it.
+//! bits, processed **bottom-up**: at level `b`, every group of surviving
+//! rulers sharing the identifier prefix above bit `b` merges — rulers whose
+//! bit `b` is 0 flood a prefix-tagged token to distance α−1, and rulers
+//! whose bit `b` is 1 drop out when a token of their own group reaches
+//! them. Each of the `⌈log₂ n⌉` levels costs α rounds of token flooding,
+//! giving a `(α, α·⌈log₂ n⌉)`-ruling set in `O(α log n)` rounds, exactly as
+//! the paper uses it.
+//!
+//! Everything here is phrased as **per-round steps** — token floods via
+//! [`crate::gather::merge_fresh`], the claiming BFS via [`claim_choice`] —
+//! simulated round by round. The engine port
+//! (`engine::programs::ruling::RulingProgram`) executes the same steps as a
+//! `NodeProgram`, so sequential and message-passing runs produce
+//! bit-identical rulers, forests, and round charges by construction.
 
+use crate::gather::merge_fresh;
 use crate::ledger::RoundLedger;
 use graphs::{Graph, VertexId, VertexSet};
-use std::collections::VecDeque;
+
+/// Number of identifier-bit levels both substrates process (and charge):
+/// `⌈log₂ n⌉` with a floor of 1.
+pub fn ruling_bits(n: usize) -> usize {
+    let lead = usize::BITS - n.next_power_of_two().trailing_zeros().max(1);
+    (usize::BITS - lead) as usize
+}
+
+/// The forest depth bound `β = α · ⌈log₂ n⌉` (floored at one level) used by
+/// the claiming and pruning phases — the round budget both substrates
+/// spend, and charge, for each of them. Defined via [`ruling_bits`] so the
+/// level count and the depth bound can never drift apart.
+pub fn ruling_beta(n: usize, alpha: usize) -> usize {
+    alpha * ruling_bits(n)
+}
+
+/// The deterministic claim choice of one vertex in one BFS round: among the
+/// `(root, claiming neighbor)` pairs heard this round, the smallest pair
+/// wins. Shared by the sequential claiming simulation and the engine's
+/// `RulingProgram`, so ties break identically on both substrates.
+pub fn claim_choice(claims: &[(VertexId, VertexId)]) -> Option<(VertexId, VertexId)> {
+    claims.iter().copied().min()
+}
 
 /// Computes an `(alpha, alpha·⌈log₂ n⌉)`-ruling set of `subset` in
 /// `g[mask]`.
@@ -30,80 +62,63 @@ pub fn ruling_set(
     ledger: &mut RoundLedger,
 ) -> Vec<VertexId> {
     assert!(alpha >= 1, "alpha must be at least 1");
-    let bits = usize::BITS - g.n().next_power_of_two().trailing_zeros().max(1);
-    let bits = (usize::BITS - bits) as usize; // ⌈log2 n⌉ with a floor of 1
-    let mut rulers = rule_recursive(g, mask, subset, bits.saturating_sub(1), alpha);
-    rulers.sort_unstable();
+    let bits = ruling_bits(g.n());
+    let mut ruler = vec![false; g.n()];
+    for &v in subset {
+        ruler[v] = true;
+    }
+    for b in 0..bits {
+        rule_level(g, mask, &mut ruler, b, alpha);
+    }
     ledger.charge("ruling-set", (alpha as u64) * (bits as u64));
-    rulers
+    (0..g.n()).filter(|&v| ruler[v]).collect()
 }
 
-fn rule_recursive(
-    g: &Graph,
-    mask: Option<&VertexSet>,
-    subset: &[VertexId],
-    bit: usize,
-    alpha: usize,
-) -> Vec<VertexId> {
-    if subset.len() <= 1 {
-        return subset.to_vec();
-    }
-    let (lo, hi): (Vec<VertexId>, Vec<VertexId>) =
-        subset.iter().partition(|&&v| (v >> bit) & 1 == 0);
-    if lo.is_empty() || hi.is_empty() {
-        // All ids share this bit; descend (distinct ids guarantee progress).
-        assert!(bit > 0, "identifiers must be distinct");
-        return rule_recursive(g, mask, subset, bit - 1, alpha);
-    }
-    let r0 = if bit == 0 {
-        vec![lo[0]]
-    } else {
-        rule_recursive(g, mask, &lo, bit - 1, alpha)
-    };
-    let r1 = if bit == 0 {
-        vec![hi[0]]
-    } else {
-        rule_recursive(g, mask, &hi, bit - 1, alpha)
-    };
-    // Drop r1 rulers within distance < alpha of r0 (multi-source BFS).
-    let near = within_distance(g, mask, &r0, alpha.saturating_sub(1));
-    let mut out = r0;
-    out.extend(r1.into_iter().filter(|&v| !near.contains(v)));
-    out
-}
-
-/// The set of vertices within distance ≤ `radius` of `sources` in
-/// `g[mask]`.
-fn within_distance(
-    g: &Graph,
-    mask: Option<&VertexSet>,
-    sources: &[VertexId],
-    radius: usize,
-) -> VertexSet {
+/// One bit level of the ruling construction, simulated round by round: the
+/// surviving rulers whose bit `b` is 0 inject a token tagged with their
+/// prefix `id >> (b + 1)`; tokens flood `g[mask]` for α − 1 hops (one hop
+/// per round, [`merge_fresh`] per vertex per round); rulers whose bit `b`
+/// is 1 drop out on receiving a token of their own prefix — they were
+/// within distance < α of a kept ruler of their group.
+fn rule_level(g: &Graph, mask: Option<&VertexSet>, ruler: &mut [bool], b: usize, alpha: usize) {
     let n = g.n();
-    let mut dist = vec![usize::MAX; n];
-    let mut out = VertexSet::new(n);
-    let mut q = VecDeque::new();
-    for &s in sources {
-        if mask.is_none_or(|m| m.contains(s)) {
-            dist[s] = 0;
-            out.insert(s);
-            q.push_back(s);
-        }
-    }
-    while let Some(u) = q.pop_front() {
-        if dist[u] == radius {
-            continue;
-        }
-        for &w in g.neighbors(u) {
-            if dist[w] == usize::MAX && mask.is_none_or(|m| m.contains(w)) {
-                dist[w] = dist[u] + 1;
-                out.insert(w);
-                q.push_back(w);
+    let in_mask = |v: VertexId| mask.is_none_or(|m| m.contains(v));
+    let mut seen: Vec<Vec<usize>> = vec![Vec::new(); n];
+    // Level-local round 1: sources announce their prefix (arriving with
+    // round 2's inboxes — distance 1).
+    let mut announce: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for v in 0..n {
+        if ruler[v] && (v >> b) & 1 == 0 {
+            let p = v >> (b + 1);
+            seen[v].push(p);
+            if alpha > 1 {
+                announce[v].push(p);
             }
         }
     }
-    out
+    for k in 2..=alpha {
+        let mut next: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for v in (0..n).filter(|&v| in_mask(v)) {
+            let incoming: Vec<&[usize]> = g
+                .neighbors(v)
+                .iter()
+                .filter(|&&w| in_mask(w))
+                .map(|&w| announce[w].as_slice())
+                .collect();
+            let fresh = merge_fresh(&mut seen[v], &incoming);
+            // A token arriving in level round k has traveled k − 1 hops;
+            // forward only while the next hop stays within distance α − 1.
+            if k < alpha {
+                next[v] = fresh;
+            }
+        }
+        announce = next;
+    }
+    for v in 0..n {
+        if ruler[v] && (v >> b) & 1 == 1 && seen[v].binary_search(&(v >> (b + 1))).is_ok() {
+            ruler[v] = false;
+        }
+    }
 }
 
 /// An (α, β)-ruling forest: disjoint rooted trees covering a target subset.
@@ -151,10 +166,11 @@ impl RulingForest {
 /// `subset` in `g[mask]` (paper's Lemma 3.2 uses `alpha = 2c·log n`).
 ///
 /// Trees consist of the shortest-path parent chains from each `subset`
-/// vertex to its nearest ruler (ties by smaller ruler id), so every tree
-/// vertex lies on a path from a `subset` vertex to a root. Rounds:
-/// the ruling-set construction plus `β` rounds of claiming BFS plus `β`
-/// rounds of chain marking.
+/// vertex to its nearest ruler (ties by smaller ruler id, then smaller
+/// claiming-neighbor id — see [`claim_choice`]), so every tree vertex lies
+/// on a path from a `subset` vertex to a root. Rounds: the ruling-set
+/// construction plus `β` rounds of claiming BFS plus `β` rounds of chain
+/// marking.
 ///
 /// # Panics
 ///
@@ -190,11 +206,12 @@ pub fn ruling_forest(
         );
     }
     let roots = ruling_set(g, mask, subset, alpha, ledger);
-    let bits = ((n.max(2) as f64).log2().ceil() as usize).max(1);
-    let beta = alpha * bits;
+    let beta = ruling_beta(n, alpha);
 
-    // Claiming BFS from all roots simultaneously (ties: smaller root id,
-    // then smaller parent id — deterministic).
+    // Claiming BFS from all roots simultaneously, one level per round: the
+    // vertices claimed in round d − 1 announce `(their root, their id)`,
+    // and an unclaimed vertex joins the smallest announcement it hears
+    // ([`claim_choice`] — deterministic tie-breaking).
     let mut dist = vec![usize::MAX; n];
     let mut root_of = vec![usize::MAX; n];
     let mut parent = vec![usize::MAX; n];
@@ -205,22 +222,33 @@ pub fn ruling_forest(
         parent[r] = r;
         frontier.push(r);
     }
-    let mut d = 0usize;
-    while !frontier.is_empty() && d < beta {
-        d += 1;
-        let mut next: Vec<VertexId> = Vec::new();
-        // Deterministic tie-breaking: iterate frontier sorted by (root, id).
-        let mut f = frontier.clone();
-        f.sort_unstable_by_key(|&v| (root_of[v], v));
-        for &u in &f {
+    // Per-vertex claim buffers, allocated once and cleared per touched
+    // vertex, so every round costs only the frontier's edge neighborhood.
+    let mut claims: Vec<Vec<(VertexId, VertexId)>> = vec![Vec::new(); n];
+    for d in 1..=beta {
+        if frontier.is_empty() {
+            break;
+        }
+        let mut touched: Vec<VertexId> = Vec::new();
+        for &u in &frontier {
             for &w in g.neighbors(u) {
                 if dist[w] == usize::MAX && mask.is_none_or(|m| m.contains(w)) {
-                    dist[w] = d;
-                    root_of[w] = root_of[u];
-                    parent[w] = u;
-                    next.push(w);
+                    if claims[w].is_empty() {
+                        touched.push(w);
+                    }
+                    claims[w].push((root_of[u], u));
                 }
             }
+        }
+        let mut next: Vec<VertexId> = Vec::new();
+        for w in touched {
+            if let Some((root, p)) = claim_choice(&claims[w]) {
+                dist[w] = d;
+                root_of[w] = root;
+                parent[w] = p;
+                next.push(w);
+            }
+            claims[w].clear();
         }
         frontier = next;
     }
@@ -281,6 +309,23 @@ mod tests {
         }
     }
 
+    /// The set of vertices within distance ≤ `radius` of `sources` in
+    /// `g[mask]` (test oracle for domination).
+    fn within_distance(
+        g: &Graph,
+        mask: Option<&VertexSet>,
+        sources: &[VertexId],
+        radius: usize,
+    ) -> VertexSet {
+        let mut out = VertexSet::new(g.n());
+        for &s in sources {
+            for v in graphs::ball(g, s, radius, mask) {
+                out.insert(v);
+            }
+        }
+        out
+    }
+
     #[test]
     fn ruling_set_on_path() {
         let g = gen::path(200);
@@ -302,10 +347,22 @@ mod tests {
         check_spacing(&g, None, &rulers, alpha);
         // Domination within alpha * ceil(log2 n).
         let beta = alpha * ((g.n() as f64).log2().ceil() as usize);
-        let near = super::within_distance(&g, None, &rulers, beta);
+        let near = within_distance(&g, None, &rulers, beta);
         for v in 0..g.n() {
             assert!(near.contains(v), "vertex {v} not dominated");
         }
+    }
+
+    #[test]
+    fn ruling_charge_uses_bit_levels() {
+        let g = gen::path(100);
+        let every: Vec<usize> = (0..100).collect();
+        let mut ledger = RoundLedger::new();
+        ruling_set(&g, None, &every, 3, &mut ledger);
+        assert_eq!(
+            ledger.phase_total("ruling-set"),
+            3 * ruling_bits(100) as u64
+        );
     }
 
     #[test]

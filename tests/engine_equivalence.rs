@@ -4,14 +4,15 @@
 //! substrate, not a new algorithm.
 
 use engine::{
-    engine_cole_vishkin_3color, engine_degree_plus_one_coloring, engine_h_partition,
-    engine_randomized_list_coloring, EngineConfig,
+    engine_cole_vishkin_3color, engine_degree_plus_one_coloring, engine_gather_balls,
+    engine_h_partition, engine_randomized_list_coloring, engine_ruling_forest, EngineConfig,
 };
 use graphs::{gen, VertexSet};
 use local_model::{
-    cole_vishkin_3color, degree_plus_one_coloring, h_partition, randomized_list_coloring,
-    RootedForest, RoundLedger,
+    cole_vishkin_3color, degree_plus_one_coloring, gather_balls, h_partition,
+    randomized_list_coloring, ruling_forest, RootedForest, RoundLedger,
 };
+use proptest::prelude::*;
 
 fn forest_from_bfs(g: &graphs::Graph, root: usize) -> RootedForest {
     RootedForest::new(graphs::bfs_parents(g, root, None))
@@ -201,6 +202,66 @@ fn degree_plus_one_equivalence_masked_and_whole() {
                 metrics.total_rounds(),
                 eng_ledger.phase_total("class-sweep")
             );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// GatherProgram: on random sparse graphs, the engine's flooded ball
+    /// contents equal the sequential [`gather_balls`] for every center, at
+    /// shards {1, 2, 8}, with equal `"ball-gather"` charges.
+    #[test]
+    fn gather_program_balls_match_sequential(
+        n in 20usize..120,
+        extra in 0usize..40,
+        radius in 0usize..5,
+        seed in 0u64..500,
+    ) {
+        let g = gen::gnm(n, n + extra, seed); // sparse: m ≤ n + 40
+        let centers: Vec<usize> = (0..n).collect();
+        let mut seq_ledger = RoundLedger::new();
+        let seq = gather_balls(&g, None, &centers, radius, &mut seq_ledger);
+        for shards in [1usize, 2, 8] {
+            let mut ledger = RoundLedger::new();
+            let (balls, _) = engine_gather_balls(
+                &g, None, &centers, radius,
+                EngineConfig::default().with_shards(shards),
+                &mut ledger,
+            );
+            prop_assert_eq!(&balls, &seq, "shards = {}", shards);
+            prop_assert_eq!(ledger.total(), seq_ledger.total());
+        }
+    }
+
+    /// RulingProgram: on random sparse graphs, the engine-built forest —
+    /// roots, membership, parents, depths — equals the sequential
+    /// [`ruling_forest`], at shards {1, 2, 8}, with equal charges.
+    #[test]
+    fn ruling_program_forest_matches_sequential(
+        n in 20usize..120,
+        extra in 0usize..40,
+        alpha in 1usize..7,
+        stride in 1usize..4,
+        seed in 0u64..500,
+    ) {
+        let g = gen::gnm(n, n + extra, seed);
+        let subset: Vec<usize> = (0..n).step_by(stride).collect();
+        let mut seq_ledger = RoundLedger::new();
+        let seq = ruling_forest(&g, None, &subset, alpha, &mut seq_ledger);
+        for shards in [1usize, 2, 8] {
+            let mut ledger = RoundLedger::new();
+            let (rf, _) = engine_ruling_forest(
+                &g, None, &subset, alpha,
+                EngineConfig::default().with_shards(shards),
+                &mut ledger,
+            );
+            prop_assert_eq!(&rf.roots, &seq.roots, "shards = {}", shards);
+            prop_assert_eq!(&rf.parent, &seq.parent, "shards = {}", shards);
+            prop_assert_eq!(&rf.root_of, &seq.root_of, "shards = {}", shards);
+            prop_assert_eq!(&rf.depth, &seq.depth, "shards = {}", shards);
+            prop_assert_eq!(ledger.total(), seq_ledger.total());
         }
     }
 }

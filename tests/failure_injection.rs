@@ -7,7 +7,10 @@ use distributed_coloring::{
     degree_choosable_coloring, list_color_sparse, nice_list_coloring, BrooksError, ColoringError,
     CorollaryError, ErtError, ListAssignment, Outcome, RadiusPolicy, SparseColoringConfig,
 };
-use engine::{engine_h_partition, engine_randomized_list_coloring, EngineConfig, FaultPlan};
+use engine::{
+    engine_gather_balls, engine_h_partition, engine_randomized_list_coloring, engine_ruling_forest,
+    EngineConfig, FaultPlan,
+};
 use graphs::gen;
 use local_model::RoundLedger;
 
@@ -377,6 +380,122 @@ fn engine_duplication_perturbs_duplication_sensitive_protocols_detectably() {
     assert!(a.2 > 0, "duplication must have fired");
     assert_eq!(a, b, "perturbed runs replay exactly");
     assert!(a.0.iter().all(|&l| l != usize::MAX), "still terminates");
+}
+
+#[test]
+fn engine_per_edge_loss_shrinks_gathered_balls_deterministically() {
+    // Seeded per-edge loss against the ball-gather program: lost flood
+    // messages can only *shrink* what a vertex learns (knowledge is
+    // monotone), the damage is counted, and the perturbed run replays
+    // bit-identically at any worker count.
+    let g = gen::grid(10, 10);
+    let centers: Vec<usize> = (0..g.n()).collect();
+    let radius = 3;
+    let mut clean_ledger = RoundLedger::new();
+    let (clean, _) = engine_gather_balls(
+        &g,
+        None,
+        &centers,
+        radius,
+        EngineConfig::default(),
+        &mut clean_ledger,
+    );
+    let run = |workers: usize| {
+        let mut ledger = RoundLedger::new();
+        let (balls, metrics) = engine_gather_balls(
+            &g,
+            None,
+            &centers,
+            radius,
+            EngineConfig::default()
+                .with_shards(8)
+                .with_workers(workers)
+                .with_faults(FaultPlan::new().lose_edges(23, 0.2)),
+            &mut ledger,
+        );
+        (balls, metrics.total_lost(), ledger.total())
+    };
+    let base = run(1);
+    assert!(base.1 > 0, "p = 0.2 must lose some flood traffic");
+    assert_eq!(base.2, clean_ledger.total(), "loss costs no extra rounds");
+    let mut strictly_smaller = 0;
+    for (lossy, full) in base.0.iter().zip(&clean) {
+        assert!(
+            lossy.iter().all(|v| full.contains(v)),
+            "lost messages cannot invent ball members"
+        );
+        assert!(lossy.len() <= full.len());
+        if lossy.len() < full.len() {
+            strictly_smaller += 1;
+        }
+    }
+    assert!(strictly_smaller > 0, "some ball must actually have shrunk");
+    for workers in [2usize, 4, 8] {
+        assert_eq!(run(workers), base, "workers = {workers}");
+    }
+}
+
+#[test]
+fn engine_per_edge_loss_perturbs_ruling_forests_detectably_and_replayably() {
+    // Loss against the ruling program: lost prefix tokens let extra rulers
+    // survive and lost claims leave vertices unclaimed — the degradation
+    // must be deterministic (same forest on every rerun and worker count)
+    // and structurally observable, never a silent success.
+    let g = gen::grid(9, 9);
+    let subset: Vec<usize> = (0..g.n()).step_by(2).collect();
+    let alpha = 4;
+    let mut clean_ledger = RoundLedger::new();
+    let (clean, _) = engine_ruling_forest(
+        &g,
+        None,
+        &subset,
+        alpha,
+        EngineConfig::default(),
+        &mut clean_ledger,
+    );
+    let run = |workers: usize| {
+        let mut ledger = RoundLedger::new();
+        let (rf, metrics) = engine_ruling_forest(
+            &g,
+            None,
+            &subset,
+            alpha,
+            EngineConfig::default()
+                .with_shards(8)
+                .with_workers(workers)
+                .with_faults(FaultPlan::new().lose_edges(7, 0.35)),
+            &mut ledger,
+        );
+        (
+            rf.roots,
+            rf.parent,
+            rf.root_of,
+            rf.depth,
+            metrics.total_lost(),
+            ledger.total(),
+        )
+    };
+    let base = run(1);
+    assert!(base.4 > 0, "p = 0.35 must lose some construction traffic");
+    assert_eq!(base.5, clean_ledger.total(), "loss costs no extra rounds");
+    assert_ne!(
+        (&base.0, &base.1),
+        (&clean.roots, &clean.parent),
+        "a 35% loss rate must visibly perturb the construction"
+    );
+    // Where both ends of a kept chain link survived the loss, the link is
+    // still consistent — a lost Keep may sever a chain (the parent never
+    // hears it is kept), but it can never corrupt one.
+    for v in 0..g.n() {
+        let p = base.1[v];
+        if p != usize::MAX && p != v && base.2[p] != usize::MAX {
+            assert_eq!(base.2[p], base.2[v], "vertex {v}: parent in another tree");
+            assert_eq!(base.3[p] + 1, base.3[v], "vertex {v}: depth skew");
+        }
+    }
+    for workers in [2usize, 4, 8] {
+        assert_eq!(run(workers), base, "workers = {workers}");
+    }
 }
 
 #[test]
