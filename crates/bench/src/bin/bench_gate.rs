@@ -24,6 +24,11 @@
 //!    must stay a bounded fraction of the round: if routing starts
 //!    dominating wall time again, the second barrier phase has stopped
 //!    paying for itself.
+//! 4. `split wall ≤ max-split-ratio × unlimited wall` for every
+//!    CONGEST-split row (same algorithm, `n`, and shard count) — the
+//!    fragmentation/reassembly path does real per-message encode/chop/
+//!    decode work, but it must never silently regress into dominating the
+//!    run.
 //!
 //! Exits nonzero with a per-algorithm table on any violation.
 
@@ -32,12 +37,14 @@ use bench::{parse_engine_bench_json, print_table, EngineBenchRecord};
 const DEFAULT_MAX_ENGINE_RATIO: f64 = 25.0;
 const DEFAULT_MAX_SHARD8_RATIO: f64 = 1.25;
 const DEFAULT_MAX_ROUTE_FRAC: f64 = 0.60;
+const DEFAULT_MAX_SPLIT_RATIO: f64 = 3.0;
 
 fn main() {
     let mut path: Option<String> = None;
     let mut max_engine_ratio = DEFAULT_MAX_ENGINE_RATIO;
     let mut max_shard8_ratio = DEFAULT_MAX_SHARD8_RATIO;
     let mut max_route_frac = DEFAULT_MAX_ROUTE_FRAC;
+    let mut max_split_ratio = DEFAULT_MAX_SPLIT_RATIO;
     for arg in std::env::args().skip(1) {
         if let Some(v) = arg.strip_prefix("--max-engine-ratio=") {
             max_engine_ratio = v.parse().expect("--max-engine-ratio takes a number");
@@ -45,6 +52,8 @@ fn main() {
             max_shard8_ratio = v.parse().expect("--max-shard8-ratio takes a number");
         } else if let Some(v) = arg.strip_prefix("--max-route-frac=") {
             max_route_frac = v.parse().expect("--max-route-frac takes a number");
+        } else if let Some(v) = arg.strip_prefix("--max-split-ratio=") {
+            max_split_ratio = v.parse().expect("--max-split-ratio takes a number");
         } else {
             assert!(path.is_none(), "exactly one artifact path, got {arg:?} too");
             path = Some(arg);
@@ -73,7 +82,7 @@ fn main() {
         let at = |shards: usize| -> Option<&EngineBenchRecord> {
             records
                 .iter()
-                .find(|r| &r.algorithm == alg && r.n == n && r.shards == shards)
+                .find(|r| &r.algorithm == alg && r.n == n && r.shards == shards && r.split == 0)
         };
         let (Some(seq), Some(s1)) = (at(0), at(1)) else {
             violations.push(format!(
@@ -120,6 +129,48 @@ fn main() {
             }
             None => ("-".into(), "-".into()),
         };
+        // The fragmentation budget: every split row at this n diffs against
+        // its unlimited twin at the same shard count. The table cell lists
+        // every split row's ratio (shards ascending).
+        let mut split_ratios: Vec<String> = Vec::new();
+        let mut split_rows: Vec<&EngineBenchRecord> = records
+            .iter()
+            .filter(|r| &r.algorithm == alg && r.n == n && r.split > 0)
+            .collect();
+        split_rows.sort_by_key(|r| r.shards);
+        for split_row in split_rows {
+            let Some(unlimited) = at(split_row.shards) else {
+                verdict = "FAIL";
+                violations.push(format!(
+                    "{alg} (n={n}): split row at shards={} has no unlimited twin",
+                    split_row.shards
+                ));
+                continue;
+            };
+            let split_ratio = split_row.wall_ms / unlimited.wall_ms.max(f64::EPSILON);
+            split_ratios.push(format!("{split_ratio:.2}"));
+            if split_ratio > max_split_ratio {
+                verdict = "FAIL";
+                violations.push(format!(
+                    "{alg} (n={n}): Split({}) at shards={} is {split_ratio:.2}× the \
+                     unlimited run ({:.3} ms vs {:.3} ms), budget {max_split_ratio:.2}× — \
+                     the reassembly path has regressed",
+                    split_row.split, split_row.shards, split_row.wall_ms, unlimited.wall_ms
+                ));
+            }
+            if split_row.physical_rounds < split_row.rounds {
+                verdict = "FAIL";
+                violations.push(format!(
+                    "{alg} (n={n}): split row reports fewer physical rounds than \
+                     logical rounds — the round charging is dishonest"
+                ));
+            }
+        }
+        let split_cell = if split_ratios.is_empty() {
+            "-".to_string()
+        } else {
+            split_ratios.join("/")
+        };
         rows.push(vec![
             alg.clone(),
             format!("{n}"),
@@ -128,6 +179,7 @@ fn main() {
             format!("{engine_ratio:.2}"),
             shard8_cell,
             route_cell,
+            split_cell,
             verdict.into(),
         ]);
     }
@@ -135,7 +187,8 @@ fn main() {
         &format!(
             "bench gate at largest n (budgets: engine/1 ≤ {max_engine_ratio:.2}× seq, \
              engine/8 ≤ {max_shard8_ratio:.2}× engine/1, \
-             route ≤ {max_route_frac:.2}× wall at engine/8)"
+             route ≤ {max_route_frac:.2}× wall at engine/8, \
+             split ≤ {max_split_ratio:.2}× unlimited)"
         ),
         &[
             "algorithm",
@@ -145,6 +198,7 @@ fn main() {
             "e1/seq",
             "e8/e1",
             "route/8",
+            "split/unl",
             "verdict",
         ],
         &rows,

@@ -115,7 +115,94 @@ fn scenarios() -> Vec<(&'static str, Check)> {
             "theorem13 full pipeline / apollonian n=600",
             Box::new(|sweep| theorem13_pipeline(gen::apollonian(600, 7), 6, sweep)),
         ),
+        (
+            "theorem13 split(4) / apollonian n=600",
+            Box::new(|sweep| theorem13_split_pipeline(gen::apollonian(600, 7), 6, sweep)),
+        ),
     ]
+}
+
+/// The CONGEST-split row: the full pipeline under `CongestMode::Split(4)`
+/// must be **bit-identical in colors and peel statistics** to the
+/// unlimited-width engine run at every shard count of the sweep; only the
+/// round/fragment accounting may differ — isolated under the `SPLIT_PHASE`
+/// ledger entry, reconciling with the unlimited charge, and itself
+/// shard-invariant.
+fn theorem13_split_pipeline(g: graphs::Graph, d: usize, sweep: &[usize]) -> Result<String, String> {
+    use engine::{CongestMode, SPLIT_PHASE};
+    let lists = ListAssignment::uniform(g.n(), d);
+    let unlimited = {
+        let config = SparseColoringConfig {
+            engine_shards: Some(sweep[0]),
+            ..Default::default()
+        };
+        list_color_sparse(&g, &lists, d, config)
+            .map_err(|e| format!("unlimited anchor failed: {e}"))?
+            .coloring()
+            .ok_or_else(|| "unlimited anchor found a clique".to_string())?
+            .clone()
+    };
+    let mut accounting: Option<(u64, usize, u64)> = None;
+    for &shards in sweep {
+        let config = SparseColoringConfig {
+            engine_shards: Some(shards),
+            engine_congest: CongestMode::Split(4),
+            ..Default::default()
+        };
+        let split = list_color_sparse(&g, &lists, d, config)
+            .map_err(|e| format!("shards={shards}: split run failed: {e}"))?
+            .coloring()
+            .ok_or_else(|| format!("shards={shards}: split run found a clique"))?
+            .clone();
+        if split.colors != unlimited.colors {
+            return Err(format!("shards={shards} split colors != unlimited"));
+        }
+        if split.stats.alive_sizes != unlimited.stats.alive_sizes
+            || split.stats.happy_sizes != unlimited.stats.happy_sizes
+            || split.stats.poor_sizes != unlimited.stats.poor_sizes
+            || split.stats.radii != unlimited.stats.radii
+        {
+            return Err(format!(
+                "shards={shards} split peel statistics != unlimited"
+            ));
+        }
+        let surplus = split.ledger.phase_total(SPLIT_PHASE);
+        if surplus == 0 {
+            return Err(format!(
+                "shards={shards}: the pipeline's wide floods must fragment at width 4"
+            ));
+        }
+        if split.ledger.total() - surplus != unlimited.ledger.total() {
+            return Err(format!(
+                "shards={shards}: split ledger {} − surplus {surplus} != unlimited {}",
+                split.ledger.total(),
+                unlimited.ledger.total()
+            ));
+        }
+        let m = &split.engine_metrics;
+        if m.total_physical_rounds() != m.total_rounds() + surplus {
+            return Err(format!(
+                "shards={shards}: observed physical surplus != charged surplus"
+            ));
+        }
+        let fingerprint = (surplus, m.total_fragments(), m.total_physical_rounds());
+        match &accounting {
+            None => accounting = Some(fingerprint),
+            Some(base) if base != &fingerprint => {
+                return Err(format!(
+                    "shards={shards}: split accounting {fingerprint:?} != shards={} {base:?}",
+                    sweep[0]
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    let (surplus, fragments, physical) = accounting.expect("sweep is nonempty");
+    Ok(format!(
+        "+{surplus} split rounds, {fragments} fragments, {physical} physical rounds, \
+         {} runs identical",
+        sweep.len()
+    ))
 }
 
 /// The full-pipeline row: `list_color_sparse` with every phase on masked

@@ -25,14 +25,21 @@ use std::time::Instant;
 use bench::{print_table, render_engine_bench_json, EngineBenchRecord};
 use distributed_coloring::{list_color_sparse, ListAssignment, SparseColoringConfig};
 use engine::{
-    engine_cole_vishkin_3color, engine_h_partition, engine_randomized_list_coloring, EngineConfig,
+    engine_cole_vishkin_3color, engine_gather_balls, engine_h_partition,
+    engine_randomized_list_coloring, engine_ruling_forest, CongestMode, EngineConfig,
+    EngineMetrics, SPLIT_PHASE,
 };
 use graphs::gen;
 use local_model::{
-    cole_vishkin_3color, h_partition, randomized_list_coloring, RootedForest, RoundLedger,
+    cole_vishkin_3color, gather_balls, h_partition, randomized_list_coloring, ruling_forest,
+    RootedForest, RoundLedger,
 };
 
 const SHARD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+/// Shard counts at which the CONGEST-split twin rows run.
+const SPLIT_SHARDS: [usize; 2] = [1, 8];
+/// Word budget of the split rows (`CongestMode::Split(SPLIT_WIDTH)`).
+const SPLIT_WIDTH: usize = 4;
 const DEFAULT_SIZES: [usize; 3] = [1_000, 10_000, 50_000];
 const DEFAULT_REPS: usize = 3;
 
@@ -57,6 +64,8 @@ fn main() {
         randomized_showdown(n, reps, &mut records);
         h_partition_showdown(n, reps, &mut records);
         cole_vishkin_showdown(n, reps, &mut records);
+        gather_showdown(n, reps, &mut records);
+        ruling_showdown(n, reps, &mut records);
         theorem13_showdown(n, reps, &mut records);
     }
     print_crossover(&records);
@@ -81,16 +90,23 @@ fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, f64) {
     best.expect("reps >= 1")
 }
 
+/// The table header every showdown prints (matches [`row`]'s cells).
+const COLUMNS: [&str; 7] = [
+    "run", "rounds", "phys", "messages", "frags", "wall ms", "route ms",
+];
+
 fn row(records: &mut Vec<EngineBenchRecord>, rec: EngineBenchRecord) -> Vec<String> {
-    let label = if rec.shards == 0 {
-        "sequential".into()
-    } else {
-        format!("engine/{}", rec.shards)
+    let label = match (rec.shards, rec.split) {
+        (0, _) => "sequential".into(),
+        (s, 0) => format!("engine/{s}"),
+        (s, w) => format!("engine/{s} split{w}"),
     };
     let cells = vec![
         label,
         format!("{}", rec.rounds),
+        format!("{}", rec.physical_rounds),
         format!("{}", rec.messages),
+        format!("{}", rec.fragments),
         format!("{:.2}", rec.wall_ms),
         format!("{:.2}", rec.route_ms),
     ];
@@ -98,27 +114,71 @@ fn row(records: &mut Vec<EngineBenchRecord>, rec: EngineBenchRecord) -> Vec<Stri
     cells
 }
 
-#[allow(clippy::too_many_arguments)]
-fn record(
+/// A sequential-baseline record: `shards = 0`, nothing routed.
+fn seq_record(
+    family: &str,
+    algorithm: &str,
+    n: usize,
+    rounds: u64,
+    wall_ms: f64,
+) -> EngineBenchRecord {
+    EngineBenchRecord {
+        family: family.into(),
+        algorithm: algorithm.into(),
+        n,
+        shards: 0,
+        rounds,
+        messages: 0,
+        wall_ms,
+        route_ms: 0.0,
+        split: 0,
+        physical_rounds: rounds,
+        fragments: 0,
+    }
+}
+
+/// An engine-run record built from the session's observed metrics.
+fn engine_record(
     family: &str,
     algorithm: &str,
     n: usize,
     shards: usize,
-    rounds: u64,
-    messages: usize,
+    split: usize,
+    metrics: &EngineMetrics,
     wall_ms: f64,
-    route_ms: f64,
 ) -> EngineBenchRecord {
     EngineBenchRecord {
         family: family.into(),
         algorithm: algorithm.into(),
         n,
         shards,
-        rounds,
-        messages,
+        rounds: metrics.total_rounds(),
+        messages: metrics.total_messages(),
         wall_ms,
-        route_ms,
+        route_ms: metrics.total_route_wall().as_secs_f64() * 1e3,
+        split,
+        physical_rounds: metrics.total_physical_rounds(),
+        fragments: metrics.total_fragments(),
     }
+}
+
+/// The engine config of one measured configuration (`split = 0` →
+/// unlimited width).
+fn engine_config(shards: usize, split: usize) -> EngineConfig {
+    let config = EngineConfig::default().with_shards(shards);
+    if split == 0 {
+        config
+    } else {
+        config.congest_split(split)
+    }
+}
+
+/// The `(shards, split)` grid every engine workload measures: the unlimited
+/// shard sweep plus the CONGEST-split twin rows.
+fn configurations() -> Vec<(usize, usize)> {
+    let mut out: Vec<(usize, usize)> = SHARD_SWEEP.iter().map(|&s| (s, 0)).collect();
+    out.extend(SPLIT_SHARDS.iter().map(|&s| (s, SPLIT_WIDTH)));
+    out
 }
 
 fn randomized_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchRecord>) {
@@ -138,7 +198,7 @@ fn randomized_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchRecor
     });
     rows.push(row(
         records,
-        record(family, "randomized", g.n(), 0, seq_rounds, 0, wall, 0.0),
+        seq_record(family, "randomized", g.n(), seq_rounds, wall),
     ));
     for shards in SHARD_SWEEP {
         let ((_out, metrics), wall) = best_of(reps, || {
@@ -160,21 +220,12 @@ fn randomized_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchRecor
         });
         rows.push(row(
             records,
-            record(
-                family,
-                "randomized",
-                g.n(),
-                shards,
-                metrics.total_rounds(),
-                metrics.total_messages(),
-                wall,
-                metrics.total_route_wall().as_secs_f64() * 1e3,
-            ),
+            engine_record(family, "randomized", g.n(), shards, 0, &metrics, wall),
         ));
     }
     print_table(
         &format!("randomized (deg+1)-list coloring, {family}, n = {}", g.n()),
-        &["run", "rounds", "messages", "wall ms", "route ms"],
+        &COLUMNS,
         &rows,
     );
 }
@@ -191,7 +242,7 @@ fn h_partition_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchReco
     });
     rows.push(row(
         records,
-        record(family, "h-partition", g.n(), 0, seq_rounds, 0, wall, 0.0),
+        seq_record(family, "h-partition", g.n(), seq_rounds, wall),
     ));
     for shards in SHARD_SWEEP {
         let ((_hp, metrics), wall) = best_of(reps, || {
@@ -209,21 +260,12 @@ fn h_partition_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchReco
         });
         rows.push(row(
             records,
-            record(
-                family,
-                "h-partition",
-                g.n(),
-                shards,
-                metrics.total_rounds(),
-                metrics.total_messages(),
-                wall,
-                metrics.total_route_wall().as_secs_f64() * 1e3,
-            ),
+            engine_record(family, "h-partition", g.n(), shards, 0, &metrics, wall),
         ));
     }
     print_table(
         &format!("Barenboim–Elkin H-partition, {family}, n = {}", g.n()),
-        &["run", "rounds", "messages", "wall ms", "route ms"],
+        &COLUMNS,
         &rows,
     );
 }
@@ -241,7 +283,7 @@ fn cole_vishkin_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchRec
     });
     rows.push(row(
         records,
-        record(family, "cole-vishkin", g.n(), 0, seq_rounds, 0, wall, 0.0),
+        seq_record(family, "cole-vishkin", g.n(), seq_rounds, wall),
     ));
     for shards in SHARD_SWEEP {
         let ((_colors, metrics), wall) = best_of(reps, || {
@@ -256,21 +298,112 @@ fn cole_vishkin_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchRec
         });
         rows.push(row(
             records,
-            record(
-                family,
-                "cole-vishkin",
-                g.n(),
-                shards,
-                metrics.total_rounds(),
-                metrics.total_messages(),
-                wall,
-                metrics.total_route_wall().as_secs_f64() * 1e3,
-            ),
+            engine_record(family, "cole-vishkin", g.n(), shards, 0, &metrics, wall),
         ));
     }
     print_table(
         &format!("Cole–Vishkin 3-coloring, {family}, n = {}", g.n()),
-        &["run", "rounds", "messages", "wall ms", "route ms"],
+        &COLUMNS,
+        &rows,
+    );
+}
+
+/// Radius-3 ball gathering on a square grid — the `Vec`-payload flood whose
+/// width is the reason split mode exists (hop-3 forwards ~8 fresh members,
+/// over the 4-word split budget). Unlimited rows across the shard sweep,
+/// then `Split(SPLIT_WIDTH)` twin rows whose outputs are asserted identical
+/// (fragmentation is charged, never semantic).
+fn gather_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchRecord>) {
+    let family = "grid";
+    let side = (n as f64).sqrt().round() as usize;
+    let g = gen::grid(side, side);
+    let centers: Vec<usize> = (0..g.n()).collect();
+    let radius = 3;
+    let mut rows = Vec::new();
+    let ((seq, seq_rounds), wall) = best_of(reps, || {
+        let mut ledger = RoundLedger::new();
+        let balls = gather_balls(&g, None, &centers, radius, &mut ledger);
+        let total = ledger.total();
+        (balls, total)
+    });
+    rows.push(row(
+        records,
+        seq_record(family, "gather", g.n(), seq_rounds, wall),
+    ));
+    for (shards, split) in configurations() {
+        let ((balls, metrics), wall) = best_of(reps, || {
+            let mut ledger = RoundLedger::new();
+            engine_gather_balls(
+                &g,
+                None,
+                &centers,
+                radius,
+                engine_config(shards, split),
+                &mut ledger,
+            )
+        });
+        // Checked outside the timed region (the all-balls comparison is
+        // O(n·|B|)); reps replay bit-identically, so one check covers all.
+        assert_eq!(balls, seq, "engine must replay the sequential balls");
+        rows.push(row(
+            records,
+            engine_record(family, "gather", g.n(), shards, split, &metrics, wall),
+        ));
+    }
+    print_table(
+        &format!("radius-{radius} ball gather, {family}, n = {}", g.n()),
+        &COLUMNS,
+        &rows,
+    );
+}
+
+/// The AGLP ruling-forest construction — token floods plus claim/prune
+/// BFS — with unlimited and `Split(SPLIT_WIDTH)` rows. α = 6 over an
+/// every-other-vertex subset pushes the token floods to width ~8, past the
+/// 4-word split budget, so the split rows exercise real fragmentation.
+fn ruling_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchRecord>) {
+    let family = "grid";
+    let side = (n as f64).sqrt().round() as usize;
+    let g = gen::grid(side, side);
+    let subset: Vec<usize> = (0..g.n()).step_by(2).collect();
+    let alpha = 6;
+    let mut rows = Vec::new();
+    let ((seq, seq_rounds), wall) = best_of(reps, || {
+        let mut ledger = RoundLedger::new();
+        let rf = ruling_forest(&g, None, &subset, alpha, &mut ledger);
+        let total = ledger.total();
+        (rf, total)
+    });
+    rows.push(row(
+        records,
+        seq_record(family, "ruling", g.n(), seq_rounds, wall),
+    ));
+    for (shards, split) in configurations() {
+        let ((rf, metrics), wall) = best_of(reps, || {
+            let mut ledger = RoundLedger::new();
+            engine_ruling_forest(
+                &g,
+                None,
+                &subset,
+                alpha,
+                engine_config(shards, split),
+                &mut ledger,
+            )
+        });
+        // Checked outside the timed region; reps replay bit-identically.
+        assert_eq!(rf.roots, seq.roots, "engine must replay the roots");
+        assert_eq!(rf.parent, seq.parent, "engine must replay the forest");
+        rows.push(row(
+            records,
+            engine_record(family, "ruling", g.n(), shards, split, &metrics, wall),
+        ));
+    }
+    print_table(
+        &format!(
+            "(α, β)-ruling forest (α = {alpha}), {family}, n = {}",
+            g.n()
+        ),
+        &COLUMNS,
         &rows,
     );
 }
@@ -279,8 +412,10 @@ fn cole_vishkin_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchRec
 /// detection, ruling forests, per-level coloring, layered greedy — as one
 /// composite workload: sequential simulation vs the all-phases-on-the-engine
 /// mode (`SparseColoringConfig::engine_shards`). Rounds are the full-ledger
-/// totals; per-session message counts are not surfaced through the
-/// composite API, so those columns read 0.
+/// totals; messages, routing time, and fragmentation come from the
+/// aggregated `SparseColoring::engine_metrics`. The final row runs the
+/// pipeline under `CongestMode::Split(SPLIT_WIDTH)` — identical colors, the
+/// split surplus charged under `SPLIT_PHASE`.
 fn theorem13_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchRecord>) {
     let family = "apollonian-mad6";
     let d = 6;
@@ -296,29 +431,53 @@ fn theorem13_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchRecord
     });
     rows.push(row(
         records,
-        record(family, "theorem13", g.n(), 0, seq_rounds, 0, wall, 0.0),
+        seq_record(family, "theorem13", g.n(), seq_rounds, wall),
     ));
-    for shards in SHARD_SWEEP {
-        let (rounds, wall) = {
-            let ((), wall) = best_of(reps, || {
-                let config = SparseColoringConfig {
-                    engine_shards: Some(shards),
-                    ..Default::default()
-                };
-                let outcome =
-                    list_color_sparse(&g, &lists, d, config).expect("engine theorem13 runs");
-                let col = outcome.coloring().expect("planar instance colors");
-                assert_eq!(
-                    col.colors, seq.colors,
-                    "engine mode must replay the sequential coloring"
-                );
-                assert_eq!(col.ledger.total(), seq_rounds);
-            });
-            (seq_rounds, wall)
-        };
+    let mut configs: Vec<(usize, usize)> = SHARD_SWEEP.iter().map(|&s| (s, 0)).collect();
+    configs.push((*SPLIT_SHARDS.last().unwrap(), SPLIT_WIDTH));
+    for (shards, split) in configs {
+        let (col, wall) = best_of(reps, || {
+            let config = SparseColoringConfig {
+                engine_shards: Some(shards),
+                engine_congest: if split == 0 {
+                    CongestMode::Unlimited
+                } else {
+                    CongestMode::Split(split)
+                },
+                ..Default::default()
+            };
+            let outcome = list_color_sparse(&g, &lists, d, config).expect("engine theorem13 runs");
+            let col = outcome.coloring().expect("planar instance colors").clone();
+            assert_eq!(
+                col.colors, seq.colors,
+                "engine mode must replay the sequential coloring"
+            );
+            assert_eq!(
+                col.ledger.total() - col.ledger.phase_total(SPLIT_PHASE),
+                seq_rounds,
+                "split surplus must be the only ledger divergence"
+            );
+            col
+        });
+        let m = &col.engine_metrics;
+        let surplus = col.ledger.phase_total(SPLIT_PHASE);
         rows.push(row(
             records,
-            record(family, "theorem13", g.n(), shards, rounds, 0, wall, 0.0),
+            EngineBenchRecord {
+                family: family.into(),
+                algorithm: "theorem13".into(),
+                n: g.n(),
+                shards,
+                // Logical rounds: the full-ledger charge, comparable to the
+                // sequential row; physical adds the observed split surplus.
+                rounds: seq_rounds,
+                messages: m.total_messages(),
+                wall_ms: wall,
+                route_ms: m.total_route_wall().as_secs_f64() * 1e3,
+                split,
+                physical_rounds: seq_rounds + surplus,
+                fragments: m.total_fragments(),
+            },
         ));
     }
     print_table(
@@ -326,7 +485,7 @@ fn theorem13_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchRecord
             "Theorem 1.3 end-to-end (all phases on the engine), {family}, n = {}",
             g.n()
         ),
-        &["run", "rounds", "messages", "wall ms", "route ms"],
+        &COLUMNS,
         &rows,
     );
 }
@@ -348,7 +507,7 @@ fn print_crossover(records: &[EngineBenchRecord]) {
     let find = |alg: &str, n: usize, shards: usize| {
         records
             .iter()
-            .find(|r| r.algorithm == alg && r.n == n && r.shards == shards)
+            .find(|r| r.algorithm == alg && r.n == n && r.shards == shards && r.split == 0)
     };
     let mut rows = Vec::new();
     for (alg, n) in keys {
@@ -359,7 +518,7 @@ fn print_crossover(records: &[EngineBenchRecord]) {
         };
         let best = records
             .iter()
-            .filter(|r| r.algorithm == alg && r.n == n && r.shards > 0)
+            .filter(|r| r.algorithm == alg && r.n == n && r.shards > 0 && r.split == 0)
             .min_by(|a, b| a.wall_ms.total_cmp(&b.wall_ms))
             .expect("s1 exists");
         rows.push(vec![

@@ -29,23 +29,36 @@ pub struct EngineBenchRecord {
     /// sequential baselines). A subset of `wall_ms`; `bench_gate` enforces
     /// a routing-overhead budget on it.
     pub route_ms: f64,
+    /// CONGEST split budget in words; 0 marks an unlimited-width run.
+    /// `bench_gate` enforces a fragmentation-overhead budget on split rows
+    /// against their unlimited twins.
+    pub split: usize,
+    /// Physical rounds spent on the wire (equals `rounds` outside split
+    /// mode; under `CongestMode::Split` each logical round costs
+    /// `ceil(max_width / split)`).
+    pub physical_rounds: u64,
+    /// CONGEST frames produced by fragmentation (0 outside split mode).
+    pub fragments: usize,
 }
 
 impl EngineBenchRecord {
     fn to_json(&self) -> String {
         format!(
             concat!(
-                "{{\"algorithm\":{},\"family\":{},\"messages\":{},",
-                "\"n\":{},\"rounds\":{},\"route_ms\":{:.4},",
-                "\"shards\":{},\"wall_ms\":{:.4}}}"
+                "{{\"algorithm\":{},\"family\":{},\"fragments\":{},\"messages\":{},",
+                "\"n\":{},\"physical_rounds\":{},\"rounds\":{},\"route_ms\":{:.4},",
+                "\"shards\":{},\"split\":{},\"wall_ms\":{:.4}}}"
             ),
             json_string(&self.algorithm),
             json_string(&self.family),
+            self.fragments,
             self.messages,
             self.n,
+            self.physical_rounds,
             self.rounds,
             self.route_ms,
             self.shards,
+            self.split,
             self.wall_ms,
         )
     }
@@ -94,7 +107,11 @@ pub fn parse_engine_bench_json(json: &str) -> Result<Vec<EngineBenchRecord>, Str
             messages: 0,
             wall_ms: 0.0,
             route_ms: 0.0,
+            split: 0,
+            physical_rounds: 0,
+            fragments: 0,
         };
+        let mut saw_physical = false;
         for field in split_top_level(body) {
             let (key, value) = field
                 .split_once(':')
@@ -110,8 +127,18 @@ pub fn parse_engine_bench_json(json: &str) -> Result<Vec<EngineBenchRecord>, Str
                 "messages" => rec.messages = value.parse().map_err(|_| fail("bad messages"))?,
                 "wall_ms" => rec.wall_ms = value.parse().map_err(|_| fail("bad wall_ms"))?,
                 "route_ms" => rec.route_ms = value.parse().map_err(|_| fail("bad route_ms"))?,
+                "split" => rec.split = value.parse().map_err(|_| fail("bad split"))?,
+                "physical_rounds" => {
+                    rec.physical_rounds = value.parse().map_err(|_| fail("bad physical_rounds"))?;
+                    saw_physical = true;
+                }
+                "fragments" => rec.fragments = value.parse().map_err(|_| fail("bad fragments"))?,
                 other => return Err(fail(&format!("unknown key {other:?}"))),
             }
+        }
+        if !saw_physical {
+            // Pre-split artifacts: a logical round was a physical round.
+            rec.physical_rounds = rec.rounds;
         }
         if rec.algorithm.is_empty() || rec.family.is_empty() {
             return Err(fail("record missing algorithm/family"));
@@ -198,6 +225,9 @@ mod tests {
             messages: 12345,
             wall_ms: 1.5,
             route_ms: 0.25,
+            split: 0,
+            physical_rounds: 24,
+            fragments: 0,
         }
     }
 
@@ -228,10 +258,31 @@ mod tests {
         let mut odd = record();
         odd.family = "weird \"family\"\n, really".into();
         odd.wall_ms = 0.0123;
+        odd.split = 4;
+        odd.physical_rounds = 61;
+        odd.fragments = 8123;
         let originals = vec![record(), odd, record()];
         let parsed = parse_engine_bench_json(&render_engine_bench_json(&originals)).unwrap();
         assert_eq!(parsed, originals);
         assert_eq!(parse_engine_bench_json("[\n]\n").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn parse_accepts_pre_split_artifacts() {
+        // Artifacts written before the split fields existed must still
+        // parse, with physical rounds defaulting to the logical rounds.
+        let legacy = concat!(
+            "[\n",
+            "  {\"algorithm\":\"randomized\",\"family\":\"f\",\"messages\":9,",
+            "\"n\":10,\"rounds\":4,\"route_ms\":0.5000,",
+            "\"shards\":2,\"wall_ms\":1.0000}\n",
+            "]\n"
+        );
+        let parsed = parse_engine_bench_json(legacy).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].split, 0);
+        assert_eq!(parsed[0].physical_rounds, 4);
+        assert_eq!(parsed[0].fragments, 0);
     }
 
     #[test]

@@ -21,10 +21,35 @@ use crate::ert::{color_component, ErtError};
 use crate::happy::Classification;
 use crate::lists::ListAssignment;
 use crate::state::ColoringState;
-use engine::layered_slots;
+use engine::{layered_slots, CongestMode, EngineMetrics};
 use graphs::{ball, Graph, VertexId, VertexSet};
 use local_model::{degree_plus_one_coloring, ruling_forest, RoundLedger};
 use std::fmt;
+
+/// Engine-substrate selection for one composite phase: the shard count,
+/// the CONGEST bandwidth mode every internal session runs under, and the
+/// accumulator that absorbs each session's observed [`EngineMetrics`] —
+/// how composite pipelines (Theorem 1.3's peel/extend loop) finally report
+/// real traffic instead of `messages = 0`.
+pub struct EngineMode<'m> {
+    /// Logical shard count for every internal engine session.
+    pub shards: usize,
+    /// CONGEST treatment ([`CongestMode::Unlimited`] /
+    /// [`CongestMode::Reject`] / [`CongestMode::Split`]) applied to every
+    /// internal session.
+    pub congest: CongestMode,
+    /// Accumulator absorbing each internal session's metrics.
+    pub metrics: &'m mut EngineMetrics,
+}
+
+impl EngineMode<'_> {
+    /// The engine config every internal session of this phase starts from.
+    pub fn config(&self) -> engine::EngineConfig {
+        engine::EngineConfig::default()
+            .with_shards(self.shards)
+            .with_congest(self.congest)
+    }
+}
 
 /// Failure of the Lemma 3.2 extension.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -78,16 +103,18 @@ fn reduced_list(
 /// Extends `coloring` (proper on `alive ∖ A`, `UNCOLORED` on `A`) to all of
 /// `alive`, possibly recoloring some sad vertices. See module docs.
 ///
-/// `engine_shards` selects the substrate for this level's communication
-/// phases: `None` runs the sequential simulations; `Some(shards)` runs the
-/// ruling-forest construction (step 1,
-/// [`engine::engine_ruling_forest`]), the `(d+1)`-coloring (step 3,
+/// `engine` selects the substrate for this level's communication phases:
+/// `None` runs the sequential simulations; `Some(mode)` runs the
+/// ruling-forest construction (step 1, [`engine::engine_ruling_forest`]),
+/// the `(d+1)`-coloring (step 3,
 /// [`engine::engine_degree_plus_one_coloring`]), and the layered greedy
 /// (step 4, [`engine::engine_layered_greedy`]) on masked
 /// [`engine::EngineSession`]s over the level's scopes — identical outputs
-/// and ledger charges, executed as message passing. Step 5's root-ball
-/// recoloring is node-local (each ball sits inside one root's radius-`r`
-/// neighborhood) and stays a host computation on both substrates.
+/// and ledger charges, executed as message passing under the mode's shard
+/// count and [`CongestMode`], with every session's observed metrics
+/// absorbed into `mode.metrics`. Step 5's root-ball recoloring is
+/// node-local (each ball sits inside one root's radius-`r` neighborhood)
+/// and stays a host computation on both substrates.
 ///
 /// # Errors
 ///
@@ -105,7 +132,7 @@ pub fn extend_to_happy_set(
     classification: &Classification,
     coloring: &mut [usize],
     ledger: &mut RoundLedger,
-    engine_shards: Option<usize>,
+    mut engine: Option<EngineMode<'_>>,
 ) -> Result<(), ExtendError> {
     let n = g.n();
     let happy: Vec<VertexId> = classification.happy.iter().collect();
@@ -117,19 +144,19 @@ pub fn extend_to_happy_set(
 
     // 1. Ruling forest in G[R] with respect to A — sequential simulation or
     // a masked engine session running the same per-round steps.
-    let rf = match engine_shards {
+    let rf = match engine.as_mut() {
         None => ruling_forest(g, Some(&classification.rich), &happy, alpha, ledger),
-        Some(shards) => {
-            let config = engine::EngineConfig::default().with_shards(shards);
-            engine::engine_ruling_forest(
+        Some(mode) => {
+            let (rf, metrics) = engine::engine_ruling_forest(
                 g,
                 Some(&classification.rich),
                 &happy,
                 alpha,
-                config,
+                mode.config(),
                 ledger,
-            )
-            .0
+            );
+            mode.metrics.absorb(metrics);
+            rf
         }
     };
 
@@ -143,11 +170,13 @@ pub fn extend_to_happy_set(
     // 3. (d+1)-coloring of G[T] (T ⊆ R keeps degrees ≤ d) — sequential
     // simulation or a masked engine session over the tree scope; the two
     // substrates are bit-identical in colors and ledger charges.
-    let classes = match engine_shards {
+    let classes = match engine.as_mut() {
         None => degree_plus_one_coloring(g, Some(&scope), ledger),
-        Some(shards) => {
-            let config = engine::EngineConfig::default().with_shards(shards);
-            engine::engine_degree_plus_one_coloring(g, Some(&scope), config, ledger).0
+        Some(mode) => {
+            let (classes, metrics) =
+                engine::engine_degree_plus_one_coloring(g, Some(&scope), mode.config(), ledger);
+            mode.metrics.absorb(metrics);
+            classes
         }
     };
     let class_count = members.iter().map(|&v| classes[v] + 1).max().unwrap_or(1);
@@ -165,7 +194,7 @@ pub fn extend_to_happy_set(
         })
         .collect();
     let max_depth = rf.max_depth();
-    let tree_colors = match engine_shards {
+    let tree_colors = match engine.as_mut() {
         None => {
             let mut st = ColoringState::new(g, scope.clone(), reduced);
             for (depth, class) in layered_slots(max_depth, class_count) {
@@ -185,19 +214,19 @@ pub fn extend_to_happy_set(
             );
             st.into_colors()
         }
-        Some(shards) => {
-            let config = engine::EngineConfig::default().with_shards(shards);
-            engine::engine_layered_greedy(
+        Some(mode) => {
+            let (colors, metrics) = engine::engine_layered_greedy(
                 g,
                 &scope,
                 &reduced,
                 &rf.depth,
                 &classes,
                 class_count,
-                config,
+                mode.config(),
                 ledger,
-            )
-            .0
+            );
+            mode.metrics.absorb(metrics);
+            colors
         }
     };
     for &v in &members {
@@ -299,22 +328,26 @@ mod tests {
         for engine_shards in [None, Some(2)] {
             let mut coloring = coloring.clone();
             let mut ledger = RoundLedger::new();
-            extend_to_happy_set(
-                g,
-                &alive,
-                lists,
-                &cls,
-                &mut coloring,
-                &mut ledger,
-                engine_shards,
-            )
-            .expect("extension succeeds");
+            let mut metrics = EngineMetrics::default();
+            let engine = engine_shards.map(|shards| EngineMode {
+                shards,
+                congest: CongestMode::Unlimited,
+                metrics: &mut metrics,
+            });
+            extend_to_happy_set(g, &alive, lists, &cls, &mut coloring, &mut ledger, engine)
+                .expect("extension succeeds");
             assert!(graphs::is_proper(g, &coloring));
             for v in g.vertices() {
                 assert!(
                     lists.list(v).contains(&coloring[v]),
                     "vertex {v} got off-list color {}",
                     coloring[v]
+                );
+            }
+            if engine_shards.is_some() {
+                assert!(
+                    metrics.total_messages() > 0,
+                    "engine-mode extension must surface its sessions' traffic"
                 );
             }
         }

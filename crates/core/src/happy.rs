@@ -189,17 +189,18 @@ pub fn classify(
 /// Bit-identical to [`classify`] — same sets, same radius, same
 /// `"rich-poor"` + `"ball-gather"` charges — at any shard count; this is
 /// the classification path `list_color_sparse` takes when
-/// `engine_shards: Some(k)`.
+/// `engine_shards: Some(k)`. The session's observed
+/// [`EngineMetrics`](engine::EngineMetrics) are returned alongside the
+/// classification so composite pipelines can aggregate real traffic.
 pub fn classify_engine(
     g: &Graph,
     alive: &VertexSet,
     d: usize,
     radius: usize,
-    shards: usize,
+    config: engine::EngineConfig,
     ledger: &mut RoundLedger,
-) -> Classification {
-    let config = engine::EngineConfig::default().with_shards(shards);
-    let (rich, mut balls, _) =
+) -> (Classification, engine::EngineMetrics) {
+    let (rich, mut balls, metrics) =
         engine::engine_classification_gather(g, alive, d, radius, config, ledger);
     let mut poor = alive.clone();
     poor.difference_with(&rich);
@@ -222,13 +223,16 @@ pub fn classify_engine(
         &mut comp_verdict,
         |v| std::mem::take(&mut balls[v]),
     );
-    Classification {
-        rich,
-        poor,
-        happy,
-        sad,
-        radius,
-    }
+    (
+        Classification {
+            rich,
+            poor,
+            happy,
+            sad,
+            radius,
+        },
+        metrics,
+    )
 }
 
 /// The paper's ball radius `⌈c · log₂ n⌉` with `c = 12 / log₂(6/5)`
@@ -370,8 +374,14 @@ mod tests {
                 let seq = classify(g, &alive, *d, *radius, &mut seq_ledger);
                 for shards in [1usize, 2, 8] {
                     let mut eng_ledger = RoundLedger::new();
-                    let eng = classify_engine(g, &alive, *d, *radius, shards, &mut eng_ledger);
+                    let config = engine::EngineConfig::default().with_shards(shards);
+                    let (eng, metrics) =
+                        classify_engine(g, &alive, *d, *radius, config, &mut eng_ledger);
                     let ctx = format!("n={} d={d} r={radius} shards={shards}", g.n());
+                    assert!(
+                        metrics.total_messages() > 0 || alive.is_empty(),
+                        "{ctx}: the gather session's traffic must be surfaced"
+                    );
                     assert_eq!(eng.rich, seq.rich, "{ctx}: rich");
                     assert_eq!(eng.poor, seq.poor, "{ctx}: poor");
                     assert_eq!(eng.happy, seq.happy, "{ctx}: happy");

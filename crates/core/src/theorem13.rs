@@ -16,27 +16,34 @@
 //! precondition `d ≥ mad(G)` must have been violated and a diagnostic
 //! error is returned.
 
-use crate::extend::{extend_to_happy_set, ExtendError, UNCOLORED};
+use crate::extend::{extend_to_happy_set, EngineMode, ExtendError, UNCOLORED};
 use crate::happy::{classify, classify_engine, paper_radius, Classification};
 use crate::lists::ListAssignment;
+use engine::{CongestMode, EngineMetrics};
 use graphs::{Graph, VertexId, VertexSet};
 use local_model::{detect_clique, RoundLedger};
 use std::fmt;
 
-/// Runs one classification of `g[alive]` on the substrate `engine_shards`
-/// selects: the sequential simulation, or a masked engine session (the
-/// rich/poor exchange plus the rich-ball flood as real message rounds).
+/// Runs one classification of `g[alive]` on the substrate `engine` selects:
+/// the sequential simulation, or a masked engine session (the rich/poor
+/// exchange plus the rich-ball flood as real message rounds), absorbing the
+/// session's metrics into the mode's accumulator.
 fn classify_on(
     g: &Graph,
     alive: &VertexSet,
     d: usize,
     radius: usize,
-    engine_shards: Option<usize>,
+    engine: Option<&mut EngineMode<'_>>,
     ledger: &mut RoundLedger,
 ) -> Classification {
-    match engine_shards {
+    match engine {
         None => classify(g, alive, d, radius, ledger),
-        Some(shards) => classify_engine(g, alive, d, radius, shards, ledger),
+        Some(mode) => {
+            let (classification, metrics) =
+                classify_engine(g, alive, d, radius, mode.config(), ledger);
+            mode.metrics.absorb(metrics);
+            classification
+        }
     }
 }
 
@@ -45,14 +52,16 @@ fn detect_clique_on(
     g: &Graph,
     alive: &VertexSet,
     d: usize,
-    engine_shards: Option<usize>,
+    engine: Option<&mut EngineMode<'_>>,
     ledger: &mut RoundLedger,
 ) -> Option<Vec<VertexId>> {
-    match engine_shards {
+    match engine {
         None => detect_clique(g, Some(alive), d, ledger),
-        Some(shards) => {
-            let config = engine::EngineConfig::default().with_shards(shards);
-            engine::engine_detect_clique(g, Some(alive), d, config, ledger).0
+        Some(mode) => {
+            let (found, metrics) =
+                engine::engine_detect_clique(g, Some(alive), d, mode.config(), ledger);
+            mode.metrics.absorb(metrics);
+            found
         }
     }
 }
@@ -98,6 +107,14 @@ pub struct SparseColoringConfig {
     /// colors, statistics, and ledger charges, executed as sharded message
     /// passing. `None` (default) stays sequential.
     pub engine_shards: Option<usize>,
+    /// CONGEST bandwidth treatment for every engine session of an
+    /// engine-mode run ([`CongestMode::Unlimited`] by default). Under
+    /// [`CongestMode::Split`] the pipeline's outputs and statistics stay
+    /// bit-identical to unlimited-width runs; only the round accounting
+    /// grows — the fragmentation surplus lands under the
+    /// [`engine::SPLIT_PHASE`] ledger phase and in
+    /// [`SparseColoring::engine_metrics`]. Ignored in sequential mode.
+    pub engine_congest: CongestMode,
 }
 
 /// Per-level peeling statistics.
@@ -138,6 +155,11 @@ pub struct SparseColoring {
     pub ledger: RoundLedger,
     /// Peeling statistics (for the Lemma 3.1 experiments).
     pub stats: PeelStats,
+    /// Observed engine metrics, summed across every internal session of an
+    /// engine-mode run — classification gathers, clique detections, ruling
+    /// forests, per-level colorings, layered greedies. Empty (default) for
+    /// sequential runs, which route no messages.
+    pub engine_metrics: EngineMetrics,
 }
 
 /// Result of Theorem 1.3: a coloring, or the promised clique.
@@ -279,17 +301,30 @@ pub fn list_color_sparse(
     let mut stats = PeelStats::default();
     let mut alive = VertexSet::full(n);
     let mut levels: Vec<Level> = Vec::new();
+    let mut engine_metrics = EngineMetrics::default();
+    // One `EngineMode` per engine-phase call, all draining into the same
+    // accumulator so the end-to-end run reports its real traffic.
+    macro_rules! engine_mode {
+        () => {
+            config.engine_shards.map(|shards| EngineMode {
+                shards,
+                congest: config.engine_congest,
+                metrics: &mut engine_metrics,
+            })
+        };
+    }
 
     // Peeling phase.
     while !alive.is_empty() {
         let mut radius = initial_radius(config.radius, n);
         let classification = loop {
-            let c = classify_on(g, &alive, d, radius, config.engine_shards, &mut ledger);
+            let c = classify_on(g, &alive, d, radius, engine_mode!().as_mut(), &mut ledger);
             if !c.happy.is_empty() {
                 break c;
             }
             // Stuck: the paper's promise — find the (d+1)-clique.
-            if let Some(clique) = detect_clique_on(g, &alive, d, config.engine_shards, &mut ledger)
+            if let Some(clique) =
+                detect_clique_on(g, &alive, d, engine_mode!().as_mut(), &mut ledger)
             {
                 return Ok(Outcome::CliqueFound {
                     vertices: clique,
@@ -329,7 +364,7 @@ pub fn list_color_sparse(
             &level.classification,
             &mut colors,
             &mut ledger,
-            config.engine_shards,
+            engine_mode!(),
         )?;
     }
     debug_assert!(graphs::is_proper(g, &colors));
@@ -337,6 +372,7 @@ pub fn list_color_sparse(
         colors,
         ledger,
         stats,
+        engine_metrics,
     })))
 }
 
@@ -550,6 +586,102 @@ mod tests {
                 assert_eq!(eng.stats.happy_sizes, seq.stats.happy_sizes);
                 assert_eq!(eng.stats.poor_sizes, seq.stats.poor_sizes);
                 assert_eq!(eng.stats.radii, seq.stats.radii);
+            }
+        }
+    }
+
+    #[test]
+    fn engine_mode_aggregates_session_metrics() {
+        // The composite pipeline must surface its internal sessions'
+        // traffic: engine-mode runs report real message counts (the
+        // ROADMAP's `messages = 0` rows are retired), sequential runs
+        // stay empty, and the aggregate is shard-invariant.
+        let g = gen::apollonian(60, 9);
+        let lists = ListAssignment::uniform(g.n(), 6);
+        let seq = list_color_sparse(&g, &lists, 6, SparseColoringConfig::default()).unwrap();
+        let seq = seq.coloring().unwrap().clone();
+        assert_eq!(seq.engine_metrics.total_messages(), 0);
+        assert_eq!(seq.engine_metrics.total_rounds(), 0);
+        let mut baseline = None;
+        for shards in [1usize, 2] {
+            let config = SparseColoringConfig {
+                engine_shards: Some(shards),
+                ..Default::default()
+            };
+            let eng = list_color_sparse(&g, &lists, 6, config).unwrap();
+            let eng = eng.coloring().unwrap().clone();
+            let m = &eng.engine_metrics;
+            assert!(m.total_messages() > 0, "shards={shards}");
+            // Every engine-executed round is visible in the aggregate, and
+            // rounds the engine observed are exactly the rounds the ledger
+            // charged to message-passing phases.
+            assert!(m.total_rounds() > 0, "shards={shards}");
+            assert!(m.max_width() >= 1);
+            let fingerprint = (m.total_messages(), m.total_rounds(), m.message_counts());
+            match &baseline {
+                None => baseline = Some(fingerprint),
+                Some(base) => assert_eq!(&fingerprint, base, "shard-invariant aggregate"),
+            }
+        }
+    }
+
+    #[test]
+    fn split_mode_pipeline_is_bit_identical_to_unlimited() {
+        // The acceptance contract: under CongestMode::Split the full
+        // pipeline's colors and peel statistics match the unlimited-width
+        // engine run exactly; only the round/fragment accounting may grow,
+        // and the surplus is isolated under the SPLIT_PHASE ledger entry.
+        let g = gen::apollonian(60, 9);
+        let lists = ListAssignment::uniform(g.n(), 6);
+        let unlimited = {
+            let config = SparseColoringConfig {
+                engine_shards: Some(2),
+                ..Default::default()
+            };
+            list_color_sparse(&g, &lists, 6, config)
+                .unwrap()
+                .coloring()
+                .unwrap()
+                .clone()
+        };
+        let mut accounting = None;
+        for shards in [1usize, 2, 8] {
+            let config = SparseColoringConfig {
+                engine_shards: Some(shards),
+                engine_congest: CongestMode::Split(4),
+                ..Default::default()
+            };
+            let split = list_color_sparse(&g, &lists, 6, config).unwrap();
+            let split = split.coloring().unwrap().clone();
+            assert_eq!(split.colors, unlimited.colors, "shards={shards}");
+            assert_eq!(split.stats.alive_sizes, unlimited.stats.alive_sizes);
+            assert_eq!(split.stats.happy_sizes, unlimited.stats.happy_sizes);
+            assert_eq!(split.stats.poor_sizes, unlimited.stats.poor_sizes);
+            assert_eq!(split.stats.radii, unlimited.stats.radii);
+            let surplus = split.ledger.phase_total(engine::SPLIT_PHASE);
+            assert!(surplus > 0, "wide gathers must fragment at width 4");
+            assert_eq!(
+                split.ledger.total() - surplus,
+                unlimited.ledger.total(),
+                "shards={shards}: split ledgers reconcile against unlimited"
+            );
+            assert!(split.engine_metrics.total_fragments() > 0);
+            assert_eq!(
+                split.engine_metrics.total_physical_rounds(),
+                split.engine_metrics.total_rounds() + surplus,
+                "observed physical surplus equals the charged surplus"
+            );
+            let fingerprint = (
+                surplus,
+                split.engine_metrics.total_fragments(),
+                split.engine_metrics.total_physical_rounds(),
+            );
+            match &accounting {
+                None => accounting = Some(fingerprint),
+                Some(base) => assert_eq!(
+                    &fingerprint, base,
+                    "shards={shards}: split accounting must be shard-invariant"
+                ),
             }
         }
     }

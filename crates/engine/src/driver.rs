@@ -42,10 +42,67 @@ use crate::context::NodeCtx;
 use crate::faults::FaultPlan;
 use crate::mailbox::Mailboxes;
 use crate::metrics::{EngineMetrics, RoundMetrics};
-use crate::pool::{stage_outbox, ShardYield, StageEnv, WorkerPool};
+use crate::pool::{stage_outbox, RouteEnv, ShardYield, StageEnv, WorkerPool};
 use crate::program::NodeProgram;
 use crate::shard::ShardPlan;
 use crate::view::GraphView;
+
+/// The ledger phase the extra physical rounds of
+/// [`CongestMode::Split`] are charged to — kept separate from the logical
+/// phases so split-mode ledgers reconcile against the sequential twins:
+/// `total() − phase_total(SPLIT_PHASE)` equals the unlimited-width charge.
+pub const SPLIT_PHASE: &str = "congest-split";
+
+/// How the engine treats message widths against a CONGEST bandwidth budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CongestMode {
+    /// No budget: widths are recorded, never enforced.
+    #[default]
+    Unlimited,
+    /// Strict certification: any message wider than the budget aborts the
+    /// run with a diagnostic panic, so a phase that completes is certified
+    /// CONGEST-safe at that width.
+    Reject(usize),
+    /// Automatic fragmentation: over-budget messages are encoded through
+    /// their [`WireCodec`](crate::WireCodec), chopped into frames of at
+    /// most the budget's words, delivered over consecutive **virtual
+    /// rounds**, and reassembled at the receiver. One logical round costs
+    /// `ceil(w / budget)` physical rounds, where `w` is the widest message
+    /// *delivered* that round (fault-suppressed traffic never crosses the
+    /// wire and costs nothing); the surplus is charged to the
+    /// [`SPLIT_PHASE`] ledger phase and reported via
+    /// [`RoundMetrics::physical_rounds`] / [`RoundMetrics::fragments`].
+    Split(usize),
+}
+
+impl CongestMode {
+    /// The stage-side rejection budget: `usize::MAX` unless this is
+    /// [`CongestMode::Reject`] (split mode lets wide messages through to
+    /// the fragmentation layer).
+    pub(crate) fn reject_budget(self) -> usize {
+        match self {
+            CongestMode::Reject(w) => w,
+            CongestMode::Unlimited | CongestMode::Split(_) => usize::MAX,
+        }
+    }
+
+    /// The routing-side fragmentation budget, if splitting is on.
+    pub(crate) fn split_width(self) -> Option<usize> {
+        match self {
+            CongestMode::Split(w) => Some(w),
+            CongestMode::Unlimited | CongestMode::Reject(_) => None,
+        }
+    }
+
+    /// Physical rounds one logical round with widest message `max_width`
+    /// costs under this mode (always ≥ 1).
+    pub(crate) fn physical_rounds(self, max_width: usize) -> u64 {
+        match self {
+            CongestMode::Split(w) => (max_width.div_ceil(w) as u64).max(1),
+            CongestMode::Unlimited | CongestMode::Reject(_) => 1,
+        }
+    }
+}
 
 /// Engine tuning knobs. All fields are plain data; cloning a config and
 /// rerunning reproduces a run exactly.
@@ -60,7 +117,7 @@ pub struct EngineConfig {
     pub workers: usize,
     /// Global seed from which every per-node random stream is derived.
     pub seed: u64,
-    /// Hard cap on total rounds across all phases of a session.
+    /// Hard cap on total **logical** rounds across all phases of a session.
     pub max_rounds: u64,
     /// Outbox fault schedule (empty by default).
     pub faults: FaultPlan,
@@ -68,10 +125,9 @@ pub struct EngineConfig {
     /// subgraph on these vertices (see [`GraphView`]). `None` runs the
     /// whole graph.
     pub mask: Option<VertexSet>,
-    /// Strict CONGEST mode: `Some(budget)` makes the session panic on any
-    /// message wider than `budget` abstract words, so a completed phase is
-    /// certified CONGEST-safe at that budget. `None` only records widths.
-    pub congest: Option<usize>,
+    /// CONGEST bandwidth treatment: record only, reject over-budget
+    /// messages, or split them across virtual rounds. See [`CongestMode`].
+    pub congest: CongestMode,
 }
 
 impl Default for EngineConfig {
@@ -83,7 +139,7 @@ impl Default for EngineConfig {
             max_rounds: 100_000,
             faults: FaultPlan::new(),
             mask: None,
-            congest: None,
+            congest: CongestMode::Unlimited,
         }
     }
 }
@@ -135,9 +191,9 @@ impl EngineConfig {
         self
     }
 
-    /// Enables strict CONGEST mode: any message wider than `words` aborts
-    /// the session with a diagnostic panic, so phases that complete are
-    /// certified to fit the budget.
+    /// Enables strict CONGEST mode ([`CongestMode::Reject`]): any message
+    /// wider than `words` aborts the session with a diagnostic panic, so
+    /// phases that complete are certified to fit the budget.
     ///
     /// # Panics
     ///
@@ -145,7 +201,29 @@ impl EngineConfig {
     #[must_use]
     pub fn congest_width(mut self, words: usize) -> Self {
         assert!(words >= 1, "a CONGEST budget must allow at least one word");
-        self.congest = Some(words);
+        self.congest = CongestMode::Reject(words);
+        self
+    }
+
+    /// Enables automatic message splitting ([`CongestMode::Split`]): wider
+    /// messages are fragmented into ≤ `words`-word frames delivered over
+    /// consecutive virtual rounds and reassembled at the receiver, with the
+    /// extra physical rounds charged to the [`SPLIT_PHASE`] ledger phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is zero.
+    #[must_use]
+    pub fn congest_split(mut self, words: usize) -> Self {
+        assert!(words >= 1, "a CONGEST budget must allow at least one word");
+        self.congest = CongestMode::Split(words);
+        self
+    }
+
+    /// Sets the CONGEST mode directly.
+    #[must_use]
+    pub fn with_congest(mut self, mode: CongestMode) -> Self {
+        self.congest = mode;
         self
     }
 
@@ -190,8 +268,14 @@ pub enum Stop {
 pub struct PhaseReport {
     /// Phase name (also the ledger phase the rounds were charged to).
     pub phase: String,
-    /// Rounds executed in this phase.
+    /// Logical rounds executed in this phase.
     pub rounds: u64,
+    /// Physical rounds spent on the wire: equals
+    /// [`rounds`](PhaseReport::rounds) outside [`CongestMode::Split`];
+    /// under splitting each logical round costs `ceil(max_width / budget)`
+    /// virtual rounds, and the surplus is charged to the [`SPLIT_PHASE`]
+    /// ledger phase.
+    pub physical_rounds: u64,
     /// Messages sent in this phase.
     pub messages: usize,
     /// False iff the session round cap interrupted a [`Stop::AllHalted`]
@@ -282,13 +366,27 @@ impl<'g, P: NodeProgram + 'static> EngineSession<'g, P> {
             dense: view.dense_table(),
             live: view.live(),
             bounds: &[0, live],
-            congest: config.congest.unwrap_or(usize::MAX),
+            congest: config.congest.reject_budget(),
         };
         for (p, ctx) in programs.iter_mut().zip(ctxs.iter_mut()) {
             ctx.round = 0;
             let outbox = p.init(ctx);
             stage_outbox(ctx.id, outbox, ctx.neighbors, 0, &env, &mut y);
         }
+        for (due, batch) in y.delayed_batches.drain(..) {
+            mail.schedule(due, batch);
+        }
+        mail.inject_due(1);
+        mail.ingest(y.bucket_mut(0));
+        let init_tally = mail.finalize_next(
+            view.live(),
+            &RouteEnv {
+                split: config.congest.split_width().unwrap_or(usize::MAX),
+                round: 0,
+                reorder: config.faults.reorder_seed(),
+                live: view.live(),
+            },
+        );
         metrics.record_init(
             y.messages,
             y.dropped,
@@ -296,13 +394,8 @@ impl<'g, P: NodeProgram + 'static> EngineSession<'g, P> {
             y.duplicated,
             y.lost,
             y.max_width,
+            init_tally.fragments,
         );
-        for (due, batch) in y.delayed_batches.drain(..) {
-            mail.schedule(due, batch);
-        }
-        mail.inject_due(1);
-        mail.ingest(y.bucket_mut(0));
-        mail.sort_next();
         mail.flip();
 
         EngineSession {
@@ -339,6 +432,7 @@ impl<'g, P: NodeProgram + 'static> EngineSession<'g, P> {
         );
         let start_round = self.round;
         let start_msgs = self.metrics.total_messages();
+        let start_physical = self.metrics.total_physical_rounds();
         let label: Arc<str> = Arc::from(phase);
         let mut converged = true;
         match stop {
@@ -364,9 +458,17 @@ impl<'g, P: NodeProgram + 'static> EngineSession<'g, P> {
         }
         let rounds = self.round - start_round;
         self.ledger.charge(phase, rounds);
+        let physical_rounds = self.metrics.total_physical_rounds() - start_physical;
+        // Split mode stretched some logical rounds into several physical
+        // ones; charge the surplus honestly, under its own ledger phase so
+        // the logical charges stay reconcilable with the sequential twins.
+        if physical_rounds > rounds {
+            self.ledger.charge(SPLIT_PHASE, physical_rounds - rounds);
+        }
         PhaseReport {
             phase: phase.to_owned(),
             rounds,
+            physical_rounds,
             messages: self.metrics.total_messages() - start_msgs,
             converged,
         }
@@ -470,7 +572,7 @@ impl<'g, P: NodeProgram + 'static> EngineSession<'g, P> {
             dense: self.view.dense_table(),
             live: self.view.live(),
             bounds: &self.bounds,
-            congest: self.config.congest.unwrap_or(usize::MAX),
+            congest: self.config.congest.reject_budget(),
         };
         if let Err(payload) = self.pool.execute(
             &mut self.programs,
@@ -509,13 +611,23 @@ impl<'g, P: NodeProgram + 'static> EngineSession<'g, P> {
 
         let route_started = Instant::now();
         let next = self.mail.next_ptr();
-        if let Err(payload) = self.pool.route(next, &self.groups) {
-            // Routing is engine code, not program code — a panic here is a
-            // bug, but the epoch still closed, so poison and propagate.
-            self.poisoned = true;
-            self.round -= 1;
-            std::panic::resume_unwind(payload);
-        }
+        let reasm = self.mail.reasm_ptr();
+        let route_env = RouteEnv {
+            split: self.config.congest.split_width().unwrap_or(usize::MAX),
+            round,
+            reorder: self.config.faults.reorder_seed(),
+            live: self.view.live(),
+        };
+        let tally = match self.pool.route(next, reasm, &self.groups, &route_env) {
+            Ok(tally) => tally,
+            Err(payload) => {
+                // Routing is engine code, not program code — a panic here is
+                // a bug, but the epoch still closed, so poison and propagate.
+                self.poisoned = true;
+                self.round -= 1;
+                std::panic::resume_unwind(payload);
+            }
+        };
         self.mail.flip();
         let route_wall = route_started.elapsed();
 
@@ -528,6 +640,10 @@ impl<'g, P: NodeProgram + 'static> EngineSession<'g, P> {
             duplicated,
             lost,
             max_width,
+            // Charged on *delivered* widths: traffic a fault suppressed
+            // never crossed the wire, so it costs no virtual rounds.
+            physical_rounds: self.config.congest.physical_rounds(tally.wire_width),
+            fragments: tally.fragments,
             active_nodes,
             wall: started.elapsed(),
             route_wall,
@@ -538,10 +654,8 @@ impl<'g, P: NodeProgram + 'static> EngineSession<'g, P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::program::{EngineMessage, Outbox};
+    use crate::program::{EngineMessage, Outbox, WireCodec};
     use graphs::gen;
-
-    impl EngineMessage for u64 {}
 
     /// Floods the maximum id seen so far; halts once its value is stable for
     /// a round. Converges in eccentricity+1 rounds; every run is a pure
@@ -744,6 +858,14 @@ mod tests {
         struct Wide;
         #[derive(Clone)]
         struct Words(usize);
+        impl WireCodec for Words {
+            fn encode(&self, out: &mut Vec<u64>) {
+                out.resize(out.len() + self.0, 0);
+            }
+            fn decode(words: &[u64]) -> Option<Self> {
+                Some(Words(words.len()))
+            }
+        }
         impl EngineMessage for Words {
             fn width(&self) -> usize {
                 self.0
@@ -774,6 +896,174 @@ mod tests {
             .expect("panic message is a String");
         assert!(msg.contains("CONGEST violation"), "{msg}");
         assert!(sess.poisoned());
+    }
+
+    /// Broadcasts a growing list every round — width r at round r — so a
+    /// split budget is exceeded from round `budget + 1` on. The payload is
+    /// the node's id repeated, so a codec defect would corrupt `seen`.
+    struct Chunky {
+        rounds: u64,
+        seen: usize,
+    }
+
+    #[derive(Clone, PartialEq, Debug)]
+    struct IdList(Vec<u64>);
+    impl WireCodec for IdList {
+        fn encode(&self, out: &mut Vec<u64>) {
+            out.extend_from_slice(&self.0);
+        }
+        fn decode(words: &[u64]) -> Option<Self> {
+            (!words.is_empty()).then(|| IdList(words.to_vec()))
+        }
+    }
+    impl EngineMessage for IdList {
+        fn width(&self) -> usize {
+            self.0.len()
+        }
+    }
+
+    impl NodeProgram for Chunky {
+        type Message = IdList;
+        fn init(&mut self, _: &mut NodeCtx<'_>) -> Outbox<IdList> {
+            Outbox::Silent
+        }
+        fn on_round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[(usize, IdList)]) -> Outbox<IdList> {
+            for (src, IdList(words)) in inbox {
+                assert!(words.iter().all(|&w| w == *src as u64), "payload corrupted");
+                self.seen += words.len();
+            }
+            if ctx.round <= self.rounds {
+                Outbox::Broadcast(IdList(vec![ctx.id as u64; ctx.round as usize]))
+            } else {
+                Outbox::Silent
+            }
+        }
+        fn halted(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn split_mode_charges_physical_rounds_and_replays_unlimited_outputs() {
+        let g = gen::cycle(10);
+        let run = |config: EngineConfig| {
+            let mut sess = EngineSession::new(&g, config, |_| Chunky { rounds: 4, seen: 0 });
+            sess.run_phase("chunky", Stop::Rounds(5));
+            let ledger_total = sess.ledger().total();
+            let split_total = sess.ledger().phase_total(SPLIT_PHASE);
+            let (programs, metrics, _) = sess.into_parts();
+            let seen: Vec<usize> = programs.iter().map(|p| p.seen).collect();
+            (seen, metrics, ledger_total, split_total)
+        };
+        let unlimited = run(EngineConfig::default());
+        assert_eq!(unlimited.1.total_physical_rounds(), 5);
+        assert_eq!(unlimited.1.total_fragments(), 0);
+        assert_eq!(unlimited.3, 0);
+
+        for shards in [1usize, 2, 4] {
+            let split = run(EngineConfig::default()
+                .with_shards(shards)
+                .with_workers(shards)
+                .congest_split(2));
+            assert_eq!(split.0, unlimited.0, "shards={shards}: outputs diverged");
+            // Rounds 1..=5 deliver widths 1..=4 (round 5 routes round 4's
+            // sends… widths observed per round r are r for r ≤ 4, then 0):
+            // physical = ceil(1/2)+ceil(2/2)+ceil(3/2)+ceil(4/2)+1 = 7.
+            assert_eq!(split.1.total_rounds(), 5, "logical rounds unchanged");
+            assert_eq!(split.1.total_physical_rounds(), 7, "shards={shards}");
+            assert_eq!(split.3, 2, "surplus charged to {SPLIT_PHASE}");
+            assert_eq!(split.2, unlimited.2 + 2, "total = logical + split surplus");
+            // Widths 3 and 4 exceed the budget on every edge: rounds 4 and
+            // 5 fragment all 20 deliveries into 2 frames each.
+            assert_eq!(split.1.total_fragments(), 80, "shards={shards}");
+            assert_eq!(split.1.max_width(), 4, "logical widths still recorded");
+        }
+    }
+
+    #[test]
+    fn fault_suppressed_traffic_costs_no_physical_rounds() {
+        // Crash every node before its first wide send: nothing ever crosses
+        // the wire, so a Split(1) run charges no virtual-round surplus even
+        // though wide messages were *emitted* (and counted as dropped).
+        let g = gen::cycle(4);
+        let mut faults = FaultPlan::new();
+        for v in 0..4 {
+            faults = faults.crash(v, 0);
+        }
+        let mut sess = EngineSession::new(
+            &g,
+            EngineConfig::default().congest_split(1).with_faults(faults),
+            |_| Chunky { rounds: 3, seen: 0 },
+        );
+        let report = sess.run_phase("chunky", Stop::Rounds(4));
+        assert_eq!(report.rounds, 4);
+        assert_eq!(
+            report.physical_rounds, 4,
+            "suppressed traffic must not be charged"
+        );
+        assert_eq!(sess.ledger().phase_total(SPLIT_PHASE), 0);
+        assert_eq!(sess.metrics().total_fragments(), 0);
+        assert!(sess.metrics().total_dropped() > 0, "the sends were real");
+        assert!(
+            sess.metrics().max_width() > 1,
+            "emitted widths still recorded"
+        );
+    }
+
+    #[test]
+    fn split_report_exposes_physical_rounds() {
+        let g = gen::path(6);
+        let mut sess = EngineSession::new(&g, EngineConfig::default().congest_split(1), |_| {
+            Chunky { rounds: 3, seen: 0 }
+        });
+        let report = sess.run_phase("chunky", Stop::Rounds(4));
+        assert_eq!(report.rounds, 4);
+        // Widths 1, 2, 3 then silence: 1 + 2 + 3 + 1 physical rounds.
+        assert_eq!(report.physical_rounds, 7);
+        assert_eq!(sess.ledger().phase_total("chunky"), 4);
+        assert_eq!(sess.ledger().phase_total(SPLIT_PHASE), 3);
+    }
+
+    #[test]
+    fn reorder_fault_keeps_flood_outcome_and_replays() {
+        let g = gen::random_tree(120, 9);
+        let clean = flood(&g, EngineConfig::default());
+        let run = |shards: usize| {
+            flood(
+                &g,
+                EngineConfig::default()
+                    .with_shards(shards)
+                    .with_workers(shards)
+                    .with_faults(FaultPlan::new().reorder(5)),
+            )
+        };
+        let base = run(1);
+        assert_eq!(base.0, clean.0, "max-flood is order-insensitive");
+        for shards in [2usize, 4] {
+            assert_eq!(run(shards), base, "shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn crash_stop_silences_a_node_forever() {
+        // Path 0-1-2-3-4: crash node 2 at round 0 (before init): the max id
+        // 4 can never cross it, and every suppressed outbox counts dropped.
+        let g = gen::path(5);
+        let mut sess = new_flood(
+            &g,
+            EngineConfig::default()
+                .with_faults(FaultPlan::new().crash(2, 0))
+                .with_max_rounds(10),
+        );
+        sess.run_phase("flood", Stop::AllHalted);
+        let values: Vec<u64> = sess.programs().iter().map(|p| p.value).collect();
+        assert_eq!(values[0], 1, "id 4 must not have crossed the crash");
+        assert_eq!(values[1], 1);
+        assert_eq!(values[3], 4);
+        assert!(
+            sess.metrics().total_dropped() >= 2,
+            "init broadcast dropped"
+        );
     }
 
     #[test]

@@ -47,12 +47,20 @@ pub struct FaultPlan {
     schedule: BTreeMap<(u64, VertexId), FaultAction>,
     duplication: Option<Duplication>,
     loss: Option<Loss>,
+    reorder: Option<u64>,
+    /// Crash-stop nodes: vertex → first round whose outbox is suppressed
+    /// (the node is silent from that round on, forever).
+    crashes: BTreeMap<VertexId, u64>,
 }
 
 /// Domain separator mixed into the seed of per-edge *loss* decisions, so a
 /// plan installing loss and duplication under the same seed draws
 /// independent coins for each.
 const LOSS_DOMAIN: u64 = 0x6c6f_7373_2d65_6467; // "loss-edg"
+
+/// Domain separator for adversarial *reorder* coins, independent of loss
+/// and duplication under a shared seed.
+const REORDER_DOMAIN: u64 = 0x7265_6f72_6465_7221; // "reorder!"
 
 /// Seeded per-edge loss: each delivered message is independently discarded
 /// with the given probability, decided by hashing the message's
@@ -146,12 +154,48 @@ impl FaultPlan {
         self
     }
 
-    /// The action for `node`'s outbox in `round`.
+    /// Adversarially permutes each inbox's delivery order with a seeded
+    /// rule, applied together with the deterministic sender sort — so
+    /// protocols that silently *rely* on arrival order (send order within
+    /// one sender's burst: `Multi` repeats, duplicated deliveries, delayed
+    /// batches racing fresh traffic) are flushed out. The permutation is a
+    /// pure function of `(seed, round, receiver, sender)` over the
+    /// canonical sorted order, so a reordered run still replays
+    /// bit-identically at any shard or worker count.
+    #[must_use]
+    pub fn reorder(mut self, seed: u64) -> Self {
+        self.reorder = Some(seed);
+        self
+    }
+
+    /// Crash-stops `vertex` at `round`: its outbox is suppressed from that
+    /// round on, forever (round 0 crashes a node before its free `init`
+    /// exchange). The node's program still steps locally — a crashed
+    /// processor's *state* is irrelevant to the network, only its silence
+    /// is observable — and the suppressed messages are counted as dropped.
+    /// Calling again with an earlier round moves the crash earlier.
+    #[must_use]
+    pub fn crash(mut self, vertex: VertexId, round: u64) -> Self {
+        let at = self.crashes.entry(vertex).or_insert(round);
+        *at = (*at).min(round);
+        self
+    }
+
+    /// The action for `node`'s outbox in `round`. A crash-stop overrides
+    /// any scheduled outbox fault from its round on.
     pub fn action(&self, round: u64, node: VertexId) -> FaultAction {
+        if self.crashes.get(&node).is_some_and(|&at| round >= at) {
+            return FaultAction::Drop;
+        }
         self.schedule
             .get(&(round, node))
             .copied()
             .unwrap_or(FaultAction::Deliver)
+    }
+
+    /// The adversarial reorder seed, if installed.
+    pub(crate) fn reorder_seed(&self) -> Option<u64> {
+        self.reorder
     }
 
     /// Whether any duplication rule is installed (cheap pre-check so the
@@ -209,12 +253,51 @@ impl FaultPlan {
 
     /// Whether the plan injects any fault at all.
     pub fn is_empty(&self) -> bool {
-        self.schedule.is_empty() && self.duplication.is_none() && self.loss.is_none()
+        self.schedule.is_empty()
+            && self.duplication.is_none()
+            && self.loss.is_none()
+            && self.reorder.is_none()
+            && self.crashes.is_empty()
     }
 
-    /// Number of scheduled faults.
+    /// Number of scheduled faults (outbox schedule entries plus crash-stop
+    /// nodes; per-edge rules are not scheduled events).
     pub fn len(&self) -> usize {
-        self.schedule.len()
+        self.schedule.len() + self.crashes.len()
+    }
+}
+
+/// Applies the seeded adversarial reorder to a sender-sorted inbox: each
+/// maximal run of messages from one sender is permuted by a Fisher–Yates
+/// whose coins are a pure function of `(seed, round, receiver, sender)`.
+/// Because the run's pre-permutation order (send order) and membership are
+/// shard-invariant, so is the permuted delivery order — reordering
+/// composes with the engine's replay contract like every other fault.
+pub(crate) fn reorder_inbox<T>(
+    inbox: &mut [(VertexId, T)],
+    seed: u64,
+    round: u64,
+    receiver: VertexId,
+) {
+    let mut i = 0;
+    while i < inbox.len() {
+        let src = inbox[i].0;
+        let mut j = i + 1;
+        while j < inbox.len() && inbox[j].0 == src {
+            j += 1;
+        }
+        if j - i > 1 {
+            let base = mix64(
+                mix64(mix64(mix64(seed, REORDER_DOMAIN), round), receiver as u64),
+                src as u64,
+            );
+            let run = &mut inbox[i..j];
+            for k in (1..run.len()).rev() {
+                let pick = (mix64(base, k as u64) % (k as u64 + 1)) as usize;
+                run.swap(k, pick);
+            }
+        }
+        i = j;
     }
 }
 
@@ -303,5 +386,62 @@ mod tests {
     #[should_panic(expected = "probability")]
     fn zero_loss_probability_rejected() {
         let _ = FaultPlan::new().lose_edges(1, 0.0);
+    }
+
+    #[test]
+    fn crash_suppresses_from_its_round_on() {
+        let plan = FaultPlan::new().crash(4, 3).delay_outbox(4, 5, 2);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.action(2, 4), FaultAction::Deliver);
+        assert_eq!(plan.action(3, 4), FaultAction::Drop);
+        assert_eq!(plan.action(100, 4), FaultAction::Drop, "crash is forever");
+        assert_eq!(plan.action(5, 4), FaultAction::Drop, "crash beats delay");
+        assert_eq!(plan.action(3, 5), FaultAction::Deliver, "others unaffected");
+        // Re-crashing only ever moves the crash earlier.
+        let plan = plan.crash(4, 10).crash(4, 1);
+        assert_eq!(plan.action(1, 4), FaultAction::Drop);
+    }
+
+    #[test]
+    fn reorder_permutes_only_same_sender_runs_deterministically() {
+        let sorted = vec![(1usize, 'a'), (2, 'b'), (2, 'c'), (2, 'd'), (5, 'e')];
+        // Find a seed that actually moves something in sender 2's run.
+        let mut moved = None;
+        for seed in 0..64u64 {
+            let mut inbox = sorted.clone();
+            reorder_inbox(&mut inbox, seed, 7, 0);
+            assert_eq!(inbox[0], (1, 'a'), "singleton runs never move");
+            assert_eq!(inbox[4], (5, 'e'));
+            let senders: Vec<usize> = inbox.iter().map(|&(s, _)| s).collect();
+            assert_eq!(senders, vec![1, 2, 2, 2, 5], "sender sort preserved");
+            if inbox != sorted {
+                moved = Some((seed, inbox));
+                break;
+            }
+        }
+        let (seed, perturbed) = moved.expect("some seed permutes a 3-run");
+        let mut replay = sorted.clone();
+        reorder_inbox(&mut replay, seed, 7, 0);
+        assert_eq!(replay, perturbed, "same coordinates replay identically");
+        let mut other_round = sorted.clone();
+        reorder_inbox(&mut other_round, seed, 8, 0);
+        let mut other_receiver = sorted.clone();
+        reorder_inbox(&mut other_receiver, seed, 7, 9);
+        // Coins are drawn per (round, receiver): at least the full triple
+        // never collides into the identity for every coordinate at once.
+        assert!(
+            perturbed != sorted || other_round != sorted || other_receiver != sorted,
+            "reorder coins must depend on the coordinates"
+        );
+    }
+
+    #[test]
+    fn reorder_plan_is_nonempty_and_exposes_its_seed() {
+        let plan = FaultPlan::new().reorder(11);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.len(), 0, "reorder is a rule, not a scheduled event");
+        assert_eq!(plan.reorder_seed(), Some(11));
+        assert_eq!(FaultPlan::new().reorder_seed(), None);
     }
 }

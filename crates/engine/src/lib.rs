@@ -39,10 +39,17 @@
 //!   duplicate / lose individual messages with seeded per-edge rules
 //!   ([`FaultPlan::duplicate_edges`], [`FaultPlan::lose_edges`]), without
 //!   the program's knowledge.
-//! * CONGEST accounting — [`EngineConfig::congest_width`] turns the
-//!   recorded [`EngineMessage::width`]s into a strict budget: any wider
-//!   message aborts the run, so completed phases are certified
-//!   CONGEST-safe.
+//! * CONGEST accounting — every message carries a typed wire format
+//!   ([`WireCodec`]: encode to / decode from word frames), and
+//!   [`CongestMode`] decides what the recorded
+//!   [`EngineMessage::width`]s mean: [`CongestMode::Reject`]
+//!   ([`EngineConfig::congest_width`]) aborts on any over-budget message,
+//!   certifying completed phases CONGEST-safe; [`CongestMode::Split`]
+//!   ([`EngineConfig::congest_split`]) fragments wide messages into
+//!   budget-sized `(seq, total)` frames delivered over consecutive virtual
+//!   rounds and reassembled per edge, with the extra physical rounds
+//!   charged to the [`SPLIT_PHASE`] ledger phase and counted in
+//!   [`EngineMetrics`] (`physical_rounds`, `fragments`).
 //! * [`programs`] — ports of the repository's algorithms onto the engine,
 //!   each equivalence-tested against its sequential twin.
 //!
@@ -95,10 +102,10 @@ pub mod shard;
 pub mod view;
 
 pub use context::{node_rng, NodeCtx};
-pub use driver::{EngineConfig, EngineSession, PhaseReport, Stop};
+pub use driver::{CongestMode, EngineConfig, EngineSession, PhaseReport, Stop, SPLIT_PHASE};
 pub use faults::{FaultAction, FaultPlan};
 pub use metrics::{EngineMetrics, RoundMetrics};
-pub use program::{EngineMessage, NodeProgram, Outbox};
+pub use program::{EngineMessage, NodeProgram, Outbox, WireCodec};
 pub use programs::{
     engine_classification_gather, engine_cole_vishkin_3color, engine_degree_plus_one_coloring,
     engine_detect_clique, engine_gather_balls, engine_h_partition, engine_layered_greedy,
@@ -108,5 +115,34 @@ pub use shard::ShardPlan;
 pub use view::GraphView;
 
 /// `usize` is a first-class message: several programs exchange bare ids or
-/// colors.
+/// colors. The wire format is the value itself, one word.
+impl WireCodec for usize {
+    fn encode(&self, out: &mut Vec<u64>) {
+        out.push(*self as u64);
+    }
+
+    fn decode(words: &[u64]) -> Option<Self> {
+        match words {
+            [w] => Some(*w as usize),
+            _ => None,
+        }
+    }
+}
+
 impl EngineMessage for usize {}
+
+/// `u64` is likewise a first-class one-word message.
+impl WireCodec for u64 {
+    fn encode(&self, out: &mut Vec<u64>) {
+        out.push(*self);
+    }
+
+    fn decode(words: &[u64]) -> Option<Self> {
+        match words {
+            [w] => Some(*w),
+            _ => None,
+        }
+    }
+}
+
+impl EngineMessage for u64 {}

@@ -1,4 +1,5 @@
-//! Double-buffered mailboxes: the synchronous message fabric.
+//! Double-buffered mailboxes: the synchronous message fabric — plus the
+//! CONGEST **reassembly layer** for split-mode runs.
 //!
 //! Two buffers per **live** vertex — `cur` (read this round) and `next`
 //! (filled for the coming round) — plus a schedule of fault-delayed batches.
@@ -14,34 +15,237 @@
 //! duplicated deliveries immediately follow their original, and delayed
 //! batches due the same round precede fresh traffic from the same sender
 //! because they are injected first). The order is therefore a pure function
-//! of the traffic, independent of shard count and thread schedule.
+//! of the traffic, independent of shard count and thread schedule. An
+//! installed [`FaultPlan::reorder`](crate::FaultPlan::reorder) rule then
+//! adversarially permutes each same-sender run — seeded, shard-invariant.
+//!
+//! # Fragmentation and reassembly
+//!
+//! Under [`CongestMode::Split`](crate::CongestMode::Split) a logical
+//! message wider than the budget never crosses an edge whole. The routing
+//! phase encodes it through its [`WireCodec`](crate::WireCodec), chops the
+//! words into `(seq, total)`-headed frames of at most the budget, and feeds
+//! them — in order, over consecutive virtual rounds — into the receiving
+//! edge’s `Reassembly` buffer, which releases the decoded logical message
+//! to the program **only when the last frame lands**. Each live vertex owns
+//! one `EdgeReassembly` map (sender → in-flight buffer), persisted across
+//! rounds so buffer capacity is reused. Faults act on *logical* messages in
+//! the staging phase, before fragmentation, so fault replay is identical
+//! across split and unlimited modes.
 //!
 //! Since the routing refactor the sender sort runs in the **routing phase**
-//! (each worker sorts the inboxes of its own vertex range — see
+//! (each worker finalizes the inboxes of its own vertex range — see
 //! `pool::route_range`), not in `flip`; driver-side fill paths call
-//! `sort_next` explicitly.
+//! `Mailboxes::finalize_next` explicitly.
 
 use std::collections::BTreeMap;
 
 use graphs::VertexId;
 
+use crate::faults::reorder_inbox;
+use crate::pool::RouteEnv;
+use crate::program::EngineMessage;
+
 /// A routed point-to-point message: `(destination dense index, original
 /// sender id, payload)`.
 pub(crate) type Routed<M> = (usize, VertexId, M);
+
+/// One edge's in-flight fragment buffer: accumulates the `(seq, total)`
+/// frames of a single logical message and reports completion. The words
+/// vector is retained across messages, so steady-state reassembly
+/// allocates nothing.
+#[derive(Debug, Default)]
+pub(crate) struct Reassembly {
+    total: u32,
+    next_seq: u32,
+    words: Vec<u64>,
+}
+
+impl Reassembly {
+    /// Feeds one frame; returns `true` when the message is complete (the
+    /// accumulated words are then readable via [`Reassembly::words`] until
+    /// [`Reassembly::reset`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a protocol violation — a frame out of sequence, a `total`
+    /// that changes mid-message, or a frame after completion. The engine
+    /// delivers frames in order per edge, so a violation is a runtime bug,
+    /// never a valid execution.
+    pub(crate) fn push(&mut self, seq: u32, total: u32, frame: &[u64]) -> bool {
+        if seq == 0 {
+            assert_eq!(
+                self.next_seq, 0,
+                "new message started before the previous one completed"
+            );
+            assert!(total >= 1, "a fragmented message has at least one frame");
+            self.total = total;
+            self.words.clear();
+        }
+        assert_eq!(seq, self.next_seq, "fragment out of sequence");
+        assert_eq!(
+            total, self.total,
+            "fragment header total changed mid-message"
+        );
+        self.words.extend_from_slice(frame);
+        self.next_seq += 1;
+        self.next_seq == self.total
+    }
+
+    /// The reassembled words of a completed message.
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Readies the buffer for the edge's next message, keeping capacity.
+    pub(crate) fn reset(&mut self) {
+        self.total = 0;
+        self.next_seq = 0;
+        self.words.clear();
+    }
+
+    /// Whether a message is mid-reassembly.
+    pub(crate) fn in_flight(&self) -> bool {
+        self.next_seq != 0 && self.next_seq < self.total
+    }
+}
+
+/// One receiver's reassembly state: a per-sender ([`Reassembly`]) buffer
+/// for every edge that is currently — or was ever — delivering fragmented
+/// traffic to this vertex, plus a reusable encode scratch so steady-state
+/// splitting allocates nothing.
+#[derive(Debug, Default)]
+pub(crate) struct EdgeReassembly {
+    streams: BTreeMap<VertexId, Reassembly>,
+    /// Encode scratch, reused across messages and rounds.
+    scratch: Vec<u64>,
+}
+
+impl EdgeReassembly {
+    /// Whether any edge has a message mid-reassembly (must be false at
+    /// every round boundary: fragments of one logical round never leak
+    /// into the next).
+    pub(crate) fn any_in_flight(&self) -> bool {
+        self.streams.values().any(Reassembly::in_flight)
+    }
+}
+
+/// What one inbox's finalization observed: CONGEST frames produced, and
+/// the widest logical message actually **delivered** (0 outside split
+/// mode) — the width that decides the round's physical cost. Charging on
+/// delivered widths keeps fault-suppressed traffic free: a dropped,
+/// crashed, or lost wide message never crossed the wire, so it costs no
+/// virtual rounds.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct RouteTally {
+    /// Frames produced by fragmenting over-budget messages.
+    pub(crate) fragments: usize,
+    /// Widest delivered logical message, in words.
+    pub(crate) wire_width: usize,
+}
+
+impl RouteTally {
+    /// Merges another range's tally into this one.
+    pub(crate) fn absorb(&mut self, other: RouteTally) {
+        self.fragments += other.fragments;
+        self.wire_width = self.wire_width.max(other.wire_width);
+    }
+}
+
+/// Ships one over-budget logical message through the wire: encode, chop
+/// into ≤ `budget`-word `(seq, total)` frames, feed every frame through the
+/// receiving edge's buffer, decode on completion. Returns the decoded
+/// message — what the program will actually observe, so a codec defect is a
+/// visible output divergence, never a silent one — and the frame count.
+///
+/// # Panics
+///
+/// Panics if the codec violates its contract (encode/decode mismatch).
+pub(crate) fn split_roundtrip<M: EngineMessage>(
+    src: VertexId,
+    m: &M,
+    budget: usize,
+    reasm: &mut EdgeReassembly,
+) -> (M, usize) {
+    debug_assert!(budget >= 1);
+    let EdgeReassembly { streams, scratch } = reasm;
+    scratch.clear();
+    m.encode(scratch);
+    let total = scratch.len().div_ceil(budget).max(1) as u32;
+    let stream = streams.entry(src).or_default();
+    let mut complete = false;
+    if scratch.is_empty() {
+        // A zero-word encoding still crosses as one (empty) frame.
+        complete = stream.push(0, 1, &[]);
+    } else {
+        for (seq, frame) in scratch.chunks(budget).enumerate() {
+            assert!(!complete, "message released before its last frame");
+            complete = stream.push(seq as u32, total, frame);
+        }
+    }
+    assert!(complete, "last frame must complete the message");
+    let decoded = M::decode(stream.words()).expect("wire codec must round-trip its own encoding");
+    stream.reset();
+    (decoded, total as usize)
+}
+
+/// Finalizes one freshly routed inbox — the per-inbox half of the routing
+/// phase, shared by the worker-parallel path (`pool::route_range`) and the
+/// driver-side init path:
+///
+/// 1. **split mode**: every over-budget message is fragmented and
+///    reassembled through the receiver's per-edge buffers ([`split_roundtrip`]);
+/// 2. the stable sender sort;
+/// 3. the optional seeded adversarial reorder of same-sender runs.
+///
+/// Returns the frames produced and the widest delivered message.
+pub(crate) fn finalize_inbox<M: EngineMessage>(
+    inbox: &mut [(VertexId, M)],
+    reasm: &mut EdgeReassembly,
+    receiver: VertexId,
+    env: &RouteEnv<'_>,
+) -> RouteTally {
+    let mut tally = RouteTally::default();
+    if env.split != usize::MAX {
+        for (src, m) in inbox.iter_mut() {
+            let width = m.width();
+            tally.wire_width = tally.wire_width.max(width);
+            if width > env.split {
+                let (decoded, frames) = split_roundtrip(*src, m, env.split, reasm);
+                *m = decoded;
+                tally.fragments += frames;
+            }
+        }
+        debug_assert!(
+            !reasm.any_in_flight(),
+            "fragments of one round must not leak into the next"
+        );
+    }
+    if inbox.len() > 1 {
+        inbox.sort_by_key(|&(src, _)| src);
+        if let Some(seed) = env.reorder {
+            reorder_inbox(inbox, seed, env.round, receiver);
+        }
+    }
+    tally
+}
 
 /// The engine's mailbox fabric. See module docs.
 pub(crate) struct Mailboxes<M> {
     cur: Vec<Vec<(VertexId, M)>>,
     next: Vec<Vec<(VertexId, M)>>,
+    /// Per-receiver reassembly buffers (dense-indexed, like the inboxes).
+    reasm: Vec<EdgeReassembly>,
     delayed: BTreeMap<u64, Vec<Routed<M>>>,
 }
 
-impl<M> Mailboxes<M> {
+impl<M: EngineMessage> Mailboxes<M> {
     /// Mailboxes for `live` vertices (the session's dense index space).
     pub(crate) fn new(live: usize) -> Self {
         Mailboxes {
             cur: (0..live).map(|_| Vec::new()).collect(),
             next: (0..live).map(|_| Vec::new()).collect(),
+            reasm: (0..live).map(|_| EdgeReassembly::default()).collect(),
             delayed: BTreeMap::new(),
         }
     }
@@ -52,9 +256,16 @@ impl<M> Mailboxes<M> {
     }
 
     /// Raw base pointer of the `next` buffers, for the worker-parallel
-    /// routing phase: each worker fills (and sorts) a disjoint dense range.
+    /// routing phase: each worker fills (and finalizes) a disjoint dense
+    /// range.
     pub(crate) fn next_ptr(&mut self) -> *mut Vec<(VertexId, M)> {
         self.next.as_mut_ptr()
+    }
+
+    /// Raw base pointer of the reassembly buffers, partitioned across
+    /// workers exactly like [`next_ptr`](Mailboxes::next_ptr).
+    pub(crate) fn reasm_ptr(&mut self) -> *mut EdgeReassembly {
+        self.reasm.as_mut_ptr()
     }
 
     /// Injects any batch whose delay expires at `round` — must happen
@@ -82,19 +293,21 @@ impl<M> Mailboxes<M> {
         self.delayed.entry(round).or_default().extend(batch);
     }
 
-    /// Sorts every filled `next` inbox by original sender id (stable) —
-    /// the driver-side twin of the per-range sort the routing phase does.
-    pub(crate) fn sort_next(&mut self) {
-        for inbox in &mut self.next {
-            if inbox.len() > 1 {
-                inbox.sort_by_key(|&(src, _)| src);
-            }
+    /// Finalizes every `next` inbox serially ([`finalize_inbox`]: split /
+    /// sort / reorder) — the driver-side twin of the worker-parallel
+    /// routing phase, used for round-0 init traffic. `live` maps dense
+    /// indices to original receiver ids.
+    pub(crate) fn finalize_next(&mut self, live: &[VertexId], env: &RouteEnv<'_>) -> RouteTally {
+        let mut tally = RouteTally::default();
+        for (dv, inbox) in self.next.iter_mut().enumerate() {
+            tally.absorb(finalize_inbox(inbox, &mut self.reasm[dv], live[dv], env));
         }
+        tally
     }
 
     /// Ends the routing of a round: flips the buffers (callers must have
-    /// sorted `next` already — on the workers or via
-    /// [`sort_next`](Mailboxes::sort_next)).
+    /// finalized `next` already — on the workers or via
+    /// [`finalize_next`](Mailboxes::finalize_next)).
     pub(crate) fn flip(&mut self) {
         std::mem::swap(&mut self.cur, &mut self.next);
         for inbox in &mut self.next {
@@ -112,9 +325,23 @@ impl<M> Mailboxes<M> {
 mod tests {
     use super::*;
 
+    fn plain_env<'a>() -> RouteEnv<'a> {
+        RouteEnv {
+            split: usize::MAX,
+            round: 1,
+            reorder: None,
+            live: &[],
+        }
+    }
+
+    fn finalize_all(mail: &mut Mailboxes<u64>, env: &RouteEnv<'_>) {
+        let live: Vec<VertexId> = (0..mail.next.len()).collect();
+        mail.finalize_next(&live, env);
+    }
+
     #[test]
     fn messages_visible_only_after_flip() {
-        let mut mail: Mailboxes<u32> = Mailboxes::new(3);
+        let mut mail: Mailboxes<u64> = Mailboxes::new(3);
         let mut staged = vec![(2, 0, 7)];
         mail.ingest(&mut staged);
         assert!(staged.is_empty(), "staging arena drained, not consumed");
@@ -122,7 +349,7 @@ mod tests {
             mail.inboxes()[2].is_empty(),
             "sent this round, not visible yet"
         );
-        mail.sort_next();
+        finalize_all(&mut mail, &plain_env());
         mail.flip();
         assert_eq!(mail.inboxes()[2], vec![(0, 7)]);
         mail.flip();
@@ -131,23 +358,23 @@ mod tests {
 
     #[test]
     fn inboxes_sorted_by_sender_stably() {
-        let mut mail: Mailboxes<u32> = Mailboxes::new(4);
+        let mut mail: Mailboxes<u64> = Mailboxes::new(4);
         // Sender 2 then sender 0, sender 2 again: sorted to 0, 2, 2 with
         // sender 2's messages in send order.
         mail.ingest(&mut vec![(3, 2, 10), (3, 0, 20), (3, 2, 11)]);
-        mail.sort_next();
+        finalize_all(&mut mail, &plain_env());
         mail.flip();
         assert_eq!(mail.inboxes()[3], vec![(0, 20), (2, 10), (2, 11)]);
     }
 
     #[test]
     fn delayed_batches_arrive_on_time_and_first() {
-        let mut mail: Mailboxes<u32> = Mailboxes::new(2);
+        let mut mail: Mailboxes<u64> = Mailboxes::new(2);
         mail.schedule(3, vec![(1, 0, 99)]);
         // Rounds 1 and 2: nothing due.
         for round in 1..3u64 {
             mail.inject_due(round);
-            mail.sort_next();
+            finalize_all(&mut mail, &plain_env());
             mail.flip();
             assert!(mail.inboxes()[1].is_empty(), "round {round}");
         }
@@ -156,9 +383,78 @@ mod tests {
         // delayed message comes first.
         mail.inject_due(3);
         mail.ingest(&mut vec![(1, 0, 100)]);
-        mail.sort_next();
+        finalize_all(&mut mail, &plain_env());
         mail.flip();
         assert_eq!(mail.inboxes()[1], vec![(0, 99), (0, 100)]);
         assert!(!mail.has_pending_delays());
+    }
+
+    #[test]
+    fn reassembly_releases_only_on_completion() {
+        let mut r = Reassembly::default();
+        assert!(!r.push(0, 3, &[1, 2]));
+        assert!(r.in_flight());
+        assert!(!r.push(1, 3, &[3, 4]));
+        assert!(r.push(2, 3, &[5]));
+        assert!(!r.in_flight());
+        assert_eq!(r.words(), &[1, 2, 3, 4, 5]);
+        r.reset();
+        assert!(r.push(0, 1, &[9]), "single-frame messages complete at once");
+        assert_eq!(r.words(), &[9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of sequence")]
+    fn reassembly_rejects_gaps() {
+        let mut r = Reassembly::default();
+        r.push(0, 3, &[1]);
+        r.push(2, 3, &[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "before the previous one completed")]
+    fn reassembly_rejects_interleaved_messages() {
+        let mut r = Reassembly::default();
+        r.push(0, 3, &[1]);
+        r.push(0, 2, &[7]);
+    }
+
+    #[test]
+    fn split_roundtrip_counts_frames_and_round_trips() {
+        // u32 is not an EngineMessage; use u64's codec via the blanket
+        // impls in lib.rs on a wide Vec-like payload: the gather message.
+        use crate::programs::gather::NbrList;
+        let mut reasm = EdgeReassembly::default();
+        let msg = NbrList(vec![3, 5, 8, 13, 21]);
+        let (decoded, frames) = split_roundtrip(7, &msg, 2, &mut reasm);
+        assert_eq!(decoded.0, msg.0);
+        assert_eq!(frames, 3, "5 words at 2 per frame");
+        // The edge buffer is reusable for the next message.
+        let (decoded, frames) = split_roundtrip(7, &NbrList(vec![1]), 2, &mut reasm);
+        assert_eq!(decoded.0, vec![1]);
+        assert_eq!(frames, 1);
+        assert!(!reasm.any_in_flight());
+    }
+
+    #[test]
+    fn finalize_inbox_splits_sorts_and_counts() {
+        use crate::programs::gather::NbrList;
+        let mut reasm = EdgeReassembly::default();
+        let env = RouteEnv {
+            split: 2,
+            round: 1,
+            reorder: None,
+            live: &[],
+        };
+        let mut inbox = vec![
+            (4usize, NbrList(vec![1, 2, 3, 4, 5])), // 3 frames at width 2
+            (1, NbrList(vec![9])),                  // within budget: whole
+        ];
+        let tally = finalize_inbox(&mut inbox, &mut reasm, 0, &env);
+        assert_eq!(tally.fragments, 3);
+        assert_eq!(tally.wire_width, 5, "delivered width drives the charge");
+        assert_eq!(inbox[0].0, 1, "sender sort still applies");
+        assert_eq!(inbox[0].1 .0, vec![9]);
+        assert_eq!(inbox[1].1 .0, vec![1, 2, 3, 4, 5]);
     }
 }

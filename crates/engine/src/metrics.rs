@@ -33,6 +33,18 @@ pub struct RoundMetrics {
     /// Widest message emitted this round, in abstract words
     /// ([`EngineMessage::width`](crate::EngineMessage::width)).
     pub max_width: usize,
+    /// Physical rounds this logical round cost on the wire: 1 unless
+    /// [`CongestMode::Split`](crate::CongestMode::Split) stretched it to
+    /// `ceil(w / budget)` virtual rounds, where `w` is the widest message
+    /// actually **delivered** this round. Charging follows delivery, not
+    /// emission: traffic a fault suppressed (dropped, crashed, lost) never
+    /// crossed the wire and costs nothing, and a fault-delayed wide
+    /// message is charged in the round its frames actually traverse.
+    pub physical_rounds: u64,
+    /// CONGEST frames produced by fragmenting over-budget messages
+    /// delivered this round (0 outside split mode; a message within budget
+    /// is delivered whole and counts no fragment).
+    pub fragments: usize,
     /// Nodes whose halt vote was still "active" when the round started.
     pub active_nodes: usize,
     /// Wall-clock time of the round (compute + routing).
@@ -75,6 +87,10 @@ pub struct EngineMetrics {
     pub init_lost: usize,
     /// Widest round-0 message.
     pub init_max_width: usize,
+    /// CONGEST frames produced by splitting round-0 init traffic (the
+    /// free knowledge exchange is fragmented like any other traffic, but
+    /// stays free of round charges).
+    pub init_fragments: usize,
 }
 
 impl EngineMetrics {
@@ -84,6 +100,7 @@ impl EngineMetrics {
     }
 
     /// Records the round-0 init traffic.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn record_init(
         &mut self,
         messages: usize,
@@ -92,6 +109,7 @@ impl EngineMetrics {
         duplicated: usize,
         lost: usize,
         max_width: usize,
+        fragments: usize,
     ) {
         self.init_messages = messages;
         self.init_dropped = dropped;
@@ -99,6 +117,23 @@ impl EngineMetrics {
         self.init_duplicated = duplicated;
         self.init_lost = lost;
         self.init_max_width = max_width;
+        self.init_fragments = fragments;
+    }
+
+    /// Folds another session's metrics into this accumulator — the
+    /// composite-pipeline aggregation (`SparseColoring::engine_metrics`):
+    /// init counters add up, per-round records concatenate in absorption
+    /// order. Round indices restart per absorbed session; the totals are
+    /// what composite reports consume.
+    pub fn absorb(&mut self, other: EngineMetrics) {
+        self.init_messages += other.init_messages;
+        self.init_dropped += other.init_dropped;
+        self.init_delayed += other.init_delayed;
+        self.init_duplicated += other.init_duplicated;
+        self.init_lost += other.init_lost;
+        self.init_max_width = self.init_max_width.max(other.init_max_width);
+        self.init_fragments += other.init_fragments;
+        self.rounds.extend(other.rounds);
     }
 
     /// All executed rounds, in order.
@@ -134,6 +169,19 @@ impl EngineMetrics {
     /// Total messages discarded by seeded per-edge loss, init included.
     pub fn total_lost(&self) -> usize {
         self.init_lost + self.rounds.iter().map(|r| r.lost).sum::<usize>()
+    }
+
+    /// Total physical rounds spent on the wire — equals
+    /// [`total_rounds`](EngineMetrics::total_rounds) outside
+    /// [`CongestMode::Split`](crate::CongestMode::Split); under splitting,
+    /// each logical round contributes `ceil(max_width / budget)`.
+    pub fn total_physical_rounds(&self) -> u64 {
+        self.rounds.iter().map(|r| r.physical_rounds).sum()
+    }
+
+    /// Total CONGEST frames produced by fragmentation, init included.
+    pub fn total_fragments(&self) -> usize {
+        self.init_fragments + self.rounds.iter().map(|r| r.fragments).sum::<usize>()
     }
 
     /// Widest message observed anywhere in the run.
@@ -205,6 +253,8 @@ mod tests {
             duplicated: 0,
             lost: 0,
             max_width: width,
+            physical_rounds: 1,
+            fragments: 0,
             active_nodes: 3,
             wall: Duration::from_micros(10),
             route_wall: Duration::from_micros(4),
@@ -223,7 +273,41 @@ mod tests {
         assert_eq!(m.total_dropped(), 0);
         assert_eq!(m.total_duplicated(), 0);
         assert_eq!(m.total_lost(), 0);
+        assert_eq!(m.total_physical_rounds(), 2);
+        assert_eq!(m.total_fragments(), 0);
         assert_eq!(m.total_route_wall(), Duration::from_micros(8));
+    }
+
+    #[test]
+    fn split_rounds_accumulate_physical_cost() {
+        let mut m = EngineMetrics::default();
+        let mut wide = round(1, 4, 9);
+        wide.physical_rounds = 3;
+        wide.fragments = 12;
+        m.push(wide);
+        m.push(round(2, 1, 1));
+        assert_eq!(m.total_rounds(), 2);
+        assert_eq!(m.total_physical_rounds(), 4);
+        assert_eq!(m.total_fragments(), 12);
+    }
+
+    #[test]
+    fn absorb_concatenates_sessions() {
+        let mut a = EngineMetrics::default();
+        a.record_init(3, 1, 0, 0, 0, 2, 0);
+        a.push(round(1, 5, 2));
+        let mut b = EngineMetrics::default();
+        b.record_init(4, 0, 0, 0, 0, 5, 6);
+        b.push(round(1, 7, 1));
+        b.push(round(2, 2, 1));
+        a.absorb(b);
+        assert_eq!(a.total_rounds(), 3);
+        assert_eq!(a.total_messages(), 3 + 4 + 5 + 7 + 2);
+        assert_eq!(a.init_messages, 7);
+        assert_eq!(a.init_max_width, 5);
+        assert_eq!(a.total_fragments(), 6);
+        assert_eq!(a.total_dropped(), 1);
+        assert_eq!(a.message_counts(), vec![5, 7, 2]);
     }
 
     #[test]

@@ -55,7 +55,7 @@ use graphs::VertexId;
 
 use crate::context::NodeCtx;
 use crate::faults::{FaultAction, FaultPlan};
-use crate::mailbox::Routed;
+use crate::mailbox::{finalize_inbox, EdgeReassembly, RouteTally, Routed};
 use crate::program::{EngineMessage, NodeProgram, Outbox};
 
 const PHASE_COMPUTE: u8 = 0;
@@ -86,6 +86,20 @@ impl StageEnv<'_> {
     fn groups(&self) -> usize {
         self.bounds.len() - 1
     }
+}
+
+/// Everything the routing epoch needs beyond the arenas: the
+/// fragmentation budget, the round being routed (keys the reorder coins),
+/// the adversarial reorder rule, and the dense → original id table.
+pub(crate) struct RouteEnv<'a> {
+    /// Fragmentation budget in words (`usize::MAX` = splitting off).
+    pub(crate) split: usize,
+    /// The logical round whose traffic is being routed (0 = init).
+    pub(crate) round: u64,
+    /// Seeded adversarial same-sender-run reorder, if installed.
+    pub(crate) reorder: Option<u64>,
+    /// Dense index → original id (receiver keying for reorder coins).
+    pub(crate) live: &'a [VertexId],
 }
 
 /// One worker group's per-round contribution: a persistent staging arena
@@ -394,21 +408,26 @@ fn expand_into<M: EngineMessage>(
 
 /// The routing epoch's per-worker share: drain bucket `group` of every
 /// arena (ascending arena order — the determinism contract) into the
-/// `next` inboxes of `range`, then stable-sort each inbox by original
-/// sender id.
+/// `next` inboxes of `range`, then finalize each inbox — fragmentation /
+/// reassembly in split mode, the stable sender sort, and the optional
+/// adversarial reorder (see `mailbox::finalize_inbox`). Returns the
+/// range's [`RouteTally`] (frames produced, widest delivered message).
 ///
 /// # Safety
 ///
 /// The caller must guarantee, for the duration of the call: bucket `group`
-/// of every arena is accessed by this caller alone; `next` points to at
-/// least `range.end` inboxes and the inboxes in `range` are accessed by
-/// this caller alone. The epoch barrier protocol provides both.
+/// of every arena is accessed by this caller alone; `next` and `reasm`
+/// point to at least `range.end` entries and the entries in `range` are
+/// accessed by this caller alone. The epoch barrier protocol provides all
+/// three.
 unsafe fn route_range<M: EngineMessage>(
     arenas: &[ArenaSlot<M>],
     group: usize,
     next: *mut Vec<(VertexId, M)>,
+    reasm: *mut EdgeReassembly,
     range: Range<usize>,
-) {
+    env: &RouteEnv<'_>,
+) -> RouteTally {
     for arena in arenas {
         // SAFETY: shared view of the arena; bucket `group` is ours alone.
         let bucket = unsafe { (*arena.0.get()).bucket_shared(group) };
@@ -418,13 +437,14 @@ unsafe fn route_range<M: EngineMessage>(
             unsafe { (*next.add(dv)).push((src, m)) };
         }
     }
+    let mut tally = RouteTally::default();
     for dv in range {
-        // SAFETY: as above.
+        // SAFETY: as above; the range's reassembly buffers are ours alone.
         let inbox = unsafe { &mut *next.add(dv) };
-        if inbox.len() > 1 {
-            inbox.sort_by_key(|&(src, _)| src);
-        }
+        let buffers = unsafe { &mut *reasm.add(dv) };
+        tally.absorb(finalize_inbox(inbox, buffers, env.live[dv], env));
     }
+    tally
 }
 
 /// One worker's task slot: the raw inputs the driver writes before the
@@ -443,9 +463,12 @@ struct WorkerTask<P: NodeProgram> {
     round: u64,
     // Routing-epoch inputs.
     next: *mut Vec<(VertexId, P::Message)>,
+    reasm: *mut EdgeReassembly,
     route_start: usize,
     route_end: usize,
-    // Output.
+    route_env: RawRouteEnv,
+    // Outputs.
+    tally: RouteTally,
     panic: Option<Box<dyn Any + Send + 'static>>,
 }
 
@@ -461,9 +484,60 @@ impl<P: NodeProgram> Default for WorkerTask<P> {
             env: RawEnv::null(),
             round: 0,
             next: std::ptr::null_mut(),
+            reasm: std::ptr::null_mut(),
             route_start: 0,
             route_end: 0,
+            route_env: RawRouteEnv::null(),
+            tally: RouteTally::default(),
             panic: None,
+        }
+    }
+}
+
+/// Raw-pointer form of [`RouteEnv`], for crossing the task slot. The driver
+/// keeps the borrowed originals alive for the whole epoch.
+#[derive(Clone, Copy)]
+struct RawRouteEnv {
+    split: usize,
+    round: u64,
+    reorder: u64,
+    has_reorder: bool,
+    live: *const VertexId,
+    live_len: usize,
+}
+
+impl RawRouteEnv {
+    fn null() -> Self {
+        RawRouteEnv {
+            split: usize::MAX,
+            round: 0,
+            reorder: 0,
+            has_reorder: false,
+            live: std::ptr::null(),
+            live_len: 0,
+        }
+    }
+
+    fn from_env(env: &RouteEnv<'_>) -> Self {
+        RawRouteEnv {
+            split: env.split,
+            round: env.round,
+            reorder: env.reorder.unwrap_or(0),
+            has_reorder: env.reorder.is_some(),
+            live: env.live.as_ptr(),
+            live_len: env.live.len(),
+        }
+    }
+
+    /// # Safety
+    ///
+    /// The `live` pointer must be live for `'a` (the epoch window).
+    unsafe fn as_env<'a>(&self) -> RouteEnv<'a> {
+        RouteEnv {
+            split: self.split,
+            round: self.round,
+            reorder: self.has_reorder.then_some(self.reorder),
+            live: unsafe { std::slice::from_raw_parts(self.live, self.live_len) },
         }
     }
 }
@@ -680,37 +754,52 @@ impl<P: NodeProgram + 'static> WorkerPool<P> {
     }
 
     /// Runs one **routing epoch**: worker `g` drains bucket `g` of every
-    /// arena into the `next` inboxes of `ranges[g]` and sorts them (group 0
-    /// on the calling thread). `next` must point at the session's full
-    /// dense `next`-inbox array; `ranges` must match the compute epoch's.
+    /// arena into the `next` inboxes of `ranges[g]` and finalizes them
+    /// (split / sort / reorder; group 0 on the calling thread). `next` and
+    /// `reasm` must point at the session's full dense arrays; `ranges` must
+    /// match the compute epoch's. Returns the epoch's [`RouteTally`].
     pub(crate) fn route(
         &mut self,
         next: *mut Vec<(VertexId, P::Message)>,
+        reasm: *mut EdgeReassembly,
         ranges: &[Range<usize>],
-    ) -> Result<(), Box<dyn Any + Send + 'static>> {
+        env: &RouteEnv<'_>,
+    ) -> Result<RouteTally, Box<dyn Any + Send + 'static>> {
         assert_eq!(
             ranges.len(),
             self.shared.arenas.len(),
             "one range per group"
         );
+        let raw_env = RawRouteEnv::from_env(env);
         for (w, range) in ranges.iter().enumerate().skip(1) {
             // SAFETY: workers are parked at the `start` barrier.
             let task = unsafe { &mut *self.shared.slots[w - 1].cell.get() };
             task.next = next;
+            task.reasm = reasm;
             task.route_start = range.start;
             task.route_end = range.end;
+            task.route_env = raw_env;
+            task.tally = RouteTally::default();
         }
         self.shared.phase.store(PHASE_ROUTE, Ordering::Release);
         self.shared.start.wait();
         let arenas = &self.shared.arenas;
         let home_range = ranges[0].clone();
         let home_result = catch_unwind(AssertUnwindSafe(|| {
-            // SAFETY: bucket 0 of every arena and the inboxes of group 0's
-            // range belong to the driver during a routing epoch.
-            unsafe { route_range(arenas, 0, next, home_range) };
+            // SAFETY: bucket 0 of every arena and the inboxes/buffers of
+            // group 0's range belong to the driver during a routing epoch.
+            unsafe { route_range(arenas, 0, next, reasm, home_range, env) }
         }));
         self.shared.done.wait();
-        self.close_epoch(home_result.err())
+        let (payload, mut tally) = match home_result {
+            Ok(t) => (None, t),
+            Err(p) => (Some(p), RouteTally::default()),
+        };
+        for slot in &self.shared.slots {
+            // SAFETY: past the `done` barrier every worker is parked again.
+            tally.absorb(unsafe { (*slot.cell.get()).tally });
+        }
+        self.close_epoch(payload).map(|()| tally)
     }
 
     /// Gathers the epoch's panics (driver-side, workers parked again).
@@ -784,15 +873,19 @@ fn worker_loop<P: NodeProgram>(shared: &PoolShared<P>, index: usize) {
                 run_range(programs, ctxs, inboxes, task.base, task.round, &env, arena);
             } else {
                 // SAFETY: routing epoch — bucket `index + 1` of every arena
-                // and this worker's inbox range are exclusively ours.
-                unsafe {
+                // and this worker's inbox/buffer range are exclusively ours;
+                // the driver keeps the env's borrows alive for the epoch.
+                let env = unsafe { task.route_env.as_env() };
+                task.tally = unsafe {
                     route_range(
                         &shared.arenas,
                         index + 1,
                         task.next,
+                        task.reasm,
                         task.route_start..task.route_end,
-                    );
-                }
+                        &env,
+                    )
+                };
             }
         }));
         if let Err(p) = result {
@@ -808,6 +901,14 @@ mod tests {
 
     #[derive(Clone, PartialEq, Debug)]
     struct W(usize);
+    impl crate::program::WireCodec for W {
+        fn encode(&self, out: &mut Vec<u64>) {
+            out.resize(out.len() + self.0, 0);
+        }
+        fn decode(words: &[u64]) -> Option<Self> {
+            words.iter().all(|&w| w == 0).then_some(W(words.len()))
+        }
+    }
     impl EngineMessage for W {
         fn width(&self) -> usize {
             self.0

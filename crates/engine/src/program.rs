@@ -7,22 +7,66 @@
 //! [`halted`](NodeProgram::halted) vote. The engine owns synchronization,
 //! routing, sharding, and accounting; programs never see anything beyond
 //! their own neighborhood — which is exactly the LOCAL model's promise.
+//!
+//! Messages additionally carry a **wire format** ([`WireCodec`]): every
+//! payload encodes to, and decodes from, a sequence of abstract machine
+//! words. The codec is what turns the LOCAL-model runtime into a CONGEST
+//! one — under [`CongestMode::Split`](crate::CongestMode::Split) the engine
+//! fragments over-budget encodings into budget-sized frames, delivers them
+//! over consecutive virtual rounds, and reassembles them at the receiver,
+//! charging the extra rounds honestly.
 
 use graphs::VertexId;
 
 use crate::context::NodeCtx;
+
+/// The typed wire format of a message: how it serializes into CONGEST word
+/// frames.
+///
+/// The engine uses the codec whenever a message must actually cross a
+/// bandwidth-limited edge — [`CongestMode::Split`](crate::CongestMode::Split)
+/// encodes every over-budget message, chops the words into `(seq, total)`
+/// fragments of at most the budget, and decodes at the receiver once the
+/// last fragment lands. The contract every implementation must keep:
+///
+/// * **Round trip** — `decode(encode(m)) == Some(m)` for every message the
+///   program can emit.
+/// * **Width honesty** — the encoding has exactly
+///   [`EngineMessage::width`] words, so the recorded width *is* the wire
+///   cost (property-tested in `tests/engine_equivalence.rs` for every
+///   program message type).
+pub trait WireCodec: Sized {
+    /// Appends the message's word frames to `out`.
+    fn encode(&self, out: &mut Vec<u64>);
+
+    /// Rebuilds a message from the exact word sequence
+    /// [`encode`](WireCodec::encode) produced. `None` marks a malformed
+    /// frame sequence — a codec bug or corrupted reassembly, never a valid
+    /// run.
+    fn decode(words: &[u64]) -> Option<Self>;
+
+    /// Convenience: the encoding as a fresh vector.
+    fn encode_to_vec(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+}
 
 /// A message payload moved between nodes by the engine.
 ///
 /// [`width`](EngineMessage::width) is the abstract size of the message in
 /// words; the engine records the per-round maximum so experiments can report
 /// *observed* message-size bounds (CONGEST-style accounting) next to round
-/// counts. The default of 1 fits constant-size messages.
+/// counts. The default of 1 fits constant-size messages. The width must
+/// equal the [`WireCodec`] encoding's word count (except that zero-word
+/// encodings report width 1 — a message exists even when it carries no
+/// payload).
 ///
 /// Messages are `'static`: they outlive the round that produced them (they
 /// sit in mailboxes, fault-delay queues, and the worker pool's staging
 /// arenas), so they may not borrow from the graph or the session.
-pub trait EngineMessage: Clone + Send + Sync + 'static {
+pub trait EngineMessage: Clone + Send + Sync + WireCodec + 'static {
     /// Abstract message size in words.
     fn width(&self) -> usize {
         1
@@ -94,8 +138,16 @@ pub trait NodeProgram: Send {
 mod tests {
     use super::*;
 
-    #[derive(Clone)]
+    #[derive(Clone, Debug, PartialEq)]
     struct Unit;
+    impl WireCodec for Unit {
+        fn encode(&self, out: &mut Vec<u64>) {
+            out.push(0);
+        }
+        fn decode(words: &[u64]) -> Option<Self> {
+            (words == [0]).then_some(Unit)
+        }
+    }
     impl EngineMessage for Unit {}
 
     #[test]
@@ -109,5 +161,13 @@ mod tests {
     #[test]
     fn default_width_is_one() {
         assert_eq!(Unit.width(), 1);
+    }
+
+    #[test]
+    fn codec_round_trips() {
+        assert_eq!(Unit.encode_to_vec(), vec![0]);
+        assert_eq!(Unit::decode(&[0]), Some(Unit));
+        assert_eq!(Unit::decode(&[1]), None);
+        assert_eq!(Unit::decode(&[]), None);
     }
 }

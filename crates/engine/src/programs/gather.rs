@@ -28,16 +28,52 @@ use local_model::{clique_at_apex, merge_fresh, RoundLedger};
 use crate::context::NodeCtx;
 use crate::driver::{EngineConfig, EngineSession, Stop};
 use crate::metrics::EngineMetrics;
-use crate::program::{EngineMessage, NodeProgram, Outbox};
+use crate::program::{EngineMessage, NodeProgram, Outbox, WireCodec};
 
 /// Gather traffic: the rich/poor wake-up announcement, or one round's fresh
 /// ball members.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum GatherMsg {
     /// "My residual degree is at most d" — the classification's first round.
     Rich,
     /// Newly-learned ball members (sorted), flooded one hop per round.
     Ball(Vec<VertexId>),
+}
+
+/// Wire sentinel for [`GatherMsg::Rich`] — distinguishable from any vertex
+/// id, which is bounded by the graph order.
+const RICH_WORD: u64 = u64::MAX;
+/// Wire sentinel for an empty [`GatherMsg::Ball`] (never emitted by the
+/// flood, but the codec is total over the type).
+const EMPTY_BALL_WORD: u64 = u64::MAX - 1;
+
+/// One word per ball member (vertex ids are the payload; the two sentinels
+/// above are unreachable ids), so the wire cost is exactly
+/// [`EngineMessage::width`].
+impl WireCodec for GatherMsg {
+    fn encode(&self, out: &mut Vec<u64>) {
+        match self {
+            GatherMsg::Rich => out.push(RICH_WORD),
+            GatherMsg::Ball(members) if members.is_empty() => out.push(EMPTY_BALL_WORD),
+            GatherMsg::Ball(members) => {
+                debug_assert!(members.iter().all(|&v| (v as u64) < EMPTY_BALL_WORD));
+                out.extend(members.iter().map(|&v| v as u64));
+            }
+        }
+    }
+
+    fn decode(words: &[u64]) -> Option<Self> {
+        match words {
+            [] => None,
+            [RICH_WORD] => Some(GatherMsg::Rich),
+            [EMPTY_BALL_WORD] => Some(GatherMsg::Ball(Vec::new())),
+            _ => words
+                .iter()
+                .map(|&w| (w < EMPTY_BALL_WORD).then_some(w as VertexId))
+                .collect::<Option<Vec<_>>>()
+                .map(GatherMsg::Ball),
+        }
+    }
 }
 
 impl EngineMessage for GatherMsg {
@@ -299,8 +335,37 @@ pub fn engine_classification_gather(
 }
 
 /// Clique-handshake traffic: a node's live adjacency list.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct NbrList(pub Vec<VertexId>);
+
+/// Wire sentinel for an empty adjacency list (an isolated node's
+/// handshake).
+const EMPTY_LIST_WORD: u64 = u64::MAX;
+
+/// One word per listed neighbor, so the wire cost is exactly
+/// [`EngineMessage::width`].
+impl WireCodec for NbrList {
+    fn encode(&self, out: &mut Vec<u64>) {
+        if self.0.is_empty() {
+            out.push(EMPTY_LIST_WORD);
+        } else {
+            debug_assert!(self.0.iter().all(|&v| (v as u64) < EMPTY_LIST_WORD));
+            out.extend(self.0.iter().map(|&v| v as u64));
+        }
+    }
+
+    fn decode(words: &[u64]) -> Option<Self> {
+        match words {
+            [] => None,
+            [EMPTY_LIST_WORD] => Some(NbrList(Vec::new())),
+            _ => words
+                .iter()
+                .map(|&w| (w < EMPTY_LIST_WORD).then_some(w as VertexId))
+                .collect::<Option<Vec<_>>>()
+                .map(NbrList),
+        }
+    }
+}
 
 impl EngineMessage for NbrList {
     fn width(&self) -> usize {
@@ -449,6 +514,84 @@ mod tests {
         let g = gen::triangular(5, 5);
         let mask = VertexSet::from_iter_with_universe(g.n(), (0..g.n()).filter(|v| v % 3 != 1));
         assert_balls_match(&g, Some(&mask), 4, "masked triangular");
+    }
+
+    #[test]
+    fn gather_codec_round_trips() {
+        for msg in [
+            GatherMsg::Rich,
+            GatherMsg::Ball(Vec::new()),
+            GatherMsg::Ball(vec![0]),
+            GatherMsg::Ball(vec![3, 17, 19, 523]),
+        ] {
+            let words = msg.encode_to_vec();
+            assert_eq!(words.len(), msg.width(), "{msg:?}");
+            assert_eq!(GatherMsg::decode(&words), Some(msg));
+        }
+        for list in [
+            NbrList(Vec::new()),
+            NbrList(vec![7]),
+            NbrList(vec![1, 2, 3]),
+        ] {
+            let words = list.encode_to_vec();
+            assert_eq!(words.len(), list.width());
+            assert_eq!(NbrList::decode(&words), Some(list));
+        }
+        assert_eq!(GatherMsg::decode(&[]), None);
+        assert_eq!(NbrList::decode(&[]), None);
+    }
+
+    #[test]
+    fn split_mode_gather_matches_unlimited_and_charges_extra_rounds() {
+        use crate::driver::SPLIT_PHASE;
+        let g = gen::grid(7, 7);
+        let centers: Vec<VertexId> = (0..g.n()).collect();
+        let radius = 3;
+        let mut base_ledger = RoundLedger::new();
+        let (base, base_metrics) = engine_gather_balls(
+            &g,
+            None,
+            &centers,
+            radius,
+            EngineConfig::default(),
+            &mut base_ledger,
+        );
+        assert!(
+            base_metrics.max_width() > 1,
+            "the flood ships wide messages"
+        );
+        for shards in [1usize, 2, 8] {
+            let mut ledger = RoundLedger::new();
+            let (balls, metrics) = engine_gather_balls(
+                &g,
+                None,
+                &centers,
+                radius,
+                EngineConfig::default().with_shards(shards).congest_split(1),
+                &mut ledger,
+            );
+            assert_eq!(balls, base, "shards={shards}: split changed the balls");
+            assert!(metrics.total_fragments() > 0, "wide messages fragmented");
+            assert!(
+                metrics.total_physical_rounds() > metrics.total_rounds(),
+                "splitting must cost physical rounds"
+            );
+            assert_eq!(
+                ledger.phase_total("ball-gather"),
+                base_ledger.phase_total("ball-gather"),
+                "logical charge unchanged"
+            );
+            assert_eq!(
+                ledger.phase_total(SPLIT_PHASE) + ledger.phase_total("ball-gather"),
+                ledger.total(),
+                "surplus lands under {SPLIT_PHASE}"
+            );
+            assert_eq!(
+                ledger.phase_total(SPLIT_PHASE) + metrics.total_rounds(),
+                metrics.total_physical_rounds(),
+                "ledger surplus equals the observed physical surplus"
+            );
+        }
     }
 
     #[test]

@@ -12,11 +12,25 @@ use local_model::{HPartition, RoundLedger};
 use crate::context::NodeCtx;
 use crate::driver::{EngineConfig, EngineSession, Stop};
 use crate::metrics::EngineMetrics;
-use crate::program::{EngineMessage, NodeProgram, Outbox};
+use crate::program::{EngineMessage, NodeProgram, Outbox, WireCodec};
 
 /// "I peeled this round" — the only thing neighbors need to hear.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Peeled;
+
+/// One fixed word on the wire — the message carries no payload, only its
+/// arrival.
+const PEELED_WORD: u64 = 0x5045_454c; // "PEEL"
+
+impl WireCodec for Peeled {
+    fn encode(&self, out: &mut Vec<u64>) {
+        out.push(PEELED_WORD);
+    }
+
+    fn decode(words: &[u64]) -> Option<Self> {
+        (words == [PEELED_WORD]).then_some(Peeled)
+    }
+}
 
 impl EngineMessage for Peeled {}
 

@@ -27,6 +27,30 @@
 //! engine-mode Theorem 1.3 run: with `engine_shards` set, classification,
 //! clique detection, ruling forests, per-level coloring, and the layered
 //! greedy all execute as masked engine sessions.
+//!
+//! # Worst-case logical message widths
+//!
+//! Every message type carries a [`WireCodec`](crate::WireCodec) whose
+//! encoding is exactly [`width`](crate::EngineMessage::width) words
+//! (property-tested in `tests/engine_equivalence.rs`), so these bounds are
+//! the wire budgets that decide whether a program runs unmodified under
+//! [`CongestMode::Reject`](crate::CongestMode::Reject) or needs
+//! [`CongestMode::Split`](crate::CongestMode::Split):
+//!
+//! | Program | Message | Worst-case logical width |
+//! |---|---|---|
+//! | [`CvProgram`] | `usize` color | **1** |
+//! | [`SweepProgram`] | `usize` color | **1** |
+//! | [`LayeredGreedyProgram`] | `usize` color | **1** |
+//! | [`HPartitionProgram`] | `Peeled` | **1** |
+//! | [`RandomizedProgram`] | `ColorMsg` | **1** |
+//! | [`GatherProgram`] | `GatherMsg::Ball` | **\|B^r(v)\|** — the fresh ball members forwarded in one hop, up to the whole radius-`r` ball (Θ(d^r) on degree-`d` rich subgraphs) |
+//! | [`CliqueProgram`] | `NbrList` | **deg(v)** — the full live adjacency list (≤ d in Theorem 1.3's rich scope) |
+//! | [`RulingProgram`] | `RulingMsg::Tokens` | **fresh prefixes per level round** — up to the surviving ruler count of one bit level's group (claim/keep rounds are width 1) |
+//!
+//! The constant-width programs are CONGEST-safe at one word as they stand;
+//! the gather, clique, and ruling floods are the `Vec`-payload traffic that
+//! dominates Theorem 1.3 and the reason split mode exists.
 
 pub mod cole_vishkin;
 pub mod gather;

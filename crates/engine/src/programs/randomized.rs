@@ -25,7 +25,7 @@ use rand::Rng;
 use crate::context::NodeCtx;
 use crate::driver::{EngineConfig, EngineSession, Stop};
 use crate::metrics::EngineMetrics;
-use crate::program::{EngineMessage, NodeProgram, Outbox};
+use crate::program::{EngineMessage, NodeProgram, Outbox, WireCodec};
 
 /// Cycle traffic: a color proposal, or a committed color.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -34,6 +34,27 @@ pub enum ColorMsg {
     Proposal(usize),
     /// "I committed this color last resolve round."
     Committed(usize),
+}
+
+/// One word on the wire: the color in the high bits, the
+/// proposal/commitment flag in bit 0.
+impl WireCodec for ColorMsg {
+    fn encode(&self, out: &mut Vec<u64>) {
+        let (c, tag) = match *self {
+            ColorMsg::Proposal(c) => (c as u64, 0),
+            ColorMsg::Committed(c) => (c as u64, 1),
+        };
+        debug_assert_eq!(c >> 63, 0, "color must fit the 63-bit wire field");
+        out.push((c << 1) | tag);
+    }
+
+    fn decode(words: &[u64]) -> Option<Self> {
+        match words {
+            [w] if w & 1 == 0 => Some(ColorMsg::Proposal((w >> 1) as usize)),
+            [w] => Some(ColorMsg::Committed((w >> 1) as usize)),
+            _ => None,
+        }
+    }
 }
 
 impl EngineMessage for ColorMsg {}

@@ -32,10 +32,10 @@ use local_model::{claim_choice, merge_fresh, ruling_beta, ruling_bits, RoundLedg
 use crate::context::NodeCtx;
 use crate::driver::{EngineConfig, EngineSession, Stop};
 use crate::metrics::EngineMetrics;
-use crate::program::{EngineMessage, NodeProgram, Outbox};
+use crate::program::{EngineMessage, NodeProgram, Outbox, WireCodec};
 
 /// Ruling-construction traffic.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum RulingMsg {
     /// Fresh prefix tokens of one bit level (tagged so a stray token can
     /// never leak into the wrong level).
@@ -52,6 +52,78 @@ pub enum RulingMsg {
     },
     /// "You are on a kept chain" — the pruning walk, sent parent-ward.
     Keep,
+}
+
+/// Wire layout of [`RulingMsg`]: every word carries a 2-bit tag in its top
+/// bits. `Tokens` packs `(bit, prefix)` into each word — one word per
+/// prefix — so the wire cost is exactly [`EngineMessage::width`]; `Claim`
+/// and `Keep` are single words.
+const TAG_SHIFT: u32 = 62;
+const TAG_TOKENS: u64 = 0b00;
+const TAG_CLAIM: u64 = 0b01;
+const TAG_KEEP: u64 = 0b10;
+const TAG_EMPTY_TOKENS: u64 = 0b11;
+/// `Tokens` words: bits 48..62 hold the bit level, bits 0..48 the prefix.
+const BIT_SHIFT: u32 = 48;
+const PREFIX_MASK: u64 = (1 << BIT_SHIFT) - 1;
+const BIT_MASK: u64 = (1 << (TAG_SHIFT - BIT_SHIFT)) - 1;
+const PAYLOAD_MASK: u64 = (1 << TAG_SHIFT) - 1;
+
+fn token_word(tag: u64, bit: usize, prefix: u64) -> u64 {
+    debug_assert!((bit as u64) <= BIT_MASK, "bit level exceeds the wire field");
+    debug_assert!(prefix <= PREFIX_MASK, "prefix exceeds the wire field");
+    (tag << TAG_SHIFT) | ((bit as u64) << BIT_SHIFT) | prefix
+}
+
+impl WireCodec for RulingMsg {
+    fn encode(&self, out: &mut Vec<u64>) {
+        match self {
+            RulingMsg::Tokens { bit, prefixes } if prefixes.is_empty() => {
+                out.push(token_word(TAG_EMPTY_TOKENS, *bit, 0));
+            }
+            RulingMsg::Tokens { bit, prefixes } => {
+                out.extend(
+                    prefixes
+                        .iter()
+                        .map(|&p| token_word(TAG_TOKENS, *bit, p as u64)),
+                );
+            }
+            RulingMsg::Claim { root } => {
+                debug_assert!((*root as u64) <= PAYLOAD_MASK);
+                out.push((TAG_CLAIM << TAG_SHIFT) | *root as u64);
+            }
+            RulingMsg::Keep => out.push(TAG_KEEP << TAG_SHIFT),
+        }
+    }
+
+    fn decode(words: &[u64]) -> Option<Self> {
+        let first = *words.first()?;
+        match first >> TAG_SHIFT {
+            TAG_TOKENS => {
+                let bit = ((first >> BIT_SHIFT) & BIT_MASK) as usize;
+                let prefixes = words
+                    .iter()
+                    .map(|&w| {
+                        (w >> TAG_SHIFT == TAG_TOKENS
+                            && ((w >> BIT_SHIFT) & BIT_MASK) as usize == bit)
+                            .then_some((w & PREFIX_MASK) as usize)
+                    })
+                    .collect::<Option<Vec<_>>>()?;
+                Some(RulingMsg::Tokens { bit, prefixes })
+            }
+            TAG_CLAIM if words.len() == 1 => Some(RulingMsg::Claim {
+                root: (first & PAYLOAD_MASK) as VertexId,
+            }),
+            TAG_KEEP if words == [TAG_KEEP << TAG_SHIFT] => Some(RulingMsg::Keep),
+            TAG_EMPTY_TOKENS if words.len() == 1 && first & PREFIX_MASK == 0 => {
+                Some(RulingMsg::Tokens {
+                    bit: ((first >> BIT_SHIFT) & BIT_MASK) as usize,
+                    prefixes: Vec::new(),
+                })
+            }
+            _ => None,
+        }
+    }
 }
 
 impl EngineMessage for RulingMsg {
@@ -406,6 +478,76 @@ mod tests {
         let mask = VertexSet::from_iter_with_universe(g.n(), (0..g.n()).filter(|v| v % 4 != 2));
         let subset: Vec<usize> = mask.iter().step_by(2).collect();
         assert_forests_match(&g, Some(&mask), &subset, 3, "masked triangular");
+    }
+
+    #[test]
+    fn ruling_codec_round_trips() {
+        use crate::program::WireCodec;
+        for msg in [
+            RulingMsg::Tokens {
+                bit: 0,
+                prefixes: Vec::new(),
+            },
+            RulingMsg::Tokens {
+                bit: 13,
+                prefixes: vec![0, 5, 1 << 20],
+            },
+            RulingMsg::Claim { root: 9217 },
+            RulingMsg::Keep,
+        ] {
+            let words = msg.encode_to_vec();
+            assert_eq!(words.len(), crate::EngineMessage::width(&msg), "{msg:?}");
+            assert_eq!(RulingMsg::decode(&words), Some(msg));
+        }
+        // Mixed-level token frames are malformed, not silently merged.
+        let a = RulingMsg::Tokens {
+            bit: 1,
+            prefixes: vec![4],
+        }
+        .encode_to_vec();
+        let b = RulingMsg::Tokens {
+            bit: 2,
+            prefixes: vec![4],
+        }
+        .encode_to_vec();
+        assert_eq!(RulingMsg::decode(&[a[0], b[0]]), None);
+    }
+
+    #[test]
+    fn split_mode_ruling_matches_unlimited() {
+        let g = gen::grid(7, 7);
+        let subset: Vec<usize> = (0..g.n()).step_by(2).collect();
+        let alpha = 4;
+        let mut base_ledger = RoundLedger::new();
+        let (base, _) = engine_ruling_forest(
+            &g,
+            None,
+            &subset,
+            alpha,
+            EngineConfig::default(),
+            &mut base_ledger,
+        );
+        for shards in [1usize, 2] {
+            let mut ledger = RoundLedger::new();
+            let (rf, metrics) = engine_ruling_forest(
+                &g,
+                None,
+                &subset,
+                alpha,
+                EngineConfig::default().with_shards(shards).congest_split(1),
+                &mut ledger,
+            );
+            assert_eq!(rf.roots, base.roots, "shards={shards}");
+            assert_eq!(rf.parent, base.parent, "shards={shards}");
+            assert_eq!(rf.root_of, base.root_of, "shards={shards}");
+            assert_eq!(rf.depth, base.depth, "shards={shards}");
+            assert!(metrics.total_fragments() > 0, "token floods fragment");
+            assert_eq!(
+                ledger.total() - ledger.phase_total(crate::SPLIT_PHASE),
+                base_ledger.total(),
+                "split ledgers reconcile against the unlimited charge"
+            );
+        }
     }
 
     #[test]

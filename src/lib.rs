@@ -52,8 +52,8 @@ pub mod prelude {
     };
     pub use engine::{
         engine_cole_vishkin_3color, engine_degree_plus_one_coloring, engine_h_partition,
-        engine_randomized_list_coloring, EngineConfig, EngineMetrics, EngineSession, FaultPlan,
-        GraphView, NodeCtx, NodeProgram, Outbox, Stop,
+        engine_randomized_list_coloring, CongestMode, EngineConfig, EngineMessage, EngineMetrics,
+        EngineSession, FaultPlan, GraphView, NodeCtx, NodeProgram, Outbox, Stop, WireCodec,
     };
     pub use graphs;
     pub use local_model::{barenboim_elkin_coloring, RoundLedger};

@@ -1,11 +1,19 @@
 //! Engine-vs-sequential equivalence: for every ported algorithm, the
 //! message-passing execution must reproduce the sequential implementation's
 //! coloring/partition *and* its `RoundLedger` totals — the engine is a new
-//! substrate, not a new algorithm.
+//! substrate, not a new algorithm. The wire-codec layer rides the same
+//! contract: encodings are width-honest round trips, and `Split(1)` runs —
+//! where *every* multi-word message crosses as fragments — reproduce
+//! unlimited-width outputs exactly.
 
+use engine::programs::gather::{GatherMsg, NbrList};
+use engine::programs::h_partition::Peeled;
+use engine::programs::randomized::ColorMsg;
+use engine::programs::ruling::RulingMsg;
 use engine::{
     engine_cole_vishkin_3color, engine_degree_plus_one_coloring, engine_gather_balls,
     engine_h_partition, engine_randomized_list_coloring, engine_ruling_forest, EngineConfig,
+    EngineMessage, SPLIT_PHASE,
 };
 use graphs::{gen, VertexSet};
 use local_model::{
@@ -13,6 +21,7 @@ use local_model::{
     randomized_list_coloring, ruling_forest, RootedForest, RoundLedger,
 };
 use proptest::prelude::*;
+use rand::mix64;
 
 fn forest_from_bfs(g: &graphs::Graph, root: usize) -> RootedForest {
     RootedForest::new(graphs::bfs_parents(g, root, None))
@@ -203,6 +212,108 @@ fn degree_plus_one_equivalence_masked_and_whole() {
                 eng_ledger.phase_total("class-sweep")
             );
         }
+    }
+}
+
+/// Asserts the two halves of the wire-codec contract for one message: the
+/// encoding round-trips, and its word count is exactly the recorded width.
+fn assert_codec<M: EngineMessage + PartialEq + std::fmt::Debug>(m: &M) {
+    let words = m.encode_to_vec();
+    assert_eq!(
+        words.len().max(1),
+        m.width(),
+        "{m:?}: width must equal the encoded frame count"
+    );
+    assert_eq!(&M::decode(&words).expect("decodes"), m, "round trip");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every program message type round-trips through its wire codec with
+    /// a width-honest encoding, across randomized payloads.
+    #[test]
+    fn wire_codecs_round_trip_width_honestly(
+        seed in 0u64..5000,
+        len in 0usize..48,
+    ) {
+        let word = |i: usize| mix64(seed, i as u64);
+        let ids: Vec<usize> = (0..len).map(|i| (word(i) % 1_000_000) as usize).collect();
+        assert_codec(&GatherMsg::Rich);
+        assert_codec(&GatherMsg::Ball(ids.clone()));
+        assert_codec(&NbrList(ids.clone()));
+        assert_codec(&RulingMsg::Tokens {
+            bit: (word(len) % 60) as usize,
+            prefixes: ids.clone(),
+        });
+        assert_codec(&RulingMsg::Claim { root: (word(1) % 1_000_000) as usize });
+        assert_codec(&RulingMsg::Keep);
+        assert_codec(&Peeled);
+        assert_codec(&ColorMsg::Proposal((word(2) % 1_000_000) as usize));
+        assert_codec(&ColorMsg::Committed((word(3) % 1_000_000) as usize));
+        assert_codec(&((word(4) % 1_000_000) as usize));
+        assert_codec(&(word(5) % 1_000_000));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// `Split(1)` — every multi-word message crosses the wire as one-word
+    /// fragments and is reassembled — must reproduce the unlimited-width
+    /// gather and ruling runs exactly on random sparse graphs, with the
+    /// split surplus isolated under the SPLIT_PHASE ledger entry and the
+    /// observed fragment/physical-round accounting consistent.
+    #[test]
+    fn split_one_matches_unlimited_on_gather_and_ruling(
+        n in 20usize..100,
+        extra in 0usize..40,
+        radius in 1usize..4,
+        seed in 0u64..500,
+    ) {
+        let g = gen::gnm(n, n + extra, seed);
+        let centers: Vec<usize> = (0..n).collect();
+        let mut base_ledger = RoundLedger::new();
+        let (base_balls, base_metrics) = engine_gather_balls(
+            &g, None, &centers, radius, EngineConfig::default(), &mut base_ledger,
+        );
+        let mut ledger = RoundLedger::new();
+        let (balls, metrics) = engine_gather_balls(
+            &g, None, &centers, radius,
+            EngineConfig::default().with_shards(2).congest_split(1),
+            &mut ledger,
+        );
+        prop_assert_eq!(&balls, &base_balls, "gather balls diverged under Split(1)");
+        let surplus = ledger.phase_total(SPLIT_PHASE);
+        prop_assert_eq!(ledger.total() - surplus, base_ledger.total());
+        prop_assert_eq!(
+            metrics.total_physical_rounds(),
+            metrics.total_rounds() + surplus
+        );
+        if base_metrics.max_width() > 1 {
+            prop_assert!(metrics.total_fragments() > 0, "wide floods must fragment");
+        }
+
+        let subset: Vec<usize> = (0..n).step_by(2).collect();
+        let alpha = 1 + (seed % 5) as usize;
+        let mut base_ledger = RoundLedger::new();
+        let (base_rf, _) = engine_ruling_forest(
+            &g, None, &subset, alpha, EngineConfig::default(), &mut base_ledger,
+        );
+        let mut ledger = RoundLedger::new();
+        let (rf, _) = engine_ruling_forest(
+            &g, None, &subset, alpha,
+            EngineConfig::default().with_shards(2).congest_split(1),
+            &mut ledger,
+        );
+        prop_assert_eq!(&rf.roots, &base_rf.roots);
+        prop_assert_eq!(&rf.parent, &base_rf.parent);
+        prop_assert_eq!(&rf.root_of, &base_rf.root_of);
+        prop_assert_eq!(&rf.depth, &base_rf.depth);
+        prop_assert_eq!(
+            ledger.total() - ledger.phase_total(SPLIT_PHASE),
+            base_ledger.total()
+        );
     }
 }
 

@@ -499,6 +499,212 @@ fn engine_per_edge_loss_perturbs_ruling_forests_detectably_and_replayably() {
 }
 
 #[test]
+fn engine_adversarial_reorder_flushes_out_arrival_order_reliance() {
+    // A protocol that silently relies on arrival order: each node sends its
+    // right cycle-neighbor TWO messages in one Multi outbox and the
+    // receiver records the payload sequence. The stable sender sort
+    // guarantees send order in clean runs; FaultPlan::reorder must scramble
+    // some same-sender run — deterministically, and identically at every
+    // shard and worker count.
+    use engine::{EngineConfig, EngineSession, NodeCtx, NodeProgram, Outbox, Stop, WireCodec};
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Tagged(u64);
+    impl WireCodec for Tagged {
+        fn encode(&self, out: &mut Vec<u64>) {
+            out.push(self.0);
+        }
+        fn decode(words: &[u64]) -> Option<Self> {
+            match words {
+                [w] => Some(Tagged(*w)),
+                _ => None,
+            }
+        }
+    }
+    impl engine::EngineMessage for Tagged {}
+
+    struct Burst {
+        received: Vec<u64>,
+        done: bool,
+    }
+    impl NodeProgram for Burst {
+        type Message = Tagged;
+        fn init(&mut self, _: &mut NodeCtx<'_>) -> Outbox<Tagged> {
+            Outbox::Silent
+        }
+        fn on_round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[(usize, Tagged)]) -> Outbox<Tagged> {
+            if ctx.round == 1 {
+                let right = *ctx.neighbors.iter().find(|&&w| w != ctx.id).unwrap();
+                let right = ctx
+                    .neighbors
+                    .iter()
+                    .copied()
+                    .find(|&w| w == (ctx.id + 1) % ctx.n)
+                    .unwrap_or(right);
+                return Outbox::Multi(vec![
+                    (right, Tagged(2 * ctx.id as u64)),
+                    (right, Tagged(2 * ctx.id as u64 + 1)),
+                ]);
+            }
+            self.received.extend(inbox.iter().map(|(_, Tagged(w))| *w));
+            self.done = true;
+            Outbox::Silent
+        }
+        fn halted(&self) -> bool {
+            self.done
+        }
+    }
+
+    let g = gen::cycle(16);
+    let run = |faults: FaultPlan, shards: usize| {
+        let config = EngineConfig::default()
+            .with_shards(shards)
+            .with_workers(shards)
+            .with_faults(faults);
+        let mut sess = EngineSession::new(&g, config, |_| Burst {
+            received: Vec::new(),
+            done: false,
+        });
+        sess.run_phase("burst", Stop::Rounds(2));
+        sess.programs()
+            .iter()
+            .map(|p| p.received.clone())
+            .collect::<Vec<_>>()
+    };
+    let clean = run(FaultPlan::new(), 1);
+    // Clean runs deliver each burst in send order: (even, odd) pairs.
+    for seq in &clean {
+        assert_eq!(seq.len(), 2);
+        assert_eq!(seq[0] + 1, seq[1], "send order preserved without faults");
+    }
+    // Some seed must flip at least one pair — 16 pairs at p = 1/2 each.
+    let seed = (0..64u64)
+        .find(|&s| run(FaultPlan::new().reorder(s), 1) != clean)
+        .expect("some seed must permute some burst");
+    let perturbed = run(FaultPlan::new().reorder(seed), 1);
+    let mut flipped = 0;
+    for (seq, base) in perturbed.iter().zip(&clean) {
+        assert_eq!(seq.len(), 2, "reorder never loses or invents messages");
+        if seq != base {
+            assert_eq!(seq[0], base[1], "a flip is the only legal permutation");
+            assert_eq!(seq[1], base[0]);
+            flipped += 1;
+        }
+    }
+    assert!(flipped > 0);
+    for shards in [2usize, 4, 8] {
+        assert_eq!(
+            run(FaultPlan::new().reorder(seed), shards),
+            perturbed,
+            "shards = {shards}: reordered runs must replay bit-identically"
+        );
+    }
+}
+
+#[test]
+fn engine_crash_stop_degrades_gather_deterministically() {
+    // Crash a cut vertex of a path mid-flood: balls on each side stop
+    // growing through it from the crash round on, the suppressed traffic
+    // is counted, and the degraded run replays at any worker count.
+    let g = gen::path(12);
+    let centers: Vec<usize> = (0..g.n()).collect();
+    let radius = 4;
+    let mut clean_ledger = RoundLedger::new();
+    let (clean, _) = engine_gather_balls(
+        &g,
+        None,
+        &centers,
+        radius,
+        EngineConfig::default(),
+        &mut clean_ledger,
+    );
+    let victim = 6usize;
+    let run = |workers: usize| {
+        let mut ledger = RoundLedger::new();
+        let (balls, metrics) = engine_gather_balls(
+            &g,
+            None,
+            &centers,
+            radius,
+            EngineConfig::default()
+                .with_shards(4)
+                .with_workers(workers)
+                .with_faults(FaultPlan::new().crash(victim, 2)),
+            &mut ledger,
+        );
+        (balls, metrics.total_dropped(), ledger.total())
+    };
+    let base = run(1);
+    assert!(base.1 > 0, "the crashed node's outboxes must be counted");
+    assert_eq!(base.2, clean_ledger.total(), "crash costs no extra rounds");
+    // The victim forwarded hop-1 knowledge (round 1) but nothing after, so
+    // knowledge that had to be relayed through it is missing somewhere.
+    let mut shrunk = 0;
+    for (v, (lossy, full)) in base.0.iter().zip(&clean).enumerate() {
+        assert!(
+            lossy.iter().all(|w| full.contains(w)),
+            "vertex {v}: a crash cannot invent knowledge"
+        );
+        if lossy.len() < full.len() {
+            shrunk += 1;
+        }
+    }
+    assert!(shrunk > 0, "some ball must shrink behind the crashed cut");
+    // The victim's own ball still grows from *incoming* traffic: crash
+    // suppresses sends, not receipt.
+    assert!(base.0[victim].len() > 1);
+    for workers in [2usize, 4] {
+        assert_eq!(run(workers), base, "workers = {workers}");
+    }
+}
+
+#[test]
+fn engine_fault_replay_is_identical_across_split_and_unlimited_modes() {
+    // The acceptance contract: faults key on LOGICAL messages (applied at
+    // staging, before fragmentation), so a lose/duplicate plan perturbs a
+    // Split(w) run exactly like an unlimited run — same balls, same
+    // lost/duplicated counts — while the split run additionally fragments.
+    let g = gen::grid(9, 9);
+    let centers: Vec<usize> = (0..g.n()).collect();
+    let radius = 3;
+    let faults = || {
+        FaultPlan::new()
+            .lose_edges(23, 0.2)
+            .duplicate_edges(99, 0.3)
+            .drop_outbox(17, 2)
+    };
+    let run = |config: EngineConfig| {
+        let mut ledger = RoundLedger::new();
+        let (balls, metrics) = engine_gather_balls(
+            &g,
+            None,
+            &centers,
+            radius,
+            config.with_faults(faults()),
+            &mut ledger,
+        );
+        (
+            balls,
+            metrics.total_lost(),
+            metrics.total_duplicated(),
+            metrics.total_dropped(),
+            metrics.total_fragments(),
+        )
+    };
+    let unlimited = run(EngineConfig::default());
+    assert!(unlimited.1 > 0 && unlimited.2 > 0 && unlimited.3 > 0);
+    assert_eq!(unlimited.4, 0, "no fragmentation without a split budget");
+    for shards in [1usize, 2, 8] {
+        let split = run(EngineConfig::default().with_shards(shards).congest_split(2));
+        assert_eq!(split.0, unlimited.0, "shards={shards}: balls diverged");
+        assert_eq!(split.1, unlimited.1, "shards={shards}: lost diverged");
+        assert_eq!(split.2, unlimited.2, "shards={shards}: duplicated diverged");
+        assert_eq!(split.3, unlimited.3, "shards={shards}: dropped diverged");
+        assert!(split.4 > 0, "wide gather traffic must fragment at width 2");
+    }
+}
+
+#[test]
 fn zero_and_tiny_graphs() {
     // n = 0.
     let g0 = graphs::Graph::empty(0);
