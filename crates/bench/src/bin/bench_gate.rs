@@ -4,11 +4,22 @@
 //! cargo run --release -p bench --bin bench_gate -- BENCH_engine.json
 //! cargo run --release -p bench --bin bench_gate -- BENCH_engine.json \
 //!     --max-engine-ratio=25 --max-shard8-ratio=1.25 --max-route-frac=0.60
+//! cargo run --release -p bench --bin bench_gate -- --suite=suites/bench.json
 //! ```
 //!
-//! Reads the artifact `engine_table` wrote and enforces, **at the largest
-//! benched `n` of every algorithm** (small sizes are all fixed overhead and
-//! noise — regressions that matter show at scale):
+//! Two modes share the binary:
+//!
+//! * **Artifact mode** (the default): read the artifact `engine_table`
+//!   wrote and enforce the `--max-*` budgets below.
+//! * **Suite mode** (`--suite=PATH`): measure fresh by running a declared
+//!   scenario-lab suite and evaluating *its* budget checks — budgets as
+//!   data next to the scenarios they constrain, rather than flags. The
+//!   suite run exercises the same engine paths the artifact records; its
+//!   verdicts come from the suite's `checks` array.
+//!
+//! Artifact mode enforces, **at the largest benched `n` of every
+//! algorithm** (small sizes are all fixed overhead and noise — regressions
+//! that matter show at scale):
 //!
 //! 1. `engine/1 ≤ max-engine-ratio × sequential` — the message-passing
 //!    substrate may cost a constant factor over the sequential simulation
@@ -39,6 +50,76 @@ const DEFAULT_MAX_SHARD8_RATIO: f64 = 1.25;
 const DEFAULT_MAX_ROUTE_FRAC: f64 = 0.60;
 const DEFAULT_MAX_SPLIT_RATIO: f64 = 3.0;
 
+/// Runs a declared lab suite and gates on its `checks` array. Never
+/// returns: exits 0 when every check holds, 1 on violations.
+fn suite_mode(path: &str) -> ! {
+    let suite = lab::Suite::load(path).unwrap_or_else(|e| {
+        eprintln!("bench_gate: {e}");
+        std::process::exit(2);
+    });
+    let run = lab::run_suite(&suite, |_row, _total| {}).unwrap_or_else(|e| {
+        eprintln!("bench_gate: {e}");
+        std::process::exit(2);
+    });
+    let mut rows = Vec::new();
+    for scenario in &suite.scenarios {
+        let trials: Vec<_> = run
+            .rows
+            .iter()
+            .filter(|r| r.spec.scenario == scenario.name)
+            .collect();
+        let best = trials
+            .iter()
+            .map(|r| r.wall_ms)
+            .min_by(f64::total_cmp)
+            .unwrap_or(0.0);
+        let worst = trials
+            .iter()
+            .map(|r| r.wall_ms)
+            .max_by(f64::total_cmp)
+            .unwrap_or(0.0);
+        let failed = trials.iter().filter(|r| !r.valid).count();
+        rows.push(vec![
+            scenario.name.clone(),
+            format!("{}", trials.len()),
+            format!("{best:.2}"),
+            format!("{worst:.2}"),
+            if failed == 0 {
+                "ok".into()
+            } else {
+                format!("{failed} FAILED")
+            },
+        ]);
+    }
+    print_table(
+        &format!(
+            "bench gate over suite {:?} (budgets declared in-suite)",
+            run.suite
+        ),
+        &["scenario", "trials", "best ms", "worst ms", "verdict"],
+        &rows,
+    );
+    let mut violations: Vec<String> = Vec::new();
+    for outcome in lab::evaluate(&suite, &run) {
+        if outcome.passed {
+            println!("check {}: ok", outcome.check);
+        } else {
+            for v in &outcome.violations {
+                violations.push(format!("{}: {v}", outcome.check));
+            }
+        }
+    }
+    if !violations.is_empty() {
+        eprintln!("\nbench_gate: {} violation(s):", violations.len());
+        for v in &violations {
+            eprintln!("  - {v}");
+        }
+        std::process::exit(1);
+    }
+    println!("\nbench_gate: all declared budgets hold");
+    std::process::exit(0);
+}
+
 fn main() {
     let mut path: Option<String> = None;
     let mut max_engine_ratio = DEFAULT_MAX_ENGINE_RATIO;
@@ -46,7 +127,9 @@ fn main() {
     let mut max_route_frac = DEFAULT_MAX_ROUTE_FRAC;
     let mut max_split_ratio = DEFAULT_MAX_SPLIT_RATIO;
     for arg in std::env::args().skip(1) {
-        if let Some(v) = arg.strip_prefix("--max-engine-ratio=") {
+        if let Some(v) = arg.strip_prefix("--suite=") {
+            suite_mode(v);
+        } else if let Some(v) = arg.strip_prefix("--max-engine-ratio=") {
             max_engine_ratio = v.parse().expect("--max-engine-ratio takes a number");
         } else if let Some(v) = arg.strip_prefix("--max-shard8-ratio=") {
             max_shard8_ratio = v.parse().expect("--max-shard8-ratio takes a number");

@@ -1,73 +1,104 @@
 //! CI determinism gate: the engine's replay contract, checked end to end.
 //!
 //! ```sh
-//! cargo run --release -p bench --bin determinism_gate            # shards 1 2 8 16
+//! cargo run --release -p bench --bin determinism_gate            # suite shard axis
 //! cargo run --release -p bench --bin determinism_gate -- 1 4 32  # custom sweep
 //! ```
 //!
-//! For every ported algorithm, runs the sequential implementation once and
-//! the engine at each shard count in the sweep — **forcing one worker group
-//! per shard** (`EngineConfig::workers`), so real pooled threads execute
-//! even on single-core CI runners — then diffs, bit for bit:
+//! The gate is a thin wrapper over the **declared suite**
+//! `suites/determinism.json` — the scenarios live as data, shared with the
+//! scenario lab (`cargo run -p lab --bin lab -- run suites/determinism.json`
+//! runs the identical plan). For every ported algorithm, the suite runs the
+//! sequential implementation once and the engine at each shard count of the
+//! axis — **forcing one worker group per shard** (`"workers": "shards"`), so
+//! real pooled threads execute even on single-core CI runners — then the
+//! declared checks diff, bit for bit:
 //!
-//! * the outputs (colorings / partition layers),
-//! * the per-round message-count fingerprint,
-//! * the `RoundLedger` totals (engine vs sequential *and* across shards).
+//! * the outputs (colorings / partition layers / balls / forests),
+//! * the per-round traffic fingerprint,
+//! * the `RoundLedger` totals (engine vs sequential *and* across shards),
+//! * split-mode ledger reconciliation (`total − SPLIT_PHASE == unlimited`).
 //!
 //! Any divergence prints the offending configuration and exits nonzero.
 //! This is the invariant the worker-pool executor must never trade for
 //! speed: shard count and worker count are performance knobs, not
 //! semantics.
+//!
+//! Positional arguments replace the engine shard axis of every scenario
+//! (the sequential anchor at shards 0 is kept); with no arguments the
+//! suite's own axis runs.
 
 use bench::print_table;
-use distributed_coloring::{list_color_sparse, ListAssignment, SparseColoringConfig};
-use engine::{
-    engine_cole_vishkin_3color, engine_h_partition, engine_randomized_list_coloring, EngineConfig,
-};
-use graphs::{gen, VertexSet};
-use local_model::{
-    cole_vishkin_3color, h_partition, randomized_list_coloring, RootedForest, RoundLedger,
-};
+use lab::{evaluate, run_suite, Suite, WorkerSpec};
 
-const DEFAULT_SWEEP: [usize; 4] = [1, 2, 8, 16];
+/// Where the declared suite lives in the repo.
+const SUITE_PATH: &str = "suites/determinism.json";
 
-/// One engine run's identity: everything that must survive resharding.
-#[derive(PartialEq, Clone)]
-struct Fingerprint {
-    output: Vec<usize>,
-    message_counts: Vec<usize>,
-    ledger_total: u64,
-}
+/// The suite baked into the binary, so the gate still runs from any
+/// working directory (the checkout copy wins when present, keeping
+/// suite edits live without a rebuild).
+const BAKED_SUITE: &str = include_str!("../../../../suites/determinism.json");
 
 fn main() {
-    let sweep: Vec<usize> = {
-        let args: Vec<usize> = std::env::args()
-            .skip(1)
-            .map(|a| a.parse().expect("shard counts must be integers"))
-            .collect();
-        if args.is_empty() {
-            DEFAULT_SWEEP.to_vec()
-        } else {
-            args
-        }
+    let sweep: Vec<usize> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().expect("shard counts must be integers"))
+        .collect();
+    let mut suite = match Suite::load(SUITE_PATH) {
+        Ok(suite) => suite,
+        Err(_) => Suite::from_json(BAKED_SUITE).expect("baked-in determinism suite parses"),
     };
+    if !sweep.is_empty() {
+        for scenario in &mut suite.scenarios {
+            // Keep the sequential anchor; replace the engine sweep.
+            let mut shards = vec![0];
+            shards.extend(sweep.iter().copied().filter(|&s| s > 0));
+            scenario.shards = shards;
+            scenario.workers = vec![WorkerSpec::MatchShards];
+        }
+    }
+    let run = run_suite(&suite, |_row, _total| {}).unwrap_or_else(|e| {
+        eprintln!("determinism_gate: {e}");
+        std::process::exit(2);
+    });
     let mut rows = Vec::new();
+    for scenario in &suite.scenarios {
+        let trials: Vec<_> = run
+            .rows
+            .iter()
+            .filter(|r| r.spec.scenario == scenario.name)
+            .collect();
+        let engine_runs = trials.iter().filter(|r| !r.spec.is_sequential()).count();
+        let died = trials.iter().filter(|r| r.error.is_some()).count();
+        rows.push(vec![
+            scenario.name.clone(),
+            format!("{}", trials.len()),
+            format!("{engine_runs}"),
+            if died == 0 {
+                "ok".into()
+            } else {
+                format!("{died} DIED")
+            },
+        ]);
+    }
+    print_table(
+        &format!(
+            "determinism gate over suite {:?} (workers forced = shards)",
+            run.suite
+        ),
+        &["scenario", "trials", "engine runs", "verdict"],
+        &rows,
+    );
     let mut divergences: Vec<String> = Vec::new();
-    for (scenario, check) in scenarios() {
-        let outcome = check(&sweep);
-        match outcome {
-            Ok(summary) => rows.push(vec![scenario.to_string(), summary, "ok".into()]),
-            Err(diff) => {
-                rows.push(vec![scenario.to_string(), diff.clone(), "DIVERGED".into()]);
-                divergences.push(format!("{scenario}: {diff}"));
+    for outcome in evaluate(&suite, &run) {
+        if outcome.passed {
+            println!("check {}: ok", outcome.check);
+        } else {
+            for v in &outcome.violations {
+                divergences.push(format!("{}: {v}", outcome.check));
             }
         }
     }
-    print_table(
-        &format!("determinism gate, shards {sweep:?} (workers forced = shards)"),
-        &["scenario", "summary", "verdict"],
-        &rows,
-    );
     if !divergences.is_empty() {
         eprintln!("\ndeterminism_gate: {} divergence(s):", divergences.len());
         for d in &divergences {
@@ -76,337 +107,4 @@ fn main() {
         std::process::exit(1);
     }
     println!("\ndeterminism_gate: bit-identical across the sweep");
-}
-
-type Check = Box<dyn Fn(&[usize]) -> Result<String, String>>;
-
-fn scenarios() -> Vec<(&'static str, Check)> {
-    vec![
-        (
-            "randomized / random-4-regular n=2000",
-            Box::new(|sweep| randomized(gen::random_regular(2000, 4, 7), 7, sweep)),
-        ),
-        (
-            "randomized / grid 40x40",
-            Box::new(|sweep| randomized(gen::grid(40, 40), 3, sweep)),
-        ),
-        (
-            "randomized masked / grid 40x40 (2/3 alive)",
-            Box::new(|sweep| {
-                let g = gen::grid(40, 40);
-                let mask =
-                    VertexSet::from_iter_with_universe(g.n(), (0..g.n()).filter(|v| v % 3 != 0));
-                randomized_masked(g, Some(mask), 3, sweep)
-            }),
-        ),
-        (
-            "h-partition / forest-union-a2 n=3000",
-            Box::new(|sweep| h_part(gen::forest_union(3000, 2, 11), 2, sweep)),
-        ),
-        (
-            "h-partition / forest-union-a3 n=1000",
-            Box::new(|sweep| h_part(gen::forest_union(1000, 3, 5), 3, sweep)),
-        ),
-        (
-            "cole-vishkin / random-tree n=4000",
-            Box::new(|sweep| cole_vishkin(gen::random_tree(4000, 13), sweep)),
-        ),
-        (
-            "theorem13 full pipeline / apollonian n=600",
-            Box::new(|sweep| theorem13_pipeline(gen::apollonian(600, 7), 6, sweep)),
-        ),
-        (
-            "theorem13 split(4) / apollonian n=600",
-            Box::new(|sweep| theorem13_split_pipeline(gen::apollonian(600, 7), 6, sweep)),
-        ),
-    ]
-}
-
-/// The CONGEST-split row: the full pipeline under `CongestMode::Split(4)`
-/// must be **bit-identical in colors and peel statistics** to the
-/// unlimited-width engine run at every shard count of the sweep; only the
-/// round/fragment accounting may differ — isolated under the `SPLIT_PHASE`
-/// ledger entry, reconciling with the unlimited charge, and itself
-/// shard-invariant.
-fn theorem13_split_pipeline(g: graphs::Graph, d: usize, sweep: &[usize]) -> Result<String, String> {
-    use engine::{CongestMode, SPLIT_PHASE};
-    let lists = ListAssignment::uniform(g.n(), d);
-    let unlimited = {
-        let config = SparseColoringConfig {
-            engine_shards: Some(sweep[0]),
-            ..Default::default()
-        };
-        list_color_sparse(&g, &lists, d, config)
-            .map_err(|e| format!("unlimited anchor failed: {e}"))?
-            .coloring()
-            .ok_or_else(|| "unlimited anchor found a clique".to_string())?
-            .clone()
-    };
-    let mut accounting: Option<(u64, usize, u64)> = None;
-    for &shards in sweep {
-        let config = SparseColoringConfig {
-            engine_shards: Some(shards),
-            engine_congest: CongestMode::Split(4),
-            ..Default::default()
-        };
-        let split = list_color_sparse(&g, &lists, d, config)
-            .map_err(|e| format!("shards={shards}: split run failed: {e}"))?
-            .coloring()
-            .ok_or_else(|| format!("shards={shards}: split run found a clique"))?
-            .clone();
-        if split.colors != unlimited.colors {
-            return Err(format!("shards={shards} split colors != unlimited"));
-        }
-        if split.stats.alive_sizes != unlimited.stats.alive_sizes
-            || split.stats.happy_sizes != unlimited.stats.happy_sizes
-            || split.stats.poor_sizes != unlimited.stats.poor_sizes
-            || split.stats.radii != unlimited.stats.radii
-        {
-            return Err(format!(
-                "shards={shards} split peel statistics != unlimited"
-            ));
-        }
-        let surplus = split.ledger.phase_total(SPLIT_PHASE);
-        if surplus == 0 {
-            return Err(format!(
-                "shards={shards}: the pipeline's wide floods must fragment at width 4"
-            ));
-        }
-        if split.ledger.total() - surplus != unlimited.ledger.total() {
-            return Err(format!(
-                "shards={shards}: split ledger {} − surplus {surplus} != unlimited {}",
-                split.ledger.total(),
-                unlimited.ledger.total()
-            ));
-        }
-        let m = &split.engine_metrics;
-        if m.total_physical_rounds() != m.total_rounds() + surplus {
-            return Err(format!(
-                "shards={shards}: observed physical surplus != charged surplus"
-            ));
-        }
-        let fingerprint = (surplus, m.total_fragments(), m.total_physical_rounds());
-        match &accounting {
-            None => accounting = Some(fingerprint),
-            Some(base) if base != &fingerprint => {
-                return Err(format!(
-                    "shards={shards}: split accounting {fingerprint:?} != shards={} {base:?}",
-                    sweep[0]
-                ));
-            }
-            Some(_) => {}
-        }
-    }
-    let (surplus, fragments, physical) = accounting.expect("sweep is nonempty");
-    Ok(format!(
-        "+{surplus} split rounds, {fragments} fragments, {physical} physical rounds, \
-         {} runs identical",
-        sweep.len()
-    ))
-}
-
-/// The full-pipeline row: `list_color_sparse` with every phase on masked
-/// engine sessions must reproduce the sequential run — colors, peel
-/// statistics, and ledger totals — at every shard count of the sweep.
-/// (Worker pools are auto-sized here: the composite API exposes the shard
-/// knob, and shard-count invariance is what the theorem's ledger rides on.)
-fn theorem13_pipeline(g: graphs::Graph, d: usize, sweep: &[usize]) -> Result<String, String> {
-    let lists = ListAssignment::uniform(g.n(), d);
-    let seq = list_color_sparse(&g, &lists, d, SparseColoringConfig::default())
-        .map_err(|e| format!("sequential anchor failed: {e}"))?;
-    let seq = seq
-        .coloring()
-        .ok_or_else(|| "sequential anchor found a clique".to_string())?
-        .clone();
-    if !graphs::is_proper(&g, &seq.colors) {
-        return Err("sequential coloring is not proper".into());
-    }
-    for &shards in sweep {
-        let config = SparseColoringConfig {
-            engine_shards: Some(shards),
-            ..Default::default()
-        };
-        let eng = list_color_sparse(&g, &lists, d, config)
-            .map_err(|e| format!("shards={shards}: engine run failed: {e}"))?;
-        let eng = eng
-            .coloring()
-            .ok_or_else(|| format!("shards={shards}: engine run found a clique"))?
-            .clone();
-        if eng.colors != seq.colors {
-            return Err(format!("shards={shards} colors != sequential"));
-        }
-        if eng.ledger.total() != seq.ledger.total() {
-            return Err(format!(
-                "shards={shards} ledger {} != sequential {}",
-                eng.ledger.total(),
-                seq.ledger.total()
-            ));
-        }
-        for phase in [
-            "rich-poor",
-            "ball-gather",
-            "ruling-set",
-            "ruling-forest-claim",
-            "ruling-forest-prune",
-            "class-sweep",
-            "layered-coloring",
-        ] {
-            if eng.ledger.phase_total(phase) != seq.ledger.phase_total(phase) {
-                return Err(format!("shards={shards} phase {phase} != sequential"));
-            }
-        }
-        if eng.stats.alive_sizes != seq.stats.alive_sizes
-            || eng.stats.happy_sizes != seq.stats.happy_sizes
-            || eng.stats.poor_sizes != seq.stats.poor_sizes
-            || eng.stats.radii != seq.stats.radii
-        {
-            return Err(format!("shards={shards} peel statistics != sequential"));
-        }
-    }
-    Ok(format!(
-        "{} rounds charged over {} levels, {} engine runs identical",
-        seq.ledger.total(),
-        seq.stats.levels(),
-        sweep.len()
-    ))
-}
-
-/// Diffs engine fingerprints across the sweep against a sequential anchor.
-fn diff_sweep(
-    seq_output: &[usize],
-    seq_ledger: u64,
-    runs: &[(usize, Fingerprint)],
-) -> Result<String, String> {
-    let (anchor_shards, anchor) = &runs[0];
-    if anchor.output != seq_output {
-        return Err(format!("shards={anchor_shards} output != sequential"));
-    }
-    if anchor.ledger_total != seq_ledger {
-        return Err(format!(
-            "shards={anchor_shards} ledger {} != sequential {seq_ledger}",
-            anchor.ledger_total
-        ));
-    }
-    for (shards, fp) in &runs[1..] {
-        if fp.output != anchor.output {
-            return Err(format!("shards={shards} output != shards={anchor_shards}"));
-        }
-        if fp.message_counts != anchor.message_counts {
-            return Err(format!(
-                "shards={shards} per-round traffic != shards={anchor_shards}"
-            ));
-        }
-        if fp.ledger_total != anchor.ledger_total {
-            return Err(format!("shards={shards} ledger != shards={anchor_shards}"));
-        }
-    }
-    Ok(format!(
-        "{} rounds charged, {} runs identical",
-        anchor.ledger_total,
-        runs.len()
-    ))
-}
-
-fn config(shards: usize, seed: u64) -> EngineConfig {
-    EngineConfig::default()
-        .with_shards(shards)
-        .with_workers(shards)
-        .with_seed(seed)
-}
-
-fn randomized(g: graphs::Graph, seed: u64, sweep: &[usize]) -> Result<String, String> {
-    randomized_masked(g, None, seed, sweep)
-}
-
-/// The masked-session scenario: the engine restricted to an induced
-/// subgraph must replay the sequential masked primitive bit for bit at
-/// every shard count — the contract Theorem 1.3's peel loop rides on.
-fn randomized_masked(
-    g: graphs::Graph,
-    mask: Option<VertexSet>,
-    seed: u64,
-    sweep: &[usize],
-) -> Result<String, String> {
-    let lists: Vec<Vec<usize>> = g
-        .vertices()
-        .map(|v| (0..g.degree(v) + 1).collect())
-        .collect();
-    let mut seq_ledger = RoundLedger::new();
-    let seq = randomized_list_coloring(&g, mask.as_ref(), &lists, seed, 10_000, &mut seq_ledger);
-    assert!(seq.complete, "sequential anchor failed to color");
-    let runs: Vec<(usize, Fingerprint)> = sweep
-        .iter()
-        .map(|&shards| {
-            let mut ledger = RoundLedger::new();
-            let (out, metrics) = engine_randomized_list_coloring(
-                &g,
-                mask.as_ref(),
-                &lists,
-                seed,
-                10_000,
-                config(shards, seed),
-                &mut ledger,
-            );
-            (
-                shards,
-                Fingerprint {
-                    output: out.colors,
-                    message_counts: metrics.message_counts(),
-                    ledger_total: ledger.total(),
-                },
-            )
-        })
-        .collect();
-    let colors = &runs[0].1.output;
-    let proper = g
-        .edges()
-        .all(|(u, v)| colors[u] == usize::MAX || colors[v] == usize::MAX || colors[u] != colors[v]);
-    if !proper {
-        return Err("coloring is not proper".into());
-    }
-    diff_sweep(&seq.colors, seq_ledger.total(), &runs)
-}
-
-fn h_part(g: graphs::Graph, a: usize, sweep: &[usize]) -> Result<String, String> {
-    let mut seq_ledger = RoundLedger::new();
-    let seq = h_partition(&g, None, a, 1.0, &mut seq_ledger);
-    let runs: Vec<(usize, Fingerprint)> = sweep
-        .iter()
-        .map(|&shards| {
-            let mut ledger = RoundLedger::new();
-            let (hp, metrics) =
-                engine_h_partition(&g, None, a, 1.0, config(shards, 0), &mut ledger);
-            (
-                shards,
-                Fingerprint {
-                    output: hp.layer,
-                    message_counts: metrics.message_counts(),
-                    ledger_total: ledger.total(),
-                },
-            )
-        })
-        .collect();
-    diff_sweep(&seq.layer, seq_ledger.total(), &runs)
-}
-
-fn cole_vishkin(g: graphs::Graph, sweep: &[usize]) -> Result<String, String> {
-    let f = RootedForest::new(graphs::bfs_parents(&g, 0, None));
-    let mut seq_ledger = RoundLedger::new();
-    let seq = cole_vishkin_3color(&f, &mut seq_ledger);
-    let runs: Vec<(usize, Fingerprint)> = sweep
-        .iter()
-        .map(|&shards| {
-            let mut ledger = RoundLedger::new();
-            let (colors, metrics) = engine_cole_vishkin_3color(&f, config(shards, 0), &mut ledger);
-            (
-                shards,
-                Fingerprint {
-                    output: colors,
-                    message_counts: metrics.message_counts(),
-                    ledger_total: ledger.total(),
-                },
-            )
-        })
-        .collect();
-    diff_sweep(&seq, seq_ledger.total(), &runs)
 }

@@ -6,11 +6,14 @@
 //! cargo run --release -p bench --bin engine_table -- --reps=5 20000  # best-of-5
 //! ```
 //!
-//! For each workload family and algorithm, runs the sequential
-//! implementation and the engine at a sweep of shard counts — each
-//! configuration `reps` times, keeping the best wall time (the standard
-//! noise-rejection move; rounds/messages are identical across reps by the
-//! determinism contract, which every rep re-asserts). Prints
+//! For each workload family (resolved through the [`gen::build_family`]
+//! registry, so the bench and the scenario lab measure the same graphs) and
+//! algorithm, runs the sequential implementation and the engine at a sweep
+//! of shard counts — each configuration `reps` times, keeping the best wall
+//! time (the standard noise-rejection move; rounds/messages are identical
+//! across reps by the determinism contract, which every rep re-asserts) and
+//! the across-reps median (`p50 ms`, the honest figure next to the
+//! optimistic best-of). Prints
 //! wall-clock/round/message tables (now with per-run routing-phase time —
 //! the second barrier phase each worker spends draining and sorting its own
 //! inboxes) plus a sequential-vs-sharded **crossover table** (where sharding
@@ -74,25 +77,49 @@ fn main() {
     println!("\nwrote {} records to BENCH_engine.json", records.len());
 }
 
-/// Runs `f` `reps` times and keeps the best wall time. Correctness checks
-/// live inside `f`, so every rep re-asserts them — not just the kept one.
-fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+/// The wall-clock summary of one measured configuration across its reps.
+#[derive(Clone, Copy)]
+struct Timing {
+    /// Best-of-reps wall time (the noise-rejection figure).
+    best_ms: f64,
+    /// Nearest-rank median across all reps.
+    p50_ms: f64,
+}
+
+/// Runs `f` `reps` times, recording every rep's wall time; returns the
+/// output of the best rep plus the best-of/median summary. Correctness
+/// checks live inside `f`, so every rep re-asserts them — not just the
+/// kept one.
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, Timing) {
     let mut best: Option<(T, f64)> = None;
+    let mut walls = Vec::with_capacity(reps);
     for _ in 0..reps {
         let t0 = Instant::now();
         let out = f();
         let ms = t0.elapsed().as_secs_f64() * 1e3;
+        walls.push(ms);
         match &best {
             Some((_, b)) if *b <= ms => {}
             _ => best = Some((out, ms)),
         }
     }
-    best.expect("reps >= 1")
+    walls.sort_by(f64::total_cmp);
+    // Nearest-rank p50: rank ⌈k/2⌉, 1-based (matches the lab's percentile).
+    let p50_ms = walls[walls.len().div_ceil(2) - 1];
+    let (out, best_ms) = best.expect("reps >= 1");
+    (out, Timing { best_ms, p50_ms })
+}
+
+/// Builds a registry family, panicking on a name the registry doesn't know
+/// (a bench bug, not an input error).
+fn build(family: &str, n: usize, seed: u64) -> graphs::Graph {
+    gen::build_family(family, n, seed)
+        .unwrap_or_else(|| panic!("family {family:?} is not in the gen registry"))
 }
 
 /// The table header every showdown prints (matches [`row`]'s cells).
-const COLUMNS: [&str; 7] = [
-    "run", "rounds", "phys", "messages", "frags", "wall ms", "route ms",
+const COLUMNS: [&str; 8] = [
+    "run", "rounds", "phys", "messages", "frags", "wall ms", "p50 ms", "route ms",
 ];
 
 fn row(records: &mut Vec<EngineBenchRecord>, rec: EngineBenchRecord) -> Vec<String> {
@@ -108,6 +135,7 @@ fn row(records: &mut Vec<EngineBenchRecord>, rec: EngineBenchRecord) -> Vec<Stri
         format!("{}", rec.messages),
         format!("{}", rec.fragments),
         format!("{:.2}", rec.wall_ms),
+        format!("{:.2}", rec.p50_ms),
         format!("{:.2}", rec.route_ms),
     ];
     records.push(rec);
@@ -120,7 +148,7 @@ fn seq_record(
     algorithm: &str,
     n: usize,
     rounds: u64,
-    wall_ms: f64,
+    timing: Timing,
 ) -> EngineBenchRecord {
     EngineBenchRecord {
         family: family.into(),
@@ -129,7 +157,8 @@ fn seq_record(
         shards: 0,
         rounds,
         messages: 0,
-        wall_ms,
+        wall_ms: timing.best_ms,
+        p50_ms: timing.p50_ms,
         route_ms: 0.0,
         split: 0,
         physical_rounds: rounds,
@@ -145,7 +174,7 @@ fn engine_record(
     shards: usize,
     split: usize,
     metrics: &EngineMetrics,
-    wall_ms: f64,
+    timing: Timing,
 ) -> EngineBenchRecord {
     EngineBenchRecord {
         family: family.into(),
@@ -154,7 +183,8 @@ fn engine_record(
         shards,
         rounds: metrics.total_rounds(),
         messages: metrics.total_messages(),
-        wall_ms,
+        wall_ms: timing.best_ms,
+        p50_ms: timing.p50_ms,
         route_ms: metrics.total_route_wall().as_secs_f64() * 1e3,
         split,
         physical_rounds: metrics.total_physical_rounds(),
@@ -183,7 +213,7 @@ fn configurations() -> Vec<(usize, usize)> {
 
 fn randomized_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchRecord>) {
     let family = "random-4-regular";
-    let g = gen::random_regular(n & !1, 4, 7);
+    let g = build(family, n, 7);
     let lists: Vec<Vec<usize>> = g
         .vertices()
         .map(|v| (0..g.degree(v) + 1).collect())
@@ -232,7 +262,7 @@ fn randomized_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchRecor
 
 fn h_partition_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchRecord>) {
     let family = "forest-union-a2";
-    let g = gen::forest_union(n, 2, 11);
+    let g = build(family, n, 11);
     let mut rows = Vec::new();
     let ((seq, seq_rounds), wall) = best_of(reps, || {
         let mut ledger = RoundLedger::new();
@@ -272,7 +302,7 @@ fn h_partition_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchReco
 
 fn cole_vishkin_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchRecord>) {
     let family = "random-tree";
-    let g = gen::random_tree(n, 13);
+    let g = build(family, n, 13);
     let f = RootedForest::new(graphs::bfs_parents(&g, 0, None));
     let mut rows = Vec::new();
     let ((seq, seq_rounds), wall) = best_of(reps, || {
@@ -315,8 +345,7 @@ fn cole_vishkin_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchRec
 /// (fragmentation is charged, never semantic).
 fn gather_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchRecord>) {
     let family = "grid";
-    let side = (n as f64).sqrt().round() as usize;
-    let g = gen::grid(side, side);
+    let g = build(family, n, 0);
     let centers: Vec<usize> = (0..g.n()).collect();
     let radius = 3;
     let mut rows = Vec::new();
@@ -363,8 +392,7 @@ fn gather_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchRecord>) 
 /// 4-word split budget, so the split rows exercise real fragmentation.
 fn ruling_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchRecord>) {
     let family = "grid";
-    let side = (n as f64).sqrt().round() as usize;
-    let g = gen::grid(side, side);
+    let g = build(family, n, 0);
     let subset: Vec<usize> = (0..g.n()).step_by(2).collect();
     let alpha = 6;
     let mut rows = Vec::new();
@@ -417,9 +445,9 @@ fn ruling_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchRecord>) 
 /// pipeline under `CongestMode::Split(SPLIT_WIDTH)` — identical colors, the
 /// split surplus charged under `SPLIT_PHASE`.
 fn theorem13_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchRecord>) {
-    let family = "apollonian-mad6";
+    let family = "apollonian";
     let d = 6;
-    let g = gen::apollonian(n, 7);
+    let g = build(family, n, 7);
     let lists = ListAssignment::uniform(g.n(), d);
     let mut rows = Vec::new();
     let ((seq, seq_rounds), wall) = best_of(reps, || {
@@ -472,7 +500,8 @@ fn theorem13_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchRecord
                 // sequential row; physical adds the observed split surplus.
                 rounds: seq_rounds,
                 messages: m.total_messages(),
-                wall_ms: wall,
+                wall_ms: wall.best_ms,
+                p50_ms: wall.p50_ms,
                 route_ms: m.total_route_wall().as_secs_f64() * 1e3,
                 split,
                 physical_rounds: seq_rounds + surplus,

@@ -21,7 +21,7 @@ use crate::ert::{color_component, ErtError};
 use crate::happy::Classification;
 use crate::lists::ListAssignment;
 use crate::state::ColoringState;
-use engine::{layered_slots, CongestMode, EngineMetrics};
+use engine::{layered_slots, CongestMode, EngineMetrics, FaultPlan};
 use graphs::{ball, Graph, VertexId, VertexSet};
 use local_model::{degree_plus_one_coloring, ruling_forest, RoundLedger};
 use std::fmt;
@@ -38,6 +38,10 @@ pub struct EngineMode<'m> {
     /// [`CongestMode::Reject`] / [`CongestMode::Split`]) applied to every
     /// internal session.
     pub congest: CongestMode,
+    /// Fault plan injected into every internal session (empty for a clean
+    /// run) — faults key on logical messages, so they perturb each session
+    /// identically at any shard count.
+    pub faults: FaultPlan,
     /// Accumulator absorbing each internal session's metrics.
     pub metrics: &'m mut EngineMetrics,
 }
@@ -48,6 +52,7 @@ impl EngineMode<'_> {
         engine::EngineConfig::default()
             .with_shards(self.shards)
             .with_congest(self.congest)
+            .with_faults(self.faults.clone())
     }
 }
 
@@ -332,6 +337,7 @@ mod tests {
             let engine = engine_shards.map(|shards| EngineMode {
                 shards,
                 congest: CongestMode::Unlimited,
+                faults: FaultPlan::default(),
                 metrics: &mut metrics,
             });
             extend_to_happy_set(g, &alive, lists, &cls, &mut coloring, &mut ledger, engine)

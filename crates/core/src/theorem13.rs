@@ -19,7 +19,7 @@
 use crate::extend::{extend_to_happy_set, EngineMode, ExtendError, UNCOLORED};
 use crate::happy::{classify, classify_engine, paper_radius, Classification};
 use crate::lists::ListAssignment;
-use engine::{CongestMode, EngineMetrics};
+use engine::{CongestMode, EngineMetrics, FaultPlan};
 use graphs::{Graph, VertexId, VertexSet};
 use local_model::{detect_clique, RoundLedger};
 use std::fmt;
@@ -91,7 +91,7 @@ impl Default for RadiusPolicy {
 }
 
 /// Configuration for [`list_color_sparse`].
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct SparseColoringConfig {
     /// Ball-radius policy (default: adaptive from 2).
     pub radius: RadiusPolicy,
@@ -115,6 +115,13 @@ pub struct SparseColoringConfig {
     /// [`engine::SPLIT_PHASE`] ledger phase and in
     /// [`SparseColoring::engine_metrics`]. Ignored in sequential mode.
     pub engine_congest: CongestMode,
+    /// Fault plan injected into **every** engine session of an engine-mode
+    /// run — how the chaos suites perturb the full pipeline (seeded edge
+    /// loss, crash storms, adversarial reorder). Faults key on logical
+    /// messages, so a faulted run still replays bit-identically across
+    /// shard counts; what it computes may of course differ from the
+    /// fault-free run. Empty by default; ignored in sequential mode.
+    pub engine_faults: FaultPlan,
 }
 
 /// Per-level peeling statistics.
@@ -309,6 +316,7 @@ pub fn list_color_sparse(
             config.engine_shards.map(|shards| EngineMode {
                 shards,
                 congest: config.engine_congest,
+                faults: config.engine_faults.clone(),
                 metrics: &mut engine_metrics,
             })
         };

@@ -7,12 +7,15 @@
 //!   d-regular, bounded-degree, G(n,m).
 //! * [`planar`] — planar-by-construction triangulations and derivatives.
 //! * [`gallai`] — random Gallai trees and minimal non-Gallai perturbations.
+//! * [`registry`] — the named family registry (`name → generator(n, seed)`)
+//!   shared by every experiment harness (bench bins, the scenario lab).
 
 pub mod classic;
 pub mod gallai;
 pub mod lattice;
 pub mod planar;
 pub mod random;
+pub mod registry;
 
 pub use classic::{
     binary_tree, caterpillar, complete, complete_bipartite, cycle, mycielski, path, petersen, star,
@@ -26,3 +29,4 @@ pub use planar::{
 pub use random::{
     forest_union, gnm, random_bipartite, random_bounded_degree, random_regular, random_tree,
 };
+pub use registry::{build_family, family, family_names, FamilySpec};

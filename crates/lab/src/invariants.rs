@@ -1,0 +1,449 @@
+//! Declared invariants, evaluated over a run's rows.
+//!
+//! The checks are data in the suite file; this module is the only code
+//! that knows what they mean. Each check reduces to a [`CheckOutcome`]:
+//! pass/fail plus a violation list naming the offending rows — what the
+//! `lab` binary prints and what decides its exit code, and what the
+//! determinism/bench gates reuse instead of hand-rolled comparison loops.
+
+use std::collections::BTreeMap;
+
+use crate::json::Value;
+use crate::runner::{RunOutcome, TrialRow};
+use crate::schema::{BudgetMetric, Check, CongestSpec, Suite};
+
+/// The verdict of one declared check.
+#[derive(Clone, Debug)]
+pub struct CheckOutcome {
+    /// The check's label (see [`Check::label`]).
+    pub check: String,
+    /// Whether it held over every row it applies to.
+    pub passed: bool,
+    /// One line per violation.
+    pub violations: Vec<String>,
+}
+
+impl CheckOutcome {
+    fn new(check: &Check, violations: Vec<String>) -> Self {
+        CheckOutcome {
+            check: check.label(),
+            passed: violations.is_empty(),
+            violations,
+        }
+    }
+
+    /// The outcome as JSON (sorted keys).
+    pub fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("check".into(), Value::str(&self.check)),
+            ("passed".into(), Value::Bool(self.passed)),
+            (
+                "violations".into(),
+                Value::Arr(self.violations.iter().map(Value::str).collect()),
+            ),
+        ])
+    }
+}
+
+/// Evaluates every declared check. Order follows the suite.
+pub fn evaluate(suite: &Suite, run: &RunOutcome) -> Vec<CheckOutcome> {
+    suite
+        .checks
+        .iter()
+        .map(|check| match check {
+            Check::Determinism => CheckOutcome::new(check, check_determinism(run)),
+            Check::SplitReconciliation => CheckOutcome::new(check, check_split(run)),
+            Check::ValidOutputs => CheckOutcome::new(check, check_valid(run)),
+            Check::Budget { metric, max } => {
+                CheckOutcome::new(check, check_budget(run, *metric, *max))
+            }
+        })
+        .collect()
+}
+
+fn group_by_config(run: &RunOutcome) -> BTreeMap<String, Vec<&TrialRow>> {
+    let mut groups: BTreeMap<String, Vec<&TrialRow>> = BTreeMap::new();
+    for row in &run.rows {
+        groups.entry(row.spec.config_key()).or_default().push(row);
+    }
+    groups
+}
+
+/// Rows sharing a configuration key — same computation, different
+/// shards/workers/rep — must agree bit for bit.
+fn check_determinism(run: &RunOutcome) -> Vec<String> {
+    let mut violations = Vec::new();
+    for (key, rows) in group_by_config(run) {
+        let errored = rows.iter().filter(|r| r.error.is_some()).count();
+        if errored > 0 {
+            // A configuration may die (chaos does that), but it must die
+            // in every replay, not depending on the shard count.
+            if errored < rows.len() {
+                violations.push(format!(
+                    "{key}: {errored}/{} replays died — failure depends on a perf knob",
+                    rows.len()
+                ));
+            }
+            continue;
+        }
+        let engine: Vec<&&TrialRow> = rows.iter().filter(|r| r.spec.shards > 0).collect();
+        if let Some(first) = engine.first() {
+            for row in &engine[1..] {
+                let mut diff = |what: &str, a: String, b: String| {
+                    if a != b {
+                        violations.push(format!(
+                            "{key}: trial {} {what} {b} != trial {} {what} {a} \
+                             (shards {}/{} workers {}/{})",
+                            row.spec.id,
+                            first.spec.id,
+                            row.spec.shards,
+                            first.spec.shards,
+                            row.spec.workers.label(),
+                            first.spec.workers.label(),
+                        ));
+                    }
+                };
+                diff(
+                    "output",
+                    format!("{:016x}", first.output_hash),
+                    format!("{:016x}", row.output_hash),
+                );
+                diff(
+                    "traffic",
+                    format!("{:016x}", first.traffic_hash),
+                    format!("{:016x}", row.traffic_hash),
+                );
+                diff(
+                    "ledger",
+                    first.ledger_rounds.to_string(),
+                    row.ledger_rounds.to_string(),
+                );
+                diff(
+                    "physical rounds",
+                    first.physical_rounds.to_string(),
+                    row.physical_rounds.to_string(),
+                );
+                diff(
+                    "fragments",
+                    first.fragments.to_string(),
+                    row.fragments.to_string(),
+                );
+            }
+            // The sequential baseline anchors the engine rows: the engine
+            // must *replay* the simulation, not merely agree with itself.
+            if let Some(seq) = rows.iter().find(|r| r.spec.shards == 0) {
+                if seq.output_hash != first.output_hash {
+                    violations.push(format!(
+                        "{key}: engine output {:016x} departs from the sequential \
+                         baseline {:016x}",
+                        first.output_hash, seq.output_hash
+                    ));
+                }
+                if seq.ledger_rounds != first.ledger_rounds {
+                    violations.push(format!(
+                        "{key}: engine ledger {} != sequential ledger {}",
+                        first.ledger_rounds, seq.ledger_rounds
+                    ));
+                }
+            }
+        }
+        // Reps of the sequential baseline must also agree among themselves.
+        let seq: Vec<&&TrialRow> = rows.iter().filter(|r| r.spec.shards == 0).collect();
+        if let Some(first) = seq.first() {
+            for row in &seq[1..] {
+                if row.output_hash != first.output_hash {
+                    violations.push(format!(
+                        "{key}: sequential reps disagree ({:016x} vs {:016x})",
+                        row.output_hash, first.output_hash
+                    ));
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// Every split row must reconcile with an unlimited twin: identical
+/// output, `ledger − surplus == unlimited ledger`, `physical == engine
+/// rounds + surplus`.
+fn check_split(run: &RunOutcome) -> Vec<String> {
+    let groups = group_by_config(run);
+    let mut violations = Vec::new();
+    let mut seen_pair = false;
+    for row in &run.rows {
+        if row.spec.congest.split_width().is_none() || row.error.is_some() {
+            continue;
+        }
+        let Some(twin) = groups
+            .get(&row.spec.unlimited_key())
+            .and_then(|rows| rows.iter().find(|t| t.error.is_none()))
+        else {
+            violations.push(format!(
+                "trial {}: split row has no unlimited twin in the plan (add \
+                 \"unlimited\" to the congest axis)",
+                row.spec.id
+            ));
+            continue;
+        };
+        seen_pair = true;
+        if row.output_hash != twin.output_hash {
+            violations.push(format!(
+                "trial {}: split output {:016x} != unlimited output {:016x} — \
+                 fragmentation changed semantics",
+                row.spec.id, row.output_hash, twin.output_hash
+            ));
+        }
+        if row.ledger_rounds < row.split_surplus
+            || row.ledger_rounds - row.split_surplus != twin.ledger_rounds
+        {
+            violations.push(format!(
+                "trial {}: ledger {} − surplus {} != unlimited ledger {}",
+                row.spec.id, row.ledger_rounds, row.split_surplus, twin.ledger_rounds
+            ));
+        }
+        if row.spec.shards > 0 && row.physical_rounds != row.engine_rounds + row.split_surplus {
+            violations.push(format!(
+                "trial {}: physical {} != rounds {} + surplus {}",
+                row.spec.id, row.physical_rounds, row.engine_rounds, row.split_surplus
+            ));
+        }
+    }
+    if !seen_pair && violations.is_empty() {
+        violations.push(
+            "no split/unlimited pair in the plan — the check has nothing to certify \
+             (declare a split:w congest alongside unlimited)"
+                .into(),
+        );
+    }
+    violations
+}
+
+fn check_valid(run: &RunOutcome) -> Vec<String> {
+    run.rows
+        .iter()
+        .filter(|r| !r.valid)
+        .map(|r| {
+            let why = r
+                .error
+                .as_deref()
+                .or(r.invalid_reason.as_deref())
+                .unwrap_or("invalid");
+            format!(
+                "trial {} ({} {} n={} seed={} shards={} congest={} faults={}): {why}",
+                r.spec.id,
+                r.spec.scenario,
+                r.spec.algorithm,
+                r.spec.n,
+                r.spec.seed,
+                r.spec.shards,
+                r.spec.congest.label(),
+                r.spec.faults.label()
+            )
+        })
+        .collect()
+}
+
+/// Best-of-reps wall/route per configuration×shards×workers.
+fn best_walls(run: &RunOutcome) -> BTreeMap<String, (f64, f64)> {
+    let mut best: BTreeMap<String, (f64, f64)> = BTreeMap::new();
+    for row in &run.rows {
+        if row.error.is_some() {
+            continue;
+        }
+        let key = format!(
+            "{}|{}|{}",
+            row.spec.config_key(),
+            row.spec.shards,
+            row.spec.workers.label()
+        );
+        let entry = best.entry(key).or_insert((f64::INFINITY, 0.0));
+        if row.wall_ms < entry.0 {
+            *entry = (row.wall_ms, row.route_ms);
+        }
+    }
+    best
+}
+
+/// Ratio budgets, evaluated at the largest `n` of every (scenario,
+/// algorithm) — matching `bench_gate`'s "judge at scale" convention.
+fn check_budget(run: &RunOutcome, metric: BudgetMetric, max: f64) -> Vec<String> {
+    let mut max_n: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for row in &run.rows {
+        let key = (row.spec.scenario.clone(), row.spec.algorithm.clone());
+        let n = max_n.entry(key).or_default();
+        *n = (*n).max(row.spec.n);
+    }
+    let at_scale = |row: &TrialRow| {
+        max_n[&(row.spec.scenario.clone(), row.spec.algorithm.clone())] == row.spec.n
+    };
+    let best = best_walls(run);
+    let wall_of = |spec_row: &TrialRow, shards: usize, congest: Option<CongestSpec>| {
+        let mut spec = spec_row.spec.clone();
+        spec.shards = shards;
+        if let Some(c) = congest {
+            spec.congest = c;
+        }
+        if shards == 0 {
+            spec.congest = CongestSpec::Unlimited;
+        }
+        // Workers are part of the best-walls key; scan all worker specs.
+        best.iter()
+            .filter(|(k, _)| k.starts_with(&format!("{}|{}|", spec.config_key(), spec.shards)))
+            .map(|(_, &(wall, _))| wall)
+            .min_by(f64::total_cmp)
+    };
+    let mut violations = Vec::new();
+    let mut applied = false;
+    for row in &run.rows {
+        if row.error.is_some() || !at_scale(row) || row.spec.rep != 0 {
+            continue;
+        }
+        let ratio = match metric {
+            BudgetMetric::EngineRatio => {
+                // Judged once per configuration, from its shards=1 row.
+                if row.spec.shards != 1
+                    || row.spec.congest != CongestSpec::Unlimited
+                    || !row.spec.faults.is_none()
+                {
+                    continue;
+                }
+                let (Some(engine), Some(seq)) = (wall_of(row, 1, None), wall_of(row, 0, None))
+                else {
+                    continue;
+                };
+                Some(("engine/1 vs sequential", engine / seq.max(f64::EPSILON)))
+            }
+            BudgetMetric::ShardRatio => {
+                let widest = run
+                    .rows
+                    .iter()
+                    .filter(|r| r.spec.config_key() == row.spec.config_key())
+                    .map(|r| r.spec.shards)
+                    .max()
+                    .unwrap_or(0);
+                if row.spec.shards != widest || widest <= 1 {
+                    continue;
+                }
+                let (Some(wide), Some(one)) = (wall_of(row, widest, None), wall_of(row, 1, None))
+                else {
+                    continue;
+                };
+                Some(("max-shards vs engine/1", wide / one.max(f64::EPSILON)))
+            }
+            BudgetMetric::RouteFrac => {
+                if row.spec.shards == 0 {
+                    continue;
+                }
+                let key = format!(
+                    "{}|{}|{}",
+                    row.spec.config_key(),
+                    row.spec.shards,
+                    row.spec.workers.label()
+                );
+                let (wall, route) = best[&key];
+                Some(("route/wall", route / wall.max(f64::EPSILON)))
+            }
+            BudgetMetric::SplitRatio => {
+                if row.spec.congest.split_width().is_none() {
+                    continue;
+                }
+                let split_wall = wall_of(row, row.spec.shards, None);
+                let mut unlimited = row.clone();
+                unlimited.spec.congest = CongestSpec::Unlimited;
+                let unlimited_wall =
+                    wall_of(&unlimited, row.spec.shards, Some(CongestSpec::Unlimited));
+                let (Some(split), Some(open)) = (split_wall, unlimited_wall) else {
+                    continue;
+                };
+                Some(("split vs unlimited", split / open.max(f64::EPSILON)))
+            }
+        };
+        if let Some((what, ratio)) = ratio {
+            applied = true;
+            if ratio > max {
+                violations.push(format!(
+                    "trial {} ({} {} n={} shards={}): {what} ratio {ratio:.2} \
+                     exceeds budget {max}",
+                    row.spec.id, row.spec.scenario, row.spec.algorithm, row.spec.n, row.spec.shards
+                ));
+            }
+        }
+    }
+    if !applied && violations.is_empty() {
+        violations.push(format!(
+            "budget {} applies to no row in the plan — the check certifies nothing",
+            metric.label()
+        ));
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_suite;
+    use crate::schema::Suite;
+
+    fn run(body: &str) -> (Suite, RunOutcome) {
+        let suite = Suite::from_json(body).unwrap();
+        let run = run_suite(&suite, |_, _| {}).unwrap();
+        (suite, run)
+    }
+
+    #[test]
+    fn clean_suite_passes_all_checks() {
+        let (suite, out) = run(r#"{"name": "t", "scenarios": [{
+                "name": "s", "family": "grid", "n": 36, "algorithm": "gather",
+                "shards": [0, 1, 2], "workers": "shards",
+                "congest": ["unlimited", "split:2"], "reps": 2
+            }], "checks": [
+                {"kind": "determinism"},
+                {"kind": "split-reconciliation"},
+                {"kind": "valid-outputs"},
+                {"kind": "budget", "metric": "route-frac", "max": 1.0}
+            ]}"#);
+        let outcomes = evaluate(&suite, &out);
+        for o in &outcomes {
+            assert!(o.passed, "{}: {:?}", o.check, o.violations);
+        }
+        assert_eq!(outcomes.len(), 4);
+    }
+
+    #[test]
+    fn split_without_twin_is_called_out() {
+        let (suite, out) = run(r#"{"name": "t", "scenarios": [{
+                "name": "s", "family": "grid", "n": 36, "algorithm": "gather",
+                "shards": 1, "congest": "split:2"
+            }], "checks": [{"kind": "split-reconciliation"}]}"#);
+        let outcomes = evaluate(&suite, &out);
+        assert!(!outcomes[0].passed);
+        assert!(outcomes[0].violations[0].contains("no unlimited twin"));
+    }
+
+    #[test]
+    fn dying_configuration_fails_valid_outputs_but_not_determinism() {
+        let (suite, out) = run(r#"{"name": "t", "scenarios": [{
+                "name": "s", "family": "grid", "n": 36, "algorithm": "gather",
+                "shards": [1, 2], "congest": "reject:1"
+            }], "checks": [{"kind": "determinism"}, {"kind": "valid-outputs"}]}"#);
+        let outcomes = evaluate(&suite, &out);
+        assert!(
+            outcomes[0].passed,
+            "dies at every shard count: {:?}",
+            outcomes[0].violations
+        );
+        assert!(!outcomes[1].passed);
+        assert_eq!(outcomes[1].violations.len(), 2);
+    }
+
+    #[test]
+    fn inapplicable_budget_is_a_failure_not_a_silent_pass() {
+        let (suite, out) = run(r#"{"name": "t", "scenarios": [{
+                "name": "s", "family": "grid", "n": 36, "algorithm": "gather",
+                "shards": 1
+            }], "checks": [{"kind": "budget", "metric": "split-ratio", "max": 3.0}]}"#);
+        let outcomes = evaluate(&suite, &out);
+        assert!(!outcomes[0].passed);
+        assert!(outcomes[0].violations[0].contains("applies to no row"));
+    }
+}

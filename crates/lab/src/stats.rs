@@ -1,0 +1,72 @@
+//! Percentile statistics over trial measurements.
+//!
+//! Nearest-rank percentiles: `p`-th percentile of a sorted sample of `k`
+//! values is the value at rank `⌈p·k⌉` (1-based). No interpolation — every
+//! reported number is one the runner actually measured, which keeps tails
+//! honest on the small samples a smoke suite produces.
+
+/// The percentile triple every summary row reports.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+/// Nearest-rank percentile of an ascending-sorted, non-empty sample.
+/// `p` in `(0, 100]`.
+///
+/// # Panics
+///
+/// Panics on an empty sample or an out-of-range `p` — callers gate on
+/// emptiness (an empty group has no percentile row at all).
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of an empty sample");
+    assert!(p > 0.0 && p <= 100.0, "percentile {p} out of (0, 100]");
+    let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted[rank.max(1) - 1]
+}
+
+/// The p50/p95/p99 triple of an unsorted sample, or `None` if empty.
+pub fn summarize(values: &[f64]) -> Option<Percentiles> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    Some(Percentiles {
+        p50: percentile(&sorted, 50.0),
+        p95: percentile(&sorted, 95.0),
+        p99: percentile(&sorted, 99.0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_matches_hand_computation() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&sorted, 50.0), 50.0);
+        assert_eq!(percentile(&sorted, 95.0), 95.0);
+        assert_eq!(percentile(&sorted, 99.0), 99.0);
+        assert_eq!(percentile(&sorted, 100.0), 100.0);
+        // Small samples: ranks collapse to real observations.
+        assert_eq!(percentile(&[3.0], 99.0), 3.0);
+        assert_eq!(percentile(&[1.0, 9.0], 50.0), 1.0);
+        assert_eq!(percentile(&[1.0, 9.0], 95.0), 9.0);
+    }
+
+    #[test]
+    fn summarize_sorts_and_handles_empty() {
+        assert_eq!(summarize(&[]), None);
+        let p = summarize(&[9.0, 1.0, 5.0]).unwrap();
+        assert_eq!(p.p50, 5.0);
+        assert_eq!(p.p95, 9.0);
+        assert_eq!(p.p99, 9.0);
+    }
+}
