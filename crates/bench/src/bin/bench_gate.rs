@@ -40,6 +40,14 @@
 //!    fragmentation/reassembly path does real per-message encode/chop/
 //!    decode work, but it must never silently regress into dominating the
 //!    run.
+//! 5. With `--min-shard-speedup=S` (off by default): `engine/1 ≥ S ×
+//!    engine/8` — sharding must actually *win*, not merely avoid losing.
+//!    This is the million-node gate: CI's `bench-xl` job passes
+//!    `--min-shard-speedup=4` over the `engine_table --xl` artifact, where
+//!    per-round work is large enough that an honest parallel routing phase
+//!    must show a real speedup curve. It stays opt-in because laptop-sized
+//!    runs (n ≤ 50k) are barrier-overhead-bound and the assertion would be
+//!    noise there.
 //!
 //! Exits nonzero with a per-algorithm table on any violation.
 
@@ -126,6 +134,7 @@ fn main() {
     let mut max_shard8_ratio = DEFAULT_MAX_SHARD8_RATIO;
     let mut max_route_frac = DEFAULT_MAX_ROUTE_FRAC;
     let mut max_split_ratio = DEFAULT_MAX_SPLIT_RATIO;
+    let mut min_shard_speedup: Option<f64> = None;
     for arg in std::env::args().skip(1) {
         if let Some(v) = arg.strip_prefix("--suite=") {
             suite_mode(v);
@@ -137,6 +146,8 @@ fn main() {
             max_route_frac = v.parse().expect("--max-route-frac takes a number");
         } else if let Some(v) = arg.strip_prefix("--max-split-ratio=") {
             max_split_ratio = v.parse().expect("--max-split-ratio takes a number");
+        } else if let Some(v) = arg.strip_prefix("--min-shard-speedup=") {
+            min_shard_speedup = Some(v.parse().expect("--min-shard-speedup takes a number"));
         } else {
             assert!(path.is_none(), "exactly one artifact path, got {arg:?} too");
             path = Some(arg);
@@ -186,6 +197,18 @@ fn main() {
         let (shard8_cell, route_cell) = match at(8) {
             Some(s8) => {
                 let shard8_ratio = s8.wall_ms / s1.wall_ms.max(f64::EPSILON);
+                if let Some(min) = min_shard_speedup {
+                    let speedup = s1.wall_ms / s8.wall_ms.max(f64::EPSILON);
+                    if speedup < min {
+                        verdict = "FAIL";
+                        violations.push(format!(
+                            "{alg} (n={n}): engine/8 is only {speedup:.2}× faster than \
+                             engine/1 ({:.3} ms vs {:.3} ms), floor {min:.2}× — the \
+                             parallel routing phase is not scaling",
+                            s8.wall_ms, s1.wall_ms
+                        ));
+                    }
+                }
                 if shard8_ratio > max_shard8_ratio {
                     verdict = "FAIL";
                     violations.push(format!(
@@ -210,7 +233,16 @@ fn main() {
                 }
                 (format!("{shard8_ratio:.2}"), format!("{route_frac:.2}"))
             }
-            None => ("-".into(), "-".into()),
+            None => {
+                if min_shard_speedup.is_some() {
+                    verdict = "FAIL";
+                    violations.push(format!(
+                        "{alg} (n={n}): --min-shard-speedup is set but the artifact \
+                         has no engine/8 row"
+                    ));
+                }
+                ("-".into(), "-".into())
+            }
         };
         // The fragmentation budget: every split row at this n diffs against
         // its unlimited twin at the same shard count. The table cell lists

@@ -1,0 +1,235 @@
+//! Wall-time trend table: a fresh scenario-lab run vs the committed
+//! `BENCH_engine.json` artifact.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin bench_trend -- \
+//!     lab-runs/bench/summary.json BENCH_engine.json >> "$GITHUB_STEP_SUMMARY"
+//! ```
+//!
+//! CI's `scenario-lab` job runs the declared bench suite, then calls this
+//! binary to diff the run's percentile summary against the artifact the
+//! last `engine_table` invocation committed — so every PR's job summary
+//! shows where the wall-clock trajectory is heading, not just whether a
+//! budget tripped. The two sources measure different `n` (the suite is
+//! CI-quick, the artifact is the full crossover sweep), so each lab group
+//! is matched to the artifact record with the same algorithm and shard
+//! count at the *nearest* `n`, and the comparison is normalized to
+//! microseconds per vertex — the per-vertex constant factor is exactly what
+//! the CSR/SoA layout work moves.
+//!
+//! Output is GitHub-flavored markdown (pipes render as a table in
+//! `$GITHUB_STEP_SUMMARY`); the binary is informational and always exits 0
+//! once both inputs parse. Only unlimited-width, fault-free lab groups are
+//! compared — split and chaos rows have no committed twin.
+
+use bench::{parse_engine_bench_json, EngineBenchRecord};
+use lab::json::Value;
+
+/// One lab summary group's fields we trend on.
+struct LabGroup {
+    algorithm: String,
+    family: String,
+    n: usize,
+    shards: usize,
+    best_ms: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (summary_path, artifact_path) = match args.as_slice() {
+        [s] => (s.as_str(), "BENCH_engine.json"),
+        [s, a] => (s.as_str(), a.as_str()),
+        _ => {
+            eprintln!("usage: bench_trend <summary.json> [BENCH_engine.json]");
+            std::process::exit(2);
+        }
+    };
+    let summary = std::fs::read_to_string(summary_path)
+        .map_err(|e| format!("read {summary_path}: {e}"))
+        .and_then(|s| lab::json::parse(&s))
+        .unwrap_or_else(|e| {
+            eprintln!("bench_trend: {e}");
+            std::process::exit(2);
+        });
+    let artifact = std::fs::read_to_string(artifact_path)
+        .map_err(|e| format!("read {artifact_path}: {e}"))
+        .and_then(|s| parse_engine_bench_json(&s))
+        .unwrap_or_else(|e| {
+            eprintln!("bench_trend: {e}");
+            std::process::exit(2);
+        });
+    let groups = lab_groups(&summary);
+    println!("## Wall-time trend vs committed `{artifact_path}`");
+    println!();
+    print!("{}", render_trend(&groups, &artifact));
+}
+
+/// Extracts the unlimited-width, fault-free groups from a lab summary.
+fn lab_groups(summary: &Value) -> Vec<LabGroup> {
+    let Some(groups) = summary.get("groups").and_then(Value::as_arr) else {
+        return Vec::new();
+    };
+    groups
+        .iter()
+        .filter(|g| {
+            g.get("congest").and_then(Value::as_str) == Some("unlimited")
+                && g.get("faults").and_then(Value::as_str) == Some("none")
+        })
+        .filter_map(|g| {
+            Some(LabGroup {
+                algorithm: g.get("algorithm")?.as_str()?.to_string(),
+                family: g.get("family")?.as_str()?.to_string(),
+                n: g.get("n")?.as_usize()?,
+                shards: g.get("shards")?.as_usize()?,
+                best_ms: g.get("wall_ms_best")?.as_f64()?,
+                p50_ms: g.get("wall_ms_p50")?.as_f64()?,
+                p95_ms: g.get("wall_ms_p95")?.as_f64()?,
+            })
+        })
+        .collect()
+}
+
+/// The committed record with the same algorithm and shard count whose `n`
+/// is nearest the lab group's (ties break toward the larger run).
+fn closest<'a>(
+    records: &'a [EngineBenchRecord],
+    group: &LabGroup,
+) -> Option<&'a EngineBenchRecord> {
+    records
+        .iter()
+        .filter(|r| r.algorithm == group.algorithm && r.shards == group.shards && r.split == 0)
+        .min_by_key(|r| (r.n.abs_diff(group.n), usize::MAX - r.n))
+}
+
+/// Renders the markdown trend table (one row per matched lab group).
+fn render_trend(groups: &[LabGroup], artifact: &[EngineBenchRecord]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "| algorithm | shards | fresh n | best ms | p50 ms | p95 ms | fresh µs/v \
+         | committed n | committed ms | µs/v | Δ µs/v |\n",
+    );
+    out.push_str("|---|---|---|---|---|---|---|---|---|---|---|\n");
+    let mut matched = 0;
+    for g in groups {
+        let Some(rec) = closest(artifact, g) else {
+            continue;
+        };
+        matched += 1;
+        let fresh_norm = g.best_ms * 1e3 / g.n.max(1) as f64;
+        let committed_norm = rec.wall_ms * 1e3 / rec.n.max(1) as f64;
+        let delta = (fresh_norm - committed_norm) / committed_norm.max(f64::EPSILON) * 100.0;
+        out.push_str(&format!(
+            "| {} ({}) | {} | {} | {:.2} | {:.2} | {:.2} | {:.2} | {} | {:.2} | {:.2} | {:+.1}% |\n",
+            g.algorithm,
+            g.family,
+            g.shards,
+            g.n,
+            g.best_ms,
+            g.p50_ms,
+            g.p95_ms,
+            fresh_norm,
+            rec.n,
+            rec.wall_ms,
+            committed_norm,
+            delta,
+        ));
+    }
+    if matched == 0 {
+        return "_no lab group has a committed twin (algorithm + shard count) to trend \
+                against_\n"
+            .to_string();
+    }
+    out.push_str(&format!(
+        "\n{matched} of {} lab group(s) matched; µs/v is best-of wall normalized per \
+         vertex, Δ is fresh vs committed (negative = faster).\n",
+        groups.len()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(algorithm: &str, n: usize, shards: usize, wall_ms: f64) -> EngineBenchRecord {
+        EngineBenchRecord {
+            family: "f".into(),
+            algorithm: algorithm.into(),
+            n,
+            shards,
+            rounds: 1,
+            messages: 0,
+            wall_ms,
+            p50_ms: wall_ms,
+            route_ms: 0.0,
+            split: 0,
+            physical_rounds: 1,
+            fragments: 0,
+        }
+    }
+
+    fn group(algorithm: &str, n: usize, shards: usize, best_ms: f64) -> LabGroup {
+        LabGroup {
+            algorithm: algorithm.into(),
+            family: "f".into(),
+            n,
+            shards,
+            best_ms,
+            p50_ms: best_ms,
+            p95_ms: best_ms,
+        }
+    }
+
+    #[test]
+    fn closest_prefers_nearest_then_larger_n() {
+        let records = vec![rec("a", 1000, 1, 1.0), rec("a", 10_000, 1, 9.0)];
+        let g = group("a", 4000, 1, 2.0);
+        assert_eq!(closest(&records, &g).unwrap().n, 1000);
+        let g = group("a", 5500, 1, 2.0);
+        assert_eq!(closest(&records, &g).unwrap().n, 10_000, "tie → larger n");
+        assert!(closest(&records, &group("a", 4000, 8, 2.0)).is_none());
+        assert!(closest(&records, &group("b", 1000, 1, 2.0)).is_none());
+    }
+
+    #[test]
+    fn trend_table_normalizes_per_vertex() {
+        let records = vec![rec("a", 2000, 1, 4.0)]; // 2.0 µs/v committed
+        let groups = vec![group("a", 1000, 1, 1.0)]; // 1.0 µs/v fresh
+        let table = render_trend(&groups, &records);
+        assert!(table.contains("| a (f) | 1 | 1000 |"), "{table}");
+        assert!(table.contains("| -50.0% |"), "{table}");
+        assert!(table.contains("1 of 1 lab group(s) matched"), "{table}");
+    }
+
+    #[test]
+    fn unmatched_groups_degrade_gracefully() {
+        let table = render_trend(&[group("a", 10, 1, 1.0)], &[]);
+        assert!(
+            table.contains("no lab group has a committed twin"),
+            "{table}"
+        );
+    }
+
+    #[test]
+    fn lab_groups_filters_split_and_faulty_rows() {
+        let summary = lab::json::parse(
+            r#"{"groups": [
+                {"algorithm": "a", "congest": "unlimited", "family": "f",
+                 "faults": "none", "n": 10, "shards": 1,
+                 "wall_ms_best": 1.0, "wall_ms_p50": 1.5, "wall_ms_p95": 2.0},
+                {"algorithm": "a", "congest": "split:4", "family": "f",
+                 "faults": "none", "n": 10, "shards": 1,
+                 "wall_ms_best": 1.0, "wall_ms_p50": 1.5, "wall_ms_p95": 2.0},
+                {"algorithm": "a", "congest": "unlimited", "family": "f",
+                 "faults": "loss:0.1", "n": 10, "shards": 1,
+                 "wall_ms_best": 1.0, "wall_ms_p50": 1.5, "wall_ms_p95": 2.0}
+            ]}"#,
+        )
+        .unwrap();
+        let groups = lab_groups(&summary);
+        assert_eq!(groups.len(), 1, "split and faulty rows are dropped");
+        assert_eq!(groups[0].p95_ms, 2.0);
+    }
+}

@@ -4,7 +4,15 @@
 //! cargo run --release -p bench --bin engine_table                    # n ∈ {1k, 10k, 50k}
 //! cargo run --release -p bench --bin engine_table -- 5000            # custom n
 //! cargo run --release -p bench --bin engine_table -- --reps=5 20000  # best-of-5
+//! cargo run --release -p bench --bin engine_table -- --xl            # n ∈ {100k, 1M}
 //! ```
+//!
+//! `--xl` is the million-node tier: n ∈ {10⁵, 10⁶} on the two linear-cost
+//! showdowns (H-partition and Cole–Vishkin — the workloads whose sequential
+//! twins stay O(n · α) at a million vertices), single rep by default (a
+//! 10⁶-vertex run is its own noise floor; pass `--reps=N` to override).
+//! CI's `bench-xl` job runs exactly this tier and feeds the artifact to
+//! `bench_gate --min-shard-speedup`.
 //!
 //! For each workload family (resolved through the [`gen::build_family`]
 //! registry, so the bench and the scenario lab measure the same graphs) and
@@ -45,25 +53,42 @@ const SPLIT_SHARDS: [usize; 2] = [1, 8];
 const SPLIT_WIDTH: usize = 4;
 const DEFAULT_SIZES: [usize; 3] = [1_000, 10_000, 50_000];
 const DEFAULT_REPS: usize = 3;
+/// The `--xl` tier: million-node territory, linear-cost showdowns only.
+const XL_SIZES: [usize; 2] = [100_000, 1_000_000];
 
 fn main() {
     let mut sizes: Vec<usize> = Vec::new();
-    let mut reps = DEFAULT_REPS;
+    let mut reps: Option<usize> = None;
+    let mut xl = false;
     for arg in std::env::args().skip(1) {
-        if let Some(r) = arg.strip_prefix("--reps=") {
-            reps = r.parse().expect("--reps=N takes an integer");
-            assert!(reps >= 1, "--reps must be at least 1");
+        if arg == "--xl" {
+            xl = true;
+        } else if let Some(r) = arg.strip_prefix("--reps=") {
+            let r: usize = r.parse().expect("--reps=N takes an integer");
+            assert!(r >= 1, "--reps must be at least 1");
+            reps = Some(r);
         } else {
             sizes.push(arg.parse().unwrap_or_else(|_| {
-                panic!("arguments are sizes (integers) or --reps=N, got {arg:?}")
+                panic!("arguments are sizes (integers), --reps=N, or --xl, got {arg:?}")
             }));
         }
     }
     if sizes.is_empty() {
-        sizes = DEFAULT_SIZES.to_vec();
+        sizes = if xl {
+            XL_SIZES.to_vec()
+        } else {
+            DEFAULT_SIZES.to_vec()
+        };
     }
+    // A single 10⁶-vertex run dominates its own noise; default xl to one rep.
+    let reps = reps.unwrap_or(if xl { 1 } else { DEFAULT_REPS });
     let mut records: Vec<EngineBenchRecord> = Vec::new();
     for &n in &sizes {
+        if xl {
+            h_partition_showdown(n, reps, &mut records);
+            cole_vishkin_showdown(n, reps, &mut records);
+            continue;
+        }
         randomized_showdown(n, reps, &mut records);
         h_partition_showdown(n, reps, &mut records);
         cole_vishkin_showdown(n, reps, &mut records);

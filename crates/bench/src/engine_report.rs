@@ -49,10 +49,19 @@ pub struct EngineBenchRecord {
 
 impl EngineBenchRecord {
     fn to_json(&self) -> String {
+        // A `p50_ms` equal to `wall_ms` carries no independent information —
+        // single-rep runs never measured a median at all. Omit the key and
+        // let [`parse_engine_bench_json`]'s default restore `wall_ms`, so
+        // the artifact never claims a percentile that was not observed.
+        let p50 = if self.p50_ms == self.wall_ms {
+            String::new()
+        } else {
+            format!("\"p50_ms\":{:.4},", self.p50_ms)
+        };
         format!(
             concat!(
                 "{{\"algorithm\":{},\"family\":{},\"fragments\":{},\"messages\":{},",
-                "\"n\":{},\"p50_ms\":{:.4},\"physical_rounds\":{},\"rounds\":{},",
+                "\"n\":{},{}\"physical_rounds\":{},\"rounds\":{},",
                 "\"route_ms\":{:.4},\"shards\":{},\"split\":{},\"wall_ms\":{:.4}}}"
             ),
             json_string(&self.algorithm),
@@ -60,7 +69,7 @@ impl EngineBenchRecord {
             self.fragments,
             self.messages,
             self.n,
-            self.p50_ms,
+            p50,
             self.physical_rounds,
             self.rounds,
             self.route_ms,
@@ -259,6 +268,19 @@ mod tests {
         assert!(json.contains("\"wall_ms\":1.5000"));
         assert!(json.contains("\"p50_ms\":1.7500"));
         assert!(json.contains("\"route_ms\":0.2500"));
+    }
+
+    #[test]
+    fn single_rep_rows_omit_p50() {
+        // `p50_ms == wall_ms` means no independent median was measured
+        // (single-rep runs); the key is dropped and the parser's default
+        // restores it, so the artifact never invents a percentile.
+        let mut rec = record();
+        rec.p50_ms = rec.wall_ms;
+        let json = render_engine_bench_json(&[rec.clone()]);
+        assert!(!json.contains("p50_ms"), "{json}");
+        let parsed = parse_engine_bench_json(&json).unwrap();
+        assert_eq!(parsed, vec![rec]);
     }
 
     #[test]

@@ -19,11 +19,12 @@
 //!    width budget ([`EngineConfig::congest_width`]) apply as traffic is
 //!    staged.
 //! 2. **Route** — after the driver tallies counters and (re)schedules
-//!    fault-delayed batches, every worker drains its own bucket of every
-//!    arena into the inboxes of its own vertex range and performs the
-//!    per-inbox stable sender sort; the buffers then flip. Routing no
-//!    longer serializes on the driver thread — its wall time is recorded
-//!    per round ([`RoundMetrics::route_wall`]).
+//!    fault-delayed batches, every worker counting-sorts its own bucket of
+//!    every arena into its group's contiguous inbox segment (spans per
+//!    vertex, no per-message allocation) and performs the per-inbox stable
+//!    sender sort; the buffers then flip. Routing no longer serializes on
+//!    the driver thread — its wall time is recorded per round
+//!    ([`RoundMetrics::route_wall`]).
 //!
 //! Determinism: program state is touched only by its owning worker group,
 //! inboxes are sorted by original sender id, per-node RNG streams depend on
@@ -42,7 +43,7 @@ use crate::context::NodeCtx;
 use crate::faults::FaultPlan;
 use crate::mailbox::Mailboxes;
 use crate::metrics::{EngineMetrics, RoundMetrics};
-use crate::pool::{stage_outbox, RouteEnv, ShardYield, StageEnv, WorkerPool};
+use crate::pool::{stage_outbox, RouteEnv, StageEnv, WorkerPool};
 use crate::program::NodeProgram;
 use crate::shard::ShardPlan;
 use crate::view::GraphView;
@@ -338,14 +339,14 @@ impl<'g, P: NodeProgram + 'static> EngineSession<'g, P> {
         let plan = ShardPlan::for_view(&view, config.resolve_shards(live));
         let groups = plan.group_ranges(config.resolve_workers(plan.shards()));
         let bounds: Vec<usize> = groups.iter().map(|r| r.start).chain([live]).collect();
-        let pool = WorkerPool::spawn(groups.len() - 1);
+        let mut pool = WorkerPool::spawn(groups.len() - 1);
         let mut ctxs: Vec<NodeCtx<'g>> = (0..live)
             .map(|dv| {
                 let nbrs = view.neighbors(dv);
                 // SAFETY: for whole-graph views this slice already borrows
                 // the graph (`'g`). For masked views it points into the
-                // view's boxed filtered adjacency, whose heap allocations
-                // are address-stable for the session's whole lifetime: the
+                // view's flat compacted CSR (`packed`), whose heap buffer
+                // is address-stable for the session's whole lifetime: the
                 // view moves into the session below, is never mutated, and
                 // `NodeCtx` values never escape the session at `'g` (only
                 // reborrows reach factories and programs).
@@ -356,44 +357,60 @@ impl<'g, P: NodeProgram + 'static> EngineSession<'g, P> {
             .collect();
         let mut programs: Vec<P> = ctxs.iter().map(&mut factory).collect();
 
-        // Round 0: init every node and route the initial knowledge exchange.
-        // Single-bucket staging arena — init runs once, on the driver.
-        let mut mail = Mailboxes::new(live);
+        // Round 0: init every node and route the initial knowledge
+        // exchange. Staging runs on the driver into the pool's group-0
+        // arena (bucketed by destination group, like any round); routing
+        // then runs as an ordinary worker-parallel epoch.
+        let mut mail = Mailboxes::new(live, bounds.clone());
         let mut metrics = EngineMetrics::default();
-        let mut y: ShardYield<P::Message> = ShardYield::with_groups(1);
-        let env = StageEnv {
-            faults: &config.faults,
-            dense: view.dense_table(),
-            live: view.live(),
-            bounds: &[0, live],
-            congest: config.congest.reject_budget(),
+        let counters = {
+            let env = StageEnv {
+                faults: &config.faults,
+                dense: view.dense_table(),
+                live: view.live(),
+                bounds: &bounds,
+                congest: config.congest.reject_budget(),
+            };
+            let y = pool.home_arena();
+            for (p, ctx) in programs.iter_mut().zip(ctxs.iter_mut()) {
+                ctx.round = 0;
+                let outbox = p.init(ctx);
+                stage_outbox(ctx.id, outbox, ctx.neighbors, 0, &env, y);
+            }
+            for (due, batch) in y.delayed_batches.drain(..) {
+                mail.schedule(due, batch);
+            }
+            (
+                y.messages,
+                y.dropped,
+                y.delayed,
+                y.duplicated,
+                y.lost,
+                y.max_width,
+            )
         };
-        for (p, ctx) in programs.iter_mut().zip(ctxs.iter_mut()) {
-            ctx.round = 0;
-            let outbox = p.init(ctx);
-            stage_outbox(ctx.id, outbox, ctx.neighbors, 0, &env, &mut y);
-        }
-        for (due, batch) in y.delayed_batches.drain(..) {
-            mail.schedule(due, batch);
-        }
         mail.inject_due(1);
-        mail.ingest(y.bucket_mut(0));
-        let init_tally = mail.finalize_next(
-            view.live(),
+        let targets = mail.next_targets();
+        let init_tally = match pool.route(
+            targets,
+            &groups,
             &RouteEnv {
                 split: config.congest.split_width().unwrap_or(usize::MAX),
                 round: 0,
                 reorder: config.faults.reorder_seed(),
                 live: view.live(),
             },
-        );
+        ) {
+            Ok(tally) => tally,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
         metrics.record_init(
-            y.messages,
-            y.dropped,
-            y.delayed,
-            y.duplicated,
-            y.lost,
-            y.max_width,
+            counters.0,
+            counters.1,
+            counters.2,
+            counters.3,
+            counters.4,
+            counters.5,
             init_tally.fragments,
         );
         mail.flip();
@@ -577,7 +594,7 @@ impl<'g, P: NodeProgram + 'static> EngineSession<'g, P> {
         if let Err(payload) = self.pool.execute(
             &mut self.programs,
             &mut self.ctxs,
-            self.mail.inboxes(),
+            self.mail.cur(),
             &env,
             round,
             &self.groups,
@@ -610,15 +627,14 @@ impl<'g, P: NodeProgram + 'static> EngineSession<'g, P> {
         self.mail.inject_due(round + 1);
 
         let route_started = Instant::now();
-        let next = self.mail.next_ptr();
-        let reasm = self.mail.reasm_ptr();
+        let targets = self.mail.next_targets();
         let route_env = RouteEnv {
             split: self.config.congest.split_width().unwrap_or(usize::MAX),
             round,
             reorder: self.config.faults.reorder_seed(),
             live: self.view.live(),
         };
-        let tally = match self.pool.route(next, reasm, &self.groups, &route_env) {
+        let tally = match self.pool.route(targets, &self.groups, &route_env) {
             Ok(tally) => tally,
             Err(payload) => {
                 // Routing is engine code, not program code — a panic here is

@@ -25,8 +25,11 @@
 //!   spawned once per session, parked on reusable barriers, staging
 //!   outbound traffic in per-worker arenas bucketed by destination group —
 //!   see the `pool` module internals), routes messages through
-//!   double-buffered per-node mailboxes in a second **worker-parallel
-//!   routing phase**, and records [`EngineMetrics`] (messages, max width,
+//!   double-buffered **struct-of-arrays mailboxes** (one contiguous
+//!   segment per worker group plus per-vertex `(start, len)` spans,
+//!   rebuilt by counting sort — zero per-message allocation) in a second
+//!   **worker-parallel routing phase**, and records [`EngineMetrics`]
+//!   (messages, max width,
 //!   active nodes, wall and routing time) alongside a
 //!   [`RoundLedger`](local_model::RoundLedger). [`EngineConfig::shards`]
 //!   and [`EngineConfig::workers`] are pure performance knobs: any
@@ -129,7 +132,9 @@ impl WireCodec for usize {
     }
 }
 
-impl EngineMessage for usize {}
+impl EngineMessage for usize {
+    const MAX_WIDTH: Option<usize> = Some(1);
+}
 
 /// `u64` is likewise a first-class one-word message.
 impl WireCodec for u64 {
@@ -145,4 +150,6 @@ impl WireCodec for u64 {
     }
 }
 
-impl EngineMessage for u64 {}
+impl EngineMessage for u64 {
+    const MAX_WIDTH: Option<usize> = Some(1);
+}

@@ -1,20 +1,29 @@
 //! Double-buffered mailboxes: the synchronous message fabric — plus the
 //! CONGEST **reassembly layer** for split-mode runs.
 //!
-//! Two buffers per **live** vertex — `cur` (read this round) and `next`
-//! (filled for the coming round) — plus a schedule of fault-delayed batches.
-//! Inboxes are indexed by the session's dense live-vertex index (see
-//! [`GraphView`](crate::GraphView)); the `(sender, payload)` entries carry
-//! *original* sender ids, which is what programs observe and what the
-//! delivery order sorts on. The strict buffer flip is what makes the
-//! execution *synchronous*: a message sent in round `r` is visible in round
-//! `r + 1` and never earlier, no matter how threads interleave.
+//! Inboxes are stored struct-of-arrays: one contiguous payload **segment**
+//! per routing group holds the `(sender, payload)` entries of the group's
+//! whole dense vertex range packed back to back, and a per-vertex table of
+//! `(start, len)` **spans** says where each inbox lives inside its group's
+//! segment. The routing epoch rebuilds a segment with a counting sort —
+//! count per receiver, prefix-sum into spans, place each message once —
+//! so steady-state rounds perform **no per-message allocation**: segments,
+//! spans, and the counting scratch are all reused round over round.
+//!
+//! Two such buffers — `cur` (read this round) and `next` (rebuilt for the
+//! coming round) — plus a schedule of fault-delayed batches. Inboxes are
+//! indexed by the session's dense live-vertex index (see
+//! [`GraphView`](crate::GraphView)); entries carry *original* sender ids,
+//! which is what programs observe and what the delivery order sorts on.
+//! The strict buffer flip is what makes the execution *synchronous*: a
+//! message sent in round `r` is visible in round `r + 1` and never
+//! earlier, no matter how threads interleave.
 //!
 //! Delivery order contract: each inbox is sorted by original sender id
 //! (stable, so multiple messages from one sender keep their send order,
 //! duplicated deliveries immediately follow their original, and delayed
 //! batches due the same round precede fresh traffic from the same sender
-//! because they are injected first). The order is therefore a pure function
+//! because they are placed first). The order is therefore a pure function
 //! of the traffic, independent of shard count and thread schedule. An
 //! installed [`FaultPlan::reorder`](crate::FaultPlan::reorder) rule then
 //! adversarially permutes each same-sender run — seeded, shard-invariant.
@@ -33,12 +42,13 @@
 //! the staging phase, before fragmentation, so fault replay is identical
 //! across split and unlimited modes.
 //!
-//! Since the routing refactor the sender sort runs in the **routing phase**
-//! (each worker finalizes the inboxes of its own vertex range — see
-//! `pool::route_range`), not in `flip`; driver-side fill paths call
-//! `Mailboxes::finalize_next` explicitly.
+//! The per-group rebuild itself runs on the workers (`pool::route_range`,
+//! fed a `RouteTargets` pointer bundle from
+//! `Mailboxes::next_targets`); round-0 init traffic takes the same path
+//! through the pool, so there is no separate driver-side fill.
 
 use std::collections::BTreeMap;
+use std::ops::Range;
 
 use graphs::VertexId;
 
@@ -190,13 +200,18 @@ pub(crate) fn split_roundtrip<M: EngineMessage>(
 }
 
 /// Finalizes one freshly routed inbox — the per-inbox half of the routing
-/// phase, shared by the worker-parallel path (`pool::route_range`) and the
-/// driver-side init path:
+/// phase (`pool::route_range` runs it on each span of the rebuilt
+/// segment):
 ///
 /// 1. **split mode**: every over-budget message is fragmented and
 ///    reassembled through the receiver's per-edge buffers ([`split_roundtrip`]);
 /// 2. the stable sender sort;
 /// 3. the optional seeded adversarial reorder of same-sender runs.
+///
+/// Message types with a static width bound within the budget
+/// ([`EngineMessage::MAX_WIDTH`]) skip the per-message width scan: no
+/// message can fragment, and any delivered width ≤ budget charges exactly
+/// one physical round, so reporting the bound itself is equivalent.
 ///
 /// Returns the frames produced and the widest delivered message.
 pub(crate) fn finalize_inbox<M: EngineMessage>(
@@ -207,19 +222,29 @@ pub(crate) fn finalize_inbox<M: EngineMessage>(
 ) -> RouteTally {
     let mut tally = RouteTally::default();
     if env.split != usize::MAX {
-        for (src, m) in inbox.iter_mut() {
-            let width = m.width();
-            tally.wire_width = tally.wire_width.max(width);
-            if width > env.split {
-                let (decoded, frames) = split_roundtrip(*src, m, env.split, reasm);
-                *m = decoded;
-                tally.fragments += frames;
+        match M::MAX_WIDTH {
+            // Width-specialized fast path: statically within budget.
+            Some(bound) if bound <= env.split => {
+                if !inbox.is_empty() {
+                    tally.wire_width = bound;
+                }
+            }
+            _ => {
+                for (src, m) in inbox.iter_mut() {
+                    let width = m.width();
+                    tally.wire_width = tally.wire_width.max(width);
+                    if width > env.split {
+                        let (decoded, frames) = split_roundtrip(*src, m, env.split, reasm);
+                        *m = decoded;
+                        tally.fragments += frames;
+                    }
+                }
+                debug_assert!(
+                    !reasm.any_in_flight(),
+                    "fragments of one round must not leak into the next"
+                );
             }
         }
-        debug_assert!(
-            !reasm.any_in_flight(),
-            "fragments of one round must not leak into the next"
-        );
     }
     if inbox.len() > 1 {
         inbox.sort_by_key(|&(src, _)| src);
@@ -230,61 +255,177 @@ pub(crate) fn finalize_inbox<M: EngineMessage>(
     tally
 }
 
+/// One side of the double buffer, struct-of-arrays: per-group payload
+/// segments plus per-vertex spans. See the module docs.
+pub(crate) struct Inboxes<M> {
+    /// One contiguous payload segment per routing group: the inboxes of
+    /// the group's whole dense range, packed back to back.
+    segs: Vec<Vec<(VertexId, M)>>,
+    /// Per dense vertex: `(start, len)` into its group's segment.
+    spans: Vec<(usize, usize)>,
+}
+
+impl<M> Inboxes<M> {
+    fn new(live: usize, groups: usize) -> Self {
+        Inboxes {
+            segs: (0..groups).map(|_| Vec::new()).collect(),
+            spans: vec![(0, 0); live],
+        }
+    }
+
+    /// Group `g`'s read view: its segment plus the span rows of its dense
+    /// `range` (span starts are relative to the segment).
+    pub(crate) fn group(&self, g: usize, range: Range<usize>) -> GroupInboxes<'_, M> {
+        GroupInboxes {
+            seg: &self.segs[g],
+            spans: &self.spans[range.start..range.end],
+        }
+    }
+}
+
+/// A compute-epoch read view of one group's inboxes: `inbox(i)` is the
+/// `i`-th vertex of the group's dense range. Plain shared slices, so the
+/// view is `Copy` and crosses the task slot as two pointers.
+pub(crate) struct GroupInboxes<'a, M> {
+    pub(crate) seg: &'a [(VertexId, M)],
+    pub(crate) spans: &'a [(usize, usize)],
+}
+
+impl<M> Clone for GroupInboxes<'_, M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<M> Copy for GroupInboxes<'_, M> {}
+
+impl<'a, M> GroupInboxes<'a, M> {
+    /// Vertices in this view (the group's dense range length).
+    pub(crate) fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// The inbox of the `i`-th vertex of the range.
+    pub(crate) fn inbox(&self, i: usize) -> &'a [(VertexId, M)] {
+        let (start, len) = self.spans[i];
+        &self.seg[start..start + len]
+    }
+}
+
+/// The raw-pointer bundle the routing epoch writes through — base pointers
+/// of the `next` buffer's segments and spans, the counting scratch, the
+/// per-group pending lists, and the reassembly buffers. Built by
+/// [`Mailboxes::next_targets`]; each worker touches only its own group's
+/// segment/pending slot and its own dense range of the per-vertex arrays,
+/// so the epoch-barrier discipline (see `pool`) makes the writes disjoint.
+pub(crate) struct RouteTargets<M> {
+    /// Per-group `next` segments (`add(group)` = the group's own).
+    pub(crate) segs: *mut Vec<(VertexId, M)>,
+    /// Per-vertex span rows of the `next` buffer.
+    pub(crate) spans: *mut (usize, usize),
+    /// Per-vertex counting-sort scratch.
+    pub(crate) counts: *mut usize,
+    /// Per-group due-delayed lists (`add(group)`), drained first.
+    pub(crate) pending: *mut Vec<Routed<M>>,
+    /// Per-vertex reassembly buffers.
+    pub(crate) reasm: *mut EdgeReassembly,
+}
+
+impl<M> Clone for RouteTargets<M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<M> Copy for RouteTargets<M> {}
+
+impl<M> RouteTargets<M> {
+    pub(crate) fn null() -> Self {
+        RouteTargets {
+            segs: std::ptr::null_mut(),
+            spans: std::ptr::null_mut(),
+            counts: std::ptr::null_mut(),
+            pending: std::ptr::null_mut(),
+            reasm: std::ptr::null_mut(),
+        }
+    }
+}
+
 /// The engine's mailbox fabric. See module docs.
 pub(crate) struct Mailboxes<M> {
-    cur: Vec<Vec<(VertexId, M)>>,
-    next: Vec<Vec<(VertexId, M)>>,
-    /// Per-receiver reassembly buffers (dense-indexed, like the inboxes).
+    cur: Inboxes<M>,
+    next: Inboxes<M>,
+    /// Dense group boundaries, ascending, `len = groups + 1` — the same
+    /// partition the pool's worker groups use.
+    bounds: Vec<usize>,
+    /// Per-vertex counting-sort scratch for the routing epoch.
+    counts: Vec<usize>,
+    /// Per-group delayed batches due the round being routed: filled by
+    /// [`inject_due`](Mailboxes::inject_due), drained **first** by the
+    /// routing epoch so late traffic precedes fresh traffic from the same
+    /// sender after the stable sort.
+    pending: Vec<Vec<Routed<M>>>,
+    /// Per-receiver reassembly buffers (dense-indexed, like the spans).
     reasm: Vec<EdgeReassembly>,
     delayed: BTreeMap<u64, Vec<Routed<M>>>,
 }
 
 impl<M: EngineMessage> Mailboxes<M> {
-    /// Mailboxes for `live` vertices (the session's dense index space).
-    pub(crate) fn new(live: usize) -> Self {
+    /// Mailboxes for `live` vertices partitioned by `bounds` (ascending
+    /// group boundaries, `len = groups + 1`, `bounds[0] = 0`, last entry
+    /// `live`).
+    pub(crate) fn new(live: usize, bounds: Vec<usize>) -> Self {
+        debug_assert!(bounds.len() >= 2 && bounds[0] == 0 && bounds[bounds.len() - 1] == live);
+        let groups = bounds.len() - 1;
         Mailboxes {
-            cur: (0..live).map(|_| Vec::new()).collect(),
-            next: (0..live).map(|_| Vec::new()).collect(),
+            cur: Inboxes::new(live, groups),
+            next: Inboxes::new(live, groups),
+            bounds,
+            counts: vec![0; live],
+            pending: (0..groups).map(|_| Vec::new()).collect(),
             reasm: (0..live).map(|_| EdgeReassembly::default()).collect(),
             delayed: BTreeMap::new(),
         }
     }
 
-    /// The inboxes to read this round, dense-indexed.
-    pub(crate) fn inboxes(&self) -> &[Vec<(VertexId, M)>] {
+    /// The buffer read this round.
+    pub(crate) fn cur(&self) -> &Inboxes<M> {
         &self.cur
     }
 
-    /// Raw base pointer of the `next` buffers, for the worker-parallel
-    /// routing phase: each worker fills (and finalizes) a disjoint dense
-    /// range.
-    pub(crate) fn next_ptr(&mut self) -> *mut Vec<(VertexId, M)> {
-        self.next.as_mut_ptr()
+    /// The inbox dense vertex `dv` reads this round (test/inspection
+    /// convenience over [`cur`](Mailboxes::cur)).
+    #[cfg(test)]
+    pub(crate) fn inbox(&self, dv: usize) -> &[(VertexId, M)] {
+        let g = self.group_of(dv);
+        let (start, len) = self.cur.spans[dv];
+        &self.cur.segs[g][start..start + len]
     }
 
-    /// Raw base pointer of the reassembly buffers, partitioned across
-    /// workers exactly like [`next_ptr`](Mailboxes::next_ptr).
-    pub(crate) fn reasm_ptr(&mut self) -> *mut EdgeReassembly {
-        self.reasm.as_mut_ptr()
+    fn group_of(&self, dv: usize) -> usize {
+        self.bounds.partition_point(|&b| b <= dv) - 1
     }
 
-    /// Injects any batch whose delay expires at `round` — must happen
-    /// *before* fresh traffic is routed so late traffic precedes fresh
-    /// traffic from the same sender after the stable sort.
-    pub(crate) fn inject_due(&mut self, round: u64) {
-        if let Some(batch) = self.delayed.remove(&round) {
-            for (dst, src, m) in batch {
-                self.next[dst].push((src, m));
-            }
+    /// The raw-pointer bundle the routing epoch rebuilds `next` through.
+    /// The caller must not touch this `Mailboxes` until the epoch closes.
+    pub(crate) fn next_targets(&mut self) -> RouteTargets<M> {
+        RouteTargets {
+            segs: self.next.segs.as_mut_ptr(),
+            spans: self.next.spans.as_mut_ptr(),
+            counts: self.counts.as_mut_ptr(),
+            pending: self.pending.as_mut_ptr(),
+            reasm: self.reasm.as_mut_ptr(),
         }
     }
 
-    /// Queues messages for delivery next round, draining the caller's
-    /// staging arena so its capacity survives for the next round. Driver-side
-    /// path (round 0 init); steady-state rounds route on the workers.
-    pub(crate) fn ingest(&mut self, sent: &mut Vec<Routed<M>>) {
-        for (dst, src, m) in sent.drain(..) {
-            self.next[dst].push((src, m));
+    /// Moves any batch whose delay expires at `round` into the per-group
+    /// pending lists — must happen *before* fresh traffic is routed so
+    /// late traffic precedes fresh traffic from the same sender after the
+    /// stable sort.
+    pub(crate) fn inject_due(&mut self, round: u64) {
+        if let Some(batch) = self.delayed.remove(&round) {
+            for (dst, src, m) in batch {
+                let g = self.group_of(dst);
+                self.pending[g].push((dst, src, m));
+            }
         }
     }
 
@@ -293,31 +434,68 @@ impl<M: EngineMessage> Mailboxes<M> {
         self.delayed.entry(round).or_default().extend(batch);
     }
 
-    /// Finalizes every `next` inbox serially ([`finalize_inbox`]: split /
-    /// sort / reorder) — the driver-side twin of the worker-parallel
-    /// routing phase, used for round-0 init traffic. `live` maps dense
-    /// indices to original receiver ids.
-    pub(crate) fn finalize_next(&mut self, live: &[VertexId], env: &RouteEnv<'_>) -> RouteTally {
-        let mut tally = RouteTally::default();
-        for (dv, inbox) in self.next.iter_mut().enumerate() {
-            tally.absorb(finalize_inbox(inbox, &mut self.reasm[dv], live[dv], env));
-        }
-        tally
-    }
-
-    /// Ends the routing of a round: flips the buffers (callers must have
-    /// finalized `next` already — on the workers or via
-    /// [`finalize_next`](Mailboxes::finalize_next)).
+    /// Ends the routing of a round: flips the buffers. The routing epoch
+    /// rebuilt every span and segment of `next`, so no clearing is needed
+    /// — the old `cur` becomes the next round's scratch.
     pub(crate) fn flip(&mut self) {
         std::mem::swap(&mut self.cur, &mut self.next);
-        for inbox in &mut self.next {
-            inbox.clear();
-        }
     }
 
-    /// Whether any delayed batch is still pending.
+    /// Whether any delayed batch is still pending (scheduled or already
+    /// injected for the round being routed).
     pub(crate) fn has_pending_delays(&self) -> bool {
-        !self.delayed.is_empty()
+        !self.delayed.is_empty() || self.pending.iter().any(|p| !p.is_empty())
+    }
+
+    /// Serial twin of the worker-parallel routing epoch, for unit tests:
+    /// distributes `staged` traffic (plus due-delayed pending batches)
+    /// into the `next` segments group by group and finalizes every inbox.
+    #[cfg(test)]
+    pub(crate) fn route_serial(
+        &mut self,
+        staged: Vec<Routed<M>>,
+        env: &RouteEnv<'_>,
+    ) -> RouteTally {
+        let groups = self.bounds.len() - 1;
+        let mut buckets: Vec<Vec<Routed<M>>> = (0..groups).map(|_| Vec::new()).collect();
+        for r in staged {
+            let g = self.group_of(r.0);
+            buckets[g].push(r);
+        }
+        let mut tally = RouteTally::default();
+        let Mailboxes {
+            next,
+            bounds,
+            pending,
+            reasm,
+            ..
+        } = self;
+        let Inboxes { segs, spans } = next;
+        for (g, mut fresh) in buckets.into_iter().enumerate() {
+            let mut items: Vec<Routed<M>> = std::mem::take(&mut pending[g]);
+            items.append(&mut fresh);
+            // A stable sort by destination is the counting sort's twin:
+            // per receiver, pending-then-staged order is preserved.
+            items.sort_by_key(|r| r.0);
+            let seg = &mut segs[g];
+            seg.clear();
+            let mut iter = items.into_iter().peekable();
+            for dv in bounds[g]..bounds[g + 1] {
+                let start = seg.len();
+                while iter.peek().is_some_and(|r| r.0 == dv) {
+                    let (_, src, m) = iter.next().expect("peeked");
+                    seg.push((src, m));
+                }
+                spans[dv] = (start, seg.len() - start);
+                tally.absorb(finalize_inbox(
+                    &mut seg[start..],
+                    &mut reasm[dv],
+                    env.live[dv],
+                    env,
+                ));
+            }
+        }
+        tally
     }
 }
 
@@ -325,67 +503,80 @@ impl<M: EngineMessage> Mailboxes<M> {
 mod tests {
     use super::*;
 
+    static LIVE: [usize; 8] = [0, 1, 2, 3, 4, 5, 6, 7];
+
     fn plain_env<'a>() -> RouteEnv<'a> {
         RouteEnv {
             split: usize::MAX,
             round: 1,
             reorder: None,
-            live: &[],
+            live: &LIVE,
         }
-    }
-
-    fn finalize_all(mail: &mut Mailboxes<u64>, env: &RouteEnv<'_>) {
-        let live: Vec<VertexId> = (0..mail.next.len()).collect();
-        mail.finalize_next(&live, env);
     }
 
     #[test]
     fn messages_visible_only_after_flip() {
-        let mut mail: Mailboxes<u64> = Mailboxes::new(3);
-        let mut staged = vec![(2, 0, 7)];
-        mail.ingest(&mut staged);
-        assert!(staged.is_empty(), "staging arena drained, not consumed");
-        assert!(
-            mail.inboxes()[2].is_empty(),
-            "sent this round, not visible yet"
-        );
-        finalize_all(&mut mail, &plain_env());
+        let mut mail: Mailboxes<u64> = Mailboxes::new(3, vec![0, 3]);
+        mail.route_serial(vec![(2, 0, 7)], &plain_env());
+        assert!(mail.inbox(2).is_empty(), "sent this round, not visible yet");
         mail.flip();
-        assert_eq!(mail.inboxes()[2], vec![(0, 7)]);
+        assert_eq!(mail.inbox(2), &[(0, 7)]);
+        mail.route_serial(Vec::new(), &plain_env());
         mail.flip();
-        assert!(mail.inboxes()[2].is_empty(), "consumed after next flip");
+        assert!(mail.inbox(2).is_empty(), "consumed after next flip");
     }
 
     #[test]
     fn inboxes_sorted_by_sender_stably() {
-        let mut mail: Mailboxes<u64> = Mailboxes::new(4);
+        let mut mail: Mailboxes<u64> = Mailboxes::new(4, vec![0, 4]);
         // Sender 2 then sender 0, sender 2 again: sorted to 0, 2, 2 with
         // sender 2's messages in send order.
-        mail.ingest(&mut vec![(3, 2, 10), (3, 0, 20), (3, 2, 11)]);
-        finalize_all(&mut mail, &plain_env());
+        mail.route_serial(vec![(3, 2, 10), (3, 0, 20), (3, 2, 11)], &plain_env());
         mail.flip();
-        assert_eq!(mail.inboxes()[3], vec![(0, 20), (2, 10), (2, 11)]);
+        assert_eq!(mail.inbox(3), &[(0, 20), (2, 10), (2, 11)]);
+    }
+
+    #[test]
+    fn segments_pack_a_group_contiguously() {
+        // Two groups split at dense 2: group 0's segment holds the inboxes
+        // of vertices 0 and 1 back to back; group 1's those of 2 and 3.
+        let mut mail: Mailboxes<u64> = Mailboxes::new(4, vec![0, 2, 4]);
+        mail.route_serial(
+            vec![(1, 3, 30), (0, 2, 20), (1, 0, 10), (3, 1, 40)],
+            &plain_env(),
+        );
+        mail.flip();
+        assert_eq!(mail.inbox(0), &[(2, 20)]);
+        assert_eq!(mail.inbox(1), &[(0, 10), (3, 30)]);
+        assert_eq!(mail.inbox(2), &[]);
+        assert_eq!(mail.inbox(3), &[(1, 40)]);
+        assert_eq!(mail.cur.segs[0], vec![(2, 20), (0, 10), (3, 30)]);
+        assert_eq!(mail.cur.segs[1], vec![(1, 40)]);
+        assert_eq!(
+            mail.cur.spans,
+            vec![(0, 1), (1, 2), (0, 0), (0, 1)],
+            "span starts are relative to the group's segment"
+        );
     }
 
     #[test]
     fn delayed_batches_arrive_on_time_and_first() {
-        let mut mail: Mailboxes<u64> = Mailboxes::new(2);
+        let mut mail: Mailboxes<u64> = Mailboxes::new(2, vec![0, 2]);
         mail.schedule(3, vec![(1, 0, 99)]);
         // Rounds 1 and 2: nothing due.
         for round in 1..3u64 {
             mail.inject_due(round);
-            finalize_all(&mut mail, &plain_env());
+            mail.route_serial(Vec::new(), &plain_env());
             mail.flip();
-            assert!(mail.inboxes()[1].is_empty(), "round {round}");
+            assert!(mail.inbox(1).is_empty(), "round {round}");
         }
         assert!(mail.has_pending_delays());
         // Round 3: due batch plus fresh traffic from the same sender — the
         // delayed message comes first.
         mail.inject_due(3);
-        mail.ingest(&mut vec![(1, 0, 100)]);
-        finalize_all(&mut mail, &plain_env());
+        mail.route_serial(vec![(1, 0, 100)], &plain_env());
         mail.flip();
-        assert_eq!(mail.inboxes()[1], vec![(0, 99), (0, 100)]);
+        assert_eq!(mail.inbox(1), &[(0, 99), (0, 100)]);
         assert!(!mail.has_pending_delays());
     }
 
@@ -456,5 +647,27 @@ mod tests {
         assert_eq!(inbox[0].0, 1, "sender sort still applies");
         assert_eq!(inbox[0].1 .0, vec![9]);
         assert_eq!(inbox[1].1 .0, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn static_width_bound_skips_the_scan_identically() {
+        // u64 carries MAX_WIDTH = Some(1): under any budget ≥ 1 the fast
+        // path reports width 1 for non-empty inboxes and 0 for empty ones —
+        // exactly what the scan would have found.
+        let mut reasm = EdgeReassembly::default();
+        let env = RouteEnv {
+            split: 4,
+            round: 1,
+            reorder: None,
+            live: &[],
+        };
+        let mut inbox: Vec<(VertexId, u64)> = vec![(2, 5), (0, 9)];
+        let tally = finalize_inbox(&mut inbox, &mut reasm, 0, &env);
+        assert_eq!(tally.wire_width, 1);
+        assert_eq!(tally.fragments, 0);
+        assert_eq!(inbox, vec![(0, 9), (2, 5)], "sort still applies");
+        let mut empty: Vec<(VertexId, u64)> = Vec::new();
+        let tally = finalize_inbox(&mut empty, &mut reasm, 0, &env);
+        assert_eq!(tally.wire_width, 0, "empty inbox charges nothing");
     }
 }

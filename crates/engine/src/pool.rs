@@ -12,11 +12,15 @@
 //!   arena is **bucketed by destination group**: a message for a vertex
 //!   owned by group `g` lands in bucket `g`, so the routing epoch can hand
 //!   each bucket to exactly one consumer without locks or cloning.
-//! * **Routing epoch** — worker `g` drains bucket `g` of *every* arena (in
-//!   ascending group order) into the `next` inboxes of its own dense range,
-//!   then performs the per-inbox stable sender sort. Between the two
-//!   epochs the driver does the cheap global work: tallying fault counters,
-//!   scheduling fault-delayed batches, and injecting batches that come due.
+//! * **Routing epoch** — worker `g` rebuilds its group's `next` segment
+//!   with a **counting sort** over bucket `g` of *every* arena (in
+//!   ascending group order): count per receiver, prefix-sum into the span
+//!   table, place each message exactly once into the contiguous segment,
+//!   then finalize each span (stable sender sort). Steady-state rounds
+//!   perform no per-message allocation — segments, spans, and the counting
+//!   scratch persist across rounds. Between the two epochs the driver does
+//!   the cheap global work: tallying fault counters, scheduling
+//!   fault-delayed batches, and injecting batches that come due.
 //!
 //! Determinism is untouched: for any inbox, messages arrive in (source
 //! group, staging order) order — exactly the order the old driver-side
@@ -55,7 +59,7 @@ use graphs::VertexId;
 
 use crate::context::NodeCtx;
 use crate::faults::{FaultAction, FaultPlan};
-use crate::mailbox::{finalize_inbox, EdgeReassembly, RouteTally, Routed};
+use crate::mailbox::{finalize_inbox, GroupInboxes, Inboxes, RouteTally, RouteTargets, Routed};
 use crate::program::{EngineMessage, NodeProgram, Outbox};
 
 const PHASE_COMPUTE: u8 = 0;
@@ -157,7 +161,8 @@ impl<M> ShardYield<M> {
         self.buckets.len()
     }
 
-    /// Exclusive bucket access (compute staging / driver-side ingestion).
+    /// Exclusive bucket access (tests build staged traffic directly).
+    #[cfg(test)]
     pub(crate) fn bucket_mut(&mut self, b: usize) -> &mut Vec<Routed<M>> {
         self.buckets[b].get_mut()
     }
@@ -190,24 +195,25 @@ impl<M> ShardYield<M> {
     }
 }
 
-/// Steps every node of `programs`/`ctxs` (dense indices `base..base + len`),
-/// expanding outboxes into `y`'s bucketed arena and applying faults.
+/// Steps every node of `programs`/`ctxs` (one group's dense range),
+/// reading inboxes from the group's segment view and expanding outboxes
+/// into `y`'s bucketed arena, applying faults.
 pub(crate) fn run_range<P: NodeProgram>(
     programs: &mut [P],
     ctxs: &mut [NodeCtx<'_>],
-    inboxes: &[Vec<(VertexId, P::Message)>],
-    base: usize,
+    inboxes: GroupInboxes<'_, P::Message>,
     round: u64,
     env: &StageEnv<'_>,
     y: &mut ShardYield<P::Message>,
 ) {
     y.reset();
+    debug_assert_eq!(inboxes.len(), programs.len());
     for (i, (p, ctx)) in programs.iter_mut().zip(ctxs.iter_mut()).enumerate() {
         if !p.halted() {
             y.active += 1;
         }
         ctx.round = round;
-        let outbox = p.on_round(ctx, &inboxes[base + i]);
+        let outbox = p.on_round(ctx, inboxes.inbox(i));
         stage_outbox(ctx.id, outbox, ctx.neighbors, round, env, y);
     }
 }
@@ -406,9 +412,10 @@ fn expand_into<M: EngineMessage>(
     }
 }
 
-/// The routing epoch's per-worker share: drain bucket `group` of every
-/// arena (ascending arena order — the determinism contract) into the
-/// `next` inboxes of `range`, then finalize each inbox — fragmentation /
+/// The routing epoch's per-worker share: rebuild group `group`'s `next`
+/// segment with a counting sort over its pending-delayed list and bucket
+/// `group` of every arena (pending first, then ascending arena order —
+/// the determinism contract), then finalize each span — fragmentation /
 /// reassembly in split mode, the stable sender sort, and the optional
 /// adversarial reorder (see `mailbox::finalize_inbox`). Returns the
 /// range's [`RouteTally`] (frames produced, widest delivered message).
@@ -416,33 +423,89 @@ fn expand_into<M: EngineMessage>(
 /// # Safety
 ///
 /// The caller must guarantee, for the duration of the call: bucket `group`
-/// of every arena is accessed by this caller alone; `next` and `reasm`
-/// point to at least `range.end` entries and the entries in `range` are
-/// accessed by this caller alone. The epoch barrier protocol provides all
-/// three.
+/// of every arena is accessed by this caller alone; `t.segs.add(group)`
+/// and `t.pending.add(group)` are accessed by this caller alone; the
+/// per-vertex arrays behind `t.spans` / `t.counts` / `t.reasm` hold at
+/// least `range.end` entries, with the entries in `range` accessed by
+/// this caller alone. The epoch barrier protocol provides all of it.
 unsafe fn route_range<M: EngineMessage>(
     arenas: &[ArenaSlot<M>],
     group: usize,
-    next: *mut Vec<(VertexId, M)>,
-    reasm: *mut EdgeReassembly,
+    t: RouteTargets<M>,
     range: Range<usize>,
     env: &RouteEnv<'_>,
 ) -> RouteTally {
+    let base = range.start;
+    // SAFETY: `range` is this worker's exclusive slice of the per-vertex
+    // arrays; segment and pending list `group` are ours alone.
+    let counts = unsafe { std::slice::from_raw_parts_mut(t.counts.add(base), range.len()) };
+    let spans = unsafe { std::slice::from_raw_parts_mut(t.spans.add(base), range.len()) };
+    let pending = unsafe { &mut *t.pending.add(group) };
+    let seg = unsafe { &mut *t.segs.add(group) };
+
+    // Counting pass: pending-delayed traffic plus every arena's bucket.
+    counts.fill(0);
+    for &(dv, _, _) in pending.iter() {
+        debug_assert!(range.contains(&dv), "pending {group} holds only our range");
+        counts[dv - base] += 1;
+    }
     for arena in arenas {
         // SAFETY: shared view of the arena; bucket `group` is ours alone.
         let bucket = unsafe { (*arena.0.get()).bucket_shared(group) };
-        for (dv, src, m) in bucket.drain(..) {
-            debug_assert!(range.contains(&dv), "bucket {group} holds only our range");
-            // SAFETY: dv ∈ range, and the range's inboxes are ours alone.
-            unsafe { (*next.add(dv)).push((src, m)) };
+        for r in bucket.iter() {
+            debug_assert!(range.contains(&r.0), "bucket {group} holds only our range");
+            counts[r.0 - base] += 1;
         }
     }
+
+    // Prefix-sum the counts into spans; the counts become placement
+    // cursors.
+    let mut total = 0usize;
+    for (span, c) in spans.iter_mut().zip(counts.iter_mut()) {
+        *span = (total, *c);
+        *c = total;
+        total += span.1;
+    }
+
+    // Placement pass, same source order as the counting pass: pending
+    // first (so delayed batches precede fresh same-sender traffic after
+    // the stable sort), then the arenas in ascending order.
+    seg.clear();
+    seg.reserve(total);
+    let out = seg.as_mut_ptr();
+    {
+        let mut place = |(dv, src, m): Routed<M>| {
+            let cursor = &mut counts[dv - base];
+            // SAFETY: cursor < total ≤ capacity, and both passes see the
+            // same messages, so every slot is written exactly once.
+            unsafe { out.add(*cursor).write((src, m)) };
+            *cursor += 1;
+        };
+        for r in pending.drain(..) {
+            place(r);
+        }
+        for arena in arenas {
+            // SAFETY: as in the counting pass.
+            let bucket = unsafe { (*arena.0.get()).bucket_shared(group) };
+            for r in bucket.drain(..) {
+                place(r);
+            }
+        }
+    }
+    // SAFETY: exactly `total` slots were initialized above.
+    unsafe { seg.set_len(total) };
+
     let mut tally = RouteTally::default();
-    for dv in range {
-        // SAFETY: as above; the range's reassembly buffers are ours alone.
-        let inbox = unsafe { &mut *next.add(dv) };
-        let buffers = unsafe { &mut *reasm.add(dv) };
-        tally.absorb(finalize_inbox(inbox, buffers, env.live[dv], env));
+    for (i, &(start, len)) in spans.iter().enumerate() {
+        let dv = base + i;
+        // SAFETY: the range's reassembly buffers are ours alone.
+        let buffers = unsafe { &mut *t.reasm.add(dv) };
+        tally.absorb(finalize_inbox(
+            &mut seg[start..start + len],
+            buffers,
+            env.live[dv],
+            env,
+        ));
     }
     tally
 }
@@ -456,14 +519,16 @@ struct WorkerTask<P: NodeProgram> {
     programs: *mut P,
     ctxs: *mut NodeCtx<'static>,
     len: usize,
-    base: usize,
-    inboxes: *const Vec<(VertexId, P::Message)>,
-    inboxes_len: usize,
+    /// This group's current inbox segment (contiguous payload arena).
+    seg: *const (VertexId, P::Message),
+    seg_len: usize,
+    /// This group's span rows (already offset to the range start; `len`
+    /// entries).
+    spans: *const (usize, usize),
     env: RawEnv,
     round: u64,
     // Routing-epoch inputs.
-    next: *mut Vec<(VertexId, P::Message)>,
-    reasm: *mut EdgeReassembly,
+    targets: RouteTargets<P::Message>,
     route_start: usize,
     route_end: usize,
     route_env: RawRouteEnv,
@@ -478,13 +543,12 @@ impl<P: NodeProgram> Default for WorkerTask<P> {
             programs: std::ptr::null_mut(),
             ctxs: std::ptr::null_mut(),
             len: 0,
-            base: 0,
-            inboxes: std::ptr::null(),
-            inboxes_len: 0,
+            seg: std::ptr::null(),
+            seg_len: 0,
+            spans: std::ptr::null(),
             env: RawEnv::null(),
             round: 0,
-            next: std::ptr::null_mut(),
-            reasm: std::ptr::null_mut(),
+            targets: RouteTargets::null(),
             route_start: 0,
             route_end: 0,
             route_env: RawRouteEnv::null(),
@@ -696,7 +760,7 @@ impl<P: NodeProgram + 'static> WorkerPool<P> {
         &mut self,
         programs: &mut [P],
         ctxs: &mut [NodeCtx<'_>],
-        inboxes: &[Vec<(VertexId, P::Message)>],
+        inboxes: &Inboxes<P::Message>,
         env: &StageEnv<'_>,
         round: u64,
         ranges: &[Range<usize>],
@@ -715,12 +779,13 @@ impl<P: NodeProgram + 'static> WorkerPool<P> {
             // SAFETY: workers are parked at the `start` barrier, so the
             // driver is the sole accessor of the slot right now.
             let task = unsafe { &mut *self.shared.slots[w - 1].cell.get() };
+            let view = inboxes.group(w, range.clone());
             task.programs = unsafe { prog_root.add(range.start) };
             task.ctxs = unsafe { ctx_root.add(range.start) };
             task.len = range.len();
-            task.base = range.start;
-            task.inboxes = inboxes.as_ptr();
-            task.inboxes_len = inboxes.len();
+            task.seg = view.seg.as_ptr();
+            task.seg_len = view.seg.len();
+            task.spans = view.spans.as_ptr();
             task.env = raw_env;
             task.round = round;
         }
@@ -737,31 +802,23 @@ impl<P: NodeProgram + 'static> WorkerPool<P> {
         };
         // SAFETY: during a compute epoch arena 0 belongs to the driver.
         let home_arena = unsafe { &mut *self.shared.arenas[0].0.get() };
-        let base = home_range.start;
+        let home_view = inboxes.group(0, home_range);
         let home_result = catch_unwind(AssertUnwindSafe(|| {
-            run_range(
-                home_programs,
-                home_ctxs,
-                inboxes,
-                base,
-                round,
-                env,
-                home_arena,
-            );
+            run_range(home_programs, home_ctxs, home_view, round, env, home_arena);
         }));
         self.shared.done.wait();
         self.close_epoch(home_result.err())
     }
 
-    /// Runs one **routing epoch**: worker `g` drains bucket `g` of every
-    /// arena into the `next` inboxes of `ranges[g]` and finalizes them
-    /// (split / sort / reorder; group 0 on the calling thread). `next` and
-    /// `reasm` must point at the session's full dense arrays; `ranges` must
-    /// match the compute epoch's. Returns the epoch's [`RouteTally`].
+    /// Runs one **routing epoch**: worker `g` rebuilds group `g`'s `next`
+    /// segment from bucket `g` of every arena plus its pending-delayed
+    /// list, and finalizes every span of `ranges[g]` (split / sort /
+    /// reorder; group 0 on the calling thread). `targets` must come from
+    /// the session's [`Mailboxes::next_targets`]; `ranges` must match the
+    /// compute epoch's. Returns the epoch's [`RouteTally`].
     pub(crate) fn route(
         &mut self,
-        next: *mut Vec<(VertexId, P::Message)>,
-        reasm: *mut EdgeReassembly,
+        targets: RouteTargets<P::Message>,
         ranges: &[Range<usize>],
         env: &RouteEnv<'_>,
     ) -> Result<RouteTally, Box<dyn Any + Send + 'static>> {
@@ -774,8 +831,7 @@ impl<P: NodeProgram + 'static> WorkerPool<P> {
         for (w, range) in ranges.iter().enumerate().skip(1) {
             // SAFETY: workers are parked at the `start` barrier.
             let task = unsafe { &mut *self.shared.slots[w - 1].cell.get() };
-            task.next = next;
-            task.reasm = reasm;
+            task.targets = targets;
             task.route_start = range.start;
             task.route_end = range.end;
             task.route_env = raw_env;
@@ -786,9 +842,10 @@ impl<P: NodeProgram + 'static> WorkerPool<P> {
         let arenas = &self.shared.arenas;
         let home_range = ranges[0].clone();
         let home_result = catch_unwind(AssertUnwindSafe(|| {
-            // SAFETY: bucket 0 of every arena and the inboxes/buffers of
-            // group 0's range belong to the driver during a routing epoch.
-            unsafe { route_range(arenas, 0, next, reasm, home_range, env) }
+            // SAFETY: bucket 0 of every arena, segment/pending slot 0, and
+            // the span/count/reassembly entries of group 0's range belong
+            // to the driver during a routing epoch.
+            unsafe { route_range(arenas, 0, targets, home_range, env) }
         }));
         self.shared.done.wait();
         let (payload, mut tally) = match home_result {
@@ -818,6 +875,16 @@ impl<P: NodeProgram + 'static> WorkerPool<P> {
             Some(p) => Err(p),
             None => Ok(()),
         }
+    }
+
+    /// The driver's own staging arena (group 0), for driver-side staging
+    /// outside any epoch — the round-0 init path stages here and then runs
+    /// an ordinary routing epoch. Exclusive access: workers are parked at
+    /// the `start` barrier.
+    pub(crate) fn home_arena(&mut self) -> &mut ShardYield<P::Message> {
+        // SAFETY: workers are parked between epochs; `&mut self` keeps the
+        // driver side exclusive.
+        unsafe { &mut *self.shared.arenas[0].0.get() }
     }
 
     /// Visits every group's arena in deterministic group order (driver's
@@ -859,29 +926,34 @@ fn worker_loop<P: NodeProgram>(shared: &PoolShared<P>, index: usize) {
         let phase = shared.phase.load(Ordering::Acquire);
         let result = catch_unwind(AssertUnwindSafe(|| {
             if phase == PHASE_COMPUTE {
-                let (programs, ctxs, inboxes) = unsafe {
+                let (programs, ctxs) = unsafe {
                     (
                         std::slice::from_raw_parts_mut(task.programs, task.len),
                         std::slice::from_raw_parts_mut(task.ctxs, task.len),
-                        std::slice::from_raw_parts(task.inboxes, task.inboxes_len),
                     )
+                };
+                // SAFETY: the driver built these from the group's segment
+                // view and keeps the buffers alive for the whole epoch.
+                let inboxes = GroupInboxes {
+                    seg: unsafe { std::slice::from_raw_parts(task.seg, task.seg_len) },
+                    spans: unsafe { std::slice::from_raw_parts(task.spans, task.len) },
                 };
                 // SAFETY: the driver keeps the env's borrows alive for the
                 // whole epoch; arena `index + 1` is this worker's own.
                 let env = unsafe { task.env.as_env() };
                 let arena = unsafe { &mut *shared.arenas[index + 1].0.get() };
-                run_range(programs, ctxs, inboxes, task.base, task.round, &env, arena);
+                run_range(programs, ctxs, inboxes, task.round, &env, arena);
             } else {
-                // SAFETY: routing epoch — bucket `index + 1` of every arena
-                // and this worker's inbox/buffer range are exclusively ours;
+                // SAFETY: routing epoch — bucket `index + 1` of every
+                // arena, segment/pending slot `index + 1`, and this
+                // worker's span/count/buffer range are exclusively ours;
                 // the driver keeps the env's borrows alive for the epoch.
                 let env = unsafe { task.route_env.as_env() };
                 task.tally = unsafe {
                     route_range(
                         &shared.arenas,
                         index + 1,
-                        task.next,
-                        task.reasm,
+                        task.targets,
                         task.route_start..task.route_end,
                         &env,
                     )
@@ -1074,6 +1146,50 @@ mod tests {
             cap,
             "reset must not release the arena"
         );
+    }
+
+    #[test]
+    fn routing_epoch_counting_sort_matches_contract() {
+        use crate::mailbox::Mailboxes;
+        // Three vertices in one group; traffic from two arenas plus a
+        // delayed batch due this round. Per inbox the pre-sort order is
+        // pending first, then arena order × staging order; the stable
+        // sender sort then fixes the delivered order.
+        let mut mail: Mailboxes<W> = Mailboxes::new(3, vec![0, 3]);
+        mail.schedule(2, vec![(0, 2, W(9))]);
+        mail.inject_due(2);
+        let mk = |msgs: Vec<Routed<W>>| {
+            let mut y: ShardYield<W> = ShardYield::with_groups(1);
+            y.bucket_mut(0).extend(msgs);
+            ArenaSlot(UnsafeCell::new(y))
+        };
+        let arenas = [
+            mk(vec![(0, 1, W(1)), (2, 0, W(2)), (0, 0, W(3))]),
+            mk(vec![(1, 2, W(4)), (0, 0, W(5))]),
+        ];
+        let live = [0usize, 1, 2];
+        let env = RouteEnv {
+            split: usize::MAX,
+            round: 2,
+            reorder: None,
+            live: &live,
+        };
+        // SAFETY: single-threaded test — this caller is the sole accessor
+        // of every bucket and every mailbox entry.
+        let tally = unsafe { route_range(&arenas, 0, mail.next_targets(), 0..3, &env) };
+        assert_eq!(tally.fragments, 0);
+        mail.flip();
+        // Inbox 0 pre-sort: (2, 9) pending, then (1, 1), (0, 3), (0, 5).
+        assert_eq!(mail.inbox(0), &[(0, W(3)), (0, W(5)), (1, W(1)), (2, W(9))]);
+        assert_eq!(mail.inbox(1), &[(2, W(4))]);
+        assert_eq!(mail.inbox(2), &[(0, W(2))]);
+        for a in &arenas {
+            // SAFETY: as above.
+            assert!(
+                unsafe { (*a.0.get()).bucket_shared(0) }.is_empty(),
+                "routing drains every bucket"
+            );
+        }
     }
 
     #[test]

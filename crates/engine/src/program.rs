@@ -67,6 +67,17 @@ pub trait WireCodec: Sized {
 /// sit in mailboxes, fault-delay queues, and the worker pool's staging
 /// arenas), so they may not borrow from the graph or the session.
 pub trait EngineMessage: Clone + Send + Sync + WireCodec + 'static {
+    /// Static upper bound on [`width`](EngineMessage::width), if one exists.
+    ///
+    /// `Some(w)` promises `m.width() <= w` for **every** value of the type.
+    /// Constant-size message types (one machine word) declare `Some(1)`,
+    /// which lets the routing epoch skip the per-message width scan under
+    /// [`CongestMode::Split`](crate::CongestMode::Split) whenever the bound
+    /// already fits the budget — no message can fragment, so the split
+    /// outcome is known without touching a single payload. Variable-width
+    /// types keep the default `None` and take the scan.
+    const MAX_WIDTH: Option<usize> = None;
+
     /// Abstract message size in words.
     fn width(&self) -> usize {
         1

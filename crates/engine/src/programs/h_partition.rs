@@ -32,7 +32,9 @@ impl WireCodec for Peeled {
     }
 }
 
-impl EngineMessage for Peeled {}
+impl EngineMessage for Peeled {
+    const MAX_WIDTH: Option<usize> = Some(1);
+}
 
 /// Per-node H-partition state.
 #[derive(Clone, Debug)]

@@ -57,7 +57,9 @@ impl WireCodec for ColorMsg {
     }
 }
 
-impl EngineMessage for ColorMsg {}
+impl EngineMessage for ColorMsg {
+    const MAX_WIDTH: Option<usize> = Some(1);
+}
 
 /// Per-node randomized list-coloring state.
 #[derive(Clone, Debug)]

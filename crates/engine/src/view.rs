@@ -29,11 +29,15 @@ pub struct GraphView<'g> {
     live: Vec<VertexId>,
     /// Original id → dense index (`usize::MAX` for masked-out vertices).
     dense: Vec<usize>,
-    /// Masked case only: filtered neighbor lists (original ids, sorted),
-    /// indexed densely. Empty for whole-graph views, which borrow the
-    /// graph's own adjacency. Boxed slices keep heap addresses stable so
-    /// the session can hand out `&'g`-extended borrows (see `driver.rs`).
-    adj: Vec<Box<[VertexId]>>,
+    /// Masked case only: a compacted CSR over the live vertices — row
+    /// `dv`'s filtered neighbors (original ids, sorted) live at
+    /// `packed[offsets[dv]..offsets[dv + 1]]`. Both vecs stay empty for
+    /// whole-graph views, which borrow the graph's own CSR. The flat
+    /// buffers are never mutated after construction, so their heap
+    /// addresses are stable and the session can hand out `&'g`-extended
+    /// borrows into `packed` (see `driver.rs`).
+    offsets: Vec<usize>,
+    packed: Vec<VertexId>,
 }
 
 impl<'g> GraphView<'g> {
@@ -45,7 +49,8 @@ impl<'g> GraphView<'g> {
             mask: None,
             live: (0..n).collect(),
             dense: (0..n).collect(),
-            adj: Vec::new(),
+            offsets: Vec::new(),
+            packed: Vec::new(),
         }
     }
 
@@ -66,24 +71,30 @@ impl<'g> GraphView<'g> {
         for (dv, &v) in live.iter().enumerate() {
             dense[v] = dv;
         }
-        let adj = live
-            .iter()
-            .map(|&v| {
+        // Compact the live rows of the graph's CSR into one flat pair of
+        // arrays: a single pass over the masked adjacency, no per-vertex
+        // allocations, and the same cache-friendly layout `Graph` itself
+        // uses.
+        let mut offsets = Vec::with_capacity(live.len() + 1);
+        offsets.push(0);
+        let mut packed = Vec::new();
+        for &v in &live {
+            packed.extend(
                 graph
                     .neighbors(v)
                     .iter()
                     .copied()
-                    .filter(|&w| mask.contains(w))
-                    .collect::<Vec<_>>()
-                    .into_boxed_slice()
-            })
-            .collect();
+                    .filter(|&w| mask.contains(w)),
+            );
+            offsets.push(packed.len());
+        }
         GraphView {
             graph,
             mask: Some(mask.clone()),
             live,
             dense,
-            adj,
+            offsets,
+            packed,
         }
     }
 
@@ -148,11 +159,13 @@ impl<'g> GraphView<'g> {
     }
 
     /// Live neighbors (original ids, sorted ascending) of dense index `dv`.
+    /// Whole views answer straight from the graph's CSR; masked views from
+    /// the compacted live-vertex CSR.
     pub fn neighbors(&self, dv: usize) -> &[VertexId] {
-        if self.adj.is_empty() {
+        if self.offsets.is_empty() {
             self.graph.neighbors(self.live[dv])
         } else {
-            &self.adj[dv]
+            &self.packed[self.offsets[dv]..self.offsets[dv + 1]]
         }
     }
 

@@ -2,19 +2,38 @@
 
 use crate::graph::{Graph, GraphBuilder};
 
-/// The path `P_n` on `n` vertices (`n − 1` edges).
+/// The path `P_n` on `n` vertices (`n − 1` edges). Streams CSR rows
+/// directly (no edge list), so million-vertex paths build in one pass.
 pub fn path(n: usize) -> Graph {
-    Graph::from_edges(n, (1..n).map(|i| (i - 1, i)))
+    Graph::from_neighbors(n, |v, out| {
+        if v > 0 {
+            out.push(v - 1);
+        }
+        if v + 1 < n {
+            out.push(v + 1);
+        }
+    })
 }
 
-/// The cycle `C_n`.
+/// The cycle `C_n`. Streams CSR rows directly (no edge list).
 ///
 /// # Panics
 ///
 /// Panics if `n < 3`.
 pub fn cycle(n: usize) -> Graph {
     assert!(n >= 3, "cycles need at least 3 vertices");
-    Graph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n)))
+    Graph::from_neighbors(n, |v, out| {
+        if v == 0 {
+            out.push(1);
+            out.push(n - 1);
+        } else if v + 1 == n {
+            out.push(0);
+            out.push(n - 2);
+        } else {
+            out.push(v - 1);
+            out.push(v + 1);
+        }
+    })
 }
 
 /// The complete graph `K_n`.
@@ -111,6 +130,19 @@ mod tests {
         assert_eq!(path(5).m(), 4);
         assert_eq!(cycle(5).m(), 5);
         assert!(is_connected(&path(9), None));
+    }
+
+    #[test]
+    fn streamed_csr_matches_edge_list_construction() {
+        for n in [1, 2, 3, 9] {
+            assert_eq!(path(n), Graph::from_edges(n, (1..n).map(|i| (i - 1, i))));
+        }
+        for n in [3, 4, 10] {
+            assert_eq!(
+                cycle(n),
+                Graph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n)))
+            );
+        }
     }
 
     #[test]

@@ -28,18 +28,24 @@ pub fn grid_index(cols: usize, r: usize, c: usize) -> VertexId {
 /// assert_eq!(g.m(), 17);
 /// ```
 pub fn grid(rows: usize, cols: usize) -> Graph {
-    let mut b = GraphBuilder::new(rows * cols);
-    for r in 0..rows {
-        for c in 0..cols {
-            if c + 1 < cols {
-                b.add_edge(grid_index(cols, r, c), grid_index(cols, r, c + 1));
-            }
-            if r + 1 < rows {
-                b.add_edge(grid_index(cols, r, c), grid_index(cols, r + 1, c));
-            }
+    // Streams CSR rows directly: each vertex's neighbors (up, left, right,
+    // down) are already in sorted index order, so million-vertex grids
+    // build in one pass with no intermediate edge list.
+    Graph::from_neighbors(rows * cols, |v, out| {
+        let (r, c) = (v / cols, v % cols);
+        if r > 0 {
+            out.push(v - cols);
         }
-    }
-    b.build()
+        if c > 0 {
+            out.push(v - 1);
+        }
+        if c + 1 < cols {
+            out.push(v + 1);
+        }
+        if r + 1 < rows {
+            out.push(v + cols);
+        }
+    })
 }
 
 /// The toroidal grid: both row and column directions wrap.
@@ -123,21 +129,30 @@ pub fn hexagonal(rows: usize, cols: usize) -> Graph {
 /// The triangular lattice on `rows × cols` vertices: the grid plus one
 /// diagonal per cell. Planar triangulation-like, max degree 6, mad < 6.
 pub fn triangular(rows: usize, cols: usize) -> Graph {
-    let mut b = GraphBuilder::new(rows * cols);
-    for r in 0..rows {
-        for c in 0..cols {
+    // Streamed CSR like `grid`: the six candidate neighbors (up, up-right
+    // anti-diagonal, left, right, down-left anti-diagonal, down) are
+    // emitted in sorted index order.
+    Graph::from_neighbors(rows * cols, |v, out| {
+        let (r, c) = (v / cols, v % cols);
+        if r > 0 {
+            out.push(v - cols);
             if c + 1 < cols {
-                b.add_edge(grid_index(cols, r, c), grid_index(cols, r, c + 1));
-            }
-            if r + 1 < rows {
-                b.add_edge(grid_index(cols, r, c), grid_index(cols, r + 1, c));
-                if c + 1 < cols {
-                    b.add_edge(grid_index(cols, r, c + 1), grid_index(cols, r + 1, c));
-                }
+                out.push(v - cols + 1);
             }
         }
-    }
-    b.build()
+        if c > 0 {
+            out.push(v - 1);
+        }
+        if c + 1 < cols {
+            out.push(v + 1);
+        }
+        if r + 1 < rows {
+            if c > 0 {
+                out.push(v + cols - 1);
+            }
+            out.push(v + cols);
+        }
+    })
 }
 
 #[cfg(test)]
@@ -201,6 +216,46 @@ mod tests {
         assert_eq!(girth(&g, None), Some(6));
         assert!(g.max_degree() <= 3);
         assert!(crate::density::mad_at_most(&g, 3.0));
+    }
+
+    #[test]
+    fn streamed_csr_matches_builder_construction() {
+        // The streaming constructors must reproduce the GraphBuilder output
+        // bit-for-bit: same vertices, same sorted adjacency, same edges.
+        for (rows, cols) in [(1, 1), (1, 7), (7, 1), (3, 4), (5, 5), (2, 9)] {
+            let mut b = GraphBuilder::new(rows * cols);
+            for r in 0..rows {
+                for c in 0..cols {
+                    if c + 1 < cols {
+                        b.add_edge(grid_index(cols, r, c), grid_index(cols, r, c + 1));
+                    }
+                    if r + 1 < rows {
+                        b.add_edge(grid_index(cols, r, c), grid_index(cols, r + 1, c));
+                    }
+                }
+            }
+            assert_eq!(grid(rows, cols), b.build(), "grid {rows}x{cols}");
+
+            let mut b = GraphBuilder::new(rows * cols);
+            for r in 0..rows {
+                for c in 0..cols {
+                    if c + 1 < cols {
+                        b.add_edge(grid_index(cols, r, c), grid_index(cols, r, c + 1));
+                    }
+                    if r + 1 < rows {
+                        b.add_edge(grid_index(cols, r, c), grid_index(cols, r + 1, c));
+                        if c + 1 < cols {
+                            b.add_edge(grid_index(cols, r, c + 1), grid_index(cols, r + 1, c));
+                        }
+                    }
+                }
+            }
+            assert_eq!(
+                triangular(rows, cols),
+                b.build(),
+                "triangular {rows}x{cols}"
+            );
+        }
     }
 
     #[test]

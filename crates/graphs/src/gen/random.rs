@@ -47,7 +47,9 @@ fn random_tree_with(rng: &mut StdRng, n: usize) -> Graph {
     let std::cmp::Reverse(a) = leaf_heap.pop().expect("two leaves remain");
     let std::cmp::Reverse(b) = leaf_heap.pop().expect("two leaves remain");
     edges.push((a, b));
-    Graph::from_edges(n, edges)
+    // Tree edges are unique by construction: skip the builder's global
+    // sort + dedup and go straight to CSR (the million-vertex path).
+    Graph::from_simple_edges(n, &edges)
 }
 
 /// The union of `a` independent random spanning trees on the same vertex

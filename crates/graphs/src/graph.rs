@@ -67,6 +67,122 @@ impl Graph {
         b.build()
     }
 
+    /// Builds a graph directly from its CSR arrays: row `offsets`
+    /// (length `n + 1`, starting at 0, monotone) and the concatenated
+    /// adjacency lists `adj` (each row strictly sorted, entries `< n`, no
+    /// self-loops). This is the streaming constructor for million-vertex
+    /// generators: a family whose neighbor set is computable per vertex
+    /// emits rows in order and never materializes an edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CSR invariants above are violated. Symmetry (every
+    /// arc has its reverse) is checked under `debug_assertions` only — it
+    /// costs `O(m log Δ)` and this constructor exists for the hot path.
+    pub fn from_csr(offsets: Vec<usize>, adj: Vec<VertexId>) -> Self {
+        assert!(
+            offsets.first() == Some(&0),
+            "offsets must be non-empty and start at 0"
+        );
+        assert_eq!(
+            *offsets.last().expect("non-empty"),
+            adj.len(),
+            "offsets must cover adj exactly"
+        );
+        assert!(
+            adj.len().is_multiple_of(2),
+            "undirected CSR holds an even number of arcs"
+        );
+        let n = offsets.len() - 1;
+        for v in 0..n {
+            let (lo, hi) = (offsets[v], offsets[v + 1]);
+            assert!(lo <= hi, "offsets must be monotone (row {v})");
+            let row = &adj[lo..hi];
+            for (i, &w) in row.iter().enumerate() {
+                assert!(w < n, "neighbor {w} out of range in row {v}");
+                assert_ne!(w, v, "self-loop in row {v}");
+                assert!(i == 0 || row[i - 1] < w, "row {v} must be strictly sorted");
+            }
+        }
+        let g = Graph {
+            m: adj.len() / 2,
+            offsets,
+            adj,
+        };
+        #[cfg(debug_assertions)]
+        for v in g.vertices() {
+            for &w in g.neighbors(v) {
+                debug_assert!(
+                    g.neighbors(w).binary_search(&v).is_ok(),
+                    "arc {v}→{w} has no reverse arc"
+                );
+            }
+        }
+        g
+    }
+
+    /// Streams a graph into CSR form from a per-vertex neighbor enumerator:
+    /// `nbrs(v, out)` pushes the sorted neighbors of `v` into `out`. Rows
+    /// are appended in vertex order, so no intermediate edge list exists —
+    /// the constructor deterministic lattice/classic families use at
+    /// million-vertex sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the emitted rows violate the CSR invariants (see
+    /// [`Graph::from_csr`]).
+    pub fn from_neighbors<F>(n: usize, mut nbrs: F) -> Self
+    where
+        F: FnMut(VertexId, &mut Vec<VertexId>),
+    {
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        let mut adj = Vec::new();
+        let mut row = Vec::new();
+        for v in 0..n {
+            row.clear();
+            nbrs(v, &mut row);
+            adj.extend_from_slice(&row);
+            offsets.push(adj.len());
+        }
+        Graph::from_csr(offsets, adj)
+    }
+
+    /// Builds CSR from an edge list already known to be simple (no
+    /// duplicates after endpoint normalization, no self-loops): two
+    /// counting passes and a per-row sort, skipping [`GraphBuilder`]'s
+    /// global edge sort + dedup. Tree generators whose edges are unique by
+    /// construction use this on the million-vertex path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is `>= n`, or if the list was not simple
+    /// after all (caught by [`Graph::from_csr`] validation).
+    pub fn from_simple_edges(n: usize, edges: &[(VertexId, VertexId)]) -> Self {
+        let mut deg = vec![0usize; n];
+        for &(u, v) in edges {
+            assert!(u < n && v < n, "edge ({u},{v}) out of range n={n}");
+            deg[u] += 1;
+            deg[v] += 1;
+        }
+        let mut offsets = vec![0usize; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + deg[v];
+        }
+        let mut adj = vec![0; 2 * edges.len()];
+        let mut cursor = offsets.clone();
+        for &(u, v) in edges {
+            adj[cursor[u]] = v;
+            cursor[u] += 1;
+            adj[cursor[v]] = u;
+            cursor[v] += 1;
+        }
+        for v in 0..n {
+            adj[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        Graph::from_csr(offsets, adj)
+    }
+
     /// Number of vertices.
     #[inline]
     pub fn n(&self) -> usize {
@@ -435,5 +551,53 @@ mod tests {
     fn out_of_range_edge_panics() {
         let mut b = GraphBuilder::new(2);
         b.add_edge(0, 2);
+    }
+
+    #[test]
+    fn from_csr_matches_builder() {
+        // Triangle, rows emitted in CSR form directly.
+        let g = Graph::from_csr(vec![0, 2, 4, 6], vec![1, 2, 0, 2, 0, 1]);
+        assert_eq!(g, Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)]));
+        assert_eq!(g.m(), 3);
+    }
+
+    #[test]
+    fn from_neighbors_streams_rows() {
+        let n = 7;
+        let g = Graph::from_neighbors(n, |v, out| {
+            if v > 0 {
+                out.push(v - 1);
+            }
+            if v + 1 < n {
+                out.push(v + 1);
+            }
+        });
+        assert_eq!(g, Graph::from_edges(n, (1..n).map(|i| (i - 1, i))));
+    }
+
+    #[test]
+    fn from_simple_edges_matches_builder() {
+        let edges = [(3, 0), (1, 3), (3, 2), (0, 1)];
+        let g = Graph::from_simple_edges(4, &edges);
+        assert_eq!(g, Graph::from_edges(4, edges));
+        assert_eq!(g.neighbors(3), &[0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_csr_rejects_unsorted_rows() {
+        Graph::from_csr(vec![0, 2, 3, 5], vec![2, 1, 2, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_csr_rejects_self_loops() {
+        Graph::from_csr(vec![0, 1, 2], vec![0, 0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_simple_edges_rejects_duplicates() {
+        Graph::from_simple_edges(3, &[(0, 1), (1, 0)]);
     }
 }

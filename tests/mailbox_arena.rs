@@ -1,0 +1,119 @@
+//! Steady-state rounds must not allocate per message.
+//!
+//! The SoA mailbox layout exists for exactly one reason: a routing epoch at
+//! n = 10⁶ cannot afford a heap allocation per delivered message. Inboxes
+//! are `(start, len)` spans into one contiguous per-group segment rebuilt
+//! by counting sort; staging arenas and segments keep their capacity across
+//! rounds; the `MAX_WIDTH` fast path skips the split-mode width scan for
+//! one-word messages. The observable consequence: once capacities have
+//! warmed up, the number of heap *allocations* per round is independent of
+//! how many messages move.
+//!
+//! This test installs a counting `#[global_allocator]` and compares the
+//! allocation count of identical steady-state phases at two sizes two
+//! orders of magnitude apart. Per-message allocations would show up ~10⁵
+//! times over; the assertion leaves slack only for per-round constants
+//! (metrics rows, phase bookkeeping).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use engine::{EngineConfig, EngineSession, NodeCtx, NodeProgram, Outbox, Stop};
+use graphs::gen;
+
+/// Counts allocations (not bytes — growth doublings are amortized, a
+/// per-message `Vec` is not) while the gate is up.
+struct CountingAlloc;
+
+static COUNTING: AtomicBool = AtomicBool::new(false);
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Every node broadcasts its id every round: 2 messages per vertex per
+/// round on a cycle, all on the one-word (`usize`, `MAX_WIDTH = Some(1)`)
+/// fast path.
+struct Chatter;
+
+impl NodeProgram for Chatter {
+    type Message = usize;
+
+    fn init(&mut self, ctx: &mut NodeCtx<'_>) -> Outbox<usize> {
+        Outbox::Broadcast(ctx.id)
+    }
+
+    fn on_round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[(usize, usize)]) -> Outbox<usize> {
+        assert_eq!(inbox.len(), 2, "cycle neighbors both spoke");
+        Outbox::Broadcast(ctx.id)
+    }
+
+    fn halted(&self) -> bool {
+        false
+    }
+}
+
+/// Runs `rounds` warm-up rounds (capacity growth happens here, uncounted),
+/// then `rounds` steady-state rounds under the allocation counter; returns
+/// the steady-state count.
+fn steady_state_allocs(n: usize, rounds: u64) -> usize {
+    let g = gen::cycle(n);
+    // Split(4) keeps the CONGEST accounting on and makes the round take the
+    // MAX_WIDTH dispatch: usize's static 1-word bound fits the budget, so
+    // the width scan — and every per-message encode — is skipped.
+    let config = EngineConfig::default().with_shards(1).congest_split(4);
+    let mut session = EngineSession::new(&g, config, |_| Chatter);
+    session.run_phase("warmup", Stop::Rounds(rounds));
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    session.run_phase("steady", Stop::Rounds(rounds));
+    COUNTING.store(false, Ordering::SeqCst);
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn steady_state_rounds_allocate_independently_of_message_count() {
+    let rounds = 12;
+    let small_n = 64;
+    let large_n = 8192;
+    let small = steady_state_allocs(small_n, rounds);
+    let large = steady_state_allocs(large_n, rounds);
+    // The large run moves (large_n - small_n) * 2 * rounds ≈ 195k more
+    // messages than the small one. Per-message (or even per-vertex)
+    // allocation anywhere on the deliver path would blow this bound by
+    // orders of magnitude; the slack covers per-round bookkeeping noise.
+    let slack = 64;
+    assert!(
+        large <= small + slack,
+        "steady-state rounds must not allocate per message: \
+         {small} allocs at n={small_n} vs {large} at n={large_n} \
+         (allowed slack {slack})"
+    );
+}
