@@ -49,7 +49,16 @@
 //!    runs (n ≤ 50k) are barrier-overhead-bound and the assertion would be
 //!    noise there.
 //!
-//! Exits nonzero with a per-algorithm table on any violation.
+//! Every budget is evaluated per **(algorithm, family)** pair at that
+//! pair's own largest `n` — an algorithm benched on several graph families
+//! gets one verdict row per family, so a regression confined to (say) the
+//! apollonian family cannot hide behind a healthy forest-union row that
+//! happens to sort first. `--expect-family=NAME` (repeatable) declares
+//! families the artifact *must* contain; a missing one is a violation, not
+//! a silent skip — the xl job uses it to catch a generator that quietly
+//! dropped out of the sweep.
+//!
+//! Exits nonzero with a per-(algorithm, family) table on any violation.
 
 use bench::{parse_engine_bench_json, print_table, EngineBenchRecord};
 
@@ -135,9 +144,12 @@ fn main() {
     let mut max_route_frac = DEFAULT_MAX_ROUTE_FRAC;
     let mut max_split_ratio = DEFAULT_MAX_SPLIT_RATIO;
     let mut min_shard_speedup: Option<f64> = None;
+    let mut expect_families: Vec<String> = Vec::new();
     for arg in std::env::args().skip(1) {
         if let Some(v) = arg.strip_prefix("--suite=") {
             suite_mode(v);
+        } else if let Some(v) = arg.strip_prefix("--expect-family=") {
+            expect_families.push(v.to_string());
         } else if let Some(v) = arg.strip_prefix("--max-engine-ratio=") {
             max_engine_ratio = v.parse().expect("--max-engine-ratio takes a number");
         } else if let Some(v) = arg.strip_prefix("--max-shard8-ratio=") {
@@ -160,27 +172,44 @@ fn main() {
         .unwrap_or_else(|e| panic!("bench_gate: cannot parse {path}: {e}"));
     assert!(!records.is_empty(), "bench_gate: {path} holds no records");
 
-    let mut algorithms: Vec<String> = records.iter().map(|r| r.algorithm.clone()).collect();
-    algorithms.sort();
-    algorithms.dedup();
+    // One verdict row per (algorithm, family) pair, each at the pair's own
+    // largest n — never let one family's row stand in for another's.
+    let mut pairs: Vec<(String, String)> = records
+        .iter()
+        .map(|r| (r.algorithm.clone(), r.family.clone()))
+        .collect();
+    pairs.sort();
+    pairs.dedup();
 
     let mut rows = Vec::new();
     let mut violations = Vec::new();
-    for alg in &algorithms {
+    for family in &expect_families {
+        if !pairs.iter().any(|(_, f)| f == family) {
+            violations.push(format!(
+                "expected family {family:?} has no rows in {path} — the sweep \
+                 that should produce it did not run"
+            ));
+        }
+    }
+    for (alg, family) in &pairs {
         let n = records
             .iter()
-            .filter(|r| &r.algorithm == alg)
+            .filter(|r| &r.algorithm == alg && &r.family == family)
             .map(|r| r.n)
             .max()
-            .expect("algorithm has records");
+            .expect("pair has records");
         let at = |shards: usize| -> Option<&EngineBenchRecord> {
-            records
-                .iter()
-                .find(|r| &r.algorithm == alg && r.n == n && r.shards == shards && r.split == 0)
+            records.iter().find(|r| {
+                &r.algorithm == alg
+                    && &r.family == family
+                    && r.n == n
+                    && r.shards == shards
+                    && r.split == 0
+            })
         };
         let (Some(seq), Some(s1)) = (at(0), at(1)) else {
             violations.push(format!(
-                "{alg} (n={n}): artifact is missing the sequential or engine/1 row"
+                "{alg}/{family} (n={n}): artifact is missing the sequential or engine/1 row"
             ));
             continue;
         };
@@ -189,7 +218,7 @@ fn main() {
         if engine_ratio > max_engine_ratio {
             verdict = "FAIL";
             violations.push(format!(
-                "{alg} (n={n}): engine/1 is {engine_ratio:.2}× sequential \
+                "{alg}/{family} (n={n}): engine/1 is {engine_ratio:.2}× sequential \
                  ({:.3} ms vs {:.3} ms), budget {max_engine_ratio:.2}×",
                 s1.wall_ms, seq.wall_ms
             ));
@@ -202,7 +231,7 @@ fn main() {
                     if speedup < min {
                         verdict = "FAIL";
                         violations.push(format!(
-                            "{alg} (n={n}): engine/8 is only {speedup:.2}× faster than \
+                            "{alg}/{family} (n={n}): engine/8 is only {speedup:.2}× faster than \
                              engine/1 ({:.3} ms vs {:.3} ms), floor {min:.2}× — the \
                              parallel routing phase is not scaling",
                             s8.wall_ms, s1.wall_ms
@@ -212,7 +241,7 @@ fn main() {
                 if shard8_ratio > max_shard8_ratio {
                     verdict = "FAIL";
                     violations.push(format!(
-                        "{alg} (n={n}): engine/8 is {shard8_ratio:.2}× engine/1 \
+                        "{alg}/{family} (n={n}): engine/8 is {shard8_ratio:.2}× engine/1 \
                          ({:.3} ms vs {:.3} ms), budget {max_shard8_ratio:.2}× — \
                          the worker pool is no longer amortizing round overhead",
                         s8.wall_ms, s1.wall_ms
@@ -222,7 +251,7 @@ fn main() {
                 if route_frac > max_route_frac {
                     verdict = "FAIL";
                     violations.push(format!(
-                        "{alg} (n={n}): routing is {:.0}% of the engine/8 wall time \
+                        "{alg}/{family} (n={n}): routing is {:.0}% of the engine/8 wall time \
                          ({:.3} ms of {:.3} ms), budget {:.0}% — the routing phase \
                          has stopped amortizing",
                         route_frac * 100.0,
@@ -237,7 +266,7 @@ fn main() {
                 if min_shard_speedup.is_some() {
                     verdict = "FAIL";
                     violations.push(format!(
-                        "{alg} (n={n}): --min-shard-speedup is set but the artifact \
+                        "{alg}/{family} (n={n}): --min-shard-speedup is set but the artifact \
                          has no engine/8 row"
                     ));
                 }
@@ -250,14 +279,14 @@ fn main() {
         let mut split_ratios: Vec<String> = Vec::new();
         let mut split_rows: Vec<&EngineBenchRecord> = records
             .iter()
-            .filter(|r| &r.algorithm == alg && r.n == n && r.split > 0)
+            .filter(|r| &r.algorithm == alg && &r.family == family && r.n == n && r.split > 0)
             .collect();
         split_rows.sort_by_key(|r| r.shards);
         for split_row in split_rows {
             let Some(unlimited) = at(split_row.shards) else {
                 verdict = "FAIL";
                 violations.push(format!(
-                    "{alg} (n={n}): split row at shards={} has no unlimited twin",
+                    "{alg}/{family} (n={n}): split row at shards={} has no unlimited twin",
                     split_row.shards
                 ));
                 continue;
@@ -267,7 +296,7 @@ fn main() {
             if split_ratio > max_split_ratio {
                 verdict = "FAIL";
                 violations.push(format!(
-                    "{alg} (n={n}): Split({}) at shards={} is {split_ratio:.2}× the \
+                    "{alg}/{family} (n={n}): Split({}) at shards={} is {split_ratio:.2}× the \
                      unlimited run ({:.3} ms vs {:.3} ms), budget {max_split_ratio:.2}× — \
                      the reassembly path has regressed",
                     split_row.split, split_row.shards, split_row.wall_ms, unlimited.wall_ms
@@ -276,7 +305,7 @@ fn main() {
             if split_row.physical_rounds < split_row.rounds {
                 verdict = "FAIL";
                 violations.push(format!(
-                    "{alg} (n={n}): split row reports fewer physical rounds than \
+                    "{alg}/{family} (n={n}): split row reports fewer physical rounds than \
                      logical rounds — the round charging is dishonest"
                 ));
             }
@@ -288,6 +317,7 @@ fn main() {
         };
         rows.push(vec![
             alg.clone(),
+            family.clone(),
             format!("{n}"),
             format!("{:.2}", seq.wall_ms),
             format!("{:.2}", s1.wall_ms),
@@ -307,6 +337,7 @@ fn main() {
         ),
         &[
             "algorithm",
+            "family",
             "n",
             "seq ms",
             "engine/1",

@@ -108,9 +108,9 @@ fn render_trend(groups: &[LabGroup], artifact: &[EngineBenchRecord]) -> String {
     let mut out = String::new();
     out.push_str(
         "| algorithm | shards | fresh n | best ms | p50 ms | p95 ms | fresh µs/v \
-         | committed n | committed ms | µs/v | Δ µs/v |\n",
+         | committed n | committed ms | µs/v | Δ µs/v | frontier |\n",
     );
-    out.push_str("|---|---|---|---|---|---|---|---|---|---|---|\n");
+    out.push_str("|---|---|---|---|---|---|---|---|---|---|---|---|\n");
     let mut matched = 0;
     for g in groups {
         let Some(rec) = closest(artifact, g) else {
@@ -120,8 +120,11 @@ fn render_trend(groups: &[LabGroup], artifact: &[EngineBenchRecord]) -> String {
         let fresh_norm = g.best_ms * 1e3 / g.n.max(1) as f64;
         let committed_norm = rec.wall_ms * 1e3 / rec.n.max(1) as f64;
         let delta = (fresh_norm - committed_norm) / committed_norm.max(f64::EPSILON) * 100.0;
+        // Committed frontier density: mean stepped/live across the run —
+        // the decay the frontier-sparse scheduler buys. `1.00` marks rows
+        // from full scans (sequential, gating off, legacy artifacts).
         out.push_str(&format!(
-            "| {} ({}) | {} | {} | {:.2} | {:.2} | {:.2} | {:.2} | {} | {:.2} | {:.2} | {:+.1}% |\n",
+            "| {} ({}) | {} | {} | {:.2} | {:.2} | {:.2} | {:.2} | {} | {:.2} | {:.2} | {:+.1}% | {:.2} |\n",
             g.algorithm,
             g.family,
             g.shards,
@@ -134,6 +137,7 @@ fn render_trend(groups: &[LabGroup], artifact: &[EngineBenchRecord]) -> String {
             rec.wall_ms,
             committed_norm,
             delta,
+            rec.active_frac,
         ));
     }
     if matched == 0 {
@@ -155,6 +159,7 @@ mod tests {
 
     fn rec(algorithm: &str, n: usize, shards: usize, wall_ms: f64) -> EngineBenchRecord {
         EngineBenchRecord {
+            active_frac: 0.5,
             family: "f".into(),
             algorithm: algorithm.into(),
             n,
@@ -199,7 +204,7 @@ mod tests {
         let groups = vec![group("a", 1000, 1, 1.0)]; // 1.0 µs/v fresh
         let table = render_trend(&groups, &records);
         assert!(table.contains("| a (f) | 1 | 1000 |"), "{table}");
-        assert!(table.contains("| -50.0% |"), "{table}");
+        assert!(table.contains("| -50.0% | 0.50 |"), "{table}");
         assert!(table.contains("1 of 1 lab group(s) matched"), "{table}");
     }
 

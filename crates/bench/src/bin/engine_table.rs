@@ -86,6 +86,9 @@ fn main() {
     for &n in &sizes {
         if xl {
             h_partition_showdown(n, reps, &mut records);
+            // The streaming-CSR planar tier: apollonian triangulations are
+            // 3-degenerate, so the peel runs with a = 3.
+            h_partition_family(n, reps, &mut records, "apollonian", 7, 3);
             cole_vishkin_showdown(n, reps, &mut records);
             continue;
         }
@@ -176,6 +179,7 @@ fn seq_record(
     timing: Timing,
 ) -> EngineBenchRecord {
     EngineBenchRecord {
+        active_frac: 1.0,
         family: family.into(),
         algorithm: algorithm.into(),
         n,
@@ -202,6 +206,7 @@ fn engine_record(
     timing: Timing,
 ) -> EngineBenchRecord {
     EngineBenchRecord {
+        active_frac: metrics.mean_active_frac(),
         family: family.into(),
         algorithm: algorithm.into(),
         n,
@@ -286,12 +291,27 @@ fn randomized_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchRecor
 }
 
 fn h_partition_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchRecord>) {
-    let family = "forest-union-a2";
-    let g = build(family, n, 11);
+    h_partition_family(n, reps, records, "forest-union-a2", 11, 2);
+}
+
+/// The H-partition showdown on one registry family: `a` is the arboricity
+/// bound fed to the peel (2 for the forest union, 3 for the planar
+/// triangulations — apollonian graphs are 3-degenerate), `eps = 1.0`
+/// either way. The xl tier runs this on both families, so the gate judges
+/// the streaming-CSR generators' graphs, not just the forest union's.
+fn h_partition_family(
+    n: usize,
+    reps: usize,
+    records: &mut Vec<EngineBenchRecord>,
+    family: &str,
+    seed: u64,
+    a: usize,
+) {
+    let g = build(family, n, seed);
     let mut rows = Vec::new();
     let ((seq, seq_rounds), wall) = best_of(reps, || {
         let mut ledger = RoundLedger::new();
-        let out = h_partition(&g, None, 2, 1.0, &mut ledger);
+        let out = h_partition(&g, None, a, 1.0, &mut ledger);
         let total = ledger.total();
         (out, total)
     });
@@ -305,7 +325,7 @@ fn h_partition_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchReco
             let run = engine_h_partition(
                 &g,
                 None,
-                2,
+                a,
                 1.0,
                 EngineConfig::default().with_shards(shards),
                 &mut ledger,
@@ -517,6 +537,7 @@ fn theorem13_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchRecord
         rows.push(row(
             records,
             EngineBenchRecord {
+                active_frac: m.mean_active_frac(),
                 family: family.into(),
                 algorithm: "theorem13".into(),
                 n: g.n(),

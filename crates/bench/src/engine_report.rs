@@ -11,6 +11,11 @@ use std::fmt::Write as _;
 /// One measured run for the perf-trajectory artifact.
 #[derive(Clone, Debug, PartialEq)]
 pub struct EngineBenchRecord {
+    /// Mean frontier density across the run's rounds: stepped / live nodes,
+    /// averaged per round (see `engine::RoundMetrics::active_frac`). `1.0`
+    /// for sequential baselines, full scans, and artifacts written before
+    /// frontier-sparse rounds existed; `bench_trend` charts its decay.
+    pub active_frac: f64,
     /// Workload family name (e.g. `forest-union-a2`).
     pub family: String,
     /// Algorithm identifier (e.g. `randomized`, `h-partition`).
@@ -58,12 +63,21 @@ impl EngineBenchRecord {
         } else {
             format!("\"p50_ms\":{:.4},", self.p50_ms)
         };
+        // Like `p50_ms`: a density of exactly 1.0 is the no-information
+        // value (sequential rows, gating off, legacy artifacts) — omit the
+        // key and let the parser's default restore it.
+        let active = if self.active_frac == 1.0 {
+            String::new()
+        } else {
+            format!("\"active_frac\":{:.4},", self.active_frac)
+        };
         format!(
             concat!(
-                "{{\"algorithm\":{},\"family\":{},\"fragments\":{},\"messages\":{},",
+                "{{{}\"algorithm\":{},\"family\":{},\"fragments\":{},\"messages\":{},",
                 "\"n\":{},{}\"physical_rounds\":{},\"rounds\":{},",
                 "\"route_ms\":{:.4},\"shards\":{},\"split\":{},\"wall_ms\":{:.4}}}"
             ),
+            active,
             json_string(&self.algorithm),
             json_string(&self.family),
             self.fragments,
@@ -115,6 +129,7 @@ pub fn parse_engine_bench_json(json: &str) -> Result<Vec<EngineBenchRecord>, Str
             .and_then(|l| l.strip_suffix('}'))
             .ok_or_else(|| fail("expected one {…} object"))?;
         let mut rec = EngineBenchRecord {
+            active_frac: 1.0,
             family: String::new(),
             algorithm: String::new(),
             n: 0,
@@ -137,6 +152,9 @@ pub fn parse_engine_bench_json(json: &str) -> Result<Vec<EngineBenchRecord>, Str
             let key = key.trim().trim_matches('"');
             let value = value.trim();
             match key {
+                "active_frac" => {
+                    rec.active_frac = value.parse().map_err(|_| fail("bad active_frac"))?
+                }
                 "algorithm" => rec.algorithm = unescape(value).ok_or_else(|| fail("bad string"))?,
                 "family" => rec.family = unescape(value).ok_or_else(|| fail("bad string"))?,
                 "n" => rec.n = value.parse().map_err(|_| fail("bad n"))?,
@@ -243,6 +261,7 @@ mod tests {
 
     fn record() -> EngineBenchRecord {
         EngineBenchRecord {
+            active_frac: 0.75,
             family: "forest-union-a2".into(),
             algorithm: "randomized".into(),
             n: 1000,

@@ -21,7 +21,7 @@ use crate::ert::{color_component, ErtError};
 use crate::happy::Classification;
 use crate::lists::ListAssignment;
 use crate::state::ColoringState;
-use engine::{layered_slots, CongestMode, EngineMetrics, FaultPlan};
+use engine::{layered_slots, CongestMode, EngineMetrics, EnginePool, FaultPlan};
 use graphs::{ball, Graph, VertexId, VertexSet};
 use local_model::{degree_plus_one_coloring, ruling_forest, RoundLedger};
 use std::fmt;
@@ -42,6 +42,11 @@ pub struct EngineMode<'m> {
     /// run) — faults key on logical messages, so they perturb each session
     /// identically at any shard count.
     pub faults: FaultPlan,
+    /// Shared worker pool threaded through every internal session: `Some`
+    /// amortizes thread spawns to one per composite phase (a peeling run's
+    /// levels all reuse these threads); `None` lets each session spawn its
+    /// own. Purely a performance knob.
+    pub pool: Option<EnginePool>,
     /// Accumulator absorbing each internal session's metrics.
     pub metrics: &'m mut EngineMetrics,
 }
@@ -49,10 +54,14 @@ pub struct EngineMode<'m> {
 impl EngineMode<'_> {
     /// The engine config every internal session of this phase starts from.
     pub fn config(&self) -> engine::EngineConfig {
-        engine::EngineConfig::default()
+        let config = engine::EngineConfig::default()
             .with_shards(self.shards)
             .with_congest(self.congest)
-            .with_faults(self.faults.clone())
+            .with_faults(self.faults.clone());
+        match &self.pool {
+            Some(pool) => config.with_pool(pool),
+            None => config,
+        }
     }
 }
 
@@ -338,6 +347,7 @@ mod tests {
                 shards,
                 congest: CongestMode::Unlimited,
                 faults: FaultPlan::default(),
+                pool: None,
                 metrics: &mut metrics,
             });
             extend_to_happy_set(g, &alive, lists, &cls, &mut coloring, &mut ledger, engine)

@@ -309,6 +309,13 @@ pub fn list_color_sparse(
     let mut alive = VertexSet::full(n);
     let mut levels: Vec<Level> = Vec::new();
     let mut engine_metrics = EngineMetrics::default();
+    // One worker pool for the whole pipeline: every internal engine session
+    // across every peeling level and extension borrows these threads, so
+    // thread spawns are a constant per run instead of linear in the level
+    // count. Sized for the largest session — level scopes only shrink.
+    let engine_pool = config
+        .engine_shards
+        .map(|shards| engine::EnginePool::new(default_pool_workers(shards, n)));
     // One `EngineMode` per engine-phase call, all draining into the same
     // accumulator so the end-to-end run reports its real traffic.
     macro_rules! engine_mode {
@@ -317,6 +324,7 @@ pub fn list_color_sparse(
                 shards,
                 congest: config.engine_congest,
                 faults: config.engine_faults.clone(),
+                pool: engine_pool.clone(),
                 metrics: &mut engine_metrics,
             })
         };
@@ -382,6 +390,15 @@ pub fn list_color_sparse(
         stats,
         engine_metrics,
     })))
+}
+
+/// Worker count for the pipeline-shared [`engine::EnginePool`]: mirror the
+/// engine's own default (one per CPU, never more than the shard request or
+/// the vertex count — sessions clamp further for small masked scopes).
+fn default_pool_workers(shards: usize, n: usize) -> usize {
+    let cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let shard_cap = if shards == 0 { cpus } else { shards };
+    cpus.min(shard_cap).clamp(1, n.max(1))
 }
 
 fn initial_radius(policy: RadiusPolicy, n: usize) -> usize {

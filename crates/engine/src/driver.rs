@@ -43,7 +43,7 @@ use crate::context::NodeCtx;
 use crate::faults::FaultPlan;
 use crate::mailbox::Mailboxes;
 use crate::metrics::{EngineMetrics, RoundMetrics};
-use crate::pool::{stage_outbox, RouteEnv, StageEnv, WorkerPool};
+use crate::pool::{stage_outbox, EnginePool, RouteEnv, StageEnv, WorkerPool};
 use crate::program::NodeProgram;
 use crate::shard::ShardPlan;
 use crate::view::GraphView;
@@ -129,6 +129,16 @@ pub struct EngineConfig {
     /// CONGEST bandwidth treatment: record only, reject over-budget
     /// messages, or split them across virtual rounds. See [`CongestMode`].
     pub congest: CongestMode,
+    /// Frontier-sparse rounds (default `true`): skip the `on_round` step of
+    /// nodes with an empty inbox whose [`Activation`](crate::Activation)
+    /// hint does not request the round. Purely a performance knob when
+    /// programs keep the activation contract — results are bit-identical;
+    /// `false` forces the historical full scan (used by equivalence tests).
+    pub frontier: bool,
+    /// Shared worker pool: `Some` makes the session borrow these threads
+    /// instead of spawning its own — see [`EnginePool`]. When set, the pool
+    /// supersedes `workers` as the worker-group cap.
+    pub pool: Option<EnginePool>,
 }
 
 impl Default for EngineConfig {
@@ -141,6 +151,8 @@ impl Default for EngineConfig {
             faults: FaultPlan::new(),
             mask: None,
             congest: CongestMode::Unlimited,
+            frontier: true,
+            pool: None,
         }
     }
 }
@@ -225,6 +237,28 @@ impl EngineConfig {
     #[must_use]
     pub fn with_congest(mut self, mode: CongestMode) -> Self {
         self.congest = mode;
+        self
+    }
+
+    /// Enables or disables frontier-sparse rounds (default on). With
+    /// `false` every node steps every round regardless of traffic or its
+    /// [`Activation`](crate::Activation) hint — the engine's historical
+    /// behavior, kept as the reference side of equivalence tests.
+    #[must_use]
+    pub fn with_frontier(mut self, frontier: bool) -> Self {
+        self.frontier = frontier;
+        self
+    }
+
+    /// Shares `pool`'s worker threads with this session instead of spawning
+    /// a private set — the per-pipeline amortization knob: a peeling loop
+    /// spawns one [`EnginePool`] and threads it through every level's
+    /// config, so thread creation is a constant cost regardless of level
+    /// count. Purely a performance knob — results are bit-identical with or
+    /// without sharing.
+    #[must_use]
+    pub fn with_pool(mut self, pool: &EnginePool) -> Self {
+        self.pool = Some(pool.clone());
         self
     }
 
@@ -337,9 +371,22 @@ impl<'g, P: NodeProgram + 'static> EngineSession<'g, P> {
         let view = GraphView::new(graph, config.mask.as_ref());
         let live = view.live_count();
         let plan = ShardPlan::for_view(&view, config.resolve_shards(live));
-        let groups = plan.group_ranges(config.resolve_workers(plan.shards()));
+        // A shared pool fixes the worker-group budget (its thread count);
+        // otherwise the session sizes — and below spawns — its own.
+        let pool_workers = config
+            .pool
+            .as_ref()
+            .map(|p| p.workers().min(plan.shards()).max(1))
+            .unwrap_or_else(|| config.resolve_workers(plan.shards()));
+        let groups = plan.group_ranges(pool_workers);
         let bounds: Vec<usize> = groups.iter().map(|r| r.start).chain([live]).collect();
-        let mut pool = WorkerPool::spawn(groups.len() - 1);
+        let mut pool = WorkerPool::new(
+            config
+                .pool
+                .clone()
+                .unwrap_or_else(|| EnginePool::new(groups.len())),
+            groups.len(),
+        );
         let mut ctxs: Vec<NodeCtx<'g>> = (0..live)
             .map(|dv| {
                 let nbrs = view.neighbors(dv);
@@ -370,6 +417,7 @@ impl<'g, P: NodeProgram + 'static> EngineSession<'g, P> {
                 live: view.live(),
                 bounds: &bounds,
                 congest: config.congest.reject_budget(),
+                frontier: config.frontier,
             };
             let y = pool.home_arena();
             for (p, ctx) in programs.iter_mut().zip(ctxs.iter_mut()) {
@@ -590,6 +638,7 @@ impl<'g, P: NodeProgram + 'static> EngineSession<'g, P> {
             live: self.view.live(),
             bounds: &self.bounds,
             congest: self.config.congest.reject_budget(),
+            frontier: self.config.frontier,
         };
         if let Err(payload) = self.pool.execute(
             &mut self.programs,
@@ -611,6 +660,7 @@ impl<'g, P: NodeProgram + 'static> EngineSession<'g, P> {
         let mut lost = 0;
         let mut max_width = 0;
         let mut active_nodes = 0;
+        let mut stepped = 0;
         let mail = &mut self.mail;
         self.pool.collect_yields(|y| {
             messages += y.messages;
@@ -620,6 +670,7 @@ impl<'g, P: NodeProgram + 'static> EngineSession<'g, P> {
             lost += y.lost;
             max_width = max_width.max(y.max_width);
             active_nodes += y.active;
+            stepped += y.stepped;
             for (due, batch) in y.delayed_batches.drain(..) {
                 mail.schedule(due, batch);
             }
@@ -661,6 +712,14 @@ impl<'g, P: NodeProgram + 'static> EngineSession<'g, P> {
             physical_rounds: self.config.congest.physical_rounds(tally.wire_width),
             fragments: tally.fragments,
             active_nodes,
+            active_frac: {
+                let live = self.view.live().len();
+                if live == 0 {
+                    1.0
+                } else {
+                    stepped as f64 / live as f64
+                }
+            },
             wall: started.elapsed(),
             route_wall,
         });

@@ -108,7 +108,8 @@ pub use context::{node_rng, NodeCtx};
 pub use driver::{CongestMode, EngineConfig, EngineSession, PhaseReport, Stop, SPLIT_PHASE};
 pub use faults::{FaultAction, FaultPlan};
 pub use metrics::{EngineMetrics, RoundMetrics};
-pub use program::{EngineMessage, NodeProgram, Outbox, WireCodec};
+pub use pool::EnginePool;
+pub use program::{Activation, EngineMessage, NodeProgram, Outbox, WireCodec};
 pub use programs::{
     engine_classification_gather, engine_cole_vishkin_3color, engine_degree_plus_one_coloring,
     engine_detect_clique, engine_gather_balls, engine_h_partition, engine_layered_greedy,
@@ -116,6 +117,14 @@ pub use programs::{
 };
 pub use shard::ShardPlan;
 pub use view::GraphView;
+
+/// Total worker threads spawned by engine pools since process start — the
+/// observable a pipeline test pins to prove pool *sharing* actually shares:
+/// with one [`EnginePool`] threaded through every session, the delta across
+/// a peeling run stays at the pool's size instead of growing per level.
+pub fn worker_threads_spawned() -> usize {
+    pool::SPAWNED.load(std::sync::atomic::Ordering::Relaxed)
+}
 
 /// `usize` is a first-class message: several programs exchange bare ids or
 /// colors. The wire format is the value itself, one word.

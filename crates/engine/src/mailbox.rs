@@ -122,13 +122,12 @@ impl Reassembly {
 
 /// One receiver's reassembly state: a per-sender ([`Reassembly`]) buffer
 /// for every edge that is currently — or was ever — delivering fragmented
-/// traffic to this vertex, plus a reusable encode scratch so steady-state
-/// splitting allocates nothing.
+/// traffic to this vertex. Encode scratch lives **per routing group** (see
+/// [`Mailboxes`]), not here: one arena per worker instead of one per
+/// vertex, reused across every message the worker splits.
 #[derive(Debug, Default)]
 pub(crate) struct EdgeReassembly {
     streams: BTreeMap<VertexId, Reassembly>,
-    /// Encode scratch, reused across messages and rounds.
-    scratch: Vec<u64>,
 }
 
 impl EdgeReassembly {
@@ -162,11 +161,12 @@ impl RouteTally {
     }
 }
 
-/// Ships one over-budget logical message through the wire: encode, chop
-/// into ≤ `budget`-word `(seq, total)` frames, feed every frame through the
-/// receiving edge's buffer, decode on completion. Returns the decoded
-/// message — what the program will actually observe, so a codec defect is a
-/// visible output divergence, never a silent one — and the frame count.
+/// Ships one over-budget logical message through the wire: encode (into
+/// the caller's reusable `scratch` arena), chop into ≤ `budget`-word
+/// `(seq, total)` frames, feed every frame through the receiving edge's
+/// buffer, decode on completion. Returns the decoded message — what the
+/// program will actually observe, so a codec defect is a visible output
+/// divergence, never a silent one — and the frame count.
 ///
 /// # Panics
 ///
@@ -176,9 +176,10 @@ pub(crate) fn split_roundtrip<M: EngineMessage>(
     m: &M,
     budget: usize,
     reasm: &mut EdgeReassembly,
+    scratch: &mut Vec<u64>,
 ) -> (M, usize) {
     debug_assert!(budget >= 1);
-    let EdgeReassembly { streams, scratch } = reasm;
+    let EdgeReassembly { streams } = reasm;
     scratch.clear();
     m.encode(scratch);
     let total = scratch.len().div_ceil(budget).max(1) as u32;
@@ -219,6 +220,7 @@ pub(crate) fn finalize_inbox<M: EngineMessage>(
     reasm: &mut EdgeReassembly,
     receiver: VertexId,
     env: &RouteEnv<'_>,
+    scratch: &mut Vec<u64>,
 ) -> RouteTally {
     let mut tally = RouteTally::default();
     if env.split != usize::MAX {
@@ -234,7 +236,7 @@ pub(crate) fn finalize_inbox<M: EngineMessage>(
                     let width = m.width();
                     tally.wire_width = tally.wire_width.max(width);
                     if width > env.split {
-                        let (decoded, frames) = split_roundtrip(*src, m, env.split, reasm);
+                        let (decoded, frames) = split_roundtrip(*src, m, env.split, reasm, scratch);
                         *m = decoded;
                         tally.fragments += frames;
                     }
@@ -328,6 +330,9 @@ pub(crate) struct RouteTargets<M> {
     pub(crate) pending: *mut Vec<Routed<M>>,
     /// Per-vertex reassembly buffers.
     pub(crate) reasm: *mut EdgeReassembly,
+    /// Per-group encode arenas (`add(group)` = the group's own), reused by
+    /// every split encode the group's worker performs.
+    pub(crate) scratch: *mut Vec<u64>,
 }
 
 impl<M> Clone for RouteTargets<M> {
@@ -337,17 +342,14 @@ impl<M> Clone for RouteTargets<M> {
 }
 impl<M> Copy for RouteTargets<M> {}
 
-impl<M> RouteTargets<M> {
-    pub(crate) fn null() -> Self {
-        RouteTargets {
-            segs: std::ptr::null_mut(),
-            spans: std::ptr::null_mut(),
-            counts: std::ptr::null_mut(),
-            pending: std::ptr::null_mut(),
-            reasm: std::ptr::null_mut(),
-        }
-    }
-}
+// SAFETY: a `RouteTargets` is a bundle of raw pointers whose pointees are
+// partitioned by group/vertex index under the routing epoch's barrier
+// discipline — worker `g` touches only slot `g` of the per-group arrays and
+// the vertex entries of its own range. The bundle itself carries no state,
+// so sharing the *value* across worker threads is sound; all aliasing rules
+// live with `route_range`'s safety contract.
+unsafe impl<M: Send> Send for RouteTargets<M> {}
+unsafe impl<M: Send> Sync for RouteTargets<M> {}
 
 /// The engine's mailbox fabric. See module docs.
 pub(crate) struct Mailboxes<M> {
@@ -365,6 +367,10 @@ pub(crate) struct Mailboxes<M> {
     pending: Vec<Vec<Routed<M>>>,
     /// Per-receiver reassembly buffers (dense-indexed, like the spans).
     reasm: Vec<EdgeReassembly>,
+    /// Per-group split-encode arenas: each routing worker reuses its own
+    /// across every over-budget message it fragments, so steady-state
+    /// split routing performs zero per-message allocation.
+    scratch: Vec<Vec<u64>>,
     delayed: BTreeMap<u64, Vec<Routed<M>>>,
 }
 
@@ -382,6 +388,7 @@ impl<M: EngineMessage> Mailboxes<M> {
             counts: vec![0; live],
             pending: (0..groups).map(|_| Vec::new()).collect(),
             reasm: (0..live).map(|_| EdgeReassembly::default()).collect(),
+            scratch: (0..groups).map(|_| Vec::new()).collect(),
             delayed: BTreeMap::new(),
         }
     }
@@ -413,6 +420,7 @@ impl<M: EngineMessage> Mailboxes<M> {
             counts: self.counts.as_mut_ptr(),
             pending: self.pending.as_mut_ptr(),
             reasm: self.reasm.as_mut_ptr(),
+            scratch: self.scratch.as_mut_ptr(),
         }
     }
 
@@ -468,6 +476,7 @@ impl<M: EngineMessage> Mailboxes<M> {
             bounds,
             pending,
             reasm,
+            scratch,
             ..
         } = self;
         let Inboxes { segs, spans } = next;
@@ -492,6 +501,7 @@ impl<M: EngineMessage> Mailboxes<M> {
                     &mut reasm[dv],
                     env.live[dv],
                     env,
+                    &mut scratch[g],
                 ));
             }
         }
@@ -616,15 +626,17 @@ mod tests {
         // impls in lib.rs on a wide Vec-like payload: the gather message.
         use crate::programs::gather::NbrList;
         let mut reasm = EdgeReassembly::default();
+        let mut scratch = Vec::new();
         let msg = NbrList(vec![3, 5, 8, 13, 21]);
-        let (decoded, frames) = split_roundtrip(7, &msg, 2, &mut reasm);
+        let (decoded, frames) = split_roundtrip(7, &msg, 2, &mut reasm, &mut scratch);
         assert_eq!(decoded.0, msg.0);
         assert_eq!(frames, 3, "5 words at 2 per frame");
-        // The edge buffer is reusable for the next message.
-        let (decoded, frames) = split_roundtrip(7, &NbrList(vec![1]), 2, &mut reasm);
+        // The edge buffer and encode arena are reusable for the next message.
+        let (decoded, frames) = split_roundtrip(7, &NbrList(vec![1]), 2, &mut reasm, &mut scratch);
         assert_eq!(decoded.0, vec![1]);
         assert_eq!(frames, 1);
         assert!(!reasm.any_in_flight());
+        assert!(scratch.capacity() >= 5, "arena capacity is retained");
     }
 
     #[test]
@@ -641,7 +653,7 @@ mod tests {
             (4usize, NbrList(vec![1, 2, 3, 4, 5])), // 3 frames at width 2
             (1, NbrList(vec![9])),                  // within budget: whole
         ];
-        let tally = finalize_inbox(&mut inbox, &mut reasm, 0, &env);
+        let tally = finalize_inbox(&mut inbox, &mut reasm, 0, &env, &mut Vec::new());
         assert_eq!(tally.fragments, 3);
         assert_eq!(tally.wire_width, 5, "delivered width drives the charge");
         assert_eq!(inbox[0].0, 1, "sender sort still applies");
@@ -662,12 +674,12 @@ mod tests {
             live: &[],
         };
         let mut inbox: Vec<(VertexId, u64)> = vec![(2, 5), (0, 9)];
-        let tally = finalize_inbox(&mut inbox, &mut reasm, 0, &env);
+        let tally = finalize_inbox(&mut inbox, &mut reasm, 0, &env, &mut Vec::new());
         assert_eq!(tally.wire_width, 1);
         assert_eq!(tally.fragments, 0);
         assert_eq!(inbox, vec![(0, 9), (2, 5)], "sort still applies");
         let mut empty: Vec<(VertexId, u64)> = Vec::new();
-        let tally = finalize_inbox(&mut empty, &mut reasm, 0, &env);
+        let tally = finalize_inbox(&mut empty, &mut reasm, 0, &env, &mut Vec::new());
         assert_eq!(tally.wire_width, 0, "empty inbox charges nothing");
     }
 }

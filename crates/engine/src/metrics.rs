@@ -47,6 +47,11 @@ pub struct RoundMetrics {
     pub fragments: usize,
     /// Nodes whose halt vote was still "active" when the round started.
     pub active_nodes: usize,
+    /// Fraction of live nodes actually *stepped* this round — the frontier
+    /// density. 1.0 with frontier gating off (or every node active); tails
+    /// of peeling levels and ruling-forest floods decay toward 0 as the
+    /// quiescent bulk is skipped. `bench_trend` charts this decay.
+    pub active_frac: f64,
     /// Wall-clock time of the round (compute + routing).
     pub wall: Duration,
     /// Wall-clock time of the routing phase alone (arena drain + per-inbox
@@ -206,6 +211,17 @@ impl EngineMetrics {
         self.rounds.iter().map(|r| r.route_wall).sum()
     }
 
+    /// Mean per-round frontier density
+    /// ([`active_frac`](RoundMetrics::active_frac)) across all executed
+    /// rounds — the one-number summary the bench artifact records. 1.0 for
+    /// an empty run (nothing was skippable).
+    pub fn mean_active_frac(&self) -> f64 {
+        if self.rounds.is_empty() {
+            return 1.0;
+        }
+        self.rounds.iter().map(|r| r.active_frac).sum::<f64>() / self.rounds.len() as f64
+    }
+
     /// The per-round message counts — the replay-determinism fingerprint
     /// (equal seeds must produce equal fingerprints at any shard count).
     pub fn message_counts(&self) -> Vec<usize> {
@@ -256,6 +272,7 @@ mod tests {
             physical_rounds: 1,
             fragments: 0,
             active_nodes: 3,
+            active_frac: 1.0,
             wall: Duration::from_micros(10),
             route_wall: Duration::from_micros(4),
         }

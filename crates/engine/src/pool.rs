@@ -1,11 +1,30 @@
-//! The persistent worker-pool executor: threads spawned once per session,
-//! running a **two-phase round protocol** — compute, then routing — with
-//! every phase worker-parallel.
+//! The persistent worker-pool executor: a **type-erased, session-shareable
+//! thread pool** ([`EnginePool`]) driving a **two-phase round protocol** —
+//! compute, then routing — with every phase worker-parallel.
 //!
 //! PR 1's driver spawned fresh scoped threads every round; PR 2 replaced
-//! that with a persistent pool but still routed messages on the driver
-//! thread. This revision moves routing onto the workers too. Each round is
-//! two epochs on the same reusable barrier pair:
+//! that with a persistent per-session pool but still routed messages on the
+//! driver thread; a later revision moved routing onto the workers too. This
+//! revision splits the executor in two layers so the *threads* can outlive
+//! any single session:
+//!
+//! * [`PoolCore`] — the type-erased substrate: OS threads, the
+//!   `start`/`done` barrier pair, a lifetime-erased job pointer, and
+//!   per-worker panic slots. It knows nothing about message types, so one
+//!   core can serve an `EngineSession<GatherProgram>` and an
+//!   `EngineSession<RulingProgram>` back to back — which is exactly what a
+//!   peeling pipeline does, session per level.
+//! * [`WorkerPool`] — the typed session layer: staging arenas and route
+//!   tallies for one session's message type, translated into plain
+//!   `Fn(group)` jobs for the core. All typed state lives here; the core
+//!   only ever sees `&dyn Fn(usize)`.
+//!
+//! Sessions either spawn a private core (the historical behavior) or
+//! borrow a shared [`EnginePool`] via
+//! [`EngineConfig::with_pool`](crate::EngineConfig::with_pool) — thread
+//! spawns then happen once per *pipeline*, not once per session.
+//!
+//! Each round is two epochs on the same reusable barrier pair:
 //!
 //! * **Compute epoch** — every worker group walks its dense vertex range,
 //!   calling `on_round` and staging outbound traffic in its own arena. The
@@ -29,29 +48,29 @@
 //! shard count remain pure performance knobs.
 //!
 //! * **Worker lifetime** — `workers - 1` OS threads are spawned when the
-//!   session boots and live until it drops. The driver thread itself
-//!   executes worker group 0 in both epochs, so a `workers = 1` session
-//!   spawns no threads at all and runs everything inline with zero
-//!   synchronization.
+//!   core boots (per session by default, once per pipeline with a shared
+//!   pool) and live until the last [`EnginePool`] handle drops. The driver
+//!   thread itself executes worker group 0 in both epochs, so a
+//!   `workers = 1` pool spawns no threads at all and runs everything inline
+//!   with zero synchronization.
 //! * **Barrier protocol** — each epoch is one `start`/`done` rendezvous.
-//!   The driver writes every worker's task slot and the shared phase flag,
-//!   crosses `start`, does its own group's share, and crosses `done`;
-//!   workers park in between. Barrier rendezvous establishes the
-//!   happens-before edges that make the slot writes and arena handoffs
-//!   safe.
-//! * **Panic discipline** — worker work runs under `catch_unwind`; a panic
-//!   is recorded in the worker's slot, the worker still reaches the `done`
-//!   barrier, and the driver resumes the unwind on its own thread. The
-//!   protocol therefore never deadlocks: every participant reaches every
-//!   barrier, and `Drop` (which raises the shutdown flag and releases the
-//!   `start` barrier once more) always joins cleanly — even while
-//!   unwinding from a propagated program panic.
+//!   The driver publishes the epoch's job pointer, crosses `start`, does
+//!   its own group's share, and crosses `done`; workers park in between.
+//!   Barrier rendezvous establishes the happens-before edges that make the
+//!   job publication and arena handoffs safe.
+//! * **Panic discipline** — every job invocation runs under
+//!   `catch_unwind`; a panic is recorded in the worker's panic slot, the
+//!   worker still reaches the `done` barrier, and the driver resumes the
+//!   unwind on its own thread. The protocol therefore never deadlocks:
+//!   every participant reaches every barrier, and shutdown (which raises
+//!   the flag and releases the `start` barrier once more) always joins
+//!   cleanly — even while unwinding from a propagated program panic.
 
 use std::any::Any;
 use std::cell::UnsafeCell;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier};
 use std::thread::JoinHandle;
 
@@ -60,10 +79,13 @@ use graphs::VertexId;
 use crate::context::NodeCtx;
 use crate::faults::{FaultAction, FaultPlan};
 use crate::mailbox::{finalize_inbox, GroupInboxes, Inboxes, RouteTally, RouteTargets, Routed};
-use crate::program::{EngineMessage, NodeProgram, Outbox};
+use crate::program::{Activation, EngineMessage, NodeProgram, Outbox};
 
-const PHASE_COMPUTE: u8 = 0;
-const PHASE_ROUTE: u8 = 1;
+/// Global count of worker threads ever spawned by any [`PoolCore`] in this
+/// process — the observable that pins "pool sharing actually shares": a
+/// peeling pipeline reusing one [`EnginePool`] must hold this flat across
+/// levels. Exposed as [`crate::worker_threads_spawned`].
+pub(crate) static SPAWNED: AtomicUsize = AtomicUsize::new(0);
 
 /// Everything the staging path needs besides the outbox itself: the fault
 /// plan, the view's id tables, the group partition, and the CONGEST budget.
@@ -79,6 +101,10 @@ pub(crate) struct StageEnv<'a> {
     pub(crate) bounds: &'a [usize],
     /// Per-message width budget (`usize::MAX` = no CONGEST mode).
     pub(crate) congest: usize,
+    /// Frontier-sparse gating: when set, a node with an empty inbox is
+    /// stepped only if its [`Activation`] hint requests the round. Cleared
+    /// by [`EngineConfig::with_frontier(false)`] to force full scans.
+    pub(crate) frontier: bool,
 }
 
 impl StageEnv<'_> {
@@ -137,6 +163,9 @@ pub(crate) struct ShardYield<M> {
     pub(crate) max_width: usize,
     /// Nodes whose halt vote was still "active" when the round started.
     pub(crate) active: usize,
+    /// Nodes actually stepped (`on_round` called) this round — the
+    /// frontier. Equals the range length when gating is off.
+    pub(crate) stepped: usize,
 }
 
 impl<M> ShardYield<M> {
@@ -153,6 +182,7 @@ impl<M> ShardYield<M> {
             lost: 0,
             max_width: 0,
             active: 0,
+            stepped: 0,
         }
     }
 
@@ -192,12 +222,20 @@ impl<M> ShardYield<M> {
         self.lost = 0;
         self.max_width = 0;
         self.active = 0;
+        self.stepped = 0;
     }
 }
 
-/// Steps every node of `programs`/`ctxs` (one group's dense range),
+/// Steps the nodes of `programs`/`ctxs` (one group's dense range),
 /// reading inboxes from the group's segment view and expanding outboxes
 /// into `y`'s bucketed arena, applying faults.
+///
+/// With `env.frontier` set, a node whose inbox is empty is stepped only if
+/// its [`Activation`](crate::Activation) hint requests the round — the
+/// frontier-sparse fast path that turns quiescent-bulk rounds from `O(n)`
+/// program steps into `O(frontier)`. The skip decision is a pure function
+/// of shard-invariant state (the hint and the routed traffic), so gated
+/// runs replay bit-identically at any shard count.
 pub(crate) fn run_range<P: NodeProgram>(
     programs: &mut [P],
     ctxs: &mut [NodeCtx<'_>],
@@ -212,8 +250,21 @@ pub(crate) fn run_range<P: NodeProgram>(
         if !p.halted() {
             y.active += 1;
         }
+        let inbox = inboxes.inbox(i);
+        if env.frontier && inbox.is_empty() {
+            let wanted = match p.activation() {
+                Activation::EveryRound => true,
+                Activation::OnMessage => false,
+                Activation::WakeAt(r) => round >= r,
+            };
+            if !wanted {
+                // An implicit Silent step: state untouched, nothing staged.
+                continue;
+            }
+        }
+        y.stepped += 1;
         ctx.round = round;
-        let outbox = p.on_round(ctx, inboxes.inbox(i));
+        let outbox = p.on_round(ctx, inbox);
         stage_outbox(ctx.id, outbox, ctx.neighbors, round, env, y);
     }
 }
@@ -437,11 +488,27 @@ unsafe fn route_range<M: EngineMessage>(
 ) -> RouteTally {
     let base = range.start;
     // SAFETY: `range` is this worker's exclusive slice of the per-vertex
-    // arrays; segment and pending list `group` are ours alone.
+    // arrays; segment, pending list, and encode arena `group` are ours
+    // alone.
     let counts = unsafe { std::slice::from_raw_parts_mut(t.counts.add(base), range.len()) };
     let spans = unsafe { std::slice::from_raw_parts_mut(t.spans.add(base), range.len()) };
     let pending = unsafe { &mut *t.pending.add(group) };
     let seg = unsafe { &mut *t.segs.add(group) };
+    let scratch = unsafe { &mut *t.scratch.add(group) };
+
+    // Frontier fast path: a group no traffic targets this round rebuilds
+    // to all-empty inboxes without walking the counting sort — quiet
+    // groups cost one span memset, not O(range + messages).
+    let quiet = pending.is_empty()
+        && arenas
+            .iter()
+            // SAFETY: shared view of the arena; bucket `group` is ours.
+            .all(|arena| unsafe { (*arena.0.get()).bucket_shared(group) }.is_empty());
+    if quiet {
+        seg.clear();
+        spans.fill((0, 0));
+        return RouteTally::default();
+    }
 
     // Counting pass: pending-delayed traffic plus every arena's bucket.
     counts.fill(0);
@@ -497,6 +564,10 @@ unsafe fn route_range<M: EngineMessage>(
 
     let mut tally = RouteTally::default();
     for (i, &(start, len)) in spans.iter().enumerate() {
+        // Empty spans have nothing to split, sort, or reorder.
+        if len == 0 {
+            continue;
+        }
         let dv = base + i;
         // SAFETY: the range's reassembly buffers are ours alone.
         let buffers = unsafe { &mut *t.reasm.add(dv) };
@@ -505,175 +576,11 @@ unsafe fn route_range<M: EngineMessage>(
             buffers,
             env.live[dv],
             env,
+            scratch,
         ));
     }
     tally
 }
-
-/// One worker's task slot: the raw inputs the driver writes before the
-/// `start` barrier and the outputs (panic payload) it reads after the
-/// `done` barrier. The barrier rendezvous is the synchronization; the cell
-/// is never touched concurrently.
-struct WorkerTask<P: NodeProgram> {
-    // Compute-epoch inputs.
-    programs: *mut P,
-    ctxs: *mut NodeCtx<'static>,
-    len: usize,
-    /// This group's current inbox segment (contiguous payload arena).
-    seg: *const (VertexId, P::Message),
-    seg_len: usize,
-    /// This group's span rows (already offset to the range start; `len`
-    /// entries).
-    spans: *const (usize, usize),
-    env: RawEnv,
-    round: u64,
-    // Routing-epoch inputs.
-    targets: RouteTargets<P::Message>,
-    route_start: usize,
-    route_end: usize,
-    route_env: RawRouteEnv,
-    // Outputs.
-    tally: RouteTally,
-    panic: Option<Box<dyn Any + Send + 'static>>,
-}
-
-impl<P: NodeProgram> Default for WorkerTask<P> {
-    fn default() -> Self {
-        WorkerTask {
-            programs: std::ptr::null_mut(),
-            ctxs: std::ptr::null_mut(),
-            len: 0,
-            seg: std::ptr::null(),
-            seg_len: 0,
-            spans: std::ptr::null(),
-            env: RawEnv::null(),
-            round: 0,
-            targets: RouteTargets::null(),
-            route_start: 0,
-            route_end: 0,
-            route_env: RawRouteEnv::null(),
-            tally: RouteTally::default(),
-            panic: None,
-        }
-    }
-}
-
-/// Raw-pointer form of [`RouteEnv`], for crossing the task slot. The driver
-/// keeps the borrowed originals alive for the whole epoch.
-#[derive(Clone, Copy)]
-struct RawRouteEnv {
-    split: usize,
-    round: u64,
-    reorder: u64,
-    has_reorder: bool,
-    live: *const VertexId,
-    live_len: usize,
-}
-
-impl RawRouteEnv {
-    fn null() -> Self {
-        RawRouteEnv {
-            split: usize::MAX,
-            round: 0,
-            reorder: 0,
-            has_reorder: false,
-            live: std::ptr::null(),
-            live_len: 0,
-        }
-    }
-
-    fn from_env(env: &RouteEnv<'_>) -> Self {
-        RawRouteEnv {
-            split: env.split,
-            round: env.round,
-            reorder: env.reorder.unwrap_or(0),
-            has_reorder: env.reorder.is_some(),
-            live: env.live.as_ptr(),
-            live_len: env.live.len(),
-        }
-    }
-
-    /// # Safety
-    ///
-    /// The `live` pointer must be live for `'a` (the epoch window).
-    unsafe fn as_env<'a>(&self) -> RouteEnv<'a> {
-        RouteEnv {
-            split: self.split,
-            round: self.round,
-            reorder: self.has_reorder.then_some(self.reorder),
-            live: unsafe { std::slice::from_raw_parts(self.live, self.live_len) },
-        }
-    }
-}
-
-/// Raw-pointer form of [`StageEnv`], for crossing the task slot. The driver
-/// keeps the borrowed originals alive for the whole epoch.
-#[derive(Clone, Copy)]
-struct RawEnv {
-    faults: *const FaultPlan,
-    dense: *const usize,
-    dense_len: usize,
-    live: *const VertexId,
-    live_len: usize,
-    bounds: *const usize,
-    bounds_len: usize,
-    congest: usize,
-}
-
-impl RawEnv {
-    fn null() -> Self {
-        RawEnv {
-            faults: std::ptr::null(),
-            dense: std::ptr::null(),
-            dense_len: 0,
-            live: std::ptr::null(),
-            live_len: 0,
-            bounds: std::ptr::null(),
-            bounds_len: 0,
-            congest: usize::MAX,
-        }
-    }
-
-    fn from_env(env: &StageEnv<'_>) -> Self {
-        RawEnv {
-            faults: env.faults,
-            dense: env.dense.as_ptr(),
-            dense_len: env.dense.len(),
-            live: env.live.as_ptr(),
-            live_len: env.live.len(),
-            bounds: env.bounds.as_ptr(),
-            bounds_len: env.bounds.len(),
-            congest: env.congest,
-        }
-    }
-
-    /// # Safety
-    ///
-    /// All pointers must be live for `'a` (the epoch window).
-    unsafe fn as_env<'a>(&self) -> StageEnv<'a> {
-        unsafe {
-            StageEnv {
-                faults: &*self.faults,
-                dense: std::slice::from_raw_parts(self.dense, self.dense_len),
-                live: std::slice::from_raw_parts(self.live, self.live_len),
-                bounds: std::slice::from_raw_parts(self.bounds, self.bounds_len),
-                congest: self.congest,
-            }
-        }
-    }
-}
-
-struct Slot<P: NodeProgram> {
-    cell: UnsafeCell<WorkerTask<P>>,
-}
-
-// SAFETY: slots hold raw pointers into session-owned arrays. Access is
-// strictly alternated between the driver (outside the start→done window)
-// and exactly one worker (inside it); the two barriers publish every write
-// before the other side reads. The pointees (`P`, `NodeCtx`, messages) are
-// all `Send`.
-unsafe impl<P: NodeProgram> Send for Slot<P> {}
-unsafe impl<P: NodeProgram> Sync for Slot<P> {}
 
 /// One worker group's staging arena, shared so the routing epoch can hand
 /// out disjoint buckets across workers.
@@ -686,64 +593,267 @@ pub(crate) struct ArenaSlot<M>(UnsafeCell<ShardYield<M>>);
 unsafe impl<M: EngineMessage> Send for ArenaSlot<M> {}
 unsafe impl<M: EngineMessage> Sync for ArenaSlot<M> {}
 
-struct PoolShared<P: NodeProgram> {
+/// One worker group's routing-epoch output slot, written by group `g`
+/// inside the epoch and read by the driver after `done`.
+struct TallySlot(UnsafeCell<RouteTally>);
+
+// SAFETY: slot `g` is written only by group `g`'s executor inside the
+// start→done window and read only by the driver outside it; the barriers
+// publish the handoff.
+unsafe impl Send for TallySlot {}
+unsafe impl Sync for TallySlot {}
+
+/// A raw pointer that crosses the job closure into worker threads. The
+/// aliasing discipline (disjoint per-group ranges under the epoch barriers)
+/// lives with the code that derives slices from it.
+struct SyncPtr<T>(*mut T);
+
+impl<T> Clone for SyncPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SyncPtr<T> {}
+
+impl<T> SyncPtr<T> {
+    /// Unwraps the pointer. A method (whole-struct receiver) rather than
+    /// field access, so closure capture analysis moves the `Sync` wrapper
+    /// instead of reaching through to the bare (non-`Sync`) pointer field.
+    fn get(self) -> *mut T {
+        self.0
+    }
+}
+
+// SAFETY: the pointer is only dereferenced through the epoch protocol's
+// disjoint-range discipline; the pointees are `Send` (programs, contexts).
+unsafe impl<T> Send for SyncPtr<T> {}
+unsafe impl<T> Sync for SyncPtr<T> {}
+
+/// The lifetime-erased job pointer a [`PoolCore`] epoch runs: the typed
+/// layer's closure, valid strictly for the start→done window.
+#[derive(Clone, Copy)]
+struct ErasedJob(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (it is invoked concurrently by design) and
+// the driver keeps it alive for the whole epoch window.
+unsafe impl Send for ErasedJob {}
+unsafe impl Sync for ErasedJob {}
+
+/// The type-erased pool substrate: threads, barriers, the current epoch's
+/// job, and per-worker panic slots. Knows nothing about message or program
+/// types, so one core can serve sessions of different types back to back —
+/// the whole point of pool sharing.
+struct PoolCore {
     /// Epoch entry: driver + every worker.
     start: Barrier,
     /// Epoch exit: driver + every worker.
     done: Barrier,
-    /// Raised by `Drop` before a final `start` release.
+    /// Raised by the owner's drop before a final `start` release.
     shutdown: AtomicBool,
-    /// Which kind of epoch the next `start` release begins.
-    phase: AtomicU8,
-    /// One slot per spawned worker (the driver's own group has none).
-    slots: Vec<Slot<P>>,
-    /// One staging arena per worker *group* (index 0 = the driver's own).
-    arenas: Vec<ArenaSlot<P::Message>>,
+    /// Reentry guard: a core drives one epoch at a time. Two sessions may
+    /// *own* clones of one pool, but only one may be inside `run` — the
+    /// normal sequential-pipeline case; concurrent use is a caller bug
+    /// caught loudly.
+    busy: AtomicBool,
+    /// The epoch's job, published by the driver before `start`.
+    job: UnsafeCell<Option<ErasedJob>>,
+    /// One panic slot per spawned worker (the driver's group has none).
+    panics: Vec<UnsafeCell<Option<Box<dyn Any + Send + 'static>>>>,
 }
 
-/// The session-lifetime executor. `threads` workers park between epochs;
-/// the driver executes group 0 itself, so a pool with zero threads is the
-/// sequential fast path (its barriers have a single participant and never
-/// block).
-pub(crate) struct WorkerPool<P: NodeProgram + 'static> {
-    shared: Arc<PoolShared<P>>,
+// SAFETY: `job` is written by the driver while workers are parked and read
+// by workers inside the window; `panics[i]` is written only by worker `i`
+// inside the window and read by the driver outside it. The barriers
+// publish every handoff.
+unsafe impl Send for PoolCore {}
+unsafe impl Sync for PoolCore {}
+
+impl PoolCore {
+    /// Runs one epoch: publishes `job`, releases the workers, runs group 0
+    /// on the calling thread, and rejoins. Every invocation is wrapped in
+    /// `catch_unwind`; the first captured panic is returned after the
+    /// epoch fully closes, so the pool always stays reusable.
+    fn run(&self, job: &(dyn Fn(usize) + Sync)) -> Result<(), Box<dyn Any + Send + 'static>> {
+        assert!(
+            !self.busy.swap(true, Ordering::Acquire),
+            "EnginePool is already driving an epoch: a shared pool may be \
+             used by one session at a time"
+        );
+        // SAFETY: workers are parked at `start`; lifetime erasure is sound
+        // because the pointer is consumed strictly inside the start→done
+        // window, during which this frame keeps `job` alive.
+        unsafe {
+            let erased: *const (dyn Fn(usize) + Sync) =
+                std::mem::transmute::<*const (dyn Fn(usize) + Sync), _>(job);
+            *self.job.get() = Some(ErasedJob(erased));
+        }
+        self.start.wait();
+        let home = catch_unwind(AssertUnwindSafe(|| job(0)));
+        self.done.wait();
+        self.busy.store(false, Ordering::Release);
+        let mut payload = home.err();
+        for slot in &self.panics {
+            // SAFETY: past `done` every worker is parked again.
+            if let Some(p) = unsafe { (*slot.get()).take() } {
+                payload.get_or_insert(p);
+            }
+        }
+        match payload {
+            Some(p) => Err(p),
+            None => Ok(()),
+        }
+    }
+}
+
+fn core_worker_loop(core: &PoolCore, index: usize) {
+    loop {
+        core.start.wait();
+        if core.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // SAFETY: inside the start→done window the job pointer is live and
+        // the driver published it before releasing `start`.
+        let job = unsafe { (*core.job.get()).expect("epoch job published") };
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.0)(index + 1) }));
+        if let Err(p) = result {
+            // SAFETY: panic slot `index` is this worker's own.
+            unsafe { *core.panics[index].get() = Some(p) };
+        }
+        core.done.wait();
+    }
+}
+
+/// Owns the core and its threads; dropped when the last [`EnginePool`]
+/// clone goes away.
+struct PoolOwner {
+    core: Arc<PoolCore>,
     handles: Vec<JoinHandle<()>>,
 }
 
-impl<P: NodeProgram + 'static> WorkerPool<P> {
-    /// Spawns `threads` parked workers (usually `workers - 1`), with one
-    /// arena per worker group (`threads + 1`, bucketed likewise).
-    pub(crate) fn spawn(threads: usize) -> Self {
-        let groups = threads + 1;
-        let shared = Arc::new(PoolShared {
+impl Drop for PoolOwner {
+    fn drop(&mut self) {
+        self.core.shutdown.store(true, Ordering::Release);
+        // Workers are always parked at `start` between epochs (the panic
+        // discipline guarantees every epoch closes), so one release lets
+        // them observe the flag and exit.
+        self.core.start.wait();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A shareable worker-thread pool: spawn once, drive many
+/// [`EngineSession`](crate::EngineSession)s — of *different* program types
+/// — without respawning threads per session.
+///
+/// By default every session boots its own private pool; a pipeline that
+/// creates sessions in a loop (peeling levels, phase sweeps) passes one
+/// `EnginePool` through [`EngineConfig::with_pool`](crate::EngineConfig::with_pool)
+/// instead, making thread spawns a per-pipeline cost. Cloning is cheap
+/// (`Arc`); threads shut down when the last clone drops. A pool drives one
+/// session's epoch at a time — sharing is for *sequential* reuse, and
+/// concurrent use panics loudly.
+pub struct EnginePool {
+    owner: Arc<PoolOwner>,
+}
+
+impl Clone for EnginePool {
+    fn clone(&self) -> Self {
+        EnginePool {
+            owner: Arc::clone(&self.owner),
+        }
+    }
+}
+
+impl std::fmt::Debug for EnginePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EnginePool")
+            .field("workers", &self.workers())
+            .finish()
+    }
+}
+
+impl EnginePool {
+    /// Spawns a pool with `workers` worker groups total: `workers - 1` OS
+    /// threads plus the driving thread itself. `workers = 1` spawns no
+    /// threads and runs everything inline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers >= 1, "a pool needs at least the driver itself");
+        let threads = workers - 1;
+        let core = Arc::new(PoolCore {
             start: Barrier::new(threads + 1),
             done: Barrier::new(threads + 1),
             shutdown: AtomicBool::new(false),
-            phase: AtomicU8::new(PHASE_COMPUTE),
-            slots: (0..threads)
-                .map(|_| Slot {
-                    cell: UnsafeCell::new(WorkerTask::default()),
-                })
-                .collect(),
-            arenas: (0..groups)
-                .map(|_| ArenaSlot(UnsafeCell::new(ShardYield::with_groups(groups))))
-                .collect(),
+            busy: AtomicBool::new(false),
+            job: UnsafeCell::new(None),
+            panics: (0..threads).map(|_| UnsafeCell::new(None)).collect(),
         });
         let handles = (0..threads)
             .map(|i| {
-                let shared = Arc::clone(&shared);
+                let core = Arc::clone(&core);
+                SPAWNED.fetch_add(1, Ordering::Relaxed);
                 std::thread::Builder::new()
                     .name(format!("engine-worker-{i}"))
-                    .spawn(move || worker_loop(&shared, i))
+                    .spawn(move || core_worker_loop(&core, i))
                     .expect("spawn engine worker")
             })
             .collect();
-        WorkerPool { shared, handles }
+        EnginePool {
+            owner: Arc::new(PoolOwner { core, handles }),
+        }
     }
 
     /// Number of worker groups (spawned threads + the driver).
+    pub fn workers(&self) -> usize {
+        self.owner.core.panics.len() + 1
+    }
+
+    fn core(&self) -> &PoolCore {
+        &self.owner.core
+    }
+}
+
+/// The typed session layer over an [`EnginePool`]: one session's staging
+/// arenas and route tallies, translated into plain `Fn(group)` jobs for the
+/// type-erased core. A session with `groups < pool.workers()` leaves the
+/// surplus workers idling at the barriers (they run the job as a no-op).
+pub(crate) struct WorkerPool<P: NodeProgram + 'static> {
+    pool: EnginePool,
+    /// One staging arena per worker *group* (index 0 = the driver's own).
+    arenas: Vec<ArenaSlot<P::Message>>,
+    /// One routing-tally slot per worker group.
+    tallies: Vec<TallySlot>,
+}
+
+impl<P: NodeProgram + 'static> WorkerPool<P> {
+    /// Wraps `pool` for a session partitioned into `groups` worker groups
+    /// (`groups <= pool.workers()`), with one arena per group (bucketed
+    /// likewise).
+    pub(crate) fn new(pool: EnginePool, groups: usize) -> Self {
+        assert!(
+            groups >= 1 && groups <= pool.workers(),
+            "worker groups must fit the pool"
+        );
+        WorkerPool {
+            pool,
+            arenas: (0..groups)
+                .map(|_| ArenaSlot(UnsafeCell::new(ShardYield::with_groups(groups))))
+                .collect(),
+            tallies: (0..groups)
+                .map(|_| TallySlot(UnsafeCell::new(RouteTally::default())))
+                .collect(),
+        }
+    }
+
+    /// Number of worker groups this session partitioned into (≤ the pool's
+    /// worker count).
     pub(crate) fn workers(&self) -> usize {
-        self.handles.len() + 1
+        self.arenas.len()
     }
 
     /// Runs one **compute epoch**: group `i` of `ranges` steps its programs
@@ -765,49 +875,36 @@ impl<P: NodeProgram + 'static> WorkerPool<P> {
         round: u64,
         ranges: &[Range<usize>],
     ) -> Result<(), Box<dyn Any + Send + 'static>> {
-        assert_eq!(
-            ranges.len(),
-            self.shared.arenas.len(),
-            "one range per group"
-        );
-        // Derive every group's slice from the same root pointers so the
-        // driver's group-0 reborrow cannot invalidate the workers' parts.
-        let prog_root = programs.as_mut_ptr();
-        let ctx_root = ctxs.as_mut_ptr().cast::<NodeCtx<'static>>();
-        let raw_env = RawEnv::from_env(env);
-        for (w, range) in ranges.iter().enumerate().skip(1) {
-            // SAFETY: workers are parked at the `start` barrier, so the
-            // driver is the sole accessor of the slot right now.
-            let task = unsafe { &mut *self.shared.slots[w - 1].cell.get() };
-            let view = inboxes.group(w, range.clone());
-            task.programs = unsafe { prog_root.add(range.start) };
-            task.ctxs = unsafe { ctx_root.add(range.start) };
-            task.len = range.len();
-            task.seg = view.seg.as_ptr();
-            task.seg_len = view.seg.len();
-            task.spans = view.spans.as_ptr();
-            task.env = raw_env;
-            task.round = round;
-        }
-        self.shared.phase.store(PHASE_COMPUTE, Ordering::Release);
-        self.shared.start.wait();
-        let home_range = ranges[0].clone();
-        // SAFETY: group 0 is disjoint from every slot's range; the pointers
-        // stay valid for the whole epoch because the driver owns the arrays.
-        let (home_programs, home_ctxs) = unsafe {
-            (
-                std::slice::from_raw_parts_mut(prog_root.add(home_range.start), home_range.len()),
-                std::slice::from_raw_parts_mut(ctx_root.add(home_range.start), home_range.len()),
-            )
+        assert_eq!(ranges.len(), self.arenas.len(), "one range per group");
+        // Every group derives its slice from the same root pointers, so no
+        // group's reborrow can invalidate another's.
+        let prog_root = SyncPtr(programs.as_mut_ptr());
+        let ctx_root = SyncPtr(ctxs.as_mut_ptr());
+        let arenas = &self.arenas;
+        let job = move |g: usize| {
+            // Surplus workers of a wider shared pool have no group.
+            let Some(range) = ranges.get(g) else { return };
+            // SAFETY: `ranges` are disjoint, so group `g`'s program/context
+            // slices alias no other group's; arena `g` is group `g`'s own
+            // during a compute epoch; the driver keeps every pointee alive
+            // for the whole epoch window.
+            let (progs, ctxs) = unsafe {
+                (
+                    std::slice::from_raw_parts_mut(prog_root.get().add(range.start), range.len()),
+                    std::slice::from_raw_parts_mut(ctx_root.get().add(range.start), range.len()),
+                )
+            };
+            let arena = unsafe { &mut *arenas[g].0.get() };
+            run_range(
+                progs,
+                ctxs,
+                inboxes.group(g, range.clone()),
+                round,
+                env,
+                arena,
+            );
         };
-        // SAFETY: during a compute epoch arena 0 belongs to the driver.
-        let home_arena = unsafe { &mut *self.shared.arenas[0].0.get() };
-        let home_view = inboxes.group(0, home_range);
-        let home_result = catch_unwind(AssertUnwindSafe(|| {
-            run_range(home_programs, home_ctxs, home_view, round, env, home_arena);
-        }));
-        self.shared.done.wait();
-        self.close_epoch(home_result.err())
+        self.pool.core().run(&job)
     }
 
     /// Runs one **routing epoch**: worker `g` rebuilds group `g`'s `next`
@@ -822,59 +919,25 @@ impl<P: NodeProgram + 'static> WorkerPool<P> {
         ranges: &[Range<usize>],
         env: &RouteEnv<'_>,
     ) -> Result<RouteTally, Box<dyn Any + Send + 'static>> {
-        assert_eq!(
-            ranges.len(),
-            self.shared.arenas.len(),
-            "one range per group"
-        );
-        let raw_env = RawRouteEnv::from_env(env);
-        for (w, range) in ranges.iter().enumerate().skip(1) {
-            // SAFETY: workers are parked at the `start` barrier.
-            let task = unsafe { &mut *self.shared.slots[w - 1].cell.get() };
-            task.targets = targets;
-            task.route_start = range.start;
-            task.route_end = range.end;
-            task.route_env = raw_env;
-            task.tally = RouteTally::default();
-        }
-        self.shared.phase.store(PHASE_ROUTE, Ordering::Release);
-        self.shared.start.wait();
-        let arenas = &self.shared.arenas;
-        let home_range = ranges[0].clone();
-        let home_result = catch_unwind(AssertUnwindSafe(|| {
-            // SAFETY: bucket 0 of every arena, segment/pending slot 0, and
-            // the span/count/reassembly entries of group 0's range belong
-            // to the driver during a routing epoch.
-            unsafe { route_range(arenas, 0, targets, home_range, env) }
-        }));
-        self.shared.done.wait();
-        let (payload, mut tally) = match home_result {
-            Ok(t) => (None, t),
-            Err(p) => (Some(p), RouteTally::default()),
+        assert_eq!(ranges.len(), self.arenas.len(), "one range per group");
+        let arenas = &self.arenas;
+        let tallies = &self.tallies;
+        let job = move |g: usize| {
+            let Some(range) = ranges.get(g) else { return };
+            // SAFETY: bucket `g` of every arena, segment/pending/scratch
+            // slot `g`, and the span/count/reassembly entries of `range`
+            // belong exclusively to group `g` during a routing epoch;
+            // tally slot `g` likewise.
+            let tally = unsafe { route_range(arenas, g, targets, range.clone(), env) };
+            unsafe { *tallies[g].0.get() = tally };
         };
-        for slot in &self.shared.slots {
+        self.pool.core().run(&job)?;
+        let mut total = RouteTally::default();
+        for slot in &self.tallies {
             // SAFETY: past the `done` barrier every worker is parked again.
-            tally.absorb(unsafe { (*slot.cell.get()).tally });
+            total.absorb(unsafe { *slot.0.get() });
         }
-        self.close_epoch(payload).map(|()| tally)
-    }
-
-    /// Gathers the epoch's panics (driver-side, workers parked again).
-    fn close_epoch(
-        &mut self,
-        mut payload: Option<Box<dyn Any + Send + 'static>>,
-    ) -> Result<(), Box<dyn Any + Send + 'static>> {
-        for slot in &self.shared.slots {
-            // SAFETY: past the `done` barrier every worker is parked again.
-            let task = unsafe { &mut *slot.cell.get() };
-            if let Some(p) = task.panic.take() {
-                payload.get_or_insert(p);
-            }
-        }
-        match payload {
-            Some(p) => Err(p),
-            None => Ok(()),
-        }
+        Ok(total)
     }
 
     /// The driver's own staging arena (group 0), for driver-side staging
@@ -884,7 +947,7 @@ impl<P: NodeProgram + 'static> WorkerPool<P> {
     pub(crate) fn home_arena(&mut self) -> &mut ShardYield<P::Message> {
         // SAFETY: workers are parked between epochs; `&mut self` keeps the
         // driver side exclusive.
-        unsafe { &mut *self.shared.arenas[0].0.get() }
+        unsafe { &mut *self.arenas[0].0.get() }
     }
 
     /// Visits every group's arena in deterministic group order (driver's
@@ -892,78 +955,11 @@ impl<P: NodeProgram + 'static> WorkerPool<P> {
     /// collects fault-delayed batches here. Exclusive access: workers are
     /// parked at the `start` barrier.
     pub(crate) fn collect_yields(&mut self, mut f: impl FnMut(&mut ShardYield<P::Message>)) {
-        for arena in &self.shared.arenas {
+        for arena in &self.arenas {
             // SAFETY: workers are parked; `&mut self` keeps the driver side
             // exclusive.
             f(unsafe { &mut *arena.0.get() });
         }
-    }
-}
-
-impl<P: NodeProgram + 'static> Drop for WorkerPool<P> {
-    fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::Release);
-        // Workers are always parked at `start` between epochs (the panic
-        // discipline guarantees every epoch closes), so one release lets
-        // them observe the flag and exit.
-        self.shared.start.wait();
-        for h in self.handles.drain(..) {
-            let _ = h.join();
-        }
-    }
-}
-
-fn worker_loop<P: NodeProgram>(shared: &PoolShared<P>, index: usize) {
-    loop {
-        shared.start.wait();
-        if shared.shutdown.load(Ordering::Acquire) {
-            return;
-        }
-        // SAFETY: between `start` and `done` this worker is the slot's sole
-        // accessor, and the driver guarantees the pointers are live and
-        // disjoint from every other group for the whole epoch.
-        let task = unsafe { &mut *shared.slots[index].cell.get() };
-        let phase = shared.phase.load(Ordering::Acquire);
-        let result = catch_unwind(AssertUnwindSafe(|| {
-            if phase == PHASE_COMPUTE {
-                let (programs, ctxs) = unsafe {
-                    (
-                        std::slice::from_raw_parts_mut(task.programs, task.len),
-                        std::slice::from_raw_parts_mut(task.ctxs, task.len),
-                    )
-                };
-                // SAFETY: the driver built these from the group's segment
-                // view and keeps the buffers alive for the whole epoch.
-                let inboxes = GroupInboxes {
-                    seg: unsafe { std::slice::from_raw_parts(task.seg, task.seg_len) },
-                    spans: unsafe { std::slice::from_raw_parts(task.spans, task.len) },
-                };
-                // SAFETY: the driver keeps the env's borrows alive for the
-                // whole epoch; arena `index + 1` is this worker's own.
-                let env = unsafe { task.env.as_env() };
-                let arena = unsafe { &mut *shared.arenas[index + 1].0.get() };
-                run_range(programs, ctxs, inboxes, task.round, &env, arena);
-            } else {
-                // SAFETY: routing epoch — bucket `index + 1` of every
-                // arena, segment/pending slot `index + 1`, and this
-                // worker's span/count/buffer range are exclusively ours;
-                // the driver keeps the env's borrows alive for the epoch.
-                let env = unsafe { task.route_env.as_env() };
-                task.tally = unsafe {
-                    route_range(
-                        &shared.arenas,
-                        index + 1,
-                        task.targets,
-                        task.route_start..task.route_end,
-                        &env,
-                    )
-                };
-            }
-        }));
-        if let Err(p) = result {
-            task.panic = Some(p);
-        }
-        shared.done.wait();
     }
 }
 
@@ -1004,6 +1000,7 @@ mod tests {
             live,
             bounds,
             congest: usize::MAX,
+            frontier: true,
         }
     }
 

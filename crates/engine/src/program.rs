@@ -110,11 +110,44 @@ impl<M> Outbox<M> {
     }
 }
 
+/// When a node wants its `on_round` step, **beyond** message arrival.
+///
+/// The engine always steps a node whose inbox is non-empty. `Activation`
+/// is the node's standing request for the empty-inbox case — the hint
+/// that lets frontier-sparse rounds skip the quiescent bulk of the graph
+/// (see [`NodeProgram::activation`]). A skipped step is semantically an
+/// `on_round` that would have returned [`Outbox::Silent`] without touching
+/// state, so the hint is purely an optimization *when the program keeps
+/// that contract*; the engine cannot check it, but
+/// [`EngineConfig::with_frontier(false)`](crate::EngineConfig::with_frontier)
+/// forces full scans so equivalence tests can.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    /// Step every round regardless of traffic — the conservative default;
+    /// a program that never overrides [`NodeProgram::activation`] runs
+    /// exactly as it always did.
+    EveryRound,
+    /// Step only when a message arrives. Right for nodes that are done (a
+    /// step is a no-op) or purely reactive (an empty-inbox step reads
+    /// nothing and changes nothing).
+    OnMessage,
+    /// Step when a message arrives **or** once `round >= the given round`
+    /// — for programs with an offline schedule (a peeling level, a
+    /// color-class slot, a flood deadline) that must fire on time even if
+    /// no neighbor speaks first.
+    WakeAt(u64),
+}
+
 /// The per-vertex program executed by the engine.
 ///
-/// Synchronous semantics: in every round the engine calls `on_round` on
-/// **every** node — halted or not — passing the messages its neighbors sent
-/// in the previous round, sorted by sender id. [`halted`](NodeProgram::halted)
+/// Synchronous semantics: in every round the engine steps every node whose
+/// inbox is non-empty or whose [`activation`](NodeProgram::activation)
+/// hint requests the round — with the default hint
+/// ([`Activation::EveryRound`]) that is **every** node, halted or not —
+/// passing the messages its neighbors sent in the previous round, sorted
+/// by sender id. A node skipped by its own hint behaves exactly as if its
+/// `on_round` had returned [`Outbox::Silent`] without touching state.
+/// [`halted`](NodeProgram::halted)
 /// is a *vote*: the engine ends a [`Stop::AllHalted`](crate::Stop::AllHalted)
 /// phase once every node votes to halt; a node may keep participating after
 /// voting (its vote is re-read every round). This mirrors the LOCAL model,
@@ -143,6 +176,19 @@ pub trait NodeProgram: Send {
 
     /// The node's current halt vote.
     fn halted(&self) -> bool;
+
+    /// The node's standing wake-up request for rounds in which **no
+    /// message arrives** (a non-empty inbox always steps the node). Read
+    /// once per round, before the step; must be a pure function of program
+    /// state, so it is shard-invariant like everything else.
+    ///
+    /// Overriding this is the frontier-sparse contract: whenever the hint
+    /// lets the engine skip a round, that round's `on_round` **would have
+    /// returned [`Outbox::Silent`] without changing state**. The default
+    /// keeps the engine's historical behavior of stepping everyone.
+    fn activation(&self) -> Activation {
+        Activation::EveryRound
+    }
 }
 
 #[cfg(test)]

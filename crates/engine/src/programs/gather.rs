@@ -28,7 +28,7 @@ use local_model::{clique_at_apex, merge_fresh, RoundLedger};
 use crate::context::NodeCtx;
 use crate::driver::{EngineConfig, EngineSession, Stop};
 use crate::metrics::EngineMetrics;
-use crate::program::{EngineMessage, NodeProgram, Outbox, WireCodec};
+use crate::program::{Activation, EngineMessage, NodeProgram, Outbox, WireCodec};
 
 /// Gather traffic: the rich/poor wake-up announcement, or one round's fresh
 /// ball members.
@@ -247,6 +247,18 @@ impl NodeProgram for GatherProgram {
 
     fn halted(&self) -> bool {
         self.done
+    }
+
+    /// Done nodes (poor vertices after the rich/poor round, everyone once
+    /// the flood completes) step only on traffic — their step is a pure
+    /// `Silent`. Unfinished nodes keep the full scan: an empty-inbox step
+    /// can still seed the flood or retire the node at the final flood round.
+    fn activation(&self) -> Activation {
+        if self.done {
+            Activation::OnMessage
+        } else {
+            Activation::EveryRound
+        }
     }
 }
 

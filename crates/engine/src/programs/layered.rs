@@ -21,7 +21,7 @@ use local_model::RoundLedger;
 use crate::context::NodeCtx;
 use crate::driver::{EngineConfig, EngineSession, Stop};
 use crate::metrics::EngineMetrics;
-use crate::program::{NodeProgram, Outbox};
+use crate::program::{Activation, NodeProgram, Outbox};
 
 /// The (depth, class) slot handled in 1-based round `round` of the layered
 /// sweep: depths count down from `max_depth`, classes count up within each
@@ -95,6 +95,20 @@ impl NodeProgram for LayeredGreedyProgram {
 
     fn halted(&self) -> bool {
         self.color != usize::MAX || self.depth == 0
+    }
+
+    /// A node's only scheduled event is its own slot round (inverting
+    /// [`layered_slot`]); every other empty-inbox step is a pure `Silent`.
+    /// Once colored — or for depth-0 roots, whose slot round lands past the
+    /// sweep — only neighbor announcements matter, and those arrive as
+    /// traffic. The sweep therefore steps one stable set (plus its
+    /// listeners) per round instead of the whole scope.
+    fn activation(&self) -> Activation {
+        if self.color != usize::MAX {
+            return Activation::OnMessage;
+        }
+        let slot_round = (self.max_depth - self.depth) * self.class_count + self.class + 1;
+        Activation::WakeAt(slot_round as u64)
     }
 }
 

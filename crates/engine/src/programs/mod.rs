@@ -51,6 +51,32 @@
 //! The constant-width programs are CONGEST-safe at one word as they stand;
 //! the gather, clique, and ruling floods are the `Vec`-payload traffic that
 //! dominates Theorem 1.3 and the reason split mode exists.
+//!
+//! # Worst-case frontier sizes
+//!
+//! Programs opt into frontier-sparse rounds by returning a non-default
+//! [`Activation`](crate::Activation) hint; the driver then skips `on_round`
+//! for hinted nodes with an empty inbox. The gain is bounded by how fast a
+//! program's frontier actually shrinks, and the worst case is always the
+//! full live set — gating degrades to the historical full scan (`O(n)`
+//! stepped nodes per round), never below it:
+//!
+//! * [`GatherProgram`] / [`CliqueProgram`]: every round floods every live
+//!   node until the radius is exhausted, so the frontier stays at `n` for
+//!   the whole session; `OnMessage` only trims the post-completion tail.
+//! * [`RulingProgram`]: the frontier is the surviving-ruler set plus every
+//!   node still receiving tokens — worst case `n` on a star-like level,
+//!   decaying with the ruler count on bounded-degree inputs.
+//! * [`LayeredGreedyProgram`]: `WakeAt` wakes exactly one (depth, class)
+//!   layer per slot round, so the per-round frontier is the largest layer —
+//!   worst case `n` when the layering is flat (e.g. a single depth).
+//! * `EveryRound` programs ([`CvProgram`], [`HPartitionProgram`],
+//!   [`RandomizedProgram`], [`SweepProgram`]): the frontier is `n` by
+//!   declaration; they broadcast every round, so there is nothing to skip.
+//!
+//! [`RoundMetrics::active_frac`](crate::RoundMetrics) reports the realized
+//! ratio per round; `bench_trend` charts its decay across committed bench
+//! artifacts.
 
 pub mod cole_vishkin;
 pub mod gather;

@@ -32,7 +32,7 @@ use local_model::{claim_choice, merge_fresh, ruling_beta, ruling_bits, RoundLedg
 use crate::context::NodeCtx;
 use crate::driver::{EngineConfig, EngineSession, Stop};
 use crate::metrics::EngineMetrics;
-use crate::program::{EngineMessage, NodeProgram, Outbox, WireCodec};
+use crate::program::{Activation, EngineMessage, NodeProgram, Outbox, WireCodec};
 
 /// Ruling-construction traffic.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -152,6 +152,10 @@ pub struct RulingProgram {
     parent: usize,
     dist: usize,
     keep: bool,
+    /// Next round whose step this node needs even without traffic — the
+    /// frontier-sparse wake schedule, recomputed after every step (see
+    /// [`RulingProgram::next_wake`]).
+    wake: u64,
 }
 
 impl RulingProgram {
@@ -167,6 +171,7 @@ impl RulingProgram {
             parent: usize::MAX,
             dist: usize::MAX,
             keep: false,
+            wake: 1,
         }
     }
 
@@ -287,12 +292,45 @@ impl RulingProgram {
         }
         Outbox::Silent
     }
+
+    /// The next round strictly after `r` whose step this node needs even
+    /// when no message arrives — every other round's step is a pure
+    /// `Silent` (tokens, claims, and `Keep` all arrive as traffic, which
+    /// always wakes a node). Three kinds of scheduled work exist:
+    ///
+    /// * the first round of the next bit level, where stale tokens must be
+    ///   cleared (`seen` non-empty) and surviving rulers may inject;
+    /// * the final level round, where surviving rulers crown themselves
+    ///   roots and seed the claiming BFS;
+    /// * the first pruning round, where roots and claimed subset vertices
+    ///   mark themselves kept and start the chain climbs.
+    ///
+    /// `u64::MAX` once every remaining step is message-driven.
+    fn next_wake(&self, r: usize) -> u64 {
+        let rule_rounds = self.alpha * self.bits;
+        let mut wake = u64::MAX;
+        if r < rule_rounds && (self.ruler || !self.seen.is_empty()) {
+            let level = r / self.alpha + usize::from(!r.is_multiple_of(self.alpha));
+            if level < self.bits {
+                wake = wake.min((level * self.alpha + 1) as u64);
+            }
+        }
+        if self.ruler && r < rule_rounds {
+            wake = wake.min(rule_rounds as u64);
+        }
+        let prune_start = rule_rounds + self.beta + 1;
+        if (self.ruler || self.in_subset) && r < prune_start {
+            wake = wake.min(prune_start as u64);
+        }
+        wake
+    }
 }
 
 impl NodeProgram for RulingProgram {
     type Message = RulingMsg;
 
     fn init(&mut self, _ctx: &mut NodeCtx<'_>) -> Outbox<RulingMsg> {
+        self.wake = self.next_wake(0);
         Outbox::Silent
     }
 
@@ -303,7 +341,7 @@ impl NodeProgram for RulingProgram {
     ) -> Outbox<RulingMsg> {
         let r = ctx.round as usize;
         let rule_rounds = self.alpha * self.bits;
-        if r <= rule_rounds {
+        let out = if r <= rule_rounds {
             let b = (r - 1) / self.alpha;
             let k = (r - 1) % self.alpha + 1;
             self.on_rule_round(ctx, inbox, b, k)
@@ -313,11 +351,26 @@ impl NodeProgram for RulingProgram {
             self.on_prune_round(ctx, inbox, r - rule_rounds - self.beta)
         } else {
             Outbox::Silent
-        }
+        };
+        self.wake = self.next_wake(r);
+        out
     }
 
     fn halted(&self) -> bool {
         self.keep
+    }
+
+    /// Kept nodes are done (every later step is a pure `Silent`); everyone
+    /// else sleeps until the next scheduled round — tokens, claims, and
+    /// `Keep` climbs arrive as traffic and wake their receivers on their
+    /// own. This is what collapses the long claim/prune tails from `O(n)`
+    /// steps per round to the BFS frontier.
+    fn activation(&self) -> Activation {
+        if self.keep {
+            Activation::OnMessage
+        } else {
+            Activation::WakeAt(self.wake)
+        }
     }
 }
 

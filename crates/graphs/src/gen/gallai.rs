@@ -47,8 +47,29 @@ pub fn random_gallai_tree(config: &GallaiTreeConfig, seed: u64) -> Graph {
     assert!(config.blocks >= 1);
     assert!(config.max_clique >= 2);
     assert!(config.max_odd_cycle >= 5 && config.max_odd_cycle % 2 == 1);
+    super::stream_csr(|emit| replay_gallai(config, seed, emit))
+}
+
+/// Which block shape a round of gluing adds.
+#[derive(Clone, Copy)]
+enum BlockKind {
+    Clique,
+    OddCycle,
+}
+
+/// One pass of the seeded block-gluing process: emits every edge exactly
+/// once and returns the vertex count. The streaming CSR build calls it
+/// twice with an identical RNG schedule (anchor draw, coin, size draw —
+/// in that order, exactly as the legacy `GraphBuilder` construction made
+/// them), so the output is bit-identical to the legacy path. Blocks share
+/// only their anchor vertex, so the emitted edge set is simple.
+fn replay_gallai(
+    config: &GallaiTreeConfig,
+    seed: u64,
+    emit: &mut dyn FnMut(usize, usize),
+) -> usize {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut b = GraphBuilder::new(0);
+    let mut next: VertexId = 0;
     let mut attach_points: Vec<VertexId> = Vec::new();
     for i in 0..config.blocks {
         let anchor = if i == 0 {
@@ -58,47 +79,49 @@ pub fn random_gallai_tree(config: &GallaiTreeConfig, seed: u64) -> Graph {
         };
         let new_vertices = if rng.gen_bool(0.5) {
             let size = rng.gen_range(2..=config.max_clique);
-            add_clique_block(&mut b, anchor, size)
+            glue_block(&mut next, anchor, size, BlockKind::Clique, emit)
         } else {
             let len = {
                 let choices: Vec<usize> = (5..=config.max_odd_cycle).step_by(2).collect();
                 choices[rng.gen_range(0..choices.len())]
             };
-            add_cycle_block(&mut b, anchor, len)
+            glue_block(&mut next, anchor, len, BlockKind::OddCycle, emit)
         };
         attach_points.extend(new_vertices);
     }
-    b.build()
+    next
 }
 
-/// Adds a clique block of `size` vertices; `anchor` (if any) is one of them.
-/// Returns the newly created vertex ids.
-fn add_clique_block(b: &mut GraphBuilder, anchor: Option<VertexId>, size: usize) -> Vec<VertexId> {
+/// Glues one block of `size` vertices onto `anchor` (if any), allocating
+/// fresh vertex ids from `next` and emitting the block's edges. Returns
+/// the newly created vertex ids.
+fn glue_block(
+    next: &mut VertexId,
+    anchor: Option<VertexId>,
+    size: usize,
+    kind: BlockKind,
+    emit: &mut dyn FnMut(usize, usize),
+) -> Vec<VertexId> {
     let fresh = if anchor.is_some() { size - 1 } else { size };
-    let new: Vec<VertexId> = (0..fresh).map(|_| b.add_vertex()).collect();
+    let new: Vec<VertexId> = (*next..*next + fresh).collect();
+    *next += fresh;
     let mut all = new.clone();
     if let Some(a) = anchor {
         all.push(a);
     }
-    for i in 0..all.len() {
-        for j in i + 1..all.len() {
-            b.add_edge(all[i], all[j]);
+    match kind {
+        BlockKind::Clique => {
+            for i in 0..all.len() {
+                for j in i + 1..all.len() {
+                    emit(all[i], all[j]);
+                }
+            }
         }
-    }
-    new
-}
-
-/// Adds an odd-cycle block of length `len`; `anchor` (if any) is one of its
-/// vertices. Returns the newly created vertex ids.
-fn add_cycle_block(b: &mut GraphBuilder, anchor: Option<VertexId>, len: usize) -> Vec<VertexId> {
-    let fresh = if anchor.is_some() { len - 1 } else { len };
-    let new: Vec<VertexId> = (0..fresh).map(|_| b.add_vertex()).collect();
-    let mut all = new.clone();
-    if let Some(a) = anchor {
-        all.push(a);
-    }
-    for i in 0..all.len() {
-        b.add_edge(all[i], all[(i + 1) % all.len()]);
+        BlockKind::OddCycle => {
+            for i in 0..all.len() {
+                emit(all[i], all[(i + 1) % all.len()]);
+            }
+        }
     }
     new
 }
@@ -138,6 +161,34 @@ pub fn break_gallai_tree(g: &Graph, seed: u64) -> Option<Graph> {
 mod tests {
     use super::*;
     use crate::blocks::is_gallai_tree;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The streaming CSR build is bit-identical to the legacy
+        /// `GraphBuilder` edge-list construction (same replay, same seed).
+        #[test]
+        fn streaming_gallai_matches_legacy_builder(
+            blocks in 1usize..40,
+            max_clique in 2usize..8,
+            cycle_step in 0usize..3,
+            seed in 0u64..1024,
+        ) {
+            let cfg = GallaiTreeConfig {
+                blocks,
+                max_clique,
+                max_odd_cycle: 5 + 2 * cycle_step,
+            };
+            let mut edges = Vec::new();
+            let n = replay_gallai(&cfg, seed, &mut |u, v| edges.push((u, v)));
+            let mut b = GraphBuilder::new(n);
+            for (u, v) in edges {
+                b.add_edge(u, v);
+            }
+            prop_assert_eq!(random_gallai_tree(&cfg, seed), b.build());
+        }
+    }
 
     #[test]
     fn generated_graphs_are_gallai_trees() {

@@ -31,23 +31,32 @@ use rand::{Rng, SeedableRng};
 /// ```
 pub fn apollonian(n: usize, seed: u64) -> Graph {
     assert!(n >= 3, "triangulations need at least 3 vertices");
+    super::stream_csr(|emit| replay_apollonian(n, seed, emit))
+}
+
+/// One pass of the seeded face-split process: emits every edge exactly once
+/// and returns the vertex count. The streaming CSR build calls it twice
+/// with an identical RNG schedule; each insertion joins the new vertex to
+/// three distinct face corners it has never touched, so the emitted edge
+/// set is simple and the result is bit-identical to the legacy
+/// `GraphBuilder` construction.
+fn replay_apollonian(n: usize, seed: u64, emit: &mut dyn FnMut(usize, usize)) -> usize {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut b = GraphBuilder::new(n);
-    b.add_edge(0, 1);
-    b.add_edge(1, 2);
-    b.add_edge(2, 0);
+    emit(0, 1);
+    emit(1, 2);
+    emit(2, 0);
     let mut faces: Vec<[usize; 3]> = vec![[0, 1, 2]];
     for v in 3..n {
         let f = rng.gen_range(0..faces.len());
         let [x, y, z] = faces.swap_remove(f);
-        b.add_edge(v, x);
-        b.add_edge(v, y);
-        b.add_edge(v, z);
+        emit(v, x);
+        emit(v, y);
+        emit(v, z);
         faces.push([v, x, y]);
         faces.push([v, y, z]);
         faces.push([v, z, x]);
     }
-    b.build()
+    n
 }
 
 /// A random triangle-free planar graph: a planar quadrangulation-like graph
@@ -177,6 +186,25 @@ mod tests {
     use crate::exact::chromatic_number;
     use crate::girth::{girth, is_triangle_free};
     use crate::traversal::is_connected;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// The streaming CSR build is bit-identical to the legacy
+        /// `GraphBuilder` edge-list construction (same replay, same seed).
+        #[test]
+        fn streaming_apollonian_matches_legacy_builder(n in 3usize..2048, seed in 0u64..1024) {
+            let legacy = {
+                let mut b = GraphBuilder::new(n);
+                replay_apollonian(n, seed, &mut |u, v| {
+                    b.add_edge(u, v);
+                });
+                b.build()
+            };
+            prop_assert_eq!(apollonian(n, seed), legacy);
+        }
+    }
 
     #[test]
     fn apollonian_counts() {

@@ -375,6 +375,69 @@ proptest! {
             prop_assert_eq!(ledger.total(), seq_ledger.total());
         }
     }
+
+    /// Frontier-sparse rounds are a pure optimization: with gating on
+    /// (default) the engine skips empty-inbox nodes whose activation hint
+    /// permits it, and the result — outputs, ledger charges, per-round
+    /// message fingerprint — must equal a full scan
+    /// (`with_frontier(false)`) on random sparse graphs. The full scan
+    /// reports `active_frac == 1.0` every round; the gated run's fraction
+    /// never exceeds it.
+    #[test]
+    fn frontier_gating_matches_full_scan_on_gather_and_ruling(
+        n in 20usize..120,
+        extra in 0usize..40,
+        radius in 0usize..5,
+        alpha in 1usize..7,
+        seed in 0u64..500,
+    ) {
+        let g = gen::gnm(n, n + extra, seed);
+        let centers: Vec<usize> = (0..n).collect();
+        let mut full_ledger = RoundLedger::new();
+        let (full_balls, full_metrics) = engine_gather_balls(
+            &g, None, &centers, radius,
+            EngineConfig::default().with_frontier(false),
+            &mut full_ledger,
+        );
+        prop_assert!(
+            full_metrics.per_round().iter().all(|r| r.active_frac == 1.0),
+            "a full scan steps every node"
+        );
+        for shards in [1usize, 2, 8] {
+            let mut ledger = RoundLedger::new();
+            let (balls, metrics) = engine_gather_balls(
+                &g, None, &centers, radius,
+                EngineConfig::default().with_shards(shards),
+                &mut ledger,
+            );
+            prop_assert_eq!(&balls, &full_balls, "gather, shards = {}", shards);
+            prop_assert_eq!(ledger.total(), full_ledger.total());
+            prop_assert_eq!(metrics.message_counts(), full_metrics.message_counts());
+            prop_assert!(metrics.mean_active_frac() <= 1.0 + 1e-12);
+        }
+
+        let subset: Vec<usize> = (0..n).step_by(2).collect();
+        let mut full_ledger = RoundLedger::new();
+        let (full_rf, full_metrics) = engine_ruling_forest(
+            &g, None, &subset, alpha,
+            EngineConfig::default().with_frontier(false),
+            &mut full_ledger,
+        );
+        for shards in [1usize, 2, 8] {
+            let mut ledger = RoundLedger::new();
+            let (rf, metrics) = engine_ruling_forest(
+                &g, None, &subset, alpha,
+                EngineConfig::default().with_shards(shards),
+                &mut ledger,
+            );
+            prop_assert_eq!(&rf.roots, &full_rf.roots, "ruling, shards = {}", shards);
+            prop_assert_eq!(&rf.parent, &full_rf.parent, "ruling, shards = {}", shards);
+            prop_assert_eq!(&rf.root_of, &full_rf.root_of, "ruling, shards = {}", shards);
+            prop_assert_eq!(&rf.depth, &full_rf.depth, "ruling, shards = {}", shards);
+            prop_assert_eq!(ledger.total(), full_ledger.total());
+            prop_assert_eq!(metrics.message_counts(), full_metrics.message_counts());
+        }
+    }
 }
 
 #[test]

@@ -18,7 +18,9 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
-use engine::{EngineConfig, EngineSession, NodeCtx, NodeProgram, Outbox, Stop};
+use engine::{
+    EngineConfig, EngineMessage, EngineSession, NodeCtx, NodeProgram, Outbox, Stop, WireCodec,
+};
 use graphs::gen;
 
 /// Counts allocations (not bytes — growth doublings are amortized, a
@@ -80,16 +82,67 @@ impl NodeProgram for Chatter {
     }
 }
 
+/// A six-word fixed-size payload: wider than the Split(4) budget, so every
+/// delivery runs the real fragmentation path — encode into the routing
+/// worker's arena, chop into `(seq, total)` frames, reassemble per edge —
+/// while the decode lands on the stack, never the heap.
+#[derive(Clone, Copy, PartialEq, Debug)]
+struct WidePing([u64; 6]);
+
+impl WireCodec for WidePing {
+    fn encode(&self, out: &mut Vec<u64>) {
+        out.extend_from_slice(&self.0);
+    }
+
+    fn decode(words: &[u64]) -> Option<Self> {
+        words.try_into().ok().map(WidePing)
+    }
+}
+
+impl EngineMessage for WidePing {
+    const MAX_WIDTH: Option<usize> = Some(6);
+}
+
+/// Broadcasts a six-word stamp every round: with a Split(4) budget every
+/// delivery fragments into two frames, exercising the per-group encode
+/// arena and the per-edge reassembly buffers each round.
+struct WideChatter;
+
+impl NodeProgram for WideChatter {
+    type Message = WidePing;
+
+    fn init(&mut self, ctx: &mut NodeCtx<'_>) -> Outbox<WidePing> {
+        Outbox::Broadcast(WidePing([ctx.id as u64; 6]))
+    }
+
+    fn on_round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[(usize, WidePing)]) -> Outbox<WidePing> {
+        assert_eq!(inbox.len(), 2, "cycle neighbors both spoke");
+        for (src, m) in inbox {
+            assert_eq!(m.0, [*src as u64; 6], "reassembly must round-trip");
+        }
+        Outbox::Broadcast(WidePing([ctx.id as u64; 6]))
+    }
+
+    fn halted(&self) -> bool {
+        false
+    }
+}
+
 /// Runs `rounds` warm-up rounds (capacity growth happens here, uncounted),
 /// then `rounds` steady-state rounds under the allocation counter; returns
 /// the steady-state count.
-fn steady_state_allocs(n: usize, rounds: u64) -> usize {
+fn steady_state_allocs<P: NodeProgram + 'static>(
+    n: usize,
+    rounds: u64,
+    mk: impl Fn() -> P + Copy,
+) -> usize {
     let g = gen::cycle(n);
-    // Split(4) keeps the CONGEST accounting on and makes the round take the
-    // MAX_WIDTH dispatch: usize's static 1-word bound fits the budget, so
-    // the width scan — and every per-message encode — is skipped.
+    // Split(4) keeps the CONGEST accounting on in both rows. For `Chatter`
+    // (usize, `MAX_WIDTH = Some(1)`) the static bound fits the budget, so
+    // the width scan is skipped entirely; for `WideChatter` (six words)
+    // every delivery takes the full fragmentation path.
     let config = EngineConfig::default().with_shards(1).congest_split(4);
-    let mut session = EngineSession::new(&g, config, |_| Chatter);
+    let mut session = EngineSession::new(&g, config, |_| mk());
     session.run_phase("warmup", Stop::Rounds(rounds));
     ALLOCS.store(0, Ordering::SeqCst);
     COUNTING.store(true, Ordering::SeqCst);
@@ -103,8 +156,8 @@ fn steady_state_rounds_allocate_independently_of_message_count() {
     let rounds = 12;
     let small_n = 64;
     let large_n = 8192;
-    let small = steady_state_allocs(small_n, rounds);
-    let large = steady_state_allocs(large_n, rounds);
+    let small = steady_state_allocs(small_n, rounds, || Chatter);
+    let large = steady_state_allocs(large_n, rounds, || Chatter);
     // The large run moves (large_n - small_n) * 2 * rounds ≈ 195k more
     // messages than the small one. Per-message (or even per-vertex)
     // allocation anywhere on the deliver path would blow this bound by
@@ -113,6 +166,27 @@ fn steady_state_rounds_allocate_independently_of_message_count() {
     assert!(
         large <= small + slack,
         "steady-state rounds must not allocate per message: \
+         {small} allocs at n={small_n} vs {large} at n={large_n} \
+         (allowed slack {slack})"
+    );
+}
+
+#[test]
+fn split_fragmentation_rounds_allocate_independently_of_message_count() {
+    let rounds = 12;
+    let small_n = 64;
+    let large_n = 8192;
+    let small = steady_state_allocs(small_n, rounds, || WideChatter);
+    let large = steady_state_allocs(large_n, rounds, || WideChatter);
+    // Every one of the large run's ~195k extra deliveries encodes, chops,
+    // and reassembles a six-word message under the Split(4) budget. The
+    // per-group encode arena and the per-edge reassembly buffers warmed up
+    // before counting started, so the steady-state allocation count must
+    // stay flat in n.
+    let slack = 64;
+    assert!(
+        large <= small + slack,
+        "split-path rounds must not allocate per fragmented message: \
          {small} allocs at n={small_n} vs {large} at n={large_n} \
          (allowed slack {slack})"
     );
