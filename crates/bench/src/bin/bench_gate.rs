@@ -47,7 +47,25 @@
 //!    per-round work is large enough that an honest parallel routing phase
 //!    must show a real speedup curve. It stays opt-in because laptop-sized
 //!    runs (n ≤ 50k) are barrier-overhead-bound and the assertion would be
-//!    noise there.
+//!    noise there. When `--expect-family` is also given, the floor is
+//!    judged only on pairs from the declared families — the compute-dense
+//!    workloads the shard sweep exists to accelerate — so a route-bound
+//!    pair riding along for the frontier budget (the xl ruling block on
+//!    `grid`) is not held to a scaling bar it was never built to clear;
+//!    every pair still faces the `max-shard8-ratio` ceiling.
+//! 6. With `--min-frontier-speedup=F` (off by default): every full-scan
+//!    twin row (`"frontier": false`, emitted by `engine_table` for the
+//!    ruling and theorem13 showdowns at the tier's largest `n`) must be at
+//!    least `F×` slower than the frontier run at the same configuration —
+//!    the frontier index has to keep *earning* its bookkeeping on
+//!    decaying-frontier workloads. Setting the flag over an artifact with
+//!    no twin rows is itself a violation: a gate that never fires is a
+//!    gate that quietly rotted.
+//!
+//! All shard-indexed lookups resolve to frontier-on rows; full-scan twins
+//! only ever feed budget 6. (The one exception is the `shards = 0` slot,
+//! where the quiescent microbench parks its full-scan baseline — there is
+//! no sequential twin for a driver microbench.)
 //!
 //! Every budget is evaluated per **(algorithm, family)** pair at that
 //! pair's own largest `n` — an algorithm benched on several graph families
@@ -56,7 +74,9 @@
 //! happens to sort first. `--expect-family=NAME` (repeatable) declares
 //! families the artifact *must* contain; a missing one is a violation, not
 //! a silent skip — the xl job uses it to catch a generator that quietly
-//! dropped out of the sweep.
+//! dropped out of the sweep. Pairs on an expected family must also carry
+//! their engine/8 row even without `--min-shard-speedup`: a sweep that
+//! quietly stopped at one shard used to pass on family presence alone.
 //!
 //! Exits nonzero with a per-(algorithm, family) table on any violation.
 
@@ -144,6 +164,7 @@ fn main() {
     let mut max_route_frac = DEFAULT_MAX_ROUTE_FRAC;
     let mut max_split_ratio = DEFAULT_MAX_SPLIT_RATIO;
     let mut min_shard_speedup: Option<f64> = None;
+    let mut min_frontier_speedup: Option<f64> = None;
     let mut expect_families: Vec<String> = Vec::new();
     for arg in std::env::args().skip(1) {
         if let Some(v) = arg.strip_prefix("--suite=") {
@@ -160,6 +181,8 @@ fn main() {
             max_split_ratio = v.parse().expect("--max-split-ratio takes a number");
         } else if let Some(v) = arg.strip_prefix("--min-shard-speedup=") {
             min_shard_speedup = Some(v.parse().expect("--min-shard-speedup takes a number"));
+        } else if let Some(v) = arg.strip_prefix("--min-frontier-speedup=") {
+            min_frontier_speedup = Some(v.parse().expect("--min-frontier-speedup takes a number"));
         } else {
             assert!(path.is_none(), "exactly one artifact path, got {arg:?} too");
             path = Some(arg);
@@ -183,6 +206,7 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut violations = Vec::new();
+    let mut frontier_twins = 0usize;
     for family in &expect_families {
         if !pairs.iter().any(|(_, f)| f == family) {
             violations.push(format!(
@@ -198,6 +222,10 @@ fn main() {
             .map(|r| r.n)
             .max()
             .expect("pair has records");
+        // Shard-indexed rows resolve frontier-on: a full-scan twin at the
+        // same shard count is budget 6's input, never the canonical row.
+        // The `shards = 0` slot is exempt — the quiescent microbench's
+        // baseline lives there and is itself the full-scan run.
         let at = |shards: usize| -> Option<&EngineBenchRecord> {
             records.iter().find(|r| {
                 &r.algorithm == alg
@@ -205,6 +233,7 @@ fn main() {
                     && r.n == n
                     && r.shards == shards
                     && r.split == 0
+                    && (r.frontier || r.shards == 0)
             })
         };
         let (Some(seq), Some(s1)) = (at(0), at(1)) else {
@@ -223,10 +252,14 @@ fn main() {
                 s1.wall_ms, seq.wall_ms
             ));
         }
+        // The shard floor (budget 5) scopes to the declared families when
+        // any are declared; see the doc comment.
+        let floor_applies =
+            expect_families.is_empty() || expect_families.iter().any(|f| f == family);
         let (shard8_cell, route_cell) = match at(8) {
             Some(s8) => {
                 let shard8_ratio = s8.wall_ms / s1.wall_ms.max(f64::EPSILON);
-                if let Some(min) = min_shard_speedup {
+                if let Some(min) = min_shard_speedup.filter(|_| floor_applies) {
                     let speedup = s1.wall_ms / s8.wall_ms.max(f64::EPSILON);
                     if speedup < min {
                         verdict = "FAIL";
@@ -263,11 +296,20 @@ fn main() {
                 (format!("{shard8_ratio:.2}"), format!("{route_frac:.2}"))
             }
             None => {
-                if min_shard_speedup.is_some() {
+                if min_shard_speedup.is_some() && floor_applies {
                     verdict = "FAIL";
                     violations.push(format!(
                         "{alg}/{family} (n={n}): --min-shard-speedup is set but the artifact \
                          has no engine/8 row"
+                    ));
+                } else if expect_families.iter().any(|f| f == family) {
+                    // Family presence alone used to satisfy --expect-family
+                    // even when the shard sweep quietly stopped at one
+                    // shard; an expected family owes its per-shard rows.
+                    verdict = "FAIL";
+                    violations.push(format!(
+                        "{alg}/{family} (n={n}): family is in --expect-family but the \
+                         artifact has no engine/8 row — the shard sweep did not run"
                     ));
                 }
                 ("-".into(), "-".into())
@@ -315,6 +357,59 @@ fn main() {
         } else {
             split_ratios.join("/")
         };
+        // The frontier budget: every full-scan twin row at this n diffs
+        // against the frontier run at the same configuration. The quiescent
+        // baseline (`shards = 0`) is not a twin — it has no same-shards
+        // frontier partner and exists for the ratio budgets above.
+        let mut frontier_ratios: Vec<String> = Vec::new();
+        let mut twin_rows: Vec<&EngineBenchRecord> = records
+            .iter()
+            .filter(|r| {
+                &r.algorithm == alg
+                    && &r.family == family
+                    && r.n == n
+                    && !r.frontier
+                    && r.shards > 0
+            })
+            .collect();
+        twin_rows.sort_by_key(|r| (r.shards, r.split));
+        for twin in twin_rows {
+            let on = records.iter().find(|r| {
+                &r.algorithm == alg
+                    && &r.family == family
+                    && r.n == n
+                    && r.shards == twin.shards
+                    && r.split == twin.split
+                    && r.frontier
+            });
+            let Some(on) = on else {
+                verdict = "FAIL";
+                violations.push(format!(
+                    "{alg}/{family} (n={n}): full-scan row at shards={} has no frontier twin",
+                    twin.shards
+                ));
+                continue;
+            };
+            frontier_twins += 1;
+            let speedup = twin.wall_ms / on.wall_ms.max(f64::EPSILON);
+            frontier_ratios.push(format!("{speedup:.2}"));
+            if let Some(min) = min_frontier_speedup {
+                if speedup < min {
+                    verdict = "FAIL";
+                    violations.push(format!(
+                        "{alg}/{family} (n={n}): frontier is only {speedup:.2}× faster than \
+                         the full scan at shards={} ({:.3} ms vs {:.3} ms), floor {min:.2}× — \
+                         the frontier index is not earning its bookkeeping",
+                        twin.shards, on.wall_ms, twin.wall_ms
+                    ));
+                }
+            }
+        }
+        let frontier_cell = if frontier_ratios.is_empty() {
+            "-".to_string()
+        } else {
+            frontier_ratios.join("/")
+        };
         rows.push(vec![
             alg.clone(),
             family.clone(),
@@ -325,8 +420,15 @@ fn main() {
             shard8_cell,
             route_cell,
             split_cell,
+            frontier_cell,
             verdict.into(),
         ]);
+    }
+    if min_frontier_speedup.is_some() && frontier_twins == 0 {
+        violations.push(format!(
+            "--min-frontier-speedup is set but {path} holds no full-scan twin rows — \
+             engine_table stopped emitting them, so the budget can never fire"
+        ));
     }
     print_table(
         &format!(
@@ -345,6 +447,7 @@ fn main() {
             "e8/e1",
             "route/8",
             "split/unl",
+            "front×",
             "verdict",
         ],
         &rows,

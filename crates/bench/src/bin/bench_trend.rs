@@ -31,6 +31,11 @@ struct LabGroup {
     family: String,
     n: usize,
     shards: usize,
+    /// Whether the group ran with frontier-indexed rounds. Full-scan twin
+    /// scenarios (`"frontier": false`) only trend against full-scan
+    /// artifact rows — matching them to frontier rows would misread the
+    /// very overhead the twins exist to measure.
+    frontier: bool,
     best_ms: f64,
     p50_ms: f64,
     p95_ms: f64,
@@ -83,6 +88,12 @@ fn lab_groups(summary: &Value) -> Vec<LabGroup> {
                 family: g.get("family")?.as_str()?.to_string(),
                 n: g.get("n")?.as_usize()?,
                 shards: g.get("shards")?.as_usize()?,
+                // Summaries written before the flag existed could only
+                // have meant the default.
+                frontier: match g.get("frontier") {
+                    None => true,
+                    Some(v) => v.as_bool()?,
+                },
                 best_ms: g.get("wall_ms_best")?.as_f64()?,
                 p50_ms: g.get("wall_ms_p50")?.as_f64()?,
                 p95_ms: g.get("wall_ms_p95")?.as_f64()?,
@@ -91,16 +102,33 @@ fn lab_groups(summary: &Value) -> Vec<LabGroup> {
         .collect()
 }
 
-/// The committed record with the same algorithm and shard count whose `n`
-/// is nearest the lab group's (ties break toward the larger run).
+/// The committed record with the same algorithm, shard count, and frontier
+/// setting whose `n` is nearest the lab group's (ties break toward the
+/// larger run).
 fn closest<'a>(
     records: &'a [EngineBenchRecord],
     group: &LabGroup,
 ) -> Option<&'a EngineBenchRecord> {
     records
         .iter()
-        .filter(|r| r.algorithm == group.algorithm && r.shards == group.shards && r.split == 0)
+        .filter(|r| {
+            r.algorithm == group.algorithm
+                && r.shards == group.shards
+                && r.split == 0
+                && r.frontier == group.frontier
+        })
         .min_by_key(|r| (r.n.abs_diff(group.n), usize::MAX - r.n))
+}
+
+/// Compacts a skip count for the table: exact below 10k, `k`/`M` above —
+/// `frontier_skipped` at the xl tier is billions of node-steps and the
+/// column only needs its magnitude.
+fn compact(count: usize) -> String {
+    match count {
+        0..=9_999 => count.to_string(),
+        10_000..=999_999 => format!("{:.0}k", count as f64 / 1e3),
+        _ => format!("{:.1}M", count as f64 / 1e6),
+    }
 }
 
 /// Renders the markdown trend table (one row per matched lab group).
@@ -120,11 +148,17 @@ fn render_trend(groups: &[LabGroup], artifact: &[EngineBenchRecord]) -> String {
         let fresh_norm = g.best_ms * 1e3 / g.n.max(1) as f64;
         let committed_norm = rec.wall_ms * 1e3 / rec.n.max(1) as f64;
         let delta = (fresh_norm - committed_norm) / committed_norm.max(f64::EPSILON) * 100.0;
-        // Committed frontier density: mean stepped/live across the run —
-        // the decay the frontier-sparse scheduler buys. `1.00` marks rows
-        // from full scans (sequential, gating off, legacy artifacts).
+        // Committed frontier evidence: mean stepped/live density next to
+        // the absolute node-steps the index skipped — the density shows
+        // the decay, the count shows the volume it amounts to. Deliberate
+        // full-scan rows print `scan` (density 1.0 by construction).
+        let frontier_cell = if rec.frontier {
+            format!("{:.2} / {}", rec.active_frac, compact(rec.frontier_skipped))
+        } else {
+            "scan".to_string()
+        };
         out.push_str(&format!(
-            "| {} ({}) | {} | {} | {:.2} | {:.2} | {:.2} | {:.2} | {} | {:.2} | {:.2} | {:+.1}% | {:.2} |\n",
+            "| {} ({}) | {} | {} | {:.2} | {:.2} | {:.2} | {:.2} | {} | {:.2} | {:.2} | {:+.1}% | {} |\n",
             g.algorithm,
             g.family,
             g.shards,
@@ -137,7 +171,7 @@ fn render_trend(groups: &[LabGroup], artifact: &[EngineBenchRecord]) -> String {
             rec.wall_ms,
             committed_norm,
             delta,
-            rec.active_frac,
+            frontier_cell,
         ));
     }
     if matched == 0 {
@@ -172,6 +206,8 @@ mod tests {
             split: 0,
             physical_rounds: 1,
             fragments: 0,
+            frontier: true,
+            frontier_skipped: 0,
         }
     }
 
@@ -181,6 +217,7 @@ mod tests {
             family: "f".into(),
             n,
             shards,
+            frontier: true,
             best_ms,
             p50_ms: best_ms,
             p95_ms: best_ms,
@@ -199,13 +236,50 @@ mod tests {
     }
 
     #[test]
+    fn closest_pairs_full_scan_groups_with_full_scan_rows() {
+        let mut scan_rec = rec("a", 1000, 1, 3.0);
+        scan_rec.frontier = false;
+        let records = vec![rec("a", 1000, 1, 1.0), scan_rec];
+        let mut scan_group = group("a", 1000, 1, 2.0);
+        scan_group.frontier = false;
+        assert_eq!(closest(&records, &scan_group).unwrap().wall_ms, 3.0);
+        assert_eq!(
+            closest(&records, &group("a", 1000, 1, 2.0))
+                .unwrap()
+                .wall_ms,
+            1.0
+        );
+        let on_only = vec![rec("a", 1000, 1, 1.0)];
+        assert!(closest(&on_only, &scan_group).is_none());
+    }
+
+    #[test]
     fn trend_table_normalizes_per_vertex() {
-        let records = vec![rec("a", 2000, 1, 4.0)]; // 2.0 µs/v committed
+        let mut committed = rec("a", 2000, 1, 4.0); // 2.0 µs/v committed
+        committed.frontier_skipped = 123_000;
         let groups = vec![group("a", 1000, 1, 1.0)]; // 1.0 µs/v fresh
-        let table = render_trend(&groups, &records);
+        let table = render_trend(&groups, &[committed]);
         assert!(table.contains("| a (f) | 1 | 1000 |"), "{table}");
-        assert!(table.contains("| -50.0% | 0.50 |"), "{table}");
+        assert!(table.contains("| -50.0% | 0.50 / 123k |"), "{table}");
         assert!(table.contains("1 of 1 lab group(s) matched"), "{table}");
+    }
+
+    #[test]
+    fn full_scan_rows_render_scan_not_density() {
+        let mut scan_rec = rec("a", 1000, 1, 3.0);
+        scan_rec.frontier = false;
+        let mut scan_group = group("a", 1000, 1, 2.0);
+        scan_group.frontier = false;
+        let table = render_trend(&[scan_group], &[scan_rec]);
+        assert!(table.contains("| scan |"), "{table}");
+    }
+
+    #[test]
+    fn compact_keeps_magnitude_readable() {
+        assert_eq!(compact(0), "0");
+        assert_eq!(compact(9_999), "9999");
+        assert_eq!(compact(123_456), "123k");
+        assert_eq!(compact(2_560_000_000), "2560.0M");
     }
 
     #[test]
@@ -229,12 +303,20 @@ mod tests {
                  "wall_ms_best": 1.0, "wall_ms_p50": 1.5, "wall_ms_p95": 2.0},
                 {"algorithm": "a", "congest": "unlimited", "family": "f",
                  "faults": "loss:0.1", "n": 10, "shards": 1,
-                 "wall_ms_best": 1.0, "wall_ms_p50": 1.5, "wall_ms_p95": 2.0}
+                 "wall_ms_best": 1.0, "wall_ms_p50": 1.5, "wall_ms_p95": 2.0},
+                {"algorithm": "a", "congest": "unlimited", "family": "f",
+                 "faults": "none", "frontier": false, "n": 10, "shards": 1,
+                 "wall_ms_best": 3.0, "wall_ms_p50": 3.5, "wall_ms_p95": 4.0}
             ]}"#,
         )
         .unwrap();
         let groups = lab_groups(&summary);
-        assert_eq!(groups.len(), 1, "split and faulty rows are dropped");
+        assert_eq!(groups.len(), 2, "split and faulty rows are dropped");
         assert_eq!(groups[0].p95_ms, 2.0);
+        assert!(
+            groups[0].frontier,
+            "groups without the flag default to frontier on"
+        );
+        assert!(!groups[1].frontier, "full-scan groups keep their flag");
     }
 }

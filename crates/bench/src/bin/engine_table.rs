@@ -5,14 +5,32 @@
 //! cargo run --release -p bench --bin engine_table -- 5000            # custom n
 //! cargo run --release -p bench --bin engine_table -- --reps=5 20000  # best-of-5
 //! cargo run --release -p bench --bin engine_table -- --xl            # n ∈ {100k, 1M}
+//! cargo run --release -p bench --bin engine_table -- --xxl           # n ∈ {1M, 10M}
 //! ```
 //!
 //! `--xl` is the million-node tier: n ∈ {10⁵, 10⁶} on the two linear-cost
 //! showdowns (H-partition and Cole–Vishkin — the workloads whose sequential
 //! twins stay O(n · α) at a million vertices), single rep by default (a
 //! 10⁶-vertex run is its own noise floor; pass `--reps=N` to override).
-//! CI's `bench-xl` job runs exactly this tier and feeds the artifact to
-//! `bench_gate --min-shard-speedup`.
+//! At the tier's largest n it adds a reduced ruling-forest block — seq,
+//! engine/1, engine/8, and an engine/8 `--no-frontier` twin — so the
+//! frontier-speedup gate has a decaying-frontier pair to judge. CI's
+//! `bench-xl` job runs exactly this tier and feeds the artifact to
+//! `bench_gate --min-shard-speedup` / `--min-frontier-speedup`. `--xxl` is
+//! the same workload set at n ∈ {10⁶, 10⁷} — the ten-million-vertex point
+//! is opt-in (not wired into CI) because a single run is minutes of wall
+//! time.
+//!
+//! The default tier additionally emits **frontier twin rows** for the
+//! ruling and theorem13 showdowns at the tier's largest n — the identical
+//! configuration rerun under `EngineConfig::with_frontier(false)`, labeled
+//! `full-scan` and marked `"frontier": false` in the artifact — plus a
+//! **quiescent microbench** (`algorithm = "quiescent"`): a path where only
+//! one edge ever carries traffic, so per-round driver cost is pure
+//! bookkeeping. Its frontier-on walls should stay flat as n grows 100×
+//! while the full-scan baseline row (recorded in the `shards = 0` slot —
+//! there is no meaningful sequential twin for a driver microbench) grows
+//! linearly.
 //!
 //! For each workload family (resolved through the [`gen::build_family`]
 //! registry, so the bench and the scenario lab measure the same graphs) and
@@ -34,11 +52,14 @@
 use std::time::Instant;
 
 use bench::{print_table, render_engine_bench_json, EngineBenchRecord};
-use distributed_coloring::{list_color_sparse, ListAssignment, SparseColoringConfig};
+use distributed_coloring::{
+    list_color_sparse, ListAssignment, SparseColoring, SparseColoringConfig,
+};
 use engine::{
     engine_cole_vishkin_3color, engine_gather_balls, engine_h_partition,
-    engine_randomized_list_coloring, engine_ruling_forest, CongestMode, EngineConfig,
-    EngineMetrics, SPLIT_PHASE,
+    engine_randomized_list_coloring, engine_ruling_forest, Activation, CongestMode, EngineConfig,
+    EngineMessage, EngineMetrics, EngineSession, NodeCtx, NodeProgram, Outbox, Stop, WireCodec,
+    SPLIT_PHASE,
 };
 use graphs::gen;
 use local_model::{
@@ -55,26 +76,40 @@ const DEFAULT_SIZES: [usize; 3] = [1_000, 10_000, 50_000];
 const DEFAULT_REPS: usize = 3;
 /// The `--xl` tier: million-node territory, linear-cost showdowns only.
 const XL_SIZES: [usize; 2] = [100_000, 1_000_000];
+/// The opt-in `--xxl` tier: the ten-million-vertex point.
+const XXL_SIZES: [usize; 2] = [1_000_000, 10_000_000];
+/// Sizes of the quiescent-round driver microbench (default tier only):
+/// flat frontier-on walls across this 100× range are the O(frontier)
+/// claim, measured.
+const QUIESCENT_SIZES: [usize; 3] = [10_000, 100_000, 1_000_000];
+/// Rounds each quiescent run executes (`Stop::Rounds`, no halting).
+const QUIESCENT_ROUNDS: u64 = 256;
 
 fn main() {
     let mut sizes: Vec<usize> = Vec::new();
     let mut reps: Option<usize> = None;
     let mut xl = false;
+    let mut xxl = false;
     for arg in std::env::args().skip(1) {
         if arg == "--xl" {
             xl = true;
+        } else if arg == "--xxl" {
+            xl = true;
+            xxl = true;
         } else if let Some(r) = arg.strip_prefix("--reps=") {
             let r: usize = r.parse().expect("--reps=N takes an integer");
             assert!(r >= 1, "--reps must be at least 1");
             reps = Some(r);
         } else {
             sizes.push(arg.parse().unwrap_or_else(|_| {
-                panic!("arguments are sizes (integers), --reps=N, or --xl, got {arg:?}")
+                panic!("arguments are sizes (integers), --reps=N, --xl, or --xxl, got {arg:?}")
             }));
         }
     }
     if sizes.is_empty() {
-        sizes = if xl {
+        sizes = if xxl {
+            XXL_SIZES.to_vec()
+        } else if xl {
             XL_SIZES.to_vec()
         } else {
             DEFAULT_SIZES.to_vec()
@@ -82,22 +117,35 @@ fn main() {
     }
     // A single 10⁶-vertex run dominates its own noise; default xl to one rep.
     let reps = reps.unwrap_or(if xl { 1 } else { DEFAULT_REPS });
+    // Frontier twin rows run once per artifact, at the tier's largest n —
+    // that is where `bench_gate --min-frontier-speedup` judges each pair.
+    let largest = *sizes.iter().max().expect("at least one size");
     let mut records: Vec<EngineBenchRecord> = Vec::new();
     for &n in &sizes {
+        let twin = n == largest;
         if xl {
             h_partition_showdown(n, reps, &mut records);
             // The streaming-CSR planar tier: apollonian triangulations are
             // 3-degenerate, so the peel runs with a = 3.
             h_partition_family(n, reps, &mut records, "apollonian", 7, 3);
             cole_vishkin_showdown(n, reps, &mut records);
+            if twin {
+                // The gate's frontier pair: ruling is the tier's only
+                // decaying-frontier workload, so only it gets the reduced
+                // seq/engine-1/engine-8/full-scan block at xl sizes.
+                ruling_rows(n, reps, &mut records, &[(1, 0), (8, 0)], true);
+            }
             continue;
         }
         randomized_showdown(n, reps, &mut records);
         h_partition_showdown(n, reps, &mut records);
         cole_vishkin_showdown(n, reps, &mut records);
         gather_showdown(n, reps, &mut records);
-        ruling_showdown(n, reps, &mut records);
-        theorem13_showdown(n, reps, &mut records);
+        ruling_rows(n, reps, &mut records, &configurations(), twin);
+        theorem13_showdown(n, reps, &mut records, twin);
+    }
+    if !xl {
+        quiescent_showdown(reps, &mut records);
     }
     print_crossover(&records);
     let json = render_engine_bench_json(&records);
@@ -151,10 +199,15 @@ const COLUMNS: [&str; 8] = [
 ];
 
 fn row(records: &mut Vec<EngineBenchRecord>, rec: EngineBenchRecord) -> Vec<String> {
-    let label = match (rec.shards, rec.split) {
-        (0, _) => "sequential".into(),
-        (s, 0) => format!("engine/{s}"),
-        (s, w) => format!("engine/{s} split{w}"),
+    let label = match (rec.shards, rec.split, rec.frontier) {
+        // The quiescent microbench parks its full-scan engine baseline in
+        // the sequential slot; every true sequential row has frontier=true.
+        (0, _, false) => "full-scan".into(),
+        (0, _, true) => "sequential".into(),
+        (s, 0, true) => format!("engine/{s}"),
+        (s, 0, false) => format!("engine/{s} full-scan"),
+        (s, w, true) => format!("engine/{s} split{w}"),
+        (s, w, false) => format!("engine/{s} split{w} full-scan"),
     };
     let cells = vec![
         label,
@@ -192,6 +245,8 @@ fn seq_record(
         split: 0,
         physical_rounds: rounds,
         fragments: 0,
+        frontier: true,
+        frontier_skipped: 0,
     }
 }
 
@@ -219,6 +274,8 @@ fn engine_record(
         split,
         physical_rounds: metrics.total_physical_rounds(),
         fragments: metrics.total_fragments(),
+        frontier: true,
+        frontier_skipped: metrics.total_frontier_skipped(),
     }
 }
 
@@ -432,10 +489,22 @@ fn gather_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchRecord>) 
 }
 
 /// The AGLP ruling-forest construction — token floods plus claim/prune
-/// BFS — with unlimited and `Split(SPLIT_WIDTH)` rows. α = 6 over an
+/// BFS — on the given `(shards, split)` grid. α = 6 over an
 /// every-other-vertex subset pushes the token floods to width ~8, past the
-/// 4-word split budget, so the split rows exercise real fragmentation.
-fn ruling_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchRecord>) {
+/// 4-word split budget, so split rows (when the grid has them) exercise
+/// real fragmentation. With `twin` set, the largest-shard unlimited
+/// configuration reruns under `with_frontier(false)` — the full-scan row
+/// the `bench_gate --min-frontier-speedup` budget compares against; ruling
+/// is the gate's chosen workload because its frontier genuinely decays
+/// (surviving rulers plus token recipients), so the twin measures the
+/// skip machinery's payoff, not its overhead.
+fn ruling_rows(
+    n: usize,
+    reps: usize,
+    records: &mut Vec<EngineBenchRecord>,
+    configs: &[(usize, usize)],
+    twin: bool,
+) {
     let family = "grid";
     let g = build(family, n, 0);
     let subset: Vec<usize> = (0..g.n()).step_by(2).collect();
@@ -451,7 +520,13 @@ fn ruling_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchRecord>) 
         records,
         seq_record(family, "ruling", g.n(), seq_rounds, wall),
     ));
-    for (shards, split) in configurations() {
+    let twin_shards = configs.iter().map(|&(s, _)| s).max().unwrap_or(1);
+    let mut measured: Vec<(usize, usize, bool)> =
+        configs.iter().map(|&(s, w)| (s, w, true)).collect();
+    if twin {
+        measured.push((twin_shards, 0, false));
+    }
+    for (shards, split, frontier) in measured {
         let ((rf, metrics), wall) = best_of(reps, || {
             let mut ledger = RoundLedger::new();
             engine_ruling_forest(
@@ -459,17 +534,16 @@ fn ruling_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchRecord>) 
                 None,
                 &subset,
                 alpha,
-                engine_config(shards, split),
+                engine_config(shards, split).with_frontier(frontier),
                 &mut ledger,
             )
         });
         // Checked outside the timed region; reps replay bit-identically.
         assert_eq!(rf.roots, seq.roots, "engine must replay the roots");
         assert_eq!(rf.parent, seq.parent, "engine must replay the forest");
-        rows.push(row(
-            records,
-            engine_record(family, "ruling", g.n(), shards, split, &metrics, wall),
-        ));
+        let mut rec = engine_record(family, "ruling", g.n(), shards, split, &metrics, wall);
+        rec.frontier = frontier;
+        rows.push(row(records, rec));
     }
     print_table(
         &format!(
@@ -488,8 +562,11 @@ fn ruling_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchRecord>) 
 /// totals; messages, routing time, and fragmentation come from the
 /// aggregated `SparseColoring::engine_metrics`. The final row runs the
 /// pipeline under `CongestMode::Split(SPLIT_WIDTH)` — identical colors, the
-/// split surplus charged under `SPLIT_PHASE`.
-fn theorem13_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchRecord>) {
+/// split surplus charged under `SPLIT_PHASE`. With `twin` set, the
+/// largest-shard unlimited configuration reruns with
+/// `engine_frontier: false` — every internal session of the pipeline on
+/// the historical full scan — for the frontier-speedup gate.
+fn theorem13_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchRecord>, twin: bool) {
     let family = "apollonian";
     let d = 6;
     let g = build(family, n, 7);
@@ -506,9 +583,36 @@ fn theorem13_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchRecord
         records,
         seq_record(family, "theorem13", g.n(), seq_rounds, wall),
     ));
-    let mut configs: Vec<(usize, usize)> = SHARD_SWEEP.iter().map(|&s| (s, 0)).collect();
-    configs.push((*SPLIT_SHARDS.last().unwrap(), SPLIT_WIDTH));
-    for (shards, split) in configs {
+    let t13_record = |col: &SparseColoring, shards, split, frontier, wall: Timing| {
+        let m = &col.engine_metrics;
+        let surplus = col.ledger.phase_total(SPLIT_PHASE);
+        EngineBenchRecord {
+            active_frac: m.mean_active_frac(),
+            family: family.into(),
+            algorithm: "theorem13".into(),
+            n: g.n(),
+            shards,
+            // Logical rounds: the full-ledger charge, comparable to the
+            // sequential row; physical adds the observed split surplus.
+            rounds: seq_rounds,
+            messages: m.total_messages(),
+            wall_ms: wall.best_ms,
+            p50_ms: wall.p50_ms,
+            route_ms: m.total_route_wall().as_secs_f64() * 1e3,
+            split,
+            physical_rounds: seq_rounds + surplus,
+            fragments: m.total_fragments(),
+            frontier,
+            frontier_skipped: m.total_frontier_skipped(),
+        }
+    };
+    let mut configs: Vec<(usize, usize, bool)> =
+        SHARD_SWEEP.iter().map(|&s| (s, 0, true)).collect();
+    configs.push((*SPLIT_SHARDS.last().unwrap(), SPLIT_WIDTH, true));
+    if twin {
+        configs.push((*SHARD_SWEEP.last().unwrap(), 0, false));
+    }
+    for (shards, split, frontier) in configs {
         let (col, wall) = best_of(reps, || {
             let config = SparseColoringConfig {
                 engine_shards: Some(shards),
@@ -517,6 +621,7 @@ fn theorem13_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchRecord
                 } else {
                     CongestMode::Split(split)
                 },
+                engine_frontier: frontier,
                 ..Default::default()
             };
             let outcome = list_color_sparse(&g, &lists, d, config).expect("engine theorem13 runs");
@@ -532,27 +637,9 @@ fn theorem13_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchRecord
             );
             col
         });
-        let m = &col.engine_metrics;
-        let surplus = col.ledger.phase_total(SPLIT_PHASE);
         rows.push(row(
             records,
-            EngineBenchRecord {
-                active_frac: m.mean_active_frac(),
-                family: family.into(),
-                algorithm: "theorem13".into(),
-                n: g.n(),
-                shards,
-                // Logical rounds: the full-ledger charge, comparable to the
-                // sequential row; physical adds the observed split surplus.
-                rounds: seq_rounds,
-                messages: m.total_messages(),
-                wall_ms: wall.best_ms,
-                p50_ms: wall.p50_ms,
-                route_ms: m.total_route_wall().as_secs_f64() * 1e3,
-                split,
-                physical_rounds: seq_rounds + surplus,
-                fragments: m.total_fragments(),
-            },
+            t13_record(&col, shards, split, frontier, wall),
         ));
     }
     print_table(
@@ -563,6 +650,131 @@ fn theorem13_showdown(n: usize, reps: usize, records: &mut Vec<EngineBenchRecord
         &COLUMNS,
         &rows,
     );
+}
+
+/// The quiescent microbench's one-word message.
+#[derive(Clone, Debug)]
+struct Ping;
+
+impl WireCodec for Ping {
+    fn encode(&self, out: &mut Vec<u64>) {
+        out.push(1);
+    }
+    fn decode(words: &[u64]) -> Option<Self> {
+        (words == [1]).then_some(Ping)
+    }
+}
+
+impl EngineMessage for Ping {
+    const MAX_WIDTH: Option<usize> = Some(1);
+}
+
+/// One endlessly echoing edge on an otherwise silent path: node 0 serves a
+/// ping at init, and from then on whoever holds it sends it back. Every
+/// node is `OnMessage`, so the per-round frontier is exactly one node —
+/// what the quiescent bench measures is the driver's cost for the other
+/// n − 1.
+struct EchoProgram;
+
+impl NodeProgram for EchoProgram {
+    type Message = Ping;
+
+    fn init(&mut self, ctx: &mut NodeCtx<'_>) -> Outbox<Ping> {
+        if ctx.id == 0 {
+            Outbox::Unicast(1, Ping)
+        } else {
+            Outbox::Silent
+        }
+    }
+
+    fn on_round(
+        &mut self,
+        _ctx: &mut NodeCtx<'_>,
+        inbox: &[(graphs::VertexId, Ping)],
+    ) -> Outbox<Ping> {
+        match inbox.first() {
+            Some(&(src, _)) => Outbox::Unicast(src, Ping),
+            None => Outbox::Silent,
+        }
+    }
+
+    fn halted(&self) -> bool {
+        false
+    }
+
+    fn activation(&self) -> Activation {
+        Activation::OnMessage
+    }
+}
+
+/// One quiescent configuration, timed over the rounds only — session
+/// construction is O(n) by necessity (contexts, mailboxes, the shard plan)
+/// and would drown the per-round driver cost the bench exists to expose,
+/// so `best_of` doesn't fit here.
+fn quiescent_run(g: &graphs::Graph, frontier: bool, reps: usize) -> (EngineMetrics, Timing) {
+    let mut best: Option<(EngineMetrics, f64)> = None;
+    let mut walls = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let mut sess = EngineSession::new(
+            g,
+            EngineConfig::default()
+                .with_shards(1)
+                .with_frontier(frontier),
+            |_| EchoProgram,
+        );
+        let t0 = Instant::now();
+        sess.run_phase("echo", Stop::Rounds(QUIESCENT_ROUNDS));
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        walls.push(ms);
+        let metrics = sess.into_parts().1;
+        match &best {
+            Some((_, b)) if *b <= ms => {}
+            _ => best = Some((metrics, ms)),
+        }
+    }
+    walls.sort_by(f64::total_cmp);
+    let p50_ms = walls[walls.len().div_ceil(2) - 1];
+    let (metrics, best_ms) = best.expect("reps >= 1");
+    (metrics, Timing { best_ms, p50_ms })
+}
+
+/// The quiescent-round driver microbench: [`EchoProgram`] on a path at
+/// each of [`QUIESCENT_SIZES`], full scan vs frontier. The full-scan run
+/// lands in the artifact's `shards = 0` slot (marked `"frontier": false`)
+/// — there is no sequential twin for a driver microbench, and the gate's
+/// pair bookkeeping wants a baseline row — the frontier run as `engine/1`.
+/// Flat frontier-on walls across the 100× size range are the tentpole's
+/// O(frontier) claim; the full-scan walls grow linearly.
+fn quiescent_showdown(reps: usize, records: &mut Vec<EngineBenchRecord>) {
+    let family = "path";
+    for &n in &QUIESCENT_SIZES {
+        let g = build(family, n, 0);
+        let (scan, scan_wall) = quiescent_run(&g, false, reps);
+        let (front, front_wall) = quiescent_run(&g, true, reps);
+        // The frontier run must be a pure skip: identical traffic and
+        // rounds, with exactly the n − 1 silent nodes skipped every round.
+        assert_eq!(front.total_rounds(), scan.total_rounds());
+        assert_eq!(front.message_counts(), scan.message_counts());
+        assert_eq!(scan.total_frontier_skipped(), 0);
+        assert_eq!(
+            front.total_frontier_skipped(),
+            (n - 1) * QUIESCENT_ROUNDS as usize,
+            "every round steps exactly the one node holding the ping"
+        );
+        let mut rows = Vec::new();
+        let mut base = engine_record(family, "quiescent", g.n(), 0, 0, &scan, scan_wall);
+        base.frontier = false;
+        rows.push(row(records, base));
+        rows.push(row(
+            records,
+            engine_record(family, "quiescent", g.n(), 1, 0, &front, front_wall),
+        ));
+        print_table(
+            &format!("quiescent rounds (one echoing edge), {family}, n = {n}"),
+            &COLUMNS,
+            &rows,
+        );
+    }
 }
 
 /// The crossover table: for every `(algorithm, n)` cell, how the engine
@@ -580,9 +792,9 @@ fn print_crossover(records: &[EngineBenchRecord]) {
     keys.sort();
     keys.dedup();
     let find = |alg: &str, n: usize, shards: usize| {
-        records
-            .iter()
-            .find(|r| r.algorithm == alg && r.n == n && r.shards == shards && r.split == 0)
+        records.iter().find(|r| {
+            r.algorithm == alg && r.n == n && r.shards == shards && r.split == 0 && r.frontier
+        })
     };
     let mut rows = Vec::new();
     for (alg, n) in keys {
@@ -593,7 +805,9 @@ fn print_crossover(records: &[EngineBenchRecord]) {
         };
         let best = records
             .iter()
-            .filter(|r| r.algorithm == alg && r.n == n && r.shards > 0 && r.split == 0)
+            .filter(|r| {
+                r.algorithm == alg && r.n == n && r.shards > 0 && r.split == 0 && r.frontier
+            })
             .min_by(|a, b| a.wall_ms.total_cmp(&b.wall_ms))
             .expect("s1 exists");
         rows.push(vec![

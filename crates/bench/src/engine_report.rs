@@ -50,6 +50,15 @@ pub struct EngineBenchRecord {
     pub physical_rounds: u64,
     /// CONGEST frames produced by fragmentation (0 outside split mode).
     pub fragments: usize,
+    /// Whether the run used frontier-indexed rounds (the engine default).
+    /// `false` marks a deliberate full-scan twin (`--no-frontier` rows);
+    /// `bench_gate --min-frontier-speedup` judges the on/off pairs.
+    pub frontier: bool,
+    /// Total node-steps the frontier index skipped across the run (summed
+    /// `RoundMetrics::frontier_skipped`). 0 for sequential baselines, full
+    /// scans, and legacy artifacts; `bench_trend` reports it next to
+    /// `active_frac` so the skip volume behind the density is visible.
+    pub frontier_skipped: usize,
 }
 
 impl EngineBenchRecord {
@@ -71,9 +80,23 @@ impl EngineBenchRecord {
         } else {
             format!("\"active_frac\":{:.4},", self.active_frac)
         };
+        // `true` is the engine default and the only value legacy artifacts
+        // could have meant — omit it, like the other no-information values.
+        let frontier = if self.frontier {
+            String::new()
+        } else {
+            String::from("\"frontier\":false,")
+        };
+        // 0 is the no-information value (baselines, full scans, legacy
+        // artifacts) — omit it, like the other defaults.
+        let skipped = if self.frontier_skipped == 0 {
+            String::new()
+        } else {
+            format!("\"frontier_skipped\":{},", self.frontier_skipped)
+        };
         format!(
             concat!(
-                "{{{}\"algorithm\":{},\"family\":{},\"fragments\":{},\"messages\":{},",
+                "{{{}\"algorithm\":{},\"family\":{},\"fragments\":{},{}{}\"messages\":{},",
                 "\"n\":{},{}\"physical_rounds\":{},\"rounds\":{},",
                 "\"route_ms\":{:.4},\"shards\":{},\"split\":{},\"wall_ms\":{:.4}}}"
             ),
@@ -81,6 +104,8 @@ impl EngineBenchRecord {
             json_string(&self.algorithm),
             json_string(&self.family),
             self.fragments,
+            frontier,
+            skipped,
             self.messages,
             self.n,
             p50,
@@ -142,6 +167,8 @@ pub fn parse_engine_bench_json(json: &str) -> Result<Vec<EngineBenchRecord>, Str
             split: 0,
             physical_rounds: 0,
             fragments: 0,
+            frontier: true,
+            frontier_skipped: 0,
         };
         let mut saw_physical = false;
         let mut saw_p50 = false;
@@ -173,6 +200,11 @@ pub fn parse_engine_bench_json(json: &str) -> Result<Vec<EngineBenchRecord>, Str
                     saw_physical = true;
                 }
                 "fragments" => rec.fragments = value.parse().map_err(|_| fail("bad fragments"))?,
+                "frontier" => rec.frontier = value.parse().map_err(|_| fail("bad frontier"))?,
+                "frontier_skipped" => {
+                    rec.frontier_skipped =
+                        value.parse().map_err(|_| fail("bad frontier_skipped"))?
+                }
                 other => return Err(fail(&format!("unknown key {other:?}"))),
             }
         }
@@ -274,7 +306,43 @@ mod tests {
             split: 0,
             physical_rounds: 24,
             fragments: 0,
+            frontier: true,
+            frontier_skipped: 0,
         }
+    }
+
+    #[test]
+    fn frontier_default_omitted_and_off_round_trips() {
+        let on = record();
+        let json = render_engine_bench_json(std::slice::from_ref(&on));
+        assert!(
+            !json.contains("frontier"),
+            "default true is omitted: {json}"
+        );
+        assert_eq!(parse_engine_bench_json(&json).unwrap(), vec![on]);
+
+        let mut off = record();
+        off.frontier = false;
+        let json = render_engine_bench_json(&[off.clone()]);
+        assert!(json.contains("\"frontier\":false"), "{json}");
+        assert_eq!(parse_engine_bench_json(&json).unwrap(), vec![off]);
+    }
+
+    #[test]
+    fn frontier_skipped_zero_omitted_and_nonzero_round_trips() {
+        let quiet = record();
+        let json = render_engine_bench_json(std::slice::from_ref(&quiet));
+        assert!(
+            !json.contains("frontier_skipped"),
+            "zero is omitted: {json}"
+        );
+        assert_eq!(parse_engine_bench_json(&json).unwrap(), vec![quiet]);
+
+        let mut busy = record();
+        busy.frontier_skipped = 98_765;
+        let json = render_engine_bench_json(&[busy.clone()]);
+        assert!(json.contains("\"frontier_skipped\":98765"), "{json}");
+        assert_eq!(parse_engine_bench_json(&json).unwrap(), vec![busy]);
     }
 
     #[test]

@@ -42,6 +42,12 @@ pub struct EngineMode<'m> {
     /// run) — faults key on logical messages, so they perturb each session
     /// identically at any shard count.
     pub faults: FaultPlan,
+    /// Frontier-sparse rounds for every internal session (`true` for the
+    /// production default). `false` forces the historical full-range scan —
+    /// the equivalence baseline and the `--no-frontier` twin rows the bench
+    /// gate compares against. Purely a performance knob: outputs, ledger
+    /// charges, and statistics are bit-identical either way.
+    pub frontier: bool,
     /// Shared worker pool threaded through every internal session: `Some`
     /// amortizes thread spawns to one per composite phase (a peeling run's
     /// levels all reuse these threads); `None` lets each session spawn its
@@ -57,6 +63,7 @@ impl EngineMode<'_> {
         let config = engine::EngineConfig::default()
             .with_shards(self.shards)
             .with_congest(self.congest)
+            .with_frontier(self.frontier)
             .with_faults(self.faults.clone());
         match &self.pool {
             Some(pool) => config.with_pool(pool),
@@ -347,6 +354,7 @@ mod tests {
                 shards,
                 congest: CongestMode::Unlimited,
                 faults: FaultPlan::default(),
+                frontier: true,
                 pool: None,
                 metrics: &mut metrics,
             });

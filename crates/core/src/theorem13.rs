@@ -91,7 +91,7 @@ impl Default for RadiusPolicy {
 }
 
 /// Configuration for [`list_color_sparse`].
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct SparseColoringConfig {
     /// Ball-radius policy (default: adaptive from 2).
     pub radius: RadiusPolicy,
@@ -122,6 +122,25 @@ pub struct SparseColoringConfig {
     /// shard counts; what it computes may of course differ from the
     /// fault-free run. Empty by default; ignored in sequential mode.
     pub engine_faults: FaultPlan,
+    /// Frontier-sparse rounds for every engine session of an engine-mode
+    /// run (`true` by default). `false` forces the historical full-range
+    /// scan — the baseline the bench gate's `--no-frontier` twin rows
+    /// measure. Outputs, ledger charges, and statistics are bit-identical
+    /// either way; ignored in sequential mode.
+    pub engine_frontier: bool,
+}
+
+impl Default for SparseColoringConfig {
+    fn default() -> Self {
+        SparseColoringConfig {
+            radius: RadiusPolicy::default(),
+            verify_mad: false,
+            engine_shards: None,
+            engine_congest: CongestMode::default(),
+            engine_faults: FaultPlan::default(),
+            engine_frontier: true,
+        }
+    }
 }
 
 /// Per-level peeling statistics.
@@ -324,6 +343,7 @@ pub fn list_color_sparse(
                 shards,
                 congest: config.engine_congest,
                 faults: config.engine_faults.clone(),
+                frontier: config.engine_frontier,
                 pool: engine_pool.clone(),
                 metrics: &mut engine_metrics,
             })

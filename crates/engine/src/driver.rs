@@ -33,6 +33,7 @@
 //! counts are bit-identical across shard counts, worker counts, and thread
 //! schedules, masked or not.
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -44,9 +45,22 @@ use crate::faults::FaultPlan;
 use crate::mailbox::Mailboxes;
 use crate::metrics::{EngineMetrics, RoundMetrics};
 use crate::pool::{stage_outbox, EnginePool, RouteEnv, StageEnv, WorkerPool};
-use crate::program::NodeProgram;
+use crate::program::{Activation, NodeProgram};
 use crate::shard::ShardPlan;
 use crate::view::GraphView;
+
+/// Resolves an [`Activation`] hint read after `round` into the wake-queue
+/// key: the first round at which the node must be stepped even without
+/// traffic (`u64::MAX` = never). `EveryRound` wants the very next round; a
+/// `WakeAt` in the past collapses to it too — the node was already stepped
+/// on time, so only future rounds matter.
+fn wake_round(hint: Activation, round: u64) -> u64 {
+    match hint {
+        Activation::EveryRound => round + 1,
+        Activation::OnMessage => u64::MAX,
+        Activation::WakeAt(r) => r.max(round + 1),
+    }
+}
 
 /// The ledger phase the extra physical rounds of
 /// [`CongestMode::Split`] are charged to — kept separate from the logical
@@ -130,7 +144,7 @@ pub struct EngineConfig {
     /// messages, or split them across virtual rounds. See [`CongestMode`].
     pub congest: CongestMode,
     /// Frontier-sparse rounds (default `true`): skip the `on_round` step of
-    /// nodes with an empty inbox whose [`Activation`](crate::Activation)
+    /// nodes with an empty inbox whose [`Activation`]
     /// hint does not request the round. Purely a performance knob when
     /// programs keep the activation contract — results are bit-identical;
     /// `false` forces the historical full scan (used by equivalence tests).
@@ -242,7 +256,7 @@ impl EngineConfig {
 
     /// Enables or disables frontier-sparse rounds (default on). With
     /// `false` every node steps every round regardless of traffic or its
-    /// [`Activation`](crate::Activation) hint — the engine's historical
+    /// [`Activation`] hint — the engine's historical
     /// behavior, kept as the reference side of equivalence tests.
     #[must_use]
     pub fn with_frontier(mut self, frontier: bool) -> Self {
@@ -343,6 +357,28 @@ pub struct EngineSession<'g, P: NodeProgram + 'static> {
     metrics: EngineMetrics,
     ledger: RoundLedger,
     round: u64,
+    /// Running count of nodes currently voting to halt, maintained from the
+    /// per-round halt deltas the workers report (an unstepped node's vote
+    /// cannot change), so the [`Stop::AllHalted`] check and the
+    /// `active_nodes` metric are O(1) instead of an O(n) census.
+    halted: usize,
+    /// Per dense vertex: the wake-queue round this node's latest
+    /// registration targets (`u64::MAX` = none). The dedup/invalidation
+    /// key: a queue entry fires only while it still matches, and is
+    /// consumed (set to `MAX`) when it does.
+    next_wake: Vec<u64>,
+    /// Per worker group: scheduled wakes, bucketed by due round. Fed by the
+    /// workers' post-step [`Activation`] hints (via `ShardYield::new_wakes`)
+    /// and the boot/`for_each_program` rescans; drained into `due` at the
+    /// round's start. Empty when `config.frontier` is off.
+    wakes: Vec<BTreeMap<u64, Vec<usize>>>,
+    /// Per worker group: this round's validated due list (absolute dense
+    /// indices), handed to the compute epoch alongside the inbox active
+    /// lists.
+    due: Vec<Vec<usize>>,
+    /// Recycled wake-bucket vectors, so steady-state queue churn (one
+    /// bucket per round for `EveryRound` programs) allocates nothing.
+    spare: Vec<Vec<usize>>,
     /// Set when a node-program panic unwound out of a round: program state
     /// is partially stepped and the round was rolled back, so continuing
     /// would silently break the replay contract. Further stepping refuses
@@ -463,6 +499,26 @@ impl<'g, P: NodeProgram + 'static> EngineSession<'g, P> {
         );
         mail.flip();
 
+        // Boot the frontier bookkeeping off the post-init program state:
+        // the running halt count, and one wake registration per node (round
+        // base 1 — the first round that can fire).
+        let halted = programs.iter().filter(|p| NodeProgram::halted(*p)).count();
+        let mut next_wake = vec![u64::MAX; live];
+        let mut wakes: Vec<BTreeMap<u64, Vec<usize>>> =
+            (0..groups.len()).map(|_| BTreeMap::new()).collect();
+        if config.frontier {
+            for (g, range) in groups.iter().enumerate() {
+                for dv in range.clone() {
+                    let wake = wake_round(programs[dv].activation(), 0);
+                    if wake != u64::MAX {
+                        next_wake[dv] = wake;
+                        wakes[g].entry(wake).or_default().push(dv);
+                    }
+                }
+            }
+        }
+        let due = (0..groups.len()).map(|_| Vec::new()).collect();
+
         EngineSession {
             view,
             config,
@@ -476,6 +532,11 @@ impl<'g, P: NodeProgram + 'static> EngineSession<'g, P> {
             metrics,
             ledger: RoundLedger::new(),
             round: 0,
+            halted,
+            next_wake,
+            wakes,
+            due,
+            spare: Vec::new(),
             poisoned: false,
         }
     }
@@ -511,7 +572,9 @@ impl<'g, P: NodeProgram + 'static> EngineSession<'g, P> {
                 }
             }
             Stop::AllHalted => loop {
-                if self.programs.iter().all(NodeProgram::halted) {
+                // O(1): the running halt count is maintained from worker
+                // deltas — see the `halted` field.
+                if self.halted == self.programs.len() {
                     break;
                 }
                 if self.round >= self.config.max_rounds {
@@ -546,6 +609,29 @@ impl<'g, P: NodeProgram + 'static> EngineSession<'g, P> {
     pub fn for_each_program(&mut self, mut f: impl FnMut(VertexId, &mut P)) {
         for (dv, p) in self.programs.iter_mut().enumerate() {
             f(self.view.original(dv), p);
+        }
+        // The hook may have rewritten any program's state: recount the halt
+        // votes and re-register every activation hint. Queue entries the
+        // rescan supersedes are invalidated at fire time by the `next_wake`
+        // match, so nothing needs removing here.
+        self.halted = self.programs.iter().filter(|p| p.halted()).count();
+        if self.config.frontier {
+            let round = self.round;
+            for (g, range) in self.groups.iter().enumerate() {
+                for dv in range.clone() {
+                    let wake = wake_round(self.programs[dv].activation(), round);
+                    if self.next_wake[dv] == wake {
+                        continue;
+                    }
+                    self.next_wake[dv] = wake;
+                    if wake != u64::MAX {
+                        self.wakes[g]
+                            .entry(wake)
+                            .or_insert_with(|| self.spare.pop().unwrap_or_default())
+                            .push(dv);
+                    }
+                }
+            }
         }
     }
 
@@ -631,6 +717,29 @@ impl<'g, P: NodeProgram + 'static> EngineSession<'g, P> {
         self.round += 1;
         let round = self.round;
         let started = Instant::now();
+        // The round-start activity census, O(1) off the running halt count.
+        let live = self.programs.len();
+        let active_nodes = live - self.halted;
+
+        // Assemble this round's due wake lists: pop the round's bucket per
+        // group and keep only entries whose registration still stands —
+        // superseded ones are invalidated here, at fire time, and a firing
+        // entry is consumed (its node re-registers after its step).
+        if self.config.frontier {
+            for (g, due) in self.due.iter_mut().enumerate() {
+                due.clear();
+                if let Some(mut bucket) = self.wakes[g].remove(&round) {
+                    for &dv in &bucket {
+                        if self.next_wake[dv] == round {
+                            self.next_wake[dv] = u64::MAX;
+                            due.push(dv);
+                        }
+                    }
+                    bucket.clear();
+                    self.spare.push(bucket);
+                }
+            }
+        }
 
         let env = StageEnv {
             faults: &self.config.faults,
@@ -644,6 +753,7 @@ impl<'g, P: NodeProgram + 'static> EngineSession<'g, P> {
             &mut self.programs,
             &mut self.ctxs,
             self.mail.cur(),
+            &self.due,
             &env,
             round,
             &self.groups,
@@ -659,22 +769,46 @@ impl<'g, P: NodeProgram + 'static> EngineSession<'g, P> {
         let mut duplicated = 0;
         let mut lost = 0;
         let mut max_width = 0;
-        let mut active_nodes = 0;
         let mut stepped = 0;
+        let mut newly_halted = 0;
+        let mut newly_unhalted = 0;
         let mail = &mut self.mail;
-        self.pool.collect_yields(|y| {
+        let next_wake = &mut self.next_wake;
+        let wakes = &mut self.wakes;
+        let spare = &mut self.spare;
+        let frontier = self.config.frontier;
+        self.pool.collect_yields(|g, y| {
             messages += y.messages;
             dropped += y.dropped;
             delayed += y.delayed;
             duplicated += y.duplicated;
             lost += y.lost;
             max_width = max_width.max(y.max_width);
-            active_nodes += y.active;
             stepped += y.stepped;
+            newly_halted += y.newly_halted;
+            newly_unhalted += y.newly_unhalted;
             for (due, batch) in y.delayed_batches.drain(..) {
                 mail.schedule(due, batch);
             }
+            if frontier {
+                // Register each stepped node's next wake. Group `g`'s arena
+                // holds only its own range, so the group index is the
+                // bucket-queue key — no per-node group lookup.
+                for (dv, wake) in y.new_wakes.drain(..) {
+                    if next_wake[dv] == wake {
+                        continue;
+                    }
+                    next_wake[dv] = wake;
+                    if wake != u64::MAX {
+                        wakes[g]
+                            .entry(wake)
+                            .or_insert_with(|| spare.pop().unwrap_or_default())
+                            .push(dv);
+                    }
+                }
+            }
         });
+        self.halted = self.halted + newly_halted - newly_unhalted;
         self.mail.inject_due(round + 1);
 
         let route_started = Instant::now();
@@ -712,13 +846,12 @@ impl<'g, P: NodeProgram + 'static> EngineSession<'g, P> {
             physical_rounds: self.config.congest.physical_rounds(tally.wire_width),
             fragments: tally.fragments,
             active_nodes,
-            active_frac: {
-                let live = self.view.live().len();
-                if live == 0 {
-                    1.0
-                } else {
-                    stepped as f64 / live as f64
-                }
+            live,
+            stepped,
+            active_frac: if live == 0 {
+                1.0
+            } else {
+                stepped as f64 / live as f64
             },
             wall: started.elapsed(),
             route_wall,

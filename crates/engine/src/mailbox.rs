@@ -8,7 +8,13 @@
 //! segment. The routing epoch rebuilds a segment with a counting sort —
 //! count per receiver, prefix-sum into spans, place each message once —
 //! so steady-state rounds perform **no per-message allocation**: segments,
-//! spans, and the counting scratch are all reused round over round.
+//! spans, and the counting scratch are all reused round over round. The
+//! counting sort additionally emits a per-group **active list** — the
+//! ascending dense indices of exactly the non-empty spans — for free: it
+//! is the compute epoch's frontier index (only listed vertices plus the
+//! driver's due wake list are stepped) and the buffer's own next
+//! span-reset list, which is what makes quiescent rounds O(frontier)
+//! rather than O(range).
 //!
 //! Two such buffers — `cur` (read this round) and `next` (rebuilt for the
 //! coming round) — plus a schedule of fault-delayed batches. Inboxes are
@@ -265,6 +271,12 @@ pub(crate) struct Inboxes<M> {
     segs: Vec<Vec<(VertexId, M)>>,
     /// Per dense vertex: `(start, len)` into its group's segment.
     spans: Vec<(usize, usize)>,
+    /// Per group: the **active list** — absolute dense indices of exactly
+    /// the non-empty spans of this buffer, ascending. Built by the routing
+    /// epoch as a by-product of the counting sort, it is both the compute
+    /// epoch's frontier index (step only these plus the due wake list) and
+    /// the next routing of this buffer's O(frontier) span-reset list.
+    active: Vec<Vec<usize>>,
 }
 
 impl<M> Inboxes<M> {
@@ -272,15 +284,18 @@ impl<M> Inboxes<M> {
         Inboxes {
             segs: (0..groups).map(|_| Vec::new()).collect(),
             spans: vec![(0, 0); live],
+            active: (0..groups).map(|_| Vec::new()).collect(),
         }
     }
 
     /// Group `g`'s read view: its segment plus the span rows of its dense
-    /// `range` (span starts are relative to the segment).
+    /// `range` (span starts are relative to the segment) and its active
+    /// list (absolute dense indices of the non-empty spans).
     pub(crate) fn group(&self, g: usize, range: Range<usize>) -> GroupInboxes<'_, M> {
         GroupInboxes {
             seg: &self.segs[g],
             spans: &self.spans[range.start..range.end],
+            active: &self.active[g],
         }
     }
 }
@@ -291,6 +306,10 @@ impl<M> Inboxes<M> {
 pub(crate) struct GroupInboxes<'a, M> {
     pub(crate) seg: &'a [(VertexId, M)],
     pub(crate) spans: &'a [(usize, usize)],
+    /// Absolute dense indices of the non-empty spans, ascending — the
+    /// vertices that received traffic, i.e. the message half of the round's
+    /// frontier.
+    pub(crate) active: &'a [usize],
 }
 
 impl<M> Clone for GroupInboxes<'_, M> {
@@ -324,7 +343,13 @@ pub(crate) struct RouteTargets<M> {
     pub(crate) segs: *mut Vec<(VertexId, M)>,
     /// Per-vertex span rows of the `next` buffer.
     pub(crate) spans: *mut (usize, usize),
-    /// Per-vertex counting-sort scratch.
+    /// Per-group active lists of the `next` buffer (`add(group)` = the
+    /// group's own). On entry each holds the indices of the spans the
+    /// buffer's *previous* routing left non-empty — exactly the spans that
+    /// need resetting; on exit, the freshly non-empty ones.
+    pub(crate) active: *mut Vec<usize>,
+    /// Per-vertex counting-sort scratch. All-zeros between epochs: each
+    /// routing zeroes exactly the entries it touched.
     pub(crate) counts: *mut usize,
     /// Per-group due-delayed lists (`add(group)`), drained first.
     pub(crate) pending: *mut Vec<Routed<M>>,
@@ -417,6 +442,7 @@ impl<M: EngineMessage> Mailboxes<M> {
         RouteTargets {
             segs: self.next.segs.as_mut_ptr(),
             spans: self.next.spans.as_mut_ptr(),
+            active: self.next.active.as_mut_ptr(),
             counts: self.counts.as_mut_ptr(),
             pending: self.pending.as_mut_ptr(),
             reasm: self.reasm.as_mut_ptr(),
@@ -479,7 +505,11 @@ impl<M: EngineMessage> Mailboxes<M> {
             scratch,
             ..
         } = self;
-        let Inboxes { segs, spans } = next;
+        let Inboxes {
+            segs,
+            spans,
+            active,
+        } = next;
         for (g, mut fresh) in buckets.into_iter().enumerate() {
             let mut items: Vec<Routed<M>> = std::mem::take(&mut pending[g]);
             items.append(&mut fresh);
@@ -488,6 +518,7 @@ impl<M: EngineMessage> Mailboxes<M> {
             items.sort_by_key(|r| r.0);
             let seg = &mut segs[g];
             seg.clear();
+            active[g].clear();
             let mut iter = items.into_iter().peekable();
             for dv in bounds[g]..bounds[g + 1] {
                 let start = seg.len();
@@ -496,6 +527,9 @@ impl<M: EngineMessage> Mailboxes<M> {
                     seg.push((src, m));
                 }
                 spans[dv] = (start, seg.len() - start);
+                if spans[dv].1 > 0 {
+                    active[g].push(dv);
+                }
                 tally.absorb(finalize_inbox(
                     &mut seg[start..],
                     &mut reasm[dv],
@@ -566,6 +600,11 @@ mod tests {
             mail.cur.spans,
             vec![(0, 1), (1, 2), (0, 0), (0, 1)],
             "span starts are relative to the group's segment"
+        );
+        assert_eq!(
+            mail.cur.active,
+            vec![vec![0, 1], vec![3]],
+            "active lists index exactly the non-empty spans"
         );
     }
 

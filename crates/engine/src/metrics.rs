@@ -47,10 +47,19 @@ pub struct RoundMetrics {
     pub fragments: usize,
     /// Nodes whose halt vote was still "active" when the round started.
     pub active_nodes: usize,
+    /// Live-range size when the round ran — the denominator behind
+    /// [`active_frac`](RoundMetrics::active_frac), kept so session-level
+    /// aggregation ([`EngineMetrics::mean_active_frac`]) can weight rounds
+    /// by how much work a full scan *would* have cost.
+    pub live: usize,
+    /// Nodes actually stepped this round — the realized frontier. Equals
+    /// [`live`](RoundMetrics::live) with frontier gating off.
+    pub stepped: usize,
     /// Fraction of live nodes actually *stepped* this round — the frontier
-    /// density. 1.0 with frontier gating off (or every node active); tails
-    /// of peeling levels and ruling-forest floods decay toward 0 as the
-    /// quiescent bulk is skipped. `bench_trend` charts this decay.
+    /// density (`stepped / live`). 1.0 with frontier gating off (or every
+    /// node active); tails of peeling levels and ruling-forest floods decay
+    /// toward 0 as the quiescent bulk is skipped. `bench_trend` charts this
+    /// decay.
     pub active_frac: f64,
     /// Wall-clock time of the round (compute + routing).
     pub wall: Duration,
@@ -211,15 +220,28 @@ impl EngineMetrics {
         self.rounds.iter().map(|r| r.route_wall).sum()
     }
 
-    /// Mean per-round frontier density
-    /// ([`active_frac`](RoundMetrics::active_frac)) across all executed
-    /// rounds — the one-number summary the bench artifact records. 1.0 for
-    /// an empty run (nothing was skippable).
+    /// Mean frontier density across all executed rounds, **weighted by
+    /// live-range size**: `Σ stepped / Σ live`. An unweighted mean of
+    /// per-round fractions would let a masked 10-node tail session drag the
+    /// average as hard as a million-node bulk round; weighting makes the
+    /// number answer "what fraction of the full-scan work did the engine
+    /// actually do". 1.0 for an empty run (nothing was skippable).
     pub fn mean_active_frac(&self) -> f64 {
-        if self.rounds.is_empty() {
+        let live: usize = self.rounds.iter().map(|r| r.live).sum();
+        if live == 0 {
             return 1.0;
         }
-        self.rounds.iter().map(|r| r.active_frac).sum::<f64>() / self.rounds.len() as f64
+        let stepped: usize = self.rounds.iter().map(|r| r.stepped).sum();
+        stepped as f64 / live as f64
+    }
+
+    /// Total node-steps skipped by frontier gating across the run:
+    /// `Σ (live - stepped)`. 0 with gating off; the companion number to
+    /// [`mean_active_frac`](EngineMetrics::mean_active_frac) in
+    /// `bench_trend`'s frontier column (density says how sparse rounds
+    /// were, this says how much absolute work that sparsity saved).
+    pub fn total_frontier_skipped(&self) -> usize {
+        self.rounds.iter().map(|r| r.live - r.stepped).sum()
     }
 
     /// The per-round message counts — the replay-determinism fingerprint
@@ -272,6 +294,8 @@ mod tests {
             physical_rounds: 1,
             fragments: 0,
             active_nodes: 3,
+            live: 3,
+            stepped: 3,
             active_frac: 1.0,
             wall: Duration::from_micros(10),
             route_wall: Duration::from_micros(4),
@@ -325,6 +349,26 @@ mod tests {
         assert_eq!(a.total_fragments(), 6);
         assert_eq!(a.total_dropped(), 1);
         assert_eq!(a.message_counts(), vec![5, 7, 2]);
+    }
+
+    #[test]
+    fn mean_active_frac_weights_by_live_range() {
+        let mut m = EngineMetrics::default();
+        // A big full-scan round and a tiny sparse one: the unweighted mean
+        // would be (1.0 + 0.1) / 2 = 0.55; weighting by live size keeps the
+        // big round dominant.
+        let mut big = round(1, 0, 0);
+        big.live = 1000;
+        big.stepped = 1000;
+        big.active_frac = 1.0;
+        let mut small = round(2, 0, 0);
+        small.live = 10;
+        small.stepped = 1;
+        small.active_frac = 0.1;
+        m.push(big);
+        m.push(small);
+        assert!((m.mean_active_frac() - 1001.0 / 1010.0).abs() < 1e-12);
+        assert_eq!(m.total_frontier_skipped(), 9);
     }
 
     #[test]

@@ -161,11 +161,22 @@ pub(crate) struct ShardYield<M> {
     pub(crate) lost: usize,
     /// Widest message emitted.
     pub(crate) max_width: usize,
-    /// Nodes whose halt vote was still "active" when the round started.
-    pub(crate) active: usize,
     /// Nodes actually stepped (`on_round` called) this round — the
     /// frontier. Equals the range length when gating is off.
     pub(crate) stepped: usize,
+    /// Stepped nodes whose halt vote flipped to "halted" this round. An
+    /// unstepped node's vote cannot change (its state is untouched), so
+    /// these deltas keep the driver's live halt count exact without an
+    /// O(range) census.
+    pub(crate) newly_halted: usize,
+    /// Stepped nodes whose halt vote flipped back to "active" this round.
+    pub(crate) newly_unhalted: usize,
+    /// Wake registrations of the stepped nodes, `(dense index, due
+    /// round)` with `u64::MAX` = never — each node's post-step
+    /// [`Activation`] hint resolved against the current round. Drained by
+    /// the driver into its per-group wake queues between epochs. Filled
+    /// only when `env.frontier` is set.
+    pub(crate) new_wakes: Vec<(usize, u64)>,
 }
 
 impl<M> ShardYield<M> {
@@ -181,8 +192,10 @@ impl<M> ShardYield<M> {
             duplicated: 0,
             lost: 0,
             max_width: 0,
-            active: 0,
             stepped: 0,
+            newly_halted: 0,
+            newly_unhalted: 0,
+            new_wakes: Vec::new(),
         }
     }
 
@@ -221,8 +234,10 @@ impl<M> ShardYield<M> {
         self.duplicated = 0;
         self.lost = 0;
         self.max_width = 0;
-        self.active = 0;
         self.stepped = 0;
+        self.newly_halted = 0;
+        self.newly_unhalted = 0;
+        self.new_wakes.clear();
     }
 }
 
@@ -230,42 +245,81 @@ impl<M> ShardYield<M> {
 /// reading inboxes from the group's segment view and expanding outboxes
 /// into `y`'s bucketed arena, applying faults.
 ///
-/// With `env.frontier` set, a node whose inbox is empty is stepped only if
-/// its [`Activation`](crate::Activation) hint requests the round — the
-/// frontier-sparse fast path that turns quiescent-bulk rounds from `O(n)`
-/// program steps into `O(frontier)`. The skip decision is a pure function
-/// of shard-invariant state (the hint and the routed traffic), so gated
-/// runs replay bit-identically at any shard count.
+/// With `env.frontier` set this is **frontier-indexed**: instead of
+/// scanning the whole range, only the vertices of the inbox active list
+/// (built for free by last round's routing epoch) plus the driver's `due`
+/// wake list are stepped, so quiescent-bulk rounds cost O(frontier)
+/// rather than O(range). A node in neither list behaves exactly as if its
+/// `on_round` had returned `Silent` without touching state — the
+/// [`Activation`](crate::Activation) contract. Both lists are pure
+/// functions of shard-invariant state (the routed traffic and the hints),
+/// so gated runs replay bit-identically at any shard count; with the flag
+/// off, every node of the range is stepped — the historical full scan.
+///
+/// Either path reports halt-vote *deltas* of the stepped nodes (an
+/// unstepped node's vote cannot change, so the driver's running halt
+/// count stays exact without an O(range) census); the frontier path also
+/// records each stepped node's next wake request in `y.new_wakes`.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_range<P: NodeProgram>(
     programs: &mut [P],
     ctxs: &mut [NodeCtx<'_>],
     inboxes: GroupInboxes<'_, P::Message>,
+    due: &[usize],
+    base: usize,
     round: u64,
     env: &StageEnv<'_>,
     y: &mut ShardYield<P::Message>,
 ) {
     y.reset();
     debug_assert_eq!(inboxes.len(), programs.len());
-    for (i, (p, ctx)) in programs.iter_mut().zip(ctxs.iter_mut()).enumerate() {
-        if !p.halted() {
-            y.active += 1;
-        }
-        let inbox = inboxes.inbox(i);
-        if env.frontier && inbox.is_empty() {
-            let wanted = match p.activation() {
-                Activation::EveryRound => true,
-                Activation::OnMessage => false,
-                Activation::WakeAt(r) => round >= r,
+    if env.frontier {
+        let len = programs.len();
+        let mut step = |i: usize, y: &mut ShardYield<P::Message>| {
+            let (p, ctx) = (&mut programs[i], &mut ctxs[i]);
+            let was_halted = p.halted();
+            y.stepped += 1;
+            ctx.round = round;
+            let outbox = p.on_round(ctx, inboxes.inbox(i));
+            stage_outbox(ctx.id, outbox, ctx.neighbors, round, env, y);
+            match (was_halted, p.halted()) {
+                (false, true) => y.newly_halted += 1,
+                (true, false) => y.newly_unhalted += 1,
+                _ => {}
+            }
+            let wake = match p.activation() {
+                Activation::EveryRound => round + 1,
+                Activation::OnMessage => u64::MAX,
+                Activation::WakeAt(r) => r.max(round + 1),
             };
-            if !wanted {
-                // An implicit Silent step: state untouched, nothing staged.
-                continue;
+            y.new_wakes.push((base + i, wake));
+        };
+        for &dv in inboxes.active {
+            debug_assert!(dv >= base && dv - base < len);
+            step(dv - base, y);
+        }
+        for &dv in due {
+            debug_assert!(dv >= base && dv - base < len);
+            // A due node with traffic was already stepped off the active
+            // list; the lists are otherwise disjoint (active holds exactly
+            // the non-empty inboxes) and internally duplicate-free.
+            if inboxes.inbox(dv - base).is_empty() {
+                step(dv - base, y);
             }
         }
-        y.stepped += 1;
-        ctx.round = round;
-        let outbox = p.on_round(ctx, inbox);
-        stage_outbox(ctx.id, outbox, ctx.neighbors, round, env, y);
+    } else {
+        for (i, (p, ctx)) in programs.iter_mut().zip(ctxs.iter_mut()).enumerate() {
+            let was_halted = p.halted();
+            y.stepped += 1;
+            ctx.round = round;
+            let outbox = p.on_round(ctx, inboxes.inbox(i));
+            stage_outbox(ctx.id, outbox, ctx.neighbors, round, env, y);
+            match (was_halted, p.halted()) {
+                (false, true) => y.newly_halted += 1,
+                (true, false) => y.newly_unhalted += 1,
+                _ => {}
+            }
+        }
     }
 }
 
@@ -471,14 +525,25 @@ fn expand_into<M: EngineMessage>(
 /// adversarial reorder (see `mailbox::finalize_inbox`). Returns the
 /// range's [`RouteTally`] (frames produced, widest delivered message).
 ///
+/// The sort is **frontier-sparse**: every pass walks only the vertices
+/// that actually receive traffic this round, collected into the buffer's
+/// active list as the counting pass runs. Stale spans (non-empty when
+/// this buffer was last routed, two flips ago) are reset off the old
+/// active list, and the counting scratch is re-zeroed entry by entry, so
+/// the whole epoch is O(frontier + messages) — a quiescent round never
+/// touches the bulk of the range. The invariants carried between epochs:
+/// `t.counts` is all-zeros, and every span outside the buffer's active
+/// list is `(0, 0)`.
+///
 /// # Safety
 ///
 /// The caller must guarantee, for the duration of the call: bucket `group`
-/// of every arena is accessed by this caller alone; `t.segs.add(group)`
-/// and `t.pending.add(group)` are accessed by this caller alone; the
-/// per-vertex arrays behind `t.spans` / `t.counts` / `t.reasm` hold at
-/// least `range.end` entries, with the entries in `range` accessed by
-/// this caller alone. The epoch barrier protocol provides all of it.
+/// of every arena is accessed by this caller alone; `t.segs.add(group)`,
+/// `t.active.add(group)`, and `t.pending.add(group)` are accessed by this
+/// caller alone; the per-vertex arrays behind `t.spans` / `t.counts` /
+/// `t.reasm` hold at least `range.end` entries, with the entries in
+/// `range` accessed by this caller alone. The epoch barrier protocol
+/// provides all of it.
 unsafe fn route_range<M: EngineMessage>(
     arenas: &[ArenaSlot<M>],
     group: usize,
@@ -488,50 +553,67 @@ unsafe fn route_range<M: EngineMessage>(
 ) -> RouteTally {
     let base = range.start;
     // SAFETY: `range` is this worker's exclusive slice of the per-vertex
-    // arrays; segment, pending list, and encode arena `group` are ours
-    // alone.
+    // arrays; segment, active list, pending list, and encode arena `group`
+    // are ours alone.
     let counts = unsafe { std::slice::from_raw_parts_mut(t.counts.add(base), range.len()) };
     let spans = unsafe { std::slice::from_raw_parts_mut(t.spans.add(base), range.len()) };
+    let active = unsafe { &mut *t.active.add(group) };
     let pending = unsafe { &mut *t.pending.add(group) };
     let seg = unsafe { &mut *t.segs.add(group) };
     let scratch = unsafe { &mut *t.scratch.add(group) };
 
-    // Frontier fast path: a group no traffic targets this round rebuilds
-    // to all-empty inboxes without walking the counting sort — quiet
-    // groups cost one span memset, not O(range + messages).
-    let quiet = pending.is_empty()
-        && arenas
-            .iter()
-            // SAFETY: shared view of the arena; bucket `group` is ours.
-            .all(|arena| unsafe { (*arena.0.get()).bucket_shared(group) }.is_empty());
-    if quiet {
-        seg.clear();
-        spans.fill((0, 0));
-        return RouteTally::default();
+    // Reset exactly the spans this buffer's previous routing left
+    // non-empty — its active list. Every other span of the range is
+    // already (0, 0), so this is the O(frontier) twin of the old
+    // O(range) `spans.fill((0, 0))`.
+    for &dv in active.iter() {
+        debug_assert!(range.contains(&dv), "active {group} holds only our range");
+        spans[dv - base] = (0, 0);
     }
+    active.clear();
 
-    // Counting pass: pending-delayed traffic plus every arena's bucket.
-    counts.fill(0);
+    // Counting pass: pending-delayed traffic plus every arena's bucket,
+    // collecting each receiver into the fresh active list the first time
+    // it is seen. `counts` is all-zeros on entry (each routing re-zeroes
+    // what it touched), so "count was zero" means "first sighting".
     for &(dv, _, _) in pending.iter() {
         debug_assert!(range.contains(&dv), "pending {group} holds only our range");
-        counts[dv - base] += 1;
+        let c = &mut counts[dv - base];
+        if *c == 0 {
+            active.push(dv);
+        }
+        *c += 1;
     }
     for arena in arenas {
         // SAFETY: shared view of the arena; bucket `group` is ours alone.
         let bucket = unsafe { (*arena.0.get()).bucket_shared(group) };
         for r in bucket.iter() {
             debug_assert!(range.contains(&r.0), "bucket {group} holds only our range");
-            counts[r.0 - base] += 1;
+            let c = &mut counts[r.0 - base];
+            if *c == 0 {
+                active.push(r.0);
+            }
+            *c += 1;
         }
     }
+    if active.is_empty() {
+        // A quiet group: nothing to place, and the stale spans are already
+        // reset — the whole epoch cost O(previous frontier).
+        seg.clear();
+        return RouteTally::default();
+    }
+    // The compute epoch walks the list in order; staging order feeds the
+    // delivery contract, so the index must ascend like a full scan would.
+    active.sort_unstable();
 
-    // Prefix-sum the counts into spans; the counts become placement
-    // cursors.
+    // Prefix-sum the active counts into spans; the counts become
+    // placement cursors.
     let mut total = 0usize;
-    for (span, c) in spans.iter_mut().zip(counts.iter_mut()) {
-        *span = (total, *c);
+    for &dv in active.iter() {
+        let c = &mut counts[dv - base];
+        spans[dv - base] = (total, *c);
         *c = total;
-        total += span.1;
+        total += spans[dv - base].1;
     }
 
     // Placement pass, same source order as the counting pass: pending
@@ -562,13 +644,12 @@ unsafe fn route_range<M: EngineMessage>(
     // SAFETY: exactly `total` slots were initialized above.
     unsafe { seg.set_len(total) };
 
+    // Finalize only the active spans — there are no other non-empty ones —
+    // and restore the all-zeros counting-scratch invariant as we go.
     let mut tally = RouteTally::default();
-    for (i, &(start, len)) in spans.iter().enumerate() {
-        // Empty spans have nothing to split, sort, or reorder.
-        if len == 0 {
-            continue;
-        }
-        let dv = base + i;
+    for &dv in active.iter() {
+        let (start, len) = spans[dv - base];
+        counts[dv - base] = 0;
         // SAFETY: the range's reassembly buffers are ours alone.
         let buffers = unsafe { &mut *t.reasm.add(dv) };
         tally.absorb(finalize_inbox(
@@ -865,17 +946,22 @@ impl<P: NodeProgram + 'static> WorkerPool<P> {
     /// programs themselves are now partially stepped.
     ///
     /// `ranges` must be disjoint ascending sub-ranges of the dense arrays,
-    /// one per worker group, matching `env.bounds`.
+    /// one per worker group, matching `env.bounds`; `due` is the driver's
+    /// per-group scheduled-wake lists for this round (absolute dense
+    /// indices, consulted only when `env.frontier` is set).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn execute(
         &mut self,
         programs: &mut [P],
         ctxs: &mut [NodeCtx<'_>],
         inboxes: &Inboxes<P::Message>,
+        due: &[Vec<usize>],
         env: &StageEnv<'_>,
         round: u64,
         ranges: &[Range<usize>],
     ) -> Result<(), Box<dyn Any + Send + 'static>> {
         assert_eq!(ranges.len(), self.arenas.len(), "one range per group");
+        assert_eq!(due.len(), self.arenas.len(), "one due list per group");
         // Every group derives its slice from the same root pointers, so no
         // group's reborrow can invalidate another's.
         let prog_root = SyncPtr(programs.as_mut_ptr());
@@ -899,6 +985,8 @@ impl<P: NodeProgram + 'static> WorkerPool<P> {
                 progs,
                 ctxs,
                 inboxes.group(g, range.clone()),
+                &due[g],
+                range.start,
                 round,
                 env,
                 arena,
@@ -951,14 +1039,15 @@ impl<P: NodeProgram + 'static> WorkerPool<P> {
     }
 
     /// Visits every group's arena in deterministic group order (driver's
-    /// group 0 first) between epochs — the driver tallies counters and
-    /// collects fault-delayed batches here. Exclusive access: workers are
-    /// parked at the `start` barrier.
-    pub(crate) fn collect_yields(&mut self, mut f: impl FnMut(&mut ShardYield<P::Message>)) {
-        for arena in &self.arenas {
+    /// group 0 first) between epochs — the driver tallies counters,
+    /// collects fault-delayed batches, and drains wake registrations here
+    /// (the group index keys the driver's per-group wake queues).
+    /// Exclusive access: workers are parked at the `start` barrier.
+    pub(crate) fn collect_yields(&mut self, mut f: impl FnMut(usize, &mut ShardYield<P::Message>)) {
+        for (g, arena) in self.arenas.iter().enumerate() {
             // SAFETY: workers are parked; `&mut self` keeps the driver side
             // exclusive.
-            f(unsafe { &mut *arena.0.get() });
+            f(g, unsafe { &mut *arena.0.get() });
         }
     }
 }

@@ -135,6 +135,15 @@ pub enum Activation {
     /// — for programs with an offline schedule (a peeling level, a
     /// color-class slot, a flood deadline) that must fire on time even if
     /// no neighbor speaks first.
+    ///
+    /// Wake-queue contract: the hint is re-read after **every** step (and
+    /// after every [`for_each_program`](crate::EngineSession::for_each_program)
+    /// rescan), and only the latest reading stands — returning
+    /// `WakeAt(r)` registers one future wake at `r` (a past `r` collapses
+    /// to the next round; the node was stepped on time, so only the future
+    /// matters), and any earlier registration is superseded. A wake fires
+    /// the node exactly once at round `r` even if its inbox is empty; to
+    /// fire again the program must return a fresh `WakeAt` from that step.
     WakeAt(u64),
 }
 

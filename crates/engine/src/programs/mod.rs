@@ -74,6 +74,17 @@
 //!   [`RandomizedProgram`], [`SweepProgram`]): the frontier is `n` by
 //!   declaration; they broadcast every round, so there is nothing to skip.
 //!
+//! Wake-queue contract for `WakeAt` programs: the engine re-reads the
+//! activation hint after every step and keeps only the **latest** reading,
+//! so a `WakeAt(r)` is a single-shot alarm — it steps the node once at
+//! round `r` (or earlier, if traffic arrives first), and the program must
+//! return a fresh `WakeAt` from that step to schedule the next slot.
+//! [`LayeredGreedyProgram`] does exactly this: each layer step registers
+//! the next `(depth, class)` slot round, so between slots the node costs
+//! the scheduler one bucket-queue entry and zero compute. A hint must be a
+//! pure function of program state (it is re-derived on rescans), never of
+//! wall-clock or shard placement.
+//!
 //! [`RoundMetrics::active_frac`](crate::RoundMetrics) reports the realized
 //! ratio per round; `bench_trend` charts its decay across committed bench
 //! artifacts.

@@ -41,9 +41,52 @@ impl ShardPlan {
     }
 
     /// Splits a view's live vertices into `shards` contiguous dense ranges
-    /// — the masked-session entry point.
+    /// balanced by **edge mass** — each vertex weighs `deg + 1`, so skewed
+    /// families (apollonian hubs, random-tree roots) stop concentrating
+    /// their CSR work in one hot shard. Ranges stay contiguous and ascend
+    /// in dense id, so this is a pure rebalancing of `contiguous`: every
+    /// determinism argument (stable sender order, group-ordered drains)
+    /// holds unchanged, and shard *placement* remains a performance knob.
+    ///
+    /// Every shard is non-empty (cut points are strictly ascending), so the
+    /// clamping contract of [`contiguous`](ShardPlan::contiguous) carries
+    /// over.
     pub fn for_view(view: &GraphView<'_>, shards: usize) -> Self {
-        ShardPlan::contiguous(view.live_count(), shards)
+        let n = view.live_count();
+        let shards = shards.clamp(1, n.max(1));
+        if shards == 1 || n == 0 {
+            return ShardPlan::contiguous(n, shards);
+        }
+        let total: usize = (0..n).map(|dv| view.neighbors(dv).len() + 1).sum();
+        let mut bounds = Vec::with_capacity(shards + 1);
+        bounds.push(0);
+        let mut acc = 0usize;
+        let mut next_cut = 1usize;
+        for dv in 0..n {
+            acc += view.neighbors(dv).len() + 1;
+            // Cut once the running mass crosses the next ideal boundary
+            // (`acc / total >= next_cut / shards`, in integers), but never
+            // so late that the remaining vertices cannot give every later
+            // shard at least one, and never twice at the same vertex.
+            while next_cut < shards
+                && acc * shards >= total * next_cut
+                && dv < n - (shards - next_cut)
+                && dv + 1 > bounds[next_cut - 1]
+            {
+                bounds.push(dv + 1);
+                next_cut += 1;
+            }
+        }
+        // Mass exhausted with cuts to spare (heavy tail vertex): fill the
+        // remaining cuts with the latest legal positions, one vertex each.
+        while next_cut < shards {
+            bounds.push(n - (shards - next_cut));
+            next_cut += 1;
+        }
+        bounds.push(n);
+        debug_assert_eq!(bounds.len(), shards + 1);
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        ShardPlan { bounds }
     }
 
     /// Number of shards.
@@ -107,6 +150,64 @@ impl ShardPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use graphs::{gen, Graph};
+
+    #[test]
+    fn for_view_balances_edge_mass_on_a_star() {
+        // star(7): hub 0 (weight 8) + 7 leaves (weight 2 each), total 22.
+        let g = gen::star(7);
+        let view = GraphView::new(&g, None);
+        let plan = ShardPlan::for_view(&view, 2);
+        let masses: Vec<usize> = plan
+            .ranges()
+            .map(|r| r.map(|dv| view.neighbors(dv).len() + 1).sum::<usize>())
+            .collect();
+        assert_eq!(masses.iter().sum::<usize>(), 22);
+        // A vertex-count split ([0,4,8]) puts mass 14 in shard 0; the
+        // edge-mass split cuts earlier.
+        assert_eq!(masses, vec![12, 10]);
+    }
+
+    #[test]
+    fn for_view_matches_contiguous_on_uniform_degrees() {
+        let g = gen::cycle(12);
+        let view = GraphView::new(&g, None);
+        for shards in [1usize, 2, 3, 4, 6] {
+            assert_eq!(
+                ShardPlan::for_view(&view, shards),
+                ShardPlan::contiguous(12, shards),
+                "shards = {shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn for_view_covers_everything_with_nonempty_shards() {
+        // The last graph is a star with the hub at the END: its mass is
+        // exhausted before all cuts are placed, exercising the tail fill.
+        let graphs = [
+            gen::star(40),
+            gen::random_tree(97, 3),
+            gen::complete(9),
+            gen::path(5),
+            Graph::from_edges(5, [(4usize, 0usize), (4, 1), (4, 2), (4, 3)]),
+        ];
+        for g in &graphs {
+            let view = GraphView::new(g, None);
+            for shards in [1usize, 2, 3, 8, 16, 64, 200] {
+                let plan = ShardPlan::for_view(&view, shards);
+                assert_eq!(plan.n(), g.n());
+                assert_eq!(plan.shards(), shards.clamp(1, g.n().max(1)));
+                let mut prev = 0;
+                for r in plan.ranges() {
+                    assert_eq!(r.start, prev, "contiguous (n={}, k={shards})", g.n());
+                    assert!(!r.is_empty(), "empty shard (n={}, k={shards})", g.n());
+                    prev = r.end;
+                }
+                assert_eq!(prev, g.n());
+            }
+        }
+    }
 
     #[test]
     fn covers_all_vertices_without_overlap() {

@@ -129,6 +129,7 @@ fn engine_config(spec: &TrialSpec, n: usize) -> EngineConfig {
         .with_shards(spec.shards)
         .with_workers(spec.workers.resolve(spec.shards))
         .with_congest(spec.congest.to_mode())
+        .with_frontier(spec.frontier)
         .with_faults(spec.faults.plan(n))
 }
 
@@ -396,6 +397,7 @@ fn run_theorem13(spec: &TrialSpec, g: &Graph) -> TrialOutput {
         engine_shards: (!spec.is_sequential()).then_some(spec.shards),
         engine_congest: spec.congest.to_mode(),
         engine_faults: spec.faults.plan(g.n()),
+        engine_frontier: spec.frontier,
         ..Default::default()
     };
     match list_color_sparse(g, &lists, d, config) {
@@ -466,6 +468,7 @@ mod tests {
             workers: WorkerSpec::MatchShards,
             congest: CongestSpec::Unlimited,
             faults: FaultSpec::default(),
+            frontier: true,
             rep: 0,
             params: Params::default(),
         }

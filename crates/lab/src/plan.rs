@@ -44,6 +44,11 @@ pub struct TrialSpec {
     pub congest: CongestSpec,
     /// Declared fault plan.
     pub faults: FaultSpec,
+    /// Frontier-sparse rounds (scenario-level flag; `false` forces the
+    /// full-range scan). Purely a perf knob, like shards and workers: it
+    /// never enters [`TrialSpec::config_key`], because a frontier trial
+    /// and its full-scan twin must produce bit-identical outputs.
+    pub frontier: bool,
     /// Repetition index, `0..reps`.
     pub rep: usize,
     /// Algorithm parameters.
@@ -102,6 +107,7 @@ impl TrialSpec {
             ("congest".into(), Value::str(self.congest.label())),
             ("family".into(), Value::str(&self.family)),
             ("faults".into(), Value::str(self.faults.label())),
+            ("frontier".into(), Value::Bool(self.frontier)),
             ("id".into(), Value::int(self.id as u64)),
             ("n".into(), Value::int(self.n as u64)),
             ("rep".into(), Value::int(self.rep as u64)),
@@ -163,6 +169,7 @@ pub fn expand(suite: &Suite) -> Result<Vec<TrialSpec>, String> {
                                                 workers,
                                                 congest,
                                                 faults: faults.clone(),
+                                                frontier: sc.frontier,
                                                 rep,
                                                 params: sc.params,
                                             });

@@ -103,6 +103,7 @@ impl TrialRow {
             ("family".into(), Value::str(&self.spec.family)),
             ("faults".into(), Value::str(self.spec.faults.label())),
             ("fragments".into(), Value::int(self.fragments as u64)),
+            ("frontier".into(), Value::Bool(self.spec.frontier)),
             ("graph_m".into(), Value::int(self.graph_m as u64)),
             ("graph_n".into(), Value::int(self.graph_n as u64)),
             ("id".into(), Value::int(self.spec.id as u64)),

@@ -76,6 +76,12 @@ pub struct Scenario {
     pub congest: Vec<CongestSpec>,
     /// Fault-plan axis (defaults to `[none]`).
     pub faults: Vec<FaultSpec>,
+    /// Frontier-sparse rounds for every engine trial (`true` by default).
+    /// `false` pins the scenario to the historical full-range scan — the
+    /// twin scenarios the bench suite uses to keep the frontier index
+    /// honest. A single flag rather than an axis: a full-scan twin wants
+    /// its own name and budget, not a silent doubling of every scenario.
+    pub frontier: bool,
     /// Repetitions per configuration (wall-clock sampling; outputs replay
     /// bit-identically across reps by the determinism contract).
     pub reps: usize,
@@ -540,6 +546,12 @@ fn parse_scenario(v: &Value) -> Result<Scenario, String> {
         })?
         .unwrap_or_else(|| vec![CongestSpec::Unlimited]),
         faults: axis(v, "faults", parse_fault)?.unwrap_or_else(|| vec![FaultSpec::default()]),
+        frontier: match v.get("frontier") {
+            None => true,
+            Some(b) => b
+                .as_bool()
+                .ok_or_else(|| err("\"frontier\" must be a boolean".into()))?,
+        },
         reps: match v.get("reps") {
             None => 1,
             Some(r) => r

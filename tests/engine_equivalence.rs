@@ -440,6 +440,105 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The frontier-vs-full-scan contract for the remaining program
+    /// families — Cole–Vishkin, H-partition, randomized list coloring, and
+    /// the (d+1) class sweep (the `WakeAt`-scheduled layered program):
+    /// outputs, ledger totals, and per-round message fingerprints are
+    /// bit-identical to `with_frontier(false)` at shards {1, 2, 8}.
+    #[test]
+    fn frontier_gating_matches_full_scan_on_remaining_programs(
+        n in 30usize..150,
+        a in 2usize..4,
+        extra in 0usize..30,
+        seed in 0u64..500,
+    ) {
+        // Cole–Vishkin on a random-tree forest.
+        let f = forest_from_bfs(&gen::random_tree(n, seed), 0);
+        let mut full_ledger = RoundLedger::new();
+        let (full_colors, full_metrics) = engine_cole_vishkin_3color(
+            &f, EngineConfig::default().with_frontier(false), &mut full_ledger,
+        );
+        for shards in [1usize, 2, 8] {
+            let mut ledger = RoundLedger::new();
+            let (colors, metrics) = engine_cole_vishkin_3color(
+                &f, EngineConfig::default().with_shards(shards), &mut ledger,
+            );
+            prop_assert_eq!(&colors, &full_colors, "cv, shards = {}", shards);
+            prop_assert_eq!(ledger.total(), full_ledger.total());
+            prop_assert_eq!(metrics.message_counts(), full_metrics.message_counts());
+        }
+
+        // H-partition on an arboricity-`a` forest union.
+        let g = gen::forest_union(n, a, seed);
+        let mut full_ledger = RoundLedger::new();
+        let (full_hp, full_metrics) = engine_h_partition(
+            &g, None, a, 1.0,
+            EngineConfig::default().with_frontier(false),
+            &mut full_ledger,
+        );
+        for shards in [1usize, 2, 8] {
+            let mut ledger = RoundLedger::new();
+            let (hp, metrics) = engine_h_partition(
+                &g, None, a, 1.0,
+                EngineConfig::default().with_shards(shards),
+                &mut ledger,
+            );
+            prop_assert_eq!(&hp.layer, &full_hp.layer, "hp, shards = {}", shards);
+            prop_assert_eq!(hp.layers, full_hp.layers);
+            prop_assert_eq!(ledger.total(), full_ledger.total());
+            prop_assert_eq!(metrics.message_counts(), full_metrics.message_counts());
+        }
+
+        // Randomized list coloring on a sparse G(n, m) — RNG streams are
+        // keyed on (seed, id), so gating must not perturb a single draw.
+        let g = gen::gnm(n, n + extra, seed);
+        let lists: Vec<Vec<usize>> = g
+            .vertices()
+            .map(|v| (0..g.degree(v) + 1).collect())
+            .collect();
+        let mut full_ledger = RoundLedger::new();
+        let (full_out, full_metrics) = engine_randomized_list_coloring(
+            &g, None, &lists, seed, 1000,
+            EngineConfig::default().with_frontier(false),
+            &mut full_ledger,
+        );
+        for shards in [1usize, 2, 8] {
+            let mut ledger = RoundLedger::new();
+            let (out, metrics) = engine_randomized_list_coloring(
+                &g, None, &lists, seed, 1000,
+                EngineConfig::default().with_shards(shards),
+                &mut ledger,
+            );
+            prop_assert_eq!(&out.colors, &full_out.colors, "rand, shards = {}", shards);
+            prop_assert_eq!(out.rounds, full_out.rounds);
+            prop_assert_eq!(ledger.total(), full_ledger.total());
+            prop_assert_eq!(metrics.message_counts(), full_metrics.message_counts());
+        }
+
+        // The (d+1) class sweep, whose slot schedule rides `WakeAt`.
+        let mut full_ledger = RoundLedger::new();
+        let full_colors = {
+            let (c, _) = engine_degree_plus_one_coloring(
+                &g, None,
+                EngineConfig::default().with_frontier(false),
+                &mut full_ledger,
+            );
+            c
+        };
+        for shards in [1usize, 2, 8] {
+            let mut ledger = RoundLedger::new();
+            let (colors, _) = engine_degree_plus_one_coloring(
+                &g, None, EngineConfig::default().with_shards(shards), &mut ledger,
+            );
+            prop_assert_eq!(&colors, &full_colors, "sweep, shards = {}", shards);
+            prop_assert_eq!(ledger.total(), full_ledger.total());
+        }
+    }
+}
+
 #[test]
 fn facade_prelude_reaches_the_engine() {
     use fewer_colors::prelude::*;

@@ -705,6 +705,86 @@ fn engine_fault_replay_is_identical_across_split_and_unlimited_modes() {
 }
 
 #[test]
+fn engine_delayed_delivery_reactivates_frontier_skipped_target() {
+    // The frontier index must treat a fault-delayed batch as traffic: an
+    // `OnMessage` node skipped for the whole delay window steps again in
+    // the exact round the deferred message lands — never earlier (the
+    // skip is real) and never later (the delivery re-activates it).
+    use engine::{Activation, EngineSession, NodeCtx, NodeProgram, Outbox, Stop};
+
+    struct Sleeper {
+        arrivals: Vec<(u64, usize)>,
+        steps: Vec<u64>,
+    }
+    impl NodeProgram for Sleeper {
+        type Message = u64;
+        fn init(&mut self, ctx: &mut NodeCtx<'_>) -> Outbox<u64> {
+            if ctx.id == 0 {
+                Outbox::Broadcast(7)
+            } else {
+                Outbox::Silent
+            }
+        }
+        fn on_round(&mut self, ctx: &mut NodeCtx<'_>, inbox: &[(usize, u64)]) -> Outbox<u64> {
+            self.steps.push(ctx.round);
+            self.arrivals
+                .extend(inbox.iter().map(|&(src, _)| (ctx.round, src)));
+            Outbox::Silent
+        }
+        fn halted(&self) -> bool {
+            false
+        }
+        fn activation(&self) -> Activation {
+            Activation::OnMessage
+        }
+    }
+
+    let g = gen::path(3);
+    let run = |frontier: bool, shards: usize| {
+        let config = EngineConfig::default()
+            .with_shards(shards)
+            .with_frontier(frontier)
+            .with_faults(FaultPlan::new().delay_outbox(0, 0, 3));
+        let mut sess = EngineSession::new(&g, config, |_| Sleeper {
+            arrivals: Vec::new(),
+            steps: Vec::new(),
+        });
+        sess.run_phase("sleep", Stop::Rounds(6));
+        let skipped = sess.metrics().total_frontier_skipped();
+        let (programs, metrics, _) = sess.into_parts();
+        assert_eq!(metrics.total_delayed(), 1, "the init unicast was delayed");
+        let arrivals: Vec<Vec<(u64, usize)>> =
+            programs.iter().map(|p| p.arrivals.clone()).collect();
+        let steps: Vec<Vec<u64>> = programs.iter().map(|p| p.steps.clone()).collect();
+        (arrivals, steps, skipped)
+    };
+
+    let (full_arrivals, full_steps, full_skipped) = run(false, 1);
+    // The full scan steps everyone every round and sees the delayed
+    // delivery land at node 1 in round 1 + 3 = 4.
+    assert_eq!(full_arrivals[1], vec![(4, 0)]);
+    assert_eq!(full_steps[1], vec![1, 2, 3, 4, 5, 6]);
+    assert_eq!(full_skipped, 0, "full scans skip nothing");
+
+    for shards in [1usize, 2] {
+        let (arrivals, steps, skipped) = run(true, shards);
+        assert_eq!(
+            arrivals, full_arrivals,
+            "shards={shards}: delivery rounds must match the full scan"
+        );
+        // The delivery round — and only it — re-activated the sleeper.
+        assert_eq!(steps[0], Vec::<u64>::new(), "node 0 never hears anything");
+        assert_eq!(
+            steps[1],
+            vec![4],
+            "node 1 steps exactly in the delivery round"
+        );
+        assert_eq!(steps[2], Vec::<u64>::new(), "node 2 never hears anything");
+        assert_eq!(skipped, 3 * 6 - 1, "every other (node, round) was skipped");
+    }
+}
+
+#[test]
 fn zero_and_tiny_graphs() {
     // n = 0.
     let g0 = graphs::Graph::empty(0);
