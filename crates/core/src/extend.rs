@@ -21,7 +21,7 @@ use crate::ert::{color_component, ErtError};
 use crate::happy::Classification;
 use crate::lists::ListAssignment;
 use crate::state::ColoringState;
-use engine::{layered_slots, CongestMode, EngineMetrics, EnginePool, FaultPlan};
+use engine::{layered_slots, CongestMode, EngineMetrics, EnginePool, FaultPlan, VertexOrder};
 use graphs::{ball, Graph, VertexId, VertexSet};
 use local_model::{degree_plus_one_coloring, ruling_forest, RoundLedger};
 use std::fmt;
@@ -48,6 +48,13 @@ pub struct EngineMode<'m> {
     /// gate compares against. Purely a performance knob: outputs, ledger
     /// charges, and statistics are bit-identical either way.
     pub frontier: bool,
+    /// Vertex-storage order for every internal session
+    /// ([`VertexOrder::Identity`] by default). [`VertexOrder::Locality`]
+    /// relabels each session's shard-local layout along the seeded
+    /// bandwidth-minimizing order; observables stay on original ids, so
+    /// outputs and ledger charges are bit-identical either way. Purely a
+    /// performance knob, like `pool` and `frontier`.
+    pub order: VertexOrder,
     /// Shared worker pool threaded through every internal session: `Some`
     /// amortizes thread spawns to one per composite phase (a peeling run's
     /// levels all reuse these threads); `None` lets each session spawn its
@@ -64,6 +71,7 @@ impl EngineMode<'_> {
             .with_shards(self.shards)
             .with_congest(self.congest)
             .with_frontier(self.frontier)
+            .with_order(self.order)
             .with_faults(self.faults.clone());
         match &self.pool {
             Some(pool) => config.with_pool(pool),
@@ -355,6 +363,7 @@ mod tests {
                 congest: CongestMode::Unlimited,
                 faults: FaultPlan::default(),
                 frontier: true,
+                order: VertexOrder::Identity,
                 pool: None,
                 metrics: &mut metrics,
             });

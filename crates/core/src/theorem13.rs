@@ -19,7 +19,7 @@
 use crate::extend::{extend_to_happy_set, EngineMode, ExtendError, UNCOLORED};
 use crate::happy::{classify, classify_engine, paper_radius, Classification};
 use crate::lists::ListAssignment;
-use engine::{CongestMode, EngineMetrics, FaultPlan};
+use engine::{CongestMode, EngineMetrics, FaultPlan, VertexOrder};
 use graphs::{Graph, VertexId, VertexSet};
 use local_model::{detect_clique, RoundLedger};
 use std::fmt;
@@ -128,6 +128,12 @@ pub struct SparseColoringConfig {
     /// measure. Outputs, ledger charges, and statistics are bit-identical
     /// either way; ignored in sequential mode.
     pub engine_frontier: bool,
+    /// Vertex-storage order for every engine session of an engine-mode run
+    /// ([`VertexOrder::Identity`] by default). [`VertexOrder::Locality`]
+    /// relabels each session's shard-local layout along the seeded
+    /// bandwidth-minimizing order; outputs, ledger charges, and statistics
+    /// are bit-identical either way. Ignored in sequential mode.
+    pub engine_order: VertexOrder,
 }
 
 impl Default for SparseColoringConfig {
@@ -139,6 +145,7 @@ impl Default for SparseColoringConfig {
             engine_congest: CongestMode::default(),
             engine_faults: FaultPlan::default(),
             engine_frontier: true,
+            engine_order: VertexOrder::Identity,
         }
     }
 }
@@ -344,6 +351,7 @@ pub fn list_color_sparse(
                 congest: config.engine_congest,
                 faults: config.engine_faults.clone(),
                 frontier: config.engine_frontier,
+                order: config.engine_order,
                 pool: engine_pool.clone(),
                 metrics: &mut engine_metrics,
             })

@@ -35,9 +35,13 @@
 //!   and [`EngineConfig::workers`] are pure performance knobs: any
 //!   combination replays the same run.
 //! * Determinism — per-node random streams are derived from
-//!   `(seed, node id)` only ([`node_rng`]), inboxes are sorted by sender, so
-//!   randomized programs replay **bit-identically regardless of shard
-//!   count**.
+//!   `(seed, node id)` only ([`node_rng`]), inboxes are delivered in
+//!   ascending original-sender order (enforced by a counting pass on
+//!   precomputed sender ranks — the routing epoch performs no comparison
+//!   sort), so randomized programs replay **bit-identically regardless of
+//!   shard count**. The internal vertex layout is itself a free variable:
+//!   [`EngineConfig::with_order`] ([`VertexOrder`]) relabels the dense
+//!   index space into a cache-local order without changing one observable.
 //! * [`FaultPlan`] — drop or delay a node's outbox at a chosen round, or
 //!   duplicate / lose individual messages with seeded per-edge rules
 //!   ([`FaultPlan::duplicate_edges`], [`FaultPlan::lose_edges`]), without
@@ -116,7 +120,7 @@ pub use programs::{
     engine_randomized_list_coloring, engine_ruling_forest, layered_slot, layered_slots,
 };
 pub use shard::ShardPlan;
-pub use view::GraphView;
+pub use view::{GraphView, VertexOrder};
 
 /// Total worker threads spawned by engine pools since process start — the
 /// observable a pipeline test pins to prove pool *sharing* actually shares:

@@ -63,8 +63,13 @@ pub struct RoundMetrics {
     pub active_frac: f64,
     /// Wall-clock time of the round (compute + routing).
     pub wall: Duration,
-    /// Wall-clock time of the routing phase alone (arena drain + per-inbox
-    /// sender sort, worker-parallel). A subset of [`wall`](RoundMetrics::wall).
+    /// Wall-clock time of the whole routing epoch: everything between the
+    /// compute epoch's close and the buffer flip — yield collection, split
+    /// continuation scheduling, delayed-fault injection, the worker-parallel
+    /// counting passes (dest placement + sender-rank ordering), and inbox
+    /// finalization. A subset of [`wall`](RoundMetrics::wall); the
+    /// `bench_gate --max-route-frac` budget judges this number, so it must
+    /// not under-count any epoch step.
     pub route_wall: Duration,
 }
 

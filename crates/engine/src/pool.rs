@@ -35,7 +35,9 @@
 //!   with a **counting sort** over bucket `g` of *every* arena (in
 //!   ascending group order): count per receiver, prefix-sum into the span
 //!   table, place each message exactly once into the contiguous segment,
-//!   then finalize each span (stable sender sort). Steady-state rounds
+//!   then put each span into delivery order with a second counting pass on
+//!   its precomputed sender ranks (`mailbox::sort_span_by_rank` — no
+//!   comparison sort anywhere in the epoch). Steady-state rounds
 //!   perform no per-message allocation — segments, spans, and the counting
 //!   scratch persist across rounds. Between the two epochs the driver does
 //!   the cheap global work: tallying fault counters, scheduling
@@ -43,7 +45,8 @@
 //!
 //! Determinism is untouched: for any inbox, messages arrive in (source
 //! group, staging order) order — exactly the order the old driver-side
-//! drain produced — and the final stable sort by original sender id makes
+//! drain produced — and the final stable rank counting pass reproduces the
+//! historical stable sort by original sender id verbatim, making
 //! the delivered order a pure function of the traffic. Worker count and
 //! shard count remain pure performance knobs.
 //!
@@ -78,8 +81,11 @@ use graphs::VertexId;
 
 use crate::context::NodeCtx;
 use crate::faults::{FaultAction, FaultPlan};
-use crate::mailbox::{finalize_inbox, GroupInboxes, Inboxes, RouteTally, RouteTargets, Routed};
+use crate::mailbox::{
+    finalize_inbox, sort_span_by_rank, GroupInboxes, Inboxes, RouteTally, RouteTargets, Routed,
+};
 use crate::program::{Activation, EngineMessage, NodeProgram, Outbox};
+use crate::view::SenderRanks;
 
 /// Global count of worker threads ever spawned by any [`PoolCore`] in this
 /// process — the observable that pins "pool sharing actually shares": a
@@ -97,6 +103,9 @@ pub(crate) struct StageEnv<'a> {
     pub(crate) dense: &'a [usize],
     /// Dense index → original id.
     pub(crate) live: &'a [VertexId],
+    /// Per-directed-edge sender ranks (see [`SenderRanks`]): staging
+    /// attaches each message's counting-sort key in O(1).
+    pub(crate) ranks: &'a SenderRanks,
     /// Dense group boundaries, ascending, `len = groups + 1`.
     pub(crate) bounds: &'a [usize],
     /// Per-message width budget (`usize::MAX` = no CONGEST mode).
@@ -476,10 +485,17 @@ fn expand_into<M: EngineMessage>(
     env: &StageEnv<'_>,
     buckets: &mut [UnsafeCell<Vec<Routed<M>>>],
 ) -> usize {
-    let push = |dst: VertexId, m: M, buckets: &mut [UnsafeCell<Vec<Routed<M>>>]| {
+    let sv = env.dense[src];
+    debug_assert_ne!(sv, usize::MAX, "stepped senders are live");
+    // `i` is the destination's position in the sender's neighbor list —
+    // the coordinate [`SenderRanks`] is keyed on. Broadcasts get it for
+    // free from the loop; unicast/multi reuse the membership check's
+    // binary-search position, so attaching the rank costs O(1) either way.
+    let push = |dst: VertexId, i: usize, m: M, buckets: &mut [UnsafeCell<Vec<Routed<M>>>]| {
         let dv = env.dense[dst];
         debug_assert_ne!(dv, usize::MAX, "neighbors are live by construction");
-        buckets[env.group_of(dv)].get_mut().push((dv, src, m));
+        let rank = env.ranks.rank(sv, i);
+        buckets[env.group_of(dv)].get_mut().push((dv, src, rank, m));
     };
     match outbox {
         Outbox::Silent => 0,
@@ -488,29 +504,27 @@ fn expand_into<M: EngineMessage>(
                 return 0;
             }
             let width = m.width();
-            for &dst in neighbors {
-                push(dst, m.clone(), buckets);
+            for (i, &dst) in neighbors.iter().enumerate() {
+                push(dst, i, m.clone(), buckets);
             }
             width
         }
         Outbox::Unicast(dst, m) => {
-            assert!(
-                neighbors.binary_search(&dst).is_ok(),
-                "node {src} unicast to non-neighbor {dst}"
-            );
+            let Ok(i) = neighbors.binary_search(&dst) else {
+                panic!("node {src} unicast to non-neighbor {dst}")
+            };
             let width = m.width();
-            push(dst, m, buckets);
+            push(dst, i, m, buckets);
             width
         }
         Outbox::Multi(msgs) => {
             let mut width = 0;
             for (dst, m) in msgs {
-                assert!(
-                    neighbors.binary_search(&dst).is_ok(),
-                    "node {src} sent to non-neighbor {dst}"
-                );
+                let Ok(i) = neighbors.binary_search(&dst) else {
+                    panic!("node {src} sent to non-neighbor {dst}")
+                };
                 width = width.max(m.width());
-                push(dst, m, buckets);
+                push(dst, i, m, buckets);
             }
             width
         }
@@ -520,10 +534,13 @@ fn expand_into<M: EngineMessage>(
 /// The routing epoch's per-worker share: rebuild group `group`'s `next`
 /// segment with a counting sort over its pending-delayed list and bucket
 /// `group` of every arena (pending first, then ascending arena order —
-/// the determinism contract), then finalize each span — fragmentation /
-/// reassembly in split mode, the stable sender sort, and the optional
-/// adversarial reorder (see `mailbox::finalize_inbox`). Returns the
-/// range's [`RouteTally`] (frames produced, widest delivered message).
+/// the determinism contract), put each span into delivery order with the
+/// rank counting pass (`mailbox::sort_span_by_rank` over the rank
+/// side-buffer filled during placement), then finalize it — fragmentation
+/// / reassembly in split mode and the optional adversarial reorder (see
+/// `mailbox::finalize_inbox`). Returns the range's [`RouteTally`] (frames
+/// produced, widest delivered message). No step compares two messages:
+/// the epoch is O(traffic + frontier).
 ///
 /// The sort is **frontier-sparse**: every pass walks only the vertices
 /// that actually receive traffic this round, collected into the buffer's
@@ -561,6 +578,9 @@ unsafe fn route_range<M: EngineMessage>(
     let pending = unsafe { &mut *t.pending.add(group) };
     let seg = unsafe { &mut *t.segs.add(group) };
     let scratch = unsafe { &mut *t.scratch.add(group) };
+    let rank_buf = unsafe { &mut *t.rank_bufs.add(group) };
+    let vbits = unsafe { &mut *t.vbits.add(group) };
+    let rank_scratch = unsafe { &mut *t.rank_scratch.add(group) };
 
     // Reset exactly the spans this buffer's previous routing left
     // non-empty — its active list. Every other span of the range is
@@ -573,30 +593,24 @@ unsafe fn route_range<M: EngineMessage>(
     active.clear();
 
     // Counting pass: pending-delayed traffic plus every arena's bucket,
-    // collecting each receiver into the fresh active list the first time
-    // it is seen. `counts` is all-zeros on entry (each routing re-zeroes
-    // what it touched), so "count was zero" means "first sighting".
-    for &(dv, _, _) in pending.iter() {
+    // marking each receiver in the group's two-level bitmap. `counts` is
+    // all-zeros on entry (each routing re-zeroes what it touched).
+    vbits.ensure(range.len());
+    for &(dv, _, _, _) in pending.iter() {
         debug_assert!(range.contains(&dv), "pending {group} holds only our range");
-        let c = &mut counts[dv - base];
-        if *c == 0 {
-            active.push(dv);
-        }
-        *c += 1;
+        counts[dv - base] += 1;
+        vbits.set(dv - base);
     }
     for arena in arenas {
         // SAFETY: shared view of the arena; bucket `group` is ours alone.
         let bucket = unsafe { (*arena.0.get()).bucket_shared(group) };
         for r in bucket.iter() {
             debug_assert!(range.contains(&r.0), "bucket {group} holds only our range");
-            let c = &mut counts[r.0 - base];
-            if *c == 0 {
-                active.push(r.0);
-            }
-            *c += 1;
+            counts[r.0 - base] += 1;
+            vbits.set(r.0 - base);
         }
     }
-    if active.is_empty() {
+    if !vbits.any() {
         // A quiet group: nothing to place, and the stale spans are already
         // reset — the whole epoch cost O(previous frontier).
         seg.clear();
@@ -604,7 +618,10 @@ unsafe fn route_range<M: EngineMessage>(
     }
     // The compute epoch walks the list in order; staging order feeds the
     // delivery contract, so the index must ascend like a full scan would.
-    active.sort_unstable();
+    // Draining the bitmap enumerates the receivers ascending in
+    // O(frontier + range/4096) — the comparison-free twin of the old
+    // push-on-first-sighting + `sort_unstable`.
+    vbits.drain(|i| active.push(base + i));
 
     // Prefix-sum the active counts into spans; the counts become
     // placement cursors.
@@ -618,16 +635,26 @@ unsafe fn route_range<M: EngineMessage>(
 
     // Placement pass, same source order as the counting pass: pending
     // first (so delayed batches precede fresh same-sender traffic after
-    // the stable sort), then the arenas in ascending order.
+    // the stable rank pass), then the arenas in ascending order. Each
+    // message's sender rank lands in the side-buffer at the same cursor
+    // its payload takes, giving the rank pass contiguous keys per span.
     seg.clear();
     seg.reserve(total);
+    if rank_buf.len() < total {
+        rank_buf.resize(total, 0);
+    }
     let out = seg.as_mut_ptr();
+    let rank_out = rank_buf.as_mut_ptr();
     {
-        let mut place = |(dv, src, m): Routed<M>| {
+        let mut place = |(dv, src, rank, m): Routed<M>| {
             let cursor = &mut counts[dv - base];
-            // SAFETY: cursor < total ≤ capacity, and both passes see the
-            // same messages, so every slot is written exactly once.
-            unsafe { out.add(*cursor).write((src, m)) };
+            // SAFETY: cursor < total ≤ capacity (and ≤ rank_buf.len()), and
+            // both passes see the same messages, so every slot is written
+            // exactly once.
+            unsafe {
+                out.add(*cursor).write((src, m));
+                rank_out.add(*cursor).write(rank);
+            }
             *cursor += 1;
         };
         for r in pending.drain(..) {
@@ -644,12 +671,18 @@ unsafe fn route_range<M: EngineMessage>(
     // SAFETY: exactly `total` slots were initialized above.
     unsafe { seg.set_len(total) };
 
-    // Finalize only the active spans — there are no other non-empty ones —
-    // and restore the all-zeros counting-scratch invariant as we go.
+    // Rank-sort and finalize only the active spans — there are no other
+    // non-empty ones — and restore the all-zeros counting-scratch
+    // invariant as we go.
     let mut tally = RouteTally::default();
     for &dv in active.iter() {
         let (start, len) = spans[dv - base];
         counts[dv - base] = 0;
+        sort_span_by_rank(
+            &mut seg[start..start + len],
+            &rank_buf[start..start + len],
+            rank_scratch,
+        );
         // SAFETY: the range's reassembly buffers are ours alone.
         let buffers = unsafe { &mut *t.reasm.add(dv) };
         tally.absorb(finalize_inbox(
@@ -1072,9 +1105,17 @@ mod tests {
         }
     }
 
-    /// An identity env over `n` vertices in one group, no faults.
-    fn identity_tables(n: usize) -> (Vec<usize>, Vec<VertexId>, Vec<usize>) {
-        ((0..n).collect(), (0..n).collect(), vec![0, n])
+    /// An identity env over `n` vertices in one group, no faults. The
+    /// `by_src` rank table makes every staged rank the sender's dense
+    /// index — under identity tables, rank == original sender id, so
+    /// expected tuples read directly.
+    fn identity_tables(n: usize) -> (Vec<usize>, Vec<VertexId>, Vec<usize>, SenderRanks) {
+        (
+            (0..n).collect(),
+            (0..n).collect(),
+            vec![0, n],
+            SenderRanks::by_src(n),
+        )
     }
 
     fn env<'a>(
@@ -1082,12 +1123,14 @@ mod tests {
         dense: &'a [usize],
         live: &'a [VertexId],
         bounds: &'a [usize],
+        ranks: &'a SenderRanks,
     ) -> StageEnv<'a> {
         StageEnv {
             faults,
             dense,
             live,
             bounds,
+            ranks,
             congest: usize::MAX,
             frontier: true,
         }
@@ -1097,14 +1140,14 @@ mod tests {
     fn expand_into_appends_and_reports_width() {
         let neighbors = [1usize, 3, 5];
         let faults = FaultPlan::new();
-        let (dense, live, bounds) = identity_tables(6);
-        let e = env(&faults, &dense, &live, &bounds);
+        let (dense, live, bounds, ranks) = identity_tables(6);
+        let e = env(&faults, &dense, &live, &bounds, &ranks);
         let mut y: ShardYield<W> = ShardYield::with_groups(1);
         stage_outbox(0, Outbox::Broadcast(W(2)), &neighbors, 1, &e, &mut y);
         assert_eq!(y.max_width, 2);
         assert_eq!(
             y.bucket_mut(0),
-            &vec![(1, 0, W(2)), (3, 0, W(2)), (5, 0, W(2))]
+            &vec![(1, 0, 0, W(2)), (3, 0, 0, W(2)), (5, 0, 0, W(2))]
         );
         stage_outbox(0, Outbox::Unicast(3, W(7)), &neighbors, 1, &e, &mut y);
         assert_eq!(y.max_width, 7);
@@ -1121,13 +1164,13 @@ mod tests {
         // messages to {4, 5} in bucket 1.
         let neighbors = [1usize, 2, 4, 5];
         let faults = FaultPlan::new();
-        let (dense, live, _) = identity_tables(6);
+        let (dense, live, _, ranks) = identity_tables(6);
         let bounds = vec![0, 3, 6];
-        let e = env(&faults, &dense, &live, &bounds);
+        let e = env(&faults, &dense, &live, &bounds, &ranks);
         let mut y: ShardYield<W> = ShardYield::with_groups(2);
         stage_outbox(3, Outbox::Broadcast(W(1)), &neighbors, 1, &e, &mut y);
-        assert_eq!(y.bucket_mut(0), &vec![(1, 3, W(1)), (2, 3, W(1))]);
-        assert_eq!(y.bucket_mut(1), &vec![(4, 3, W(1)), (5, 3, W(1))]);
+        assert_eq!(y.bucket_mut(0), &vec![(1, 3, 3, W(1)), (2, 3, 3, W(1))]);
+        assert_eq!(y.bucket_mut(1), &vec![(4, 3, 3, W(1)), (5, 3, 3, W(1))]);
         assert_eq!(y.messages, 4);
     }
 
@@ -1135,8 +1178,8 @@ mod tests {
     fn stage_outbox_applies_faults_in_place() {
         let neighbors = [1usize, 2];
         let faults = FaultPlan::new().drop_outbox(0, 5).delay_outbox(0, 6, 2);
-        let (dense, live, bounds) = identity_tables(3);
-        let e = env(&faults, &dense, &live, &bounds);
+        let (dense, live, bounds, ranks) = identity_tables(3);
+        let e = env(&faults, &dense, &live, &bounds, &ranks);
         let mut y: ShardYield<W> = ShardYield::with_groups(1);
         stage_outbox(0, Outbox::Broadcast(W(1)), &neighbors, 4, &e, &mut y);
         assert_eq!((y.messages, y.bucket_mut(0).len()), (2, 2), "delivered");
@@ -1155,15 +1198,20 @@ mod tests {
     fn duplication_appends_after_the_batch_and_counts() {
         let neighbors = [1usize, 2];
         let faults = FaultPlan::new().duplicate_edges(3, 1.0);
-        let (dense, live, bounds) = identity_tables(3);
-        let e = env(&faults, &dense, &live, &bounds);
+        let (dense, live, bounds, ranks) = identity_tables(3);
+        let e = env(&faults, &dense, &live, &bounds, &ranks);
         let mut y: ShardYield<W> = ShardYield::with_groups(1);
         stage_outbox(0, Outbox::Broadcast(W(1)), &neighbors, 1, &e, &mut y);
         assert_eq!(y.messages, 2, "originals only");
         assert_eq!(y.duplicated, 2, "probability 1.0 duplicates both");
         assert_eq!(
             y.bucket_mut(0),
-            &vec![(1, 0, W(1)), (2, 0, W(1)), (1, 0, W(1)), (2, 0, W(1))]
+            &vec![
+                (1, 0, 0, W(1)),
+                (2, 0, 0, W(1)),
+                (1, 0, 0, W(1)),
+                (2, 0, 0, W(1))
+            ]
         );
     }
 
@@ -1171,8 +1219,8 @@ mod tests {
     fn loss_removes_in_place_and_counts() {
         let neighbors = [1usize, 2];
         let faults = FaultPlan::new().lose_edges(3, 1.0);
-        let (dense, live, bounds) = identity_tables(3);
-        let e = env(&faults, &dense, &live, &bounds);
+        let (dense, live, bounds, ranks) = identity_tables(3);
+        let e = env(&faults, &dense, &live, &bounds, &ranks);
         let mut y: ShardYield<W> = ShardYield::with_groups(1);
         stage_outbox(0, Outbox::Broadcast(W(1)), &neighbors, 1, &e, &mut y);
         assert_eq!(y.messages, 2, "loss does not change the sent count");
@@ -1185,11 +1233,11 @@ mod tests {
         // Find a (seed, round) where exactly one of the two messages is
         // lost, and check the survivor stays, in place.
         let neighbors = [1usize, 2, 3];
-        let (dense, live, bounds) = identity_tables(4);
+        let (dense, live, bounds, ranks) = identity_tables(4);
         let mut found = false;
         for seed in 0..64u64 {
             let faults = FaultPlan::new().lose_edges(seed, 0.5);
-            let e = env(&faults, &dense, &live, &bounds);
+            let e = env(&faults, &dense, &live, &bounds, &ranks);
             let mut y: ShardYield<W> = ShardYield::with_groups(1);
             stage_outbox(0, Outbox::Broadcast(W(1)), &neighbors, 1, &e, &mut y);
             if y.lost == 1 {
@@ -1207,8 +1255,8 @@ mod tests {
     #[should_panic(expected = "CONGEST violation")]
     fn congest_budget_rejects_wide_messages() {
         let faults = FaultPlan::new();
-        let (dense, live, bounds) = identity_tables(3);
-        let mut e = env(&faults, &dense, &live, &bounds);
+        let (dense, live, bounds, ranks) = identity_tables(3);
+        let mut e = env(&faults, &dense, &live, &bounds, &ranks);
         e.congest = 4;
         let mut y: ShardYield<W> = ShardYield::with_groups(1);
         stage_outbox(0, Outbox::Broadcast(W(4)), &[1], 1, &e, &mut y);
@@ -1219,8 +1267,8 @@ mod tests {
     #[test]
     fn arena_reset_keeps_capacity() {
         let faults = FaultPlan::new();
-        let (dense, live, bounds) = identity_tables(5);
-        let e = env(&faults, &dense, &live, &bounds);
+        let (dense, live, bounds, ranks) = identity_tables(5);
+        let e = env(&faults, &dense, &live, &bounds, &ranks);
         let mut y: ShardYield<W> = ShardYield::with_groups(1);
         stage_outbox(0, Outbox::Broadcast(W(1)), &[1, 2, 3, 4], 1, &e, &mut y);
         let cap = y.bucket_mut(0).capacity();
@@ -1234,24 +1282,27 @@ mod tests {
         );
     }
 
+    /// A one-group arena preloaded with staged traffic (tests build the
+    /// routing epoch's input directly).
+    fn mk(msgs: Vec<Routed<W>>) -> ArenaSlot<W> {
+        let mut y: ShardYield<W> = ShardYield::with_groups(1);
+        y.bucket_mut(0).extend(msgs);
+        ArenaSlot(UnsafeCell::new(y))
+    }
+
     #[test]
     fn routing_epoch_counting_sort_matches_contract() {
         use crate::mailbox::Mailboxes;
         // Three vertices in one group; traffic from two arenas plus a
         // delayed batch due this round. Per inbox the pre-sort order is
         // pending first, then arena order × staging order; the stable
-        // sender sort then fixes the delivered order.
+        // rank counting pass then fixes the delivered order.
         let mut mail: Mailboxes<W> = Mailboxes::new(3, vec![0, 3]);
-        mail.schedule(2, vec![(0, 2, W(9))]);
+        mail.schedule(2, vec![(0, 2, 2, W(9))]);
         mail.inject_due(2);
-        let mk = |msgs: Vec<Routed<W>>| {
-            let mut y: ShardYield<W> = ShardYield::with_groups(1);
-            y.bucket_mut(0).extend(msgs);
-            ArenaSlot(UnsafeCell::new(y))
-        };
         let arenas = [
-            mk(vec![(0, 1, W(1)), (2, 0, W(2)), (0, 0, W(3))]),
-            mk(vec![(1, 2, W(4)), (0, 0, W(5))]),
+            mk(vec![(0, 1, 1, W(1)), (2, 0, 0, W(2)), (0, 0, 0, W(3))]),
+            mk(vec![(1, 2, 2, W(4)), (0, 0, 0, W(5))]),
         ];
         let live = [0usize, 1, 2];
         let env = RouteEnv {
@@ -1279,11 +1330,36 @@ mod tests {
     }
 
     #[test]
+    fn delayed_batch_precedes_fresh_same_sender_under_rank_routing() {
+        use crate::mailbox::Mailboxes;
+        // The rank band pins the contract: a delay-fault batch from sender
+        // 1 due this round must land *ahead of* fresh round traffic from
+        // the same sender 1 (equal rank, pending placed first), while a
+        // lower-rank fresh sender still sorts ahead of both.
+        let mut mail: Mailboxes<W> = Mailboxes::new(2, vec![0, 2]);
+        mail.schedule(5, vec![(0, 1, 1, W(7))]);
+        mail.inject_due(5);
+        let arenas = [mk(vec![(0, 1, 1, W(8)), (0, 0, 0, W(6))])];
+        let live = [0usize, 1];
+        let env = RouteEnv {
+            split: usize::MAX,
+            round: 5,
+            reorder: None,
+            live: &live,
+        };
+        // SAFETY: single-threaded test — sole accessor of every bucket and
+        // mailbox entry.
+        let _ = unsafe { route_range(&arenas, 0, mail.next_targets(), 0..2, &env) };
+        mail.flip();
+        assert_eq!(mail.inbox(0), &[(0, W(6)), (1, W(7)), (1, W(8))]);
+    }
+
+    #[test]
     fn group_of_respects_bounds() {
         let faults = FaultPlan::new();
-        let (dense, live, _) = identity_tables(10);
+        let (dense, live, _, ranks) = identity_tables(10);
         let bounds = vec![0, 4, 7, 10];
-        let e = env(&faults, &dense, &live, &bounds);
+        let e = env(&faults, &dense, &live, &bounds, &ranks);
         let groups: Vec<usize> = (0..10).map(|dv| e.group_of(dv)).collect();
         assert_eq!(groups, vec![0, 0, 0, 0, 1, 1, 1, 2, 2, 2]);
     }

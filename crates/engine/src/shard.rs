@@ -2,13 +2,17 @@
 //!
 //! Shards are contiguous, near-equal ranges of the session's **dense**
 //! live-vertex index (see [`GraphView`]) — for an
-//! unmasked session that is the vertex-id range itself. Contiguity matters
-//! twice: worker threads walk cache-friendly slices, and because shard
-//! ranges ascend in (original) vertex id, draining destination buckets in
-//! group order fills inboxes in near-sorted sender order, so the stable
-//! per-inbox sort the routing phase performs (still required —
-//! fault-delayed batches are injected ahead of fresh traffic) runs on
-//! mostly-sorted input.
+//! unmasked identity-order session that is the vertex-id range itself;
+//! under [`VertexOrder::Locality`](crate::VertexOrder) it is a span of the
+//! relabeled cache-local layout, so a shard is a graph neighborhood.
+//! Contiguity matters twice: worker threads walk cache-friendly slices,
+//! and shard ranges tile the dense index space, so the routing epoch can
+//! hand each worker one contiguous block of spans. Delivery order does not
+//! depend on the partition at all: each inbox is put into ascending
+//! original-sender order by a counting pass on precomputed sender ranks
+//! (see `mailbox`), and under the identity layout a span fed by one worker
+//! group arrives already rank-sorted (staging walks ascending ids), so the
+//! pass's monotonicity fast path skips it.
 
 use std::ops::Range;
 

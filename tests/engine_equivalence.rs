@@ -13,7 +13,7 @@ use engine::programs::ruling::RulingMsg;
 use engine::{
     engine_cole_vishkin_3color, engine_degree_plus_one_coloring, engine_gather_balls,
     engine_h_partition, engine_randomized_list_coloring, engine_ruling_forest, EngineConfig,
-    EngineMessage, SPLIT_PHASE,
+    EngineMessage, FaultPlan, VertexOrder, SPLIT_PHASE,
 };
 use graphs::{gen, VertexSet};
 use local_model::{
@@ -536,6 +536,96 @@ proptest! {
             prop_assert_eq!(&colors, &full_colors, "sweep, shards = {}", shards);
             prop_assert_eq!(ledger.total(), full_ledger.total());
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The locality relabeling is unobservable: over every registered graph
+    /// family, a `VertexOrder::Locality` run — with drop/delay faults and
+    /// seeded per-edge duplication and loss active — is bit-identical to
+    /// the identity-order run at shards {1, 2, 8}: colors, per-round
+    /// message fingerprints, ledger totals, and physical rounds all match.
+    /// Randomized list coloring is the probe because its per-node RNG
+    /// streams (`(seed, id)`) expose any id remapping instantly.
+    #[test]
+    fn locality_relabeling_is_bit_identical_to_identity(
+        n in 40usize..160,
+        seed in 0u64..500,
+    ) {
+        for name in gen::family_names() {
+            let g = gen::build_family(name, n, seed).expect("registered family");
+            let lists: Vec<Vec<usize>> = g
+                .vertices()
+                .map(|v| (0..g.degree(v) + 1).collect())
+                .collect();
+            let faults = || {
+                FaultPlan::new()
+                    .delay_outbox(0, 1, 2)
+                    .drop_outbox(g.n() / 2, 2)
+                    .duplicate_edges(seed ^ 0xD00D, 0.25)
+                    .lose_edges(seed ^ 0x10CA1, 0.2)
+            };
+            let run = |order: VertexOrder, shards: usize| {
+                let mut ledger = RoundLedger::new();
+                let (out, metrics) = engine_randomized_list_coloring(
+                    &g, None, &lists, seed, 1000,
+                    EngineConfig::default()
+                        .with_shards(shards)
+                        .with_order(order)
+                        .with_faults(faults()),
+                    &mut ledger,
+                );
+                (
+                    out.colors,
+                    out.rounds,
+                    metrics.message_counts(),
+                    metrics.total_physical_rounds(),
+                    ledger.total(),
+                )
+            };
+            let identity = run(VertexOrder::Identity, 2);
+            for shards in [1usize, 2, 8] {
+                let locality = run(VertexOrder::Locality, shards);
+                prop_assert_eq!(
+                    &identity, &locality,
+                    "family {} shards {}: locality diverged", name, shards
+                );
+            }
+        }
+    }
+
+    /// Locality + CONGEST `Split(1)`: per-edge fragment reassembly is keyed
+    /// on original sender ids, so a relabeled gather flood must reproduce
+    /// the identity run's balls, split surplus, and fragment counts.
+    #[test]
+    fn locality_split_gather_matches_identity(
+        n in 24usize..90,
+        extra in 0usize..30,
+        seed in 0u64..300,
+    ) {
+        let g = gen::gnm(n, n + extra, seed);
+        let centers: Vec<usize> = (0..n).collect();
+        let run = |order: VertexOrder| {
+            let mut ledger = RoundLedger::new();
+            let (balls, metrics) = engine_gather_balls(
+                &g, None, &centers, 3,
+                EngineConfig::default()
+                    .with_shards(4)
+                    .with_order(order)
+                    .congest_split(1),
+                &mut ledger,
+            );
+            (
+                balls,
+                metrics.total_fragments(),
+                metrics.total_physical_rounds(),
+                ledger.phase_total(SPLIT_PHASE),
+                ledger.total(),
+            )
+        };
+        prop_assert_eq!(run(VertexOrder::Identity), run(VertexOrder::Locality));
     }
 }
 
